@@ -1,0 +1,67 @@
+// Microbenchmarks for the common substrate: RNG draws, distribution sampling
+// and statistics accumulation. These are health checks for the hot paths the
+// simulator leans on (every simulated tuple batch draws Poisson arrivals).
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace pdsp {
+namespace {
+
+void BM_RngNextUint64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextUint64());
+}
+BENCHMARK(BM_RngNextUint64);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.UniformInt(0, 1000));
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_RngPoisson(benchmark::State& state) {
+  Rng rng(1);
+  const double mean = static_cast<double>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Poisson(mean));
+}
+BENCHMARK(BM_RngPoisson)->Arg(4)->Arg(32)->Arg(1024);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(1);
+  const int64_t n = state.range(0);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Zipf(n, 1.1));
+}
+BENCHMARK(BM_RngZipf)->Arg(100)->Arg(100000);
+
+void BM_RunningStatsAdd(benchmark::State& state) {
+  RunningStats stats;
+  Rng rng(1);
+  for (auto _ : state) stats.Add(rng.NextDouble());
+  benchmark::DoNotOptimize(stats.mean());
+}
+BENCHMARK(BM_RunningStatsAdd);
+
+void BM_LatencyRecorderRecord(benchmark::State& state) {
+  LatencyRecorder rec(static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) rec.Record(rng.NextDouble());
+  benchmark::DoNotOptimize(rec.Count());
+}
+BENCHMARK(BM_LatencyRecorderRecord)->Arg(0)->Arg(4096);
+
+void BM_LatencyRecorderPercentile(benchmark::State& state) {
+  LatencyRecorder rec;
+  Rng rng(1);
+  for (int i = 0; i < state.range(0); ++i) rec.Record(rng.NextDouble());
+  for (auto _ : state) {
+    rec.Record(rng.NextDouble());  // invalidate the sort cache
+    benchmark::DoNotOptimize(rec.Percentile(50));
+  }
+}
+BENCHMARK(BM_LatencyRecorderPercentile)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,84 @@
+// Ablation: data partitioning strategies (Table 3: forward, rebalance,
+// hash). Forward keeps a tuple on its producing instance's channel (no
+// shuffle); rebalance spreads round-robin (maximum channel fan-out); hash
+// routes by key. The latency cost of shuffling grows with parallelism —
+// one of the mechanisms behind the paper's parallelism paradox (O2).
+
+#include <cstdio>
+
+#include "bench/drivers/driver_util.h"
+#include "src/common/string_util.h"
+#include "src/query/builder.h"
+
+namespace pdsp {
+
+namespace {
+
+Result<LogicalPlan> PipelinePlan(double rate, int parallelism,
+                                 Partitioning partitioning) {
+  StreamSpec stream;
+  (void)stream.schema.AddField({"key", DataType::kInt});
+  (void)stream.schema.AddField({"val", DataType::kDouble});
+  FieldGeneratorSpec key;
+  key.dist = FieldDistribution::kUniformKey;
+  key.cardinality = 10000;
+  FieldGeneratorSpec val;
+  val.dist = FieldDistribution::kUniformDouble;
+  val.max = 100.0;
+  stream.specs = {key, val};
+  ArrivalProcess::Options arrival;
+  arrival.rate = rate;
+
+  PlanBuilder b;
+  auto src = b.Source("src", stream, arrival, parallelism);
+  auto m1 = b.Map("map1", src, parallelism);
+  b.WithPartitioning(m1, partitioning);
+  auto m2 = b.Map("map2", m1, parallelism);
+  b.WithPartitioning(m2, partitioning);
+  auto f = b.Filter("filter", m2, 1, FilterOp::kGt, Value(20.0), parallelism);
+  b.WithPartitioning(f, partitioning);
+  b.Sink("sink", f, 1);
+  return b.Build();
+}
+
+}  // namespace
+
+int Main() {
+  const Cluster cluster = Cluster::M510(10);
+  const RunProtocol protocol = bench::FigureProtocol();
+  const double rate = bench::FastMode() ? 40000.0 : 150000.0;
+
+  std::vector<std::string> columns = {"parallelism"};
+  for (Partitioning p : {Partitioning::kForward, Partitioning::kRebalance,
+                         Partitioning::kHash}) {
+    columns.push_back(StrFormat("%s(ms)", PartitioningToString(p)));
+  }
+  TableReporter table(
+      StrFormat("Ablation: partitioning strategy vs pipeline latency "
+                "(%.0fk ev/s)",
+                rate / 1000.0),
+      columns);
+
+  for (int parallelism : {2, 8, 32, 64}) {
+    std::vector<std::string> row = {StrFormat("%d", parallelism)};
+    for (Partitioning p : {Partitioning::kForward, Partitioning::kRebalance,
+                           Partitioning::kHash}) {
+      auto plan = PipelinePlan(rate, parallelism, p);
+      if (!plan.ok()) {
+        row.push_back("n/a");
+        continue;
+      }
+      auto cell = MeasureCell(*plan, cluster, protocol);
+      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
+                              : "n/a");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  (void)table.WriteCsv("results/ablation_partitioning.csv");
+  return 0;
+}
+
+}  // namespace pdsp
+
+int main() { return pdsp::Main(); }

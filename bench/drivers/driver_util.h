@@ -1,0 +1,40 @@
+// Shared knobs for the figure-reproduction drivers. Setting the environment
+// variable PDSP_BENCH_FAST=1 shrinks durations/repeats for smoke runs; the
+// default settings are the ones EXPERIMENTS.md reports.
+
+#ifndef PDSP_BENCH_DRIVERS_DRIVER_UTIL_H_
+#define PDSP_BENCH_DRIVERS_DRIVER_UTIL_H_
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/harness/harness.h"
+
+namespace pdsp {
+namespace bench {
+
+inline bool FastMode() {
+  const char* v = std::getenv("PDSP_BENCH_FAST");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+/// Protocol for figure cells: paper-style mean of repeated medians; fast
+/// mode cuts to one short run.
+inline RunProtocol FigureProtocol() {
+  RunProtocol p;
+  if (FastMode()) {
+    p.repeats = 1;
+    p.duration_s = 1.5;
+    p.warmup_s = 0.4;
+  } else {
+    p.repeats = 2;
+    p.duration_s = 2.5;
+    p.warmup_s = 0.6;
+  }
+  return p;
+}
+
+}  // namespace bench
+}  // namespace pdsp
+
+#endif  // PDSP_BENCH_DRIVERS_DRIVER_UTIL_H_

@@ -1,0 +1,68 @@
+// Figure 3 (bottom): end-to-end latency of real-world applications across
+// parallelism categories XS..XXL on the homogeneous 10-node m510 cluster.
+//
+// Expected shape (paper O1-O4): standard-operator apps (WC, LR) stay
+// consistent; data-intensive UDO apps (SA, SG, SD) improve markedly with
+// parallelism; AD (join + custom sliding aggregation) shows negligible
+// gains; far beyond the core count every app pays coordination overhead.
+
+#include <cstdio>
+
+#include "bench/drivers/driver_util.h"
+#include "src/apps/apps.h"
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+int Main() {
+  const Cluster cluster = Cluster::M510(10);
+  const RunProtocol protocol = bench::FigureProtocol();
+  const double rate = bench::FastMode() ? 50000.0 : 200000.0;
+
+  const std::vector<AppId> apps = {
+      AppId::kWordCount,      AppId::kLinearRoad,
+      AppId::kMachineOutlier, AppId::kSentimentAnalysis,
+      AppId::kSmartGrid,      AppId::kSpikeDetection,
+      AppId::kClickAnalytics, AppId::kAdAnalytics,
+  };
+
+  std::vector<std::string> columns = {"app"};
+  for (const auto& cat : StandardCategories()) {
+    columns.push_back(std::string(cat.name) + "(ms)");
+  }
+  TableReporter table(
+      StrFormat("Fig. 3 (bottom): real-world app latency vs parallelism, "
+                "m510 x10, %.0fk ev/s",
+                rate / 1000.0),
+      columns);
+
+  for (AppId app : apps) {
+    std::vector<std::string> row = {GetAppInfo(app).abbrev};
+    for (const auto& cat : StandardCategories()) {
+      AppOptions opt;
+      opt.event_rate = rate;
+      opt.parallelism = cat.degree;
+      // Windows scaled to fit several firings into the measured horizon
+      // (LR's 5s sliding window would otherwise outlive the run).
+      opt.window_scale = 0.4;
+      auto plan = MakeApp(app, opt);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "app %s: %s\n", GetAppInfo(app).abbrev,
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      auto cell = MeasureCell(*plan, cluster, protocol);
+      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
+                              : "n/a");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  Status st = table.WriteCsv("results/fig3_realworld.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}
+
+}  // namespace pdsp
+
+int main() { return pdsp::Main(); }

@@ -1,0 +1,66 @@
+// Figure 3 (top): end-to-end latency of synthetic parallel query structures
+// — linear, chained filters, multi-way joins — across parallelism categories
+// XS..XXL on the homogeneous 10-node m510 cluster, at a high event rate.
+//
+// Expected shape (paper O1/O2/O4): filter-only structures stay flat across
+// categories; joins saturate at XS (high latency), improve with parallel
+// instances, then degrade again at XL/XXL where shuffle + coordination
+// overhead outweighs the gains.
+
+#include <cstdio>
+
+#include "bench/drivers/driver_util.h"
+#include "src/common/string_util.h"
+#include "src/harness/synthetic_suite.h"
+
+namespace pdsp {
+
+int Main() {
+  const Cluster cluster = Cluster::M510(10);
+  const RunProtocol protocol = bench::FigureProtocol();
+  const double rate = bench::FastMode() ? 50000.0 : 200000.0;
+
+  const std::vector<SyntheticStructure> structures = {
+      SyntheticStructure::kLinear,        SyntheticStructure::kChain2Filters,
+      SyntheticStructure::kChain3Filters, SyntheticStructure::kTwoWayJoin,
+      SyntheticStructure::kThreeWayJoin,
+  };
+
+  std::vector<std::string> columns = {"structure"};
+  for (const auto& cat : StandardCategories()) {
+    columns.push_back(std::string(cat.name) + "(ms)");
+  }
+  TableReporter table(
+      StrFormat("Fig. 3 (top): synthetic PQP latency vs parallelism, "
+                "m510 x10, %.0fk ev/s per source",
+                rate / 1000.0),
+      columns);
+
+  for (SyntheticStructure structure : structures) {
+    std::vector<std::string> row = {SyntheticStructureToString(structure)};
+    for (const auto& cat : StandardCategories()) {
+      CanonicalOptions opt;
+      opt.event_rate = rate;
+      opt.parallelism = cat.degree;
+      auto plan = MakeCanonicalSynthetic(structure, opt);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "plan %s: %s\n",
+                     SyntheticStructureToString(structure),
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      auto cell = MeasureCell(*plan, cluster, protocol);
+      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
+                              : "n/a");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  Status st = table.WriteCsv("results/fig3_synthetic.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}
+
+}  // namespace pdsp
+
+int main() { return pdsp::Main(); }

@@ -1,0 +1,75 @@
+// Figure 4 (top): real-world application latency across the three Table 4
+// clusters, with the parallelism degree set to the per-node core count of
+// each cluster (m510 -> 8, c6525_25g -> 16, c6320 -> 28), as the paper does.
+//
+// Expected shape (paper O5/O7): data-intensive apps (SA, CA, SD, SG) benefit
+// substantially from the more powerful "He" clusters; AD's UDO complexity
+// and cross-instance communication blunt the gain.
+
+#include <cstdio>
+
+#include "bench/drivers/driver_util.h"
+#include "src/apps/apps.h"
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+int Main() {
+  const RunProtocol protocol = bench::FigureProtocol();
+  const double rate = bench::FastMode() ? 80000.0 : 400000.0;
+
+  struct ClusterConfig {
+    const char* label;
+    Cluster cluster;
+    int degree;  // per-node cores
+  };
+  const std::vector<ClusterConfig> clusters = {
+      {"Ho:m510(8)", Cluster::M510(10), 8},
+      {"He:c6525(16)", Cluster::C6525(10), 16},
+      {"He:c6320(28)", Cluster::C6320(10), 28},
+  };
+
+  const std::vector<AppId> apps = {
+      AppId::kWordCount,        AppId::kSentimentAnalysis,
+      AppId::kClickAnalytics,   AppId::kSpikeDetection,
+      AppId::kSmartGrid,        AppId::kAdAnalytics,
+  };
+
+  std::vector<std::string> columns = {"app"};
+  for (const auto& c : clusters) {
+    columns.push_back(std::string(c.label) + "(ms)");
+  }
+  TableReporter table(
+      StrFormat("Fig. 4 (top): real-world apps across clusters "
+                "(parallelism = per-node cores), %.0fk ev/s",
+                rate / 1000.0),
+      columns);
+
+  for (AppId app : apps) {
+    std::vector<std::string> row = {GetAppInfo(app).abbrev};
+    for (const auto& config : clusters) {
+      AppOptions opt;
+      opt.event_rate = rate;
+      opt.parallelism = config.degree;
+      opt.window_scale = 0.4;
+      auto plan = MakeApp(app, opt);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "app %s: %s\n", GetAppInfo(app).abbrev,
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      auto cell = MeasureCell(*plan, config.cluster, protocol);
+      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
+                              : "n/a");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  Status st = table.WriteCsv("results/fig4_realworld.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}
+
+}  // namespace pdsp
+
+int main() { return pdsp::Main(); }

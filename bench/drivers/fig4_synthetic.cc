@@ -1,0 +1,78 @@
+// Figure 4 (bottom): mean end-to-end latency of the synthetic PQP suite per
+// parallelism category, for the three Table 4 cluster types.
+//
+// Expected shape (paper O6/O7): no single balancing point of parallelism
+// holds across clusters; synthetic (standard-operator) plans tend to do as
+// well or better on the homogeneous cluster at moderate parallelism, while
+// the larger "He" clusters tolerate higher categories before degrading.
+
+#include <cstdio>
+
+#include "bench/drivers/driver_util.h"
+#include "src/common/stats.h"
+#include "src/common/string_util.h"
+#include "src/harness/synthetic_suite.h"
+
+namespace pdsp {
+
+int Main() {
+  const RunProtocol protocol = bench::FigureProtocol();
+  const double rate = bench::FastMode() ? 50000.0 : 200000.0;
+
+  struct ClusterConfig {
+    const char* label;
+    Cluster cluster;
+  };
+  const std::vector<ClusterConfig> clusters = {
+      {"Ho:m510", Cluster::M510(10)},
+      {"He:c6525", Cluster::C6525(10)},
+      {"He:c6320", Cluster::C6320(10)},
+  };
+  const std::vector<SyntheticStructure> structures = {
+      SyntheticStructure::kLinear,
+      SyntheticStructure::kChain2Filters,
+      SyntheticStructure::kTwoWayJoin,
+      SyntheticStructure::kThreeWayJoin,
+  };
+
+  std::vector<std::string> columns = {"category"};
+  for (const auto& c : clusters) {
+    columns.push_back(std::string(c.label) + "(ms)");
+  }
+  TableReporter table(
+      StrFormat("Fig. 4 (bottom): mean synthetic PQP latency per "
+                "parallelism category x cluster, %.0fk ev/s per source",
+                rate / 1000.0),
+      columns);
+
+  for (const auto& cat : StandardCategories()) {
+    std::vector<std::string> row = {cat.name};
+    for (const auto& config : clusters) {
+      std::vector<double> latencies;
+      for (SyntheticStructure structure : structures) {
+        CanonicalOptions opt;
+        opt.event_rate = rate;
+        opt.parallelism = cat.degree;
+        auto plan = MakeCanonicalSynthetic(structure, opt);
+        if (!plan.ok()) {
+          std::fprintf(stderr, "plan: %s\n",
+                       plan.status().ToString().c_str());
+          return 1;
+        }
+        auto cell = MeasureCell(*plan, config.cluster, protocol);
+        if (cell.ok()) latencies.push_back(cell->mean_median_latency_s);
+      }
+      row.push_back(latencies.empty() ? "n/a"
+                                      : LatencyCell(Mean(latencies)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  Status st = table.WriteCsv("results/fig4_synthetic.csv");
+  if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+  return 0;
+}
+
+}  // namespace pdsp
+
+int main() { return pdsp::Main(); }

@@ -1,0 +1,47 @@
+// Table 4: the modelled CloudLab hardware — node specifications and the
+// 10-node cluster presets used across the experiments.
+
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+#include "src/common/string_util.h"
+#include "src/harness/harness.h"
+
+namespace pdsp {
+
+int Main() {
+  TableReporter table("Table 4: hardware configuration (CloudLab models)",
+                      {"cluster", "node", "nodes", "cores/node", "RAM(GB)",
+                       "storage(GB)", "processor", "GHz", "NIC(Gbps)",
+                       "speed"});
+  struct Row {
+    const char* kind;
+    Cluster cluster;
+  };
+  const std::vector<Row> rows = {
+      {"Ho", Cluster::M510(10)},
+      {"He", Cluster::C6525(10)},
+      {"He", Cluster::C6320(10)},
+  };
+  for (const Row& row : rows) {
+    const NodeSpec& spec = row.cluster.node(0).spec;
+    table.AddRow({row.kind, spec.model,
+                  StrFormat("%zu", row.cluster.NumNodes()),
+                  StrFormat("%d", spec.cores),
+                  StrFormat("%.0f", spec.memory_gb),
+                  StrFormat("%.0f", spec.storage_gb), spec.cpu,
+                  StrFormat("%.1f", spec.clock_ghz),
+                  StrFormat("%.0f", spec.nic_gbps),
+                  StrFormat("%.2f%s", row.cluster.MeanSpeed(),
+                            row.cluster.IsHeterogeneous() ? " (jittered)"
+                                                          : "")});
+  }
+  table.Print();
+  std::printf("%s", Cluster::Mixed(10).ToString().c_str());
+  (void)table.WriteCsv("results/table4_hardware.csv");
+  return 0;
+}
+
+}  // namespace pdsp
+
+int main() { return pdsp::Main(); }

@@ -1,0 +1,83 @@
+// Microbenchmarks for the learned cost models: single-plan inference cost
+// per model family and one Adam training step, plus the feature encoders.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/ml/features.h"
+#include "src/ml/models.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+Dataset TinyDataset(size_t n) {
+  Rng rng(3);
+  auto plan = testing::TwoWayJoinPlan(5000.0, 4);
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    auto sample = EncodeSample(*plan, Cluster::M510(10),
+                               0.05 + rng.Uniform(0.0, 1.0),
+                               static_cast<int>(i % 3));
+    data.samples.push_back(std::move(*sample));
+  }
+  return data;
+}
+
+void BM_EncodeFlat(benchmark::State& state) {
+  auto plan = testing::TwoWayJoinPlan(5000.0, 4);
+  const Cluster cluster = Cluster::M510(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeFlat(*plan, cluster));
+  }
+}
+BENCHMARK(BM_EncodeFlat);
+
+void BM_EncodeGraph(benchmark::State& state) {
+  auto plan = testing::TwoWayJoinPlan(5000.0, 4);
+  const Cluster cluster = Cluster::M510(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeGraph(*plan, cluster));
+  }
+}
+BENCHMARK(BM_EncodeGraph);
+
+template <typename ModelT>
+void BM_Predict(benchmark::State& state) {
+  Dataset data = TinyDataset(64);
+  ModelT model;
+  TrainOptions opt;
+  opt.max_epochs = 5;
+  Dataset val;
+  val.samples.assign(data.samples.begin(), data.samples.begin() + 8);
+  if (!model.Fit(data, val, opt).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictLatency(data.samples[0]));
+  }
+}
+BENCHMARK(BM_Predict<LinearRegressionModel>);
+BENCHMARK(BM_Predict<MlpModel>);
+BENCHMARK(BM_Predict<RandomForestModel>);
+BENCHMARK(BM_Predict<GnnModel>);
+
+template <typename ModelT>
+void BM_FitEpoch(benchmark::State& state) {
+  Dataset data = TinyDataset(64);
+  Dataset val;
+  val.samples.assign(data.samples.begin(), data.samples.begin() + 8);
+  for (auto _ : state) {
+    ModelT model;
+    TrainOptions opt;
+    opt.max_epochs = 1;
+    benchmark::DoNotOptimize(model.Fit(data, val, opt));
+  }
+}
+BENCHMARK(BM_FitEpoch<MlpModel>);
+BENCHMARK(BM_FitEpoch<GnnModel>);
+
+}  // namespace
+}  // namespace pdsp

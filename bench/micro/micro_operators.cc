@@ -1,0 +1,117 @@
+// Microbenchmarks for the operator runtime: per-tuple costs of filters,
+// window aggregation, joins and representative UDOs. These measure the real
+// compute the simulator's cost model abstracts, and document the relative
+// expense of operator families (filters cheapest, joins and map-matching
+// UDOs heaviest).
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/apps.h"
+#include "src/runtime/operators.h"
+#include "src/runtime/udo.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+StreamElement KeyValueElement(Rng* rng, double t) {
+  StreamElement e;
+  e.tuple.values = {Value(rng->UniformInt(1, 100)),
+                    Value(rng->Uniform(0.0, 100.0))};
+  e.tuple.event_time = t;
+  e.birth = t;
+  return e;
+}
+
+void BM_FilterProcess(benchmark::State& state) {
+  auto plan = testing::LinearPlan();
+  auto inst =
+      CreateOperatorInstance(*plan, *plan->FindOperator("filter"), 0, 1);
+  Rng rng(1);
+  std::vector<StreamElement> out;
+  double t = 0.0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        (*inst)->Process(KeyValueElement(&rng, t), 0, t, &out));
+    t += 1e-5;
+  }
+}
+BENCHMARK(BM_FilterProcess);
+
+void BM_WindowAggProcess(benchmark::State& state) {
+  auto plan = testing::LinearPlan();
+  auto inst = CreateOperatorInstance(*plan, *plan->FindOperator("agg"), 0, 1);
+  Rng rng(1);
+  std::vector<StreamElement> out;
+  double t = 0.0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        (*inst)->Process(KeyValueElement(&rng, t), 0, t, &out));
+    (*inst)->OnTimer(t, &out);
+    t += 1e-5;
+  }
+}
+BENCHMARK(BM_WindowAggProcess);
+
+void BM_WindowJoinProcess(benchmark::State& state) {
+  auto plan = testing::TwoWayJoinPlan();
+  auto inst =
+      CreateOperatorInstance(*plan, *plan->FindOperator("join"), 0, 1);
+  Rng rng(1);
+  std::vector<StreamElement> out;
+  double t = 0.0;
+  int port = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        (*inst)->Process(KeyValueElement(&rng, t), port, t, &out));
+    port ^= 1;
+    t += 1e-5;
+  }
+}
+BENCHMARK(BM_WindowJoinProcess);
+
+void BM_UdoSentimentScore(benchmark::State& state) {
+  RegisterAppUdos();
+  AppOptions opt;
+  auto plan = MakeApp(AppId::kSentimentAnalysis, opt);
+  auto inst =
+      CreateOperatorInstance(*plan, *plan->FindOperator("sentiment"), 0, 1);
+  StreamElement e;
+  e.tuple.values = {Value(1),
+                    Value("ba ce di fo gu ha ba ce di fo gu ha ba ce")};
+  std::vector<StreamElement> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize((*inst)->Process(e, 0, 0.0, &out));
+  }
+}
+BENCHMARK(BM_UdoSentimentScore);
+
+void BM_UdoMapMatch(benchmark::State& state) {
+  RegisterAppUdos();
+  AppOptions opt;
+  auto plan = MakeApp(AppId::kTrafficMonitoring, opt);
+  auto inst =
+      CreateOperatorInstance(*plan, *plan->FindOperator("map_match"), 0, 1);
+  StreamElement e;
+  e.tuple.values = {Value(1), Value(48.51), Value(8.52), Value(88.0)};
+  std::vector<StreamElement> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize((*inst)->Process(e, 0, 0.0, &out));
+  }
+}
+BENCHMARK(BM_UdoMapMatch);
+
+void BM_ValueHash(benchmark::State& state) {
+  Rng rng(1);
+  Value v(rng.UniformInt(0, 1 << 30));
+  for (auto _ : state) benchmark::DoNotOptimize(v.Hash());
+}
+BENCHMARK(BM_ValueHash);
+
+}  // namespace
+}  // namespace pdsp

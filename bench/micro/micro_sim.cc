@@ -1,0 +1,55 @@
+// Microbenchmarks for the discrete-event simulator itself: virtual-seconds
+// simulated per wall-second across plan shapes and parallelism, which bounds
+// how large an experiment sweep the harness can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "src/sim/simulation.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+void RunSim(benchmark::State& state, const LogicalPlan& plan, double rate) {
+  (void)rate;
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    ExecutionOptions opt;
+    opt.sim.duration_s = 1.0;
+    opt.sim.warmup_s = 0.25;
+    opt.sim.seed = 42;
+    auto r = ExecutePlan(plan, Cluster::M510(10), opt);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    tuples += r->source_tuples;
+  }
+  state.counters["src_tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+
+void BM_SimLinearPlan(benchmark::State& state) {
+  const auto parallelism = static_cast<int>(state.range(0));
+  auto plan = testing::LinearPlan(20000.0, parallelism);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  RunSim(state, *plan, 20000.0);
+}
+BENCHMARK(BM_SimLinearPlan)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_SimJoinPlan(benchmark::State& state) {
+  const auto parallelism = static_cast<int>(state.range(0));
+  auto plan = testing::TwoWayJoinPlan(5000.0, parallelism);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  RunSim(state, *plan, 5000.0);
+}
+BENCHMARK(BM_SimJoinPlan)->Arg(1)->Arg(8);
+
+}  // namespace
+}  // namespace pdsp

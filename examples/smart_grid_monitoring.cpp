@@ -1,0 +1,58 @@
+// Smart-grid monitoring (the DEBS'14-style SG application): sweep the
+// parallelism degree of the outlier-detection pipeline at a high plug event
+// rate and locate the sweet spot — the paper's Exp. 1 workflow for a single
+// application.
+//
+//   ./build/examples/smart_grid_monitoring
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+#include "src/harness/harness.h"
+
+using namespace pdsp;  // NOLINT — example brevity
+
+int main() {
+  const Cluster cluster = Cluster::M510(10);
+  RunProtocol protocol;
+  protocol.repeats = 2;
+  protocol.duration_s = 3.0;
+  protocol.warmup_s = 0.75;
+
+  std::printf("Smart Grid (SG): %s\n\n",
+              GetAppInfo(AppId::kSmartGrid).description);
+
+  double best_latency = 1e300;
+  int best_degree = 1;
+  std::printf("%-12s %-14s %-14s\n", "parallelism", "p50 latency", "results/s");
+  for (int degree : {1, 2, 4, 8, 16, 32, 64}) {
+    AppOptions options;
+    options.event_rate = 200000.0;  // smart plugs report aggressively
+    options.parallelism = degree;
+    options.window_scale = 0.5;
+    auto plan = MakeApp(AppId::kSmartGrid, options);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    auto cell = MeasureCell(*plan, cluster, protocol);
+    if (!cell.ok()) {
+      std::printf("%-12d (no results: %s)\n", degree,
+                  cell.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-12d %-14s %-14s\n", degree,
+                (LatencyCell(cell->mean_median_latency_s) + " ms").c_str(),
+                ThroughputCell(cell->mean_throughput_tps).c_str());
+    if (cell->mean_median_latency_s < best_latency) {
+      best_latency = cell->mean_median_latency_s;
+      best_degree = degree;
+    }
+  }
+  std::printf("\nbest degree for this rate and cluster: %d (%.1f ms)\n",
+              best_degree, best_latency * 1e3);
+  std::printf("note the non-linearity: past the sweet spot, shuffle and\n"
+              "coordination overhead outweigh the added instances (paper "
+              "O2/O4).\n");
+  return 0;
+}

@@ -1,0 +1,473 @@
+// Plan factories for the fourteen real-world applications. Each factory
+// assembles a domain-faithful stream schema + generator and the dataflow the
+// application is known for (DSPBench / Linear Road / DEBS'14 shapes).
+
+#include <utility>
+
+#include "src/apps/apps.h"
+#include "src/query/builder.h"
+
+namespace pdsp {
+
+namespace {
+
+ArrivalProcess::Options Poisson(double rate) {
+  ArrivalProcess::Options a;
+  a.kind = ArrivalKind::kPoisson;
+  a.rate = rate;
+  return a;
+}
+
+WindowSpec TumblingMs(double ms, double scale) {
+  WindowSpec w;
+  w.type = WindowType::kTumbling;
+  w.policy = WindowPolicy::kTime;
+  w.duration_ms = ms * scale;
+  return w;
+}
+
+WindowSpec SlidingMs(double ms, double slide_ratio, double scale) {
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.policy = WindowPolicy::kTime;
+  w.duration_ms = ms * scale;
+  w.slide_ratio = slide_ratio;
+  return w;
+}
+
+FieldGeneratorSpec ZipfKey(int64_t cardinality, double s) {
+  FieldGeneratorSpec g;
+  g.dist = FieldDistribution::kZipfKey;
+  g.cardinality = cardinality;
+  g.zipf_s = s;
+  return g;
+}
+
+FieldGeneratorSpec UniformKey(int64_t cardinality) {
+  FieldGeneratorSpec g;
+  g.dist = FieldDistribution::kUniformKey;
+  g.cardinality = cardinality;
+  return g;
+}
+
+FieldGeneratorSpec UniformInt(double lo, double hi) {
+  FieldGeneratorSpec g;
+  g.dist = FieldDistribution::kUniformInt;
+  g.min = lo;
+  g.max = hi;
+  return g;
+}
+
+FieldGeneratorSpec UniformDouble(double lo, double hi) {
+  FieldGeneratorSpec g;
+  g.dist = FieldDistribution::kUniformDouble;
+  g.min = lo;
+  g.max = hi;
+  return g;
+}
+
+FieldGeneratorSpec NormalDouble(double lo, double hi) {
+  FieldGeneratorSpec g;
+  g.dist = FieldDistribution::kNormalDouble;
+  g.min = lo;
+  g.max = hi;
+  return g;
+}
+
+FieldGeneratorSpec Sentence(int min_words, int max_words, int64_t vocab,
+                            double s) {
+  FieldGeneratorSpec g;
+  g.dist = FieldDistribution::kSentence;
+  g.min = min_words;
+  g.max = max_words;
+  g.cardinality = vocab;
+  g.zipf_s = s;
+  return g;
+}
+
+StreamSpec MakeStream(std::vector<std::pair<Field, FieldGeneratorSpec>>
+                          fields) {
+  StreamSpec spec;
+  for (auto& [field, gen] : fields) {
+    (void)spec.schema.AddField(field);
+    spec.specs.push_back(gen);
+  }
+  return spec;
+}
+
+Result<LogicalPlan> Finish(PlanBuilder* b) { return b->Build(); }
+
+// --- individual applications ---
+
+Result<LogicalPlan> MakeWordCount(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "sentences",
+      MakeStream({{{"text", DataType::kString},
+                   Sentence(6, 12, 20000, 1.05)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto tok = b.UdoWithSchema(
+      "tokenize", src, "tokenize_words",
+      {{"word", DataType::kString}, {"one", DataType::kInt}},
+      /*cost=*/1.5, /*selectivity=*/9.0, /*stateful=*/false, o.parallelism);
+  auto counts =
+      b.WindowAggregate("word_counts", tok, TumblingMs(1000, o.window_scale),
+                        AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                        o.parallelism);
+  b.Sink("sink", counts);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeMachineOutlier(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "metrics",
+      MakeStream({{{"machine", DataType::kInt}, UniformKey(1000)},
+                  {{"cpu", DataType::kDouble}, NormalDouble(0, 100)},
+                  {{"mem", DataType::kDouble}, NormalDouble(0, 100)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto score = b.UdoWithSchema(
+      "outlier_score", src, "mo_score",
+      {{"machine", DataType::kInt}, {"score", DataType::kDouble}},
+      /*cost=*/2.0, /*selectivity=*/1.0, /*stateful=*/true, o.parallelism);
+  auto alerts = b.Filter("alerts", score, 1, FilterOp::kGt, Value(3.5),
+                         o.parallelism);
+  b.WithSelectivityHint(alerts, 0.05);
+  auto agg = b.WindowAggregate("alert_rate", alerts,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kAvg, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeLinearRoad(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "position_reports",
+      MakeStream({{{"type", DataType::kInt}, UniformInt(0, 4)},
+                  {{"vehicle", DataType::kInt}, UniformKey(100000)},
+                  {{"speed", DataType::kDouble}, NormalDouble(0, 100)},
+                  {{"segment", DataType::kInt}, ZipfKey(200, 0.6)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto pos = b.Filter("position_only", src, 0, FilterOp::kEq, Value(0),
+                      o.parallelism);
+  b.WithSelectivityHint(pos, 0.2);
+  auto speed = b.WindowAggregate(
+      "segment_speed", pos, SlidingMs(5000, 0.2, o.window_scale),
+      AggregateFn::kAvg, /*agg=*/2, /*key=*/3, o.parallelism);
+  auto toll = b.UdoWithSchema(
+      "toll", speed, "lr_toll",
+      {{"segment", DataType::kInt}, {"toll", DataType::kDouble}},
+      /*cost=*/1.5, /*selectivity=*/0.45, /*stateful=*/false, o.parallelism);
+  b.Sink("sink", toll);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeSentimentAnalysis(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "tweets",
+      MakeStream({{{"user", DataType::kInt}, UniformKey(500000)},
+                  {{"text", DataType::kString},
+                   Sentence(8, 20, 50000, 1.0)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto score = b.UdoWithSchema(
+      "sentiment", src, "sa_score",
+      {{"shard", DataType::kInt},
+       {"score", DataType::kDouble},
+       {"polarity", DataType::kInt}},
+      /*cost=*/3.0, /*selectivity=*/1.0, /*stateful=*/false, o.parallelism);
+  auto agg = b.WindowAggregate("sentiment_volume", score,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeSmartGrid(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "plugs",
+      MakeStream({{{"house", DataType::kInt}, UniformKey(40)},
+                  {{"plug", DataType::kInt}, UniformKey(120)},
+                  {{"load", DataType::kDouble}, NormalDouble(0, 400)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto outlier = b.UdoWithSchema(
+      "load_outlier", src, "sg_outlier",
+      {{"house", DataType::kInt},
+       {"load", DataType::kDouble},
+       {"ratio", DataType::kDouble}},
+      /*cost=*/2.5, /*selectivity=*/0.15, /*stateful=*/true, o.parallelism);
+  auto agg = b.WindowAggregate("house_load", outlier,
+                               SlidingMs(2000, 0.5, o.window_scale),
+                               AggregateFn::kAvg, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeSpikeDetection(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "sensors",
+      MakeStream({{{"sensor", DataType::kInt}, UniformKey(500)},
+                  {{"value", DataType::kDouble}, NormalDouble(0, 100)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto spikes = b.UdoWithSchema(
+      "spike_detect", src, "sd_spike",
+      {{"sensor", DataType::kInt},
+       {"value", DataType::kDouble},
+       {"avg", DataType::kDouble}},
+      /*cost=*/2.0, /*selectivity=*/0.1, /*stateful=*/true, o.parallelism);
+  auto agg = b.WindowAggregate("spike_counts", spikes,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeAdAnalytics(const AppOptions& o) {
+  // Ad ids scale with the event rate so the join expansion stays O(1).
+  const auto ads = static_cast<int64_t>(
+      std::max(1000.0, o.event_rate * 0.5));
+  PlanBuilder b;
+  auto impressions = b.Source(
+      "impressions",
+      MakeStream({{{"ad", DataType::kInt}, ZipfKey(ads, 0.4)},
+                  {{"campaign", DataType::kInt}, UniformKey(100)},
+                  {{"bid", DataType::kDouble}, UniformDouble(0.01, 2.0)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto clicks = b.Source(
+      "clicks",
+      MakeStream({{{"ad", DataType::kInt}, ZipfKey(ads, 0.4)},
+                  {{"user", DataType::kInt}, UniformKey(100000)}}),
+      Poisson(std::max(1.0, o.event_rate * 0.1)), o.parallelism);
+  auto joined = b.WindowJoin("imp_click_join", impressions, clicks,
+                             /*left_key=*/0, /*right_key=*/0,
+                             SlidingMs(2000, 0.6, o.window_scale),
+                             o.parallelism);
+  auto ctr = b.UdoWithSchema(
+      "ctr", joined, "ad_ctr",
+      {{"campaign", DataType::kInt}, {"weight", DataType::kDouble}},
+      /*cost=*/3.5, /*selectivity=*/1.0, /*stateful=*/true, o.parallelism);
+  auto agg = b.WindowAggregate("campaign_ctr", ctr,
+                               SlidingMs(2000, 0.5, o.window_scale),
+                               AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeClickAnalytics(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "clicks",
+      MakeStream({{{"user", DataType::kInt}, UniformKey(100000)},
+                  {{"url", DataType::kString},
+                   [] {
+                     FieldGeneratorSpec g;
+                     g.dist = FieldDistribution::kWordString;
+                     g.cardinality = 10000;
+                     g.zipf_s = 1.0;
+                     return g;
+                   }()}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto dedup = b.UdoWithSchema(
+      "dedup", src, "ca_dedup",
+      {{"url", DataType::kString}, {"one", DataType::kInt}},
+      /*cost=*/1.5, /*selectivity=*/0.7, /*stateful=*/true, o.parallelism);
+  auto agg = b.WindowAggregate("url_visits", dedup,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeTrafficMonitoring(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "gps",
+      MakeStream({{{"vehicle", DataType::kInt}, UniformKey(50000)},
+                  {{"lat", DataType::kDouble}, UniformDouble(48.0, 49.0)},
+                  {{"lon", DataType::kDouble}, UniformDouble(8.0, 9.0)},
+                  {{"speed", DataType::kDouble}, NormalDouble(0, 130)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto matched = b.UdoWithSchema(
+      "map_match", src, "tm_map_match",
+      {{"road", DataType::kInt}, {"speed", DataType::kDouble}},
+      /*cost=*/4.0, /*selectivity=*/1.0, /*stateful=*/false, o.parallelism);
+  auto agg = b.WindowAggregate("road_speed", matched,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kAvg, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeLogProcessing(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "logs",
+      MakeStream({{{"line", DataType::kString},
+                   Sentence(6, 10, 5000, 0.9)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto parsed = b.UdoWithSchema(
+      "parse", src, "lp_parse",
+      {{"status", DataType::kInt}, {"bytes", DataType::kDouble}},
+      /*cost=*/2.0, /*selectivity=*/1.0, /*stateful=*/false, o.parallelism);
+  auto errors = b.Filter("errors", parsed, 0, FilterOp::kGe, Value(400),
+                         o.parallelism);
+  b.WithSelectivityHint(errors, 0.2);
+  auto agg = b.WindowAggregate("error_counts", errors,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeTrendingTopics(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "tweets",
+      MakeStream({{{"text", DataType::kString},
+                   Sentence(8, 20, 50000, 1.0)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto topics = b.UdoWithSchema(
+      "extract", src, "tt_extract",
+      {{"topic", DataType::kString}, {"one", DataType::kInt}},
+      /*cost=*/2.0, /*selectivity=*/1.6, /*stateful=*/false, o.parallelism);
+  auto counts = b.WindowAggregate("topic_counts", topics,
+                                  SlidingMs(4000, 0.25, o.window_scale),
+                                  AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                                  o.parallelism);
+  auto ranked = b.Udo("rank", counts, "tt_rank", /*cost=*/2.0,
+                      /*selectivity=*/0.2, /*stateful=*/true, o.parallelism);
+  b.Sink("sink", ranked);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeFraudDetection(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "transactions",
+      MakeStream({{{"account", DataType::kInt}, UniformKey(50000)},
+                  {{"amount", DataType::kDouble}, UniformDouble(1, 5000)},
+                  {{"location", DataType::kInt}, UniformInt(0, 49)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto flagged = b.UdoWithSchema(
+      "fraud_score", src, "fd_score",
+      {{"account", DataType::kInt},
+       {"amount", DataType::kDouble},
+       {"prob", DataType::kDouble}},
+      /*cost=*/2.5, /*selectivity=*/0.15, /*stateful=*/true, o.parallelism);
+  auto agg = b.WindowAggregate("fraud_volume", flagged,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeBargainIndex(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "quotes",
+      MakeStream({{{"symbol", DataType::kInt}, ZipfKey(500, 1.0)},
+                  {{"price", DataType::kDouble}, NormalDouble(10, 500)},
+                  {{"volume", DataType::kDouble}, UniformDouble(1, 1000)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto indexed = b.UdoWithSchema(
+      "vwap", src, "bi_vwap",
+      {{"symbol", DataType::kInt},
+       {"price", DataType::kDouble},
+       {"index", DataType::kDouble}},
+      /*cost=*/2.0, /*selectivity=*/1.0, /*stateful=*/true, o.parallelism);
+  auto bargains = b.Filter("bargains", indexed, 2, FilterOp::kGt,
+                           Value(0.002), o.parallelism);
+  b.WithSelectivityHint(bargains, 0.35);
+  auto agg = b.WindowAggregate("best_bargains", bargains,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kMax, /*agg=*/2, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+Result<LogicalPlan> MakeTpcH(const AppOptions& o) {
+  PlanBuilder b;
+  auto src = b.Source(
+      "lineitem",
+      MakeStream({{{"returnflag", DataType::kInt}, UniformInt(0, 2)},
+                  {{"quantity", DataType::kDouble}, UniformDouble(1, 50)},
+                  {{"extendedprice", DataType::kDouble},
+                   UniformDouble(100, 100000)},
+                  {{"discount", DataType::kDouble}, UniformDouble(0.0, 0.1)},
+                  {{"shipdays", DataType::kInt}, UniformInt(0, 120)}}),
+      Poisson(o.event_rate), o.parallelism);
+  auto shipped = b.Filter("shipped", src, 4, FilterOp::kLe, Value(90),
+                          o.parallelism);
+  auto priced = b.UdoWithSchema(
+      "disc_price", shipped, "tpch_disc_price",
+      {{"returnflag", DataType::kInt},
+       {"disc_price", DataType::kDouble}},
+      /*cost=*/1.2, /*selectivity=*/1.0, /*stateful=*/false, o.parallelism);
+  auto agg = b.WindowAggregate("pricing_summary", priced,
+                               TumblingMs(1000, o.window_scale),
+                               AggregateFn::kSum, /*agg=*/1, /*key=*/0,
+                               o.parallelism);
+  b.Sink("sink", agg);
+  return Finish(&b);
+}
+
+}  // namespace
+
+Result<LogicalPlan> MakeApp(AppId id, const AppOptions& options) {
+  RegisterAppUdos();
+  if (options.event_rate <= 0.0) {
+    return Status::InvalidArgument("event_rate must be positive");
+  }
+  if (options.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (options.window_scale <= 0.0) {
+    return Status::InvalidArgument("window_scale must be positive");
+  }
+  switch (id) {
+    case AppId::kWordCount:
+      return MakeWordCount(options);
+    case AppId::kMachineOutlier:
+      return MakeMachineOutlier(options);
+    case AppId::kLinearRoad:
+      return MakeLinearRoad(options);
+    case AppId::kSentimentAnalysis:
+      return MakeSentimentAnalysis(options);
+    case AppId::kSmartGrid:
+      return MakeSmartGrid(options);
+    case AppId::kSpikeDetection:
+      return MakeSpikeDetection(options);
+    case AppId::kAdAnalytics:
+      return MakeAdAnalytics(options);
+    case AppId::kClickAnalytics:
+      return MakeClickAnalytics(options);
+    case AppId::kTrafficMonitoring:
+      return MakeTrafficMonitoring(options);
+    case AppId::kLogProcessing:
+      return MakeLogProcessing(options);
+    case AppId::kTrendingTopics:
+      return MakeTrendingTopics(options);
+    case AppId::kFraudDetection:
+      return MakeFraudDetection(options);
+    case AppId::kBargainIndex:
+      return MakeBargainIndex(options);
+    case AppId::kTpcH:
+      return MakeTpcH(options);
+  }
+  return Status::InvalidArgument("unknown application");
+}
+
+}  // namespace pdsp

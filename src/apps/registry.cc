@@ -1,0 +1,57 @@
+#include "src/apps/apps.h"
+
+namespace pdsp {
+
+const std::vector<AppInfo>& AllApps() {
+  static const std::vector<AppInfo> kApps = {
+      {AppId::kWordCount, "WC", "Word Count", "Text analytics",
+       "Tokenize sentences and count words per window", true, false},
+      {AppId::kMachineOutlier, "MO", "Machine Outlier",
+       "Datacenter monitoring",
+       "Per-machine z-score anomaly detection over resource metrics", true,
+       false},
+      {AppId::kLinearRoad, "LR", "Linear Road", "Road tolling",
+       "Per-segment average speed windows and congestion tolls", true,
+       false},
+      {AppId::kSentimentAnalysis, "SA", "Sentiment Analysis", "Social media",
+       "Lexicon-based tweet polarity scoring and per-class counts", true,
+       true},
+      {AppId::kSmartGrid, "SG", "Smart Grid", "Energy (DEBS'14)",
+       "Smart-plug load outliers against per-house baselines", true, true},
+      {AppId::kSpikeDetection, "SD", "Spike Detection", "IoT sensors",
+       "Moving-average spike detection per sensor", true, true},
+      {AppId::kAdAnalytics, "AD", "Ad Analytics", "Advertising",
+       "Impression x click join with custom sliding CTR aggregation", true,
+       true},
+      {AppId::kClickAnalytics, "CA", "Click Analytics", "Web analytics",
+       "Clickstream dedup and per-URL visit statistics", true, true},
+      {AppId::kTrafficMonitoring, "TM", "Traffic Monitoring",
+       "Transportation",
+       "GPS map matching and per-road speed aggregation", true, true},
+      {AppId::kLogProcessing, "LP", "Log Processing", "Web infrastructure",
+       "Log parsing, error filtering and per-status counts", true, false},
+      {AppId::kTrendingTopics, "TT", "Trending Topics", "Social media",
+       "Hashtag extraction, windowed counts and top-k ranking", true, false},
+      {AppId::kFraudDetection, "FD", "Fraud Detection", "Finance",
+       "Per-account Markov-chain transaction anomaly flags", true, true},
+      {AppId::kBargainIndex, "BI", "Bargain Index", "Finance",
+       "Quote-stream VWAP tracking and bargain scoring", true, false},
+      {AppId::kTpcH, "TPCH", "TPC-H Streaming Q1", "E-commerce",
+       "Streaming pricing summary over a lineitem feed", true, false},
+  };
+  return kApps;
+}
+
+const AppInfo& GetAppInfo(AppId id) {
+  return AllApps().at(static_cast<size_t>(id));
+}
+
+Result<AppId> FindAppByAbbrev(const std::string& abbrev) {
+  for (const AppInfo& info : AllApps()) {
+    if (abbrev == info.abbrev) return info.id;
+  }
+  return Status::NotFound("no application with abbreviation '" + abbrev +
+                          "'");
+}
+
+}  // namespace pdsp

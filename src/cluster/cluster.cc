@@ -1,0 +1,155 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+NodeSpec M510Spec() {
+  NodeSpec s;
+  s.model = "m510";
+  s.cpu = "Intel Xeon D-1548";
+  s.cores = 8;
+  s.clock_ghz = 2.0;
+  s.speed_factor = 1.0;
+  s.memory_gb = 64.0;
+  s.storage_gb = 256.0;
+  s.nic_gbps = 10.0;
+  return s;
+}
+
+NodeSpec C6525Spec() {
+  NodeSpec s;
+  s.model = "c6525_25g";
+  s.cpu = "AMD EPYC 7302P";
+  s.cores = 16;
+  s.clock_ghz = 2.2;
+  // Zen2 IPC over Xeon D plus clock advantage.
+  s.speed_factor = 1.45;
+  s.memory_gb = 128.0;
+  s.storage_gb = 480.0;
+  s.nic_gbps = 25.0;
+  return s;
+}
+
+NodeSpec C6320Spec() {
+  NodeSpec s;
+  s.model = "c6320";
+  s.cpu = "Intel Xeon E5-2660 v3 (Haswell)";
+  s.cores = 28;
+  s.clock_ghz = 2.0;
+  // Older core, similar clock: slightly above the D-1548 per core.
+  s.speed_factor = 1.1;
+  s.memory_gb = 256.0;
+  s.storage_gb = 1024.0;
+  s.nic_gbps = 10.0;
+  return s;
+}
+
+void Cluster::AddNodes(const NodeSpec& spec, int count) {
+  // Deterministic per-node speed jitter; reseeded from (seed, node id) so a
+  // cluster's hardware is stable across runs.
+  for (int i = 0; i < count; ++i) {
+    Node n;
+    n.id = static_cast<int>(nodes_.size());
+    n.spec = spec;
+    double jitter = 1.0;
+    if (options_.speed_jitter > 0.0) {
+      Rng rng(options_.jitter_seed * 1000003ULL +
+              static_cast<uint64_t>(n.id) * 7919ULL);
+      jitter = std::clamp(rng.Normal(1.0, options_.speed_jitter), 0.6, 1.4);
+    }
+    n.effective_speed = spec.speed_factor * jitter;
+    nodes_.push_back(n);
+  }
+}
+
+Cluster Cluster::M510(int nodes) {
+  Options opt;
+  opt.speed_jitter = 0.0;  // homogeneous
+  Cluster c(opt);
+  c.AddNodes(M510Spec(), nodes);
+  return c;
+}
+
+Cluster Cluster::C6525(int nodes) {
+  Options opt;
+  opt.speed_jitter = 0.12;
+  opt.jitter_seed = 6525;
+  Cluster c(opt);
+  c.AddNodes(C6525Spec(), nodes);
+  return c;
+}
+
+Cluster Cluster::C6320(int nodes) {
+  Options opt;
+  opt.speed_jitter = 0.12;
+  opt.jitter_seed = 6320;
+  Cluster c(opt);
+  c.AddNodes(C6320Spec(), nodes);
+  return c;
+}
+
+Cluster Cluster::Mixed(int nodes) {
+  Options opt;
+  opt.speed_jitter = 0.08;
+  opt.jitter_seed = 77;
+  Cluster c(opt);
+  const int third = nodes / 3;
+  c.AddNodes(M510Spec(), nodes - 2 * third);
+  c.AddNodes(C6525Spec(), third);
+  c.AddNodes(C6320Spec(), third);
+  return c;
+}
+
+int Cluster::TotalCores() const {
+  int total = 0;
+  for (const Node& n : nodes_) total += n.spec.cores;
+  return total;
+}
+
+double Cluster::MeanSpeed() const {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Node& n : nodes_) sum += n.effective_speed;
+  return sum / static_cast<double>(nodes_.size());
+}
+
+double Cluster::LinkLatencySeconds(int a, int b) const {
+  return a == b ? 0.0 : options_.link_latency_s;
+}
+
+double Cluster::LinkBandwidthBytesPerSec(int a, int b) const {
+  if (a == b) return std::numeric_limits<double>::infinity();
+  const double gbps = std::min(nodes_.at(a).spec.nic_gbps,
+                               nodes_.at(b).spec.nic_gbps);
+  return gbps * 1e9 / 8.0;
+}
+
+bool Cluster::IsHeterogeneous() const {
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].spec.model != nodes_[0].spec.model) return true;
+    const double rel = std::abs(nodes_[i].effective_speed -
+                                nodes_[0].effective_speed) /
+                       nodes_[0].effective_speed;
+    if (rel > 0.01) return true;
+  }
+  return false;
+}
+
+std::string Cluster::ToString() const {
+  std::string out = StrFormat("cluster: %zu nodes, %d cores, mean speed %.2f\n",
+                              NumNodes(), TotalCores(), MeanSpeed());
+  for (const Node& n : nodes_) {
+    out += StrFormat("  node %d: %s (%d cores @ %.1fGHz, speed %.2f, %gGbps)\n",
+                     n.id, n.spec.model.c_str(), n.spec.cores,
+                     n.spec.clock_ghz, n.effective_speed, n.spec.nic_gbps);
+  }
+  return out;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,103 @@
+// Hardware model: node specifications mirroring the CloudLab machines of
+// Table 4 (m510, c6525_25g, c6320) and clusters composed of them. The paper
+// runs every experiment on 10-node clusters; the "He" clusters carry
+// per-node speed variation (CloudLab hardware diversity: firmware, turbo,
+// NUMA layout differ across racks), which is what produces the paper's
+// straggler / imbalance observations (O5-O7).
+
+#ifndef PDSP_CLUSTER_CLUSTER_H_
+#define PDSP_CLUSTER_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pdsp {
+
+/// \brief Static description of one machine model (one Table 4 row).
+struct NodeSpec {
+  std::string model;       ///< e.g. "m510"
+  std::string cpu;         ///< e.g. "Intel Xeon D-1548"
+  int cores = 8;           ///< usable task slots
+  double clock_ghz = 2.0;
+  /// Per-core relative throughput vs. the m510 baseline (1.0). Captures
+  /// microarchitecture (IPC) on top of the clock.
+  double speed_factor = 1.0;
+  double memory_gb = 64.0;
+  double storage_gb = 256.0;
+  double nic_gbps = 10.0;
+};
+
+/// Table 4 presets.
+NodeSpec M510Spec();      ///< 8c Xeon D 2.0GHz, 64GB, 10Gbps (Ho baseline)
+NodeSpec C6525Spec();     ///< 16c AMD EPYC 2.2GHz, 128GB, 25Gbps
+NodeSpec C6320Spec();     ///< 28c Haswell 2.0GHz, 256GB, 10Gbps
+
+/// \brief One concrete machine in a cluster: a spec plus its effective
+/// speed (spec speed * node-local variation).
+struct Node {
+  int id = 0;
+  NodeSpec spec;
+  /// Effective per-core speed (speed_factor adjusted by node variation).
+  double effective_speed = 1.0;
+};
+
+/// \brief A set of nodes with a uniform interconnect.
+class Cluster {
+ public:
+  struct Options {
+    /// One-way propagation latency between distinct nodes (seconds).
+    double link_latency_s = 150e-6;
+    /// Relative stddev of per-node speed variation (0 = identical nodes).
+    double speed_jitter = 0.0;
+    /// Seed for the deterministic jitter assignment.
+    uint64_t jitter_seed = 7;
+  };
+
+  Cluster() = default;
+  explicit Cluster(Options options) : options_(options) {}
+
+  /// Appends `count` nodes of the given spec (jitter applied per node).
+  void AddNodes(const NodeSpec& spec, int count);
+
+  /// --- Paper presets: 10-node clusters of Table 4 ---
+  /// Homogeneous m510 cluster (Exp. 1 and the "Ho" series of Exp. 2).
+  static Cluster M510(int nodes = 10);
+  /// "He" c6525_25g cluster: EPYC nodes with hardware-diversity jitter.
+  static Cluster C6525(int nodes = 10);
+  /// "He" c6320 cluster: Haswell nodes with hardware-diversity jitter.
+  static Cluster C6320(int nodes = 10);
+  /// Extension: a truly mixed cluster (m510 + c6525 + c6320 nodes).
+  static Cluster Mixed(int nodes = 10);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const Node& node(size_t i) const { return nodes_.at(i); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Sum of cores over all nodes.
+  int TotalCores() const;
+
+  /// Mean effective speed over nodes (1.0 == m510 core).
+  double MeanSpeed() const;
+
+  /// One-way network latency between two nodes in seconds (0 if same node).
+  double LinkLatencySeconds(int a, int b) const;
+
+  /// Bandwidth between two nodes in bytes/second (min of the two NICs);
+  /// effectively infinite for node-local channels.
+  double LinkBandwidthBytesPerSec(int a, int b) const;
+
+  /// True if any two nodes differ in spec or effective speed by > 1%.
+  bool IsHeterogeneous() const;
+
+  std::string ToString() const;
+
+ private:
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_CLUSTER_CLUSTER_H_

@@ -1,0 +1,107 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace pdsp {
+
+const char* PlacementKindToString(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kRoundRobin:
+      return "round_robin";
+    case PlacementKind::kLeastLoaded:
+      return "least_loaded";
+    case PlacementKind::kLocality:
+      return "locality";
+    case PlacementKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+// Node whose (load+1) / (cores * speed) is smallest — i.e. the most capacity
+// headroom per unit of work, so faster nodes fill first proportionally.
+int LeastLoadedNode(const Cluster& cluster, const std::vector<int>& load) {
+  int best = 0;
+  double best_score = 1e300;
+  for (size_t i = 0; i < cluster.NumNodes(); ++i) {
+    const Node& n = cluster.node(i);
+    const double capacity =
+        static_cast<double>(n.spec.cores) * n.effective_speed;
+    const double score = (load[i] + 1.0) / std::max(1e-9, capacity);
+    if (score < best_score) {
+      best_score = score;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<Placement> PlaceTasks(const Cluster& cluster,
+                             const std::vector<int>& instances_per_op,
+                             PlacementKind kind, uint64_t seed) {
+  if (cluster.NumNodes() == 0) {
+    return Status::InvalidArgument("empty cluster");
+  }
+  int total_tasks = 0;
+  for (int p : instances_per_op) {
+    if (p < 1) return Status::InvalidArgument("operator with parallelism < 1");
+    total_tasks += p;
+  }
+  if (total_tasks == 0) return Status::InvalidArgument("no tasks");
+
+  const int num_nodes = static_cast<int>(cluster.NumNodes());
+  Placement placement;
+  placement.node_of_task.reserve(total_tasks);
+  placement.tasks_per_node.assign(num_nodes, 0);
+  std::vector<int> load(num_nodes, 0);
+  Rng rng(seed);
+
+  int rr_cursor = 0;
+  // node of instance j of the previous operator (for locality).
+  std::vector<int> prev_op_nodes;
+  std::vector<int> cur_op_nodes;
+
+  for (int p : instances_per_op) {
+    cur_op_nodes.clear();
+    for (int j = 0; j < p; ++j) {
+      int node = 0;
+      switch (kind) {
+        case PlacementKind::kRoundRobin:
+          node = rr_cursor++ % num_nodes;
+          break;
+        case PlacementKind::kLeastLoaded:
+          node = LeastLoadedNode(cluster, load);
+          break;
+        case PlacementKind::kLocality: {
+          if (j < static_cast<int>(prev_op_nodes.size())) {
+            const int candidate = prev_op_nodes[j];
+            // Accept co-location unless the node is already past capacity.
+            if (load[candidate] < cluster.node(candidate).spec.cores) {
+              node = candidate;
+              break;
+            }
+          }
+          node = LeastLoadedNode(cluster, load);
+          break;
+        }
+        case PlacementKind::kRandom:
+          node = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
+          break;
+      }
+      placement.node_of_task.push_back(node);
+      ++placement.tasks_per_node[node];
+      ++load[node];
+      cur_op_nodes.push_back(node);
+    }
+    prev_op_nodes = cur_op_nodes;
+  }
+  return placement;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,48 @@
+// Placement of parallel operator instances (tasks) onto cluster nodes.
+// PDSP-Bench hides Kubernetes/Yarn-style scheduling behind its controller;
+// here, placement is an explicit, pluggable policy so experiments can show
+// the effect of resource mapping on heterogeneous hardware (Exp. 2).
+
+#ifndef PDSP_CLUSTER_PLACEMENT_H_
+#define PDSP_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+
+namespace pdsp {
+
+/// Placement policies.
+enum class PlacementKind {
+  kRoundRobin = 0,  ///< task i on node i mod N (Flink default-ish spreading)
+  kLeastLoaded,     ///< next task on the node with the lowest load/capacity
+  kLocality,        ///< co-locate instance j of op k with instance j of op k-1
+  kRandom,          ///< uniform random node
+};
+
+const char* PlacementKindToString(PlacementKind kind);
+
+/// \brief Node assignment for a flattened task list.
+///
+/// Tasks are ordered operator-major: all instances of operator 0 (in the
+/// caller's operator order), then operator 1, etc.
+struct Placement {
+  /// node id per task.
+  std::vector<int> node_of_task;
+  /// tasks hosted per node (same info, inverted).
+  std::vector<int> tasks_per_node;
+};
+
+/// Computes a placement of `instances_per_op[k]` instances of each operator
+/// onto the cluster. Oversubscription (more tasks than cores) is allowed —
+/// the simulator models the resulting core contention — but an empty cluster
+/// or empty task list is an error.
+Result<Placement> PlaceTasks(const Cluster& cluster,
+                             const std::vector<int>& instances_per_op,
+                             PlacementKind kind, uint64_t seed = 1);
+
+}  // namespace pdsp
+
+#endif  // PDSP_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr. Benchmarks and the experiment harness
+// print their results to stdout; logging is for diagnostics only.
+
+#ifndef PDSP_COMMON_LOGGING_H_
+#define PDSP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pdsp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr if `level` passes the global filter.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogCapture& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pdsp
+
+#define PDSP_LOG(level)                                             \
+  ::pdsp::internal::LogCapture(::pdsp::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#endif  // PDSP_COMMON_LOGGING_H_

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation and the distributions used by
+// the workload generator: uniform, normal, exponential, Poisson (arrival
+// processes, Section 4 "data is modelled as poisson distributed") and Zipf
+// (skewed key distributions, Section 4 "we can also model other common data
+// distributions such as zipf").
+
+#ifndef PDSP_COMMON_RNG_H_
+#define PDSP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pdsp {
+
+/// \brief SplitMix64: used to seed the main generator and as a cheap
+/// stateless mixer for deriving per-stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256**: the library-wide PRNG. Fast, high quality, and
+/// deterministic across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda (> 0); mean 1/lambda.
+  double Exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (>= 0). Uses Knuth's
+  /// method for small means and a normal approximation above 64 (adequate
+  /// for arrival batching; exact tails are irrelevant there).
+  int64_t Poisson(double mean);
+
+  /// Zipf-distributed rank in [1, n] with exponent s (>= 0). s == 0 is
+  /// uniform. Uses rejection-inversion (Hörmann) so it is O(1) per draw.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Returns 0 for empty or all-zero weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Uniformly picks one element of a non-empty vector (by const reference).
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[static_cast<size_t>(UniformInt(
+        0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Derives an independent generator; streams are decorrelated by mixing
+  /// the given stream id into fresh state.
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+  // Cached Zipf rejection-inversion constants (recomputed when n/s change).
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = -1.0;
+  double zipf_h_x1_ = 0.0, zipf_hx0_ = 0.0, zipf_ss_ = 0.0;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_COMMON_RNG_H_

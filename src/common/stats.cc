@@ -1,0 +1,140 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pdsp {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / count_;
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const int64_t n = count_ + other.count_;
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(count_) * other.count_ / n;
+  mean_ += delta * other.count_ / n;
+  count_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LatencyRecorder::LatencyRecorder(size_t reservoir_capacity)
+    : capacity_(reservoir_capacity), rng_state_(0x853c49e6748fea9bULL) {}
+
+void LatencyRecorder::Record(double value) {
+  running_.Add(value);
+  ++seen_;
+  sorted_valid_ = false;
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(value);
+    return;
+  }
+  // Vitter's Algorithm R: replace a uniformly random slot with prob cap/seen.
+  rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const uint64_t r = (rng_state_ >> 16) % static_cast<uint64_t>(seen_);
+  if (r < capacity_) samples_[static_cast<size_t>(r)] = value;
+}
+
+double LatencyRecorder::Percentile(double pct) const {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double p = std::clamp(pct, 0.0, 100.0) / 100.0;
+  const double idx = p * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string LatencyRecorder::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f "
+                "max=%.3f",
+                static_cast<long long>(Count()), Mean(), Percentile(50.0),
+                Percentile(95.0), Percentile(99.0), Min(), Max());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (counts_.empty()) return;
+  double pos = (x - lo_) / width_;
+  auto idx = static_cast<int64_t>(std::floor(pos));
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+}
+
+double Histogram::BucketLow(size_t i) const { return lo_ + width_ * i; }
+double Histogram::BucketHigh(size_t i) const { return lo_ + width_ * (i + 1); }
+
+std::string Histogram::ToString(size_t max_bar_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar = static_cast<size_t>(
+        static_cast<double>(counts_[i]) / peak * max_bar_width);
+    std::snprintf(buf, sizeof(buf), "[%10.3f, %10.3f) %8lld ",
+                  BucketLow(i), BucketHigh(i),
+                  static_cast<long long>(counts_[i]));
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Percentile(std::vector<double> xs, double pct) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(xs.begin(), xs.end());
+  const double p = std::clamp(pct, 0.0, 100.0) / 100.0;
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double GeometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace pdsp

@@ -1,0 +1,117 @@
+// Streaming and batch statistics used for metric collection: running
+// mean/variance, percentile summaries over recorded samples, and fixed-width
+// histograms. The paper reports the mean of three runs of median (p50)
+// end-to-end latency; LatencyRecorder provides exactly those aggregations.
+
+#ifndef PDSP_COMMON_STATS_H_
+#define PDSP_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pdsp {
+
+/// \brief Welford running mean / variance / min / max over a stream of
+/// doubles, O(1) memory.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const { return count_ > 1 ? m2_ / count_ : 0.0; }
+  double stddev() const;
+  double min() const {
+    return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double sum() const { return mean_ * count_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Records individual samples (optionally reservoir-capped) and
+/// answers percentile queries. Used for end-to-end latency collection.
+class LatencyRecorder {
+ public:
+  /// `reservoir_capacity` == 0 keeps every sample.
+  explicit LatencyRecorder(size_t reservoir_capacity = 0);
+
+  void Record(double value);
+
+  /// Percentile in [0, 100] by linear interpolation over sorted samples.
+  /// NaN when no samples were recorded.
+  double Percentile(double pct) const;
+
+  /// Median, i.e. Percentile(50) — the paper's headline metric.
+  double Median() const { return Percentile(50.0); }
+
+  double Mean() const { return running_.mean(); }
+  double Min() const { return running_.min(); }
+  double Max() const { return running_.max(); }
+  double Stddev() const { return running_.stddev(); }
+  int64_t Count() const { return running_.count(); }
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+
+ private:
+  size_t capacity_;  // 0 = unbounded
+  int64_t seen_ = 0;
+  uint64_t rng_state_;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  RunningStats running_;
+};
+
+/// \brief Fixed-bucket histogram over [lo, hi) with out-of-range samples
+/// clamped into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  int64_t BucketCount(size_t i) const { return counts_.at(i); }
+  size_t NumBuckets() const { return counts_.size(); }
+  int64_t TotalCount() const { return total_; }
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+
+  /// ASCII bar rendering, one bucket per line.
+  std::string ToString(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Exact mean of a vector (0 for empty).
+double Mean(const std::vector<double>& xs);
+
+/// Percentile in [0,100] with linear interpolation (NaN for empty).
+double Percentile(std::vector<double> xs, double pct);
+
+/// Geometric mean of strictly positive values (NaN otherwise / empty).
+double GeometricMean(const std::vector<double>& xs);
+
+}  // namespace pdsp
+
+#endif  // PDSP_COMMON_STATS_H_

@@ -1,0 +1,180 @@
+// Copyright (c) PDSP-Bench-C++ contributors.
+//
+// Status / Result error-handling primitives, following the RocksDB / Arrow
+// idiom: library code never throws; fallible functions return a Status (or a
+// Result<T> carrying either a value or a Status).
+
+#ifndef PDSP_COMMON_STATUS_H_
+#define PDSP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pdsp {
+
+/// Machine-readable error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a short stable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. `Status::OK()` is the success value; everything else is an error.
+///
+/// Cheap to copy in the error case only in the sense that errors are rare;
+/// the success case stores no allocation at all.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status. Never holds an OK
+/// status without a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Error status, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value access. Undefined behaviour unless ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` on error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define PDSP_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::pdsp::Status _pdsp_status = (expr);        \
+    if (!_pdsp_status.ok()) return _pdsp_status; \
+  } while (false)
+
+#define PDSP_CONCAT_IMPL(a, b) a##b
+#define PDSP_CONCAT(a, b) PDSP_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>), propagates the error, or assigns the value
+// to `lhs` (which may include a declaration, e.g. `auto x`).
+#define PDSP_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  PDSP_ASSIGN_OR_RETURN_IMPL(PDSP_CONCAT(_pdsp_result_, __LINE__), lhs, rexpr)
+
+#define PDSP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace pdsp
+
+#endif  // PDSP_COMMON_STATUS_H_

@@ -1,0 +1,88 @@
+#include "src/data/arrival.h"
+
+#include <cmath>
+
+namespace pdsp {
+
+const char* ArrivalKindToString(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kConstant:
+      return "constant";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+const std::vector<double>& StandardEventRates() {
+  static const std::vector<double> kRates = {
+      10,     100,    1'000,    5'000,     10'000,    50'000,
+      100'000, 200'000, 500'000, 1'000'000, 2'000'000, 4'000'000};
+  return kRates;
+}
+
+Result<ArrivalProcess> ArrivalProcess::Create(const Options& options) {
+  if (!(options.rate > 0.0)) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  if (options.kind == ArrivalKind::kBursty) {
+    if (options.peak_factor < 1.0) {
+      return Status::InvalidArgument("peak_factor must be >= 1");
+    }
+    if (!(options.burst_period > 0.0) || options.duty_cycle <= 0.0 ||
+        options.duty_cycle > 1.0) {
+      return Status::InvalidArgument("bad burst_period/duty_cycle");
+    }
+  }
+  return ArrivalProcess(options);
+}
+
+double ArrivalProcess::RateAt(double t) const {
+  if (options_.kind != ArrivalKind::kBursty) return options_.rate;
+  // Mean rate is preserved: on-periods run at peak_factor*rate, off-periods
+  // at the residual rate that keeps the cycle average equal to `rate`.
+  const double phase =
+      std::fmod(t, options_.burst_period) / options_.burst_period;
+  const double on_rate = options_.rate * options_.peak_factor;
+  const double d = options_.duty_cycle;
+  const double off_rate =
+      (d >= 1.0) ? on_rate
+                 : std::max(0.0, options_.rate * (1.0 - options_.peak_factor * d) /
+                                     (1.0 - d));
+  return phase < d ? on_rate : off_rate;
+}
+
+double ArrivalProcess::NextInterarrival(Rng* rng) const {
+  switch (options_.kind) {
+    case ArrivalKind::kConstant:
+      return 1.0 / options_.rate;
+    case ArrivalKind::kPoisson:
+      return rng->Exponential(options_.rate);
+    case ArrivalKind::kBursty:
+      // Thinning would be exact; a draw at the mean rate is adequate for the
+      // single-event API (batching uses the exact per-window rate below).
+      return rng->Exponential(options_.rate);
+  }
+  return 1.0 / options_.rate;
+}
+
+int64_t ArrivalProcess::EventsInWindow(double t, double dt, Rng* rng) const {
+  if (dt <= 0.0) return 0;
+  const double lambda = RateAt(t) * dt;
+  switch (options_.kind) {
+    case ArrivalKind::kConstant: {
+      // Deterministic count with stochastic rounding of the fraction.
+      const double exact = lambda;
+      const auto whole = static_cast<int64_t>(exact);
+      return whole + (rng->Bernoulli(exact - static_cast<double>(whole)) ? 1 : 0);
+    }
+    case ArrivalKind::kPoisson:
+    case ArrivalKind::kBursty:
+      return rng->Poisson(lambda);
+  }
+  return 0;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,66 @@
+// Arrival processes for data streams. The paper models event arrivals as
+// Poisson ("data is modelled as poisson distributed since many real-world
+// applications ... are poisson distributed", Section 4) with configurable
+// event rates from 10 to 4 million events/second (Table 3); Zipf and other
+// skews apply to key *values*, handled by the field generators.
+
+#ifndef PDSP_DATA_ARRIVAL_H_
+#define PDSP_DATA_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace pdsp {
+
+/// Arrival process families supported by the workload generator.
+enum class ArrivalKind {
+  kPoisson = 0,    ///< exponential interarrivals (the paper's default)
+  kConstant = 1,   ///< deterministic spacing 1/rate
+  kBursty = 2,     ///< on/off: Poisson at peak_factor*rate for on-periods
+};
+
+const char* ArrivalKindToString(ArrivalKind kind);
+
+/// The event rates of Table 3 (events/second).
+const std::vector<double>& StandardEventRates();
+
+/// \brief Generates interarrival gaps and batch counts for a stream with a
+/// mean rate of `rate` events/second.
+class ArrivalProcess {
+ public:
+  struct Options {
+    ArrivalKind kind = ArrivalKind::kPoisson;
+    double rate = 1000.0;        ///< mean events per second, > 0
+    double peak_factor = 4.0;    ///< bursty: multiplier during on-periods
+    double burst_period = 1.0;   ///< bursty: seconds per on+off cycle
+    double duty_cycle = 0.25;    ///< bursty: fraction of period that is "on"
+  };
+
+  /// Validates options (rate > 0, sane burst parameters).
+  static Result<ArrivalProcess> Create(const Options& options);
+
+  /// Seconds until the next single event.
+  double NextInterarrival(Rng* rng) const;
+
+  /// Number of events arriving in the window [t, t+dt) — the batched form
+  /// the simulator uses at high event rates.
+  int64_t EventsInWindow(double t, double dt, Rng* rng) const;
+
+  double rate() const { return options_.rate; }
+  ArrivalKind kind() const { return options_.kind; }
+
+ private:
+  explicit ArrivalProcess(const Options& options) : options_(options) {}
+
+  /// Instantaneous rate at virtual time t (varies only for bursty).
+  double RateAt(double t) const;
+
+  Options options_;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_DATA_ARRIVAL_H_

@@ -1,0 +1,176 @@
+#include "src/data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+const char* FieldDistributionToString(FieldDistribution dist) {
+  switch (dist) {
+    case FieldDistribution::kUniformInt:
+      return "uniform_int";
+    case FieldDistribution::kUniformDouble:
+      return "uniform_double";
+    case FieldDistribution::kNormalDouble:
+      return "normal_double";
+    case FieldDistribution::kZipfKey:
+      return "zipf_key";
+    case FieldDistribution::kUniformKey:
+      return "uniform_key";
+    case FieldDistribution::kWordString:
+      return "word_string";
+    case FieldDistribution::kSequence:
+      return "sequence";
+    case FieldDistribution::kSentence:
+      return "sentence";
+  }
+  return "?";
+}
+
+DataType FieldGeneratorSpec::OutputType() const {
+  switch (dist) {
+    case FieldDistribution::kUniformInt:
+    case FieldDistribution::kZipfKey:
+    case FieldDistribution::kUniformKey:
+    case FieldDistribution::kSequence:
+      return DataType::kInt;
+    case FieldDistribution::kUniformDouble:
+    case FieldDistribution::kNormalDouble:
+      return DataType::kDouble;
+    case FieldDistribution::kWordString:
+    case FieldDistribution::kSentence:
+      return DataType::kString;
+  }
+  return DataType::kInt;
+}
+
+Result<TupleGenerator> TupleGenerator::Create(
+    Schema schema, std::vector<FieldGeneratorSpec> specs, uint64_t seed) {
+  if (schema.NumFields() != specs.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "schema has %zu fields but %zu generator specs were given",
+        schema.NumFields(), specs.size()));
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].OutputType() != schema.field(i).type) {
+      return Status::InvalidArgument(StrFormat(
+          "field %zu ('%s') is %s but generator produces %s", i,
+          schema.field(i).name.c_str(),
+          DataTypeToString(schema.field(i).type),
+          DataTypeToString(specs[i].OutputType())));
+    }
+    if (specs[i].min > specs[i].max) {
+      return Status::InvalidArgument(
+          StrFormat("field %zu: min > max", i));
+    }
+    if (specs[i].cardinality < 1) {
+      return Status::InvalidArgument(
+          StrFormat("field %zu: cardinality < 1", i));
+    }
+  }
+  return TupleGenerator(std::move(schema), std::move(specs), seed);
+}
+
+Value TupleGenerator::GenerateField(const FieldGeneratorSpec& spec,
+                                    size_t field_idx) {
+  switch (spec.dist) {
+    case FieldDistribution::kUniformInt:
+      return rng_.UniformInt(static_cast<int64_t>(spec.min),
+                             static_cast<int64_t>(spec.max));
+    case FieldDistribution::kUniformDouble:
+      return rng_.Uniform(spec.min, spec.max);
+    case FieldDistribution::kNormalDouble: {
+      const double mean = (spec.min + spec.max) / 2.0;
+      const double sd = (spec.max - spec.min) / 6.0;
+      return std::clamp(rng_.Normal(mean, sd), spec.min, spec.max);
+    }
+    case FieldDistribution::kZipfKey:
+      return rng_.Zipf(spec.cardinality, spec.zipf_s);
+    case FieldDistribution::kUniformKey:
+      return rng_.UniformInt(1, spec.cardinality);
+    case FieldDistribution::kWordString:
+      return DictionaryWord(rng_.Zipf(spec.cardinality, spec.zipf_s) - 1);
+    case FieldDistribution::kSentence: {
+      const auto words = rng_.UniformInt(
+          std::max<int64_t>(1, static_cast<int64_t>(spec.min)),
+          std::max<int64_t>(1, static_cast<int64_t>(spec.max)));
+      std::string sentence;
+      for (int64_t w = 0; w < words; ++w) {
+        if (w > 0) sentence += ' ';
+        sentence += DictionaryWord(rng_.Zipf(spec.cardinality, spec.zipf_s) - 1);
+      }
+      return sentence;
+    }
+    case FieldDistribution::kSequence: {
+      if (field_idx >= sequence_counters_.size()) {
+        sequence_counters_.resize(field_idx + 1, 0);
+      }
+      return sequence_counters_[field_idx]++;
+    }
+  }
+  return Value();
+}
+
+Tuple TupleGenerator::Next(double event_time) {
+  Tuple t;
+  t.event_time = event_time;
+  t.values.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    t.values.push_back(GenerateField(specs_[i], i));
+  }
+  return t;
+}
+
+std::string DictionaryWord(int64_t index) {
+  // Base-20 consonant-vowel pairs give pronounceable, unique, deterministic
+  // words: 0 -> "baba"-style stems, stable across platforms.
+  static const char* kConsonants = "bcdfghjklmnpqrstvwxz";
+  static const char* kVowels = "aeiou";
+  std::string word;
+  int64_t v = index < 0 ? 0 : index;
+  do {
+    word += kConsonants[v % 20];
+    word += kVowels[(v / 20) % 5];
+    v /= 100;
+  } while (v > 0);
+  return word;
+}
+
+StreamSpec RandomStreamSpec(const SchemaRandomizerOptions& options, Rng* rng) {
+  StreamSpec spec;
+  const int width = static_cast<int>(rng->UniformInt(
+      options.min_tuple_width, options.max_tuple_width));
+  for (int i = 0; i < width; ++i) {
+    FieldGeneratorSpec g;
+    const double roll = rng->NextDouble();
+    if (options.allow_strings && roll < 0.25) {
+      g.dist = FieldDistribution::kWordString;
+      g.cardinality = rng->UniformInt(100, 10000);
+      g.zipf_s = rng->Uniform(0.5, 1.2);
+    } else if (roll < 0.25 + options.key_field_fraction) {
+      g.dist = FieldDistribution::kZipfKey;
+      g.cardinality = rng->UniformInt(10, 100000);
+      g.zipf_s = rng->Uniform(0.0, 1.5);
+    } else if (roll < 0.75) {
+      g.dist = FieldDistribution::kUniformInt;
+      g.min = 0;
+      g.max = static_cast<double>(rng->UniformInt(10, 1000000));
+    } else {
+      g.dist = rng->Bernoulli(0.5) ? FieldDistribution::kUniformDouble
+                                   : FieldDistribution::kNormalDouble;
+      g.min = 0;
+      g.max = rng->Uniform(1.0, 1e6);
+    }
+    Field f;
+    f.name = StrFormat("f%d", i);
+    f.type = g.OutputType();
+    Status st = spec.schema.AddField(f);
+    (void)st;  // names are unique by construction
+    spec.specs.push_back(g);
+  }
+  return spec;
+}
+
+}  // namespace pdsp

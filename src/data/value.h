@@ -1,0 +1,125 @@
+// Dynamically typed values, fields and schemas for data stream tuples.
+// PDSP-Bench randomizes tuple width (1-15 data items) and per-item data types
+// over {string, double, integer} (Table 3); Value/Schema carry exactly that
+// type system.
+
+#ifndef PDSP_DATA_VALUE_H_
+#define PDSP_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pdsp {
+
+/// The three stream data types of Table 3.
+enum class DataType { kInt = 0, kDouble = 1, kString = 2 };
+
+/// Short stable name ("int", "double", "string").
+const char* DataTypeToString(DataType type);
+
+/// \brief One data item of a tuple: int64, double or string.
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  Value(int64_t v) : repr_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : repr_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(double v) : repr_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  DataType type() const {
+    return static_cast<DataType>(repr_.index());
+  }
+
+  bool is_int() const { return type() == DataType::kInt; }
+  bool is_double() const { return type() == DataType::kDouble; }
+  bool is_string() const { return type() == DataType::kString; }
+
+  /// Typed access; undefined behaviour on type mismatch (assert in debug).
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: ints and doubles coerce to double; strings return their
+  /// length (so numeric aggregates are total over any type).
+  double AsNumeric() const;
+
+  /// Approximate wire size in bytes (for network cost modelling).
+  size_t WireSize() const;
+
+  /// Total ordering: compares numerically across int/double, lexically for
+  /// string-vs-string; mixed string/number compares by AsNumeric().
+  bool operator<(const Value& other) const;
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// Stable 64-bit hash (used by hash partitioning and keyBy).
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> repr_;
+};
+
+/// \brief Named, typed column of a schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered list of fields describing a stream's tuples.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t NumFields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_.at(i); }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given name.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// Appends a field; returns AlreadyExists on duplicate names.
+  Status AddField(Field field);
+
+  /// Mean wire size assuming 8 bytes per numeric and ~16 per string.
+  size_t EstimatedTupleBytes() const;
+
+  /// "name:type, name:type, ..."
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// \brief One stream element: values conforming to some schema plus the
+/// event timestamp (virtual seconds since simulation start).
+struct Tuple {
+  std::vector<Value> values;
+  double event_time = 0.0;
+
+  const Value& at(size_t i) const { return values.at(i); }
+  size_t WireSize() const;
+  std::string ToString() const;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_DATA_VALUE_H_

@@ -1,0 +1,108 @@
+#include "src/harness/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/string_util.h"
+#include "src/workload/enumerator.h"
+
+namespace pdsp {
+
+const std::vector<ParallelismCategory>& StandardCategories() {
+  static const std::vector<ParallelismCategory> kCategories = {
+      {"XS", 1}, {"S", 4}, {"M", 16}, {"L", 32}, {"XL", 64}, {"XXL", 128},
+  };
+  return kCategories;
+}
+
+Result<CellResult> MeasureCell(const LogicalPlan& plan,
+                               const Cluster& cluster,
+                               const RunProtocol& protocol) {
+  if (protocol.repeats < 1) return Status::InvalidArgument("repeats < 1");
+  CellResult cell;
+  int usable = 0;
+  for (int r = 0; r < protocol.repeats; ++r) {
+    ExecutionOptions exec;
+    exec.placement = protocol.placement;
+    exec.sim.duration_s = protocol.duration_s;
+    exec.sim.warmup_s = protocol.warmup_s;
+    exec.sim.seed = protocol.seed + static_cast<uint64_t>(r) * 7919ULL;
+    PDSP_ASSIGN_OR_RETURN(SimResult run, ExecutePlan(plan, cluster, exec));
+    cell.late_drops += run.late_drops;
+    cell.backpressure_skipped += run.backpressure_skipped;
+    if (!std::isnan(run.median_latency_s)) {
+      cell.mean_median_latency_s += run.median_latency_s;
+      cell.mean_throughput_tps += run.throughput_tps;
+      ++usable;
+    }
+  }
+  if (usable == 0) {
+    return Status::Internal("no run produced sink results");
+  }
+  cell.mean_median_latency_s /= usable;
+  cell.mean_throughput_tps /= usable;
+  return cell;
+}
+
+Result<CellResult> MeasureAtDegree(LogicalPlan plan, int degree,
+                                   const Cluster& cluster,
+                                   const RunProtocol& protocol) {
+  PDSP_RETURN_NOT_OK(ApplyUniformParallelism(&plan, degree));
+  return MeasureCell(plan, cluster, protocol);
+}
+
+TableReporter::TableReporter(std::string title,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TableReporter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableReporter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]),
+                  c < cells.size() ? cells[c].c_str() : "");
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  size_t total = columns_.size() * 2;
+  for (size_t w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+Status TableReporter::WriteCsv(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open " + path);
+  out << Join(columns_, ",") << "\n";
+  for (const auto& row : rows_) out << Join(row, ",") << "\n";
+  return Status::OK();
+}
+
+std::string LatencyCell(double seconds) {
+  return StrFormat("%.2f", seconds * 1e3);
+}
+
+std::string ThroughputCell(double tps) { return StrFormat("%.0f", tps); }
+
+}  // namespace pdsp

@@ -1,0 +1,86 @@
+// Experiment harness: the parallelism categories of Figures 3/4, shared
+// run protocols (mean of three runs of median latency) and table/CSV
+// reporting used by the per-figure benchmark drivers.
+
+#ifndef PDSP_HARNESS_HARNESS_H_
+#define PDSP_HARNESS_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/sim/simulation.h"
+
+namespace pdsp {
+
+/// \brief One parallelism category (Figure 3/4 x-axis).
+struct ParallelismCategory {
+  const char* name;
+  int degree;
+};
+
+/// XS=1, S=4, M=16, L=32, XL=64, XXL=128 — spanning under-provisioned to
+/// heavily oversubscribed on the 10-node clusters.
+const std::vector<ParallelismCategory>& StandardCategories();
+
+/// \brief Measurement protocol for one experiment cell.
+struct RunProtocol {
+  int repeats = 3;             ///< paper: mean of three runs
+  double duration_s = 3.0;
+  double warmup_s = 0.75;
+  uint64_t seed = 2024;
+  PlacementKind placement = PlacementKind::kLeastLoaded;
+};
+
+/// \brief One measured experiment cell.
+struct CellResult {
+  double mean_median_latency_s = 0.0;
+  double mean_throughput_tps = 0.0;
+  int64_t late_drops = 0;
+  int64_t backpressure_skipped = 0;
+};
+
+/// Runs a validated plan `repeats` times with distinct seeds and aggregates
+/// per the paper's protocol.
+Result<CellResult> MeasureCell(const LogicalPlan& plan,
+                               const Cluster& cluster,
+                               const RunProtocol& protocol);
+
+/// Applies a uniform parallelism degree (sink stays 1) and measures.
+Result<CellResult> MeasureAtDegree(LogicalPlan plan, int degree,
+                                   const Cluster& cluster,
+                                   const RunProtocol& protocol);
+
+/// \brief Fixed-width text table accumulated row by row; also serializable
+/// to CSV for downstream plotting.
+class TableReporter {
+ public:
+  TableReporter(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the aligned table to stdout.
+  void Print() const;
+
+  /// Writes CSV into `path` (creating parent directories). Returns the
+  /// status so drivers can warn without aborting.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123.456" style cell helpers.
+std::string LatencyCell(double seconds);
+std::string ThroughputCell(double tps);
+
+}  // namespace pdsp
+
+#endif  // PDSP_HARNESS_HARNESS_H_

@@ -1,0 +1,119 @@
+#include "src/harness/synthetic_suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/query/builder.h"
+
+namespace pdsp {
+
+namespace {
+
+// (key zipf(keys, 0.4), v0 uniform[0,100)).
+StreamSpec CanonicalStream(int64_t keys) {
+  StreamSpec spec;
+  (void)spec.schema.AddField({"key", DataType::kInt});
+  (void)spec.schema.AddField({"v0", DataType::kDouble});
+  FieldGeneratorSpec key;
+  key.dist = FieldDistribution::kZipfKey;
+  key.cardinality = keys;
+  key.zipf_s = 0.4;
+  FieldGeneratorSpec val;
+  val.dist = FieldDistribution::kUniformDouble;
+  val.min = 0.0;
+  val.max = 100.0;
+  spec.specs = {key, val};
+  return spec;
+}
+
+ArrivalProcess::Options Poisson(double rate) {
+  ArrivalProcess::Options a;
+  a.rate = rate;
+  return a;
+}
+
+}  // namespace
+
+Result<LogicalPlan> MakeCanonicalSynthetic(SyntheticStructure structure,
+                                           const CanonicalOptions& o) {
+  WindowSpec window;
+  window.type = WindowType::kTumbling;
+  window.policy = WindowPolicy::kTime;
+  window.duration_ms = o.window_ms;
+  // Filter literal for P(v0 < x) = selectivity over uniform [0, 100).
+  const Value literal(o.filter_selectivity * 100.0);
+
+  PlanBuilder b;
+  switch (structure) {
+    case SyntheticStructure::kLinear:
+    case SyntheticStructure::kChain2Filters:
+    case SyntheticStructure::kChain3Filters:
+    case SyntheticStructure::kAggregation:
+    case SyntheticStructure::kFlatMapChain: {
+      const int filters =
+          structure == SyntheticStructure::kLinear          ? 1
+          : structure == SyntheticStructure::kChain2Filters ? 2
+          : structure == SyntheticStructure::kChain3Filters ? 3
+          : structure == SyntheticStructure::kFlatMapChain  ? 1
+                                                            : 0;
+      auto cur = b.Source("src", CanonicalStream(o.agg_keys),
+                          Poisson(o.event_rate), o.parallelism);
+      if (structure == SyntheticStructure::kFlatMapChain) {
+        cur = b.FlatMap("flatmap", cur, 2.0, o.parallelism);
+      }
+      for (int i = 0; i < filters; ++i) {
+        // Chained filters on the same uniform field stay consistent because
+        // each cut keeps the lower tail: conditional selectivity of filter
+        // i+1 given filter i is sel (literals shrink geometrically).
+        const Value lit(100.0 *
+                        std::pow(o.filter_selectivity, i + 1));
+        auto f = b.Filter(StrFormat("filter%d", i + 1), cur, 1,
+                          FilterOp::kLt, lit, o.parallelism);
+        b.WithSelectivityHint(f, o.filter_selectivity);
+        cur = f;
+      }
+      cur = b.WindowAggregate("agg", cur, window, AggregateFn::kAvg,
+                              /*agg=*/1, /*key=*/0, o.parallelism);
+      b.Sink("sink", cur);
+      return b.Build();
+    }
+    case SyntheticStructure::kTwoWayJoin:
+    case SyntheticStructure::kThreeWayJoin:
+    case SyntheticStructure::kFourWayJoin:
+    case SyntheticStructure::kFilterJoinAgg: {
+      const int sources = structure == SyntheticStructure::kThreeWayJoin ? 3
+                          : structure == SyntheticStructure::kFourWayJoin
+                              ? 4
+                              : 2;
+      // Join key space scales with window contents, as ID joins do.
+      const int64_t join_keys = std::max<int64_t>(
+          100, static_cast<int64_t>(o.event_rate * o.window_ms / 1000.0 *
+                                    4.0));
+      std::vector<PlanBuilder::OpId> branches;
+      for (int i = 0; i < sources; ++i) {
+        auto src = b.Source(StrFormat("src%d", i + 1),
+                            CanonicalStream(join_keys),
+                            Poisson(o.event_rate), o.parallelism);
+        auto f = b.Filter(StrFormat("filter%d", i + 1), src, 1,
+                          FilterOp::kLt, literal, o.parallelism);
+        b.WithSelectivityHint(f, o.filter_selectivity);
+        branches.push_back(f);
+      }
+      auto left = branches[0];
+      for (int i = 1; i < sources; ++i) {
+        left = b.WindowJoin(StrFormat("join%d", i), left, branches[i], 0, 0,
+                            window, o.parallelism);
+      }
+      if (structure == SyntheticStructure::kFilterJoinAgg) {
+        left = b.WindowAggregate("agg", left, window, AggregateFn::kAvg,
+                                 /*agg=*/1, /*key=*/0, o.parallelism);
+      }
+      b.Sink("sink", left);
+      return b.Build();
+    }
+  }
+  return Status::InvalidArgument("unknown structure");
+}
+
+}  // namespace pdsp

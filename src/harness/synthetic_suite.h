@@ -1,0 +1,32 @@
+// Canonical (fixed-parameter) synthetic plans for the Figure 3/4 sweeps.
+// Unlike QueryGenerator's randomized plans, these hold every parameter
+// except parallelism constant — filters at selectivity 0.5, 1-second
+// tumbling time windows, rate-scaled join key spaces — so the figures
+// isolate the effect of the parallelism degree.
+
+#ifndef PDSP_HARNESS_SYNTHETIC_SUITE_H_
+#define PDSP_HARNESS_SYNTHETIC_SUITE_H_
+
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/workload/query_generator.h"
+
+namespace pdsp {
+
+/// \brief Fixed parameters for canonical plans.
+struct CanonicalOptions {
+  double event_rate = 100000.0;  ///< per source
+  int parallelism = 1;           ///< every operator except the sink
+  double window_ms = 1000.0;     ///< tumbling time windows
+  int64_t agg_keys = 1000;       ///< key cardinality for aggregates
+  double filter_selectivity = 0.5;
+};
+
+/// Builds the canonical plan for a structure. Deterministic: the same
+/// options always produce the identical plan.
+Result<LogicalPlan> MakeCanonicalSynthetic(SyntheticStructure structure,
+                                           const CanonicalOptions& options);
+
+}  // namespace pdsp
+
+#endif  // PDSP_HARNESS_SYNTHETIC_SUITE_H_

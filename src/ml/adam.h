@@ -1,0 +1,34 @@
+// Adam optimizer state shared by the gradient-trained models.
+
+#ifndef PDSP_ML_ADAM_H_
+#define PDSP_ML_ADAM_H_
+
+#include <cmath>
+
+#include "src/ml/linalg.h"
+
+namespace pdsp {
+
+/// \brief First/second-moment buffers for one parameter vector.
+struct AdamState {
+  Vector m;
+  Vector v;
+
+  explicit AdamState(size_t n = 0) : m(n, 0.0), v(n, 0.0) {}
+
+  /// One Adam update; `t` is the global 1-based step count.
+  void Step(Vector* param, const Vector& grad, double lr, int t) {
+    constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+    const double bc1 = 1.0 - std::pow(kBeta1, t);
+    const double bc2 = 1.0 - std::pow(kBeta2, t);
+    for (size_t i = 0; i < param->size(); ++i) {
+      m[i] = kBeta1 * m[i] + (1 - kBeta1) * grad[i];
+      v[i] = kBeta2 * v[i] + (1 - kBeta2) * grad[i] * grad[i];
+      (*param)[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + kEps);
+    }
+  }
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_ADAM_H_

@@ -1,0 +1,76 @@
+#include "src/ml/datagen.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace pdsp {
+
+Result<DataGenResult> GenerateTrainingData(const DataGenOptions& options,
+                                           const Cluster& cluster) {
+  if (options.num_samples < 1) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
+  const std::vector<SyntheticStructure>& structures =
+      options.structures.empty() ? AllSyntheticStructures()
+                                 : options.structures;
+
+  QueryGenerator generator(options.query, options.seed);
+  Rng rng(options.seed * 1315423911ULL + 17);
+  DataGenResult result;
+
+  int attempts = 0;
+  const int max_attempts = options.num_samples * 4 + 32;
+  while (static_cast<int>(result.dataset.size()) < options.num_samples &&
+         attempts < max_attempts) {
+    ++attempts;
+    const SyntheticStructure structure = rng.Choice(structures);
+    PDSP_ASSIGN_OR_RETURN(LogicalPlan plan, generator.Generate(structure));
+
+    // One parallelism assignment per query, drawn from the strategy.
+    PDSP_ASSIGN_OR_RETURN(
+        auto assignments,
+        EnumerateParallelism(plan, options.strategy, options.enumeration,
+                             &rng));
+    if (assignments.empty()) {
+      return Status::Internal("enumeration produced no assignments");
+    }
+    const size_t pick = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(assignments.size()) - 1));
+    PDSP_RETURN_NOT_OK(ApplyParallelism(&plan, assignments[pick]));
+
+    ExecutionOptions exec = options.execution;
+    exec.sim.seed =
+        options.seed * 2654435761ULL + static_cast<uint64_t>(attempts);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto sim = ExecutePlan(plan, cluster, exec);
+    result.collection_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!sim.ok()) {
+      // Pathological draws (e.g. join cascades that amplify beyond the
+      // simulator's tuple budget) are discarded, not fatal — the paper's
+      // generator likewise skips invalid workloads.
+      if (sim.status().IsResourceExhausted()) {
+        ++result.discarded;
+        continue;
+      }
+      return sim.status();
+    }
+    if (sim->sink_tuples == 0 || std::isnan(sim->median_latency_s) ||
+        sim->median_latency_s <= 0.0) {
+      ++result.discarded;
+      continue;
+    }
+    PDSP_ASSIGN_OR_RETURN(
+        PlanSample sample,
+        EncodeSample(plan, cluster, sim->median_latency_s,
+                     static_cast<int>(structure)));
+    result.dataset.samples.push_back(std::move(sample));
+  }
+  if (result.dataset.empty()) {
+    return Status::Internal("no query produced usable training data");
+  }
+  return result;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,51 @@
+// Labeled-corpus generation: the bridge between the benchmarking side
+// (workload generator + simulator) and the ML side. Generates synthetic
+// queries, enumerates their parallelism with a chosen strategy, executes
+// them on the simulated cluster, and encodes (plan, cluster, median latency)
+// into training samples. Also accounts for data-collection time — the
+// dominant share of "training time" in Figure 6b.
+
+#ifndef PDSP_ML_DATAGEN_H_
+#define PDSP_ML_DATAGEN_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/ml/features.h"
+#include "src/sim/simulation.h"
+#include "src/workload/enumerator.h"
+#include "src/workload/query_generator.h"
+
+namespace pdsp {
+
+/// \brief Corpus generation parameters.
+struct DataGenOptions {
+  QueryGenOptions query;
+  /// Structures to draw from (empty = all nine).
+  std::vector<SyntheticStructure> structures;
+  /// How parallelism degrees are assigned to generated queries.
+  EnumerationStrategy strategy = EnumerationStrategy::kRandom;
+  EnumerationOptions enumeration;
+  ExecutionOptions execution;
+  /// Number of labeled samples to produce.
+  int num_samples = 100;
+  uint64_t seed = 99;
+};
+
+/// \brief Generation outcome: the corpus plus cost accounting.
+struct DataGenResult {
+  Dataset dataset;
+  /// Wall-clock seconds spent executing queries (data collection).
+  double collection_seconds = 0.0;
+  /// Simulated queries that produced no sink output and were discarded.
+  int discarded = 0;
+};
+
+/// Generates a labeled corpus on the given cluster.
+Result<DataGenResult> GenerateTrainingData(const DataGenOptions& options,
+                                           const Cluster& cluster);
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_DATAGEN_H_

@@ -1,0 +1,142 @@
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pdsp {
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+double MeanOf(const std::vector<double>& ys, const std::vector<int>& idx) {
+  double sum = 0.0;
+  for (int i : idx) sum += ys[i];
+  return idx.empty() ? 0.0 : sum / static_cast<double>(idx.size());
+}
+
+double SseOf(const std::vector<double>& ys, const std::vector<int>& idx,
+             double mean) {
+  double sse = 0.0;
+  for (int i : idx) {
+    const double d = ys[i] - mean;
+    sse += d * d;
+  }
+  return sse;
+}
+
+class Builder {
+ public:
+  Builder(const std::vector<Vector>& xs, const std::vector<double>& ys,
+          const TreeOptions& options, Rng* rng)
+      : xs_(xs), ys_(ys), options_(options), rng_(rng) {}
+
+  RegressionTree Build(std::vector<int> idx) {
+    RegressionTree tree;
+    BuildNode(std::move(idx), 0, &tree);
+    return tree;
+  }
+
+ private:
+  SplitResult BestSplit(const std::vector<int>& idx) {
+    SplitResult best;
+    const size_t dims = xs_[0].size();
+    const auto features_to_try = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(dims) *
+                               options_.feature_fraction));
+    std::vector<size_t> features(dims);
+    std::iota(features.begin(), features.end(), 0);
+    for (size_t i = 0; i < features_to_try; ++i) {
+      const size_t j = static_cast<size_t>(rng_->UniformInt(
+          static_cast<int64_t>(i), static_cast<int64_t>(dims) - 1));
+      std::swap(features[i], features[j]);
+    }
+
+    const double parent_mean = MeanOf(ys_, idx);
+    const double parent_sse = SseOf(ys_, idx, parent_mean);
+
+    std::vector<std::pair<double, int>> sorted;
+    for (size_t fi = 0; fi < features_to_try; ++fi) {
+      const int f = static_cast<int>(features[fi]);
+      sorted.clear();
+      for (int i : idx) sorted.emplace_back(xs_[i][f], i);
+      std::sort(sorted.begin(), sorted.end());
+
+      double left_sum = 0.0, left_sq = 0.0;
+      double total_sum = 0.0, total_sq = 0.0;
+      for (const auto& [xv, i] : sorted) {
+        total_sum += ys_[i];
+        total_sq += ys_[i] * ys_[i];
+      }
+      const auto n = static_cast<double>(sorted.size());
+      for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+        const double y = ys_[sorted[k].second];
+        left_sum += y;
+        left_sq += y * y;
+        if (sorted[k].first == sorted[k + 1].first) continue;  // tie
+        const double nl = static_cast<double>(k + 1);
+        const double nr = n - nl;
+        if (nl < options_.min_leaf || nr < options_.min_leaf) continue;
+        const double sse_l = left_sq - left_sum * left_sum / nl;
+        const double right_sum = total_sum - left_sum;
+        const double sse_r =
+            (total_sq - left_sq) - right_sum * right_sum / nr;
+        const double gain = parent_sse - sse_l - sse_r;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = (sorted[k].first + sorted[k + 1].first) / 2.0;
+        }
+      }
+    }
+    return best;
+  }
+
+  int BuildNode(std::vector<int> idx, int depth, RegressionTree* tree) {
+    const int node_id = static_cast<int>(tree->nodes.size());
+    tree->nodes.emplace_back();
+    tree->nodes[node_id].value = MeanOf(ys_, idx);
+    if (depth >= options_.max_depth ||
+        static_cast<int>(idx.size()) < 2 * options_.min_leaf) {
+      return node_id;
+    }
+    const SplitResult split = BestSplit(idx);
+    if (split.feature < 0 || split.gain <= 1e-12) return node_id;
+
+    std::vector<int> left, right;
+    for (int i : idx) {
+      (xs_[i][split.feature] <= split.threshold ? left : right).push_back(i);
+    }
+    if (left.empty() || right.empty()) return node_id;
+    idx.clear();
+    idx.shrink_to_fit();
+    const int l = BuildNode(std::move(left), depth + 1, tree);
+    const int r = BuildNode(std::move(right), depth + 1, tree);
+    tree->nodes[node_id].feature = split.feature;
+    tree->nodes[node_id].threshold = split.threshold;
+    tree->nodes[node_id].left = l;
+    tree->nodes[node_id].right = r;
+    return node_id;
+  }
+
+  const std::vector<Vector>& xs_;
+  const std::vector<double>& ys_;
+  const TreeOptions& options_;
+  Rng* rng_;
+};
+
+}  // namespace
+
+RegressionTree FitRegressionTree(const std::vector<Vector>& xs,
+                                 const std::vector<double>& ys,
+                                 std::vector<int> idx,
+                                 const TreeOptions& options, Rng* rng) {
+  Builder builder(xs, ys, options, rng);
+  return builder.Build(std::move(idx));
+}
+
+}  // namespace pdsp

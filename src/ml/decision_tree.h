@@ -1,0 +1,56 @@
+// CART regression trees shared by the random forest and gradient-boosted
+// models: variance-reduction splits with per-split feature subsampling,
+// depth and leaf-size limits.
+
+#ifndef PDSP_ML_DECISION_TREE_H_
+#define PDSP_ML_DECISION_TREE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ml/linalg.h"
+
+namespace pdsp {
+
+/// \brief One node of a flat-array regression tree.
+struct TreeNode {
+  int feature = -1;  ///< -1 = leaf
+  double threshold = 0.0;
+  double value = 0.0;  ///< leaf prediction
+  int left = -1;
+  int right = -1;
+};
+
+/// \brief A fitted regression tree.
+struct RegressionTree {
+  std::vector<TreeNode> nodes;
+
+  double Predict(const Vector& x) const {
+    int cur = 0;
+    while (nodes[cur].feature >= 0) {
+      cur = x[static_cast<size_t>(nodes[cur].feature)] <=
+                    nodes[cur].threshold
+                ? nodes[cur].left
+                : nodes[cur].right;
+    }
+    return nodes[cur].value;
+  }
+};
+
+/// \brief Growth limits.
+struct TreeOptions {
+  int max_depth = 12;
+  int min_leaf = 3;
+  /// Fraction of features considered per split.
+  double feature_fraction = 0.6;
+};
+
+/// Fits a tree on (xs[idx], ys[idx]) with variance-reduction splits.
+RegressionTree FitRegressionTree(const std::vector<Vector>& xs,
+                                 const std::vector<double>& ys,
+                                 std::vector<int> idx,
+                                 const TreeOptions& options, Rng* rng);
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_DECISION_TREE_H_

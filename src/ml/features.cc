@@ -1,0 +1,205 @@
+#include "src/ml/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/query/cardinality.h"
+#include "src/sim/cost_model.h"
+
+namespace pdsp {
+
+namespace {
+
+double Log1p(double x) { return std::log1p(std::max(0.0, x)); }
+
+}  // namespace
+
+Result<Vector> EncodeFlat(const LogicalPlan& plan, const Cluster& cluster) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition("plan must be validated");
+  }
+  PDSP_ASSIGN_OR_RETURN(auto cards, CardinalityModel::Compute(plan));
+  const CostModel costs;
+
+  Vector f(kFlatFeatureDim, 0.0);
+  double total_rate = 0.0;
+  for (const SourceBinding& src : plan.sources()) total_rate += src.arrival.rate;
+
+  int filters = 0, maps = 0, flatmaps = 0, aggs = 0, joins = 0, udos = 0;
+  int sources = 0, sliding = 0, count_windows = 0, stateful = 0, hashed = 0;
+  double sel_product = 1.0, expansion = 0.0, udo_cost = 0.0;
+  double window_dur_sum = 0.0, overlap_sum = 0.0;
+  int window_count = 0;
+  int total_par = 0, max_par = 0;
+  int min_par = 1 << 30;
+  double keys_sum = 0.0, rate_max = 0.0, rate_sum = 0.0, bytes_sum = 0.0;
+  double per_inst_rate_max = 0.0, util_max = 0.0;
+
+  const size_t n = plan.NumOperators();
+  for (size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<LogicalPlan::OpId>(i);
+    const OperatorDescriptor& op = plan.op(id);
+    const OpCardinality& c = cards[i];
+    switch (op.type) {
+      case OperatorType::kSource:
+        ++sources;
+        break;
+      case OperatorType::kFilter:
+        ++filters;
+        sel_product *= std::clamp(
+            op.selectivity_hint >= 0.0 ? op.selectivity_hint : 0.5, 0.0, 1.0);
+        break;
+      case OperatorType::kMap:
+        ++maps;
+        break;
+      case OperatorType::kFlatMap:
+        ++flatmaps;
+        expansion += op.flatmap_fanout;
+        break;
+      case OperatorType::kWindowAggregate:
+        ++aggs;
+        break;
+      case OperatorType::kWindowJoin:
+        ++joins;
+        break;
+      case OperatorType::kUdo:
+        ++udos;
+        expansion += op.udo_selectivity;
+        udo_cost += op.udo_cost_factor;
+        stateful += op.udo_stateful ? 1 : 0;
+        break;
+      case OperatorType::kSink:
+        break;
+    }
+    if (op.type == OperatorType::kWindowAggregate ||
+        op.type == OperatorType::kWindowJoin) {
+      ++window_count;
+      window_dur_sum += op.window.policy == WindowPolicy::kTime
+                            ? op.window.DurationSeconds()
+                            : 0.0;
+      overlap_sum += op.window.OverlapFactor();
+      sliding += op.window.type == WindowType::kSliding;
+      count_windows += op.window.policy == WindowPolicy::kCount;
+    }
+    if (op.input_partitioning == Partitioning::kHash) ++hashed;
+    total_par += op.parallelism;
+    max_par = std::max(max_par, op.parallelism);
+    if (op.type != OperatorType::kSink) {
+      min_par = std::min(min_par, op.parallelism);
+    }
+    keys_sum += c.distinct_keys;
+    rate_max = std::max(rate_max, c.input_rate);
+    rate_sum += c.input_rate;
+    bytes_sum += c.tuple_bytes;
+    const double rate_for_cost =
+        op.type == OperatorType::kSource ? c.output_rate : c.input_rate;
+    const double per_inst = rate_for_cost / op.parallelism;
+    per_inst_rate_max = std::max(per_inst_rate_max, per_inst);
+    util_max = std::max(
+        util_max, per_inst * costs.InputTupleCost(op) /
+                      std::max(0.1, cluster.MeanSpeed()));
+  }
+  if (min_par == (1 << 30)) min_par = 1;
+
+  size_t k = 0;
+  f[k++] = Log1p(total_rate);
+  f[k++] = static_cast<double>(n);
+  f[k++] = static_cast<double>(plan.Depth());
+  f[k++] = sources;
+  f[k++] = filters;
+  f[k++] = maps;
+  f[k++] = flatmaps;
+  f[k++] = aggs;
+  f[k++] = joins;
+  f[k++] = udos;
+  f[k++] = Log1p(total_par);
+  f[k++] = static_cast<double>(total_par) / static_cast<double>(n);
+  f[k++] = max_par;
+  f[k++] = min_par;
+  f[k++] = sel_product;
+  f[k++] = expansion;
+  f[k++] = udo_cost;
+  f[k++] = stateful;
+  f[k++] = window_count > 0 ? window_dur_sum / window_count : 0.0;
+  f[k++] = window_count > 0 ? overlap_sum / window_count : 0.0;
+  f[k++] = sliding;
+  f[k++] = count_windows;
+  f[k++] = Log1p(keys_sum);
+  f[k++] = Log1p(rate_max);
+  f[k++] = Log1p(rate_sum);
+  f[k++] = Log1p(cards[plan.SinkId()].output_rate);
+  f[k++] = bytes_sum / static_cast<double>(n) / 100.0;
+  f[k++] = static_cast<double>(cluster.NumNodes());
+  f[k++] = static_cast<double>(cluster.TotalCores()) / 10.0;
+  f[k++] = cluster.MeanSpeed();
+  f[k++] = cluster.IsHeterogeneous() ? 1.0 : 0.0;
+  f[k++] = Log1p(per_inst_rate_max);
+  f[k++] = util_max;
+  f[k++] = hashed;
+  f[k++] = 1.0;  // bias
+  return f;
+}
+
+Result<GraphSample> EncodeGraph(const LogicalPlan& plan,
+                                const Cluster& cluster) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition("plan must be validated");
+  }
+  PDSP_ASSIGN_OR_RETURN(auto cards, CardinalityModel::Compute(plan));
+  const CostModel costs;
+
+  GraphSample g;
+  g.sink = plan.SinkId();
+  g.edges = plan.edges();
+  const size_t n = plan.NumOperators();
+  g.node_features.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<LogicalPlan::OpId>(i);
+    const OperatorDescriptor& op = plan.op(id);
+    const OpCardinality& c = cards[i];
+    Vector x(kNodeFeatureDim, 0.0);
+    size_t k = 0;
+    // One-hot operator type (8 kinds).
+    x[k + static_cast<size_t>(op.type)] = 1.0;
+    k += 8;
+    x[k++] = Log1p(op.parallelism);
+    x[k++] = Log1p(c.input_rate);
+    x[k++] = Log1p(c.output_rate);
+    x[k++] = std::clamp(c.selectivity, 0.0, 8.0);
+    const bool windowed = op.type == OperatorType::kWindowAggregate ||
+                          op.type == OperatorType::kWindowJoin;
+    x[k++] = windowed && op.window.policy == WindowPolicy::kTime
+                 ? op.window.DurationSeconds()
+                 : 0.0;
+    x[k++] = windowed ? op.window.OverlapFactor() : 0.0;
+    x[k++] = Log1p(c.distinct_keys);
+    x[k++] = c.tuple_bytes / 100.0;
+    x[k++] = op.type == OperatorType::kUdo ? op.udo_cost_factor : 0.0;
+    x[k++] = op.udo_stateful ? 1.0 : 0.0;
+    const double rate_for_cost =
+        op.type == OperatorType::kSource ? c.output_rate : c.input_rate;
+    x[k++] = rate_for_cost / op.parallelism * costs.InputTupleCost(op) /
+             std::max(0.1, cluster.MeanSpeed());
+    x[k++] = cluster.MeanSpeed();
+    x[k++] = static_cast<double>(cluster.TotalCores()) / 100.0;
+    x[k++] = cluster.IsHeterogeneous() ? 1.0 : 0.0;
+    g.node_features.push_back(std::move(x));
+  }
+  return g;
+}
+
+Result<PlanSample> EncodeSample(const LogicalPlan& plan,
+                                const Cluster& cluster, double latency_s,
+                                int structure_tag) {
+  if (!(latency_s > 0.0)) {
+    return Status::InvalidArgument("latency label must be positive");
+  }
+  PlanSample sample;
+  PDSP_ASSIGN_OR_RETURN(sample.flat, EncodeFlat(plan, cluster));
+  PDSP_ASSIGN_OR_RETURN(sample.graph, EncodeGraph(plan, cluster));
+  sample.latency_s = latency_s;
+  sample.structure_tag = structure_tag;
+  return sample;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,72 @@
+// Feature encodings of (parallel query plan, cluster) pairs for the learned
+// cost models (Section 4.3): a fixed-length flat vector for LR / MLP /
+// random forest, and a per-operator DAG encoding for the GNN, which treats
+// operators as nodes and dataflow edges as edges [2].
+
+#ifndef PDSP_ML_FEATURES_H_
+#define PDSP_ML_FEATURES_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/ml/linalg.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+
+/// Flat feature vector length (EncodeFlat output).
+constexpr size_t kFlatFeatureDim = 35;
+
+/// Indices of EncodeFlat entries that come from the cardinality model
+/// (estimated rates, key counts, per-instance utilization) rather than from
+/// raw plan structure. Feature ablations zero these to measure how much the
+/// flat models rely on the built-in analytic "oracle" — the advantage that,
+/// in the paper's setting, only the GNN can recover from plan structure.
+constexpr size_t kFlatDerivedFeatureIndices[] = {22, 23, 24, 25, 31, 32};
+/// Per-node feature vector length (EncodeGraph output).
+constexpr size_t kNodeFeatureDim = 23;
+
+/// \brief DAG encoding: one feature vector per operator plus the edge list
+/// (operator-id indices, upstream -> downstream).
+struct GraphSample {
+  std::vector<Vector> node_features;
+  std::vector<std::pair<int, int>> edges;
+  /// Index of the sink node (readout anchor).
+  int sink = 0;
+};
+
+/// \brief One labeled training example.
+struct PlanSample {
+  Vector flat;
+  GraphSample graph;
+  /// Label: measured end-to-end median latency (seconds).
+  double latency_s = 0.0;
+  /// Query-structure tag for seen/unseen generalization splits.
+  int structure_tag = 0;
+};
+
+/// \brief A labeled corpus.
+struct Dataset {
+  std::vector<PlanSample> samples;
+
+  size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+};
+
+/// Encodes plan + cluster into the flat vector (kFlatFeatureDim entries).
+Result<Vector> EncodeFlat(const LogicalPlan& plan, const Cluster& cluster);
+
+/// Encodes plan + cluster into the DAG form.
+Result<GraphSample> EncodeGraph(const LogicalPlan& plan,
+                                const Cluster& cluster);
+
+/// Builds a full sample (both encodings) with the given label and tag.
+Result<PlanSample> EncodeSample(const LogicalPlan& plan,
+                                const Cluster& cluster, double latency_s,
+                                int structure_tag);
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_FEATURES_H_

@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/models.h"
+
+namespace pdsp {
+
+struct GradientBoostModel::Impl {
+  double base = 0.0;  // initial prediction (mean log-latency)
+  double learning_rate = 0.1;
+  std::vector<RegressionTree> trees;
+
+  double Predict(const Vector& x) const {
+    double sum = base;
+    for (const RegressionTree& t : trees) {
+      sum += learning_rate * t.Predict(x);
+    }
+    return sum;
+  }
+};
+
+GradientBoostModel::GradientBoostModel() : impl_(new Impl) {}
+GradientBoostModel::~GradientBoostModel() = default;
+
+Result<TrainReport> GradientBoostModel::Fit(const Dataset& train,
+                                            const Dataset& val,
+                                            const TrainOptions& options) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  if (options.gbt_learning_rate <= 0.0 || options.gbt_subsample <= 0.0 ||
+      options.gbt_subsample > 1.0) {
+    return Status::InvalidArgument("bad gbt hyperparameters");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(options.seed);
+  impl_->trees.clear();
+  impl_->learning_rate = options.gbt_learning_rate;
+
+  std::vector<Vector> xs;
+  std::vector<double> ys;
+  for (const PlanSample& s : train.samples) {
+    xs.push_back(s.flat);
+    ys.push_back(std::log(s.latency_s));
+  }
+  double base = 0.0;
+  for (double y : ys) base += y;
+  impl_->base = base / static_cast<double>(ys.size());
+
+  const Dataset& eval = val.empty() ? train : val;
+  std::vector<double> val_ys;
+  Vector val_pred(eval.size(), impl_->base);
+  for (const PlanSample& s : eval.samples) {
+    val_ys.push_back(std::log(s.latency_s));
+  }
+
+  // Residuals (squared loss => negative gradient is the residual).
+  std::vector<double> residual(ys.size());
+  Vector train_pred(ys.size(), impl_->base);
+
+  TreeOptions topt;
+  topt.max_depth = options.gbt_max_depth;
+  topt.min_leaf = options.rf_min_leaf;
+  topt.feature_fraction = options.rf_feature_fraction;
+
+  TrainReport report;
+  double best_val = 1e300;
+  size_t best_size = 0;
+  int stall = 0;
+
+  for (int t = 0; t < options.gbt_max_trees; ++t) {
+    for (size_t i = 0; i < ys.size(); ++i) {
+      residual[i] = ys[i] - train_pred[i];
+    }
+    // Stochastic boosting: subsample rows per round.
+    std::vector<int> idx;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (rng.Bernoulli(options.gbt_subsample)) {
+        idx.push_back(static_cast<int>(i));
+      }
+    }
+    if (idx.empty()) idx.push_back(0);
+    impl_->trees.push_back(
+        FitRegressionTree(xs, residual, std::move(idx), topt, &rng));
+    ++report.epochs_run;
+
+    const RegressionTree& tree = impl_->trees.back();
+    for (size_t i = 0; i < xs.size(); ++i) {
+      train_pred[i] += impl_->learning_rate * tree.Predict(xs[i]);
+    }
+    double val_loss = 0.0;
+    for (size_t i = 0; i < eval.size(); ++i) {
+      val_pred[i] += impl_->learning_rate *
+                     tree.Predict(eval.samples[i].flat);
+      const double err = val_pred[i] - val_ys[i];
+      val_loss += err * err;
+    }
+    val_loss /= static_cast<double>(eval.size());
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_size = impl_->trees.size();
+      stall = 0;
+    } else if (++stall >= options.patience) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+  impl_->trees.resize(std::max<size_t>(1, best_size));
+  report.final_val_loss = best_val;
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+Result<double> GradientBoostModel::PredictLatency(
+    const PlanSample& sample) const {
+  if (impl_->trees.empty()) return Status::FailedPrecondition("not fitted");
+  return std::exp(std::clamp(impl_->Predict(sample.flat), -12.0, 12.0));
+}
+
+}  // namespace pdsp

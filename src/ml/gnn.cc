@@ -1,0 +1,352 @@
+// DAG message-passing GNN cost model. Operators are nodes, dataflow edges
+// are message edges; K shared-weight rounds propagate embeddings downstream
+// and a readout MLP predicts log latency from the sink embedding plus the
+// mean node embedding (ZeroTune-style plan encoding [2]).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "src/ml/adam.h"
+#include "src/ml/models.h"
+
+namespace pdsp {
+
+namespace {
+
+struct Params {
+  Matrix w_in;   // d x f
+  Vector b_in;   // d
+  Matrix w_self;  // d x d (shared over rounds)
+  Matrix w_agg;   // d x d
+  Vector b_round;  // d
+  Matrix w1;     // h x 2d (readout)
+  Vector b1;     // h
+  Vector w2;     // h
+  double b2 = 0.0;
+
+  Params() = default;
+  Params(size_t d, size_t f, size_t h, Rng* rng)
+      : w_in(Matrix::GlorotRandom(d, f, rng)),
+        b_in(d, 0.0),
+        w_self(Matrix::GlorotRandom(d, d, rng)),
+        w_agg(Matrix::GlorotRandom(d, d, rng)),
+        b_round(d, 0.0),
+        w1(Matrix::GlorotRandom(h, 2 * d, rng)),
+        b1(h, 0.0),
+        w2(h, 0.0),
+        b2(0.0) {
+    for (double& v : w2) v = rng->Uniform(-0.3, 0.3);
+  }
+};
+
+struct Grads {
+  Matrix w_in, w_self, w_agg, w1;
+  Vector b_in, b_round, b1, w2;
+  double b2 = 0.0;
+
+  explicit Grads(const Params& p)
+      : w_in(p.w_in.rows(), p.w_in.cols()),
+        w_self(p.w_self.rows(), p.w_self.cols()),
+        w_agg(p.w_agg.rows(), p.w_agg.cols()),
+        w1(p.w1.rows(), p.w1.cols()),
+        b_in(p.b_in.size(), 0.0),
+        b_round(p.b_round.size(), 0.0),
+        b1(p.b1.size(), 0.0),
+        w2(p.w2.size(), 0.0) {}
+};
+
+// Forward intermediates for one graph.
+struct Trace {
+  // h[r][v]: embedding of node v after round r (r = 0 .. K).
+  std::vector<std::vector<Vector>> h;
+  // msg[r][v]: aggregated incoming message used in round r (r = 1 .. K).
+  std::vector<std::vector<Vector>> msg;
+  Vector readout_in;   // [h_K(sink); mean_v h_K(v)]
+  Vector z;            // post-ReLU readout hidden
+  Vector z_pre;        // pre-activation readout hidden
+  double prediction = 0.0;
+};
+
+void OuterAccumulate(const Vector& delta, const Vector& input, Matrix* grad) {
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (delta[i] == 0.0) continue;
+    for (size_t j = 0; j < input.size(); ++j) {
+      grad->at(i, j) += delta[i] * input[j];
+    }
+  }
+}
+
+}  // namespace
+
+struct GnnModel::Impl {
+  Params params;
+  int rounds = 2;
+  size_t dim = 32;
+  bool fitted = false;
+  // Node feature standardization (fitted over all training nodes).
+  Vector feat_mean;
+  Vector feat_inv_std;
+
+  Vector Standardize(const Vector& x) const {
+    if (feat_mean.empty()) return x;
+    Vector out(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      out[i] = (x[i] - feat_mean[i]) * feat_inv_std[i];
+    }
+    return out;
+  }
+
+  void FitStandardizer(const Dataset& data) {
+    feat_mean.clear();
+    feat_inv_std.clear();
+    int64_t n = 0;
+    Vector m2;
+    for (const PlanSample& s : data.samples) {
+      for (const Vector& x : s.graph.node_features) {
+        if (feat_mean.empty()) {
+          feat_mean.assign(x.size(), 0.0);
+          m2.assign(x.size(), 0.0);
+        }
+        ++n;
+        for (size_t i = 0; i < x.size(); ++i) {
+          const double d = x[i] - feat_mean[i];
+          feat_mean[i] += d / static_cast<double>(n);
+          m2[i] += d * (x[i] - feat_mean[i]);
+        }
+      }
+    }
+    feat_inv_std.assign(feat_mean.size(), 1.0);
+    for (size_t i = 0; i < feat_mean.size(); ++i) {
+      const double sd = std::sqrt(m2[i] / std::max<int64_t>(1, n));
+      feat_inv_std[i] = sd > 1e-9 ? 1.0 / sd : 1.0;
+    }
+  }
+
+  double Forward(const GraphSample& g, Trace* trace) const {
+    const size_t n = g.node_features.size();
+    trace->h.assign(static_cast<size_t>(rounds) + 1, {});
+    trace->msg.assign(static_cast<size_t>(rounds) + 1, {});
+
+    trace->h[0].resize(n);
+    for (size_t v = 0; v < n; ++v) {
+      Vector pre = params.w_in.MatVec(Standardize(g.node_features[v]));
+      for (size_t i = 0; i < pre.size(); ++i) pre[i] += params.b_in[i];
+      for (double& x : pre) x = std::max(0.0, x);
+      trace->h[0][v] = std::move(pre);
+    }
+    for (int r = 1; r <= rounds; ++r) {
+      auto& prev = trace->h[r - 1];
+      trace->msg[r].assign(n, Vector(dim, 0.0));
+      for (const auto& [from, to] : g.edges) {
+        Axpy(1.0, prev[from], &trace->msg[r][to]);
+      }
+      trace->h[r].resize(n);
+      for (size_t v = 0; v < n; ++v) {
+        Vector pre = params.w_self.MatVec(prev[v]);
+        const Vector agg = params.w_agg.MatVec(trace->msg[r][v]);
+        for (size_t i = 0; i < pre.size(); ++i) {
+          pre[i] += agg[i] + params.b_round[i];
+        }
+        for (double& x : pre) x = std::max(0.0, x);
+        trace->h[r][v] = std::move(pre);
+      }
+    }
+    // Readout: [sink embedding ; mean embedding].
+    trace->readout_in.assign(2 * dim, 0.0);
+    const auto& final_h = trace->h[static_cast<size_t>(rounds)];
+    for (size_t i = 0; i < dim; ++i) {
+      trace->readout_in[i] = final_h[g.sink][i];
+    }
+    for (size_t v = 0; v < n; ++v) {
+      for (size_t i = 0; i < dim; ++i) {
+        trace->readout_in[dim + i] +=
+            final_h[v][i] / static_cast<double>(n);
+      }
+    }
+    trace->z_pre = params.w1.MatVec(trace->readout_in);
+    for (size_t i = 0; i < trace->z_pre.size(); ++i) {
+      trace->z_pre[i] += params.b1[i];
+    }
+    trace->z = trace->z_pre;
+    for (double& x : trace->z) x = std::max(0.0, x);
+    trace->prediction = Dot(params.w2, trace->z) + params.b2;
+    return trace->prediction;
+  }
+
+  void Backward(const GraphSample& g, const Trace& trace, double dloss,
+                Grads* grads) const {
+    const size_t n = g.node_features.size();
+    // Readout.
+    Vector dz(params.w2.size());
+    for (size_t i = 0; i < dz.size(); ++i) {
+      grads->w2[i] += dloss * trace.z[i];
+      dz[i] = dloss * params.w2[i];
+      if (trace.z_pre[i] <= 0.0) dz[i] = 0.0;
+    }
+    grads->b2 += dloss;
+    OuterAccumulate(dz, trace.readout_in, &grads->w1);
+    Axpy(1.0, dz, &grads->b1);
+    const Vector dg = params.w1.TransposedMatVec(dz);
+
+    // Distribute to final-round embeddings.
+    std::vector<Vector> dh(n, Vector(dim, 0.0));
+    for (size_t i = 0; i < dim; ++i) {
+      dh[g.sink][i] += dg[i];
+      const double mean_part = dg[dim + i] / static_cast<double>(n);
+      for (size_t v = 0; v < n; ++v) dh[v][i] += mean_part;
+    }
+
+    // Rounds K..1.
+    for (int r = rounds; r >= 1; --r) {
+      const auto& h_prev = trace.h[r - 1];
+      const auto& h_cur = trace.h[r];
+      const auto& msg = trace.msg[r];
+      std::vector<Vector> dprev(n, Vector(dim, 0.0));
+      for (size_t v = 0; v < n; ++v) {
+        Vector dpre = dh[v];
+        for (size_t i = 0; i < dim; ++i) {
+          if (h_cur[v][i] <= 0.0) dpre[i] = 0.0;  // ReLU gate
+        }
+        OuterAccumulate(dpre, h_prev[v], &grads->w_self);
+        OuterAccumulate(dpre, msg[v], &grads->w_agg);
+        Axpy(1.0, dpre, &grads->b_round);
+        // dh_prev via self path.
+        Axpy(1.0, params.w_self.TransposedMatVec(dpre), &dprev[v]);
+        // dmsg -> upstream nodes via agg path.
+        const Vector dmsg = params.w_agg.TransposedMatVec(dpre);
+        for (const auto& [from, to] : g.edges) {
+          if (to == static_cast<int>(v)) {
+            Axpy(1.0, dmsg, &dprev[from]);
+          }
+        }
+      }
+      dh = std::move(dprev);
+    }
+    // Input layer.
+    for (size_t v = 0; v < n; ++v) {
+      Vector dpre = dh[v];
+      for (size_t i = 0; i < dim; ++i) {
+        if (trace.h[0][v][i] <= 0.0) dpre[i] = 0.0;
+      }
+      OuterAccumulate(dpre, Standardize(g.node_features[v]), &grads->w_in);
+      Axpy(1.0, dpre, &grads->b_in);
+    }
+  }
+};
+
+GnnModel::GnnModel() : impl_(new Impl) {}
+GnnModel::~GnnModel() = default;
+
+Result<TrainReport> GnnModel::Fit(const Dataset& train, const Dataset& val,
+                                  const TrainOptions& options) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(options.seed);
+  impl_->rounds = options.gnn_rounds;
+  impl_->dim = static_cast<size_t>(options.gnn_hidden);
+  impl_->FitStandardizer(train);
+  const size_t feat_dim = train.samples[0].graph.node_features[0].size();
+  impl_->params = Params(impl_->dim, feat_dim,
+                         static_cast<size_t>(options.gnn_hidden), &rng);
+
+  std::vector<double> ys, val_ys;
+  for (const PlanSample& s : train.samples) ys.push_back(std::log(s.latency_s));
+  const Dataset& eval = val.empty() ? train : val;
+  for (const PlanSample& s : eval.samples) {
+    val_ys.push_back(std::log(s.latency_s));
+  }
+
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  double best_val = 1e300;
+  Params best_params = impl_->params;
+  int stall = 0;
+  int adam_t = 0;
+  AdamState a_w_in(impl_->params.w_in.data().size());
+  AdamState a_b_in(impl_->params.b_in.size());
+  AdamState a_w_self(impl_->params.w_self.data().size());
+  AdamState a_w_agg(impl_->params.w_agg.data().size());
+  AdamState a_b_round(impl_->params.b_round.size());
+  AdamState a_w1(impl_->params.w1.data().size());
+  AdamState a_b1(impl_->params.b1.size());
+  AdamState a_w2(impl_->params.w2.size());
+  AdamState a_b2(1);
+
+  Trace trace;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options.batch_size));
+      Grads grads(impl_->params);
+      for (size_t k = start; k < end; ++k) {
+        const size_t idx = order[k];
+        const double pred =
+            impl_->Forward(train.samples[idx].graph, &trace);
+        const double dloss =
+            2.0 * (pred - ys[idx]) / static_cast<double>(end - start);
+        impl_->Backward(train.samples[idx].graph, trace, dloss, &grads);
+      }
+      ++adam_t;
+      const double lr = options.learning_rate;
+      a_w_in.Step(&impl_->params.w_in.data(), grads.w_in.data(), lr, adam_t);
+      a_b_in.Step(&impl_->params.b_in, grads.b_in, lr, adam_t);
+      a_w_self.Step(&impl_->params.w_self.data(), grads.w_self.data(), lr,
+                    adam_t);
+      a_w_agg.Step(&impl_->params.w_agg.data(), grads.w_agg.data(), lr,
+                   adam_t);
+      a_b_round.Step(&impl_->params.b_round, grads.b_round, lr, adam_t);
+      a_w1.Step(&impl_->params.w1.data(), grads.w1.data(), lr, adam_t);
+      a_b1.Step(&impl_->params.b1, grads.b1, lr, adam_t);
+      a_w2.Step(&impl_->params.w2, grads.w2, lr, adam_t);
+      Vector b2_vec{impl_->params.b2};
+      a_b2.Step(&b2_vec, Vector{grads.b2}, lr, adam_t);
+      impl_->params.b2 = b2_vec[0];
+    }
+    ++report.epochs_run;
+
+    double val_loss = 0.0;
+    for (size_t i = 0; i < eval.size(); ++i) {
+      const double err =
+          impl_->Forward(eval.samples[i].graph, &trace) - val_ys[i];
+      val_loss += err * err;
+    }
+    val_loss /= static_cast<double>(eval.size());
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_params = impl_->params;
+      stall = 0;
+    } else if (++stall >= options.patience) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+  impl_->params = std::move(best_params);
+  impl_->fitted = true;
+  report.final_val_loss = best_val;
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+Result<double> GnnModel::PredictLatency(const PlanSample& sample) const {
+  if (!impl_->fitted) return Status::FailedPrecondition("not fitted");
+  if (sample.graph.node_features.empty()) {
+    return Status::InvalidArgument("empty graph");
+  }
+  Trace trace;
+  const double log_latency = impl_->Forward(sample.graph, &trace);
+  return std::exp(std::clamp(log_latency, -12.0, 12.0));
+}
+
+}  // namespace pdsp

@@ -1,0 +1,115 @@
+#include "src/ml/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pdsp {
+
+Matrix Matrix::GlorotRandom(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  const double scale = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) v = rng->Uniform(-scale, scale);
+  return m;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vector Matrix::TransposedMatVec(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    const double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("matmul dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Result<Vector> CholeskySolve(Matrix a, Vector b, double ridge) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("cholesky needs square A matching b");
+  }
+  const size_t n = a.rows();
+  for (size_t i = 0; i < n; ++i) a.at(i, i) += ridge;
+
+  // In-place lower-triangular factorization A = L L^T.
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= a.at(j, k) * a.at(j, k);
+    if (diag <= 0.0) {
+      return Status::FailedPrecondition("matrix not positive definite");
+    }
+    a.at(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a.at(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = sum / a.at(j, j);
+    }
+  }
+  // Forward substitution L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= a.at(i, k) * b[k];
+    b[i] = sum / a.at(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= a.at(k, ii) * b[k];
+    b[ii] = sum / a.at(ii, ii);
+  }
+  return b;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  assert(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+}  // namespace pdsp

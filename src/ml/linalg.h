@@ -1,0 +1,67 @@
+// Minimal dense linear algebra for the learned cost models: row-major
+// matrices, BLAS-free products, and a Cholesky solver for ridge regression.
+// Sized for this workload (feature dims < 100, graphs < 20 nodes) — clarity
+// over peak FLOPs.
+
+#ifndef PDSP_ML_LINALG_H_
+#define PDSP_ML_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace pdsp {
+
+using Vector = std::vector<double>;
+
+/// \brief Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Xavier/Glorot-scaled random initialization.
+  static Matrix GlorotRandom(size_t rows, size_t cols, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  Vector& data() { return data_; }
+  const Vector& data() const { return data_; }
+
+  /// y = this * x  (x.size() == cols).
+  Vector MatVec(const Vector& x) const;
+
+  /// y = this^T * x  (x.size() == rows).
+  Vector TransposedMatVec(const Vector& x) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  Vector data_;
+};
+
+/// C = A * B.
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b);
+
+/// A^T.
+Matrix Transpose(const Matrix& a);
+
+/// Solves (A + ridge*I) x = b for symmetric positive definite A via
+/// Cholesky. Fails if the (regularized) matrix is not SPD.
+Result<Vector> CholeskySolve(Matrix a, Vector b, double ridge = 0.0);
+
+/// Element-wise helpers.
+double Dot(const Vector& a, const Vector& b);
+void Axpy(double alpha, const Vector& x, Vector* y);  // y += alpha * x
+void Scale(double alpha, Vector* x);
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_LINALG_H_

@@ -1,0 +1,64 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/ml/linalg.h"
+#include "src/ml/models.h"
+
+namespace pdsp {
+
+Result<TrainReport> LinearRegressionModel::Fit(const Dataset& train,
+                                               const Dataset& val,
+                                               const TrainOptions& options) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  const auto t0 = std::chrono::steady_clock::now();
+  standardizer_ = Standardizer();
+  standardizer_.Fit(train);
+
+  const size_t d = train.samples[0].flat.size();
+  Matrix xtx(d, d);
+  Vector xty(d, 0.0);
+  for (const PlanSample& s : train.samples) {
+    const Vector x = standardizer_.Apply(s.flat);
+    const double y = std::log(s.latency_s);
+    for (size_t i = 0; i < d; ++i) {
+      xty[i] += x[i] * y;
+      for (size_t j = i; j < d; ++j) xtx.at(i, j) += x[i] * x[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < i; ++j) xtx.at(i, j) = xtx.at(j, i);
+  }
+  PDSP_ASSIGN_OR_RETURN(
+      weights_,
+      CholeskySolve(std::move(xtx), std::move(xty),
+                    options.ridge * static_cast<double>(train.size())));
+
+  TrainReport report;
+  report.epochs_run = 1;  // closed form
+  double val_loss = 0.0;
+  const Dataset& eval = val.empty() ? train : val;
+  for (const PlanSample& s : eval.samples) {
+    const double pred = Dot(weights_, standardizer_.Apply(s.flat));
+    const double err = pred - std::log(s.latency_s);
+    val_loss += err * err;
+  }
+  report.final_val_loss = val_loss / static_cast<double>(eval.size());
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+Result<double> LinearRegressionModel::PredictLatency(
+    const PlanSample& sample) const {
+  if (weights_.empty()) return Status::FailedPrecondition("not fitted");
+  if (sample.flat.size() != weights_.size()) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  const double log_latency = Dot(weights_, standardizer_.Apply(sample.flat));
+  // Clamp to a sane range to keep q-errors finite on wild extrapolations.
+  return std::exp(std::clamp(log_latency, -12.0, 12.0));
+}
+
+}  // namespace pdsp

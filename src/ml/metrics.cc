@@ -1,0 +1,45 @@
+#include "src/ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+double QError(double truth, double prediction) {
+  if (truth <= 0.0 || prediction <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(truth / prediction, prediction / truth);
+}
+
+std::string EvalMetrics::ToString() const {
+  return StrFormat(
+      "q-error: median=%.3f mean=%.3f p90=%.3f p95=%.3f max=%.3f (n=%zu)",
+      median_q, mean_q, p90_q, p95_q, max_q, count);
+}
+
+Result<EvalMetrics> Evaluate(const LearnedCostModel& model,
+                             const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty evaluation set");
+  std::vector<double> qs;
+  qs.reserve(data.size());
+  for (const PlanSample& s : data.samples) {
+    PDSP_ASSIGN_OR_RETURN(double pred, model.PredictLatency(s));
+    qs.push_back(QError(s.latency_s, pred));
+  }
+  EvalMetrics m;
+  m.count = qs.size();
+  m.median_q = Percentile(qs, 50.0);
+  m.mean_q = Mean(qs);
+  m.p90_q = Percentile(qs, 90.0);
+  m.p95_q = Percentile(qs, 95.0);
+  m.max_q = *std::max_element(qs.begin(), qs.end());
+  return m;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,36 @@
+// Model accuracy metrics. The paper reports Q-error [39]:
+// q(c, c') = max(c/c', c'/c) >= 1, where c is the true latency and c' the
+// prediction; q = 1 is a perfect prediction.
+
+#ifndef PDSP_ML_METRICS_H_
+#define PDSP_ML_METRICS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ml/model.h"
+
+namespace pdsp {
+
+/// q(c, c') = max(c/c', c'/c). Non-positive inputs yield +infinity.
+double QError(double truth, double prediction);
+
+/// \brief Q-error distribution over an evaluation set.
+struct EvalMetrics {
+  double median_q = 0.0;
+  double mean_q = 0.0;
+  double p90_q = 0.0;
+  double p95_q = 0.0;
+  double max_q = 0.0;
+  size_t count = 0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates a fitted model over a dataset.
+Result<EvalMetrics> Evaluate(const LearnedCostModel& model,
+                             const Dataset& data);
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_METRICS_H_

@@ -1,0 +1,208 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "src/ml/linalg.h"
+#include "src/ml/models.h"
+
+namespace pdsp {
+
+namespace {
+
+// One dense layer with Adam state.
+struct Layer {
+  Matrix w;
+  Vector b;
+  Matrix w_m, w_v;  // Adam moments
+  Vector b_m, b_v;
+
+  Layer(size_t out, size_t in, Rng* rng)
+      : w(Matrix::GlorotRandom(out, in, rng)),
+        b(out, 0.0),
+        w_m(out, in),
+        w_v(out, in),
+        b_m(out, 0.0),
+        b_v(out, 0.0) {}
+};
+
+void AdamStep(Vector* param, Vector* m, Vector* v, const Vector& grad,
+              double lr, int t) {
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  const double bc1 = 1.0 - std::pow(kBeta1, t);
+  const double bc2 = 1.0 - std::pow(kBeta2, t);
+  for (size_t i = 0; i < param->size(); ++i) {
+    (*m)[i] = kBeta1 * (*m)[i] + (1 - kBeta1) * grad[i];
+    (*v)[i] = kBeta2 * (*v)[i] + (1 - kBeta2) * grad[i] * grad[i];
+    (*param)[i] -=
+        lr * ((*m)[i] / bc1) / (std::sqrt((*v)[i] / bc2) + kEps);
+  }
+}
+
+}  // namespace
+
+struct MlpModel::Impl {
+  std::vector<Layer> layers;
+  int adam_t = 0;
+
+  // Forward pass keeping post-activation values per layer.
+  double Forward(const Vector& x, std::vector<Vector>* activations) const {
+    activations->clear();
+    activations->push_back(x);
+    Vector h = x;
+    for (size_t l = 0; l < layers.size(); ++l) {
+      Vector z = layers[l].w.MatVec(h);
+      for (size_t i = 0; i < z.size(); ++i) z[i] += layers[l].b[i];
+      if (l + 1 < layers.size()) {
+        for (double& v : z) v = std::max(0.0, v);  // ReLU
+      }
+      activations->push_back(z);
+      h = activations->back();
+    }
+    return h[0];
+  }
+
+  // Accumulates gradients for one example; dloss = d(loss)/d(output).
+  void Backward(const std::vector<Vector>& activations, double dloss,
+                std::vector<Matrix>* w_grads,
+                std::vector<Vector>* b_grads) const {
+    Vector delta{dloss};
+    for (size_t l = layers.size(); l-- > 0;) {
+      const Vector& input = activations[l];
+      // dW = delta * input^T ; db = delta.
+      Matrix& wg = (*w_grads)[l];
+      Vector& bg = (*b_grads)[l];
+      for (size_t i = 0; i < delta.size(); ++i) {
+        bg[i] += delta[i];
+        for (size_t j = 0; j < input.size(); ++j) {
+          wg.at(i, j) += delta[i] * input[j];
+        }
+      }
+      if (l == 0) break;
+      // Propagate: delta_prev = W^T delta, gated by ReLU activity of the
+      // previous layer's output (activations[l] are post-ReLU for l>0).
+      Vector prev = layers[l].w.TransposedMatVec(delta);
+      for (size_t j = 0; j < prev.size(); ++j) {
+        if (activations[l][j] <= 0.0) prev[j] = 0.0;
+      }
+      delta = std::move(prev);
+    }
+  }
+};
+
+MlpModel::MlpModel() : impl_(new Impl) {}
+MlpModel::~MlpModel() = default;
+
+Result<TrainReport> MlpModel::Fit(const Dataset& train, const Dataset& val,
+                                  const TrainOptions& options) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(options.seed);
+  standardizer_ = Standardizer();
+  standardizer_.Fit(train);
+
+  // Build layer stack [d, hidden..., 1].
+  impl_->layers.clear();
+  impl_->adam_t = 0;
+  size_t in_dim = train.samples[0].flat.size();
+  for (int h : options.mlp_hidden) {
+    impl_->layers.emplace_back(static_cast<size_t>(h), in_dim, &rng);
+    in_dim = static_cast<size_t>(h);
+  }
+  impl_->layers.emplace_back(1, in_dim, &rng);
+
+  // Pre-standardize.
+  std::vector<Vector> xs, val_xs;
+  Vector ys, val_ys;
+  for (const PlanSample& s : train.samples) {
+    xs.push_back(standardizer_.Apply(s.flat));
+    ys.push_back(std::log(s.latency_s));
+  }
+  const Dataset& eval = val.empty() ? train : val;
+  for (const PlanSample& s : eval.samples) {
+    val_xs.push_back(standardizer_.Apply(s.flat));
+    val_ys.push_back(std::log(s.latency_s));
+  }
+
+  std::vector<size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  double best_val = 1e300;
+  std::vector<Layer> best_layers = impl_->layers;
+  int stall = 0;
+
+  std::vector<Vector> activations;
+  std::vector<Matrix> w_grads;
+  std::vector<Vector> b_grads;
+  for (const Layer& l : impl_->layers) {
+    w_grads.emplace_back(l.w.rows(), l.w.cols());
+    b_grads.emplace_back(l.b.size(), 0.0);
+  }
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // Fisher-Yates shuffle.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(i) - 1))]);
+    }
+    for (size_t start = 0; start < xs.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          xs.size(), start + static_cast<size_t>(options.batch_size));
+      for (auto& g : w_grads) g = Matrix(g.rows(), g.cols());
+      for (auto& g : b_grads) g.assign(g.size(), 0.0);
+      for (size_t k = start; k < end; ++k) {
+        const size_t idx = order[k];
+        const double pred = impl_->Forward(xs[idx], &activations);
+        const double dloss = 2.0 * (pred - ys[idx]) /
+                             static_cast<double>(end - start);
+        impl_->Backward(activations, dloss, &w_grads, &b_grads);
+      }
+      ++impl_->adam_t;
+      for (size_t l = 0; l < impl_->layers.size(); ++l) {
+        AdamStep(&impl_->layers[l].w.data(), &impl_->layers[l].w_m.data(),
+                 &impl_->layers[l].w_v.data(), w_grads[l].data(),
+                 options.learning_rate, impl_->adam_t);
+        AdamStep(&impl_->layers[l].b, &impl_->layers[l].b_m,
+                 &impl_->layers[l].b_v, b_grads[l], options.learning_rate,
+                 impl_->adam_t);
+      }
+    }
+    ++report.epochs_run;
+
+    // Validation loss + early stopping.
+    double val_loss = 0.0;
+    for (size_t i = 0; i < val_xs.size(); ++i) {
+      const double err =
+          impl_->Forward(val_xs[i], &activations) - val_ys[i];
+      val_loss += err * err;
+    }
+    val_loss /= static_cast<double>(val_xs.size());
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_layers = impl_->layers;
+      stall = 0;
+    } else if (++stall >= options.patience) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+  impl_->layers = std::move(best_layers);
+  report.final_val_loss = best_val;
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+Result<double> MlpModel::PredictLatency(const PlanSample& sample) const {
+  if (impl_->layers.empty()) return Status::FailedPrecondition("not fitted");
+  std::vector<Vector> activations;
+  const double log_latency =
+      impl_->Forward(standardizer_.Apply(sample.flat), &activations);
+  return std::exp(std::clamp(log_latency, -12.0, 12.0));
+}
+
+}  // namespace pdsp

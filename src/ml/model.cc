@@ -1,0 +1,78 @@
+#include "src/ml/model.h"
+
+#include <cmath>
+
+#include "src/ml/models.h"
+
+namespace pdsp {
+
+const char* ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinearRegression:
+      return "linear_regression";
+    case ModelKind::kMlp:
+      return "mlp";
+    case ModelKind::kRandomForest:
+      return "random_forest";
+    case ModelKind::kGnn:
+      return "gnn";
+    case ModelKind::kGradientBoost:
+      return "gradient_boost";
+  }
+  return "?";
+}
+
+std::unique_ptr<LearnedCostModel> MakeModel(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinearRegression:
+      return std::make_unique<LinearRegressionModel>();
+    case ModelKind::kMlp:
+      return std::make_unique<MlpModel>();
+    case ModelKind::kRandomForest:
+      return std::make_unique<RandomForestModel>();
+    case ModelKind::kGnn:
+      return std::make_unique<GnnModel>();
+    case ModelKind::kGradientBoost:
+      return std::make_unique<GradientBoostModel>();
+  }
+  return nullptr;
+}
+
+void Standardizer::Fit(const Dataset& data) {
+  if (data.empty()) return;
+  const size_t dim = data.samples[0].flat.size();
+  mean_.assign(dim, 0.0);
+  Vector m2(dim, 0.0);
+  int64_t n = 0;
+  for (const PlanSample& s : data.samples) {
+    ++n;
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = s.flat[i] - mean_[i];
+      mean_[i] += d / static_cast<double>(n);
+      m2[i] += d * (s.flat[i] - mean_[i]);
+    }
+  }
+  inv_std_.assign(dim, 1.0);
+  for (size_t i = 0; i < dim; ++i) {
+    const double sd = std::sqrt(m2[i] / static_cast<double>(n));
+    if (sd > 1e-9) {
+      inv_std_[i] = 1.0 / sd;
+    } else {
+      // Constant column (e.g. the bias feature): pass through unchanged so
+      // models can still use it as an intercept.
+      mean_[i] = 0.0;
+      inv_std_[i] = 1.0;
+    }
+  }
+}
+
+Vector Standardizer::Apply(const Vector& x) const {
+  if (mean_.empty() || x.size() != mean_.size()) return x;
+  Vector out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = (x[i] - mean_[i]) * inv_std_[i];
+  }
+  return out;
+}
+
+}  // namespace pdsp

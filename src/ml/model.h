@@ -1,0 +1,112 @@
+// Learned cost model interface (Section 4.3). PDSP-Bench's ML Manager
+// trains heterogeneous model families on the same benchmark-generated data
+// and compares them with consistent metrics; the four architectures from the
+// paper — linear regression [23], MLP [30], random forest [16] and a DAG
+// GNN [62, 2, 26] — implement this interface.
+
+#ifndef PDSP_ML_MODEL_H_
+#define PDSP_ML_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ml/features.h"
+
+namespace pdsp {
+
+/// The four model families of Figure 5.
+enum class ModelKind {
+  kLinearRegression = 0,
+  kMlp,
+  kRandomForest,
+  kGnn,
+  /// Extension beyond the paper's four families.
+  kGradientBoost,
+};
+
+const char* ModelKindToString(ModelKind kind);
+
+/// \brief Shared training hyperparameters. Early stopping (patience on the
+/// validation loss) is applied uniformly across models, as in the paper.
+struct TrainOptions {
+  int max_epochs = 400;
+  /// Early stopping: halt when the validation loss has not improved for
+  /// this many consecutive epochs.
+  int patience = 15;
+  double learning_rate = 3e-3;
+  int batch_size = 16;
+  uint64_t seed = 1;
+
+  // Linear regression.
+  double ridge = 1e-2;
+
+  // MLP.
+  std::vector<int> mlp_hidden = {64, 32};
+
+  // Random forest ("epochs" = trees; early stopping adds trees until the
+  // validation loss stalls).
+  int rf_max_trees = 100;
+  int rf_max_depth = 12;
+  int rf_min_leaf = 3;
+  double rf_feature_fraction = 0.6;
+
+  // GNN.
+  int gnn_hidden = 32;
+  int gnn_rounds = 2;
+
+  // Gradient-boosted trees (extension model).
+  int gbt_max_trees = 300;
+  int gbt_max_depth = 4;
+  double gbt_learning_rate = 0.1;
+  double gbt_subsample = 0.8;
+};
+
+/// \brief What happened during a Fit call.
+struct TrainReport {
+  int epochs_run = 0;
+  bool early_stopped = false;
+  double train_seconds = 0.0;   ///< wall-clock spent in Fit
+  double final_val_loss = 0.0;  ///< best validation MSE (log-latency space)
+};
+
+/// \brief A trainable latency predictor. Models internally regress
+/// log(latency) and expose predictions in seconds.
+class LearnedCostModel {
+ public:
+  virtual ~LearnedCostModel() = default;
+
+  virtual const char* name() const = 0;
+  virtual ModelKind kind() const = 0;
+
+  /// Trains on `train`, early-stopping on `val`. Re-fitting resets state.
+  virtual Result<TrainReport> Fit(const Dataset& train, const Dataset& val,
+                                  const TrainOptions& options) = 0;
+
+  /// Predicted end-to-end latency in seconds. Fails before Fit.
+  virtual Result<double> PredictLatency(const PlanSample& sample) const = 0;
+};
+
+/// Factory for the four families.
+std::unique_ptr<LearnedCostModel> MakeModel(ModelKind kind);
+
+/// \brief Per-feature standardization fitted on training data (mean/std),
+/// shared by the flat-feature models.
+class Standardizer {
+ public:
+  /// Fits means and stds over the flat features of `data`.
+  void Fit(const Dataset& data);
+
+  /// Standardizes a feature vector (no-op before Fit).
+  Vector Apply(const Vector& x) const;
+
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  Vector mean_;
+  Vector inv_std_;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_MODEL_H_

@@ -1,0 +1,103 @@
+// Concrete learned cost models. All regress log(latency); see model.h for
+// the shared interface and hyperparameters.
+
+#ifndef PDSP_ML_MODELS_H_
+#define PDSP_ML_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ml/model.h"
+
+namespace pdsp {
+
+/// \brief Ridge regression over the flat features (closed form via normal
+/// equations + Cholesky).
+class LinearRegressionModel : public LearnedCostModel {
+ public:
+  const char* name() const override { return "linear_regression"; }
+  ModelKind kind() const override { return ModelKind::kLinearRegression; }
+  Result<TrainReport> Fit(const Dataset& train, const Dataset& val,
+                          const TrainOptions& options) override;
+  Result<double> PredictLatency(const PlanSample& sample) const override;
+
+ private:
+  Standardizer standardizer_;
+  Vector weights_;  // includes bias via the constant flat feature
+};
+
+/// \brief Fully connected ReLU network trained with Adam + early stopping.
+class MlpModel : public LearnedCostModel {
+ public:
+  MlpModel();
+  ~MlpModel() override;
+  const char* name() const override { return "mlp"; }
+  ModelKind kind() const override { return ModelKind::kMlp; }
+  Result<TrainReport> Fit(const Dataset& train, const Dataset& val,
+                          const TrainOptions& options) override;
+  Result<double> PredictLatency(const PlanSample& sample) const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  Standardizer standardizer_;
+};
+
+/// \brief Bagged CART regression trees with per-split feature subsampling.
+/// Trees are added until the validation loss stalls (the forest's analogue
+/// of epoch-based early stopping).
+class RandomForestModel : public LearnedCostModel {
+ public:
+  RandomForestModel();
+  ~RandomForestModel() override;
+  const char* name() const override { return "random_forest"; }
+  ModelKind kind() const override { return ModelKind::kRandomForest; }
+  Result<TrainReport> Fit(const Dataset& train, const Dataset& val,
+                          const TrainOptions& options) override;
+  Result<double> PredictLatency(const PlanSample& sample) const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// \brief DAG message-passing network over the operator graph (ZeroTune-
+/// style [2]): shared-weight message rounds along dataflow edges, readout
+/// from the sink embedding concatenated with the mean node embedding.
+class GnnModel : public LearnedCostModel {
+ public:
+  GnnModel();
+  ~GnnModel() override;
+  const char* name() const override { return "gnn"; }
+  ModelKind kind() const override { return ModelKind::kGnn; }
+  Result<TrainReport> Fit(const Dataset& train, const Dataset& val,
+                          const TrainOptions& options) override;
+  Result<double> PredictLatency(const PlanSample& sample) const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// \brief Gradient-boosted regression trees (extension beyond the paper's
+/// four families): shallow trees fit to residuals with shrinkage; boosting
+/// rounds are the "epochs" and stop early on the validation loss.
+class GradientBoostModel : public LearnedCostModel {
+ public:
+  GradientBoostModel();
+  ~GradientBoostModel() override;
+  const char* name() const override { return "gradient_boost"; }
+  ModelKind kind() const override { return ModelKind::kGradientBoost; }
+  Result<TrainReport> Fit(const Dataset& train, const Dataset& val,
+                          const TrainOptions& options) override;
+  Result<double> PredictLatency(const PlanSample& sample) const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_ML_MODELS_H_

@@ -1,0 +1,95 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/models.h"
+
+namespace pdsp {
+
+struct RandomForestModel::Impl {
+  std::vector<RegressionTree> trees;
+
+  double Predict(const Vector& x) const {
+    double sum = 0.0;
+    for (const RegressionTree& t : trees) sum += t.Predict(x);
+    return trees.empty() ? 0.0 : sum / static_cast<double>(trees.size());
+  }
+};
+
+RandomForestModel::RandomForestModel() : impl_(new Impl) {}
+RandomForestModel::~RandomForestModel() = default;
+
+Result<TrainReport> RandomForestModel::Fit(const Dataset& train,
+                                           const Dataset& val,
+                                           const TrainOptions& options) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(options.seed);
+  impl_->trees.clear();
+
+  std::vector<Vector> xs;
+  std::vector<double> ys;
+  for (const PlanSample& s : train.samples) {
+    xs.push_back(s.flat);
+    ys.push_back(std::log(s.latency_s));
+  }
+  const Dataset& eval = val.empty() ? train : val;
+
+  TrainReport report;
+  double best_val = 1e300;
+  size_t best_size = 0;
+  int stall = 0;
+  // Running sums of per-sample predictions over the current forest keep the
+  // incremental validation evaluation O(val) per added tree.
+  Vector val_pred_sum(eval.size(), 0.0);
+
+  for (int t = 0; t < options.rf_max_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<int> idx(xs.size());
+    for (int& i : idx) {
+      i = static_cast<int>(rng.UniformInt(
+          0, static_cast<int64_t>(xs.size()) - 1));
+    }
+    TreeOptions topt;
+    topt.max_depth = options.rf_max_depth;
+    topt.min_leaf = options.rf_min_leaf;
+    topt.feature_fraction = options.rf_feature_fraction;
+    impl_->trees.push_back(
+        FitRegressionTree(xs, ys, std::move(idx), topt, &rng));
+    ++report.epochs_run;
+
+    double val_loss = 0.0;
+    for (size_t i = 0; i < eval.size(); ++i) {
+      val_pred_sum[i] += impl_->trees.back().Predict(eval.samples[i].flat);
+      const double pred =
+          val_pred_sum[i] / static_cast<double>(impl_->trees.size());
+      const double err = pred - std::log(eval.samples[i].latency_s);
+      val_loss += err * err;
+    }
+    val_loss /= static_cast<double>(eval.size());
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_size = impl_->trees.size();
+      stall = 0;
+    } else if (++stall >= options.patience) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+  impl_->trees.resize(std::max<size_t>(1, best_size));
+  report.final_val_loss = best_val;
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+Result<double> RandomForestModel::PredictLatency(
+    const PlanSample& sample) const {
+  if (impl_->trees.empty()) return Status::FailedPrecondition("not fitted");
+  return std::exp(std::clamp(impl_->Predict(sample.flat), -12.0, 12.0));
+}
+
+}  // namespace pdsp

@@ -1,0 +1,175 @@
+#include "src/query/builder.h"
+
+namespace pdsp {
+
+PlanBuilder::OpId PlanBuilder::Add(OperatorDescriptor op,
+                                   std::vector<OpId> inputs) {
+  if (!status_.ok()) return -1;
+  auto id = plan_.AddOperator(std::move(op));
+  if (!id.ok()) {
+    status_ = id.status();
+    return -1;
+  }
+  for (OpId input : inputs) {
+    if (input < 0) {
+      status_ = Status::InvalidArgument("input refers to a failed operator");
+      return -1;
+    }
+    Status st = plan_.Connect(input, *id);
+    if (!st.ok()) {
+      status_ = st;
+      return -1;
+    }
+  }
+  return *id;
+}
+
+PlanBuilder::OpId PlanBuilder::Source(const std::string& name,
+                                      StreamSpec stream,
+                                      ArrivalProcess::Options arrival,
+                                      int parallelism) {
+  if (!status_.ok()) return -1;
+  OperatorDescriptor op;
+  op.type = OperatorType::kSource;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.source_index =
+      plan_.AddSource({std::move(stream), arrival});
+  return Add(std::move(op), {});
+}
+
+PlanBuilder::OpId PlanBuilder::Filter(const std::string& name, OpId input,
+                                      size_t field, FilterOp fop,
+                                      Value literal, int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kFilter;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.filter_field = field;
+  op.filter_op = fop;
+  op.filter_literal = std::move(literal);
+  return Add(std::move(op), {input});
+}
+
+PlanBuilder::OpId PlanBuilder::Map(const std::string& name, OpId input,
+                                   int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kMap;
+  op.name = name;
+  op.parallelism = parallelism;
+  return Add(std::move(op), {input});
+}
+
+PlanBuilder::OpId PlanBuilder::FlatMap(const std::string& name, OpId input,
+                                       double fanout, int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kFlatMap;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.flatmap_fanout = fanout;
+  return Add(std::move(op), {input});
+}
+
+PlanBuilder::OpId PlanBuilder::WindowAggregate(const std::string& name,
+                                               OpId input, WindowSpec window,
+                                               AggregateFn fn,
+                                               size_t agg_field,
+                                               size_t key_field,
+                                               int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kWindowAggregate;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.window = window;
+  op.agg_fn = fn;
+  op.agg_field = agg_field;
+  op.key_field = key_field;
+  return Add(std::move(op), {input});
+}
+
+PlanBuilder::OpId PlanBuilder::WindowJoin(const std::string& name, OpId left,
+                                          OpId right, size_t left_key,
+                                          size_t right_key, WindowSpec window,
+                                          int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kWindowJoin;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.window = window;
+  op.join_left_key = left_key;
+  op.join_right_key = right_key;
+  return Add(std::move(op), {left, right});
+}
+
+PlanBuilder::OpId PlanBuilder::Udo(const std::string& name, OpId input,
+                                   const std::string& kind, double cost_factor,
+                                   double selectivity, bool stateful,
+                                   int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kUdo;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.udo_kind = kind;
+  op.udo_cost_factor = cost_factor;
+  op.udo_selectivity = selectivity;
+  op.udo_stateful = stateful;
+  return Add(std::move(op), {input});
+}
+
+PlanBuilder::OpId PlanBuilder::UdoWithSchema(
+    const std::string& name, OpId input, const std::string& kind,
+    std::vector<Field> out_fields, double cost_factor, double selectivity,
+    bool stateful, int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kUdo;
+  op.name = name;
+  op.parallelism = parallelism;
+  op.udo_kind = kind;
+  op.udo_cost_factor = cost_factor;
+  op.udo_selectivity = selectivity;
+  op.udo_stateful = stateful;
+  op.udo_output_fields = std::move(out_fields);
+  return Add(std::move(op), {input});
+}
+
+PlanBuilder::OpId PlanBuilder::Sink(const std::string& name, OpId input,
+                                    int parallelism) {
+  OperatorDescriptor op;
+  op.type = OperatorType::kSink;
+  op.name = name;
+  op.parallelism = parallelism;
+  return Add(std::move(op), {input});
+}
+
+PlanBuilder& PlanBuilder::WithPartitioning(OpId id,
+                                           Partitioning partitioning) {
+  if (status_.ok() && id >= 0 &&
+      id < static_cast<OpId>(plan_.NumOperators())) {
+    plan_.mutable_op(id)->input_partitioning = partitioning;
+  }
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::WithSelectivityHint(OpId id, double selectivity) {
+  if (status_.ok() && id >= 0 &&
+      id < static_cast<OpId>(plan_.NumOperators())) {
+    plan_.mutable_op(id)->selectivity_hint = selectivity;
+  }
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::ConnectExtra(OpId from, OpId to) {
+  if (status_.ok()) {
+    Status st = plan_.Connect(from, to);
+    if (!st.ok()) status_ = st;
+  }
+  return *this;
+}
+
+Result<LogicalPlan> PlanBuilder::Build() {
+  PDSP_RETURN_NOT_OK(status_);
+  PDSP_RETURN_NOT_OK(plan_.Validate());
+  return std::move(plan_);
+}
+
+}  // namespace pdsp

@@ -1,0 +1,99 @@
+// Fluent construction of logical plans. Errors are latched: the first
+// failure is remembered and reported by Build(), so call sites can chain
+// without checking every step.
+
+#ifndef PDSP_QUERY_BUILDER_H_
+#define PDSP_QUERY_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "src/query/plan.h"
+
+namespace pdsp {
+
+/// \brief Builder for LogicalPlan with one method per operator kind.
+///
+/// Example (2-way join, Figure 2 left):
+/// \code
+///   PlanBuilder b;
+///   auto s1 = b.Source("src1", spec1, arrival1);
+///   auto s2 = b.Source("src2", spec2, arrival2);
+///   auto f1 = b.Filter("f1", s1, 0, FilterOp::kGt, Value(10));
+///   auto f2 = b.Filter("f2", s2, 0, FilterOp::kLt, Value(90));
+///   auto j = b.WindowJoin("join", f1, f2, 1, 1, window);
+///   b.Sink("sink", j);
+///   PDSP_ASSIGN_OR_RETURN(LogicalPlan plan, b.Build());
+/// \endcode
+class PlanBuilder {
+ public:
+  using OpId = LogicalPlan::OpId;
+
+  /// Adds a source over the given stream/arrival binding.
+  OpId Source(const std::string& name, StreamSpec stream,
+              ArrivalProcess::Options arrival, int parallelism = 1);
+
+  /// Adds a comparison filter on `field` of the input.
+  OpId Filter(const std::string& name, OpId input, size_t field, FilterOp op,
+              Value literal, int parallelism = 1);
+
+  /// Adds a 1:1 transformation.
+  OpId Map(const std::string& name, OpId input, int parallelism = 1);
+
+  /// Adds a 1:N transformation with mean fanout.
+  OpId FlatMap(const std::string& name, OpId input, double fanout,
+               int parallelism = 1);
+
+  /// Adds a windowed aggregate; pass OperatorDescriptor::kNoKey for a global
+  /// (un-keyed) window.
+  OpId WindowAggregate(const std::string& name, OpId input, WindowSpec window,
+                       AggregateFn fn, size_t agg_field,
+                       size_t key_field = OperatorDescriptor::kNoKey,
+                       int parallelism = 1);
+
+  /// Adds a windowed equi-join of two inputs.
+  OpId WindowJoin(const std::string& name, OpId left, OpId right,
+                  size_t left_key, size_t right_key, WindowSpec window,
+                  int parallelism = 1);
+
+  /// Adds a user-defined operator resolved by `kind` at execution time.
+  OpId Udo(const std::string& name, OpId input, const std::string& kind,
+           double cost_factor = 1.0, double selectivity = 1.0,
+           bool stateful = false, int parallelism = 1);
+
+  /// Adds a UDO whose output schema differs from its input.
+  OpId UdoWithSchema(const std::string& name, OpId input,
+                     const std::string& kind, std::vector<Field> out_fields,
+                     double cost_factor = 1.0, double selectivity = 1.0,
+                     bool stateful = false, int parallelism = 1);
+
+  /// Adds the sink.
+  OpId Sink(const std::string& name, OpId input, int parallelism = 1);
+
+  /// Overrides the input partitioning of an operator (validation still forces
+  /// hash for keyed operators).
+  PlanBuilder& WithPartitioning(OpId id, Partitioning partitioning);
+
+  /// Sets the estimated selectivity of a filter (generators use this when
+  /// they know the conditional selectivity by construction).
+  PlanBuilder& WithSelectivityHint(OpId id, double selectivity);
+
+  /// Connects an extra edge (for joins built operator-first).
+  PlanBuilder& ConnectExtra(OpId from, OpId to);
+
+  /// Validates and returns the plan (or the first latched error).
+  Result<LogicalPlan> Build();
+
+  /// First latched error (OK if none so far).
+  const Status& status() const { return status_; }
+
+ private:
+  OpId Add(OperatorDescriptor op, std::vector<OpId> inputs);
+
+  LogicalPlan plan_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_QUERY_BUILDER_H_

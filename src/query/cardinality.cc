@@ -1,0 +1,146 @@
+#include "src/query/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/query/selectivity.h"
+
+namespace pdsp {
+
+namespace {
+
+// Distinct values produced by a field generator (for key-count estimates).
+double DistinctValues(const FieldGeneratorSpec& spec) {
+  switch (spec.dist) {
+    case FieldDistribution::kZipfKey:
+    case FieldDistribution::kUniformKey:
+    case FieldDistribution::kWordString:
+      return static_cast<double>(spec.cardinality);
+    case FieldDistribution::kUniformInt:
+      return std::max(1.0, spec.max - spec.min + 1.0);
+    default:
+      return CardinalityModel::kDefaultDistinctKeys;
+  }
+}
+
+double ResolveDistinctKeys(const LogicalPlan& plan, LogicalPlan::OpId input,
+                           size_t field) {
+  auto spec = ResolveFieldSpec(plan, input, field);
+  if (!spec.ok()) return CardinalityModel::kDefaultDistinctKeys;
+  return DistinctValues(*spec);
+}
+
+}  // namespace
+
+Result<std::vector<OpCardinality>> CardinalityModel::Compute(
+    const LogicalPlan& plan) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition("plan must be validated");
+  }
+  std::vector<OpCardinality> cards(plan.NumOperators());
+
+  for (const LogicalPlan::OpId id : plan.TopologicalOrder()) {
+    const OperatorDescriptor& op = plan.op(id);
+    const auto inputs = plan.Inputs(id);
+    OpCardinality& c = cards[id];
+    for (const auto in : inputs) c.input_rate += cards[in].output_rate;
+
+    switch (op.type) {
+      case OperatorType::kSource:
+        c.output_rate = plan.sources()[op.source_index].arrival.rate;
+        break;
+      case OperatorType::kFilter: {
+        double sel = op.selectivity_hint;
+        if (sel < 0.0) {
+          auto spec = ResolveFieldSpec(plan, inputs[0], op.filter_field);
+          if (spec.ok()) {
+            auto est = EstimateFilterSelectivity(*spec, op.filter_op,
+                                                 op.filter_literal);
+            sel = est.ok() ? *est : 0.5;
+          } else {
+            sel = 0.5;
+          }
+        }
+        c.output_rate = c.input_rate * std::clamp(sel, 0.0, 1.0);
+        break;
+      }
+      case OperatorType::kMap:
+        c.output_rate = c.input_rate;
+        break;
+      case OperatorType::kFlatMap:
+        c.output_rate = c.input_rate * std::max(0.0, op.flatmap_fanout);
+        break;
+      case OperatorType::kWindowAggregate: {
+        const bool keyed = op.key_field != OperatorDescriptor::kNoKey;
+        double keys = 1.0;
+        if (keyed) {
+          keys = ResolveDistinctKeys(plan, inputs[0], op.key_field);
+        }
+        c.distinct_keys = keys;
+        if (op.window.policy == WindowPolicy::kTime) {
+          const double slide = std::max(1e-6, op.window.SlideSeconds());
+          // Keys actually present in one window span.
+          const double in_window =
+              c.input_rate * op.window.DurationSeconds();
+          const double keys_eff = std::min(keys, std::max(1.0, in_window));
+          c.output_rate = keys_eff / slide;
+        } else {
+          const double slide =
+              static_cast<double>(std::max<int64_t>(1, op.window.SlideTuples()));
+          c.output_rate = c.input_rate / slide;
+        }
+        break;
+      }
+      case OperatorType::kWindowJoin: {
+        const double rate_l = cards[inputs[0]].output_rate;
+        const double rate_r = cards[inputs[1]].output_rate;
+        const double keys_l =
+            ResolveDistinctKeys(plan, inputs[0], op.join_left_key);
+        const double keys_r =
+            ResolveDistinctKeys(plan, inputs[1], op.join_right_key);
+        const double keys = std::max(1.0, std::max(keys_l, keys_r));
+        c.distinct_keys = keys;
+        double sel;
+        if (op.join_selectivity_hint >= 0.0) {
+          sel = op.join_selectivity_hint;
+        } else {
+          // Skew-aware: P(match) = sum_k p_l(k) p_r(k) when both key
+          // distributions resolve; uniform 1/keys otherwise.
+          auto spec_l = ResolveFieldSpec(plan, inputs[0], op.join_left_key);
+          auto spec_r = ResolveFieldSpec(plan, inputs[1], op.join_right_key);
+          if (spec_l.ok() && spec_r.ok()) {
+            sel = KeyMatchProbability(*spec_l, *spec_r);
+          } else {
+            sel = 1.0 / keys;
+          }
+        }
+        double window_l, window_r;
+        if (op.window.policy == WindowPolicy::kTime) {
+          window_l = rate_l * op.window.DurationSeconds();
+          window_r = rate_r * op.window.DurationSeconds();
+        } else {
+          window_l = window_r =
+              static_cast<double>(op.window.length_tuples);
+        }
+        // Each arriving left tuple probes the right window and vice versa.
+        c.output_rate = rate_l * window_r * sel + rate_r * window_l * sel;
+        break;
+      }
+      case OperatorType::kUdo: {
+        c.output_rate = c.input_rate * std::max(0.0, op.udo_selectivity);
+        if (op.udo_stateful) c.distinct_keys = kDefaultDistinctKeys;
+        break;
+      }
+      case OperatorType::kSink:
+        c.output_rate = c.input_rate;
+        break;
+    }
+    c.tuple_bytes =
+        static_cast<double>(plan.OutputSchema(id).EstimatedTupleBytes());
+    c.selectivity =
+        c.input_rate > 0.0 ? c.output_rate / c.input_rate : 1.0;
+  }
+  return cards;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,39 @@
+// Cardinality / rate propagation over a logical plan: estimated input and
+// output tuple rates, tuple sizes and distinct-key counts per operator.
+// Consumers: the rule-based parallelism enumerator (Section 3.1, "considers
+// factors such as event rates, operator selectivity, and the number of
+// cores"), the fast cardinality-only simulation mode, and the ML feature
+// encoders.
+
+#ifndef PDSP_QUERY_CARDINALITY_H_
+#define PDSP_QUERY_CARDINALITY_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+
+/// \brief Per-operator rate estimates (tuples/second, steady state).
+struct OpCardinality {
+  double input_rate = 0.0;    ///< total tuples/s entering the operator
+  double output_rate = 0.0;   ///< total tuples/s leaving the operator
+  double tuple_bytes = 0.0;   ///< mean wire size of an *output* tuple
+  double distinct_keys = 1.0; ///< keys seen by keyed operators (1 otherwise)
+  double selectivity = 1.0;   ///< output_rate / input_rate (0 if no input)
+};
+
+/// \brief Propagates rates topologically from the sources.
+class CardinalityModel {
+ public:
+  /// Default distinct-key count when provenance can't resolve a key field.
+  static constexpr double kDefaultDistinctKeys = 100.0;
+
+  /// Computes estimates for every operator of a validated plan.
+  static Result<std::vector<OpCardinality>> Compute(const LogicalPlan& plan);
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_QUERY_CARDINALITY_H_

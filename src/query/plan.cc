@@ -1,0 +1,462 @@
+#include "src/query/plan.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+const char* OperatorTypeToString(OperatorType type) {
+  switch (type) {
+    case OperatorType::kSource:
+      return "source";
+    case OperatorType::kFilter:
+      return "filter";
+    case OperatorType::kMap:
+      return "map";
+    case OperatorType::kFlatMap:
+      return "flatmap";
+    case OperatorType::kWindowAggregate:
+      return "window_agg";
+    case OperatorType::kWindowJoin:
+      return "window_join";
+    case OperatorType::kUdo:
+      return "udo";
+    case OperatorType::kSink:
+      return "sink";
+  }
+  return "?";
+}
+
+const char* FilterOpToString(FilterOp op) {
+  switch (op) {
+    case FilterOp::kLt:
+      return "<";
+    case FilterOp::kLe:
+      return "<=";
+    case FilterOp::kGt:
+      return ">";
+    case FilterOp::kGe:
+      return ">=";
+    case FilterOp::kEq:
+      return "==";
+    case FilterOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+const char* WindowTypeToString(WindowType type) {
+  return type == WindowType::kTumbling ? "tumbling" : "sliding";
+}
+
+const char* WindowPolicyToString(WindowPolicy policy) {
+  return policy == WindowPolicy::kTime ? "time" : "count";
+}
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+    case AggregateFn::kAvg:
+      return "avg";
+    case AggregateFn::kMean:
+      return "mean";
+    case AggregateFn::kSum:
+      return "sum";
+  }
+  return "?";
+}
+
+const char* PartitioningToString(Partitioning partitioning) {
+  switch (partitioning) {
+    case Partitioning::kForward:
+      return "forward";
+    case Partitioning::kRebalance:
+      return "rebalance";
+    case Partitioning::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+double WindowSpec::SlideSeconds() const {
+  if (type == WindowType::kTumbling) return DurationSeconds();
+  return DurationSeconds() * slide_ratio;
+}
+
+int64_t WindowSpec::SlideTuples() const {
+  if (type == WindowType::kTumbling) return length_tuples;
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(length_tuples) *
+                              slide_ratio));
+}
+
+double WindowSpec::OverlapFactor() const {
+  if (type == WindowType::kTumbling) return 1.0;
+  return slide_ratio > 0.0 ? 1.0 / slide_ratio : 1.0;
+}
+
+std::string WindowSpec::ToString() const {
+  if (policy == WindowPolicy::kTime) {
+    return StrFormat("%s/time %.0fms slide %.2f", WindowTypeToString(type),
+                     duration_ms, type == WindowType::kSliding ? slide_ratio
+                                                               : 1.0);
+  }
+  return StrFormat("%s/count %lld slide %.2f", WindowTypeToString(type),
+                   static_cast<long long>(length_tuples),
+                   type == WindowType::kSliding ? slide_ratio : 1.0);
+}
+
+bool OperatorDescriptor::RequiresKeyedInput() const {
+  switch (type) {
+    case OperatorType::kWindowAggregate:
+      return key_field != kNoKey;
+    case OperatorType::kWindowJoin:
+      return true;
+    case OperatorType::kUdo:
+      return udo_stateful;
+    default:
+      return false;
+  }
+}
+
+std::string OperatorDescriptor::ToString() const {
+  std::string out = StrFormat("%s[%s] p=%d part=%s", name.c_str(),
+                              OperatorTypeToString(type), parallelism,
+                              PartitioningToString(input_partitioning));
+  switch (type) {
+    case OperatorType::kFilter:
+      out += StrFormat(" f%zu %s %s", filter_field, FilterOpToString(filter_op),
+                       filter_literal.ToString().c_str());
+      break;
+    case OperatorType::kWindowAggregate:
+      out += StrFormat(" %s(f%zu) key=%s win={%s}",
+                       AggregateFnToString(agg_fn), agg_field,
+                       key_field == kNoKey ? "none"
+                                           : StrFormat("f%zu", key_field).c_str(),
+                       window.ToString().c_str());
+      break;
+    case OperatorType::kWindowJoin:
+      out += StrFormat(" on l.f%zu==r.f%zu win={%s}", join_left_key,
+                       join_right_key, window.ToString().c_str());
+      break;
+    case OperatorType::kUdo:
+      out += StrFormat(" kind=%s cost=%.2f sel=%.2f%s", udo_kind.c_str(),
+                       udo_cost_factor, udo_selectivity,
+                       udo_stateful ? " stateful" : "");
+      break;
+    case OperatorType::kFlatMap:
+      out += StrFormat(" fanout=%.2f", flatmap_fanout);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+Result<LogicalPlan::OpId> LogicalPlan::AddOperator(OperatorDescriptor op) {
+  if (op.name.empty()) return Status::InvalidArgument("operator needs a name");
+  if (by_name_.count(op.name) != 0) {
+    return Status::AlreadyExists("duplicate operator name '" + op.name + "'");
+  }
+  const OpId id = static_cast<OpId>(ops_.size());
+  by_name_[op.name] = id;
+  ops_.push_back(std::move(op));
+  validated_ = false;
+  return id;
+}
+
+Status LogicalPlan::Connect(OpId from, OpId to) {
+  const auto n = static_cast<OpId>(ops_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (from == to) return Status::InvalidArgument("self-edge");
+  for (const auto& [f, t] : edges_) {
+    if (f == from && t == to) {
+      return Status::AlreadyExists("duplicate edge");
+    }
+  }
+  edges_.emplace_back(from, to);
+  validated_ = false;
+  return Status::OK();
+}
+
+int LogicalPlan::AddSource(SourceBinding binding) {
+  sources_.push_back(std::move(binding));
+  validated_ = false;
+  return static_cast<int>(sources_.size()) - 1;
+}
+
+std::vector<LogicalPlan::OpId> LogicalPlan::Inputs(OpId id) const {
+  std::vector<OpId> in;
+  for (const auto& [f, t] : edges_) {
+    if (t == id) in.push_back(f);
+  }
+  return in;
+}
+
+std::vector<LogicalPlan::OpId> LogicalPlan::Outputs(OpId id) const {
+  std::vector<OpId> out;
+  for (const auto& [f, t] : edges_) {
+    if (f == id) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<LogicalPlan::OpId> LogicalPlan::SourceIds() const {
+  std::vector<OpId> ids;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].type == OperatorType::kSource) {
+      ids.push_back(static_cast<OpId>(i));
+    }
+  }
+  return ids;
+}
+
+Result<LogicalPlan::OpId> LogicalPlan::FindOperator(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no operator named '" + name + "'");
+  }
+  return it->second;
+}
+
+int LogicalPlan::TotalParallelism() const {
+  int total = 0;
+  for (const auto& op : ops_) total += op.parallelism;
+  return total;
+}
+
+Status LogicalPlan::ComputeTopologicalOrder() {
+  const size_t n = ops_.size();
+  std::vector<int> in_degree(n, 0);
+  for (const auto& [f, t] : edges_) {
+    (void)f;
+    ++in_degree[t];
+  }
+  std::queue<OpId> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) ready.push(static_cast<OpId>(i));
+  }
+  topo_.clear();
+  while (!ready.empty()) {
+    const OpId id = ready.front();
+    ready.pop();
+    topo_.push_back(id);
+    for (const auto& [f, t] : edges_) {
+      if (f == id && --in_degree[t] == 0) ready.push(t);
+    }
+  }
+  if (topo_.size() != n) return Status::InvalidArgument("plan has a cycle");
+  return Status::OK();
+}
+
+Status LogicalPlan::DeriveSchemas() {
+  out_schemas_.assign(ops_.size(), Schema());
+  for (const OpId id : topo_) {
+    const OperatorDescriptor& op = ops_[id];
+    const std::vector<OpId> in = Inputs(id);
+    switch (op.type) {
+      case OperatorType::kSource:
+        out_schemas_[id] = sources_[op.source_index].stream.schema;
+        break;
+      case OperatorType::kFilter: {
+        const Schema& s = out_schemas_[in[0]];
+        if (op.filter_field >= s.NumFields()) {
+          return Status::OutOfRange(StrFormat(
+              "%s: filter field %zu out of range (schema has %zu fields)",
+              op.name.c_str(), op.filter_field, s.NumFields()));
+        }
+        out_schemas_[id] = s;
+        break;
+      }
+      case OperatorType::kMap:
+      case OperatorType::kFlatMap:
+      case OperatorType::kSink:
+        out_schemas_[id] = out_schemas_[in[0]];
+        break;
+      case OperatorType::kUdo:
+        out_schemas_[id] = op.udo_output_fields.empty()
+                               ? out_schemas_[in[0]]
+                               : Schema(op.udo_output_fields);
+        break;
+      case OperatorType::kWindowAggregate: {
+        const Schema& s = out_schemas_[in[0]];
+        if (op.agg_field >= s.NumFields()) {
+          return Status::OutOfRange(
+              StrFormat("%s: aggregate field %zu out of range", op.name.c_str(),
+                        op.agg_field));
+        }
+        if (op.key_field != OperatorDescriptor::kNoKey &&
+            op.key_field >= s.NumFields()) {
+          return Status::OutOfRange(StrFormat(
+              "%s: key field %zu out of range", op.name.c_str(), op.key_field));
+        }
+        Schema out;
+        if (op.key_field != OperatorDescriptor::kNoKey) {
+          PDSP_RETURN_NOT_OK(
+              out.AddField({"key", s.field(op.key_field).type}));
+        }
+        PDSP_RETURN_NOT_OK(out.AddField({"agg", DataType::kDouble}));
+        out_schemas_[id] = std::move(out);
+        break;
+      }
+      case OperatorType::kWindowJoin: {
+        const Schema& l = out_schemas_[in[0]];
+        const Schema& r = out_schemas_[in[1]];
+        if (op.join_left_key >= l.NumFields() ||
+            op.join_right_key >= r.NumFields()) {
+          return Status::OutOfRange(
+              StrFormat("%s: join key out of range", op.name.c_str()));
+        }
+        Schema out;
+        for (size_t i = 0; i < l.NumFields(); ++i) {
+          PDSP_RETURN_NOT_OK(
+              out.AddField({"l_" + l.field(i).name, l.field(i).type}));
+        }
+        for (size_t i = 0; i < r.NumFields(); ++i) {
+          PDSP_RETURN_NOT_OK(
+              out.AddField({"r_" + r.field(i).name, r.field(i).type}));
+        }
+        out_schemas_[id] = std::move(out);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LogicalPlan::Validate() {
+  if (ops_.empty()) return Status::InvalidArgument("empty plan");
+
+  // Arity, parallelism and per-type structural checks.
+  int sink_count = 0;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    OperatorDescriptor& op = ops_[i];
+    const OpId id = static_cast<OpId>(i);
+    const size_t fan_in = Inputs(id).size();
+    const size_t fan_out = Outputs(id).size();
+    if (op.parallelism < 1) {
+      return Status::InvalidArgument(
+          StrFormat("%s: parallelism %d < 1", op.name.c_str(),
+                    op.parallelism));
+    }
+    switch (op.type) {
+      case OperatorType::kSource:
+        if (fan_in != 0) {
+          return Status::InvalidArgument(op.name + ": source has inputs");
+        }
+        if (op.source_index < 0 ||
+            op.source_index >= static_cast<int>(sources_.size())) {
+          return Status::OutOfRange(op.name + ": source_index out of range");
+        }
+        break;
+      case OperatorType::kSink:
+        ++sink_count;
+        if (fan_out != 0) {
+          return Status::InvalidArgument(op.name + ": sink has outputs");
+        }
+        if (fan_in < 1) {
+          return Status::InvalidArgument(op.name + ": sink has no input");
+        }
+        sink_id_ = id;
+        break;
+      case OperatorType::kWindowJoin:
+        if (fan_in != 2) {
+          return Status::InvalidArgument(
+              StrFormat("%s: join needs exactly 2 inputs, has %zu",
+                        op.name.c_str(), fan_in));
+        }
+        break;
+      default:
+        if (fan_in != 1) {
+          return Status::InvalidArgument(
+              StrFormat("%s: unary operator needs exactly 1 input, has %zu",
+                        op.name.c_str(), fan_in));
+        }
+        break;
+    }
+    if (op.type != OperatorType::kSink && fan_out == 0) {
+      return Status::InvalidArgument(op.name + ": dangling operator");
+    }
+    // Keyed operators must receive hash-partitioned input; auto-correct so
+    // randomly generated plans stay valid.
+    if (op.RequiresKeyedInput()) op.input_partitioning = Partitioning::kHash;
+    // A source's "input partitioning" is meaningless; normalize to forward.
+    if (op.type == OperatorType::kSource) {
+      op.input_partitioning = Partitioning::kForward;
+    }
+  }
+  if (sink_count != 1) {
+    return Status::InvalidArgument(
+        StrFormat("plan needs exactly 1 sink, has %d", sink_count));
+  }
+
+  PDSP_RETURN_NOT_OK(ComputeTopologicalOrder());
+
+  // Reachability: every operator must lie on a source->sink path.
+  const size_t n = ops_.size();
+  std::vector<bool> from_source(n, false), to_sink(n, false);
+  for (const OpId id : topo_) {
+    if (ops_[id].type == OperatorType::kSource) from_source[id] = true;
+    for (const OpId up : Inputs(id)) {
+      if (from_source[up]) from_source[id] = true;
+    }
+  }
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    if (ops_[*it].type == OperatorType::kSink) to_sink[*it] = true;
+    for (const OpId down : Outputs(*it)) {
+      if (to_sink[down]) to_sink[*it] = true;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!from_source[i] || !to_sink[i]) {
+      return Status::InvalidArgument(ops_[i].name +
+                                     ": not on a source->sink path");
+    }
+  }
+
+  PDSP_RETURN_NOT_OK(DeriveSchemas());
+  validated_ = true;
+  return Status::OK();
+}
+
+int LogicalPlan::Depth() const {
+  std::vector<int> depth(ops_.size(), 1);
+  int best = ops_.empty() ? 0 : 1;
+  // Works on any acyclic plan; ordering by insertion is insufficient, so use
+  // a simple longest-path DP over a locally computed topological order.
+  LogicalPlan* self = const_cast<LogicalPlan*>(this);
+  if (topo_.size() != ops_.size()) {
+    if (!self->ComputeTopologicalOrder().ok()) return 0;
+  }
+  for (const OpId id : topo_) {
+    for (const OpId up : Inputs(id)) {
+      depth[id] = std::max(depth[id], depth[up] + 1);
+    }
+    best = std::max(best, depth[id]);
+  }
+  return best;
+}
+
+std::string LogicalPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    out += StrFormat("#%zu ", i) + ops_[i].ToString();
+    const auto downs = Outputs(static_cast<OpId>(i));
+    if (!downs.empty()) {
+      out += " ->";
+      for (OpId d : downs) out += StrFormat(" #%d", d);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,234 @@
+// Logical (parallel) query plans. A plan is a DAG of operator descriptors —
+// sources, filters, maps/flatMaps, windowed aggregates, windowed joins,
+// user-defined operators (UDOs) and a sink — each carrying a parallelism
+// degree and the partitioning strategy of its input edges. This is the "PQP"
+// of the paper (Section 2, footnote 2): one structure that, combined with
+// parallelism degrees, expands into many physical queries.
+
+#ifndef PDSP_QUERY_PLAN_H_
+#define PDSP_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/arrival.h"
+#include "src/data/generator.h"
+#include "src/data/value.h"
+
+namespace pdsp {
+
+/// Logical operator kinds.
+enum class OperatorType {
+  kSource = 0,
+  kFilter,
+  kMap,
+  kFlatMap,
+  kWindowAggregate,
+  kWindowJoin,
+  kUdo,
+  kSink,
+};
+
+const char* OperatorTypeToString(OperatorType type);
+
+/// Filter comparison functions (Table 3: <, >, <=, >=, ==, !=).
+enum class FilterOp { kLt = 0, kLe, kGt, kGe, kEq, kNe };
+
+const char* FilterOpToString(FilterOp op);
+
+/// Window shapes and eviction policies (Table 3).
+enum class WindowType { kTumbling = 0, kSliding = 1 };
+enum class WindowPolicy { kTime = 0, kCount = 1 };
+
+const char* WindowTypeToString(WindowType type);
+const char* WindowPolicyToString(WindowPolicy policy);
+
+/// Aggregation functions (Table 3: min, max, avg, mean, sum).
+enum class AggregateFn { kMin = 0, kMax, kAvg, kMean, kSum };
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// Data partitioning strategies between operator instances (Table 3:
+/// forward, rebalance, hashing).
+enum class Partitioning { kForward = 0, kRebalance = 1, kHash = 2 };
+
+const char* PartitioningToString(Partitioning partitioning);
+
+/// \brief Window definition shared by aggregates and joins.
+struct WindowSpec {
+  WindowType type = WindowType::kTumbling;
+  WindowPolicy policy = WindowPolicy::kTime;
+  /// Time policy: window span in milliseconds.
+  double duration_ms = 1000.0;
+  /// Count policy: window span in tuples.
+  int64_t length_tuples = 1000;
+  /// Sliding windows: slide = ratio * span (Table 3: 0.3 .. 0.7).
+  double slide_ratio = 0.5;
+
+  /// Window span in seconds for time policy.
+  double DurationSeconds() const { return duration_ms / 1000.0; }
+  /// Slide in seconds (== duration for tumbling).
+  double SlideSeconds() const;
+  /// Slide in tuples (== length for tumbling).
+  int64_t SlideTuples() const;
+  /// How many overlapping panes an element belongs to (1 for tumbling).
+  double OverlapFactor() const;
+
+  std::string ToString() const;
+};
+
+/// \brief One logical operator. Only the fields relevant to `type` are
+/// meaningful; the rest stay at their defaults.
+struct OperatorDescriptor {
+  OperatorType type = OperatorType::kMap;
+  /// Unique name within the plan.
+  std::string name;
+  /// Number of parallel instances this operator runs with.
+  int parallelism = 1;
+  /// How tuples are routed from upstream instances into this operator.
+  /// Keyed operators (window aggregate / join) are forced to kHash by
+  /// validation.
+  Partitioning input_partitioning = Partitioning::kRebalance;
+
+  // --- kSource ---
+  /// Index into LogicalPlan::sources().
+  int source_index = 0;
+
+  // --- kFilter ---
+  FilterOp filter_op = FilterOp::kGt;
+  size_t filter_field = 0;
+  Value filter_literal;
+  /// Estimated pass fraction in (0, 1); < 0 means "unknown".
+  double selectivity_hint = -1.0;
+
+  // --- kMap / kFlatMap ---
+  /// Mean output tuples per input tuple (kMap: 1).
+  double flatmap_fanout = 1.0;
+
+  // --- kWindowAggregate ---
+  WindowSpec window;
+  AggregateFn agg_fn = AggregateFn::kSum;
+  size_t agg_field = 0;
+  /// Key field for per-key grouping; kNoKey for a global window.
+  size_t key_field = kNoKey;
+
+  // --- kWindowJoin --- (window/agg fields above reused: window = join win.)
+  size_t join_left_key = 0;
+  size_t join_right_key = 0;
+  /// Match probability for a pair of wind tuples; < 0 means key-equality
+  /// cardinality math is used instead.
+  double join_selectivity_hint = -1.0;
+
+  // --- kUdo ---
+  /// Registry key identifying the compute logic (e.g. "sentiment_score").
+  std::string udo_kind;
+  /// Output schema of the UDO when it differs from its input (e.g. a
+  /// tokenizer turning sentences into words). Empty = same as input.
+  std::vector<Field> udo_output_fields;
+  /// Per-tuple compute cost relative to a standard map (>= 0).
+  double udo_cost_factor = 1.0;
+  /// Mean output tuples per input tuple.
+  double udo_selectivity = 1.0;
+  /// Whether the UDO keeps keyed state (drives coordination overhead).
+  bool udo_stateful = false;
+
+  static constexpr size_t kNoKey = static_cast<size_t>(-1);
+
+  /// True for operators whose input must be hash-partitioned by key.
+  bool RequiresKeyedInput() const;
+
+  std::string ToString() const;
+};
+
+/// \brief A data source binding: what the stream looks like and how fast it
+/// arrives.
+struct SourceBinding {
+  StreamSpec stream;
+  ArrivalProcess::Options arrival;
+};
+
+/// \brief Immutable-after-validation DAG of operators.
+///
+/// Operators are referenced by dense integer ids (insertion order); edges are
+/// (from, to) pairs. Use PlanBuilder for convenient construction.
+class LogicalPlan {
+ public:
+  using OpId = int;
+
+  /// Adds an operator; returns its id. Fails on duplicate names.
+  Result<OpId> AddOperator(OperatorDescriptor op);
+
+  /// Adds a dataflow edge from `from` to `to`.
+  Status Connect(OpId from, OpId to);
+
+  /// Registers a source binding; returns its index.
+  int AddSource(SourceBinding binding);
+
+  /// Structural validation: ids in range, acyclic, exactly one sink, sources
+  /// have no inputs and sinks no outputs, filter/map/agg/udo arity 1, join
+  /// arity 2, every operator reachable, parallelism >= 1, keyed operators
+  /// hash-partitioned, source_index in range, field indices within the
+  /// upstream schema. Also derives per-operator output schemas.
+  Status Validate();
+
+  bool validated() const { return validated_; }
+
+  size_t NumOperators() const { return ops_.size(); }
+  const OperatorDescriptor& op(OpId id) const { return ops_.at(id); }
+  OperatorDescriptor* mutable_op(OpId id) {
+    validated_ = false;
+    return &ops_.at(id);
+  }
+  const std::vector<std::pair<OpId, OpId>>& edges() const { return edges_; }
+
+  const std::vector<SourceBinding>& sources() const { return sources_; }
+
+  /// Ids of direct upstream / downstream operators.
+  std::vector<OpId> Inputs(OpId id) const;
+  std::vector<OpId> Outputs(OpId id) const;
+
+  /// Topological order (sources first). Requires validated().
+  const std::vector<OpId>& TopologicalOrder() const { return topo_; }
+
+  /// Output schema of an operator. Requires validated().
+  const Schema& OutputSchema(OpId id) const { return out_schemas_.at(id); }
+
+  /// Id of the unique sink. Requires validated().
+  OpId SinkId() const { return sink_id_; }
+
+  /// Ids of all source operators.
+  std::vector<OpId> SourceIds() const;
+
+  /// Looks up an operator id by name.
+  Result<OpId> FindOperator(const std::string& name) const;
+
+  /// Sum of parallelism over all operators (total task count).
+  int TotalParallelism() const;
+
+  /// Longest source->sink path length in operators (plan "depth").
+  int Depth() const;
+
+  /// Multi-line description of the DAG.
+  std::string ToString() const;
+
+ private:
+  Status ComputeTopologicalOrder();
+  Status DeriveSchemas();
+
+  std::vector<OperatorDescriptor> ops_;
+  std::vector<std::pair<OpId, OpId>> edges_;
+  std::vector<SourceBinding> sources_;
+  std::map<std::string, OpId> by_name_;
+
+  bool validated_ = false;
+  std::vector<OpId> topo_;
+  std::vector<Schema> out_schemas_;
+  OpId sink_id_ = -1;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_QUERY_PLAN_H_

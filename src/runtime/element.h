@@ -1,0 +1,23 @@
+// Stream elements: a tuple plus the birth timestamp of its earliest
+// contributing source tuple. End-to-end latency at the sink is
+// (delivery time - birth), which per the paper's definition includes window
+// residence time and every queueing/network delay along the way.
+
+#ifndef PDSP_RUNTIME_ELEMENT_H_
+#define PDSP_RUNTIME_ELEMENT_H_
+
+#include "src/data/value.h"
+
+namespace pdsp {
+
+/// \brief One in-flight stream element.
+struct StreamElement {
+  Tuple tuple;
+  /// Production time of the earliest source tuple that contributed to this
+  /// element (== tuple.event_time for raw source tuples).
+  double birth = 0.0;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_RUNTIME_ELEMENT_H_

@@ -1,0 +1,425 @@
+#include "src/runtime/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <queue>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/runtime/udo.h"
+
+namespace pdsp {
+
+bool EvaluateFilter(const Value& value, FilterOp op, const Value& literal) {
+  switch (op) {
+    case FilterOp::kLt:
+      return value < literal;
+    case FilterOp::kLe:
+      return value <= literal;
+    case FilterOp::kGt:
+      return value > literal;
+    case FilterOp::kGe:
+      return value >= literal;
+    case FilterOp::kEq:
+      return value == literal;
+    case FilterOp::kNe:
+      return value != literal;
+  }
+  return false;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class FilterExec : public OperatorInstance {
+ public:
+  explicit FilterExec(const OperatorDescriptor& op) : op_(op) {}
+
+  Status Process(const StreamElement& e, int, double,
+                 std::vector<StreamElement>* out) override {
+    if (op_.filter_field >= e.tuple.values.size()) {
+      return Status::OutOfRange(
+          StrFormat("filter field %zu beyond tuple arity %zu",
+                    op_.filter_field, e.tuple.values.size()));
+    }
+    if (EvaluateFilter(e.tuple.values[op_.filter_field], op_.filter_op,
+                       op_.filter_literal)) {
+      out->push_back(e);
+    }
+    return Status::OK();
+  }
+
+ private:
+  OperatorDescriptor op_;
+};
+
+class MapExec : public OperatorInstance {
+ public:
+  Status Process(const StreamElement& e, int, double,
+                 std::vector<StreamElement>* out) override {
+    out->push_back(e);
+    return Status::OK();
+  }
+};
+
+class FlatMapExec : public OperatorInstance {
+ public:
+  FlatMapExec(const OperatorDescriptor& op, uint64_t seed)
+      : fanout_(std::max(0.0, op.flatmap_fanout)), rng_(seed) {}
+
+  Status Process(const StreamElement& e, int, double,
+                 std::vector<StreamElement>* out) override {
+    const auto whole = static_cast<int64_t>(fanout_);
+    int64_t copies = whole;
+    copies += rng_.Bernoulli(fanout_ - static_cast<double>(whole)) ? 1 : 0;
+    for (int64_t i = 0; i < copies; ++i) out->push_back(e);
+    return Status::OK();
+  }
+
+ private:
+  double fanout_;
+  Rng rng_;
+};
+
+// Incremental aggregate over one pane/buffer.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = kInf;
+  double max = -kInf;
+  double first_birth = kInf;
+
+  void Add(double v, double birth) {
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    first_birth = std::min(first_birth, birth);
+  }
+
+  double Finish(AggregateFn fn) const {
+    switch (fn) {
+      case AggregateFn::kSum:
+        return sum;
+      case AggregateFn::kMin:
+        return min;
+      case AggregateFn::kMax:
+        return max;
+      case AggregateFn::kAvg:
+      case AggregateFn::kMean:
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    return 0.0;
+  }
+};
+
+// Time-policy window aggregation with sliding panes aligned to the slide.
+class TimeWindowAggExec : public OperatorInstance {
+ public:
+  explicit TimeWindowAggExec(const OperatorDescriptor& op)
+      : op_(op),
+        duration_(op.window.DurationSeconds()),
+        slide_(std::max(1e-9, op.window.SlideSeconds())) {}
+
+  Status Process(const StreamElement& e, int, double,
+                 std::vector<StreamElement>* out) override {
+    (void)out;
+    const double t = e.tuple.event_time;
+    if (op_.agg_field >= e.tuple.values.size()) {
+      return Status::OutOfRange("aggregate field beyond tuple arity");
+    }
+    const bool keyed = op_.key_field != OperatorDescriptor::kNoKey;
+    if (keyed && op_.key_field >= e.tuple.values.size()) {
+      return Status::OutOfRange("key field beyond tuple arity");
+    }
+    const Value key = keyed ? e.tuple.values[op_.key_field] : Value(0);
+    const double v = e.tuple.values[op_.agg_field].AsNumeric();
+    // Panes containing t: starts in (t - duration, t], aligned to slide.
+    const auto last_pane = static_cast<int64_t>(std::floor(t / slide_));
+    bool contributed = false;
+    for (int64_t pane = last_pane; pane >= 0; --pane) {
+      const double start = static_cast<double>(pane) * slide_;
+      if (start + duration_ <= t) break;  // pane closed before t
+      if (start + duration_ <= watermark_) continue;  // pane already fired
+      auto [it, inserted] = panes_.try_emplace(pane);
+      if (inserted) timer_heap_.push(start + duration_);
+      it->second[key].Add(v, e.birth);
+      contributed = true;
+    }
+    if (!contributed) ++late_drops_;
+    return Status::OK();
+  }
+
+  void OnTimer(double now, std::vector<StreamElement>* out) override {
+    while (!panes_.empty()) {
+      const int64_t pane = panes_.begin()->first;
+      const double pane_end = static_cast<double>(pane) * slide_ + duration_;
+      if (pane_end > now) break;
+      const bool keyed = op_.key_field != OperatorDescriptor::kNoKey;
+      for (const auto& [key, state] : panes_.begin()->second) {
+        StreamElement result;
+        result.tuple.event_time = pane_end;
+        result.birth = state.first_birth;
+        if (keyed) result.tuple.values.push_back(key);
+        result.tuple.values.push_back(Value(state.Finish(op_.agg_fn)));
+        out->push_back(std::move(result));
+      }
+      panes_.erase(panes_.begin());
+      watermark_ = std::max(watermark_, pane_end);
+    }
+    while (!timer_heap_.empty() && timer_heap_.top() <= now) {
+      timer_heap_.pop();
+    }
+  }
+
+  double NextTimerTime() const override {
+    return timer_heap_.empty() ? kInf : timer_heap_.top();
+  }
+
+  void Flush(double now, std::vector<StreamElement>* out) override {
+    OnTimer(kInf, out);
+    (void)now;
+  }
+
+  size_t StateSize() const override {
+    size_t total = 0;
+    for (const auto& [pane, keys] : panes_) total += keys.size();
+    return total;
+  }
+
+  int64_t LateDrops() const override { return late_drops_; }
+
+ private:
+  OperatorDescriptor op_;
+  double duration_;
+  double slide_;
+  double watermark_ = -kInf;  // end of the latest fired pane
+  int64_t late_drops_ = 0;
+  // pane index -> key -> aggregate state; ordered so firing pops from front.
+  std::map<int64_t, std::map<Value, AggState>> panes_;
+  std::priority_queue<double, std::vector<double>, std::greater<>> timer_heap_;
+};
+
+// Count-policy window aggregation: per key, fire every SlideTuples() once
+// the buffer holds length_tuples elements.
+class CountWindowAggExec : public OperatorInstance {
+ public:
+  explicit CountWindowAggExec(const OperatorDescriptor& op)
+      : op_(op),
+        length_(std::max<int64_t>(1, op.window.length_tuples)),
+        slide_(std::max<int64_t>(1, op.window.SlideTuples())) {}
+
+  Status Process(const StreamElement& e, int, double,
+                 std::vector<StreamElement>* out) override {
+    if (op_.agg_field >= e.tuple.values.size()) {
+      return Status::OutOfRange("aggregate field beyond tuple arity");
+    }
+    const bool keyed = op_.key_field != OperatorDescriptor::kNoKey;
+    if (keyed && op_.key_field >= e.tuple.values.size()) {
+      return Status::OutOfRange("key field beyond tuple arity");
+    }
+    const Value key = keyed ? e.tuple.values[op_.key_field] : Value(0);
+    auto& buf = buffers_[key];
+    buf.emplace_back(e.tuple.values[op_.agg_field].AsNumeric(), e.birth);
+    if (static_cast<int64_t>(buf.size()) >= length_) {
+      AggState state;
+      for (const auto& [v, birth] : buf) state.Add(v, birth);
+      StreamElement result;
+      result.tuple.event_time = e.tuple.event_time;
+      result.birth = state.first_birth;
+      if (keyed) result.tuple.values.push_back(key);
+      result.tuple.values.push_back(Value(state.Finish(op_.agg_fn)));
+      out->push_back(std::move(result));
+      for (int64_t i = 0; i < slide_ && !buf.empty(); ++i) buf.pop_front();
+    }
+    return Status::OK();
+  }
+
+  size_t StateSize() const override {
+    size_t total = 0;
+    for (const auto& [key, buf] : buffers_) total += buf.size();
+    return total;
+  }
+
+ private:
+  OperatorDescriptor op_;
+  int64_t length_;
+  int64_t slide_;
+  std::map<Value, std::deque<std::pair<double, double>>> buffers_;
+};
+
+// Windowed equi-join. Time policy: per-side keyed buffers holding the last
+// `duration` seconds of elements (by event time); every arrival probes the
+// opposite side. Count policy: per-side per-key buffers of the last
+// length_tuples elements.
+class WindowJoinExec : public OperatorInstance {
+ public:
+  explicit WindowJoinExec(const OperatorDescriptor& op)
+      : op_(op), duration_(op.window.DurationSeconds()) {}
+
+  Status Process(const StreamElement& e, int input_port, double,
+                 std::vector<StreamElement>* out) override {
+    if (input_port < 0 || input_port > 1) {
+      return Status::OutOfRange("join input port must be 0 or 1");
+    }
+    const size_t key_field =
+        input_port == 0 ? op_.join_left_key : op_.join_right_key;
+    if (key_field >= e.tuple.values.size()) {
+      return Status::OutOfRange("join key beyond tuple arity");
+    }
+    const Value key = e.tuple.values[key_field];
+    const double t = e.tuple.event_time;
+
+    Side& mine = sides_[input_port];
+    Side& other = sides_[1 - input_port];
+
+    // Evict expired entries from the probed key bucket (time policy).
+    auto other_it = other.buffers.find(key);
+    if (other_it != other.buffers.end()) {
+      auto& buf = other_it->second;
+      if (op_.window.policy == WindowPolicy::kTime) {
+        size_t expired = 0;
+        while (expired < buf.size() &&
+               buf[expired].tuple.event_time < t - duration_) {
+          ++expired;
+        }
+        if (expired > 0) {
+          buf.erase(buf.begin(), buf.begin() + static_cast<int64_t>(expired));
+          other.total -= expired;
+        }
+      }
+      for (const StreamElement& match : buf) {
+        StreamElement joined;
+        joined.tuple.event_time = std::max(t, match.tuple.event_time);
+        joined.birth = std::min(e.birth, match.birth);
+        const StreamElement& left = input_port == 0 ? e : match;
+        const StreamElement& right = input_port == 0 ? match : e;
+        joined.tuple.values.reserve(left.tuple.values.size() +
+                                    right.tuple.values.size());
+        for (const Value& v : left.tuple.values)
+          joined.tuple.values.push_back(v);
+        for (const Value& v : right.tuple.values)
+          joined.tuple.values.push_back(v);
+        out->push_back(std::move(joined));
+      }
+      if (buf.empty()) other.buffers.erase(other_it);
+    }
+
+    // Insert into own buffer and evict.
+    auto& own = mine.buffers[key];
+    own.push_back(e);
+    ++mine.total;
+    if (op_.window.policy == WindowPolicy::kTime) {
+      size_t expired = 0;
+      while (expired < own.size() &&
+             own[expired].tuple.event_time < t - duration_) {
+        ++expired;
+      }
+      if (expired > 0) {
+        own.erase(own.begin(), own.begin() + static_cast<int64_t>(expired));
+        mine.total -= expired;
+      }
+    } else {
+      const auto cap = static_cast<size_t>(
+          std::max<int64_t>(1, op_.window.length_tuples));
+      while (own.size() > cap) {
+        --mine.total;
+        own.erase(own.begin());
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t StateSize() const override {
+    return sides_[0].total + sides_[1].total;
+  }
+
+ private:
+  struct Side {
+    // Per-key buckets hold only a handful of in-window elements each, so a
+    // small vector beats a deque (whose minimum allocation is ~512B — with
+    // ID-like join keys that caused hundreds of MB of allocator churn).
+    std::map<Value, std::vector<StreamElement>> buffers;
+    size_t total = 0;
+  };
+
+  OperatorDescriptor op_;
+  double duration_;
+  Side sides_[2];
+};
+
+class UdoExec : public OperatorInstance {
+ public:
+  UdoExec(std::unique_ptr<Udo> udo, int instance, uint64_t seed)
+      : udo_(std::move(udo)), instance_(instance), rng_(seed) {}
+
+  Status Process(const StreamElement& e, int, double now,
+                 std::vector<StreamElement>* out) override {
+    UdoContext ctx;
+    ctx.now = now;
+    ctx.instance = instance_;
+    ctx.rng = &rng_;
+    udo_->Process(e, &ctx, out);
+    return Status::OK();
+  }
+
+  void Flush(double now, std::vector<StreamElement>* out) override {
+    UdoContext ctx;
+    ctx.now = now;
+    ctx.instance = instance_;
+    ctx.rng = &rng_;
+    udo_->Flush(&ctx, out);
+  }
+
+ private:
+  std::unique_ptr<Udo> udo_;
+  int instance_;
+  Rng rng_;
+};
+
+class SinkExec : public OperatorInstance {
+ public:
+  Status Process(const StreamElement& e, int, double,
+                 std::vector<StreamElement>* out) override {
+    out->push_back(e);  // the simulator records latency on sink output
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<OperatorInstance>> CreateOperatorInstance(
+    const LogicalPlan& plan, LogicalPlan::OpId op_id, int instance,
+    uint64_t seed) {
+  const OperatorDescriptor& op = plan.op(op_id);
+  switch (op.type) {
+    case OperatorType::kSource:
+      return Status::InvalidArgument(
+          "sources are driven by the simulator, not OperatorInstance");
+    case OperatorType::kFilter:
+      return {std::make_unique<FilterExec>(op)};
+    case OperatorType::kMap:
+      return {std::make_unique<MapExec>()};
+    case OperatorType::kFlatMap:
+      return {std::make_unique<FlatMapExec>(op, seed)};
+    case OperatorType::kWindowAggregate:
+      if (op.window.policy == WindowPolicy::kTime) {
+        return {std::make_unique<TimeWindowAggExec>(op)};
+      }
+      return {std::make_unique<CountWindowAggExec>(op)};
+    case OperatorType::kWindowJoin:
+      return {std::make_unique<WindowJoinExec>(op)};
+    case OperatorType::kUdo: {
+      PDSP_ASSIGN_OR_RETURN(auto udo, UdoRegistry::Global().Create(op));
+      return {std::make_unique<UdoExec>(std::move(udo), instance, seed)};
+    }
+    case OperatorType::kSink:
+      return {std::make_unique<SinkExec>()};
+  }
+  return Status::Internal("unknown operator type");
+}
+
+}  // namespace pdsp

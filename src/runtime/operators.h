@@ -1,0 +1,68 @@
+// Executable operator instances. Each physical task owns one
+// OperatorInstance that really processes tuples — filters compare values,
+// windows maintain keyed panes, joins probe keyed buffers — so simulated
+// runs produce functionally correct results while the simulator supplies
+// the timing.
+
+#ifndef PDSP_RUNTIME_OPERATORS_H_
+#define PDSP_RUNTIME_OPERATORS_H_
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/runtime/element.h"
+
+namespace pdsp {
+
+/// \brief One parallel instance of a non-source operator.
+class OperatorInstance {
+ public:
+  virtual ~OperatorInstance() = default;
+
+  /// Processes one element arriving on `input_port` (joins: 0 = left,
+  /// 1 = right) at virtual time `now`; appends outputs to *out.
+  virtual Status Process(const StreamElement& element, int input_port,
+                         double now, std::vector<StreamElement>* out) = 0;
+
+  /// Fires any timers due at or before `now` (window pane emission).
+  virtual void OnTimer(double now, std::vector<StreamElement>* out) {
+    (void)now;
+    (void)out;
+  }
+
+  /// Earliest pending timer; +infinity when none.
+  virtual double NextTimerTime() const {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Emits whatever partial state remains at end of stream.
+  virtual void Flush(double now, std::vector<StreamElement>* out) {
+    (void)now;
+    (void)out;
+  }
+
+  /// Elements currently buffered in operator state (windows/joins); used by
+  /// the simulator to account for state-size effects and by tests.
+  virtual size_t StateSize() const { return 0; }
+
+  /// Elements dropped because they arrived after their window had already
+  /// fired (late data under queueing delay, as in Flink's default policy).
+  virtual int64_t LateDrops() const { return 0; }
+};
+
+/// Instantiates the runtime for (op, instance) of a validated plan.
+/// Sources are driven by the simulator itself and are invalid here.
+Result<std::unique_ptr<OperatorInstance>> CreateOperatorInstance(
+    const LogicalPlan& plan, LogicalPlan::OpId op, int instance,
+    uint64_t seed);
+
+/// Evaluates `value <op> literal` exactly as FilterExec does (shared with
+/// tests and selectivity checks).
+bool EvaluateFilter(const Value& value, FilterOp op, const Value& literal);
+
+}  // namespace pdsp
+
+#endif  // PDSP_RUNTIME_OPERATORS_H_

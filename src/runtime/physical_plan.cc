@@ -1,0 +1,103 @@
+#include "src/runtime/physical_plan.h"
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+Result<PhysicalPlan> PhysicalPlan::FromLogical(const LogicalPlan* logical) {
+  if (logical == nullptr) return Status::InvalidArgument("null plan");
+  if (!logical->validated()) {
+    return Status::FailedPrecondition("logical plan must be validated");
+  }
+  PhysicalPlan phys;
+  phys.logical_ = logical;
+  phys.first_task_.assign(logical->NumOperators(), 0);
+
+  // Tasks, operator-major in topological order? Placement expects the same
+  // order as InstancesPerOp(); use plain operator-id order for stable ids.
+  for (size_t op = 0; op < logical->NumOperators(); ++op) {
+    phys.first_task_[op] = static_cast<int>(phys.tasks_.size());
+    const int p = logical->op(static_cast<LogicalPlan::OpId>(op)).parallelism;
+    for (int i = 0; i < p; ++i) {
+      PhysicalTask t;
+      t.id = static_cast<int>(phys.tasks_.size());
+      t.op = static_cast<LogicalPlan::OpId>(op);
+      t.instance = i;
+      phys.tasks_.push_back(t);
+    }
+  }
+
+  // Channels: one group per logical edge; the port is the position of the
+  // edge among the downstream operator's inputs (insertion order).
+  for (size_t op = 0; op < logical->NumOperators(); ++op) {
+    const auto to = static_cast<LogicalPlan::OpId>(op);
+    const auto inputs = logical->Inputs(to);
+    for (size_t port = 0; port < inputs.size(); ++port) {
+      ChannelGroup g;
+      g.from_op = inputs[port];
+      g.to_op = to;
+      g.input_port = static_cast<int>(port);
+      g.mode = logical->op(to).input_partitioning;
+      if (g.mode == Partitioning::kForward &&
+          logical->op(g.from_op).parallelism !=
+              logical->op(to).parallelism) {
+        g.mode = Partitioning::kRebalance;  // Flink-style degradation
+      }
+      phys.channels_.push_back(g);
+    }
+  }
+  return phys;
+}
+
+std::vector<ChannelGroup> PhysicalPlan::ChannelsFrom(
+    LogicalPlan::OpId op) const {
+  std::vector<ChannelGroup> out;
+  for (const ChannelGroup& g : channels_) {
+    if (g.from_op == op) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<int> PhysicalPlan::InstancesPerOp() const {
+  std::vector<int> out;
+  out.reserve(logical_->NumOperators());
+  for (size_t op = 0; op < logical_->NumOperators(); ++op) {
+    out.push_back(logical_->op(static_cast<LogicalPlan::OpId>(op)).parallelism);
+  }
+  return out;
+}
+
+size_t PhysicalPlan::PartitionKeyField(LogicalPlan::OpId to_op,
+                                       int input_port) const {
+  const OperatorDescriptor& op = logical_->op(to_op);
+  switch (op.type) {
+    case OperatorType::kWindowAggregate:
+      return op.key_field;
+    case OperatorType::kWindowJoin:
+      return input_port == 0 ? op.join_left_key : op.join_right_key;
+    case OperatorType::kUdo:
+      // Stateful UDOs partition on their first field by convention.
+      return op.udo_stateful ? 0 : OperatorDescriptor::kNoKey;
+    default:
+      return OperatorDescriptor::kNoKey;
+  }
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out = StrFormat("physical plan: %zu tasks, %zu channel groups\n",
+                              tasks_.size(), channels_.size());
+  for (size_t op = 0; op < logical_->NumOperators(); ++op) {
+    const auto id = static_cast<LogicalPlan::OpId>(op);
+    out += StrFormat("  %s: tasks [%d..%d)\n", logical_->op(id).name.c_str(),
+                     FirstTaskOf(id), FirstTaskOf(id) + ParallelismOf(id));
+  }
+  for (const ChannelGroup& g : channels_) {
+    out += StrFormat("  %s -> %s port %d via %s\n",
+                     logical_->op(g.from_op).name.c_str(),
+                     logical_->op(g.to_op).name.c_str(), g.input_port,
+                     PartitioningToString(g.mode));
+  }
+  return out;
+}
+
+}  // namespace pdsp

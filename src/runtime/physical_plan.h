@@ -1,0 +1,82 @@
+// Physical plans: the expansion of a logical plan into parallel operator
+// instances (tasks) and partitioned channels between them — what Flink calls
+// the ExecutionGraph. Task ordering is operator-major in topological order,
+// matching the task order expected by cluster placement.
+
+#ifndef PDSP_RUNTIME_PHYSICAL_PLAN_H_
+#define PDSP_RUNTIME_PHYSICAL_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+
+/// \brief One parallel instance of a logical operator.
+struct PhysicalTask {
+  int id = 0;                      ///< dense task id
+  LogicalPlan::OpId op = 0;        ///< logical operator
+  int instance = 0;                ///< instance index within the operator
+};
+
+/// \brief One logical dataflow edge with its effective routing mode and the
+/// input port it feeds on the downstream operator (joins: 0 = left,
+/// 1 = right; unary operators: 0).
+struct ChannelGroup {
+  LogicalPlan::OpId from_op = 0;
+  LogicalPlan::OpId to_op = 0;
+  Partitioning mode = Partitioning::kRebalance;
+  int input_port = 0;
+};
+
+/// \brief Parallel expansion of a validated logical plan.
+class PhysicalPlan {
+ public:
+  /// Expands the plan. kForward edges between operators of unequal
+  /// parallelism degrade to kRebalance (as in Flink).
+  static Result<PhysicalPlan> FromLogical(const LogicalPlan* logical);
+
+  const LogicalPlan& logical() const { return *logical_; }
+
+  size_t NumTasks() const { return tasks_.size(); }
+  const PhysicalTask& task(int id) const { return tasks_.at(id); }
+  const std::vector<PhysicalTask>& tasks() const { return tasks_; }
+
+  /// First task id of an operator's instance range.
+  int FirstTaskOf(LogicalPlan::OpId op) const { return first_task_.at(op); }
+  /// Parallelism of an operator.
+  int ParallelismOf(LogicalPlan::OpId op) const {
+    return logical_->op(op).parallelism;
+  }
+  /// Task id of (op, instance).
+  int TaskId(LogicalPlan::OpId op, int instance) const {
+    return first_task_.at(op) + instance;
+  }
+
+  const std::vector<ChannelGroup>& channels() const { return channels_; }
+
+  /// Channel groups leaving `op`.
+  std::vector<ChannelGroup> ChannelsFrom(LogicalPlan::OpId op) const;
+
+  /// Parallelism degrees per operator in task order (input for PlaceTasks).
+  std::vector<int> InstancesPerOp() const;
+
+  /// The key field a downstream operator partitions on for a given input
+  /// port (kNoKey when the operator is not keyed on that port).
+  size_t PartitionKeyField(LogicalPlan::OpId to_op, int input_port) const;
+
+  std::string ToString() const;
+
+ private:
+  const LogicalPlan* logical_ = nullptr;
+  std::vector<PhysicalTask> tasks_;
+  std::vector<int> first_task_;
+  std::vector<ChannelGroup> channels_;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_RUNTIME_PHYSICAL_PLAN_H_

@@ -1,0 +1,108 @@
+#include "src/runtime/udo.h"
+
+#include <cmath>
+
+namespace pdsp {
+
+namespace {
+
+class NoopUdo : public Udo {
+ public:
+  void Process(const StreamElement& e, UdoContext*,
+               std::vector<StreamElement>* out) override {
+    out->push_back(e);
+  }
+};
+
+class SampleUdo : public Udo {
+ public:
+  explicit SampleUdo(double keep) : keep_(keep) {}
+  void Process(const StreamElement& e, UdoContext* ctx,
+               std::vector<StreamElement>* out) override {
+    if (ctx->rng->Bernoulli(keep_)) out->push_back(e);
+  }
+
+ private:
+  double keep_;
+};
+
+class ReplicateUdo : public Udo {
+ public:
+  explicit ReplicateUdo(double fanout) : fanout_(fanout) {}
+  void Process(const StreamElement& e, UdoContext* ctx,
+               std::vector<StreamElement>* out) override {
+    const auto whole = static_cast<int64_t>(fanout_);
+    int64_t copies = whole;
+    copies += ctx->rng->Bernoulli(fanout_ - static_cast<double>(whole)) ? 1 : 0;
+    for (int64_t i = 0; i < copies; ++i) out->push_back(e);
+  }
+
+ private:
+  double fanout_;
+};
+
+class KeyCountUdo : public Udo {
+ public:
+  void Process(const StreamElement& e, UdoContext*,
+               std::vector<StreamElement>* out) override {
+    if (e.tuple.values.empty()) return;
+    const int64_t count = ++counts_[e.tuple.values[0]];
+    StreamElement result = e;
+    result.tuple.values.push_back(Value(count));
+    out->push_back(std::move(result));
+  }
+
+ private:
+  std::map<Value, int64_t> counts_;
+};
+
+}  // namespace
+
+UdoRegistry::UdoRegistry() {
+  Register("noop", [](const OperatorDescriptor&) {
+    return std::make_unique<NoopUdo>();
+  });
+  Register("heavy", [](const OperatorDescriptor&) {
+    return std::make_unique<NoopUdo>();  // cost comes from the cost model
+  });
+  Register("sample", [](const OperatorDescriptor& op) {
+    return std::make_unique<SampleUdo>(op.udo_selectivity);
+  });
+  Register("replicate", [](const OperatorDescriptor& op) {
+    return std::make_unique<ReplicateUdo>(op.udo_selectivity);
+  });
+  Register("key_count", [](const OperatorDescriptor&) {
+    return std::make_unique<KeyCountUdo>();
+  });
+}
+
+UdoRegistry& UdoRegistry::Global() {
+  static UdoRegistry* registry = new UdoRegistry();
+  return *registry;
+}
+
+void UdoRegistry::Register(const std::string& kind, UdoFactory factory) {
+  factories_[kind] = std::move(factory);
+}
+
+Result<std::unique_ptr<Udo>> UdoRegistry::Create(
+    const OperatorDescriptor& op) const {
+  auto it = factories_.find(op.udo_kind);
+  if (it == factories_.end()) {
+    return Status::NotFound("unknown UDO kind '" + op.udo_kind + "'");
+  }
+  return it->second(op);
+}
+
+bool UdoRegistry::Contains(const std::string& kind) const {
+  return factories_.count(kind) != 0;
+}
+
+std::vector<std::string> UdoRegistry::Kinds() const {
+  std::vector<std::string> kinds;
+  kinds.reserve(factories_.size());
+  for (const auto& [kind, factory] : factories_) kinds.push_back(kind);
+  return kinds;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,79 @@
+// User-defined operators (UDOs). Real-world applications (Table 2) embed
+// custom logic — tokenizers, outlier detectors, sentiment scoring, spike
+// detection — that standard operators can't express. A UDO is looked up by
+// its `kind` string in a process-wide registry; the apps module registers
+// the application-specific kinds, and a few generic kinds ship built in.
+
+#ifndef PDSP_RUNTIME_UDO_H_
+#define PDSP_RUNTIME_UDO_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/runtime/element.h"
+
+namespace pdsp {
+
+/// \brief Per-call context handed to a UDO.
+struct UdoContext {
+  double now = 0.0;   ///< current virtual time
+  int instance = 0;   ///< this parallel instance's index
+  Rng* rng = nullptr; ///< instance-local deterministic RNG
+};
+
+/// \brief One parallel instance of a user-defined operator. Implementations
+/// own their state; a fresh instance is created per physical task.
+class Udo {
+ public:
+  virtual ~Udo() = default;
+
+  /// Processes one element; appends zero or more outputs.
+  virtual void Process(const StreamElement& element, UdoContext* ctx,
+                       std::vector<StreamElement>* out) = 0;
+
+  /// Emits any buffered partial results at end of stream.
+  virtual void Flush(UdoContext* ctx, std::vector<StreamElement>* out) {
+    (void)ctx;
+    (void)out;
+  }
+};
+
+using UdoFactory =
+    std::function<std::unique_ptr<Udo>(const OperatorDescriptor&)>;
+
+/// \brief Process-wide registry of UDO kinds.
+class UdoRegistry {
+ public:
+  /// The singleton registry (generic kinds pre-registered).
+  static UdoRegistry& Global();
+
+  /// Registers a factory; re-registering a kind replaces it.
+  void Register(const std::string& kind, UdoFactory factory);
+
+  /// Instantiates the UDO for a descriptor by its udo_kind.
+  Result<std::unique_ptr<Udo>> Create(const OperatorDescriptor& op) const;
+
+  bool Contains(const std::string& kind) const;
+  std::vector<std::string> Kinds() const;
+
+ private:
+  UdoRegistry();
+  std::map<std::string, UdoFactory> factories_;
+};
+
+// Generic built-in kinds:
+//   "noop"       pass-through
+//   "sample"     passes each element with probability udo_selectivity
+//   "replicate"  emits round(udo_selectivity) copies (stochastic fraction)
+//   "heavy"      pass-through whose cost is udo_cost_factor (cost model side)
+//   "key_count"  stateful: appends a per-key running count (key = field 0)
+
+}  // namespace pdsp
+
+#endif  // PDSP_RUNTIME_UDO_H_

@@ -1,0 +1,117 @@
+#include "src/sim/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/query/cardinality.h"
+
+namespace pdsp {
+
+Result<AnalyticEstimate> EstimateLatencyAnalytically(
+    const LogicalPlan& plan, const Cluster& cluster,
+    const AnalyticOptions& options) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition("plan must be validated");
+  }
+  if (cluster.NumNodes() == 0) {
+    return Status::InvalidArgument("empty cluster");
+  }
+  PDSP_ASSIGN_OR_RETURN(auto cards, CardinalityModel::Compute(plan));
+
+  const double mean_speed = std::max(0.1, cluster.MeanSpeed());
+  // Core contention when the plan oversubscribes the cluster.
+  const double total_tasks = plan.TotalParallelism();
+  const double contention =
+      std::min(1.0, static_cast<double>(cluster.TotalCores()) / total_tasks);
+  const double effective_speed = mean_speed * contention;
+
+  AnalyticEstimate est;
+  est.per_op.assign(plan.NumOperators(), {});
+
+  // Latency accumulated along the path ending at each operator; joins take
+  // the max over their inputs.
+  std::vector<double> path_latency(plan.NumOperators(), 0.0);
+
+  for (const LogicalPlan::OpId id : plan.TopologicalOrder()) {
+    const OperatorDescriptor& op = plan.op(id);
+    const OpCardinality& c = cards[id];
+    AnalyticOpEstimate& o = est.per_op[id];
+
+    const double rate =
+        op.type == OperatorType::kSource ? c.output_rate : c.input_rate;
+    const double rate_per_instance = rate / op.parallelism;
+
+    // Service: per-batch framing plus per-tuple work, amortized per tuple.
+    const double batch_tuples = std::max(1.0, options.batch_tuples);
+    const double out_per_in = std::max(0.0, c.selectivity);
+    const double per_tuple_cost =
+        options.costs.InputTupleCost(op) +
+        out_per_in * options.costs.OutputTupleCost(op, false) +
+        options.costs.BatchCost(op) / batch_tuples;
+    const double service_per_tuple = per_tuple_cost / effective_speed;
+    o.service_s = service_per_tuple * batch_tuples;  // whole-batch service
+
+    // Utilization and M/M/1 wait (batch-level).
+    const double batch_arrival_rate = rate_per_instance / batch_tuples;
+    o.utilization = batch_arrival_rate * o.service_s;
+    est.max_utilization = std::max(est.max_utilization, o.utilization);
+    if (o.utilization >= 1.0) {
+      est.saturated = true;
+      o.queue_wait_s =
+          options.saturation_penalty_s * (o.utilization - 1.0 + 0.5);
+    } else {
+      o.queue_wait_s =
+          o.service_s * o.utilization / (1.0 - o.utilization);
+    }
+
+    // Window residence (the dominant term under the paper's latency
+    // definition): mean span/2 for the pane a result's earliest contributor
+    // entered, plus half the slide until firing.
+    if (op.type == OperatorType::kWindowAggregate) {
+      if (op.window.policy == WindowPolicy::kTime) {
+        o.window_residence_s =
+            op.window.DurationSeconds() / 2.0 + op.window.SlideSeconds() / 2.0;
+      } else {
+        const double fill_rate = std::max(1e-9, rate_per_instance /
+                                                    std::max(1.0,
+                                                             c.distinct_keys));
+        o.window_residence_s =
+            static_cast<double>(op.window.length_tuples) / 2.0 / fill_rate;
+      }
+    } else if (op.type == OperatorType::kWindowJoin) {
+      // A match waits for its partner: half the window on average.
+      o.window_residence_s = op.window.policy == WindowPolicy::kTime
+                                 ? op.window.DurationSeconds() / 2.0
+                                 : 0.0;
+    }
+
+    // Network hop into this operator: link latency amortized over the
+    // probability of a cross-node channel (all-but-one nodes are remote).
+    if (op.type != OperatorType::kSource) {
+      const double remote_fraction =
+          cluster.NumNodes() > 1
+              ? 1.0 - 1.0 / static_cast<double>(cluster.NumNodes())
+              : 0.0;
+      o.network_s =
+          remote_fraction * cluster.LinkLatencySeconds(0, 1) +
+          options.costs.local_handoff_latency;
+    }
+
+    // Source batching delay: tuples wait ~half a batch interval before the
+    // batch ships (mirrors the simulator's source_batch_interval_s).
+    const double batching_delay =
+        op.type == OperatorType::kSource ? 0.0025 : 0.0;
+
+    double upstream = 0.0;
+    for (const LogicalPlan::OpId in : plan.Inputs(id)) {
+      upstream = std::max(upstream, path_latency[in]);
+    }
+    path_latency[id] = upstream + o.queue_wait_s + o.service_s +
+                       o.window_residence_s + o.network_s + batching_delay;
+  }
+
+  est.latency_s = path_latency[plan.SinkId()];
+  return est;
+}
+
+}  // namespace pdsp

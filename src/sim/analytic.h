@@ -1,0 +1,57 @@
+// Closed-form analytic latency estimator: an M/M/1-style queueing
+// approximation over the cardinality model, no simulation. Used as (a) a
+// microsecond-fast baseline predictor to compare the learned cost models
+// against, and (b) a sanity cross-check for the discrete-event simulator
+// (the two should agree on regime: unsaturated / near-saturation /
+// saturated).
+
+#ifndef PDSP_SIM_ANALYTIC_H_
+#define PDSP_SIM_ANALYTIC_H_
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/sim/cost_model.h"
+
+namespace pdsp {
+
+/// \brief Per-operator analytic breakdown.
+struct AnalyticOpEstimate {
+  double utilization = 0.0;     ///< per-instance ρ
+  double service_s = 0.0;       ///< mean per-batch service time
+  double queue_wait_s = 0.0;    ///< M/M/1 waiting time (capped if ρ >= 1)
+  double window_residence_s = 0.0;
+  double network_s = 0.0;       ///< mean hop delay into this operator
+};
+
+/// \brief Result of the analytic estimate.
+struct AnalyticEstimate {
+  /// Predicted median end-to-end latency (seconds): critical-path sum of
+  /// waits, services, window residences and hop delays.
+  double latency_s = 0.0;
+  /// Highest per-instance utilization in the plan (the bottleneck).
+  double max_utilization = 0.0;
+  /// True if some operator is at or beyond saturation.
+  bool saturated = false;
+  std::vector<AnalyticOpEstimate> per_op;
+};
+
+/// \brief Queueing-model knobs.
+struct AnalyticOptions {
+  CostModel costs;
+  /// Latency charged per unit of overload when ρ >= 1 (the queue grows
+  /// linearly with observation time; this stands in for a finite horizon).
+  double saturation_penalty_s = 8.0;
+  /// Mean tuples per batch arriving at an operator (matches the simulator's
+  /// source batching).
+  double batch_tuples = 128.0;
+};
+
+/// Computes the analytic latency estimate for a validated plan.
+Result<AnalyticEstimate> EstimateLatencyAnalytically(
+    const LogicalPlan& plan, const Cluster& cluster,
+    const AnalyticOptions& options = {});
+
+}  // namespace pdsp
+
+#endif  // PDSP_SIM_ANALYTIC_H_

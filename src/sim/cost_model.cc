@@ -1,0 +1,54 @@
+#include "src/sim/cost_model.h"
+
+#include <algorithm>
+
+namespace pdsp {
+
+double CostModel::InputTupleCost(const OperatorDescriptor& op) const {
+  switch (op.type) {
+    case OperatorType::kSource:
+      return source_cost;
+    case OperatorType::kFilter:
+      return filter_cost;
+    case OperatorType::kMap:
+      return map_cost;
+    case OperatorType::kFlatMap:
+      return flatmap_cost;
+    case OperatorType::kWindowAggregate: {
+      // Sliding windows touch OverlapFactor() panes per element.
+      return agg_update_cost * op.window.OverlapFactor();
+    }
+    case OperatorType::kWindowJoin:
+      return join_insert_cost + join_probe_cost;
+    case OperatorType::kUdo: {
+      double c = udo_base_cost * std::max(0.0, op.udo_cost_factor);
+      if (op.udo_stateful) c += udo_state_cost;
+      return c;
+    }
+    case OperatorType::kSink:
+      return sink_cost;
+  }
+  return map_cost;
+}
+
+double CostModel::OutputTupleCost(const OperatorDescriptor& op,
+                                  bool timer_fire) const {
+  switch (op.type) {
+    case OperatorType::kWindowJoin:
+      return emit_cost + join_match_cost;
+    case OperatorType::kWindowAggregate:
+      return emit_cost + (timer_fire ? agg_fire_cost : 0.0);
+    default:
+      return emit_cost;
+  }
+}
+
+double CostModel::BatchCost(const OperatorDescriptor& op) const {
+  double c = batch_overhead;
+  if (op.RequiresKeyedInput()) {
+    c += keyed_coordination_cost * std::max(0, op.parallelism - 1);
+  }
+  return c;
+}
+
+}  // namespace pdsp

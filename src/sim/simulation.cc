@@ -1,0 +1,603 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <queue>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/data/arrival.h"
+#include "src/data/generator.h"
+#include "src/runtime/operators.h"
+
+namespace pdsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class EventKind { kSourceBatch, kDelivery, kReady };
+
+struct Batch {
+  std::vector<StreamElement> elements;
+  int input_port = 0;
+  /// Delivered over a chained forward channel: the receiver charges no
+  /// framing overhead (same-thread call, as in Flink operator chains).
+  bool chained = false;
+  /// Sender task (watermark channel identity); -1 for none.
+  int from_task = -1;
+  /// Event-time watermark of the sender when this batch left it. Applied at
+  /// processing time (after all earlier batches on the same channel).
+  double watermark = -kInf;
+};
+
+struct Event {
+  double time = 0.0;
+  int64_t seq = 0;
+  EventKind kind = EventKind::kReady;
+  int task = 0;
+  std::shared_ptr<Batch> batch;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;  // FIFO tie-break for determinism
+  }
+};
+
+// Simulator internals for one run.
+class Engine {
+ public:
+  Engine(const PhysicalPlan& plan, const Cluster& cluster,
+         const Placement& placement, const CostModel& costs,
+         const SimOptions& options)
+      : plan_(plan),
+        cluster_(cluster),
+        placement_(placement),
+        costs_(costs),
+        options_(options) {}
+
+  Result<SimResult> Run();
+
+ private:
+  struct TaskState {
+    std::unique_ptr<OperatorInstance> instance;  // null for sources
+    std::deque<std::shared_ptr<Batch>> queue;
+    size_t queued_tuples = 0;
+    double busy_until = 0.0;
+    // Event-time watermarks: per-upstream-task watermark, the min over them
+    // (this task's input watermark, which gates window firing), and when we
+    // last broadcast our own watermark downstream.
+    std::map<int, double> channel_wm;
+    double input_wm = -kInf;
+    double last_wm_broadcast = -kInf;
+    // Per-outgoing-channel-group round-robin cursors (rebalance).
+    std::vector<size_t> rr_cursor;
+    // Source-only state.
+    std::unique_ptr<TupleGenerator> generator;
+    std::unique_ptr<ArrivalProcess> arrival;
+    double batch_interval = 0.01;
+    Rng rng{1};
+    // Stats.
+    double busy_time = 0.0;
+    int64_t tuples_in = 0;
+    int64_t tuples_out = 0;
+    size_t max_queue_tuples = 0;
+  };
+
+  struct PlannedDelivery {
+    double delay = 0.0;  // relative to sender completion
+    int dest_task = 0;
+    std::shared_ptr<Batch> batch;
+  };
+
+  Status SetUpTasks();
+  void Push(double time, EventKind kind, int task,
+            std::shared_ptr<Batch> batch = nullptr);
+  double TaskSpeed(int task) const;
+
+  /// Runs the instance on a batch or on due timers; routes outputs; returns
+  /// the service time charged.
+  Status ProcessOne(int task, double now);
+
+  /// Starts work on `task` if it is idle and has something to do.
+  void MaybeStart(int task, double now);
+
+  /// Splits outputs into per-destination sub-batches, adds the send-side
+  /// costs to *cost, and fills *deliveries with (delay, dest, batch).
+  /// Every sub-batch carries `sender_wm`; when `broadcast_wm` is set,
+  /// destinations that received no data still get a watermark-only batch
+  /// (Flink's periodic watermark emission).
+  void RouteOutputs(int task, const std::vector<StreamElement>& outputs,
+                    double sender_wm, bool broadcast_wm, double* cost,
+                    std::vector<PlannedDelivery>* deliveries);
+
+  /// Applies a processed batch's watermark to its channel and recomputes the
+  /// task's input watermark.
+  void ApplyWatermark(TaskState* state, const Batch& batch);
+  void DispatchDeliveries(int task, double completion,
+                          std::vector<PlannedDelivery>* deliveries);
+  void EmitSourceBatch(int task, double now);
+
+  const PhysicalPlan& plan_;
+  const Cluster& cluster_;
+  const Placement& placement_;
+  const CostModel& costs_;
+  const SimOptions& options_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  int64_t seq_ = 0;
+  std::vector<TaskState> tasks_;
+  std::vector<std::vector<ChannelGroup>> out_channels_;  // per op
+  int64_t pending_tuples_ = 0;
+  int64_t events_processed_ = 0;
+  Status run_error_ = Status::OK();
+  SimResult result_;
+};
+
+Status Engine::SetUpTasks() {
+  tasks_.resize(plan_.NumTasks());
+  out_channels_.resize(plan_.logical().NumOperators());
+  for (size_t op = 0; op < plan_.logical().NumOperators(); ++op) {
+    out_channels_[op] = plan_.ChannelsFrom(static_cast<LogicalPlan::OpId>(op));
+  }
+  Rng master(options_.seed);
+  for (size_t t = 0; t < plan_.NumTasks(); ++t) {
+    const PhysicalTask& pt = plan_.task(static_cast<int>(t));
+    const OperatorDescriptor& op = plan_.logical().op(pt.op);
+    TaskState& state = tasks_[t];
+    state.rr_cursor.assign(out_channels_[pt.op].size(), 0);
+    state.rng = master.Fork(t + 1);
+    if (op.type == OperatorType::kSource) {
+      const SourceBinding& binding =
+          plan_.logical().sources()[op.source_index];
+      ArrivalProcess::Options arr = binding.arrival;
+      arr.rate = std::max(1e-9, arr.rate / op.parallelism);
+      PDSP_ASSIGN_OR_RETURN(auto arrival, ArrivalProcess::Create(arr));
+      state.arrival = std::make_unique<ArrivalProcess>(arrival);
+      PDSP_ASSIGN_OR_RETURN(
+          auto gen, TupleGenerator::Create(binding.stream.schema,
+                                           binding.stream.specs,
+                                           options_.seed * 977 + t));
+      state.generator = std::make_unique<TupleGenerator>(std::move(gen));
+      state.batch_interval = options_.source_batch_interval_s;
+      Push(0.0, EventKind::kSourceBatch, static_cast<int>(t));
+    } else {
+      PDSP_ASSIGN_OR_RETURN(
+          auto inst, CreateOperatorInstance(plan_.logical(), pt.op,
+                                            pt.instance,
+                                            options_.seed * 31 + t));
+      state.instance = std::move(inst);
+    }
+  }
+  // Watermark channels: every task knows all upstream tasks so the input
+  // watermark is the min over the full channel set from the start.
+  for (const ChannelGroup& g : plan_.channels()) {
+    const int p_from = plan_.ParallelismOf(g.from_op);
+    const int p_to = plan_.ParallelismOf(g.to_op);
+    for (int d = 0; d < p_to; ++d) {
+      TaskState& dest = tasks_[plan_.TaskId(g.to_op, d)];
+      if (g.mode == Partitioning::kForward) {
+        dest.channel_wm[plan_.TaskId(g.from_op, d)] = -kInf;
+      } else {
+        for (int u = 0; u < p_from; ++u) {
+          dest.channel_wm[plan_.TaskId(g.from_op, u)] = -kInf;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Engine::Push(double time, EventKind kind, int task,
+                  std::shared_ptr<Batch> batch) {
+  Event e;
+  e.time = time;
+  e.seq = seq_++;
+  e.kind = kind;
+  e.task = task;
+  e.batch = std::move(batch);
+  heap_.push(std::move(e));
+}
+
+double Engine::TaskSpeed(int task) const {
+  const int node_id = placement_.node_of_task[task];
+  const Node& node = cluster_.node(node_id);
+  const int colocated = placement_.tasks_per_node[node_id];
+  const double contention =
+      std::min(1.0, static_cast<double>(node.spec.cores) /
+                        std::max(1, colocated));
+  return std::max(1e-6, node.effective_speed * contention);
+}
+
+void Engine::ApplyWatermark(TaskState* state, const Batch& batch) {
+  if (batch.from_task < 0) return;
+  auto it = state->channel_wm.find(batch.from_task);
+  if (it == state->channel_wm.end()) return;
+  if (batch.watermark <= it->second) return;
+  it->second = batch.watermark;
+  double min_wm = kInf;
+  for (const auto& [from, wm] : state->channel_wm) {
+    min_wm = std::min(min_wm, wm);
+  }
+  state->input_wm = min_wm;
+}
+
+void Engine::RouteOutputs(int task,
+                          const std::vector<StreamElement>& outputs,
+                          double sender_wm, bool broadcast_wm, double* cost,
+                          std::vector<PlannedDelivery>* deliveries) {
+  if (outputs.empty() && !broadcast_wm) return;
+  TaskState& state = tasks_[task];
+  const PhysicalTask& pt = plan_.task(task);
+  const auto& groups = out_channels_[pt.op];
+  const int src_node = placement_.node_of_task[task];
+
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const ChannelGroup& g = groups[gi];
+    const int p_dest = plan_.ParallelismOf(g.to_op);
+    const size_t key_field = plan_.PartitionKeyField(g.to_op, g.input_port);
+    std::vector<std::shared_ptr<Batch>> sub(p_dest);
+    for (const StreamElement& e : outputs) {
+      int dest;
+      switch (g.mode) {
+        case Partitioning::kForward:
+          dest = pt.instance;
+          break;
+        case Partitioning::kRebalance:
+          dest = static_cast<int>(state.rr_cursor[gi]++ % p_dest);
+          break;
+        case Partitioning::kHash: {
+          const size_t f =
+              key_field != OperatorDescriptor::kNoKey &&
+                      key_field < e.tuple.values.size()
+                  ? key_field
+                  : 0;
+          const uint64_t h = f < e.tuple.values.size()
+                                 ? e.tuple.values[f].Hash()
+                                 : 0;
+          dest = static_cast<int>(h % static_cast<uint64_t>(p_dest));
+          break;
+        }
+      }
+      if (!sub[dest]) {
+        sub[dest] = std::make_shared<Batch>();
+        sub[dest]->input_port = g.input_port;
+      }
+      sub[dest]->elements.push_back(e);
+    }
+    if (broadcast_wm) {
+      // Watermark-only batches for destinations with no data this round.
+      for (int d = 0; d < p_dest; ++d) {
+        if (g.mode == Partitioning::kForward && d != pt.instance) continue;
+        if (!sub[d]) {
+          sub[d] = std::make_shared<Batch>();
+          sub[d]->input_port = g.input_port;
+        }
+      }
+    }
+    const bool chained =
+        g.mode == Partitioning::kForward && costs_.chain_forward_channels;
+    for (int d = 0; d < p_dest; ++d) {
+      if (!sub[d]) continue;
+      sub[d]->from_task = task;
+      sub[d]->watermark = sender_wm;
+      sub[d]->chained = chained;
+      const int dest_task = plan_.TaskId(g.to_op, d);
+      const int dest_node = placement_.node_of_task[dest_task];
+      if (chained && dest_node == src_node) {
+        // Same thread: no send cost, immediate delivery.
+        deliveries->push_back({0.0, dest_task, std::move(sub[d])});
+        state.tuples_out += static_cast<int64_t>(
+            deliveries->back().batch->elements.size());
+        continue;
+      }
+      *cost += costs_.subbatch_send_overhead;
+      double delay;
+      if (dest_node == src_node) {
+        delay = costs_.local_handoff_latency;
+      } else {
+        size_t bytes = 0;
+        for (const StreamElement& e : sub[d]->elements) {
+          bytes += e.tuple.WireSize();
+        }
+        *cost += static_cast<double>(bytes) *
+                 costs_.serialization_cost_per_byte;
+        delay = cluster_.LinkLatencySeconds(src_node, dest_node) +
+                static_cast<double>(bytes) /
+                    cluster_.LinkBandwidthBytesPerSec(src_node, dest_node);
+      }
+      state.tuples_out += static_cast<int64_t>(sub[d]->elements.size());
+      deliveries->push_back({delay, dest_task, std::move(sub[d])});
+    }
+  }
+}
+
+void Engine::DispatchDeliveries(int task, double completion,
+                                std::vector<PlannedDelivery>* deliveries) {
+  (void)task;
+  for (PlannedDelivery& d : *deliveries) {
+    pending_tuples_ += static_cast<int64_t>(d.batch->elements.size());
+    Push(completion + d.delay, EventKind::kDelivery, d.dest_task,
+         std::move(d.batch));
+  }
+  deliveries->clear();
+  // Source backpressure caps generation, but mid-pipeline amplification
+  // (join cascades) can still outrun it; fail cleanly before memory does.
+  if (pending_tuples_ > 4 * options_.max_in_flight_tuples &&
+      run_error_.ok()) {
+    run_error_ = Status::ResourceExhausted(
+        "mid-pipeline amplification exceeded 4x the in-flight tuple cap "
+        "(join explosion)");
+  }
+}
+
+void Engine::EmitSourceBatch(int task, double now) {
+  TaskState& state = tasks_[task];
+  const PhysicalTask& pt = plan_.task(task);
+  const OperatorDescriptor& op = plan_.logical().op(pt.op);
+  const double dt = state.batch_interval;
+
+  int64_t n = state.arrival->EventsInWindow(now, dt, &state.rng);
+  if (pending_tuples_ > options_.max_in_flight_tuples) {
+    result_.backpressure_skipped += n;
+    n = 0;
+  }
+  std::vector<StreamElement> outputs;
+  outputs.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double t_event =
+        now + (static_cast<double>(i) + 0.5) * dt / static_cast<double>(n);
+    StreamElement e;
+    e.tuple = state.generator->Next(t_event);
+    e.birth = t_event;
+    outputs.push_back(std::move(e));
+  }
+  result_.source_tuples += n;
+  state.tuples_in += n;
+
+  double cost = costs_.BatchCost(op) +
+                static_cast<double>(n) * costs_.InputTupleCost(op);
+  // Sources advance their own watermark to the end of the emitted interval;
+  // the final batch carries the end-of-stream watermark (Flink emits
+  // Long.MAX_VALUE on shutdown) so tail windows flush during drain.
+  const bool last_batch = now + dt >= options_.duration_s;
+  state.input_wm = last_batch ? kInf : now + dt;
+  const bool broadcast_wm =
+      last_batch ||
+      now + dt - state.last_wm_broadcast >= options_.watermark_interval_s;
+  if (broadcast_wm) state.last_wm_broadcast = now + dt;
+  std::vector<PlannedDelivery> deliveries;
+  RouteOutputs(task, outputs, state.input_wm, broadcast_wm, &cost,
+               &deliveries);
+  const double service = cost / TaskSpeed(task);
+  // The batch becomes visible downstream when the source finishes producing
+  // it; a source that cannot keep up (busy_until > now+dt) lags behind.
+  const double completion = std::max(now + dt, state.busy_until) + service;
+  state.busy_until = completion;
+  state.busy_time += service;
+  DispatchDeliveries(task, completion, &deliveries);
+
+  const double next = now + dt;
+  if (next < options_.duration_s) {
+    Push(next, EventKind::kSourceBatch, task);
+  }
+}
+
+Status Engine::ProcessOne(int task, double now) {
+  TaskState& state = tasks_[task];
+  const PhysicalTask& pt = plan_.task(task);
+  const OperatorDescriptor& op = plan_.logical().op(pt.op);
+
+  std::vector<StreamElement> outputs;
+  double cost = 0.0;
+  bool timer_fire = false;
+
+  const double next_timer = state.instance->NextTimerTime();
+  if (next_timer < kInf && next_timer <= state.input_wm) {
+    // The input watermark passed a window boundary: fire panes. Event-time
+    // semantics — queueing delay anywhere upstream holds the watermark back
+    // and therefore delays firing (and raises end-to-end latency).
+    timer_fire = true;
+    state.instance->OnTimer(state.input_wm, &outputs);
+    cost = costs_.BatchCost(op);
+  } else {
+    std::shared_ptr<Batch> batch = state.queue.front();
+    state.queue.pop_front();
+    state.queued_tuples -= batch->elements.size();
+    pending_tuples_ -= static_cast<int64_t>(batch->elements.size());
+    state.tuples_in += static_cast<int64_t>(batch->elements.size());
+    if (batch->elements.empty()) {
+      cost = costs_.wm_batch_cost;
+    } else {
+      cost = (batch->chained ? 0.0 : costs_.BatchCost(op)) +
+             static_cast<double>(batch->elements.size()) *
+                 costs_.InputTupleCost(op);
+    }
+    for (const StreamElement& e : batch->elements) {
+      PDSP_RETURN_NOT_OK(
+          state.instance->Process(e, batch->input_port, now, &outputs));
+    }
+    ApplyWatermark(&state, *batch);
+  }
+  cost += static_cast<double>(outputs.size()) *
+          costs_.OutputTupleCost(op, timer_fire);
+
+  if (op.type == OperatorType::kSink) {
+    const double completion = now + cost / TaskSpeed(task);
+    for (const StreamElement& e : outputs) {
+      ++result_.sink_tuples;
+      if (completion >= options_.warmup_s) {
+        result_.latency.Record(completion - e.birth);
+      }
+    }
+    state.busy_time += completion - now;
+    state.busy_until = completion;
+  } else {
+    const bool broadcast_wm =
+        state.input_wm - state.last_wm_broadcast >=
+        options_.watermark_interval_s;
+    if (broadcast_wm) state.last_wm_broadcast = state.input_wm;
+    std::vector<PlannedDelivery> deliveries;
+    RouteOutputs(task, outputs, state.input_wm, broadcast_wm, &cost,
+                 &deliveries);
+    const double service = cost / TaskSpeed(task);
+    state.busy_until = now + service;
+    state.busy_time += service;
+    DispatchDeliveries(task, state.busy_until, &deliveries);
+  }
+
+  // Wake self at completion to pick up further work.
+  Push(state.busy_until, EventKind::kReady, task);
+  return Status::OK();
+}
+
+void Engine::MaybeStart(int task, double now) {
+  TaskState& state = tasks_[task];
+  if (state.instance == nullptr) return;  // sources self-drive
+  if (state.busy_until > now) return;     // completion event will re-enter
+  const double next_timer = state.instance->NextTimerTime();
+  const bool timer_due = next_timer < kInf && next_timer <= state.input_wm;
+  if (state.queue.empty() && !timer_due) return;
+  // Errors here indicate plan/runtime inconsistencies; they are surfaced via
+  // the run loop's status.
+  Status st = ProcessOne(task, now);
+  if (!st.ok()) {
+    run_error_ = st;
+  }
+}
+
+Result<SimResult> Engine::Run() {
+  result_.latency = LatencyRecorder(options_.latency_reservoir);
+  PDSP_RETURN_NOT_OK(SetUpTasks());
+
+  while (!heap_.empty()) {
+    if (++events_processed_ > options_.max_events) {
+      return Status::ResourceExhausted(
+          StrFormat("simulation exceeded %lld events",
+                    static_cast<long long>(options_.max_events)));
+    }
+    Event e = heap_.top();
+    heap_.pop();
+    result_.virtual_time_end = e.time;
+    TaskState& state = tasks_[e.task];
+    switch (e.kind) {
+      case EventKind::kSourceBatch:
+        EmitSourceBatch(e.task, e.time);
+        break;
+      case EventKind::kDelivery:
+        state.queue.push_back(e.batch);
+        state.queued_tuples += e.batch->elements.size();
+        state.max_queue_tuples =
+            std::max(state.max_queue_tuples, state.queued_tuples);
+        MaybeStart(e.task, e.time);
+        break;
+      case EventKind::kReady:
+        MaybeStart(e.task, e.time);
+        break;
+    }
+    if (!run_error_.ok()) return run_error_;
+  }
+
+  // Aggregate per-operator statistics.
+  result_.events_processed = events_processed_;
+  const double horizon =
+      std::max(options_.duration_s, result_.virtual_time_end);
+  for (size_t op = 0; op < plan_.logical().NumOperators(); ++op) {
+    const auto id = static_cast<LogicalPlan::OpId>(op);
+    OperatorRunStats s;
+    s.name = plan_.logical().op(id).name;
+    s.parallelism = plan_.ParallelismOf(id);
+    double util_sum = 0.0;
+    for (int j = 0; j < s.parallelism; ++j) {
+      const TaskState& t = tasks_[plan_.TaskId(id, j)];
+      s.tuples_in += t.tuples_in;
+      s.tuples_out += t.tuples_out;
+      s.busy_time_s += t.busy_time;
+      s.max_queue_tuples = std::max(s.max_queue_tuples, t.max_queue_tuples);
+      if (t.instance != nullptr) s.late_drops += t.instance->LateDrops();
+      const double util = t.busy_time / horizon;
+      util_sum += util;
+      s.max_instance_util = std::max(s.max_instance_util, util);
+    }
+    s.utilization = util_sum / s.parallelism;
+    result_.late_drops += s.late_drops;
+    result_.op_stats.push_back(std::move(s));
+  }
+
+  result_.median_latency_s = result_.latency.Percentile(50.0);
+  result_.mean_latency_s = result_.latency.Mean();
+  result_.p95_latency_s = result_.latency.Percentile(95.0);
+  result_.p99_latency_s = result_.latency.Percentile(99.0);
+  const double measured =
+      std::max(1e-9, options_.duration_s - options_.warmup_s);
+  // Throughput counts only post-warm-up sink results (latency.Count() tracks
+  // every recorded sample even when the reservoir caps storage).
+  result_.throughput_tps =
+      static_cast<double>(result_.latency.Count()) / measured;
+  return std::move(result_);
+}
+
+}  // namespace
+
+std::string SimResult::Summary() const {
+  return StrFormat(
+      "latency p50=%.3fms mean=%.3fms p95=%.3fms | throughput=%.0f/s | "
+      "src=%lld sink=%lld late=%lld bp_skipped=%lld events=%lld",
+      median_latency_s * 1e3, mean_latency_s * 1e3, p95_latency_s * 1e3,
+      throughput_tps, static_cast<long long>(source_tuples),
+      static_cast<long long>(sink_tuples), static_cast<long long>(late_drops),
+      static_cast<long long>(backpressure_skipped),
+      static_cast<long long>(events_processed));
+}
+
+Result<SimResult> Simulation::Run(const PhysicalPlan& plan,
+                                  const Cluster& cluster,
+                                  const Placement& placement,
+                                  const CostModel& costs,
+                                  const SimOptions& options) {
+  if (placement.node_of_task.size() != plan.NumTasks()) {
+    return Status::InvalidArgument(
+        "placement size does not match task count");
+  }
+  if (options.duration_s <= 0.0 || options.warmup_s < 0.0 ||
+      options.warmup_s >= options.duration_s) {
+    return Status::InvalidArgument("bad duration/warmup");
+  }
+  Engine engine(plan, cluster, placement, costs, options);
+  return engine.Run();
+}
+
+Result<SimResult> ExecutePlan(const LogicalPlan& plan, const Cluster& cluster,
+                              const ExecutionOptions& options) {
+  PDSP_ASSIGN_OR_RETURN(PhysicalPlan phys, PhysicalPlan::FromLogical(&plan));
+  PDSP_ASSIGN_OR_RETURN(
+      Placement placement,
+      PlaceTasks(cluster, phys.InstancesPerOp(), options.placement,
+                 options.sim.seed));
+  return Simulation::Run(phys, cluster, placement, options.costs,
+                         options.sim);
+}
+
+Result<double> MeanMedianLatency(const LogicalPlan& plan,
+                                 const Cluster& cluster,
+                                 const ExecutionOptions& options,
+                                 int repeats) {
+  if (repeats < 1) return Status::InvalidArgument("repeats < 1");
+  double sum = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    ExecutionOptions opt = options;
+    opt.sim.seed = options.sim.seed + static_cast<uint64_t>(r) * 1299709ULL;
+    PDSP_ASSIGN_OR_RETURN(SimResult result, ExecutePlan(plan, cluster, opt));
+    if (std::isnan(result.median_latency_s)) {
+      return Status::Internal("run produced no sink results");
+    }
+    sum += result.median_latency_s;
+  }
+  return sum / repeats;
+}
+
+}  // namespace pdsp

@@ -1,0 +1,115 @@
+// The discrete-event simulator: executes a physical plan on a modelled
+// cluster in virtual time. Operators really process tuples (runtime module);
+// the simulator supplies arrivals, per-instance FIFO queueing, service times
+// (cost model × node speed × core contention), partitioned routing and
+// network delays, and collects the end-to-end latency distribution at the
+// sink — the paper's headline metric.
+
+#ifndef PDSP_SIM_SIMULATION_H_
+#define PDSP_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/placement.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/runtime/physical_plan.h"
+#include "src/sim/cost_model.h"
+
+namespace pdsp {
+
+/// \brief Simulation parameters.
+struct SimOptions {
+  /// Virtual seconds during which sources generate data.
+  double duration_s = 10.0;
+  /// Sink records before this virtual time are discarded (warm-up).
+  double warmup_s = 1.0;
+  /// Source emission interval (seconds): each source instance emits the
+  /// tuples that arrived in the last interval as one batch, mirroring
+  /// Flink's network buffer timeout. Fixed (not rate-adaptive) so the
+  /// batching latency artifact is identical across parallelism degrees.
+  double source_batch_interval_s = 0.005;
+  /// How often (virtual seconds of event time) each task re-broadcasts its
+  /// watermark to all downstream instances, mirroring Flink's periodic
+  /// watermark emission. Smaller = tighter window firing, more overhead.
+  double watermark_interval_s = 0.05;
+  /// Source backpressure: generation pauses while more than this many
+  /// elements are queued anywhere in the pipeline.
+  int64_t max_in_flight_tuples = 600'000;
+  /// Hard stop on processed events (runaway guard).
+  int64_t max_events = 200'000'000;
+  /// Cap on recorded latency samples (reservoir; 0 = keep all).
+  size_t latency_reservoir = 65536;
+  uint64_t seed = 42;
+};
+
+/// \brief Per-operator execution statistics (summed over instances).
+struct OperatorRunStats {
+  std::string name;
+  int parallelism = 1;
+  int64_t tuples_in = 0;
+  int64_t tuples_out = 0;
+  int64_t late_drops = 0;
+  double busy_time_s = 0.0;      ///< summed over instances
+  double utilization = 0.0;      ///< mean per-instance busy fraction
+  double max_instance_util = 0.0;///< hottest instance (imbalance indicator)
+  size_t max_queue_tuples = 0;
+};
+
+/// \brief Result of one simulated run.
+struct SimResult {
+  /// End-to-end latency distribution (seconds), recorded at the sink.
+  LatencyRecorder latency{0};
+  double median_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  /// Sink results per second of post-warm-up virtual time.
+  double throughput_tps = 0.0;
+  int64_t source_tuples = 0;
+  int64_t sink_tuples = 0;
+  /// Tuples never generated because of source backpressure.
+  int64_t backpressure_skipped = 0;
+  int64_t late_drops = 0;
+  int64_t events_processed = 0;
+  double virtual_time_end = 0.0;
+  std::vector<OperatorRunStats> op_stats;
+
+  std::string Summary() const;
+};
+
+/// \brief Runs one simulation of a physical plan on a placed cluster.
+class Simulation {
+ public:
+  static Result<SimResult> Run(const PhysicalPlan& plan,
+                               const Cluster& cluster,
+                               const Placement& placement,
+                               const CostModel& costs,
+                               const SimOptions& options);
+};
+
+/// \brief Convenience facade: validates, expands, places and simulates a
+/// logical plan in one call.
+struct ExecutionOptions {
+  PlacementKind placement = PlacementKind::kLeastLoaded;
+  CostModel costs;
+  SimOptions sim;
+};
+
+Result<SimResult> ExecutePlan(const LogicalPlan& plan, const Cluster& cluster,
+                              const ExecutionOptions& options);
+
+/// Runs `repeats` simulations with different seeds and returns the mean of
+/// their median latencies — the paper's reporting protocol ("mean of three
+/// runs of measuring median latency").
+Result<double> MeanMedianLatency(const LogicalPlan& plan,
+                                 const Cluster& cluster,
+                                 const ExecutionOptions& options,
+                                 int repeats = 3);
+
+}  // namespace pdsp
+
+#endif  // PDSP_SIM_SIMULATION_H_

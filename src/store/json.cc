@@ -1,0 +1,393 @@
+#include "src/store/json.h"
+
+#include <cctype>
+#include <cstring>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  static const Json* kNull = new Json();
+  auto it = object_.find(key);
+  return it == object_.end() ? *kNull : it->second;
+}
+
+Result<double> Json::GetNumber(const std::string& key) const {
+  const Json& v = (*this)[key];
+  if (!v.is_number()) return Status::NotFound("missing number '" + key + "'");
+  return v.AsNumber();
+}
+
+Result<int64_t> Json::GetInt(const std::string& key) const {
+  PDSP_ASSIGN_OR_RETURN(double v, GetNumber(key));
+  return static_cast<int64_t>(v);
+}
+
+Result<std::string> Json::GetString(const std::string& key) const {
+  const Json& v = (*this)[key];
+  if (!v.is_string()) return Status::NotFound("missing string '" + key + "'");
+  return v.AsString();
+}
+
+Result<bool> Json::GetBool(const std::string& key) const {
+  const Json& v = (*this)[key];
+  if (!v.is_bool()) return Status::NotFound("missing bool '" + key + "'");
+  return v.AsBool();
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double v, std::string* out) {
+  if (std::isnan(v) || std::isinf(v)) {
+    *out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    *out += StrFormat("%lld", static_cast<long long>(v));
+  } else {
+    *out += StrFormat("%.17g", v);
+  }
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberInto(number_, out);
+      break;
+    case Type::kString:
+      EscapeInto(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) Newline(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        Newline(out, indent, depth + 1);
+        EscapeInto(key, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        value.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) Newline(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    PDSP_ASSIGN_OR_RETURN(Json v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("json parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    SkipWs();
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (depth_ > 256) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      PDSP_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (ConsumeWord("true")) return Json::Bool(true);
+    if (ConsumeWord("false")) return Json::Bool(false);
+    if (ConsumeWord("null")) return Json::Null();
+    return ParseNumber();
+  }
+
+  Result<Json> ParseObject() {
+    ++depth_;
+    if (!Consume('{')) return Err("expected '{'");
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return obj;
+    }
+    for (;;) {
+      PDSP_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Err("expected ':'");
+      PDSP_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj.Set(key, std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Err("expected ',' or '}'");
+    }
+    --depth_;
+    return obj;
+  }
+
+  Result<Json> ParseArray() {
+    ++depth_;
+    if (!Consume('[')) return Err("expected '['");
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return arr;
+    }
+    for (;;) {
+      PDSP_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.Append(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Err("expected ',' or ']'");
+    }
+    --depth_;
+    return arr;
+  }
+
+  Result<std::string> ParseString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Err("expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Err("bad escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad hex digit");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Err("unknown escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      any = true;
+      ++pos_;
+    }
+    if (!any) return Err("expected value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("bad number");
+    return Json::Number(v);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace pdsp

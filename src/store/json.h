@@ -1,0 +1,86 @@
+// Minimal JSON value model + writer + recursive-descent parser, used by the
+// run store (the library's analogue of PDSP-Bench's MongoDB workload
+// database). Self-contained: no third-party dependency, no exceptions.
+//
+// Supported: objects, arrays, strings (with \uXXXX escapes for BMP code
+// points), doubles/integers, booleans, null. Numbers round-trip through
+// double (adequate for this store's counters and metrics).
+
+#ifndef PDSP_STORE_JSON_H_
+#define PDSP_STORE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pdsp {
+
+/// \brief A JSON document node.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double v);
+  static Json Int(int64_t v) { return Number(static_cast<double>(v)); }
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_.at(i); }
+  void Append(Json v) { array_.push_back(std::move(v)); }
+
+  // Object access.
+  bool Has(const std::string& key) const { return object_.count(key) != 0; }
+  /// Returns the member or a shared null node.
+  const Json& operator[](const std::string& key) const;
+  void Set(const std::string& key, Json v) { object_[key] = std::move(v); }
+  const std::map<std::string, Json>& members() const { return object_; }
+
+  // Checked getters for parsing stored documents.
+  Result<double> GetNumber(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+
+  /// Serializes; `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete document (trailing whitespace allowed).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_STORE_JSON_H_

@@ -1,0 +1,461 @@
+#include "src/store/plan_serde.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+
+namespace {
+
+// --- enum <-> string tables (stable storage names) ---
+
+template <typename E>
+struct EnumEntry {
+  E value;
+  const char* name;
+};
+
+const EnumEntry<OperatorType> kOperatorTypes[] = {
+    {OperatorType::kSource, "source"},
+    {OperatorType::kFilter, "filter"},
+    {OperatorType::kMap, "map"},
+    {OperatorType::kFlatMap, "flatmap"},
+    {OperatorType::kWindowAggregate, "window_agg"},
+    {OperatorType::kWindowJoin, "window_join"},
+    {OperatorType::kUdo, "udo"},
+    {OperatorType::kSink, "sink"},
+};
+
+const EnumEntry<FilterOp> kFilterOps[] = {
+    {FilterOp::kLt, "lt"}, {FilterOp::kLe, "le"}, {FilterOp::kGt, "gt"},
+    {FilterOp::kGe, "ge"}, {FilterOp::kEq, "eq"}, {FilterOp::kNe, "ne"},
+};
+
+const EnumEntry<WindowType> kWindowTypes[] = {
+    {WindowType::kTumbling, "tumbling"},
+    {WindowType::kSliding, "sliding"},
+};
+
+const EnumEntry<WindowPolicy> kWindowPolicies[] = {
+    {WindowPolicy::kTime, "time"},
+    {WindowPolicy::kCount, "count"},
+};
+
+const EnumEntry<AggregateFn> kAggregateFns[] = {
+    {AggregateFn::kMin, "min"}, {AggregateFn::kMax, "max"},
+    {AggregateFn::kAvg, "avg"}, {AggregateFn::kMean, "mean"},
+    {AggregateFn::kSum, "sum"},
+};
+
+const EnumEntry<Partitioning> kPartitionings[] = {
+    {Partitioning::kForward, "forward"},
+    {Partitioning::kRebalance, "rebalance"},
+    {Partitioning::kHash, "hash"},
+};
+
+const EnumEntry<DataType> kDataTypes[] = {
+    {DataType::kInt, "int"},
+    {DataType::kDouble, "double"},
+    {DataType::kString, "string"},
+};
+
+const EnumEntry<FieldDistribution> kDistributions[] = {
+    {FieldDistribution::kUniformInt, "uniform_int"},
+    {FieldDistribution::kUniformDouble, "uniform_double"},
+    {FieldDistribution::kNormalDouble, "normal_double"},
+    {FieldDistribution::kZipfKey, "zipf_key"},
+    {FieldDistribution::kUniformKey, "uniform_key"},
+    {FieldDistribution::kWordString, "word_string"},
+    {FieldDistribution::kSequence, "sequence"},
+    {FieldDistribution::kSentence, "sentence"},
+};
+
+const EnumEntry<ArrivalKind> kArrivalKinds[] = {
+    {ArrivalKind::kPoisson, "poisson"},
+    {ArrivalKind::kConstant, "constant"},
+    {ArrivalKind::kBursty, "bursty"},
+};
+
+template <typename E, size_t N>
+const char* EnumName(const EnumEntry<E> (&table)[N], E value) {
+  for (const auto& entry : table) {
+    if (entry.value == value) return entry.name;
+  }
+  return "?";
+}
+
+template <typename E, size_t N>
+Result<E> EnumFromName(const EnumEntry<E> (&table)[N],
+                       const std::string& name, const char* what) {
+  for (const auto& entry : table) {
+    if (name == entry.name) return entry.value;
+  }
+  return Status::InvalidArgument(StrFormat("unknown %s '%s'", what,
+                                           name.c_str()));
+}
+
+}  // namespace
+
+Json ValueToJson(const Value& value) {
+  Json j = Json::Object();
+  switch (value.type()) {
+    case DataType::kInt:
+      j.Set("t", Json::Str("int"));
+      j.Set("v", Json::Int(value.AsInt()));
+      break;
+    case DataType::kDouble:
+      j.Set("t", Json::Str("double"));
+      j.Set("v", Json::Number(value.AsDouble()));
+      break;
+    case DataType::kString:
+      j.Set("t", Json::Str("string"));
+      j.Set("v", Json::Str(value.AsString()));
+      break;
+  }
+  return j;
+}
+
+Result<Value> ValueFromJson(const Json& json) {
+  PDSP_ASSIGN_OR_RETURN(std::string type, json.GetString("t"));
+  if (type == "int") {
+    PDSP_ASSIGN_OR_RETURN(int64_t v, json.GetInt("v"));
+    return Value(v);
+  }
+  if (type == "double") {
+    PDSP_ASSIGN_OR_RETURN(double v, json.GetNumber("v"));
+    return Value(v);
+  }
+  if (type == "string") {
+    PDSP_ASSIGN_OR_RETURN(std::string v, json.GetString("v"));
+    return Value(std::move(v));
+  }
+  return Status::InvalidArgument("unknown value type '" + type + "'");
+}
+
+namespace {
+
+Json WindowToJson(const WindowSpec& w) {
+  Json j = Json::Object();
+  j.Set("type", Json::Str(EnumName(kWindowTypes, w.type)));
+  j.Set("policy", Json::Str(EnumName(kWindowPolicies, w.policy)));
+  j.Set("duration_ms", Json::Number(w.duration_ms));
+  j.Set("length_tuples", Json::Int(w.length_tuples));
+  j.Set("slide_ratio", Json::Number(w.slide_ratio));
+  return j;
+}
+
+Result<WindowSpec> WindowFromJson(const Json& j) {
+  WindowSpec w;
+  PDSP_ASSIGN_OR_RETURN(std::string type, j.GetString("type"));
+  PDSP_ASSIGN_OR_RETURN(w.type,
+                        EnumFromName(kWindowTypes, type, "window type"));
+  PDSP_ASSIGN_OR_RETURN(std::string policy, j.GetString("policy"));
+  PDSP_ASSIGN_OR_RETURN(
+      w.policy, EnumFromName(kWindowPolicies, policy, "window policy"));
+  PDSP_ASSIGN_OR_RETURN(w.duration_ms, j.GetNumber("duration_ms"));
+  PDSP_ASSIGN_OR_RETURN(w.length_tuples, j.GetInt("length_tuples"));
+  PDSP_ASSIGN_OR_RETURN(w.slide_ratio, j.GetNumber("slide_ratio"));
+  return w;
+}
+
+Json FieldSpecToJson(const Field& field, const FieldGeneratorSpec& gen) {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(field.name));
+  j.Set("type", Json::Str(EnumName(kDataTypes, field.type)));
+  j.Set("dist", Json::Str(EnumName(kDistributions, gen.dist)));
+  j.Set("min", Json::Number(gen.min));
+  j.Set("max", Json::Number(gen.max));
+  j.Set("cardinality", Json::Int(gen.cardinality));
+  j.Set("zipf_s", Json::Number(gen.zipf_s));
+  return j;
+}
+
+Json SourceToJson(const SourceBinding& src) {
+  Json j = Json::Object();
+  Json fields = Json::Array();
+  for (size_t i = 0; i < src.stream.schema.NumFields(); ++i) {
+    fields.Append(
+        FieldSpecToJson(src.stream.schema.field(i), src.stream.specs[i]));
+  }
+  j.Set("fields", std::move(fields));
+  Json arrival = Json::Object();
+  arrival.Set("kind", Json::Str(EnumName(kArrivalKinds, src.arrival.kind)));
+  arrival.Set("rate", Json::Number(src.arrival.rate));
+  arrival.Set("peak_factor", Json::Number(src.arrival.peak_factor));
+  arrival.Set("burst_period", Json::Number(src.arrival.burst_period));
+  arrival.Set("duty_cycle", Json::Number(src.arrival.duty_cycle));
+  j.Set("arrival", std::move(arrival));
+  return j;
+}
+
+Result<SourceBinding> SourceFromJson(const Json& j) {
+  SourceBinding src;
+  const Json& fields = j["fields"];
+  if (!fields.is_array()) return Status::InvalidArgument("missing fields");
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const Json& f = fields.at(i);
+    Field field;
+    PDSP_ASSIGN_OR_RETURN(field.name, f.GetString("name"));
+    PDSP_ASSIGN_OR_RETURN(std::string type, f.GetString("type"));
+    PDSP_ASSIGN_OR_RETURN(field.type,
+                          EnumFromName(kDataTypes, type, "data type"));
+    PDSP_RETURN_NOT_OK(src.stream.schema.AddField(field));
+    FieldGeneratorSpec gen;
+    PDSP_ASSIGN_OR_RETURN(std::string dist, f.GetString("dist"));
+    PDSP_ASSIGN_OR_RETURN(gen.dist,
+                          EnumFromName(kDistributions, dist, "distribution"));
+    PDSP_ASSIGN_OR_RETURN(gen.min, f.GetNumber("min"));
+    PDSP_ASSIGN_OR_RETURN(gen.max, f.GetNumber("max"));
+    PDSP_ASSIGN_OR_RETURN(gen.cardinality, f.GetInt("cardinality"));
+    PDSP_ASSIGN_OR_RETURN(gen.zipf_s, f.GetNumber("zipf_s"));
+    src.stream.specs.push_back(gen);
+  }
+  const Json& arrival = j["arrival"];
+  PDSP_ASSIGN_OR_RETURN(std::string kind, arrival.GetString("kind"));
+  PDSP_ASSIGN_OR_RETURN(src.arrival.kind,
+                        EnumFromName(kArrivalKinds, kind, "arrival kind"));
+  PDSP_ASSIGN_OR_RETURN(src.arrival.rate, arrival.GetNumber("rate"));
+  PDSP_ASSIGN_OR_RETURN(src.arrival.peak_factor,
+                        arrival.GetNumber("peak_factor"));
+  PDSP_ASSIGN_OR_RETURN(src.arrival.burst_period,
+                        arrival.GetNumber("burst_period"));
+  PDSP_ASSIGN_OR_RETURN(src.arrival.duty_cycle,
+                        arrival.GetNumber("duty_cycle"));
+  return src;
+}
+
+Json OperatorToJson(const OperatorDescriptor& op) {
+  Json j = Json::Object();
+  j.Set("type", Json::Str(EnumName(kOperatorTypes, op.type)));
+  j.Set("name", Json::Str(op.name));
+  j.Set("parallelism", Json::Int(op.parallelism));
+  j.Set("partitioning",
+        Json::Str(EnumName(kPartitionings, op.input_partitioning)));
+  switch (op.type) {
+    case OperatorType::kSource:
+      j.Set("source_index", Json::Int(op.source_index));
+      break;
+    case OperatorType::kFilter:
+      j.Set("filter_op", Json::Str(EnumName(kFilterOps, op.filter_op)));
+      j.Set("filter_field", Json::Int(static_cast<int64_t>(op.filter_field)));
+      j.Set("literal", ValueToJson(op.filter_literal));
+      j.Set("selectivity_hint", Json::Number(op.selectivity_hint));
+      break;
+    case OperatorType::kFlatMap:
+      j.Set("fanout", Json::Number(op.flatmap_fanout));
+      break;
+    case OperatorType::kWindowAggregate:
+      j.Set("window", WindowToJson(op.window));
+      j.Set("agg_fn", Json::Str(EnumName(kAggregateFns, op.agg_fn)));
+      j.Set("agg_field", Json::Int(static_cast<int64_t>(op.agg_field)));
+      j.Set("key_field",
+            op.key_field == OperatorDescriptor::kNoKey
+                ? Json::Int(-1)
+                : Json::Int(static_cast<int64_t>(op.key_field)));
+      break;
+    case OperatorType::kWindowJoin:
+      j.Set("window", WindowToJson(op.window));
+      j.Set("left_key", Json::Int(static_cast<int64_t>(op.join_left_key)));
+      j.Set("right_key", Json::Int(static_cast<int64_t>(op.join_right_key)));
+      j.Set("join_selectivity_hint",
+            Json::Number(op.join_selectivity_hint));
+      break;
+    case OperatorType::kUdo: {
+      j.Set("kind", Json::Str(op.udo_kind));
+      j.Set("cost_factor", Json::Number(op.udo_cost_factor));
+      j.Set("selectivity", Json::Number(op.udo_selectivity));
+      j.Set("stateful", Json::Bool(op.udo_stateful));
+      Json out_fields = Json::Array();
+      for (const Field& f : op.udo_output_fields) {
+        Json field = Json::Object();
+        field.Set("name", Json::Str(f.name));
+        field.Set("type", Json::Str(EnumName(kDataTypes, f.type)));
+        out_fields.Append(std::move(field));
+      }
+      j.Set("output_fields", std::move(out_fields));
+      break;
+    }
+    default:
+      break;
+  }
+  return j;
+}
+
+Result<OperatorDescriptor> OperatorFromJson(const Json& j) {
+  OperatorDescriptor op;
+  PDSP_ASSIGN_OR_RETURN(std::string type, j.GetString("type"));
+  PDSP_ASSIGN_OR_RETURN(op.type,
+                        EnumFromName(kOperatorTypes, type, "operator type"));
+  PDSP_ASSIGN_OR_RETURN(op.name, j.GetString("name"));
+  PDSP_ASSIGN_OR_RETURN(int64_t parallelism, j.GetInt("parallelism"));
+  op.parallelism = static_cast<int>(parallelism);
+  PDSP_ASSIGN_OR_RETURN(std::string part, j.GetString("partitioning"));
+  PDSP_ASSIGN_OR_RETURN(
+      op.input_partitioning,
+      EnumFromName(kPartitionings, part, "partitioning"));
+  switch (op.type) {
+    case OperatorType::kSource: {
+      PDSP_ASSIGN_OR_RETURN(int64_t idx, j.GetInt("source_index"));
+      op.source_index = static_cast<int>(idx);
+      break;
+    }
+    case OperatorType::kFilter: {
+      PDSP_ASSIGN_OR_RETURN(std::string fop, j.GetString("filter_op"));
+      PDSP_ASSIGN_OR_RETURN(op.filter_op,
+                            EnumFromName(kFilterOps, fop, "filter op"));
+      PDSP_ASSIGN_OR_RETURN(int64_t field, j.GetInt("filter_field"));
+      op.filter_field = static_cast<size_t>(field);
+      PDSP_ASSIGN_OR_RETURN(op.filter_literal, ValueFromJson(j["literal"]));
+      PDSP_ASSIGN_OR_RETURN(op.selectivity_hint,
+                            j.GetNumber("selectivity_hint"));
+      break;
+    }
+    case OperatorType::kFlatMap: {
+      PDSP_ASSIGN_OR_RETURN(op.flatmap_fanout, j.GetNumber("fanout"));
+      break;
+    }
+    case OperatorType::kWindowAggregate: {
+      PDSP_ASSIGN_OR_RETURN(op.window, WindowFromJson(j["window"]));
+      PDSP_ASSIGN_OR_RETURN(std::string fn, j.GetString("agg_fn"));
+      PDSP_ASSIGN_OR_RETURN(op.agg_fn,
+                            EnumFromName(kAggregateFns, fn, "aggregate fn"));
+      PDSP_ASSIGN_OR_RETURN(int64_t agg_field, j.GetInt("agg_field"));
+      op.agg_field = static_cast<size_t>(agg_field);
+      PDSP_ASSIGN_OR_RETURN(int64_t key_field, j.GetInt("key_field"));
+      op.key_field = key_field < 0 ? OperatorDescriptor::kNoKey
+                                   : static_cast<size_t>(key_field);
+      break;
+    }
+    case OperatorType::kWindowJoin: {
+      PDSP_ASSIGN_OR_RETURN(op.window, WindowFromJson(j["window"]));
+      PDSP_ASSIGN_OR_RETURN(int64_t lk, j.GetInt("left_key"));
+      PDSP_ASSIGN_OR_RETURN(int64_t rk, j.GetInt("right_key"));
+      op.join_left_key = static_cast<size_t>(lk);
+      op.join_right_key = static_cast<size_t>(rk);
+      PDSP_ASSIGN_OR_RETURN(op.join_selectivity_hint,
+                            j.GetNumber("join_selectivity_hint"));
+      break;
+    }
+    case OperatorType::kUdo: {
+      PDSP_ASSIGN_OR_RETURN(op.udo_kind, j.GetString("kind"));
+      PDSP_ASSIGN_OR_RETURN(op.udo_cost_factor, j.GetNumber("cost_factor"));
+      PDSP_ASSIGN_OR_RETURN(op.udo_selectivity, j.GetNumber("selectivity"));
+      PDSP_ASSIGN_OR_RETURN(op.udo_stateful, j.GetBool("stateful"));
+      const Json& out_fields = j["output_fields"];
+      for (size_t i = 0; i < out_fields.size(); ++i) {
+        Field f;
+        PDSP_ASSIGN_OR_RETURN(f.name, out_fields.at(i).GetString("name"));
+        PDSP_ASSIGN_OR_RETURN(std::string ftype,
+                              out_fields.at(i).GetString("type"));
+        PDSP_ASSIGN_OR_RETURN(f.type,
+                              EnumFromName(kDataTypes, ftype, "data type"));
+        op.udo_output_fields.push_back(std::move(f));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return op;
+}
+
+}  // namespace
+
+Result<Json> PlanToJson(const LogicalPlan& plan) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition("plan must be validated");
+  }
+  Json j = Json::Object();
+  j.Set("version", Json::Int(1));
+  Json sources = Json::Array();
+  for (const SourceBinding& src : plan.sources()) {
+    sources.Append(SourceToJson(src));
+  }
+  j.Set("sources", std::move(sources));
+  Json ops = Json::Array();
+  for (size_t i = 0; i < plan.NumOperators(); ++i) {
+    ops.Append(OperatorToJson(plan.op(static_cast<LogicalPlan::OpId>(i))));
+  }
+  j.Set("operators", std::move(ops));
+  Json edges = Json::Array();
+  for (const auto& [from, to] : plan.edges()) {
+    Json e = Json::Array();
+    e.Append(Json::Int(from));
+    e.Append(Json::Int(to));
+    edges.Append(std::move(e));
+  }
+  j.Set("edges", std::move(edges));
+  return j;
+}
+
+Result<LogicalPlan> PlanFromJson(const Json& json) {
+  PDSP_ASSIGN_OR_RETURN(int64_t version, json.GetInt("version"));
+  if (version != 1) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported plan version %lld",
+                  static_cast<long long>(version)));
+  }
+  LogicalPlan plan;
+  const Json& sources = json["sources"];
+  for (size_t i = 0; i < sources.size(); ++i) {
+    PDSP_ASSIGN_OR_RETURN(SourceBinding src, SourceFromJson(sources.at(i)));
+    plan.AddSource(std::move(src));
+  }
+  const Json& ops = json["operators"];
+  if (!ops.is_array() || ops.size() == 0) {
+    return Status::InvalidArgument("missing operators");
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    PDSP_ASSIGN_OR_RETURN(OperatorDescriptor op, OperatorFromJson(ops.at(i)));
+    PDSP_ASSIGN_OR_RETURN(LogicalPlan::OpId id,
+                          plan.AddOperator(std::move(op)));
+    if (id != static_cast<LogicalPlan::OpId>(i)) {
+      return Status::Internal("operator id mismatch during load");
+    }
+  }
+  const Json& edges = json["edges"];
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Json& e = edges.at(i);
+    if (!e.is_array() || e.size() != 2) {
+      return Status::InvalidArgument("bad edge entry");
+    }
+    PDSP_RETURN_NOT_OK(plan.Connect(static_cast<int>(e.at(0).AsInt()),
+                                    static_cast<int>(e.at(1).AsInt())));
+  }
+  PDSP_RETURN_NOT_OK(plan.Validate());
+  return plan;
+}
+
+Json SimResultToJson(const SimResult& result) {
+  Json j = Json::Object();
+  Json latency = Json::Object();
+  latency.Set("p50_s", Json::Number(result.median_latency_s));
+  latency.Set("mean_s", Json::Number(result.mean_latency_s));
+  latency.Set("p95_s", Json::Number(result.p95_latency_s));
+  latency.Set("p99_s", Json::Number(result.p99_latency_s));
+  j.Set("latency", std::move(latency));
+  j.Set("throughput_tps", Json::Number(result.throughput_tps));
+  j.Set("source_tuples", Json::Int(result.source_tuples));
+  j.Set("sink_tuples", Json::Int(result.sink_tuples));
+  j.Set("late_drops", Json::Int(result.late_drops));
+  j.Set("backpressure_skipped", Json::Int(result.backpressure_skipped));
+  j.Set("events_processed", Json::Int(result.events_processed));
+  j.Set("virtual_time_end_s", Json::Number(result.virtual_time_end));
+  Json ops = Json::Array();
+  for (const OperatorRunStats& s : result.op_stats) {
+    Json o = Json::Object();
+    o.Set("name", Json::Str(s.name));
+    o.Set("parallelism", Json::Int(s.parallelism));
+    o.Set("tuples_in", Json::Int(s.tuples_in));
+    o.Set("tuples_out", Json::Int(s.tuples_out));
+    o.Set("late_drops", Json::Int(s.late_drops));
+    o.Set("utilization", Json::Number(s.utilization));
+    o.Set("max_instance_util", Json::Number(s.max_instance_util));
+    ops.Append(std::move(o));
+  }
+  j.Set("operators", std::move(ops));
+  return j;
+}
+
+}  // namespace pdsp

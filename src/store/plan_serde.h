@@ -1,0 +1,32 @@
+// Serialization of logical plans and run results to JSON — the library's
+// analogue of PDSP-Bench storing generated workloads and measurements in
+// MongoDB. Plans round-trip exactly (schema, generators, arrival processes,
+// operators, parallelism, edges), so saved workloads can be re-executed or
+// used for ML training in later sessions.
+
+#ifndef PDSP_STORE_PLAN_SERDE_H_
+#define PDSP_STORE_PLAN_SERDE_H_
+
+#include "src/query/plan.h"
+#include "src/sim/simulation.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+
+/// Serializes a validated plan (structure, sources, parallelism).
+Result<Json> PlanToJson(const LogicalPlan& plan);
+
+/// Reconstructs and validates a plan from its JSON form.
+Result<LogicalPlan> PlanFromJson(const Json& json);
+
+/// Serializes a simulation result's metrics (latency percentiles,
+/// throughput, counters, per-operator stats).
+Json SimResultToJson(const SimResult& result);
+
+/// Serializes a Value with its type tag; round-trips through ValueFromJson.
+Json ValueToJson(const Value& value);
+Result<Value> ValueFromJson(const Json& json);
+
+}  // namespace pdsp
+
+#endif  // PDSP_STORE_PLAN_SERDE_H_

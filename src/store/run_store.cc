@@ -1,0 +1,96 @@
+#include "src/store/run_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/store/plan_serde.h"
+
+namespace pdsp {
+
+namespace fs = std::filesystem;
+
+RunStore::RunStore(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+}
+
+Result<std::string> RunStore::PathFor(const std::string& id) const {
+  if (id.empty() || id.find('/') != std::string::npos ||
+      id.find("..") != std::string::npos) {
+    return Status::InvalidArgument("bad run id '" + id + "'");
+  }
+  return directory_ + "/" + id + ".json";
+}
+
+Status RunStore::SaveRun(const std::string& id, const LogicalPlan& plan,
+                         const Cluster& cluster, const SimResult& result) {
+  PDSP_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  PDSP_ASSIGN_OR_RETURN(Json plan_json, PlanToJson(plan));
+
+  Json doc = Json::Object();
+  doc.Set("id", Json::Str(id));
+  doc.Set("plan", std::move(plan_json));
+
+  Json cluster_json = Json::Object();
+  cluster_json.Set("nodes", Json::Int(static_cast<int64_t>(
+                                cluster.NumNodes())));
+  cluster_json.Set("total_cores", Json::Int(cluster.TotalCores()));
+  cluster_json.Set("mean_speed", Json::Number(cluster.MeanSpeed()));
+  cluster_json.Set("heterogeneous", Json::Bool(cluster.IsHeterogeneous()));
+  if (cluster.NumNodes() > 0) {
+    cluster_json.Set("node_model", Json::Str(cluster.node(0).spec.model));
+  }
+  doc.Set("cluster", std::move(cluster_json));
+  doc.Set("metrics", SimResultToJson(result));
+
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open " + path);
+  out << doc.Dump(/*indent=*/2) << "\n";
+  out.close();
+  if (!out.good()) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Json> RunStore::LoadRun(const std::string& id) const {
+  PDSP_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("no run '" + id + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Json::Parse(buffer.str());
+}
+
+Result<LogicalPlan> RunStore::LoadPlan(const std::string& id) const {
+  PDSP_ASSIGN_OR_RETURN(Json doc, LoadRun(id));
+  if (!doc["plan"].is_object()) {
+    return Status::InvalidArgument("run '" + id + "' has no plan");
+  }
+  return PlanFromJson(doc["plan"]);
+}
+
+Result<std::vector<std::string>> RunStore::ListRuns() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == ".json") ids.push_back(p.stem().string());
+  }
+  if (ec) return Status::Internal("cannot list " + directory_);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status RunStore::DeleteRun(const std::string& id) {
+  PDSP_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::NotFound("no run '" + id + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace pdsp

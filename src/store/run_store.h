@@ -1,0 +1,53 @@
+// File-based run store: persists workloads (plans) and their measured
+// results as JSON documents in a directory — the offline counterpart of
+// PDSP-Bench's MongoDB storage, enabling "generate once, train/inspect
+// later" workflows across sessions.
+
+#ifndef PDSP_STORE_RUN_STORE_H_
+#define PDSP_STORE_RUN_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/query/plan.h"
+#include "src/sim/simulation.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+
+/// \brief Directory of `<id>.json` run documents, each holding the plan,
+/// a cluster summary and the measured metrics.
+class RunStore {
+ public:
+  /// Creates the directory if needed.
+  explicit RunStore(std::string directory);
+
+  /// Persists a run. Ids must be non-empty, `/`-free, and unique (saving an
+  /// existing id overwrites).
+  Status SaveRun(const std::string& id, const LogicalPlan& plan,
+                 const Cluster& cluster, const SimResult& result);
+
+  /// Loads the raw document.
+  Result<Json> LoadRun(const std::string& id) const;
+
+  /// Reconstructs just the plan of a stored run (validated).
+  Result<LogicalPlan> LoadPlan(const std::string& id) const;
+
+  /// Sorted ids of all stored runs.
+  Result<std::vector<std::string>> ListRuns() const;
+
+  /// Deletes a stored run.
+  Status DeleteRun(const std::string& id);
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  Result<std::string> PathFor(const std::string& id) const;
+
+  std::string directory_;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_STORE_RUN_STORE_H_

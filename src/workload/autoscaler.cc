@@ -1,0 +1,92 @@
+#include "src/workload/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdsp {
+
+Result<AutoscaleResult> Autoscale(LogicalPlan plan, const Cluster& cluster,
+                                  const AutoscalerOptions& options) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition("plan must be validated");
+  }
+  if (options.target_utilization <= 0.0 ||
+      options.target_utilization >= 1.0) {
+    return Status::InvalidArgument("target utilization must be in (0, 1)");
+  }
+  if (options.min_degree < 1 || options.max_degree < options.min_degree) {
+    return Status::InvalidArgument("bad degree bounds");
+  }
+
+  AutoscaleResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ExecutionOptions exec = options.execution;
+    exec.sim.seed = options.execution.sim.seed +
+                    static_cast<uint64_t>(iter) * 524287ULL;
+    PDSP_ASSIGN_OR_RETURN(SimResult run, ExecutePlan(plan, cluster, exec));
+
+    AutoscaleStep step;
+    step.degrees.reserve(plan.NumOperators());
+    for (size_t op = 0; op < plan.NumOperators(); ++op) {
+      step.degrees.push_back(
+          plan.op(static_cast<LogicalPlan::OpId>(op)).parallelism);
+    }
+    step.median_latency_s = run.median_latency_s;
+    for (const OperatorRunStats& s : run.op_stats) {
+      step.max_utilization = std::max(step.max_utilization, s.utilization);
+    }
+    result.steps.push_back(step);
+
+    // DS2 rule: the work an operator performs per second is
+    // parallelism x utilization instance-seconds; the degree that hits the
+    // target utilization is that work divided by the target.
+    ParallelismAssignment next = step.degrees;
+    bool within_band = true;
+    for (size_t op = 0; op < plan.NumOperators(); ++op) {
+      const auto id = static_cast<LogicalPlan::OpId>(op);
+      if (plan.op(id).type == OperatorType::kSink) continue;
+      const OperatorRunStats& s = run.op_stats[op];
+      const double work = s.utilization * plan.op(id).parallelism;
+      int degree = static_cast<int>(
+          std::ceil(work / options.target_utilization));
+      degree = std::clamp(degree, options.min_degree, options.max_degree);
+      next[op] = degree;
+
+      const double projected = work / degree;
+      const bool pinned = degree == options.min_degree ||
+                          degree == options.max_degree;
+      if (!pinned &&
+          (projected < options.target_utilization * (1.0 - options.band) ||
+           projected > options.target_utilization * (1.0 + options.band))) {
+        within_band = false;
+      }
+    }
+
+    if (next == step.degrees || within_band) {
+      result.converged = next == step.degrees;
+      if (!result.converged) {
+        // Apply the final adjustment and take one confirming measurement.
+        PDSP_RETURN_NOT_OK(ApplyParallelism(&plan, next));
+        PDSP_ASSIGN_OR_RETURN(SimResult confirm,
+                              ExecutePlan(plan, cluster, exec));
+        AutoscaleStep last;
+        last.degrees = next;
+        last.median_latency_s = confirm.median_latency_s;
+        for (const OperatorRunStats& s : confirm.op_stats) {
+          last.max_utilization = std::max(last.max_utilization,
+                                          s.utilization);
+        }
+        result.steps.push_back(last);
+        result.converged = true;
+      }
+      break;
+    }
+    PDSP_RETURN_NOT_OK(ApplyParallelism(&plan, next));
+  }
+
+  result.final_degrees = result.steps.back().degrees;
+  result.final_latency_s = result.steps.back().median_latency_s;
+  return result;
+}
+
+}  // namespace pdsp

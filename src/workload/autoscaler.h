@@ -1,0 +1,59 @@
+// Reactive parallelism autoscaling, after DS2 [35] ("Three steps is all you
+// need"): measure each operator's true per-instance utilization in a run,
+// re-derive the degree that hits a target utilization, repeat until the
+// assignment is stable. The rule-based enumerator predicts degrees from the
+// cardinality model a priori; the autoscaler closes the loop with observed
+// execution — the combination is the paper's envisioned use of PDSP-Bench
+// for parallelism tuning.
+
+#ifndef PDSP_WORKLOAD_AUTOSCALER_H_
+#define PDSP_WORKLOAD_AUTOSCALER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/sim/simulation.h"
+#include "src/workload/enumerator.h"
+
+namespace pdsp {
+
+/// \brief Autoscaler parameters.
+struct AutoscalerOptions {
+  /// Per-instance utilization the controller steers toward.
+  double target_utilization = 0.6;
+  /// Accept the assignment when every operator's utilization lies in
+  /// [target * (1 - band), target * (1 + band)] or its degree is pinned at
+  /// a bound.
+  double band = 0.5;
+  int max_iterations = 6;
+  int min_degree = 1;
+  int max_degree = 128;
+  /// Per-iteration measurement run.
+  ExecutionOptions execution;
+};
+
+/// \brief One measure-and-rescale iteration.
+struct AutoscaleStep {
+  ParallelismAssignment degrees;
+  double median_latency_s = 0.0;
+  double max_utilization = 0.0;
+};
+
+/// \brief Final outcome.
+struct AutoscaleResult {
+  std::vector<AutoscaleStep> steps;
+  ParallelismAssignment final_degrees;
+  double final_latency_s = 0.0;
+  /// True if the assignment stabilized before max_iterations.
+  bool converged = false;
+};
+
+/// Runs the control loop starting from the plan's current degrees.
+Result<AutoscaleResult> Autoscale(LogicalPlan plan, const Cluster& cluster,
+                                  const AutoscalerOptions& options);
+
+}  // namespace pdsp
+
+#endif  // PDSP_WORKLOAD_AUTOSCALER_H_

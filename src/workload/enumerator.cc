@@ -1,0 +1,222 @@
+#include "src/workload/enumerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/query/cardinality.h"
+
+namespace pdsp {
+
+const char* EnumerationStrategyToString(EnumerationStrategy strategy) {
+  switch (strategy) {
+    case EnumerationStrategy::kRandom:
+      return "random";
+    case EnumerationStrategy::kRuleBased:
+      return "rule_based";
+    case EnumerationStrategy::kExhaustive:
+      return "exhaustive";
+    case EnumerationStrategy::kMinAvgMax:
+      return "min_avg_max";
+    case EnumerationStrategy::kIncreasing:
+      return "increasing";
+    case EnumerationStrategy::kParameterBased:
+      return "parameter_based";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsSink(const LogicalPlan& plan, size_t op) {
+  return plan.op(static_cast<LogicalPlan::OpId>(op)).type ==
+         OperatorType::kSink;
+}
+
+// Power-of-two ladder {1, 2, 4, ...} within [min_degree, max_degree].
+std::vector<int> DegreeLadder(const EnumerationOptions& options) {
+  std::vector<int> ladder;
+  for (int d = std::max(1, options.min_degree); d <= options.max_degree;
+       d *= 2) {
+    ladder.push_back(d);
+  }
+  if (ladder.empty()) ladder.push_back(std::max(1, options.min_degree));
+  if (ladder.back() != options.max_degree &&
+      options.max_degree > ladder.back()) {
+    ladder.push_back(options.max_degree);
+  }
+  return ladder;
+}
+
+// DS2-style rule: degree = input work per second / (capacity * target util).
+Result<ParallelismAssignment> RuleBasedDegrees(
+    const LogicalPlan& plan, const EnumerationOptions& options) {
+  PDSP_ASSIGN_OR_RETURN(auto cards, CardinalityModel::Compute(plan));
+  ParallelismAssignment degrees(plan.NumOperators(), 1);
+  for (size_t op = 0; op < plan.NumOperators(); ++op) {
+    const auto id = static_cast<LogicalPlan::OpId>(op);
+    const OperatorDescriptor& desc = plan.op(id);
+    if (desc.type == OperatorType::kSink) {
+      degrees[op] = 1;
+      continue;
+    }
+    const double rate = desc.type == OperatorType::kSource
+                            ? cards[op].output_rate
+                            : cards[op].input_rate;
+    const double per_tuple = options.costs.InputTupleCost(desc) +
+                             cards[op].selectivity *
+                                 options.costs.OutputTupleCost(desc, false);
+    const double work_per_sec = rate * per_tuple;
+    const int needed = static_cast<int>(
+        std::ceil(work_per_sec / std::max(1e-9,
+                                          options.target_utilization)));
+    degrees[op] = std::clamp(std::max(1, needed), options.min_degree,
+                             options.max_degree);
+  }
+  return degrees;
+}
+
+}  // namespace
+
+Result<std::vector<ParallelismAssignment>> EnumerateParallelism(
+    const LogicalPlan& plan, EnumerationStrategy strategy,
+    const EnumerationOptions& options, Rng* rng) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition("plan must be validated");
+  }
+  if (options.min_degree < 1 || options.max_degree < options.min_degree) {
+    return Status::InvalidArgument("bad degree bounds");
+  }
+  const size_t n = plan.NumOperators();
+  std::vector<ParallelismAssignment> out;
+
+  switch (strategy) {
+    case EnumerationStrategy::kRandom: {
+      for (int a = 0; a < options.num_assignments; ++a) {
+        ParallelismAssignment degrees(n, 1);
+        for (size_t op = 0; op < n; ++op) {
+          degrees[op] = IsSink(plan, op)
+                            ? 1
+                            : static_cast<int>(rng->UniformInt(
+                                  options.min_degree, options.max_degree));
+        }
+        out.push_back(std::move(degrees));
+      }
+      break;
+    }
+    case EnumerationStrategy::kRuleBased: {
+      PDSP_ASSIGN_OR_RETURN(auto base, RuleBasedDegrees(plan, options));
+      out.push_back(base);
+      // Explore around the computed degrees (Section 3.1: "exploring around
+      // selected parallelism degrees").
+      for (int a = 1; a < options.num_assignments; ++a) {
+        ParallelismAssignment variant = base;
+        for (size_t op = 0; op < n; ++op) {
+          if (IsSink(plan, op)) continue;
+          const int jitter = static_cast<int>(rng->UniformInt(
+              -options.rule_jitter, options.rule_jitter));
+          variant[op] = std::clamp(base[op] + jitter, options.min_degree,
+                                   options.max_degree);
+        }
+        out.push_back(std::move(variant));
+      }
+      break;
+    }
+    case EnumerationStrategy::kExhaustive: {
+      const std::vector<int> ladder = DegreeLadder(options);
+      // Odometer over non-sink operators.
+      std::vector<size_t> idx(n, 0);
+      for (;;) {
+        ParallelismAssignment degrees(n, 1);
+        for (size_t op = 0; op < n; ++op) {
+          degrees[op] = IsSink(plan, op) ? 1 : ladder[idx[op]];
+        }
+        out.push_back(std::move(degrees));
+        if (static_cast<int>(out.size()) >= options.exhaustive_limit) break;
+        // Increment odometer.
+        size_t pos = 0;
+        while (pos < n) {
+          if (IsSink(plan, pos)) {
+            ++pos;
+            continue;
+          }
+          if (++idx[pos] < ladder.size()) break;
+          idx[pos] = 0;
+          ++pos;
+        }
+        if (pos >= n) break;  // full cycle
+      }
+      break;
+    }
+    case EnumerationStrategy::kMinAvgMax: {
+      const int avg = (options.min_degree + options.max_degree) / 2;
+      for (int d : {options.min_degree, std::max(1, avg),
+                    options.max_degree}) {
+        ParallelismAssignment degrees(n, 1);
+        for (size_t op = 0; op < n; ++op) {
+          degrees[op] = IsSink(plan, op) ? 1 : d;
+        }
+        out.push_back(std::move(degrees));
+      }
+      break;
+    }
+    case EnumerationStrategy::kIncreasing: {
+      for (int d : DegreeLadder(options)) {
+        ParallelismAssignment degrees(n, 1);
+        for (size_t op = 0; op < n; ++op) {
+          degrees[op] = IsSink(plan, op) ? 1 : d;
+        }
+        out.push_back(std::move(degrees));
+      }
+      break;
+    }
+    case EnumerationStrategy::kParameterBased: {
+      if (options.parameter_degrees.empty()) {
+        return Status::InvalidArgument(
+            "parameter_based needs parameter_degrees");
+      }
+      ParallelismAssignment degrees(n, 1);
+      if (options.parameter_degrees.size() == 1) {
+        for (size_t op = 0; op < n; ++op) {
+          degrees[op] =
+              IsSink(plan, op) ? 1 : options.parameter_degrees[0];
+        }
+      } else if (options.parameter_degrees.size() == n) {
+        degrees = options.parameter_degrees;
+      } else {
+        return Status::InvalidArgument(
+            "parameter_degrees must have 1 entry or one per operator");
+      }
+      for (int d : degrees) {
+        if (d < 1) return Status::InvalidArgument("degree < 1");
+      }
+      out.push_back(std::move(degrees));
+      break;
+    }
+  }
+  return out;
+}
+
+Status ApplyParallelism(LogicalPlan* plan,
+                        const ParallelismAssignment& degrees) {
+  if (degrees.size() != plan->NumOperators()) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  for (size_t op = 0; op < degrees.size(); ++op) {
+    if (degrees[op] < 1) return Status::InvalidArgument("degree < 1");
+    plan->mutable_op(static_cast<LogicalPlan::OpId>(op))->parallelism =
+        degrees[op];
+  }
+  return plan->Validate();
+}
+
+Status ApplyUniformParallelism(LogicalPlan* plan, int degree) {
+  if (degree < 1) return Status::InvalidArgument("degree < 1");
+  for (size_t op = 0; op < plan->NumOperators(); ++op) {
+    const auto id = static_cast<LogicalPlan::OpId>(op);
+    plan->mutable_op(id)->parallelism =
+        plan->op(id).type == OperatorType::kSink ? 1 : degree;
+  }
+  return plan->Validate();
+}
+
+}  // namespace pdsp

@@ -1,0 +1,75 @@
+// Parallelism enumeration strategies (Section 3.1 "Parallelism enumerator").
+// Random parallelism degrees produce noisy or wasteful plans (e.g. one
+// filter instance feeding many join instances), so PDSP-Bench offers six
+// strategies: Random, Rule-based (DS2-style [35]: event rates, operator
+// selectivity and core counts), Exhaustive, MinAvgMax, Increasing and
+// Parameter-based.
+
+#ifndef PDSP_WORKLOAD_ENUMERATOR_H_
+#define PDSP_WORKLOAD_ENUMERATOR_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/sim/cost_model.h"
+
+namespace pdsp {
+
+enum class EnumerationStrategy {
+  kRandom = 0,
+  kRuleBased,
+  kExhaustive,
+  kMinAvgMax,
+  kIncreasing,
+  kParameterBased,
+};
+
+const char* EnumerationStrategyToString(EnumerationStrategy strategy);
+
+/// \brief One per-operator parallelism assignment (operator-id order).
+using ParallelismAssignment = std::vector<int>;
+
+/// \brief Enumeration parameters.
+struct EnumerationOptions {
+  int min_degree = 1;
+  /// Usually the per-node core count of the target cluster (Random's upper
+  /// bound, Rule-based's clamp, ladders' top rung).
+  int max_degree = 16;
+  /// How many assignments to produce for the stochastic strategies
+  /// (Random, Rule-based variants).
+  int num_assignments = 8;
+  /// Cap on Exhaustive's combination count (it enumerates a power-of-two
+  /// ladder per operator and stops after this many).
+  int exhaustive_limit = 256;
+  /// Assignment for kParameterBased: one degree per operator, or a single
+  /// degree broadcast to every operator.
+  std::vector<int> parameter_degrees;
+  /// Rule-based: target per-instance utilization.
+  double target_utilization = 0.7;
+  /// Rule-based: how far variants jitter around the computed degree (+-).
+  int rule_jitter = 1;
+  /// Cost model used by Rule-based to turn rates into degrees.
+  CostModel costs;
+};
+
+/// Produces parallelism assignments for the plan's operators. Sinks always
+/// get degree 1 and sources are bounded like any other operator. Every
+/// returned assignment is valid (degrees >= 1).
+Result<std::vector<ParallelismAssignment>> EnumerateParallelism(
+    const LogicalPlan& plan, EnumerationStrategy strategy,
+    const EnumerationOptions& options, Rng* rng);
+
+/// Applies an assignment to the plan (operator-id order) and re-validates.
+Status ApplyParallelism(LogicalPlan* plan,
+                        const ParallelismAssignment& degrees);
+
+/// Sets every operator except the sink to `degree` and re-validates — the
+/// "parallelism category" knob used by the Figure 3/4 experiments.
+Status ApplyUniformParallelism(LogicalPlan* plan, int degree);
+
+}  // namespace pdsp
+
+#endif  // PDSP_WORKLOAD_ENUMERATOR_H_

@@ -1,0 +1,274 @@
+#include "src/workload/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/data/arrival.h"
+#include "src/query/selectivity.h"
+
+namespace pdsp {
+
+const char* SyntheticStructureToString(SyntheticStructure s) {
+  switch (s) {
+    case SyntheticStructure::kLinear:
+      return "linear";
+    case SyntheticStructure::kChain2Filters:
+      return "chain2";
+    case SyntheticStructure::kChain3Filters:
+      return "chain3";
+    case SyntheticStructure::kAggregation:
+      return "aggregation";
+    case SyntheticStructure::kFlatMapChain:
+      return "flatmap_chain";
+    case SyntheticStructure::kTwoWayJoin:
+      return "join2";
+    case SyntheticStructure::kThreeWayJoin:
+      return "join3";
+    case SyntheticStructure::kFourWayJoin:
+      return "join4";
+    case SyntheticStructure::kFilterJoinAgg:
+      return "filter_join_agg";
+  }
+  return "?";
+}
+
+const std::vector<SyntheticStructure>& AllSyntheticStructures() {
+  static const std::vector<SyntheticStructure> kAll = {
+      SyntheticStructure::kLinear,        SyntheticStructure::kChain2Filters,
+      SyntheticStructure::kChain3Filters, SyntheticStructure::kAggregation,
+      SyntheticStructure::kFlatMapChain,  SyntheticStructure::kTwoWayJoin,
+      SyntheticStructure::kThreeWayJoin,  SyntheticStructure::kFourWayJoin,
+      SyntheticStructure::kFilterJoinAgg,
+  };
+  return kAll;
+}
+
+StreamSpec QueryGenerator::MakeStream(int64_t key_cardinality,
+                                      double max_skew) {
+  StreamSpec spec;
+  Field key{"key", DataType::kInt};
+  (void)spec.schema.AddField(key);
+  FieldGeneratorSpec key_gen;
+  key_gen.dist = FieldDistribution::kZipfKey;
+  key_gen.cardinality = key_cardinality;
+  key_gen.zipf_s = rng_.Uniform(0.0, max_skew);
+  spec.specs.push_back(key_gen);
+
+  const int values = static_cast<int>(rng_.UniformInt(
+      options_.min_value_fields, options_.max_value_fields));
+  for (int i = 0; i < values; ++i) {
+    Field f{StrFormat("v%d", i), DataType::kDouble};
+    (void)spec.schema.AddField(f);
+    FieldGeneratorSpec gen;
+    gen.dist = rng_.Bernoulli(0.5) ? FieldDistribution::kUniformDouble
+                                   : FieldDistribution::kNormalDouble;
+    gen.min = 0.0;
+    gen.max = rng_.Uniform(10.0, 10000.0);
+    spec.specs.push_back(gen);
+  }
+  return spec;
+}
+
+ArrivalProcess::Options QueryGenerator::MakeArrival() {
+  ArrivalProcess::Options arr;
+  arr.kind = ArrivalKind::kPoisson;
+  if (options_.fixed_event_rate > 0.0) {
+    arr.rate = options_.fixed_event_rate;
+  } else {
+    const auto& rates = StandardEventRates();
+    double rate;
+    do {
+      rate = rng_.Choice(rates);
+    } while (rate > options_.rate_cap || rate < options_.rate_floor);
+    arr.rate = rate;
+  }
+  return arr;
+}
+
+WindowSpec QueryGenerator::MakeWindow() {
+  WindowSpec w;
+  w.type = rng_.Bernoulli(options_.sliding_probability)
+               ? WindowType::kSliding
+               : WindowType::kTumbling;
+  w.policy = rng_.Bernoulli(options_.count_policy_probability)
+                 ? WindowPolicy::kCount
+                 : WindowPolicy::kTime;
+  w.duration_ms = rng_.Choice(options_.window_durations_ms);
+  w.length_tuples = rng_.Choice(options_.window_lengths);
+  w.slide_ratio = rng_.Choice(options_.slide_ratios);
+  return w;
+}
+
+AggregateFn QueryGenerator::MakeAggregateFn() {
+  static const std::vector<AggregateFn> kFns = {
+      AggregateFn::kMin, AggregateFn::kMax, AggregateFn::kAvg,
+      AggregateFn::kMean, AggregateFn::kSum};
+  return rng_.Choice(kFns);
+}
+
+PlanBuilder::OpId QueryGenerator::AddFilter(
+    PlanBuilder* b, PlanBuilder::OpId input, const StreamSpec& stream,
+    const std::string& name,
+    std::map<size_t, std::pair<double, double>>* cdf_intervals) {
+  // Filter on a random numeric value field (field 0 is the key).
+  const size_t field = stream.specs.size() == 1
+                           ? 0
+                           : static_cast<size_t>(rng_.UniformInt(
+                                 1, static_cast<int64_t>(
+                                        stream.specs.size()) - 1));
+  auto [it, inserted] =
+      cdf_intervals->try_emplace(field, std::make_pair(0.0, 1.0));
+  auto& [lo, hi] = it->second;
+
+  // Conditional target: the fraction of currently surviving tuples to keep.
+  const double target = rng_.Uniform(options_.min_filter_selectivity,
+                                     options_.max_filter_selectivity);
+  const bool keep_lower = rng_.Bernoulli(0.5);
+  // Cut point in marginal-CDF space.
+  const double cut = keep_lower ? lo + target * (hi - lo)
+                                : hi - target * (hi - lo);
+  const FilterOp op = keep_lower
+                          ? (rng_.Bernoulli(0.5) ? FilterOp::kLt
+                                                 : FilterOp::kLe)
+                          : (rng_.Bernoulli(0.5) ? FilterOp::kGt
+                                                 : FilterOp::kGe);
+  auto literal =
+      LiteralForSelectivity(stream.specs[field], FilterOp::kLe, cut, &rng_);
+  Value lit = literal.ok() ? *literal : Value(0.0);
+  if (keep_lower) {
+    hi = cut;
+  } else {
+    lo = cut;
+  }
+  auto id = b->Filter(name, input, field, op, std::move(lit),
+                      options_.default_parallelism);
+  b->WithSelectivityHint(id, target);
+  return id;
+}
+
+int64_t QueryGenerator::JoinKeyCardinality(double rate,
+                                           const WindowSpec& window) const {
+  // Join outputs per probe ~ buffered_tuples_per_key; keeping the key space
+  // proportional to the larger of (window contents, one second of arrivals)
+  // keeps the expansion factor O(1) regardless of rate *and* policy — joins
+  // on IDs, as real workloads do. Without the rate term, count-policy
+  // windows at high rates would pack many tuples per key and each cascade
+  // stage would multiply the stream (join3 explodes combinatorially).
+  const double contents = window.policy == WindowPolicy::kTime
+                              ? rate * window.DurationSeconds()
+                              : static_cast<double>(window.length_tuples);
+  const double effective = std::max(contents, rate);
+  return std::clamp<int64_t>(static_cast<int64_t>(effective * 4.0),
+                             options_.min_keys, 8'000'000);
+}
+
+Result<LogicalPlan> QueryGenerator::Generate(SyntheticStructure structure) {
+  ++name_counter_;
+  switch (structure) {
+    case SyntheticStructure::kLinear:
+    case SyntheticStructure::kChain2Filters:
+    case SyntheticStructure::kChain3Filters:
+    case SyntheticStructure::kAggregation:
+    case SyntheticStructure::kFlatMapChain: {
+      const int filters =
+          structure == SyntheticStructure::kLinear          ? 1
+          : structure == SyntheticStructure::kChain2Filters ? 2
+          : structure == SyntheticStructure::kChain3Filters ? 3
+                                                            : 0;
+      PlanBuilder b;
+      const int64_t keys = rng_.UniformInt(options_.min_keys,
+                                           options_.max_keys);
+      StreamSpec stream = MakeStream(keys);
+      auto arrival = MakeArrival();
+      auto cur = b.Source("src", stream, arrival,
+                          options_.default_parallelism);
+      std::map<size_t, std::pair<double, double>> intervals;
+      if (structure == SyntheticStructure::kFlatMapChain) {
+        cur = b.FlatMap("flatmap", cur, rng_.Uniform(1.0, 3.0),
+                        options_.default_parallelism);
+      }
+      for (int i = 0; i < filters; ++i) {
+        cur = AddFilter(&b, cur, stream, StrFormat("filter%d", i + 1),
+                        &intervals);
+      }
+      if (structure == SyntheticStructure::kFlatMapChain) {
+        cur = AddFilter(&b, cur, stream, "filter1", &intervals);
+      }
+      const WindowSpec win = MakeWindow();
+      const size_t agg_field =
+          stream.specs.size() > 1
+              ? static_cast<size_t>(rng_.UniformInt(
+                    1, static_cast<int64_t>(stream.specs.size()) - 1))
+              : 0;
+      cur = b.WindowAggregate("agg", cur, win, MakeAggregateFn(), agg_field,
+                              /*key_field=*/0, options_.default_parallelism);
+      b.Sink("sink", cur);
+      PDSP_ASSIGN_OR_RETURN(LogicalPlan plan, b.Build());
+      PDSP_RETURN_NOT_OK(AnnotateFilterSelectivities(&plan));
+      return plan;
+    }
+    case SyntheticStructure::kTwoWayJoin:
+      return MakeJoinPlan(2, /*with_agg=*/false);
+    case SyntheticStructure::kThreeWayJoin:
+      return MakeJoinPlan(3, /*with_agg=*/false);
+    case SyntheticStructure::kFourWayJoin:
+      return MakeJoinPlan(4, /*with_agg=*/false);
+    case SyntheticStructure::kFilterJoinAgg:
+      return MakeJoinPlan(2, /*with_agg=*/true);
+  }
+  return Status::InvalidArgument("unknown structure");
+}
+
+Result<LogicalPlan> QueryGenerator::MakeJoinPlan(int num_sources,
+                                                 bool with_agg) {
+  PlanBuilder b;
+  const auto arrival = MakeArrival();
+  const WindowSpec join_win = MakeWindow();
+  const int64_t keys = JoinKeyCardinality(arrival.rate, join_win);
+
+  std::vector<PlanBuilder::OpId> branches;
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < num_sources; ++i) {
+    // Joins use mild skew: Sum p_k^2 stays O(1/n), so per-probe match counts
+    // (and thus join output rates) stay bounded as event rates grow.
+    StreamSpec stream = MakeStream(keys, /*max_skew=*/0.5);
+    auto src = b.Source(StrFormat("src%d", i + 1), stream, arrival,
+                        options_.default_parallelism);
+    std::map<size_t, std::pair<double, double>> intervals;
+    auto f = AddFilter(&b, src, stream, StrFormat("filter%d", i + 1),
+                       &intervals);
+    branches.push_back(f);
+    streams.push_back(std::move(stream));
+  }
+
+  // Cascade: join((join(s1,s2), s3), ...). The left side's key column stays
+  // at index 0 through the join output schema (l_key first).
+  auto left = branches[0];
+  for (int i = 1; i < num_sources; ++i) {
+    left = b.WindowJoin(StrFormat("join%d", i), left, branches[i],
+                        /*left_key=*/0, /*right_key=*/0, join_win,
+                        options_.default_parallelism);
+  }
+
+  if (with_agg) {
+    // Aggregate the right stream's value column (l-side width fields then
+    // r_key, r_v0 ...): r_v0 sits right after the r_key column.
+    const size_t left_width = streams[0].schema.NumFields();
+    const size_t agg_field = left_width + 1;
+    left = b.WindowAggregate("agg", left, MakeWindow(), MakeAggregateFn(),
+                             agg_field, /*key_field=*/0,
+                             options_.default_parallelism);
+  }
+  b.Sink("sink", left);
+  PDSP_ASSIGN_OR_RETURN(LogicalPlan plan, b.Build());
+  PDSP_RETURN_NOT_OK(AnnotateFilterSelectivities(&plan));
+  return plan;
+}
+
+Result<LogicalPlan> QueryGenerator::GenerateRandom() {
+  const auto& all = AllSyntheticStructures();
+  return Generate(rng_.Choice(all));
+}
+
+}  // namespace pdsp

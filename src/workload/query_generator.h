@@ -1,0 +1,123 @@
+// Synthetic parallel-query-plan generation (Section 3.1 "Query"): an
+// extensive range of PQP structures, from simple linear queries with one
+// filter to multi-way joins and chained filters, with randomized operator
+// parameters (filter function and literal, window type/policy/length/slide,
+// aggregate function) drawn from the Table 3 ranges. Filter literals are
+// synthesized by inverse-CDF selectivity targeting so that every generated
+// predicate has 0 < selectivity < 1.
+
+#ifndef PDSP_WORKLOAD_QUERY_GENERATOR_H_
+#define PDSP_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/query/builder.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+
+/// The nine synthetic query structures of the benchmark suite.
+enum class SyntheticStructure {
+  kLinear = 0,       ///< src -> filter -> window agg -> sink
+  kChain2Filters,    ///< src -> f1 -> f2 -> window agg -> sink
+  kChain3Filters,    ///< src -> f1 -> f2 -> f3 -> window agg -> sink
+  kAggregation,      ///< src -> window agg -> sink
+  kFlatMapChain,     ///< src -> flatMap -> filter -> window agg -> sink
+  kTwoWayJoin,       ///< (src -> filter) x2 -> join -> sink
+  kThreeWayJoin,     ///< three sources, cascaded joins
+  kFourWayJoin,      ///< four sources, cascaded joins
+  kFilterJoinAgg,    ///< (src -> filter) x2 -> join -> window agg -> sink
+};
+
+constexpr int kNumSyntheticStructures = 9;
+
+const char* SyntheticStructureToString(SyntheticStructure s);
+
+/// All nine structures in declaration order.
+const std::vector<SyntheticStructure>& AllSyntheticStructures();
+
+/// \brief Parameter ranges for query generation (defaults follow Table 3).
+struct QueryGenOptions {
+  /// Event rate per source; < 0 draws randomly from StandardEventRates()
+  /// (restricted to [rate_floor, rate_cap]).
+  double fixed_event_rate = -1.0;
+  double rate_floor = 10.0;
+  double rate_cap = 500000.0;
+
+  /// Window duration choices (ms) for time-policy windows.
+  std::vector<double> window_durations_ms = {250, 500, 1000, 2000, 5000};
+  /// Window length choices (tuples) for count-policy windows.
+  std::vector<int64_t> window_lengths = {50, 100, 500, 1000, 5000};
+  /// Sliding ratios (Table 3).
+  std::vector<double> slide_ratios = {0.3, 0.4, 0.5, 0.6, 0.7};
+  /// Probability a generated window is sliding (vs tumbling).
+  double sliding_probability = 0.5;
+  /// Probability a generated window is count-based (vs time).
+  double count_policy_probability = 0.3;
+
+  /// Filter target selectivity is drawn uniformly from this range.
+  double min_filter_selectivity = 0.15;
+  double max_filter_selectivity = 0.85;
+
+  /// Aggregate key cardinality range.
+  int64_t min_keys = 10;
+  int64_t max_keys = 10000;
+
+  /// Extra numeric value fields per stream beyond the key (tuple width).
+  int min_value_fields = 1;
+  int max_value_fields = 6;
+
+  /// Parallelism assigned to every generated operator (enumerators rewrite
+  /// it afterwards).
+  int default_parallelism = 1;
+};
+
+/// \brief Generates validated synthetic plans.
+class QueryGenerator {
+ public:
+  QueryGenerator(QueryGenOptions options, uint64_t seed)
+      : options_(std::move(options)), rng_(seed) {}
+
+  /// Generates one plan of the given structure with fresh random parameters.
+  Result<LogicalPlan> Generate(SyntheticStructure structure);
+
+  /// Generates one plan of a uniformly random structure.
+  Result<LogicalPlan> GenerateRandom();
+
+  const QueryGenOptions& options() const { return options_; }
+
+ private:
+  /// Random stream: field 0 integer key (Zipf with skew in [0, max_skew]),
+  /// fields 1..k uniform doubles.
+  StreamSpec MakeStream(int64_t key_cardinality, double max_skew = 1.2);
+  ArrivalProcess::Options MakeArrival();
+  WindowSpec MakeWindow();
+  AggregateFn MakeAggregateFn();
+  /// Filter on a random numeric field with a selectivity-targeted literal.
+  /// `cdf_intervals` tracks, per field, the CDF interval still passing all
+  /// previously added filters in the same chain, so chained predicates are
+  /// mutually consistent (no contradictory conjunctions) and each passes its
+  /// target fraction of the *surviving* stream.
+  PlanBuilder::OpId AddFilter(
+      PlanBuilder* b, PlanBuilder::OpId input, const StreamSpec& stream,
+      const std::string& name,
+      std::map<size_t, std::pair<double, double>>* cdf_intervals);
+  /// Join-friendly key cardinality: scaled with rate x window so join
+  /// outputs stay bounded.
+  int64_t JoinKeyCardinality(double rate, const WindowSpec& window) const;
+
+  Result<LogicalPlan> MakeJoinPlan(int num_sources, bool with_agg);
+
+  QueryGenOptions options_;
+  Rng rng_;
+  int name_counter_ = 0;
+};
+
+}  // namespace pdsp
+
+#endif  // PDSP_WORKLOAD_QUERY_GENERATOR_H_

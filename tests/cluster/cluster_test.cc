@@ -1,0 +1,108 @@
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdsp {
+namespace {
+
+TEST(NodeSpecTest, Table4Presets) {
+  const NodeSpec m510 = M510Spec();
+  EXPECT_EQ(m510.model, "m510");
+  EXPECT_EQ(m510.cores, 8);
+  EXPECT_DOUBLE_EQ(m510.clock_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(m510.speed_factor, 1.0);  // the reference core
+  EXPECT_DOUBLE_EQ(m510.nic_gbps, 10.0);
+
+  const NodeSpec c6525 = C6525Spec();
+  EXPECT_EQ(c6525.cores, 16);
+  EXPECT_DOUBLE_EQ(c6525.clock_ghz, 2.2);
+  EXPECT_GT(c6525.speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(c6525.nic_gbps, 25.0);
+
+  const NodeSpec c6320 = C6320Spec();
+  EXPECT_EQ(c6320.cores, 28);
+  EXPECT_DOUBLE_EQ(c6320.memory_gb, 256.0);
+}
+
+TEST(ClusterTest, M510IsHomogeneous) {
+  Cluster c = Cluster::M510(10);
+  EXPECT_EQ(c.NumNodes(), 10u);
+  EXPECT_EQ(c.TotalCores(), 80);
+  EXPECT_FALSE(c.IsHeterogeneous());
+  for (const Node& n : c.nodes()) {
+    EXPECT_DOUBLE_EQ(n.effective_speed, 1.0);
+  }
+}
+
+TEST(ClusterTest, HeClustersCarrySpeedJitter) {
+  Cluster c = Cluster::C6525(10);
+  EXPECT_TRUE(c.IsHeterogeneous());
+  double lo = 1e9, hi = 0;
+  for (const Node& n : c.nodes()) {
+    lo = std::min(lo, n.effective_speed);
+    hi = std::max(hi, n.effective_speed);
+  }
+  EXPECT_GT(hi / lo, 1.02);  // genuinely varied
+  EXPECT_LT(hi / lo, 2.5);   // but bounded
+}
+
+TEST(ClusterTest, JitterIsDeterministic) {
+  Cluster a = Cluster::C6320(10);
+  Cluster b = Cluster::C6320(10);
+  for (size_t i = 0; i < a.NumNodes(); ++i) {
+    EXPECT_DOUBLE_EQ(a.node(i).effective_speed, b.node(i).effective_speed);
+  }
+}
+
+TEST(ClusterTest, MixedClusterHasAllModels) {
+  Cluster c = Cluster::Mixed(10);
+  EXPECT_EQ(c.NumNodes(), 10u);
+  int m510 = 0, c6525 = 0, c6320 = 0;
+  for (const Node& n : c.nodes()) {
+    m510 += n.spec.model == "m510";
+    c6525 += n.spec.model == "c6525_25g";
+    c6320 += n.spec.model == "c6320";
+  }
+  EXPECT_GT(m510, 0);
+  EXPECT_GT(c6525, 0);
+  EXPECT_GT(c6320, 0);
+  EXPECT_TRUE(c.IsHeterogeneous());
+}
+
+TEST(ClusterTest, CoreTotalsMatchTable4) {
+  EXPECT_EQ(Cluster::M510(10).TotalCores(), 80);
+  EXPECT_EQ(Cluster::C6525(10).TotalCores(), 160);
+  EXPECT_EQ(Cluster::C6320(10).TotalCores(), 280);
+}
+
+TEST(ClusterTest, LinkLatencyZeroWithinNode) {
+  Cluster c = Cluster::M510(3);
+  EXPECT_DOUBLE_EQ(c.LinkLatencySeconds(1, 1), 0.0);
+  EXPECT_GT(c.LinkLatencySeconds(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(c.LinkLatencySeconds(0, 1), c.LinkLatencySeconds(2, 1));
+}
+
+TEST(ClusterTest, BandwidthIsMinOfNics) {
+  Cluster c;
+  c.AddNodes(M510Spec(), 1);   // 10 Gbps
+  c.AddNodes(C6525Spec(), 1);  // 25 Gbps
+  EXPECT_DOUBLE_EQ(c.LinkBandwidthBytesPerSec(0, 1), 10e9 / 8.0);
+  EXPECT_TRUE(std::isinf(c.LinkBandwidthBytesPerSec(0, 0)));
+}
+
+TEST(ClusterTest, MeanSpeedReflectsNodeMix) {
+  EXPECT_DOUBLE_EQ(Cluster::M510(5).MeanSpeed(), 1.0);
+  EXPECT_GT(Cluster::C6525(5).MeanSpeed(), 1.1);
+  EXPECT_DOUBLE_EQ(Cluster().MeanSpeed(), 0.0);
+}
+
+TEST(ClusterTest, ToStringListsNodes) {
+  std::string s = Cluster::M510(2).ToString();
+  EXPECT_NE(s.find("m510"), std::string::npos);
+  EXPECT_NE(s.find("2 nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,108 @@
+#include "src/cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pdsp {
+namespace {
+
+TEST(PlacementTest, EmptyClusterRejected) {
+  Cluster empty;
+  EXPECT_TRUE(PlaceTasks(empty, {2}, PlacementKind::kRoundRobin)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PlacementTest, NoTasksRejected) {
+  Cluster c = Cluster::M510(2);
+  EXPECT_FALSE(PlaceTasks(c, {}, PlacementKind::kRoundRobin).ok());
+}
+
+TEST(PlacementTest, NonPositiveParallelismRejected) {
+  Cluster c = Cluster::M510(2);
+  EXPECT_FALSE(PlaceTasks(c, {2, 0}, PlacementKind::kRoundRobin).ok());
+}
+
+TEST(PlacementTest, RoundRobinSpreadsEvenly) {
+  Cluster c = Cluster::M510(4);
+  auto p = PlaceTasks(c, {4, 4}, PlacementKind::kRoundRobin);
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->node_of_task.size(), 8u);
+  for (int n : p->tasks_per_node) EXPECT_EQ(n, 2);
+}
+
+TEST(PlacementTest, AllNodesInRange) {
+  Cluster c = Cluster::M510(3);
+  for (PlacementKind kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLeastLoaded,
+        PlacementKind::kLocality, PlacementKind::kRandom}) {
+    auto p = PlaceTasks(c, {5, 3, 7}, kind, 9);
+    ASSERT_TRUE(p.ok()) << PlacementKindToString(kind);
+    for (int n : p->node_of_task) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 3);
+    }
+    EXPECT_EQ(std::accumulate(p->tasks_per_node.begin(),
+                              p->tasks_per_node.end(), 0),
+              15);
+  }
+}
+
+TEST(PlacementTest, LeastLoadedBalancesByCapacity) {
+  // One fast 16-core node and one 8-core node: least-loaded should put
+  // roughly twice the tasks on the big node.
+  Cluster c;
+  c.AddNodes(C6525Spec(), 1);  // 16 cores, speed > 1
+  c.AddNodes(M510Spec(), 1);   // 8 cores
+  auto p = PlaceTasks(c, {24}, PlacementKind::kLeastLoaded);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(p->tasks_per_node[0], p->tasks_per_node[1]);
+  EXPECT_GE(p->tasks_per_node[0], 14);
+}
+
+TEST(PlacementTest, LocalityColocatesChainedInstances) {
+  Cluster c = Cluster::M510(4);
+  // Two chained operators of equal parallelism: instance j of op 1 should sit
+  // with instance j of op 0.
+  auto p = PlaceTasks(c, {4, 4}, PlacementKind::kLocality);
+  ASSERT_TRUE(p.ok());
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(p->node_of_task[j], p->node_of_task[4 + j]) << "instance " << j;
+  }
+}
+
+TEST(PlacementTest, LocalityFallsBackWhenNodeFull) {
+  Cluster c = Cluster::M510(2);  // 8 cores each
+  // Op 0 oversubscribes node capacity so co-location cannot always hold; the
+  // placement must still succeed and remain within range.
+  auto p = PlaceTasks(c, {16, 16}, PlacementKind::kLocality);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->node_of_task.size(), 32u);
+}
+
+TEST(PlacementTest, RandomIsSeedDeterministic) {
+  Cluster c = Cluster::M510(5);
+  auto a = PlaceTasks(c, {10}, PlacementKind::kRandom, 123);
+  auto b = PlaceTasks(c, {10}, PlacementKind::kRandom, 123);
+  auto d = PlaceTasks(c, {10}, PlacementKind::kRandom, 124);
+  ASSERT_TRUE(a.ok() && b.ok() && d.ok());
+  EXPECT_EQ(a->node_of_task, b->node_of_task);
+  EXPECT_NE(a->node_of_task, d->node_of_task);
+}
+
+TEST(PlacementTest, OversubscriptionAllowed) {
+  Cluster c = Cluster::M510(1);  // 8 cores
+  auto p = PlaceTasks(c, {100}, PlacementKind::kLeastLoaded);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->tasks_per_node[0], 100);
+}
+
+TEST(PlacementTest, KindNames) {
+  EXPECT_STREQ(PlacementKindToString(PlacementKind::kLocality), "locality");
+  EXPECT_STREQ(PlacementKindToString(PlacementKind::kLeastLoaded),
+               "least_loaded");
+}
+
+}  // namespace
+}  // namespace pdsp

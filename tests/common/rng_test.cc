@@ -1,0 +1,216 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace pdsp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) ++counts[rng.UniformInt(0, 5)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 700) << "value " << v;  // expected 1000 each
+    EXPECT_LT(c, 1300) << "value " << v;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.Exponential(0.001), 0.0);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto v = static_cast<double>(rng.Poisson(200.0));
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 200.0, 1.0);
+  EXPECT_NEAR(sq / n - mean * mean, 200.0, 15.0);  // var == mean for Poisson
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ZipfWithinRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Zipf(100, 1.2);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardsLowRanks) {
+  Rng rng(17);
+  int64_t ones = 0, total = 20000;
+  for (int64_t i = 0; i < total; ++i) ones += (rng.Zipf(1000, 1.1) == 1);
+  // Rank 1 should carry far more than the uniform share of 1/1000.
+  EXPECT_GT(static_cast<double>(ones) / static_cast<double>(total), 0.05);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(19);
+  std::vector<int64_t> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 0.0) - 1];
+  for (int64_t c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(RngTest, ZipfHandlesExponentOne) {
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.Zipf(50, 1.0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(RngTest, ZipfDegenerateN) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Zipf(1, 1.5), 1);
+  EXPECT_EQ(rng.Zipf(0, 1.5), 1);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsZero) {
+  Rng rng(1);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), 0u);
+}
+
+TEST(RngTest, ChoicePicksExistingElements) {
+  Rng rng(31);
+  std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    int v = rng.Choice(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(RngTest, ForkProducesDecorrelatedStream) {
+  Rng base(42);
+  Rng forked = base.Fork(1);
+  Rng forked2 = base.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (forked.NextUint64() == forked2.NextUint64());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,144 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pdsp {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10 + i * 0.1;
+    all.Add(x);
+    (i < 37 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(LatencyRecorderTest, EmptyPercentileIsNaN) {
+  LatencyRecorder r;
+  EXPECT_TRUE(std::isnan(r.Percentile(50)));
+  EXPECT_EQ(r.Count(), 0);
+}
+
+TEST(LatencyRecorderTest, MedianOfOddCount) {
+  LatencyRecorder r;
+  for (double x : {5.0, 1.0, 3.0}) r.Record(x);
+  EXPECT_DOUBLE_EQ(r.Median(), 3.0);
+}
+
+TEST(LatencyRecorderTest, PercentileInterpolates) {
+  LatencyRecorder r;
+  for (double x : {10.0, 20.0}) r.Record(x);
+  EXPECT_DOUBLE_EQ(r.Percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(100), 20.0);
+}
+
+TEST(LatencyRecorderTest, MeanMinMaxTrackAllSamplesEvenWithReservoir) {
+  LatencyRecorder r(/*reservoir_capacity=*/10);
+  for (int i = 1; i <= 1000; ++i) r.Record(static_cast<double>(i));
+  EXPECT_EQ(r.Count(), 1000);
+  EXPECT_DOUBLE_EQ(r.Mean(), 500.5);
+  EXPECT_EQ(r.Min(), 1.0);
+  EXPECT_EQ(r.Max(), 1000.0);
+}
+
+TEST(LatencyRecorderTest, ReservoirMedianApproximatesTrueMedian) {
+  LatencyRecorder r(/*reservoir_capacity=*/500);
+  for (int i = 1; i <= 100000; ++i) r.Record(static_cast<double>(i));
+  // With 500 uniform samples the median should be within ~15% of 50000.
+  EXPECT_NEAR(r.Median(), 50000.0, 15000.0);
+}
+
+TEST(LatencyRecorderTest, SummaryMentionsCount) {
+  LatencyRecorder r;
+  r.Record(1.0);
+  EXPECT_NE(r.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.NumBuckets(), 5u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(4), 8.0);
+}
+
+TEST(HistogramTest, AddClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);
+  h.Add(100.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(4), 1);
+  EXPECT_EQ(h.BucketCount(2), 1);
+  EXPECT_EQ(h.TotalCount(), 3);
+}
+
+TEST(HistogramTest, ToStringHasOneLinePerBucket) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  std::string s = h.ToString();
+  int lines = 0;
+  for (char c : s) lines += (c == '\n');
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(BatchStatsTest, MeanOfVector) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(BatchStatsTest, PercentileOfVector) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50), 2.0);
+  EXPECT_TRUE(std::isnan(Percentile({}, 50)));
+}
+
+TEST(BatchStatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({1.0, 4.0}), 2.0);
+  EXPECT_TRUE(std::isnan(GeometricMean({1.0, -1.0})));
+  EXPECT_TRUE(std::isnan(GeometricMean({})));
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,61 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pdsp {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitTest, EmptyStringYieldsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyTokens) {
+  auto parts = SplitWhitespace("  hello\t world \n");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[1], "world");
+}
+
+TEST(SplitWhitespaceTest, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(ToLowerTest, MixedCase) {
+  EXPECT_EQ(ToLower("Hello WORLD 123"), "hello world 123");
+}
+
+TEST(TrimTest, StripsEnds) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(HumanCountTest, ScalesUnits) {
+  EXPECT_EQ(HumanCount(500), "500");
+  EXPECT_EQ(HumanCount(1500), "1.5k");
+  EXPECT_EQ(HumanCount(2000000), "2m");
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,133 @@
+#include "src/data/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace pdsp {
+namespace {
+
+TEST(ArrivalTest, RejectsNonPositiveRate) {
+  ArrivalProcess::Options opt;
+  opt.rate = 0.0;
+  EXPECT_TRUE(ArrivalProcess::Create(opt).status().IsInvalidArgument());
+  opt.rate = -5.0;
+  EXPECT_TRUE(ArrivalProcess::Create(opt).status().IsInvalidArgument());
+}
+
+TEST(ArrivalTest, RejectsBadBurstParameters) {
+  ArrivalProcess::Options opt;
+  opt.kind = ArrivalKind::kBursty;
+  opt.rate = 100.0;
+  opt.peak_factor = 0.5;
+  EXPECT_FALSE(ArrivalProcess::Create(opt).ok());
+  opt.peak_factor = 2.0;
+  opt.duty_cycle = 0.0;
+  EXPECT_FALSE(ArrivalProcess::Create(opt).ok());
+  opt.duty_cycle = 0.25;
+  opt.burst_period = 0.0;
+  EXPECT_FALSE(ArrivalProcess::Create(opt).ok());
+}
+
+TEST(ArrivalTest, ConstantInterarrivalIsExact) {
+  ArrivalProcess::Options opt;
+  opt.kind = ArrivalKind::kConstant;
+  opt.rate = 250.0;
+  auto p = ArrivalProcess::Create(opt);
+  ASSERT_TRUE(p.ok());
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(p->NextInterarrival(&rng), 1.0 / 250.0);
+}
+
+TEST(ArrivalTest, PoissonInterarrivalMeanMatchesRate) {
+  ArrivalProcess::Options opt;
+  opt.rate = 1000.0;
+  auto p = ArrivalProcess::Create(opt);
+  ASSERT_TRUE(p.ok());
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += p->NextInterarrival(&rng);
+  EXPECT_NEAR(sum / n, 1.0 / 1000.0, 1e-4);
+}
+
+TEST(ArrivalTest, EventsInWindowMeanMatchesRate) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kConstant}) {
+    ArrivalProcess::Options opt;
+    opt.kind = kind;
+    opt.rate = 5000.0;
+    auto p = ArrivalProcess::Create(opt);
+    ASSERT_TRUE(p.ok());
+    Rng rng(3);
+    int64_t total = 0;
+    const int windows = 2000;
+    const double dt = 0.01;
+    for (int i = 0; i < windows; ++i) {
+      total += p->EventsInWindow(i * dt, dt, &rng);
+    }
+    const double mean_rate = static_cast<double>(total) / (windows * dt);
+    EXPECT_NEAR(mean_rate, 5000.0, 100.0) << ArrivalKindToString(kind);
+  }
+}
+
+TEST(ArrivalTest, EventsInWindowZeroOrNegativeDt) {
+  ArrivalProcess::Options opt;
+  opt.rate = 100.0;
+  auto p = ArrivalProcess::Create(opt);
+  ASSERT_TRUE(p.ok());
+  Rng rng(4);
+  EXPECT_EQ(p->EventsInWindow(0.0, 0.0, &rng), 0);
+  EXPECT_EQ(p->EventsInWindow(0.0, -1.0, &rng), 0);
+}
+
+TEST(ArrivalTest, BurstyPreservesMeanRate) {
+  ArrivalProcess::Options opt;
+  opt.kind = ArrivalKind::kBursty;
+  opt.rate = 1000.0;
+  opt.peak_factor = 3.0;
+  opt.burst_period = 1.0;
+  opt.duty_cycle = 0.25;
+  auto p = ArrivalProcess::Create(opt);
+  ASSERT_TRUE(p.ok());
+  Rng rng(5);
+  int64_t total = 0;
+  const double dt = 0.005;
+  const int windows = 20000;  // 100 seconds => 100 full burst periods
+  for (int i = 0; i < windows; ++i) {
+    total += p->EventsInWindow(i * dt, dt, &rng);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / (windows * dt), 1000.0, 30.0);
+}
+
+TEST(ArrivalTest, BurstyOnPeriodIsHotterThanOffPeriod) {
+  ArrivalProcess::Options opt;
+  opt.kind = ArrivalKind::kBursty;
+  opt.rate = 1000.0;
+  opt.peak_factor = 3.0;
+  opt.burst_period = 1.0;
+  opt.duty_cycle = 0.25;
+  auto p = ArrivalProcess::Create(opt);
+  ASSERT_TRUE(p.ok());
+  Rng rng(6);
+  int64_t on = 0, off = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    on += p->EventsInWindow(rep + 0.1, 0.05, &rng);   // phase 0.1 < 0.25
+    off += p->EventsInWindow(rep + 0.6, 0.05, &rng);  // phase 0.6 > 0.25
+  }
+  EXPECT_GT(on, off * 2);
+}
+
+TEST(ArrivalTest, StandardEventRatesMatchTable3) {
+  const auto& rates = StandardEventRates();
+  ASSERT_EQ(rates.size(), 12u);
+  EXPECT_EQ(rates.front(), 10.0);
+  EXPECT_EQ(rates.back(), 4e6);
+  for (size_t i = 1; i < rates.size(); ++i) EXPECT_GT(rates[i], rates[i - 1]);
+}
+
+TEST(ArrivalTest, KindNames) {
+  EXPECT_STREQ(ArrivalKindToString(ArrivalKind::kPoisson), "poisson");
+  EXPECT_STREQ(ArrivalKindToString(ArrivalKind::kConstant), "constant");
+  EXPECT_STREQ(ArrivalKindToString(ArrivalKind::kBursty), "bursty");
+}
+
+}  // namespace
+}  // namespace pdsp

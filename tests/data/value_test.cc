@@ -1,0 +1,115 @@
+#include "src/data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pdsp {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, TypeTagsMatchConstruction) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+  EXPECT_TRUE(Value("x").is_string());
+}
+
+TEST(ValueTest, AsNumericCoercions) {
+  EXPECT_DOUBLE_EQ(Value(7).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsNumeric(), 2.5);
+  EXPECT_DOUBLE_EQ(Value("abc").AsNumeric(), 3.0);  // string -> length
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_TRUE(Value(3) < Value(3.5));
+  EXPECT_TRUE(Value(3.0) == Value(3));
+  EXPECT_TRUE(Value(4) > Value(3.9));
+}
+
+TEST(ValueTest, StringComparisonIsLexical) {
+  EXPECT_TRUE(Value("apple") < Value("banana"));
+  EXPECT_TRUE(Value("apple") == Value("apple"));
+  EXPECT_FALSE(Value("b") < Value("ab"));  // lexical, not by length
+}
+
+TEST(ValueTest, RelationalOperatorFamilyIsConsistent) {
+  Value a(1), b(2);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a <= Value(1));
+  EXPECT_TRUE(a >= Value(1));
+}
+
+TEST(ValueTest, HashIsStableAndTypeCoherent) {
+  EXPECT_EQ(Value(42).Hash(), Value(42).Hash());
+  EXPECT_EQ(Value(42).Hash(), Value(42.0).Hash());  // same partition
+  EXPECT_NE(Value(42).Hash(), Value(43).Hash());
+  EXPECT_EQ(Value("hi").Hash(), Value("hi").Hash());
+  EXPECT_NE(Value("hi").Hash(), Value("ho").Hash());
+}
+
+TEST(ValueTest, WireSizes) {
+  EXPECT_EQ(Value(1).WireSize(), 8u);
+  EXPECT_EQ(Value(1.0).WireSize(), 8u);
+  EXPECT_EQ(Value("abcd").WireSize(), 8u);  // 4 chars + 4 length prefix
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value("xy").ToString(), "xy");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt), "int");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "string");
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"a", DataType::kInt}).ok());
+  ASSERT_TRUE(s.AddField({"b", DataType::kString}).ok());
+  EXPECT_EQ(s.NumFields(), 2u);
+  auto idx = s.FieldIndex("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(s.FieldIndex("zzz").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"a", DataType::kInt}).ok());
+  EXPECT_TRUE(s.AddField({"a", DataType::kDouble}).IsAlreadyExists());
+}
+
+TEST(SchemaTest, EstimatedBytesCountsStringsWider) {
+  Schema numeric({{"a", DataType::kInt}, {"b", DataType::kDouble}});
+  Schema with_string({{"a", DataType::kInt}, {"b", DataType::kString}});
+  EXPECT_EQ(numeric.EstimatedTupleBytes(), 8u + 8 + 8);
+  EXPECT_GT(with_string.EstimatedTupleBytes(),
+            numeric.EstimatedTupleBytes());
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema s({{"a", DataType::kInt}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "a:int, b:string");
+}
+
+TEST(TupleTest, WireSizeAndToString) {
+  Tuple t{{Value(1), Value("ab")}, 2.5};
+  EXPECT_EQ(t.WireSize(), 8u + 8 + 6);
+  EXPECT_NE(t.ToString().find("1, ab"), std::string::npos);
+  EXPECT_EQ(t.at(0).AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,96 @@
+#include "src/ml/features.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+TEST(FeaturesTest, RequiresValidatedPlan) {
+  LogicalPlan raw;
+  EXPECT_TRUE(
+      EncodeFlat(raw, Cluster::M510(2)).status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      EncodeGraph(raw, Cluster::M510(2)).status().IsFailedPrecondition());
+}
+
+TEST(FeaturesTest, FlatDimensionIsFixed) {
+  auto plan = testing::LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  auto f = EncodeFlat(*plan, Cluster::M510(4));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), kFlatFeatureDim);
+  EXPECT_DOUBLE_EQ(f->back(), 1.0);  // bias
+}
+
+TEST(FeaturesTest, RateIncreasesRateFeature) {
+  auto slow = testing::LinearPlan(1000.0);
+  auto fast = testing::LinearPlan(100000.0);
+  ASSERT_TRUE(slow.ok() && fast.ok());
+  auto f_slow = EncodeFlat(*slow, Cluster::M510(4));
+  auto f_fast = EncodeFlat(*fast, Cluster::M510(4));
+  ASSERT_TRUE(f_slow.ok() && f_fast.ok());
+  EXPECT_GT((*f_fast)[0], (*f_slow)[0]);  // log rate feature
+}
+
+TEST(FeaturesTest, ParallelismChangesFeatures) {
+  auto p1 = testing::LinearPlan(10000.0, 1);
+  auto p8 = testing::LinearPlan(10000.0, 8);
+  ASSERT_TRUE(p1.ok() && p8.ok());
+  auto f1 = EncodeFlat(*p1, Cluster::M510(4));
+  auto f8 = EncodeFlat(*p8, Cluster::M510(4));
+  ASSERT_TRUE(f1.ok() && f8.ok());
+  EXPECT_NE(*f1, *f8);
+}
+
+TEST(FeaturesTest, ClusterAffectsFeatures) {
+  auto plan = testing::LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  auto m510 = EncodeFlat(*plan, Cluster::M510(4));
+  auto epyc = EncodeFlat(*plan, Cluster::C6525(4));
+  ASSERT_TRUE(m510.ok() && epyc.ok());
+  EXPECT_NE(*m510, *epyc);
+}
+
+TEST(FeaturesTest, GraphEncodingShape) {
+  auto plan = testing::TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  auto g = EncodeGraph(*plan, Cluster::M510(4));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->node_features.size(), plan->NumOperators());
+  EXPECT_EQ(g->edges.size(), plan->edges().size());
+  EXPECT_EQ(g->sink, plan->SinkId());
+  for (const Vector& x : g->node_features) {
+    EXPECT_EQ(x.size(), kNodeFeatureDim);
+  }
+}
+
+TEST(FeaturesTest, GraphOneHotMatchesOperatorType) {
+  auto plan = testing::LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  auto g = EncodeGraph(*plan, Cluster::M510(4));
+  ASSERT_TRUE(g.ok());
+  for (size_t i = 0; i < plan->NumOperators(); ++i) {
+    const auto type = static_cast<size_t>(
+        plan->op(static_cast<LogicalPlan::OpId>(i)).type);
+    double one_hot_sum = 0.0;
+    for (size_t k = 0; k < 8; ++k) one_hot_sum += g->node_features[i][k];
+    EXPECT_DOUBLE_EQ(one_hot_sum, 1.0);
+    EXPECT_DOUBLE_EQ(g->node_features[i][type], 1.0);
+  }
+}
+
+TEST(FeaturesTest, EncodeSampleRejectsBadLabel) {
+  auto plan = testing::LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(EncodeSample(*plan, Cluster::M510(4), 0.0, 0).ok());
+  EXPECT_FALSE(EncodeSample(*plan, Cluster::M510(4), -1.0, 0).ok());
+  auto s = EncodeSample(*plan, Cluster::M510(4), 0.5, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->structure_tag, 3);
+  EXPECT_DOUBLE_EQ(s->latency_s, 0.5);
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,131 @@
+#include "src/ml/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdsp {
+namespace {
+
+TEST(MatrixTest, MatVec) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  a.at(1, 0) = 4;
+  a.at(1, 1) = 5;
+  a.at(1, 2) = 6;
+  Vector y = a.MatVec({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, TransposedMatVec) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(1, 2) = 2;
+  Vector y = a.TransposedMatVec({1.0, 1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(MatrixTest, GlorotRandomBounded) {
+  Rng rng(1);
+  Matrix m = Matrix::GlorotRandom(10, 10, &rng);
+  const double bound = std::sqrt(6.0 / 20.0);
+  for (double v : m.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c->at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c->at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c->at(1, 1), 50.0);
+}
+
+TEST(MatMulTest, DimensionMismatchRejected) {
+  EXPECT_FALSE(MatMul(Matrix(2, 3), Matrix(2, 3)).ok());
+}
+
+TEST(TransposeTest, RoundTrip) {
+  Rng rng(2);
+  Matrix a = Matrix::GlorotRandom(3, 5, &rng);
+  Matrix t = Transpose(a);
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 5; ++j) EXPECT_EQ(t.at(j, i), a.at(i, j));
+  }
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 3;
+  auto x = CholeskySolve(a, {10.0, 9.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RidgeRegularizesSingularMatrix) {
+  Matrix a(2, 2);  // rank 1
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 1;
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}, 0.0).ok());
+  EXPECT_TRUE(CholeskySolve(a, {1.0, 1.0}, 0.1).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskySolve(Matrix(2, 3), {1.0, 2.0}).ok());
+}
+
+TEST(VectorOpsTest, DotAxpyScale) {
+  Vector a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  Axpy(2.0, a, &b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  Scale(0.5, &b);
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+}
+
+TEST(CholeskyTest, LargerRandomSystemRoundTrips) {
+  // Build SPD A = M^T M + I and verify A x = b residual.
+  Rng rng(3);
+  const size_t n = 12;
+  Matrix m = Matrix::GlorotRandom(n, n, &rng);
+  auto mtm = MatMul(Transpose(m), m);
+  ASSERT_TRUE(mtm.ok());
+  for (size_t i = 0; i < n; ++i) mtm->at(i, i) += 1.0;
+  Vector b(n);
+  for (auto& v : b) v = rng.Uniform(-1, 1);
+  auto x = CholeskySolve(*mtm, b);
+  ASSERT_TRUE(x.ok());
+  Vector ax = mtm->MatVec(*x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,222 @@
+#include "src/ml/models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.h"
+#include "src/ml/metrics.h"
+#include "src/ml/trainer.h"
+
+namespace pdsp {
+namespace {
+
+// Synthetic flat-feature dataset: log(latency) is a noisy linear function of
+// three features; everything else is distraction.
+Dataset SyntheticFlatDataset(size_t n, uint64_t seed, double noise = 0.05) {
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    PlanSample s;
+    s.flat.assign(kFlatFeatureDim, 0.0);
+    for (double& v : s.flat) v = rng.Uniform(-1.0, 1.0);
+    s.flat.back() = 1.0;
+    const double log_latency = 0.8 * s.flat[0] - 1.2 * s.flat[5] +
+                               0.5 * s.flat[10] - 2.0 +
+                               rng.Normal(0.0, noise);
+    s.latency_s = std::exp(log_latency);
+    // A trivially consistent graph: 2 nodes, 1 edge, features mirroring the
+    // informative flat entries so the GNN can learn the same signal.
+    s.graph.node_features = {Vector(kNodeFeatureDim, 0.0),
+                             Vector(kNodeFeatureDim, 0.0)};
+    s.graph.node_features[0][0] = s.flat[0];
+    s.graph.node_features[0][1] = s.flat[5];
+    s.graph.node_features[1][2] = s.flat[10];
+    s.graph.edges = {{0, 1}};
+    s.graph.sink = 1;
+    s.structure_tag = static_cast<int>(i % 3);
+    data.samples.push_back(std::move(s));
+  }
+  return data;
+}
+
+TrainOptions FastTrain() {
+  TrainOptions opt;
+  opt.max_epochs = 150;
+  opt.patience = 10;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(ModelFactoryTest, CreatesAllKinds) {
+  for (ModelKind kind :
+       {ModelKind::kLinearRegression, ModelKind::kMlp,
+        ModelKind::kRandomForest, ModelKind::kGnn,
+        ModelKind::kGradientBoost}) {
+    auto model = MakeModel(kind);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->kind(), kind);
+    EXPECT_STREQ(model->name(), ModelKindToString(kind));
+  }
+}
+
+TEST(ModelsTest, PredictBeforeFitFails) {
+  Dataset data = SyntheticFlatDataset(4, 1);
+  for (ModelKind kind :
+       {ModelKind::kLinearRegression, ModelKind::kMlp,
+        ModelKind::kRandomForest, ModelKind::kGnn,
+        ModelKind::kGradientBoost}) {
+    auto model = MakeModel(kind);
+    EXPECT_TRUE(model->PredictLatency(data.samples[0])
+                    .status()
+                    .IsFailedPrecondition())
+        << model->name();
+  }
+}
+
+TEST(ModelsTest, FitOnEmptyDataFails) {
+  Dataset empty;
+  for (ModelKind kind :
+       {ModelKind::kLinearRegression, ModelKind::kMlp,
+        ModelKind::kRandomForest, ModelKind::kGnn}) {
+    auto model = MakeModel(kind);
+    EXPECT_FALSE(model->Fit(empty, empty, FastTrain()).ok())
+        << model->name();
+  }
+}
+
+// Every model family must learn the synthetic linear signal to a usable
+// accuracy (LR exactly; the others approximately).
+class ModelLearningTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelLearningTest, LearnsSyntheticSignal) {
+  Dataset data = SyntheticFlatDataset(400, 7);
+  auto split = SplitDataset(data, 0.7, 0.15, 3);
+  ASSERT_TRUE(split.ok());
+  auto model = MakeModel(GetParam());
+  auto eval = TrainAndEvaluate(model.get(), *split, FastTrain());
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  // Median q-error on held-out data: noise floor is exp(0.05) ~ 1.05.
+  EXPECT_LT(eval->test_metrics.median_q, 1.6) << model->name();
+  EXPECT_GE(eval->test_metrics.median_q, 1.0);
+  EXPECT_GT(eval->train_report.train_seconds, 0.0);
+  EXPECT_GE(eval->train_report.epochs_run, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelLearningTest,
+                         ::testing::Values(ModelKind::kLinearRegression,
+                                           ModelKind::kMlp,
+                                           ModelKind::kRandomForest,
+                                           ModelKind::kGnn,
+                                           ModelKind::kGradientBoost));
+
+TEST(ModelsTest, LinearRegressionRecoversExactCoefficients) {
+  Dataset data = SyntheticFlatDataset(500, 11, /*noise=*/0.0);
+  auto split = SplitDataset(data, 0.8, 0.1, 3);
+  ASSERT_TRUE(split.ok());
+  LinearRegressionModel lr;
+  TrainOptions opt = FastTrain();
+  opt.ridge = 1e-8;
+  ASSERT_TRUE(lr.Fit(split->train, split->val, opt).ok());
+  auto metrics = Evaluate(lr, split->test);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_LT(metrics->median_q, 1.01);
+}
+
+TEST(ModelsTest, EarlyStoppingTriggersOnConvergedMlp) {
+  Dataset data = SyntheticFlatDataset(200, 13, /*noise=*/0.0);
+  auto split = SplitDataset(data, 0.7, 0.15, 3);
+  ASSERT_TRUE(split.ok());
+  MlpModel mlp;
+  TrainOptions opt = FastTrain();
+  opt.max_epochs = 2000;
+  opt.patience = 8;
+  auto report = mlp.Fit(split->train, split->val, opt);
+  ASSERT_TRUE(report.ok());
+  // With a tiny noiseless problem the MLP converges long before 2000 epochs.
+  EXPECT_TRUE(report->early_stopped);
+  EXPECT_LT(report->epochs_run, 2000);
+}
+
+TEST(ModelsTest, RandomForestPrunesToBestValidationSize) {
+  Dataset data = SyntheticFlatDataset(200, 17);
+  auto split = SplitDataset(data, 0.7, 0.15, 3);
+  ASSERT_TRUE(split.ok());
+  RandomForestModel rf;
+  TrainOptions opt = FastTrain();
+  opt.rf_max_trees = 40;
+  auto report = rf.Fit(split->train, split->val, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->epochs_run, 40);
+  auto pred = rf.PredictLatency(split->test.samples[0]);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(*pred, 0.0);
+}
+
+TEST(ModelsTest, DeterministicTrainingForSameSeed) {
+  Dataset data = SyntheticFlatDataset(150, 19);
+  auto split = SplitDataset(data, 0.7, 0.15, 3);
+  ASSERT_TRUE(split.ok());
+  for (ModelKind kind : {ModelKind::kMlp, ModelKind::kRandomForest,
+                         ModelKind::kGnn, ModelKind::kGradientBoost}) {
+    auto a = MakeModel(kind);
+    auto b = MakeModel(kind);
+    TrainOptions opt = FastTrain();
+    opt.max_epochs = 20;
+    ASSERT_TRUE(a->Fit(split->train, split->val, opt).ok());
+    ASSERT_TRUE(b->Fit(split->train, split->val, opt).ok());
+    auto pa = a->PredictLatency(split->test.samples[0]);
+    auto pb = b->PredictLatency(split->test.samples[0]);
+    ASSERT_TRUE(pa.ok() && pb.ok());
+    EXPECT_DOUBLE_EQ(*pa, *pb) << ModelKindToString(kind);
+  }
+}
+
+TEST(QErrorTest, Properties) {
+  EXPECT_DOUBLE_EQ(QError(2.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(4.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(2.0, 4.0), 2.0);  // symmetric
+  EXPECT_TRUE(std::isinf(QError(0.0, 1.0)));
+  EXPECT_TRUE(std::isinf(QError(1.0, -1.0)));
+}
+
+TEST(EvaluateTest, EmptySetRejected) {
+  LinearRegressionModel lr;
+  EXPECT_FALSE(Evaluate(lr, Dataset{}).ok());
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  Dataset data = SyntheticFlatDataset(300, 23);
+  Standardizer std_;
+  std_.Fit(data);
+  RunningStats stats;
+  for (const PlanSample& s : data.samples) {
+    stats.Add(std_.Apply(s.flat)[0]);
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(stats.stddev(), 1.0, 1e-6);
+}
+
+TEST(SplitDatasetTest, ProportionsAndDisjointness) {
+  Dataset data = SyntheticFlatDataset(100, 29);
+  auto split = SplitDataset(data, 0.6, 0.2, 5);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 60u);
+  EXPECT_EQ(split->val.size(), 20u);
+  EXPECT_EQ(split->test.size(), 20u);
+  EXPECT_FALSE(SplitDataset(data, 0.8, 0.3, 5).ok());  // sums >= 1
+  Dataset tiny = SyntheticFlatDataset(2, 1);
+  EXPECT_FALSE(SplitDataset(tiny, 0.5, 0.25, 5).ok());
+}
+
+TEST(SplitByStructureTest, PartitionsByTag) {
+  Dataset data = SyntheticFlatDataset(90, 31);  // tags 0,1,2 round robin
+  Dataset seen, unseen;
+  SplitByStructure(data, {2}, &seen, &unseen);
+  EXPECT_EQ(seen.size(), 60u);
+  EXPECT_EQ(unseen.size(), 30u);
+  for (const PlanSample& s : unseen.samples) EXPECT_EQ(s.structure_tag, 2);
+}
+
+}  // namespace
+}  // namespace pdsp

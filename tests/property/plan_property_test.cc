@@ -1,0 +1,125 @@
+// Property tests over randomly generated plans: every plan the workload
+// generator produces must satisfy the structural invariants the rest of the
+// system relies on, across many seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/features.h"
+#include "src/query/cardinality.h"
+#include "src/runtime/physical_plan.h"
+#include "src/workload/enumerator.h"
+#include "src/workload/query_generator.h"
+
+namespace pdsp {
+namespace {
+
+class RandomPlanProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomPlanProperties, GeneratedPlansSatisfyAllInvariants) {
+  QueryGenerator gen(QueryGenOptions{}, GetParam());
+  for (int i = 0; i < 8; ++i) {
+    auto plan = gen.GenerateRandom();
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    // 1. Structural validity.
+    ASSERT_TRUE(plan->validated());
+    EXPECT_GE(plan->NumOperators(), 3u);
+    EXPECT_EQ(plan->op(plan->SinkId()).type, OperatorType::kSink);
+    EXPECT_FALSE(plan->SourceIds().empty());
+
+    // 2. Topological order is a permutation consistent with the edges.
+    const auto& topo = plan->TopologicalOrder();
+    ASSERT_EQ(topo.size(), plan->NumOperators());
+    std::vector<int> pos(plan->NumOperators());
+    for (size_t k = 0; k < topo.size(); ++k) pos[topo[k]] = static_cast<int>(k);
+    for (const auto& [f, t] : plan->edges()) EXPECT_LT(pos[f], pos[t]);
+
+    // 3. Every operator's referenced fields are inside its input schema
+    //    (validated by construction; spot-check the derived schemas).
+    for (size_t op = 0; op < plan->NumOperators(); ++op) {
+      const auto id = static_cast<LogicalPlan::OpId>(op);
+      EXPECT_GT(plan->OutputSchema(id).NumFields(), 0u)
+          << plan->op(id).name;
+    }
+
+    // 4. Cardinality propagation yields finite, non-negative rates.
+    auto cards = CardinalityModel::Compute(*plan);
+    ASSERT_TRUE(cards.ok());
+    for (const OpCardinality& c : *cards) {
+      EXPECT_GE(c.output_rate, 0.0);
+      EXPECT_TRUE(std::isfinite(c.output_rate));
+      EXPECT_GE(c.distinct_keys, 1.0);
+      EXPECT_GT(c.tuple_bytes, 0.0);
+    }
+
+    // 5. Physical expansion covers exactly TotalParallelism tasks and every
+    //    channel group references valid operators.
+    auto phys = PhysicalPlan::FromLogical(&*plan);
+    ASSERT_TRUE(phys.ok());
+    EXPECT_EQ(phys->NumTasks(),
+              static_cast<size_t>(plan->TotalParallelism()));
+    for (const ChannelGroup& g : phys->channels()) {
+      EXPECT_LT(g.from_op, static_cast<int>(plan->NumOperators()));
+      EXPECT_LT(g.to_op, static_cast<int>(plan->NumOperators()));
+      EXPECT_GE(g.input_port, 0);
+      EXPECT_LE(g.input_port, 1);
+    }
+
+    // 6. Both feature encodings succeed with the documented dimensions.
+    auto flat = EncodeFlat(*plan, Cluster::M510(4));
+    ASSERT_TRUE(flat.ok());
+    EXPECT_EQ(flat->size(), kFlatFeatureDim);
+    for (double v : *flat) EXPECT_TRUE(std::isfinite(v));
+    auto graph = EncodeGraph(*plan, Cluster::M510(4));
+    ASSERT_TRUE(graph.ok());
+    EXPECT_EQ(graph->node_features.size(), plan->NumOperators());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlanProperties,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+class EnumeratorProperties
+    : public ::testing::TestWithParam<EnumerationStrategy> {};
+
+TEST_P(EnumeratorProperties, AssignmentsAlwaysApplicable) {
+  QueryGenerator gen(QueryGenOptions{}, 4242);
+  Rng rng(17);
+  for (int i = 0; i < 6; ++i) {
+    auto plan = gen.GenerateRandom();
+    ASSERT_TRUE(plan.ok());
+    EnumerationOptions opt;
+    opt.max_degree = 16;
+    opt.num_assignments = 4;
+    opt.exhaustive_limit = 32;
+    opt.parameter_degrees = {4};
+    auto assignments = EnumerateParallelism(*plan, GetParam(), opt, &rng);
+    ASSERT_TRUE(assignments.ok()) << assignments.status().ToString();
+    ASSERT_FALSE(assignments->empty());
+    for (const ParallelismAssignment& a : *assignments) {
+      LogicalPlan copy = *plan;
+      ASSERT_TRUE(ApplyParallelism(&copy, a).ok());
+      EXPECT_TRUE(copy.validated());
+      for (size_t op = 0; op < copy.NumOperators(); ++op) {
+        const auto& desc = copy.op(static_cast<LogicalPlan::OpId>(op));
+        EXPECT_GE(desc.parallelism, 1);
+        EXPECT_LE(desc.parallelism, 16);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, EnumeratorProperties,
+    ::testing::Values(EnumerationStrategy::kRandom,
+                      EnumerationStrategy::kRuleBased,
+                      EnumerationStrategy::kExhaustive,
+                      EnumerationStrategy::kMinAvgMax,
+                      EnumerationStrategy::kIncreasing,
+                      EnumerationStrategy::kParameterBased));
+
+}  // namespace
+}  // namespace pdsp

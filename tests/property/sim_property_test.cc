@@ -1,0 +1,151 @@
+// Property tests over the simulator: invariants that must hold for any
+// structure, parallelism degree and cluster — conservation of tuples,
+// ordered percentiles, bounded utilization, determinism, and monotone
+// virtual time.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/harness/synthetic_suite.h"
+#include "src/sim/simulation.h"
+
+namespace pdsp {
+namespace {
+
+using SimCase = std::tuple<SyntheticStructure, int>;
+
+class SimInvariants : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimInvariants, HoldAcrossStructuresAndParallelism) {
+  const auto [structure, parallelism] = GetParam();
+  CanonicalOptions copt;
+  copt.event_rate = 20000.0;
+  copt.parallelism = parallelism;
+  copt.window_ms = 500.0;
+  auto plan = MakeCanonicalSynthetic(structure, copt);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  ExecutionOptions exec;
+  exec.sim.duration_s = 2.5;
+  exec.sim.warmup_s = 0.5;
+  exec.sim.seed = 99;
+  auto r = ExecutePlan(*plan, Cluster::M510(6), exec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Conservation / sanity.
+  EXPECT_GT(r->source_tuples, 0);
+  EXPECT_GT(r->sink_tuples, 0) << SyntheticStructureToString(structure);
+  // Sources produce roughly rate x duration x num_sources.
+  const double expected_src = 20000.0 * 2.5 * plan->SourceIds().size();
+  EXPECT_NEAR(static_cast<double>(r->source_tuples), expected_src,
+              expected_src * 0.1);
+
+  // Ordered percentiles, strictly positive latency.
+  EXPECT_GT(r->median_latency_s, 0.0);
+  EXPECT_LE(r->median_latency_s, r->p95_latency_s + 1e-12);
+  EXPECT_LE(r->p95_latency_s, r->p99_latency_s + 1e-12);
+
+  // Virtual time covers the generation horizon (plus drain).
+  EXPECT_GE(r->virtual_time_end, exec.sim.duration_s);
+  EXPECT_TRUE(std::isfinite(r->virtual_time_end));
+
+  // Per-operator stats are coherent.
+  ASSERT_EQ(r->op_stats.size(), plan->NumOperators());
+  for (const OperatorRunStats& s : r->op_stats) {
+    EXPECT_GE(s.tuples_in, 0);
+    EXPECT_GE(s.tuples_out, 0);
+    EXPECT_GE(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.1) << s.name;
+    EXPECT_GE(s.max_instance_util + 1e-12, s.utilization) << s.name;
+    EXPECT_GE(s.busy_time_s, 0.0);
+  }
+
+  // Filters never amplify.
+  for (size_t op = 0; op < plan->NumOperators(); ++op) {
+    if (plan->op(static_cast<LogicalPlan::OpId>(op)).type ==
+        OperatorType::kFilter) {
+      EXPECT_LE(r->op_stats[op].tuples_out, r->op_stats[op].tuples_in);
+    }
+  }
+
+  // Determinism: identical rerun.
+  auto r2 = ExecutePlan(*plan, Cluster::M510(6), exec);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r->sink_tuples, r2->sink_tuples);
+  EXPECT_EQ(r->events_processed, r2->events_processed);
+  EXPECT_DOUBLE_EQ(r->median_latency_s, r2->median_latency_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimInvariants,
+    ::testing::Combine(
+        ::testing::Values(SyntheticStructure::kLinear,
+                          SyntheticStructure::kChain3Filters,
+                          SyntheticStructure::kAggregation,
+                          SyntheticStructure::kFlatMapChain,
+                          SyntheticStructure::kTwoWayJoin,
+                          SyntheticStructure::kFilterJoinAgg),
+        ::testing::Values(1, 4, 16)));
+
+TEST(SimMonotonicityTest, MoreLoadNeverReducesSourceWork) {
+  // Doubling the event rate must roughly double generated tuples.
+  CanonicalOptions copt;
+  copt.parallelism = 4;
+  ExecutionOptions exec;
+  exec.sim.duration_s = 2.0;
+  exec.sim.warmup_s = 0.5;
+  int64_t prev = 0;
+  for (double rate : {5000.0, 10000.0, 20000.0}) {
+    copt.event_rate = rate;
+    auto plan = MakeCanonicalSynthetic(SyntheticStructure::kLinear, copt);
+    ASSERT_TRUE(plan.ok());
+    auto r = ExecutePlan(*plan, Cluster::M510(6), exec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->source_tuples, prev * 3 / 2);
+    prev = r->source_tuples;
+  }
+}
+
+TEST(SimLatencyFloorTest, LatencyIncludesWindowResidence) {
+  // With a tumbling window of W the mean residence is ~W/2; the median
+  // latency must be at least that (paper's latency definition).
+  for (double window_ms : {250.0, 1000.0}) {
+    CanonicalOptions copt;
+    copt.event_rate = 10000.0;
+    copt.parallelism = 4;
+    copt.window_ms = window_ms;
+    auto plan = MakeCanonicalSynthetic(SyntheticStructure::kLinear, copt);
+    ASSERT_TRUE(plan.ok());
+    ExecutionOptions exec;
+    exec.sim.duration_s = 3.0;
+    exec.sim.warmup_s = 0.75;
+    auto r = ExecutePlan(*plan, Cluster::M510(6), exec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->median_latency_s, window_ms / 1000.0 * 0.4);
+    EXPECT_LT(r->median_latency_s, window_ms / 1000.0 * 3.0);
+  }
+}
+
+TEST(SimClusterSpeedTest, SpeedFactorScalesBusyTime) {
+  // The same saturating workload must show lower utilization on the faster
+  // EPYC nodes than on m510 nodes.
+  CanonicalOptions copt;
+  copt.event_rate = 100000.0;
+  copt.parallelism = 2;
+  auto plan = MakeCanonicalSynthetic(SyntheticStructure::kLinear, copt);
+  ASSERT_TRUE(plan.ok());
+  ExecutionOptions exec;
+  exec.sim.duration_s = 2.0;
+  exec.sim.warmup_s = 0.5;
+  auto slow = ExecutePlan(*plan, Cluster::M510(4), exec);
+  auto fast = ExecutePlan(*plan, Cluster::C6525(4), exec);
+  ASSERT_TRUE(slow.ok() && fast.ok());
+  // Compare the source operator's utilization.
+  EXPECT_GT(slow->op_stats[0].utilization,
+            fast->op_stats[0].utilization * 1.15);
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,180 @@
+#include "src/query/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/selectivity.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+using testing::KeyValueStream;
+using testing::PoissonArrival;
+
+TEST(CardinalityTest, RequiresValidatedPlan) {
+  LogicalPlan plan;
+  EXPECT_TRUE(CardinalityModel::Compute(plan).status().IsFailedPrecondition());
+}
+
+TEST(CardinalityTest, SourceRateMatchesArrival) {
+  auto plan = testing::LinearPlan(/*rate=*/5000.0);
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto src = plan->FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_DOUBLE_EQ((*cards)[*src].output_rate, 5000.0);
+}
+
+TEST(CardinalityTest, FilterHalvesRate) {
+  auto plan = testing::LinearPlan(/*rate=*/1000.0);
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto f = plan->FindOperator("filter");
+  ASSERT_TRUE(f.ok());
+  // val > 50 over uniform [0,100) => 0.5.
+  EXPECT_NEAR((*cards)[*f].output_rate, 500.0, 1.0);
+  EXPECT_NEAR((*cards)[*f].selectivity, 0.5, 0.01);
+}
+
+TEST(CardinalityTest, ExplicitHintOverridesEstimate) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(1000.0));
+  auto f = b.Filter("f", s, 1, FilterOp::kGt, Value(50.0));
+  b.Sink("k", f);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  auto fid = plan->FindOperator("f");
+  ASSERT_TRUE(fid.ok());
+  plan->mutable_op(*fid)->selectivity_hint = 0.2;
+  ASSERT_TRUE(plan->Validate().ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_NEAR((*cards)[*fid].output_rate, 200.0, 1e-6);
+}
+
+TEST(CardinalityTest, FlatMapScalesByFanout) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(100.0));
+  auto fm = b.FlatMap("fm", s, 8.0);
+  b.Sink("k", fm);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto id = plan->FindOperator("fm");
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ((*cards)[*id].output_rate, 800.0);
+}
+
+TEST(CardinalityTest, TimeWindowAggregateEmitsKeysPerSlide) {
+  // 100 keys, 1s tumbling window, high input rate: every key present in
+  // every window -> 100 outputs/s.
+  auto plan = testing::LinearPlan(/*rate=*/100000.0);
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto agg = plan->FindOperator("agg");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_NEAR((*cards)[*agg].output_rate, 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ((*cards)[*agg].distinct_keys, 100.0);
+}
+
+TEST(CardinalityTest, SparseWindowBoundsKeysByContents) {
+  // 2 tuples/s into a 1s window with 100 keys: at most ~2 keys per window.
+  auto plan = testing::LinearPlan(/*rate=*/4.0);
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto agg = plan->FindOperator("agg");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_LE((*cards)[*agg].output_rate, 3.0);
+}
+
+TEST(CardinalityTest, CountWindowAggregateEmitsPerSlideTuples) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(1000.0));
+  WindowSpec win;
+  win.policy = WindowPolicy::kCount;
+  win.length_tuples = 100;
+  auto agg = b.WindowAggregate("agg", s, win, AggregateFn::kSum, 1, 0);
+  b.Sink("k", agg);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto id = plan->FindOperator("agg");
+  ASSERT_TRUE(id.ok());
+  EXPECT_NEAR((*cards)[*id].output_rate, 10.0, 1e-6);  // 1000/100
+}
+
+TEST(CardinalityTest, JoinOutputScalesWithBothWindows) {
+  auto plan = testing::TwoWayJoinPlan(/*rate=*/1000.0);
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto j = plan->FindOperator("join");
+  ASSERT_TRUE(j.ok());
+  // Each filter passes 0.75, so each side delivers ~750/s into a 1s window.
+  // Keys are Zipf(100, 0.8): the skew-aware match probability is
+  // sum_k p(k)^2, well above the uniform 1/100.
+  FieldGeneratorSpec key;
+  key.dist = FieldDistribution::kZipfKey;
+  key.cardinality = 100;
+  key.zipf_s = 0.8;
+  const double sel = KeyMatchProbability(key, key);
+  EXPECT_GT(sel, 1.0 / 100.0);
+  EXPECT_NEAR((*cards)[*j].output_rate, 750.0 * 750.0 * sel * 2.0,
+              750.0 * 750.0 * sel * 2.0 * 0.05);
+  EXPECT_DOUBLE_EQ((*cards)[*j].distinct_keys, 100.0);
+}
+
+TEST(CardinalityTest, JoinSelectivityHintOverridesKeyMath) {
+  auto plan = testing::TwoWayJoinPlan(/*rate=*/1000.0);
+  ASSERT_TRUE(plan.ok());
+  auto j = plan->FindOperator("join");
+  ASSERT_TRUE(j.ok());
+  plan->mutable_op(*j)->join_selectivity_hint = 0.0;
+  ASSERT_TRUE(plan->Validate().ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_DOUBLE_EQ((*cards)[*j].output_rate, 0.0);
+}
+
+TEST(CardinalityTest, UdoSelectivityApplied) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(1000.0));
+  auto u = b.Udo("u", s, "noop", 1.0, 0.25, false);
+  b.Sink("k", u);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto id = plan->FindOperator("u");
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ((*cards)[*id].output_rate, 250.0);
+}
+
+TEST(CardinalityTest, SinkPassesThrough) {
+  auto plan = testing::LinearPlan(/*rate=*/100000.0);
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_NEAR((*cards)[plan->SinkId()].output_rate, 100.0, 1e-6);
+}
+
+TEST(CardinalityTest, TupleBytesComeFromOutputSchema) {
+  auto plan = testing::TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  auto cards = CardinalityModel::Compute(*plan);
+  ASSERT_TRUE(cards.ok());
+  auto j = plan->FindOperator("join");
+  auto s1 = plan->FindOperator("src1");
+  ASSERT_TRUE(j.ok() && s1.ok());
+  // Join output (4 fields) is wider than source output (2 fields).
+  EXPECT_GT((*cards)[*j].tuple_bytes, (*cards)[*s1].tuple_bytes);
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,267 @@
+#include "src/query/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/builder.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+using testing::KeyValueStream;
+using testing::LinearPlan;
+using testing::PoissonArrival;
+using testing::TwoWayJoinPlan;
+
+TEST(WindowSpecTest, TumblingSlideEqualsDuration) {
+  WindowSpec w;
+  w.type = WindowType::kTumbling;
+  w.duration_ms = 2000.0;
+  w.length_tuples = 500;
+  EXPECT_DOUBLE_EQ(w.DurationSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(w.SlideSeconds(), 2.0);
+  EXPECT_EQ(w.SlideTuples(), 500);
+  EXPECT_DOUBLE_EQ(w.OverlapFactor(), 1.0);
+}
+
+TEST(WindowSpecTest, SlidingSlideScalesByRatio) {
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.duration_ms = 1000.0;
+  w.length_tuples = 100;
+  w.slide_ratio = 0.5;
+  EXPECT_DOUBLE_EQ(w.SlideSeconds(), 0.5);
+  EXPECT_EQ(w.SlideTuples(), 50);
+  EXPECT_DOUBLE_EQ(w.OverlapFactor(), 2.0);
+}
+
+TEST(WindowSpecTest, SlideTuplesNeverZero) {
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.length_tuples = 1;
+  w.slide_ratio = 0.3;
+  EXPECT_EQ(w.SlideTuples(), 1);
+}
+
+TEST(LogicalPlanTest, ValidLinearPlanPasses) {
+  auto plan = LinearPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->validated());
+  EXPECT_EQ(plan->NumOperators(), 4u);
+  EXPECT_EQ(plan->Depth(), 4);
+  EXPECT_EQ(plan->TotalParallelism(), 7);  // 2+2+2 + sink(1)
+}
+
+TEST(LogicalPlanTest, TopologicalOrderRespectsEdges) {
+  auto plan = TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  const auto& topo = plan->TopologicalOrder();
+  std::vector<int> pos(plan->NumOperators());
+  for (size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = static_cast<int>(i);
+  for (const auto& [f, t] : plan->edges()) EXPECT_LT(pos[f], pos[t]);
+}
+
+TEST(LogicalPlanTest, DuplicateNameRejected) {
+  LogicalPlan plan;
+  OperatorDescriptor a;
+  a.type = OperatorType::kSource;
+  a.name = "x";
+  ASSERT_TRUE(plan.AddOperator(a).ok());
+  EXPECT_TRUE(plan.AddOperator(a).status().IsAlreadyExists());
+}
+
+TEST(LogicalPlanTest, EmptyNameRejected) {
+  LogicalPlan plan;
+  OperatorDescriptor a;
+  EXPECT_TRUE(plan.AddOperator(a).status().IsInvalidArgument());
+}
+
+TEST(LogicalPlanTest, SelfEdgeRejected) {
+  LogicalPlan plan;
+  OperatorDescriptor a;
+  a.name = "x";
+  auto id = plan.AddOperator(a);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(plan.Connect(*id, *id).IsInvalidArgument());
+}
+
+TEST(LogicalPlanTest, EdgeOutOfRangeRejected) {
+  LogicalPlan plan;
+  EXPECT_TRUE(plan.Connect(0, 1).IsOutOfRange());
+}
+
+TEST(LogicalPlanTest, DuplicateEdgeRejected) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(10));
+  auto m = b.Map("m", s);
+  b.ConnectExtra(s, m);
+  b.Sink("k", m);
+  EXPECT_TRUE(b.Build().status().IsAlreadyExists());
+}
+
+TEST(LogicalPlanTest, CycleDetected) {
+  LogicalPlan plan;
+  SourceBinding binding{KeyValueStream(), PoissonArrival(10)};
+  plan.AddSource(binding);
+  OperatorDescriptor src;
+  src.type = OperatorType::kSource;
+  src.name = "s";
+  OperatorDescriptor m1;
+  m1.type = OperatorType::kMap;
+  m1.name = "m1";
+  OperatorDescriptor m2;
+  m2.type = OperatorType::kMap;
+  m2.name = "m2";
+  OperatorDescriptor sink;
+  sink.type = OperatorType::kSink;
+  sink.name = "k";
+  auto s = plan.AddOperator(src);
+  auto a = plan.AddOperator(m1);
+  auto c = plan.AddOperator(m2);
+  auto k = plan.AddOperator(sink);
+  ASSERT_TRUE(s.ok() && a.ok() && c.ok() && k.ok());
+  ASSERT_TRUE(plan.Connect(*s, *a).ok());
+  ASSERT_TRUE(plan.Connect(*a, *c).ok());
+  ASSERT_TRUE(plan.Connect(*c, *a).ok());  // back edge
+  ASSERT_TRUE(plan.Connect(*c, *k).ok());
+  Status st = plan.Validate();
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(LogicalPlanTest, MissingSinkRejected) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(10));
+  b.Map("m", s);
+  auto plan = b.Build();
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(LogicalPlanTest, JoinArityEnforced) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(10));
+  WindowSpec win;
+  OperatorDescriptor join;
+  join.type = OperatorType::kWindowJoin;
+  join.name = "j";
+  join.window = win;
+  // Build a join with one input via the raw plan API.
+  LogicalPlan plan;
+  plan.AddSource({KeyValueStream(), PoissonArrival(10)});
+  OperatorDescriptor src;
+  src.type = OperatorType::kSource;
+  src.name = "s";
+  OperatorDescriptor sink;
+  sink.type = OperatorType::kSink;
+  sink.name = "k";
+  auto sid = plan.AddOperator(src);
+  auto jid = plan.AddOperator(join);
+  auto kid = plan.AddOperator(sink);
+  ASSERT_TRUE(sid.ok() && jid.ok() && kid.ok());
+  ASSERT_TRUE(plan.Connect(*sid, *jid).ok());
+  ASSERT_TRUE(plan.Connect(*jid, *kid).ok());
+  EXPECT_FALSE(plan.Validate().ok());
+  (void)s;
+}
+
+TEST(LogicalPlanTest, ParallelismMustBePositive) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(10), 0);
+  b.Sink("k", s);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(LogicalPlanTest, KeyedOperatorForcedToHashPartitioning) {
+  auto plan = LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  auto agg = plan->FindOperator("agg");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(plan->op(*agg).input_partitioning, Partitioning::kHash);
+}
+
+TEST(LogicalPlanTest, FilterFieldOutOfRangeRejected) {
+  PlanBuilder b;
+  auto s = b.Source("s", KeyValueStream(), PoissonArrival(10));
+  auto f = b.Filter("f", s, 99, FilterOp::kGt, Value(1));
+  b.Sink("k", f);
+  auto plan = b.Build();
+  EXPECT_TRUE(plan.status().IsOutOfRange());
+}
+
+TEST(LogicalPlanTest, SchemaDerivationThroughAggregate) {
+  auto plan = LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  auto agg = plan->FindOperator("agg");
+  ASSERT_TRUE(agg.ok());
+  const Schema& s = plan->OutputSchema(*agg);
+  ASSERT_EQ(s.NumFields(), 2u);  // key + agg
+  EXPECT_EQ(s.field(0).name, "key");
+  EXPECT_EQ(s.field(0).type, DataType::kInt);
+  EXPECT_EQ(s.field(1).name, "agg");
+  EXPECT_EQ(s.field(1).type, DataType::kDouble);
+}
+
+TEST(LogicalPlanTest, SchemaDerivationThroughJoin) {
+  auto plan = TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  auto j = plan->FindOperator("join");
+  ASSERT_TRUE(j.ok());
+  const Schema& s = plan->OutputSchema(*j);
+  ASSERT_EQ(s.NumFields(), 4u);  // l_key, l_val, r_key, r_val
+  EXPECT_EQ(s.field(0).name, "l_key");
+  EXPECT_EQ(s.field(2).name, "r_key");
+}
+
+TEST(LogicalPlanTest, SinkIdAndSourceIds) {
+  auto plan = TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->op(plan->SinkId()).type, OperatorType::kSink);
+  EXPECT_EQ(plan->SourceIds().size(), 2u);
+}
+
+TEST(LogicalPlanTest, FindOperatorByName) {
+  auto plan = LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->FindOperator("filter").ok());
+  EXPECT_TRUE(plan->FindOperator("nope").status().IsNotFound());
+}
+
+TEST(LogicalPlanTest, ToStringMentionsAllOperators) {
+  auto plan = LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  std::string s = plan->ToString();
+  for (const char* name : {"src", "filter", "agg", "sink"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(OperatorDescriptorTest, RequiresKeyedInput) {
+  OperatorDescriptor agg;
+  agg.type = OperatorType::kWindowAggregate;
+  agg.key_field = 0;
+  EXPECT_TRUE(agg.RequiresKeyedInput());
+  agg.key_field = OperatorDescriptor::kNoKey;
+  EXPECT_FALSE(agg.RequiresKeyedInput());
+
+  OperatorDescriptor join;
+  join.type = OperatorType::kWindowJoin;
+  EXPECT_TRUE(join.RequiresKeyedInput());
+
+  OperatorDescriptor udo;
+  udo.type = OperatorType::kUdo;
+  EXPECT_FALSE(udo.RequiresKeyedInput());
+  udo.udo_stateful = true;
+  EXPECT_TRUE(udo.RequiresKeyedInput());
+}
+
+TEST(EnumStringsTest, AllEnumsHaveNames) {
+  EXPECT_STREQ(OperatorTypeToString(OperatorType::kWindowJoin),
+               "window_join");
+  EXPECT_STREQ(FilterOpToString(FilterOp::kGe), ">=");
+  EXPECT_STREQ(WindowTypeToString(WindowType::kSliding), "sliding");
+  EXPECT_STREQ(WindowPolicyToString(WindowPolicy::kCount), "count");
+  EXPECT_STREQ(AggregateFnToString(AggregateFn::kAvg), "avg");
+  EXPECT_STREQ(PartitioningToString(Partitioning::kHash), "hash");
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,134 @@
+#include "src/runtime/physical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+TEST(PhysicalPlanTest, RequiresValidatedLogical) {
+  LogicalPlan raw;
+  EXPECT_TRUE(PhysicalPlan::FromLogical(&raw).status().IsFailedPrecondition());
+  EXPECT_TRUE(PhysicalPlan::FromLogical(nullptr).status().IsInvalidArgument());
+}
+
+TEST(PhysicalPlanTest, TaskCountMatchesTotalParallelism) {
+  auto plan = testing::LinearPlan(1000.0, 3);
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  EXPECT_EQ(phys->NumTasks(),
+            static_cast<size_t>(plan->TotalParallelism()));
+}
+
+TEST(PhysicalPlanTest, TaskIdsAreDenseAndOperatorMajor) {
+  auto plan = testing::LinearPlan(1000.0, 2);
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  for (size_t i = 0; i < phys->NumTasks(); ++i) {
+    EXPECT_EQ(phys->task(static_cast<int>(i)).id, static_cast<int>(i));
+  }
+  auto f = plan->FindOperator("filter");
+  ASSERT_TRUE(f.ok());
+  const int first = phys->FirstTaskOf(*f);
+  for (int j = 0; j < phys->ParallelismOf(*f); ++j) {
+    EXPECT_EQ(phys->task(first + j).op, *f);
+    EXPECT_EQ(phys->task(first + j).instance, j);
+    EXPECT_EQ(phys->TaskId(*f, j), first + j);
+  }
+}
+
+TEST(PhysicalPlanTest, JoinPortsAssignedInEdgeOrder) {
+  auto plan = testing::TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  auto j = plan->FindOperator("join");
+  auto f1 = plan->FindOperator("f1");
+  auto f2 = plan->FindOperator("f2");
+  ASSERT_TRUE(j.ok() && f1.ok() && f2.ok());
+  int port_f1 = -1, port_f2 = -1;
+  for (const ChannelGroup& g : phys->channels()) {
+    if (g.to_op == *j && g.from_op == *f1) port_f1 = g.input_port;
+    if (g.to_op == *j && g.from_op == *f2) port_f2 = g.input_port;
+  }
+  EXPECT_EQ(port_f1, 0);
+  EXPECT_EQ(port_f2, 1);
+}
+
+TEST(PhysicalPlanTest, ForwardDegradesToRebalanceOnParallelismMismatch) {
+  PlanBuilder b;
+  auto s = b.Source("s", testing::KeyValueStream(),
+                    testing::PoissonArrival(100), 2);
+  auto m = b.Map("m", s, 4);  // parallelism differs from source
+  b.WithPartitioning(m, Partitioning::kForward);
+  b.Sink("k", m, 4);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  auto mid = plan->FindOperator("m");
+  ASSERT_TRUE(mid.ok());
+  for (const ChannelGroup& g : phys->channels()) {
+    if (g.to_op == *mid) {
+      EXPECT_EQ(g.mode, Partitioning::kRebalance);
+    }
+  }
+}
+
+TEST(PhysicalPlanTest, ForwardKeptWhenParallelismMatches) {
+  PlanBuilder b;
+  auto s = b.Source("s", testing::KeyValueStream(),
+                    testing::PoissonArrival(100), 4);
+  auto m = b.Map("m", s, 4);
+  b.WithPartitioning(m, Partitioning::kForward);
+  b.Sink("k", m, 4);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  auto mid = plan->FindOperator("m");
+  for (const ChannelGroup& g : phys->channels()) {
+    if (g.to_op == *mid) {
+      EXPECT_EQ(g.mode, Partitioning::kForward);
+    }
+  }
+}
+
+TEST(PhysicalPlanTest, PartitionKeyFields) {
+  auto plan = testing::TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  auto j = plan->FindOperator("join");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(phys->PartitionKeyField(*j, 0), 0u);
+  EXPECT_EQ(phys->PartitionKeyField(*j, 1), 0u);
+  auto f1 = plan->FindOperator("f1");
+  EXPECT_EQ(phys->PartitionKeyField(*f1, 0), OperatorDescriptor::kNoKey);
+}
+
+TEST(PhysicalPlanTest, InstancesPerOpMatchesPlan) {
+  auto plan = testing::LinearPlan(1000.0, 5);
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  auto per_op = phys->InstancesPerOp();
+  ASSERT_EQ(per_op.size(), plan->NumOperators());
+  int total = 0;
+  for (int p : per_op) total += p;
+  EXPECT_EQ(total, plan->TotalParallelism());
+}
+
+TEST(PhysicalPlanTest, ToStringMentionsChannels) {
+  auto plan = testing::LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  auto phys = PhysicalPlan::FromLogical(&*plan);
+  ASSERT_TRUE(phys.ok());
+  EXPECT_NE(phys->ToString().find("hash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdsp

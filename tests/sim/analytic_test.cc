@@ -1,0 +1,117 @@
+#include "src/sim/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/synthetic_suite.h"
+#include "src/sim/simulation.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+TEST(AnalyticTest, RequiresValidatedPlanAndCluster) {
+  LogicalPlan raw;
+  EXPECT_TRUE(EstimateLatencyAnalytically(raw, Cluster::M510(2))
+                  .status()
+                  .IsFailedPrecondition());
+  auto plan = testing::LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(EstimateLatencyAnalytically(*plan, Cluster())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AnalyticTest, LatencyDominatedByWindowResidence) {
+  auto plan = testing::LinearPlan(/*rate=*/5000.0, /*parallelism=*/4);
+  ASSERT_TRUE(plan.ok());
+  auto est = EstimateLatencyAnalytically(*plan, Cluster::M510(4));
+  ASSERT_TRUE(est.ok());
+  // 1s tumbling window: residence ~1.0s dominates at low utilization.
+  EXPECT_GT(est->latency_s, 0.5);
+  EXPECT_LT(est->latency_s, 2.0);
+  EXPECT_FALSE(est->saturated);
+  EXPECT_LT(est->max_utilization, 0.5);
+}
+
+TEST(AnalyticTest, SaturationDetectedAtOverload) {
+  auto slow = testing::LinearPlan(/*rate=*/400000.0, /*parallelism=*/1);
+  ASSERT_TRUE(slow.ok());
+  auto est = EstimateLatencyAnalytically(*slow, Cluster::M510(4));
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(est->saturated);
+  EXPECT_GT(est->max_utilization, 1.0);
+  // Saturated plans predict multi-second latency.
+  EXPECT_GT(est->latency_s, 2.0);
+}
+
+TEST(AnalyticTest, ParallelismReducesUtilization) {
+  auto p1 = testing::LinearPlan(100000.0, 1);
+  auto p8 = testing::LinearPlan(100000.0, 8);
+  ASSERT_TRUE(p1.ok() && p8.ok());
+  auto e1 = EstimateLatencyAnalytically(*p1, Cluster::M510(4));
+  auto e8 = EstimateLatencyAnalytically(*p8, Cluster::M510(4));
+  ASSERT_TRUE(e1.ok() && e8.ok());
+  EXPECT_GT(e1->max_utilization, e8->max_utilization * 3);
+}
+
+TEST(AnalyticTest, FasterClusterLowersUtilization) {
+  auto plan = testing::LinearPlan(100000.0, 2);
+  ASSERT_TRUE(plan.ok());
+  auto m510 = EstimateLatencyAnalytically(*plan, Cluster::M510(4));
+  auto epyc = EstimateLatencyAnalytically(*plan, Cluster::C6525(4));
+  ASSERT_TRUE(m510.ok() && epyc.ok());
+  EXPECT_GT(m510->max_utilization, epyc->max_utilization);
+}
+
+// The headline cross-check: analytic estimate and DES agree within a small
+// factor across structures and regimes (they share no code path beyond the
+// cardinality model).
+class AnalyticVsSimulation
+    : public ::testing::TestWithParam<SyntheticStructure> {};
+
+TEST_P(AnalyticVsSimulation, AgreeWithinFactorThree) {
+  CanonicalOptions copt;
+  copt.event_rate = 30000.0;
+  copt.parallelism = 4;
+  auto plan = MakeCanonicalSynthetic(GetParam(), copt);
+  ASSERT_TRUE(plan.ok());
+  auto analytic = EstimateLatencyAnalytically(*plan, Cluster::M510(6));
+  ASSERT_TRUE(analytic.ok());
+
+  ExecutionOptions exec;
+  exec.sim.duration_s = 3.0;
+  exec.sim.warmup_s = 0.75;
+  auto sim = ExecutePlan(*plan, Cluster::M510(6), exec);
+  ASSERT_TRUE(sim.ok());
+
+  const double ratio = analytic->latency_s / sim->median_latency_s;
+  EXPECT_GT(ratio, 1.0 / 3.0) << "analytic=" << analytic->latency_s
+                              << " sim=" << sim->median_latency_s;
+  EXPECT_LT(ratio, 3.0) << "analytic=" << analytic->latency_s
+                        << " sim=" << sim->median_latency_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, AnalyticVsSimulation,
+    ::testing::Values(SyntheticStructure::kLinear,
+                      SyntheticStructure::kChain2Filters,
+                      SyntheticStructure::kAggregation,
+                      SyntheticStructure::kTwoWayJoin));
+
+TEST(AnalyticTest, PerOpBreakdownCoversAllOperators) {
+  auto plan = testing::TwoWayJoinPlan(5000.0, 2);
+  ASSERT_TRUE(plan.ok());
+  auto est = EstimateLatencyAnalytically(*plan, Cluster::M510(4));
+  ASSERT_TRUE(est.ok());
+  ASSERT_EQ(est->per_op.size(), plan->NumOperators());
+  auto j = plan->FindOperator("join");
+  ASSERT_TRUE(j.ok());
+  EXPECT_GT(est->per_op[*j].window_residence_s, 0.0);
+  for (const AnalyticOpEstimate& o : est->per_op) {
+    EXPECT_GE(o.utilization, 0.0);
+    EXPECT_GE(o.queue_wait_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pdsp

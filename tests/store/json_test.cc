@@ -1,0 +1,136 @@
+#include "src/store/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdsp {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json::Bool(true).Dump(), "true");
+  EXPECT_EQ(Json::Bool(false).Dump(), "false");
+  EXPECT_EQ(Json::Int(42).Dump(), "42");
+  EXPECT_EQ(Json::Number(1.5).Dump(), "1.5");
+  EXPECT_EQ(Json::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, NanAndInfinitySerializeAsNull) {
+  EXPECT_EQ(Json::Number(std::nan("")).Dump(), "null");
+  EXPECT_EQ(Json::Number(INFINITY).Dump(), "null");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json::Str("a\"b\\c\nd").Dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json::Str(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ArrayAndObjectCompose) {
+  Json arr = Json::Array();
+  arr.Append(Json::Int(1));
+  arr.Append(Json::Str("x"));
+  Json obj = Json::Object();
+  obj.Set("list", std::move(arr));
+  obj.Set("flag", Json::Bool(true));
+  EXPECT_EQ(obj.Dump(), "{\"flag\":true,\"list\":[1,\"x\"]}");
+}
+
+TEST(JsonTest, PrettyPrintIsReparseable) {
+  Json obj = Json::Object();
+  obj.Set("a", Json::Int(1));
+  Json inner = Json::Array();
+  inner.Append(Json::Str("y"));
+  obj.Set("b", std::move(inner));
+  const std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto parsed = Json::Parse(pretty);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Dump(), obj.Dump());
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_FALSE(Json::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("-2.5e2")->AsNumber(), -250.0);
+  EXPECT_EQ(Json::Parse("\"abc\"")->AsString(), "abc");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  auto j = Json::Parse(R"({"a": [1, 2, {"b": "x"}], "c": null})");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)["a"].size(), 3u);
+  EXPECT_EQ((*j)["a"].at(2)["b"].AsString(), "x");
+  EXPECT_TRUE((*j)["c"].is_null());
+  EXPECT_TRUE((*j)["missing"].is_null());
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  auto j = Json::Parse("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->AsString(), "A\xc3\xa9\xe2\x82\xac");  // A é €
+}
+
+TEST(JsonParseTest, Whitespace) {
+  auto j = Json::Parse("  {  \"a\" :\n[ 1 ,2 ]\t}  ");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)["a"].size(), 2u);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("12 34").ok());
+  EXPECT_FALSE(Json::Parse("{'a':1}").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("\"\\u12g4\"").ok());
+}
+
+TEST(JsonParseTest, DeepNestingBounded) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, CheckedGetters) {
+  Json obj = Json::Object();
+  obj.Set("n", Json::Number(2.5));
+  obj.Set("s", Json::Str("x"));
+  obj.Set("b", Json::Bool(true));
+  EXPECT_DOUBLE_EQ(*obj.GetNumber("n"), 2.5);
+  EXPECT_EQ(*obj.GetInt("n"), 2);
+  EXPECT_EQ(*obj.GetString("s"), "x");
+  EXPECT_TRUE(*obj.GetBool("b"));
+  EXPECT_TRUE(obj.GetNumber("s").status().IsNotFound());
+  EXPECT_TRUE(obj.GetString("n").status().IsNotFound());
+  EXPECT_TRUE(obj.GetBool("missing").status().IsNotFound());
+}
+
+TEST(JsonRoundTripTest, RandomishDocuments) {
+  // Round-trip stability: dump -> parse -> dump is a fixed point.
+  const char* docs[] = {
+      R"({"a":1,"b":[true,null,"s"],"c":{"d":2.25}})",
+      R"([[],{},[{"x":[1]}]])",
+      R"({"neg":-17,"exp":1e3})",
+  };
+  for (const char* doc : docs) {
+    auto first = Json::Parse(doc);
+    ASSERT_TRUE(first.ok()) << doc;
+    const std::string once = first->Dump();
+    auto second = Json::Parse(once);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second->Dump(), once);
+  }
+}
+
+}  // namespace
+}  // namespace pdsp

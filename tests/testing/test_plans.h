@@ -1,0 +1,78 @@
+// Shared helpers for building small plans and streams in tests.
+
+#ifndef PDSP_TESTS_TESTING_TEST_PLANS_H_
+#define PDSP_TESTS_TESTING_TEST_PLANS_H_
+
+#include <string>
+
+#include "src/query/builder.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+namespace testing {
+
+/// Stream with fields (key:int zipf(card), val:double uniform[0,100)).
+inline StreamSpec KeyValueStream(int64_t key_cardinality = 100,
+                                 double zipf_s = 0.8) {
+  StreamSpec spec;
+  Field key{"key", DataType::kInt};
+  Field val{"val", DataType::kDouble};
+  (void)spec.schema.AddField(key);
+  (void)spec.schema.AddField(val);
+  FieldGeneratorSpec key_gen;
+  key_gen.dist = FieldDistribution::kZipfKey;
+  key_gen.cardinality = key_cardinality;
+  key_gen.zipf_s = zipf_s;
+  FieldGeneratorSpec val_gen;
+  val_gen.dist = FieldDistribution::kUniformDouble;
+  val_gen.min = 0.0;
+  val_gen.max = 100.0;
+  spec.specs = {key_gen, val_gen};
+  return spec;
+}
+
+inline ArrivalProcess::Options PoissonArrival(double rate) {
+  ArrivalProcess::Options opt;
+  opt.kind = ArrivalKind::kPoisson;
+  opt.rate = rate;
+  return opt;
+}
+
+/// source -> filter(val > 50) -> window_agg(sum val by key) -> sink.
+inline Result<LogicalPlan> LinearPlan(double rate = 1000.0,
+                                      int parallelism = 2) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(rate),
+                      parallelism);
+  auto f = b.Filter("filter", src, 1, FilterOp::kGt, Value(50.0), parallelism);
+  WindowSpec win;
+  win.type = WindowType::kTumbling;
+  win.policy = WindowPolicy::kTime;
+  win.duration_ms = 1000.0;
+  auto agg = b.WindowAggregate("agg", f, win, AggregateFn::kSum, 1, 0,
+                               parallelism);
+  b.Sink("sink", agg);
+  return b.Build();
+}
+
+/// Two sources joined on key within a 1s tumbling window.
+inline Result<LogicalPlan> TwoWayJoinPlan(double rate = 1000.0,
+                                          int parallelism = 2) {
+  PlanBuilder b;
+  auto s1 = b.Source("src1", KeyValueStream(), PoissonArrival(rate),
+                     parallelism);
+  auto s2 = b.Source("src2", KeyValueStream(), PoissonArrival(rate),
+                     parallelism);
+  auto f1 = b.Filter("f1", s1, 1, FilterOp::kGt, Value(25.0), parallelism);
+  auto f2 = b.Filter("f2", s2, 1, FilterOp::kLt, Value(75.0), parallelism);
+  WindowSpec win;
+  win.duration_ms = 1000.0;
+  auto j = b.WindowJoin("join", f1, f2, 0, 0, win, parallelism);
+  b.Sink("sink", j);
+  return b.Build();
+}
+
+}  // namespace testing
+}  // namespace pdsp
+
+#endif  // PDSP_TESTS_TESTING_TEST_PLANS_H_

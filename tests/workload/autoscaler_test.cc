@@ -1,0 +1,98 @@
+#include "src/workload/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/synthetic_suite.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+AutoscalerOptions FastOptions() {
+  AutoscalerOptions opt;
+  opt.execution.sim.duration_s = 2.0;
+  opt.execution.sim.warmup_s = 0.5;
+  opt.max_degree = 64;
+  return opt;
+}
+
+TEST(AutoscalerTest, RequiresValidatedPlanAndSaneOptions) {
+  LogicalPlan raw;
+  EXPECT_TRUE(Autoscale(raw, Cluster::M510(4), FastOptions())
+                  .status()
+                  .IsFailedPrecondition());
+  auto plan = testing::LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  AutoscalerOptions bad = FastOptions();
+  bad.target_utilization = 1.5;
+  EXPECT_FALSE(Autoscale(*plan, Cluster::M510(4), bad).ok());
+  bad = FastOptions();
+  bad.max_degree = 0;
+  EXPECT_FALSE(Autoscale(*plan, Cluster::M510(4), bad).ok());
+}
+
+TEST(AutoscalerTest, ScalesUpSaturatedPlan) {
+  // 150k ev/s on single instances: the source alone needs ~0.75 cores, so
+  // the controller must raise degrees and cut latency.
+  auto plan = testing::LinearPlan(/*rate=*/150000.0, /*parallelism=*/1);
+  ASSERT_TRUE(plan.ok());
+  auto result = Autoscale(*plan, Cluster::M510(10), FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->steps.size(), 2u);
+  const auto src = plan->FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_GT(result->final_degrees[*src], 1);
+  EXPECT_LT(result->final_latency_s,
+            result->steps.front().median_latency_s);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(AutoscalerTest, LeavesIdlePlanNearMinimum) {
+  auto plan = testing::LinearPlan(/*rate=*/500.0, /*parallelism=*/1);
+  ASSERT_TRUE(plan.ok());
+  auto result = Autoscale(*plan, Cluster::M510(4), FastOptions());
+  ASSERT_TRUE(result.ok());
+  for (int degree : result->final_degrees) EXPECT_LE(degree, 2);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(AutoscalerTest, ScalesDownOverprovisionedPlan) {
+  auto plan = testing::LinearPlan(/*rate=*/5000.0, /*parallelism=*/32);
+  ASSERT_TRUE(plan.ok());
+  auto result = Autoscale(*plan, Cluster::M510(10), FastOptions());
+  ASSERT_TRUE(result.ok());
+  const auto src = plan->FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_LT(result->final_degrees[*src], 32);
+}
+
+TEST(AutoscalerTest, RespectsDegreeBounds) {
+  auto plan = testing::LinearPlan(/*rate=*/200000.0, /*parallelism=*/1);
+  ASSERT_TRUE(plan.ok());
+  AutoscalerOptions opt = FastOptions();
+  opt.max_degree = 4;
+  auto result = Autoscale(*plan, Cluster::M510(10), opt);
+  ASSERT_TRUE(result.ok());
+  for (int degree : result->final_degrees) {
+    EXPECT_GE(degree, 1);
+    EXPECT_LE(degree, 4);
+  }
+}
+
+TEST(AutoscalerTest, ConvergesOnJoinPlan) {
+  CanonicalOptions copt;
+  copt.event_rate = 80000.0;
+  copt.parallelism = 1;
+  auto plan = MakeCanonicalSynthetic(SyntheticStructure::kTwoWayJoin, copt);
+  ASSERT_TRUE(plan.ok());
+  AutoscalerOptions opt = FastOptions();
+  opt.max_iterations = 8;
+  auto result = Autoscale(*plan, Cluster::M510(10), opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->converged);
+  // Final utilizations sit at or below roughly the target band.
+  EXPECT_LT(result->steps.back().max_utilization, 0.95);
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -1,0 +1,239 @@
+#include "src/workload/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/query_generator.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+LogicalPlan MakePlan(double rate = 10000.0) {
+  auto plan = testing::LinearPlan(rate, 1);
+  EXPECT_TRUE(plan.ok());
+  return std::move(*plan);
+}
+
+TEST(EnumeratorTest, RequiresValidatedPlan) {
+  LogicalPlan raw;
+  Rng rng(1);
+  EXPECT_TRUE(EnumerateParallelism(raw, EnumerationStrategy::kRandom,
+                                   EnumerationOptions{}, &rng)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(EnumeratorTest, BadBoundsRejected) {
+  LogicalPlan plan = MakePlan();
+  Rng rng(1);
+  EnumerationOptions opt;
+  opt.min_degree = 4;
+  opt.max_degree = 2;
+  EXPECT_FALSE(EnumerateParallelism(plan, EnumerationStrategy::kRandom, opt,
+                                    &rng)
+                   .ok());
+}
+
+TEST(EnumeratorTest, RandomWithinBoundsAndSinkOne) {
+  LogicalPlan plan = MakePlan();
+  Rng rng(2);
+  EnumerationOptions opt;
+  opt.min_degree = 2;
+  opt.max_degree = 9;
+  opt.num_assignments = 20;
+  auto res = EnumerateParallelism(plan, EnumerationStrategy::kRandom, opt,
+                                  &rng);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 20u);
+  for (const auto& degrees : *res) {
+    ASSERT_EQ(degrees.size(), plan.NumOperators());
+    for (size_t op = 0; op < degrees.size(); ++op) {
+      if (plan.op(static_cast<LogicalPlan::OpId>(op)).type ==
+          OperatorType::kSink) {
+        EXPECT_EQ(degrees[op], 1);
+      } else {
+        EXPECT_GE(degrees[op], 2);
+        EXPECT_LE(degrees[op], 9);
+      }
+    }
+  }
+}
+
+TEST(EnumeratorTest, RuleBasedScalesWithRate) {
+  Rng rng(3);
+  EnumerationOptions opt;
+  opt.max_degree = 64;
+  opt.num_assignments = 1;
+
+  LogicalPlan slow = MakePlan(1000.0);
+  LogicalPlan fast = MakePlan(200000.0);
+  auto r_slow = EnumerateParallelism(slow, EnumerationStrategy::kRuleBased,
+                                     opt, &rng);
+  auto r_fast = EnumerateParallelism(fast, EnumerationStrategy::kRuleBased,
+                                     opt, &rng);
+  ASSERT_TRUE(r_slow.ok() && r_fast.ok());
+  // Source degree must grow with the event rate.
+  const auto src = slow.FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_GT((*r_fast)[0][*src], (*r_slow)[0][*src]);
+  // 200k ev/s at 5us/tuple needs ~1.4 core-seconds/s: expect >= 2 instances.
+  EXPECT_GE((*r_fast)[0][*src], 2);
+}
+
+TEST(EnumeratorTest, RuleBasedSelectivityReducesDownstreamDegrees) {
+  // The filter passes 50%; the aggregate sees half the rate, so its degree
+  // should not exceed the source's.
+  LogicalPlan plan = MakePlan(200000.0);
+  Rng rng(4);
+  EnumerationOptions opt;
+  opt.max_degree = 64;
+  opt.num_assignments = 1;
+  auto res =
+      EnumerateParallelism(plan, EnumerationStrategy::kRuleBased, opt, &rng);
+  ASSERT_TRUE(res.ok());
+  auto src = plan.FindOperator("src");
+  auto agg = plan.FindOperator("agg");
+  ASSERT_TRUE(src.ok() && agg.ok());
+  EXPECT_LE((*res)[0][*agg], (*res)[0][*src] * 2);
+}
+
+TEST(EnumeratorTest, RuleBasedVariantsJitterAroundBase) {
+  LogicalPlan plan = MakePlan(100000.0);
+  Rng rng(5);
+  EnumerationOptions opt;
+  opt.max_degree = 64;
+  opt.num_assignments = 10;
+  opt.rule_jitter = 1;
+  auto res =
+      EnumerateParallelism(plan, EnumerationStrategy::kRuleBased, opt, &rng);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 10u);
+  const auto& base = (*res)[0];
+  for (size_t a = 1; a < res->size(); ++a) {
+    for (size_t op = 0; op < base.size(); ++op) {
+      EXPECT_LE(std::abs((*res)[a][op] - base[op]), 1);
+    }
+  }
+}
+
+TEST(EnumeratorTest, ExhaustiveCoversLadderAndRespectsLimit) {
+  LogicalPlan plan = MakePlan();
+  Rng rng(6);
+  EnumerationOptions opt;
+  opt.max_degree = 4;  // ladder {1,2,4}; 3 non-sink ops -> 27 combos
+  auto res = EnumerateParallelism(plan, EnumerationStrategy::kExhaustive,
+                                  opt, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 27u);
+  std::set<ParallelismAssignment> unique(res->begin(), res->end());
+  EXPECT_EQ(unique.size(), 27u);
+
+  opt.exhaustive_limit = 10;
+  auto capped = EnumerateParallelism(plan, EnumerationStrategy::kExhaustive,
+                                     opt, &rng);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->size(), 10u);
+}
+
+TEST(EnumeratorTest, MinAvgMaxProducesThree) {
+  LogicalPlan plan = MakePlan();
+  Rng rng(7);
+  EnumerationOptions opt;
+  opt.min_degree = 1;
+  opt.max_degree = 16;
+  auto res = EnumerateParallelism(plan, EnumerationStrategy::kMinAvgMax, opt,
+                                  &rng);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 3u);
+  auto src = plan.FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ((*res)[0][*src], 1);
+  EXPECT_EQ((*res)[1][*src], 8);
+  EXPECT_EQ((*res)[2][*src], 16);
+}
+
+TEST(EnumeratorTest, IncreasingWalksTheLadder) {
+  LogicalPlan plan = MakePlan();
+  Rng rng(8);
+  EnumerationOptions opt;
+  opt.max_degree = 8;
+  auto res = EnumerateParallelism(plan, EnumerationStrategy::kIncreasing,
+                                  opt, &rng);
+  ASSERT_TRUE(res.ok());
+  auto src = plan.FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  ASSERT_EQ(res->size(), 4u);  // 1, 2, 4, 8
+  int prev = 0;
+  for (const auto& degrees : *res) {
+    EXPECT_GT(degrees[*src], prev);
+    prev = degrees[*src];
+  }
+}
+
+TEST(EnumeratorTest, ParameterBasedBroadcastAndPerOp) {
+  LogicalPlan plan = MakePlan();
+  Rng rng(9);
+  EnumerationOptions opt;
+  opt.parameter_degrees = {6};
+  auto res = EnumerateParallelism(plan, EnumerationStrategy::kParameterBased,
+                                  opt, &rng);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 1u);
+  auto src = plan.FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ((*res)[0][*src], 6);
+
+  opt.parameter_degrees = std::vector<int>(plan.NumOperators(), 3);
+  auto per_op = EnumerateParallelism(
+      plan, EnumerationStrategy::kParameterBased, opt, &rng);
+  ASSERT_TRUE(per_op.ok());
+  EXPECT_EQ((*per_op)[0], opt.parameter_degrees);
+
+  opt.parameter_degrees = {1, 2};  // wrong arity
+  EXPECT_FALSE(EnumerateParallelism(plan,
+                                    EnumerationStrategy::kParameterBased,
+                                    opt, &rng)
+                   .ok());
+  opt.parameter_degrees = {};
+  EXPECT_FALSE(EnumerateParallelism(plan,
+                                    EnumerationStrategy::kParameterBased,
+                                    opt, &rng)
+                   .ok());
+}
+
+TEST(EnumeratorTest, ApplyParallelismRewritesAndValidates) {
+  LogicalPlan plan = MakePlan();
+  ParallelismAssignment degrees(plan.NumOperators(), 5);
+  degrees[plan.SinkId()] = 1;
+  ASSERT_TRUE(ApplyParallelism(&plan, degrees).ok());
+  EXPECT_TRUE(plan.validated());
+  auto src = plan.FindOperator("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(plan.op(*src).parallelism, 5);
+
+  EXPECT_FALSE(ApplyParallelism(&plan, {1}).ok());  // size mismatch
+  ParallelismAssignment bad(plan.NumOperators(), 0);
+  EXPECT_FALSE(ApplyParallelism(&plan, bad).ok());
+}
+
+TEST(EnumeratorTest, ApplyUniformSetsAllButSink) {
+  LogicalPlan plan = MakePlan();
+  ASSERT_TRUE(ApplyUniformParallelism(&plan, 7).ok());
+  for (size_t op = 0; op < plan.NumOperators(); ++op) {
+    const auto& desc = plan.op(static_cast<LogicalPlan::OpId>(op));
+    EXPECT_EQ(desc.parallelism, desc.type == OperatorType::kSink ? 1 : 7);
+  }
+  EXPECT_FALSE(ApplyUniformParallelism(&plan, 0).ok());
+}
+
+TEST(EnumeratorTest, StrategyNames) {
+  EXPECT_STREQ(EnumerationStrategyToString(EnumerationStrategy::kRuleBased),
+               "rule_based");
+  EXPECT_STREQ(EnumerationStrategyToString(EnumerationStrategy::kMinAvgMax),
+               "min_avg_max");
+}
+
+}  // namespace
+}  // namespace pdsp

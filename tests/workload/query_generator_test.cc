@@ -1,0 +1,165 @@
+#include "src/workload/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/query/cardinality.h"
+#include "src/sim/simulation.h"
+
+namespace pdsp {
+namespace {
+
+TEST(QueryGeneratorTest, AllStructuresGenerateValidPlans) {
+  QueryGenerator gen(QueryGenOptions{}, 42);
+  for (SyntheticStructure s : AllSyntheticStructures()) {
+    auto plan = gen.Generate(s);
+    ASSERT_TRUE(plan.ok()) << SyntheticStructureToString(s) << ": "
+                           << plan.status().ToString();
+    EXPECT_TRUE(plan->validated());
+    EXPECT_GE(plan->NumOperators(), 3u);
+  }
+}
+
+TEST(QueryGeneratorTest, StructureShapesMatch) {
+  QueryGenerator gen(QueryGenOptions{}, 7);
+  auto linear = gen.Generate(SyntheticStructure::kLinear);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(linear->NumOperators(), 4u);  // src, filter, agg, sink
+  EXPECT_EQ(linear->SourceIds().size(), 1u);
+
+  auto chain3 = gen.Generate(SyntheticStructure::kChain3Filters);
+  ASSERT_TRUE(chain3.ok());
+  EXPECT_EQ(chain3->NumOperators(), 6u);
+
+  auto join2 = gen.Generate(SyntheticStructure::kTwoWayJoin);
+  ASSERT_TRUE(join2.ok());
+  EXPECT_EQ(join2->SourceIds().size(), 2u);
+
+  auto join4 = gen.Generate(SyntheticStructure::kFourWayJoin);
+  ASSERT_TRUE(join4.ok());
+  EXPECT_EQ(join4->SourceIds().size(), 4u);
+  // Three cascaded joins.
+  int joins = 0;
+  for (size_t i = 0; i < join4->NumOperators(); ++i) {
+    joins += join4->op(static_cast<LogicalPlan::OpId>(i)).type ==
+             OperatorType::kWindowJoin;
+  }
+  EXPECT_EQ(joins, 3);
+}
+
+TEST(QueryGeneratorTest, FiltersHaveBoundedSelectivity) {
+  QueryGenOptions opt;
+  opt.min_filter_selectivity = 0.15;
+  opt.max_filter_selectivity = 0.85;
+  QueryGenerator gen(opt, 99);
+  for (int i = 0; i < 30; ++i) {
+    auto plan = gen.GenerateRandom();
+    ASSERT_TRUE(plan.ok());
+    for (size_t op = 0; op < plan->NumOperators(); ++op) {
+      const auto& desc = plan->op(static_cast<LogicalPlan::OpId>(op));
+      if (desc.type != OperatorType::kFilter) continue;
+      // Annotated during generation; must be inside (0, 1) per Section 3.1.
+      EXPECT_GT(desc.selectivity_hint, 0.05);
+      EXPECT_LT(desc.selectivity_hint, 0.95);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, FixedEventRateHonored) {
+  QueryGenOptions opt;
+  opt.fixed_event_rate = 12345.0;
+  QueryGenerator gen(opt, 3);
+  auto plan = gen.Generate(SyntheticStructure::kTwoWayJoin);
+  ASSERT_TRUE(plan.ok());
+  for (const SourceBinding& src : plan->sources()) {
+    EXPECT_DOUBLE_EQ(src.arrival.rate, 12345.0);
+  }
+}
+
+TEST(QueryGeneratorTest, RandomRatesRespectCap) {
+  QueryGenOptions opt;
+  opt.rate_cap = 100000.0;
+  QueryGenerator gen(opt, 5);
+  for (int i = 0; i < 30; ++i) {
+    auto plan = gen.GenerateRandom();
+    ASSERT_TRUE(plan.ok());
+    for (const SourceBinding& src : plan->sources()) {
+      EXPECT_LE(src.arrival.rate, 100000.0);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicForSeed) {
+  QueryGenerator a(QueryGenOptions{}, 11);
+  QueryGenerator b(QueryGenOptions{}, 11);
+  auto pa = a.Generate(SyntheticStructure::kChain2Filters);
+  auto pb = b.Generate(SyntheticStructure::kChain2Filters);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  EXPECT_EQ(pa->ToString(), pb->ToString());
+}
+
+TEST(QueryGeneratorTest, VariedSeedsGiveVariedParameters) {
+  QueryGenerator gen(QueryGenOptions{}, 13);
+  std::set<std::string> shapes;
+  for (int i = 0; i < 10; ++i) {
+    auto plan = gen.Generate(SyntheticStructure::kLinear);
+    ASSERT_TRUE(plan.ok());
+    shapes.insert(plan->ToString());
+  }
+  EXPECT_GT(shapes.size(), 5u);
+}
+
+TEST(QueryGeneratorTest, JoinOutputRatesStayBounded) {
+  // The generator scales join key spaces with the window contents so the
+  // join expansion factor stays O(1): predicted output rate must not exceed
+  // a small multiple of the total input rate.
+  QueryGenOptions opt;
+  opt.fixed_event_rate = 50000.0;
+  QueryGenerator gen(opt, 17);
+  for (int i = 0; i < 20; ++i) {
+    auto plan = gen.Generate(SyntheticStructure::kTwoWayJoin);
+    ASSERT_TRUE(plan.ok());
+    auto cards = CardinalityModel::Compute(*plan);
+    ASSERT_TRUE(cards.ok());
+    auto j = plan->FindOperator("join1");
+    ASSERT_TRUE(j.ok());
+    EXPECT_LT((*cards)[*j].output_rate, 50000.0 * 2 * 8)
+        << plan->ToString();
+  }
+}
+
+TEST(QueryGeneratorTest, GeneratedPlansExecuteInSimulation) {
+  QueryGenOptions opt;
+  opt.fixed_event_rate = 3000.0;
+  opt.default_parallelism = 2;
+  // Keep windows short and time-based so every structure produces sink
+  // results within the brief simulation horizon (a keyed count window of
+  // 5000 tuples over 10k keys legitimately never fires in 3 seconds).
+  opt.count_policy_probability = 0.0;
+  opt.window_durations_ms = {250, 500, 1000};
+  opt.max_keys = 1000;
+  QueryGenerator gen(opt, 23);
+  ExecutionOptions exec;
+  exec.sim.duration_s = 3.0;
+  exec.sim.warmup_s = 0.5;
+  for (SyntheticStructure s : AllSyntheticStructures()) {
+    auto plan = gen.Generate(s);
+    ASSERT_TRUE(plan.ok()) << SyntheticStructureToString(s);
+    auto r = ExecutePlan(*plan, Cluster::M510(4), exec);
+    ASSERT_TRUE(r.ok()) << SyntheticStructureToString(s) << ": "
+                        << r.status().ToString();
+    EXPECT_GT(r->sink_tuples, 0) << SyntheticStructureToString(s);
+  }
+}
+
+TEST(QueryGeneratorTest, StructureNamesAreUnique) {
+  std::set<std::string> names;
+  for (SyntheticStructure s : AllSyntheticStructures()) {
+    names.insert(SyntheticStructureToString(s));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumSyntheticStructures));
+}
+
+}  // namespace
+}  // namespace pdsp

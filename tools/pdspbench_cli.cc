@@ -1,0 +1,251 @@
+// pdspbench — command-line front end, the library's equivalent of the
+// paper's web UI + controller: pick an application or synthetic structure,
+// an event rate, a parallelism degree and a cluster, and get the measured
+// performance.
+//
+//   pdspbench --app=SG --rate=200000 --parallelism=16 --cluster=c6525
+//   pdspbench --structure=join2 --rate=100000 --parallelism=8
+//   pdspbench --list
+//
+// Flags:
+//   --app=<abbrev>        one of the Table 2 applications (WC, SG, ...)
+//   --structure=<name>    one of the synthetic structures (linear, join2...)
+//   --rate=<events/s>     per-source event rate          [default 100000]
+//   --parallelism=<n>     degree for all operators       [default 8]
+//   --cluster=<name>      m510 | c6525 | c6320 | mixed   [default m510]
+//   --nodes=<n>           cluster size                   [default 10]
+//   --duration=<s>        generation horizon             [default 5]
+//   --seed=<n>            simulation seed                [default 42]
+//   --placement=<name>    round_robin|least_loaded|locality|random
+//   --save=<id>           persist plan + metrics into --store
+//   --load=<id>           re-execute a stored plan instead of --app/--structure
+//   --store=<dir>         run store directory            [default ./runs]
+//   --list                print available apps and structures
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/apps.h"
+#include "src/common/string_util.h"
+#include "src/harness/synthetic_suite.h"
+#include "src/sim/analytic.h"
+#include "src/sim/simulation.h"
+#include "src/store/run_store.h"
+
+namespace pdsp {
+
+namespace {
+
+struct Args {
+  std::string app;
+  std::string structure;
+  double rate = 100000.0;
+  int parallelism = 8;
+  std::string cluster = "m510";
+  int nodes = 10;
+  double duration = 5.0;
+  uint64_t seed = 42;
+  std::string placement = "least_loaded";
+  std::string save;
+  std::string load;
+  std::string store_dir = "runs";
+  bool list = false;
+};
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pdspbench (--app=<abbrev> | --structure=<name>) "
+               "[--rate=N] [--parallelism=N]\n"
+               "                 [--cluster=m510|c6525|c6320|mixed] "
+               "[--nodes=N] [--duration=S] [--seed=N]\n"
+               "                 [--placement=NAME] | --list\n");
+  return 2;
+}
+
+void PrintCatalog() {
+  std::printf("applications (--app):\n");
+  for (const AppInfo& info : AllApps()) {
+    std::printf("  %-5s %-22s %s\n", info.abbrev, info.name,
+                info.description);
+  }
+  std::printf("\nsynthetic structures (--structure):\n");
+  for (SyntheticStructure s : AllSyntheticStructures()) {
+    std::printf("  %s\n", SyntheticStructureToString(s));
+  }
+}
+
+Result<Cluster> MakeCluster(const std::string& name, int nodes) {
+  if (name == "m510") return Cluster::M510(nodes);
+  if (name == "c6525") return Cluster::C6525(nodes);
+  if (name == "c6320") return Cluster::C6320(nodes);
+  if (name == "mixed") return Cluster::Mixed(nodes);
+  return Status::InvalidArgument("unknown cluster '" + name + "'");
+}
+
+Result<PlacementKind> MakePlacement(const std::string& name) {
+  if (name == "round_robin") return PlacementKind::kRoundRobin;
+  if (name == "least_loaded") return PlacementKind::kLeastLoaded;
+  if (name == "locality") return PlacementKind::kLocality;
+  if (name == "random") return PlacementKind::kRandom;
+  return Status::InvalidArgument("unknown placement '" + name + "'");
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  // Stored plans may reference application UDO kinds; make them resolvable
+  // regardless of how the plan is selected.
+  RegisterAppUdos();
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--list") == 0) {
+      args.list = true;
+    } else if (ParseArg(argv[i], "app", &args.app) ||
+               ParseArg(argv[i], "structure", &args.structure) ||
+               ParseArg(argv[i], "cluster", &args.cluster) ||
+               ParseArg(argv[i], "placement", &args.placement) ||
+               ParseArg(argv[i], "save", &args.save) ||
+               ParseArg(argv[i], "load", &args.load) ||
+               ParseArg(argv[i], "store", &args.store_dir)) {
+      // parsed into the struct
+    } else if (ParseArg(argv[i], "rate", &value)) {
+      args.rate = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "parallelism", &value)) {
+      args.parallelism = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "nodes", &value)) {
+      args.nodes = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "duration", &value)) {
+      args.duration = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "seed", &value)) {
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (args.list) {
+    PrintCatalog();
+    return 0;
+  }
+  const int selectors = (!args.app.empty() ? 1 : 0) +
+                        (!args.structure.empty() ? 1 : 0) +
+                        (!args.load.empty() ? 1 : 0);
+  if (selectors != 1) {
+    std::fprintf(stderr,
+                 "pass exactly one of --app / --structure / --load\n");
+    return Usage();
+  }
+  if (args.rate <= 0 || args.parallelism < 1 || args.nodes < 1 ||
+      args.duration <= 0.5) {
+    std::fprintf(stderr, "bad numeric flags\n");
+    return Usage();
+  }
+
+  auto cluster = MakeCluster(args.cluster, args.nodes);
+  auto placement = MakePlacement(args.placement);
+  if (!cluster.ok() || !placement.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!cluster.ok() ? cluster.status() : placement.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+
+  Result<LogicalPlan> plan = Status::Internal("unreachable");
+  if (!args.load.empty()) {
+    RunStore store(args.store_dir);
+    plan = store.LoadPlan(args.load);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "load: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+  } else if (!args.app.empty()) {
+    auto id = FindAppByAbbrev(args.app);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s (use --list)\n",
+                   id.status().ToString().c_str());
+      return 2;
+    }
+    AppOptions opt;
+    opt.event_rate = args.rate;
+    opt.parallelism = args.parallelism;
+    plan = MakeApp(*id, opt);
+  } else {
+    SyntheticStructure structure = SyntheticStructure::kLinear;
+    bool found = false;
+    for (SyntheticStructure s : AllSyntheticStructures()) {
+      if (args.structure == SyntheticStructureToString(s)) {
+        structure = s;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown structure '%s' (use --list)\n",
+                   args.structure.c_str());
+      return 2;
+    }
+    CanonicalOptions opt;
+    opt.event_rate = args.rate;
+    opt.parallelism = args.parallelism;
+    plan = MakeCanonicalSynthetic(structure, opt);
+  }
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("plan:\n%s\n", plan->ToString().c_str());
+  auto analytic = EstimateLatencyAnalytically(*plan, *cluster);
+  if (analytic.ok()) {
+    std::printf("analytic estimate: %.1f ms (max utilization %.2f%s)\n\n",
+                analytic->latency_s * 1e3, analytic->max_utilization,
+                analytic->saturated ? ", SATURATED" : "");
+  }
+
+  ExecutionOptions exec;
+  exec.placement = *placement;
+  exec.sim.duration_s = args.duration;
+  exec.sim.warmup_s = args.duration * 0.2;
+  exec.sim.seed = args.seed;
+  auto result = ExecutePlan(*plan, *cluster, exec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("measured: %s\n\n", result->Summary().c_str());
+  if (!args.save.empty()) {
+    RunStore store(args.store_dir);
+    Status saved = store.SaveRun(args.save, *plan, *cluster, *result);
+    if (saved.ok()) {
+      std::printf("saved run '%s' to %s/\n\n", args.save.c_str(),
+                  args.store_dir.c_str());
+    } else {
+      std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    }
+  }
+  std::printf("%-16s %-5s %-10s %-10s %-7s %-7s %-9s\n", "operator", "p",
+              "in", "out", "util", "max", "late");
+  for (const OperatorRunStats& op : result->op_stats) {
+    std::printf("%-16s %-5d %-10lld %-10lld %-7.2f %-7.2f %-9lld\n",
+                op.name.c_str(), op.parallelism,
+                static_cast<long long>(op.tuples_in),
+                static_cast<long long>(op.tuples_out), op.utilization,
+                op.max_instance_util,
+                static_cast<long long>(op.late_drops));
+  }
+  return 0;
+}
+
+}  // namespace pdsp
+
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }
