@@ -9,6 +9,7 @@
 
 #include "bench/drivers/driver_util.h"
 #include "src/common/string_util.h"
+#include "src/obs/artifacts.h"
 #include "src/query/builder.h"
 
 namespace pdsp {
@@ -52,10 +53,19 @@ int Main() {
     exec.sim.duration_s = protocol.duration_s;
     exec.sim.warmup_s = protocol.warmup_s;
     exec.sim.seed = protocol.seed;
+    // Per-cell artifact bundle: the time-series makes the skew-induced
+    // imbalance directly visible (hot instance queue depth / utilization).
+    obs::Tracer tracer;
+    exec.sim.tracer = &tracer;
     auto r = ExecutePlan(*plan, cluster, exec);
     if (!r.ok()) {
       table.AddRow({StrFormat("%.1f", skew), "n/a", "n/a", "n/a"});
       continue;
+    }
+    Status obs_st = obs::WriteRunArtifacts(
+        StrFormat("results/ablation_skew/zipf_%.1f", skew), *r, &tracer);
+    if (!obs_st.ok()) {
+      std::fprintf(stderr, "obs: %s\n", obs_st.ToString().c_str());
     }
     auto agg_id = plan->FindOperator("agg");
     const OperatorRunStats& stats = r->op_stats[*agg_id];

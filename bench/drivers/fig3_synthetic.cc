@@ -49,7 +49,12 @@ int Main() {
                      plan.status().ToString().c_str());
         return 1;
       }
-      auto cell = MeasureCell(*plan, cluster, protocol);
+      RunProtocol cell_protocol = protocol;
+      cell_protocol.obs.enabled = true;
+      cell_protocol.obs.dir =
+          StrFormat("results/fig3_synthetic/%s_%s",
+                    SyntheticStructureToString(structure), cat.name);
+      auto cell = MeasureCell(*plan, cluster, cell_protocol);
       row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
                               : "n/a");
     }

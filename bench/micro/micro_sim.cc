@@ -10,7 +10,8 @@
 namespace pdsp {
 namespace {
 
-void RunSim(benchmark::State& state, const LogicalPlan& plan, double rate) {
+void RunSim(benchmark::State& state, const LogicalPlan& plan, double rate,
+            bool observability = true) {
   (void)rate;
   int64_t tuples = 0;
   for (auto _ : state) {
@@ -18,6 +19,9 @@ void RunSim(benchmark::State& state, const LogicalPlan& plan, double rate) {
     opt.sim.duration_s = 1.0;
     opt.sim.warmup_s = 0.25;
     opt.sim.seed = 42;
+    // Default keeps metric sampling on; the NoObs variants quantify its
+    // overhead (acceptance bound: < 5%).
+    if (!observability) opt.sim.metrics_interval_s = 0.0;
     auto r = ExecutePlan(plan, Cluster::M510(10), opt);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -39,6 +43,17 @@ void BM_SimLinearPlan(benchmark::State& state) {
   RunSim(state, *plan, 20000.0);
 }
 BENCHMARK(BM_SimLinearPlan)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_SimLinearPlanNoObs(benchmark::State& state) {
+  const auto parallelism = static_cast<int>(state.range(0));
+  auto plan = testing::LinearPlan(20000.0, parallelism);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  RunSim(state, *plan, 20000.0, /*observability=*/false);
+}
+BENCHMARK(BM_SimLinearPlanNoObs)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_SimJoinPlan(benchmark::State& state) {
   const auto parallelism = static_cast<int>(state.range(0));

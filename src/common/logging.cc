@@ -1,14 +1,17 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace pdsp {
 
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,16 +32,79 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+LogLevel InitialLevel() {
+  const char* env = std::getenv("PDSP_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr, "[WARN logging] unrecognized PDSP_LOG_LEVEL=%s\n",
+                 env);
+  }
+  return level;
+}
+
+std::atomic<LogLevel>& GlobalLevel() {
+  static std::atomic<LogLevel> level{InitialLevel()};
+  return level;
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) { GlobalLevel().store(level); }
+LogLevel GetLogLevel() { return GlobalLevel().load(); }
+
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *level = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
-  if (level < g_level.load()) return;
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
-               line, msg.c_str());
+  if (level < GetLogLevel()) return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M:%S", &tm_buf);
+
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix), "[%s.%03d %s %s:%d] ", stamp,
+                static_cast<int>(millis), LevelName(level), Basename(file),
+                line);
+  std::string out;
+  out.reserve(std::strlen(prefix) + msg.size() + 1);
+  out += prefix;
+  out += msg;
+  out += '\n';
+
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fwrite(out.data(), 1, out.size(), stderr);
 }
 
 }  // namespace pdsp

@@ -1,5 +1,10 @@
 // Minimal leveled logging to stderr. Benchmarks and the experiment harness
 // print their results to stdout; logging is for diagnostics only.
+//
+// Thread-safe: each LogMessage call emits exactly one '\n'-terminated line
+// under a global mutex, so concurrent callers never interleave. The initial
+// level comes from the PDSP_LOG_LEVEL environment variable
+// (debug|info|warn|error, case-insensitive, or 0..3), default Info.
 
 #ifndef PDSP_COMMON_LOGGING_H_
 #define PDSP_COMMON_LOGGING_H_
@@ -11,11 +16,17 @@ namespace pdsp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the global minimum level actually emitted (default: kInfo).
+/// Sets the global minimum level actually emitted (default: kInfo, or
+/// PDSP_LOG_LEVEL if set at process start).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one formatted line to stderr if `level` passes the global filter.
+/// Parses "debug"/"info"/"warn"/"warning"/"error" (any case) or "0".."3".
+/// Returns false (and leaves *level untouched) for anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// Emits one timestamped, level-prefixed line to stderr if `level` passes
+/// the global filter.
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg);
 

@@ -51,7 +51,9 @@ void LatencyRecorder::Record(double value) {
 }
 
 double LatencyRecorder::Percentile(double pct) const {
-  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (samples_.empty() || std::isnan(pct)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   if (!sorted_valid_) {
     sorted_ = samples_;
     std::sort(sorted_.begin(), sorted_.end());
@@ -109,6 +111,100 @@ std::string Histogram::ToString(size_t max_bar_width) const {
   return out;
 }
 
+ExpHistogram::ExpHistogram(double lo, double hi, double base)
+    : lo_(lo > 0.0 ? lo : 1e-6),
+      hi_(hi > lo_ ? hi : lo_ * 2.0),
+      base_(base > 1.0 ? base : 1.5),
+      inv_log_base_(1.0 / std::log(base_)) {
+  // Underflow bucket + enough exponential buckets to reach hi_ (the last one
+  // also absorbs the overflow).
+  const auto spans = static_cast<size_t>(
+      std::ceil(std::log(hi_ / lo_) * inv_log_base_));
+  counts_.assign(spans + 1, 0);
+}
+
+size_t ExpHistogram::BucketIndex(double x) const {
+  if (!(x >= lo_)) return 0;  // underflow; NaN also lands here
+  const auto i = static_cast<int64_t>(
+      std::floor(std::log(x / lo_) * inv_log_base_)) + 1;
+  return static_cast<size_t>(
+      std::clamp<int64_t>(i, 1, static_cast<int64_t>(counts_.size()) - 1));
+}
+
+void ExpHistogram::Add(double x) {
+  ++total_;
+  stats_.Add(x);
+  ++counts_[BucketIndex(x)];
+}
+
+void ExpHistogram::Merge(const ExpHistogram& other) {
+  if (other.total_ == 0) return;
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.base_ != base_) {
+    return;  // incompatible geometry; silently ignored (see header)
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  stats_.Merge(other.stats_);
+}
+
+double ExpHistogram::BucketLow(size_t i) const {
+  if (i == 0) return 0.0;
+  return lo_ * std::pow(base_, static_cast<double>(i - 1));
+}
+
+double ExpHistogram::BucketHigh(size_t i) const {
+  return lo_ * std::pow(base_, static_cast<double>(i));
+}
+
+double ExpHistogram::Percentile(double pct) const {
+  if (total_ == 0 || std::isnan(pct)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double target =
+      std::clamp(pct, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int64_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation inside the bucket, clamped to observed extremes.
+      const double frac =
+          (target - static_cast<double>(cum)) / counts_[i];
+      const double lo = std::max(BucketLow(i), stats_.min());
+      const double hi = std::min(BucketHigh(i), stats_.max());
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return stats_.max();
+}
+
+std::string ExpHistogram::ToString(size_t max_bar_width) const {
+  size_t first = counts_.size();
+  size_t last = 0;
+  int64_t peak = 1;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    first = std::min(first, i);
+    last = std::max(last, i);
+    peak = std::max(peak, counts_[i]);
+  }
+  if (first > last) return "(empty)\n";
+  std::string out;
+  char buf[128];
+  for (size_t i = first; i <= last; ++i) {
+    const size_t bar = static_cast<size_t>(
+        static_cast<double>(counts_[i]) / peak * max_bar_width);
+    std::snprintf(buf, sizeof(buf), "[%12.6g, %12.6g) %8lld ", BucketLow(i),
+                  BucketHigh(i), static_cast<long long>(counts_[i]));
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
 double Mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double sum = 0.0;
@@ -117,7 +213,9 @@ double Mean(const std::vector<double>& xs) {
 }
 
 double Percentile(std::vector<double> xs, double pct) {
-  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (xs.empty() || std::isnan(pct)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   std::sort(xs.begin(), xs.end());
   const double p = std::clamp(pct, 0.0, 100.0) / 100.0;
   const double idx = p * static_cast<double>(xs.size() - 1);

@@ -103,6 +103,54 @@ class Histogram {
   int64_t total_ = 0;
 };
 
+/// \brief Exponential-bucket histogram for heavy-tailed positive values
+/// such as end-to-end latencies, where fixed-width buckets waste resolution.
+/// Bucket i >= 1 covers [lo*base^(i-1), lo*base^i); bucket 0 is the
+/// underflow bucket [0, lo) and the last bucket absorbs everything >= hi.
+class ExpHistogram {
+ public:
+  /// Defaults span 1 µs .. 100 s with base-1.5 growth (~48 buckets).
+  explicit ExpHistogram(double lo = 1e-6, double hi = 100.0,
+                        double base = 1.5);
+
+  void Add(double x);
+
+  /// Merges another histogram with identical geometry; mismatched
+  /// geometries are ignored (programming error, logged by callers if they
+  /// care). Empty operands merge as no-ops.
+  void Merge(const ExpHistogram& other);
+
+  size_t NumBuckets() const { return counts_.size(); }
+  int64_t BucketCount(size_t i) const { return counts_.at(i); }
+  /// Lower bound of bucket i (0 for the underflow bucket).
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+  int64_t TotalCount() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double base() const { return base_; }
+
+  const RunningStats& stats() const { return stats_; }
+
+  /// Bucket-interpolated percentile estimate in [0,100] (clamped); NaN when
+  /// empty. Exact min/max come from stats().
+  double Percentile(double pct) const;
+
+  /// ASCII bar rendering of the non-empty bucket range.
+  std::string ToString(size_t max_bar_width = 40) const;
+
+ private:
+  size_t BucketIndex(double x) const;
+
+  double lo_;
+  double hi_;
+  double base_;
+  double inv_log_base_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  RunningStats stats_;
+};
+
 /// Exact mean of a vector (0 for empty).
 double Mean(const std::vector<double>& xs);
 

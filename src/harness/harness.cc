@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/obs/artifacts.h"
 #include "src/workload/enumerator.h"
 
 namespace pdsp {
@@ -29,7 +31,23 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     exec.sim.duration_s = protocol.duration_s;
     exec.sim.warmup_s = protocol.warmup_s;
     exec.sim.seed = protocol.seed + static_cast<uint64_t>(r) * 7919ULL;
+    // Artifacts come from the first repeat only: one representative run per
+    // cell keeps the bundle small and the remaining repeats untraced.
+    const bool emit_obs = protocol.obs.enabled && r == 0;
+    obs::Tracer tracer;
+    if (emit_obs) {
+      tracer.set_verbose(protocol.obs.trace_verbose);
+      exec.sim.tracer = &tracer;
+      exec.sim.metrics_interval_s = protocol.obs.metrics_interval_s;
+    }
     PDSP_ASSIGN_OR_RETURN(SimResult run, ExecutePlan(plan, cluster, exec));
+    if (emit_obs) {
+      Status st = obs::WriteRunArtifacts(protocol.obs.dir, run, &tracer);
+      if (!st.ok()) {
+        PDSP_LOG(Warn) << "obs artifacts for " << protocol.obs.dir << ": "
+                       << st.ToString();
+      }
+    }
     cell.late_drops += run.late_drops;
     cell.backpressure_skipped += run.backpressure_skipped;
     if (!std::isnan(run.median_latency_s)) {

@@ -26,6 +26,19 @@ struct ParallelismCategory {
 /// heavily oversubscribed on the 10-node clusters.
 const std::vector<ParallelismCategory>& StandardCategories();
 
+/// \brief Per-cell observability artifacts: when enabled, the first repeat
+/// of MeasureCell runs with a tracer attached and writes metrics.json,
+/// timeseries.csv and trace.json under `dir` (conventionally
+/// results/<driver>/<cell>/). Failures to write are logged, not fatal.
+struct ObsOptions {
+  bool enabled = false;
+  std::string dir;
+  /// Also trace every operator firing in virtual time (large traces).
+  bool trace_verbose = false;
+  /// Time-series sample interval forwarded to SimOptions.
+  double metrics_interval_s = 0.25;
+};
+
 /// \brief Measurement protocol for one experiment cell.
 struct RunProtocol {
   int repeats = 3;             ///< paper: mean of three runs
@@ -33,6 +46,7 @@ struct RunProtocol {
   double warmup_s = 0.75;
   uint64_t seed = 2024;
   PlacementKind placement = PlacementKind::kLeastLoaded;
+  ObsOptions obs;
 };
 
 /// \brief One measured experiment cell.

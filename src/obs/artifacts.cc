@@ -1,0 +1,86 @@
+#include "src/obs/artifacts.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+namespace pdsp {
+namespace obs {
+
+namespace {
+
+Json FiniteNumber(double v) {
+  return std::isfinite(v) ? Json::Number(v) : Json::Null();
+}
+
+Status WriteTextFile(const std::filesystem::path& path,
+                     const std::string& text) {
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open " + path.string());
+  out << text;
+  if (!out.good()) return Status::Internal("short write to " + path.string());
+  return Status::OK();
+}
+
+}  // namespace
+
+Json RunMetricsJson(const SimResult& result) {
+  Json summary = Json::Object();
+  summary.Set("median_latency_s", FiniteNumber(result.median_latency_s));
+  summary.Set("mean_latency_s", FiniteNumber(result.mean_latency_s));
+  summary.Set("p95_latency_s", FiniteNumber(result.p95_latency_s));
+  summary.Set("p99_latency_s", FiniteNumber(result.p99_latency_s));
+  summary.Set("throughput_tps", FiniteNumber(result.throughput_tps));
+  summary.Set("source_tuples", Json::Int(result.source_tuples));
+  summary.Set("sink_tuples", Json::Int(result.sink_tuples));
+  summary.Set("backpressure_skipped", Json::Int(result.backpressure_skipped));
+  summary.Set("late_drops", Json::Int(result.late_drops));
+  summary.Set("events_processed", Json::Int(result.events_processed));
+  summary.Set("virtual_time_end_s", FiniteNumber(result.virtual_time_end));
+
+  Json ops = Json::Array();
+  for (const OperatorRunStats& s : result.op_stats) {
+    Json op = Json::Object();
+    op.Set("name", Json::Str(s.name));
+    op.Set("parallelism", Json::Int(s.parallelism));
+    op.Set("tuples_in", Json::Int(s.tuples_in));
+    op.Set("tuples_out", Json::Int(s.tuples_out));
+    op.Set("late_drops", Json::Int(s.late_drops));
+    op.Set("busy_time_s", FiniteNumber(s.busy_time_s));
+    op.Set("utilization", FiniteNumber(s.utilization));
+    op.Set("max_instance_util", FiniteNumber(s.max_instance_util));
+    op.Set("max_queue_tuples", Json::Int(static_cast<int64_t>(
+        s.max_queue_tuples)));
+    ops.Append(std::move(op));
+  }
+
+  Json root = Json::Object();
+  root.Set("summary", std::move(summary));
+  root.Set("operators", std::move(ops));
+  root.Set("metrics", result.metrics != nullptr ? result.metrics->ToJson()
+                                                : Json::Object());
+  return root;
+}
+
+Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
+                         const Tracer* tracer) {
+  const std::filesystem::path base(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);
+  if (ec && !std::filesystem::is_directory(base)) {
+    return Status::Internal("cannot create " + dir + ": " + ec.message());
+  }
+  PDSP_RETURN_NOT_OK(WriteTextFile(base / "metrics.json",
+                                   RunMetricsJson(result).Dump(2) + "\n"));
+  if (!result.timeseries.empty()) {
+    PDSP_RETURN_NOT_OK(
+        result.timeseries.WriteCsv((base / "timeseries.csv").string()));
+  }
+  if (tracer != nullptr) {
+    PDSP_RETURN_NOT_OK(tracer->WriteFile((base / "trace.json").string()));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace pdsp

@@ -1,0 +1,31 @@
+// Per-run observability artifact bundle: metrics.json (registry snapshot +
+// run summary), timeseries.csv (per-operator samples) and trace.json
+// (Chrome trace_event, open in Perfetto or chrome://tracing), written under
+// one directory — the layout the harness uses for results/<driver>/<cell>/.
+
+#ifndef PDSP_OBS_ARTIFACTS_H_
+#define PDSP_OBS_ARTIFACTS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulation.h"
+
+namespace pdsp {
+namespace obs {
+
+/// Serializes the run's headline numbers + registry into the metrics.json
+/// document: {"summary": {...}, "metrics": {counters/gauges/histograms}}.
+Json RunMetricsJson(const SimResult& result);
+
+/// Writes metrics.json and, when non-empty, timeseries.csv under `dir`
+/// (created if needed); with a non-null `tracer` also trace.json. Partial
+/// failures abort with the first error; already-written files remain.
+Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
+                         const Tracer* tracer);
+
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_ARTIFACTS_H_

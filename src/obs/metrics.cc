@@ -1,0 +1,106 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+
+namespace pdsp {
+namespace obs {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               ExpHistogram hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>(std::move(hist));
+  return slot.get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, _] : counters_) names.push_back(name);
+  for (const auto& [name, _] : gauges_) names.push_back(name);
+  for (const auto& [name, _] : histograms_) names.push_back(name);
+  return names;  // maps are sorted; sections concatenate in order
+}
+
+namespace {
+
+Json FiniteNumber(double v) {
+  // JSON has no NaN/Inf; empty distributions dump their extremes as null.
+  return std::isfinite(v) ? Json::Number(v) : Json::Null();
+}
+
+}  // namespace
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, Json::Int(c->value()));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, FiniteNumber(g->value()));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    const ExpHistogram hist = h->Snapshot();
+    Json doc = Json::Object();
+    doc.Set("count", Json::Int(hist.TotalCount()));
+    doc.Set("mean", FiniteNumber(hist.stats().mean()));
+    doc.Set("min", FiniteNumber(hist.stats().min()));
+    doc.Set("max", FiniteNumber(hist.stats().max()));
+    doc.Set("p50", FiniteNumber(hist.Percentile(50.0)));
+    doc.Set("p95", FiniteNumber(hist.Percentile(95.0)));
+    doc.Set("p99", FiniteNumber(hist.Percentile(99.0)));
+    Json buckets = Json::Array();
+    for (size_t i = 0; i < hist.NumBuckets(); ++i) {
+      if (hist.BucketCount(i) == 0) continue;
+      Json b = Json::Object();
+      b.Set("lo", Json::Number(hist.BucketLow(i)));
+      b.Set("hi", Json::Number(hist.BucketHigh(i)));
+      b.Set("count", Json::Int(hist.BucketCount(i)));
+      buckets.Append(std::move(b));
+    }
+    doc.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(doc));
+  }
+  Json root = Json::Object();
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string MetricName(const std::string& module, const std::string& name) {
+  return "pdsp." + module + "." + name;
+}
+
+}  // namespace obs
+}  // namespace pdsp

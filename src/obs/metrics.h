@@ -1,0 +1,113 @@
+// pdsp::obs metrics layer: a named registry of counters, gauges and
+// exponential-bucket histograms, cheap enough to stay on by default (one
+// relaxed atomic op per update on the hot path) and dumpable as JSON for the
+// per-run artifact bundles. Metric names follow `pdsp.<module>.<name>`
+// (e.g. pdsp.sim.sink_tuples); see DESIGN.md "Observability".
+
+#ifndef PDSP_OBS_METRICS_H_
+#define PDSP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+
+/// \brief Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Distribution metric backed by ExpHistogram (heavy-tail friendly);
+/// observations are mutex-guarded, so keep it off per-tuple hot paths and
+/// observe per batch / per sink record instead.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(ExpHistogram hist = ExpHistogram())
+      : hist_(std::move(hist)) {}
+
+  void Observe(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Add(v);
+  }
+
+  /// Snapshot copy for querying without holding the lock.
+  ExpHistogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ExpHistogram hist_;
+};
+
+/// \brief Named metric registry. Get* registers on first use and returns a
+/// stable handle that stays valid for the registry's lifetime; updates
+/// through handles never take the registry lock.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `hist` is the geometry used if the metric does not exist yet.
+  HistogramMetric* GetHistogram(const std::string& name,
+                                ExpHistogram hist = ExpHistogram());
+
+  /// Convenience lookups for tests/consumers; 0 / NaN-free defaults.
+  int64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+
+  /// Sorted names of all registered metrics.
+  std::vector<std::string> Names() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// mean, min, max, p50, p95, p99, buckets: [{lo, hi, count}, ...]}}}.
+  Json ToJson() const;
+
+  /// Pretty-printed ToJson().
+  std::string DumpJson() const { return ToJson().Dump(2); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Canonical metric name: "pdsp.<module>.<name>".
+std::string MetricName(const std::string& module, const std::string& name);
+
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_METRICS_H_

@@ -1,0 +1,59 @@
+#include "src/obs/timeseries.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+namespace obs {
+
+const std::vector<std::string>& TimeSeries::Columns() {
+  static const std::vector<std::string> kColumns = {
+      "time_s",      "task",        "op",
+      "instance",    "queue_tuples", "utilization",
+      "in_rate_tps", "out_rate_tps", "watermark_lag_s",
+      "in_flight_tuples", "backpressure",
+  };
+  return kColumns;
+}
+
+std::vector<double> TimeSeries::SampleTimes() const {
+  std::vector<double> times;
+  for (const TimeSeriesRow& row : rows_) {
+    if (times.empty() || times.back() != row.time_s) {
+      times.push_back(row.time_s);
+    }
+  }
+  return times;
+}
+
+std::string TimeSeries::ToCsv() const {
+  std::string out = Join(Columns(), ",") + "\n";
+  for (const TimeSeriesRow& row : rows_) {
+    out += StrFormat("%.6f,%d,%s,%d,%lld,%.4f,%.1f,%.1f,%.6f,%lld,%d\n",
+                     row.time_s, row.task, row.op.c_str(), row.instance,
+                     static_cast<long long>(row.queue_tuples),
+                     row.utilization, row.in_rate_tps, row.out_rate_tps,
+                     row.watermark_lag_s,
+                     static_cast<long long>(row.in_flight_tuples),
+                     row.backpressure ? 1 : 0);
+  }
+  return out;
+}
+
+Status TimeSeries::WriteCsv(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open " + path);
+  out << ToCsv();
+  if (!out.good()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace pdsp

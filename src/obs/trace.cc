@@ -1,0 +1,149 @@
+#include "src/obs/trace.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace pdsp {
+namespace obs {
+
+namespace {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Tracer::Push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AddComplete(std::string name, std::string category, double ts_us,
+                         double dur_us, int pid, int tid,
+                         std::vector<TraceEvent::Arg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void Tracer::AddInstant(std::string name, std::string category, double ts_us,
+                        int pid, int tid) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.tid = tid;
+  Push(std::move(e));
+}
+
+void Tracer::AddCounter(std::string name, double ts_us, double value,
+                        int pid) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = "counter";
+  e.phase = 'C';
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.args.push_back({"value", "", value, true});
+  Push(std::move(e));
+}
+
+void Tracer::SetThreadName(int pid, int tid, std::string name) {
+  TraceEvent e;
+  e.name = "thread_name";
+  e.category = "__metadata";
+  e.phase = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.args.push_back({"name", std::move(name), 0.0, false});
+  Push(std::move(e));
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t Tracer::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+Json Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json events = Json::Array();
+  for (const TraceEvent& e : events_) {
+    Json doc = Json::Object();
+    doc.Set("name", Json::Str(e.name));
+    doc.Set("cat", Json::Str(e.category));
+    doc.Set("ph", Json::Str(std::string(1, e.phase)));
+    doc.Set("pid", Json::Int(e.pid));
+    doc.Set("tid", Json::Int(e.tid));
+    if (e.phase != 'M') doc.Set("ts", Json::Number(e.ts_us));
+    if (e.phase == 'X') doc.Set("dur", Json::Number(e.dur_us));
+    if (!e.args.empty()) {
+      Json args = Json::Object();
+      for (const TraceEvent::Arg& a : e.args) {
+        args.Set(a.key, a.numeric ? Json::Number(a.num) : Json::Str(a.str));
+      }
+      doc.Set("args", std::move(args));
+    }
+    events.Append(std::move(doc));
+  }
+  Json root = Json::Object();
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", Json::Str("ms"));
+  if (dropped_ > 0) root.Set("droppedEvents", Json::Int(dropped_));
+  return root;
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open " + path);
+  out << ToJson().Dump();
+  out << "\n";
+  if (!out.good()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Span::Span(Tracer* tracer, std::string name, std::string category, int tid)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      tid_(tid),
+      start_(std::chrono::steady_clock::now()),
+      ended_(tracer == nullptr) {}
+
+void Span::End() {
+  if (ended_) return;
+  ended_ = true;
+  const double start_us =
+      std::chrono::duration<double, std::micro>(start_.time_since_epoch())
+          .count();
+  tracer_->AddComplete(std::move(name_), std::move(category_), start_us,
+                       NowMicros() - start_us, kWallPid, tid_);
+}
+
+}  // namespace obs
+}  // namespace pdsp

@@ -1,0 +1,117 @@
+// pdsp::obs tracing: records spans and instants and exports Chrome
+// trace_event JSON ("traceEvents" array of complete "X", instant "i",
+// counter "C" and metadata "M" events) viewable in Perfetto or
+// chrome://tracing. Two timelines share one trace, separated by pid:
+// kWallPid carries real (steady-clock) phase spans such as
+// expand/place/simulate, kVirtualPid carries simulated virtual-time events
+// where tid is the physical task id.
+
+#ifndef PDSP_OBS_TRACE_H_
+#define PDSP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+
+/// Process ids separating the two timelines inside one trace file.
+inline constexpr int kWallPid = 0;     ///< wall-clock phases
+inline constexpr int kVirtualPid = 1;  ///< simulated virtual time
+
+/// \brief One Chrome trace_event record (subset we emit).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';  ///< 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< complete events only
+  int pid = kWallPid;
+  int tid = 0;
+  /// Flat string/number args ("args" object; numbers serialized as numbers
+  /// when `numeric` is true).
+  struct Arg {
+    std::string key;
+    std::string str;
+    double num = 0.0;
+    bool numeric = false;
+  };
+  std::vector<Arg> args;
+};
+
+/// \brief Collects trace events in memory; all mutating calls are
+/// mutex-guarded. Capped at `max_events` (further events are dropped and
+/// counted) so verbose per-batch tracing cannot exhaust memory.
+class Tracer {
+ public:
+  explicit Tracer(size_t max_events = 1'000'000) : max_events_(max_events) {}
+
+  /// Verbose traces additionally record per-batch operator firings in
+  /// virtual time (large!); default records only phases and samples.
+  void set_verbose(bool v) { verbose_ = v; }
+  bool verbose() const { return verbose_; }
+
+  void AddComplete(std::string name, std::string category, double ts_us,
+                   double dur_us, int pid = kWallPid, int tid = 0,
+                   std::vector<TraceEvent::Arg> args = {});
+  void AddInstant(std::string name, std::string category, double ts_us,
+                  int pid = kWallPid, int tid = 0);
+  /// Counter track (Perfetto renders these as a stacked area chart).
+  void AddCounter(std::string name, double ts_us, double value,
+                  int pid = kVirtualPid);
+  /// Names a tid ("thread_name" metadata) so task rows read as
+  /// "op[instance]" in the viewer.
+  void SetThreadName(int pid, int tid, std::string name);
+
+  size_t NumEvents() const;
+  int64_t DroppedEvents() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  Json ToJson() const;
+
+  /// Writes ToJson() to `path`, creating parent directories.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  void Push(TraceEvent event);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t max_events_;
+  int64_t dropped_ = 0;
+  bool verbose_ = false;
+};
+
+/// \brief RAII wall-clock span: emits one complete event on kWallPid from
+/// construction to destruction (or End()). Null tracer = no-op.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name, std::string category = "phase",
+       int tid = 0);
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early; subsequent calls are no-ops.
+  void End();
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::string category_;
+  int tid_;
+  std::chrono::steady_clock::time_point start_;
+  bool ended_ = false;
+};
+
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_TRACE_H_

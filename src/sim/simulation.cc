@@ -99,6 +99,13 @@ class Engine {
             std::shared_ptr<Batch> batch = nullptr);
   double TaskSpeed(int task) const;
 
+  /// Appends one time-series row per task at virtual time `t` (rates and
+  /// utilization over the interval since the previous sample).
+  void SampleTimeSeries(double t);
+  /// Verbose tracing: one virtual-time complete event for a firing of
+  /// `task` spanning [start, start+duration).
+  void TraceFiring(int task, double start, double duration, size_t tuples);
+
   /// Runs the instance on a batch or on due timers; routes outputs; returns
   /// the service time charged.
   Status ProcessOne(int task, double now);
@@ -136,6 +143,17 @@ class Engine {
   int64_t events_processed_ = 0;
   Status run_error_ = Status::OK();
   SimResult result_;
+  // Observability. Counter handles are cached so hot-path updates are one
+  // relaxed atomic add; time-series rates diff against the previous sample.
+  obs::Counter* ctr_source_tuples_ = nullptr;
+  obs::Counter* ctr_sink_tuples_ = nullptr;
+  obs::Counter* ctr_bp_skipped_ = nullptr;
+  obs::HistogramMetric* hist_sink_latency_ = nullptr;
+  std::vector<double> prev_busy_time_;
+  std::vector<int64_t> prev_tuples_in_;
+  std::vector<int64_t> prev_tuples_out_;
+  bool trace_verbose_ = false;
+  bool bp_active_ = false;
 };
 
 Status Engine::SetUpTasks() {
@@ -171,6 +189,17 @@ Status Engine::SetUpTasks() {
                                             pt.instance,
                                             options_.seed * 31 + t));
       state.instance = std::move(inst);
+    }
+  }
+  if (trace_verbose_) {
+    // Name virtual-timeline rows "op[instance]" so Perfetto shows per-task
+    // lanes instead of bare tids.
+    for (size_t t = 0; t < plan_.NumTasks(); ++t) {
+      const PhysicalTask& pt = plan_.task(static_cast<int>(t));
+      options_.tracer->SetThreadName(
+          obs::kVirtualPid, static_cast<int>(t),
+          StrFormat("%s[%d]", plan_.logical().op(pt.op).name.c_str(),
+                    pt.instance));
     }
   }
   // Watermark channels: every task knows all upstream tasks so the input
@@ -224,6 +253,58 @@ void Engine::ApplyWatermark(TaskState* state, const Batch& batch) {
     min_wm = std::min(min_wm, wm);
   }
   state->input_wm = min_wm;
+}
+
+void Engine::SampleTimeSeries(double t) {
+  const double interval = options_.metrics_interval_s;
+  const bool bp = pending_tuples_ > options_.max_in_flight_tuples;
+  for (size_t task = 0; task < tasks_.size(); ++task) {
+    const TaskState& state = tasks_[task];
+    const PhysicalTask& pt = plan_.task(static_cast<int>(task));
+    obs::TimeSeriesRow row;
+    row.time_s = t;
+    row.task = static_cast<int>(task);
+    row.op = plan_.logical().op(pt.op).name;
+    row.instance = pt.instance;
+    row.queue_tuples = static_cast<int64_t>(state.queued_tuples);
+    // Busy time is charged when service starts, so a long firing can exceed
+    // the interval; clamp to a fraction.
+    row.utilization = std::clamp(
+        (state.busy_time - prev_busy_time_[task]) / interval, 0.0, 1.0);
+    row.in_rate_tps =
+        static_cast<double>(state.tuples_in - prev_tuples_in_[task]) /
+        interval;
+    row.out_rate_tps =
+        static_cast<double>(state.tuples_out - prev_tuples_out_[task]) /
+        interval;
+    if (state.input_wm >= kInf) {
+      row.watermark_lag_s = 0.0;  // end-of-stream watermark
+    } else if (state.input_wm <= -kInf) {
+      row.watermark_lag_s = t;  // no watermark received yet
+    } else {
+      row.watermark_lag_s = std::max(0.0, t - state.input_wm);
+    }
+    row.in_flight_tuples = pending_tuples_;
+    row.backpressure = bp;
+    prev_busy_time_[task] = state.busy_time;
+    prev_tuples_in_[task] = state.tuples_in;
+    prev_tuples_out_[task] = state.tuples_out;
+    result_.timeseries.Append(std::move(row));
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->AddCounter("pdsp.sim.in_flight_tuples", t * 1e6,
+                                static_cast<double>(pending_tuples_));
+  }
+}
+
+void Engine::TraceFiring(int task, double start, double duration,
+                         size_t tuples) {
+  const PhysicalTask& pt = plan_.task(task);
+  std::vector<obs::TraceEvent::Arg> args;
+  args.push_back({"tuples", "", static_cast<double>(tuples), true});
+  options_.tracer->AddComplete(plan_.logical().op(pt.op).name, "firing",
+                               start * 1e6, duration * 1e6, obs::kVirtualPid,
+                               task, std::move(args));
 }
 
 void Engine::RouteOutputs(int task,
@@ -342,8 +423,17 @@ void Engine::EmitSourceBatch(int task, double now) {
   const double dt = state.batch_interval;
 
   int64_t n = state.arrival->EventsInWindow(now, dt, &state.rng);
-  if (pending_tuples_ > options_.max_in_flight_tuples) {
+  const bool bp = pending_tuples_ > options_.max_in_flight_tuples;
+  if (bp != bp_active_) {
+    bp_active_ = bp;
+    if (options_.tracer != nullptr) {
+      options_.tracer->AddInstant(bp ? "backpressure_on" : "backpressure_off",
+                                  "sim", now * 1e6, obs::kVirtualPid, task);
+    }
+  }
+  if (bp) {
     result_.backpressure_skipped += n;
+    ctr_bp_skipped_->Add(n);
     n = 0;
   }
   std::vector<StreamElement> outputs;
@@ -357,6 +447,7 @@ void Engine::EmitSourceBatch(int task, double now) {
     outputs.push_back(std::move(e));
   }
   result_.source_tuples += n;
+  ctr_source_tuples_->Add(n);
   state.tuples_in += n;
 
   double cost = costs_.BatchCost(op) +
@@ -379,6 +470,10 @@ void Engine::EmitSourceBatch(int task, double now) {
   const double completion = std::max(now + dt, state.busy_until) + service;
   state.busy_until = completion;
   state.busy_time += service;
+  if (trace_verbose_) {
+    TraceFiring(task, completion - service, service,
+                static_cast<size_t>(n));
+  }
   DispatchDeliveries(task, completion, &deliveries);
 
   const double next = now + dt;
@@ -395,6 +490,7 @@ Status Engine::ProcessOne(int task, double now) {
   std::vector<StreamElement> outputs;
   double cost = 0.0;
   bool timer_fire = false;
+  size_t in_tuples = 0;
 
   const double next_timer = state.instance->NextTimerTime();
   if (next_timer < kInf && next_timer <= state.input_wm) {
@@ -407,6 +503,7 @@ Status Engine::ProcessOne(int task, double now) {
   } else {
     std::shared_ptr<Batch> batch = state.queue.front();
     state.queue.pop_front();
+    in_tuples = batch->elements.size();
     state.queued_tuples -= batch->elements.size();
     pending_tuples_ -= static_cast<int64_t>(batch->elements.size());
     state.tuples_in += static_cast<int64_t>(batch->elements.size());
@@ -432,8 +529,10 @@ Status Engine::ProcessOne(int task, double now) {
       ++result_.sink_tuples;
       if (completion >= options_.warmup_s) {
         result_.latency.Record(completion - e.birth);
+        hist_sink_latency_->Observe(completion - e.birth);
       }
     }
+    ctr_sink_tuples_->Add(static_cast<int64_t>(outputs.size()));
     state.busy_time += completion - now;
     state.busy_until = completion;
   } else {
@@ -450,6 +549,10 @@ Status Engine::ProcessOne(int task, double now) {
     DispatchDeliveries(task, state.busy_until, &deliveries);
   }
 
+  if (trace_verbose_) {
+    TraceFiring(task, now, state.busy_until - now,
+                timer_fire ? outputs.size() : in_tuples);
+  }
   // Wake self at completion to pick up further work.
   Push(state.busy_until, EventKind::kReady, task);
   return Status::OK();
@@ -472,37 +575,67 @@ void Engine::MaybeStart(int task, double now) {
 
 Result<SimResult> Engine::Run() {
   result_.latency = LatencyRecorder(options_.latency_reservoir);
+  result_.metrics = std::make_shared<obs::MetricsRegistry>();
+  ctr_source_tuples_ = result_.metrics->GetCounter("pdsp.sim.source_tuples");
+  ctr_sink_tuples_ = result_.metrics->GetCounter("pdsp.sim.sink_tuples");
+  ctr_bp_skipped_ =
+      result_.metrics->GetCounter("pdsp.sim.backpressure_skipped");
+  hist_sink_latency_ =
+      result_.metrics->GetHistogram("pdsp.sim.sink_latency_seconds");
+  trace_verbose_ =
+      options_.tracer != nullptr && options_.tracer->verbose();
   PDSP_RETURN_NOT_OK(SetUpTasks());
+  prev_busy_time_.assign(tasks_.size(), 0.0);
+  prev_tuples_in_.assign(tasks_.size(), 0);
+  prev_tuples_out_.assign(tasks_.size(), 0);
+  // Sample points sit at k*interval for k = 1..floor(duration/interval);
+  // the drain past duration_s is covered by the trace, not the series.
+  const double interval = options_.metrics_interval_s;
+  double next_sample = interval > 0.0 ? interval : kInf;
 
-  while (!heap_.empty()) {
-    if (++events_processed_ > options_.max_events) {
-      return Status::ResourceExhausted(
-          StrFormat("simulation exceeded %lld events",
-                    static_cast<long long>(options_.max_events)));
+  {
+    obs::Span span(options_.tracer, "simulate", "sim");
+    while (!heap_.empty()) {
+      if (++events_processed_ > options_.max_events) {
+        return Status::ResourceExhausted(
+            StrFormat("simulation exceeded %lld events",
+                      static_cast<long long>(options_.max_events)));
+      }
+      Event e = heap_.top();
+      heap_.pop();
+      while (next_sample <= e.time && next_sample <= options_.duration_s) {
+        SampleTimeSeries(next_sample);
+        next_sample += interval;
+      }
+      result_.virtual_time_end = e.time;
+      TaskState& state = tasks_[e.task];
+      switch (e.kind) {
+        case EventKind::kSourceBatch:
+          EmitSourceBatch(e.task, e.time);
+          break;
+        case EventKind::kDelivery:
+          state.queue.push_back(e.batch);
+          state.queued_tuples += e.batch->elements.size();
+          state.max_queue_tuples =
+              std::max(state.max_queue_tuples, state.queued_tuples);
+          MaybeStart(e.task, e.time);
+          break;
+        case EventKind::kReady:
+          MaybeStart(e.task, e.time);
+          break;
+      }
+      if (!run_error_.ok()) return run_error_;
     }
-    Event e = heap_.top();
-    heap_.pop();
-    result_.virtual_time_end = e.time;
-    TaskState& state = tasks_[e.task];
-    switch (e.kind) {
-      case EventKind::kSourceBatch:
-        EmitSourceBatch(e.task, e.time);
-        break;
-      case EventKind::kDelivery:
-        state.queue.push_back(e.batch);
-        state.queued_tuples += e.batch->elements.size();
-        state.max_queue_tuples =
-            std::max(state.max_queue_tuples, state.queued_tuples);
-        MaybeStart(e.task, e.time);
-        break;
-      case EventKind::kReady:
-        MaybeStart(e.task, e.time);
-        break;
+    // If the heap drained before duration_s (tiny runs), emit the remaining
+    // sample points from the final state so row counts stay predictable.
+    while (next_sample <= options_.duration_s) {
+      SampleTimeSeries(next_sample);
+      next_sample += interval;
     }
-    if (!run_error_.ok()) return run_error_;
   }
 
   // Aggregate per-operator statistics.
+  obs::Span agg_span(options_.tracer, "aggregate", "sim");
   result_.events_processed = events_processed_;
   const double horizon =
       std::max(options_.duration_s, result_.virtual_time_end);
@@ -538,6 +671,17 @@ Result<SimResult> Engine::Run() {
   // every recorded sample even when the reservoir caps storage).
   result_.throughput_tps =
       static_cast<double>(result_.latency.Count()) / measured;
+
+  // Snapshot the remaining run-level aggregates into the registry so the
+  // metrics.json artifact is self-contained.
+  obs::MetricsRegistry& reg = *result_.metrics;
+  reg.GetCounter("pdsp.sim.late_drops")->Add(result_.late_drops);
+  reg.GetCounter("pdsp.sim.events_processed")->Add(events_processed_);
+  reg.GetGauge("pdsp.sim.throughput_tps")->Set(result_.throughput_tps);
+  reg.GetGauge("pdsp.sim.virtual_time_end_s")->Set(result_.virtual_time_end);
+  reg.GetGauge("pdsp.sim.median_latency_s")->Set(result_.median_latency_s);
+  reg.GetGauge("pdsp.sim.p95_latency_s")->Set(result_.p95_latency_s);
+  reg.GetGauge("pdsp.sim.p99_latency_s")->Set(result_.p99_latency_s);
   return std::move(result_);
 }
 
@@ -573,11 +717,15 @@ Result<SimResult> Simulation::Run(const PhysicalPlan& plan,
 
 Result<SimResult> ExecutePlan(const LogicalPlan& plan, const Cluster& cluster,
                               const ExecutionOptions& options) {
+  obs::Span expand_span(options.sim.tracer, "expand", "sim");
   PDSP_ASSIGN_OR_RETURN(PhysicalPlan phys, PhysicalPlan::FromLogical(&plan));
+  expand_span.End();
+  obs::Span place_span(options.sim.tracer, "place", "sim");
   PDSP_ASSIGN_OR_RETURN(
       Placement placement,
       PlaceTasks(cluster, phys.InstancesPerOp(), options.placement,
                  options.sim.seed));
+  place_span.End();
   return Simulation::Run(phys, cluster, placement, options.costs,
                          options.sim);
 }

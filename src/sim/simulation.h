@@ -9,6 +9,7 @@
 #define PDSP_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,9 @@
 #include "src/cluster/placement.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+#include "src/obs/trace.h"
 #include "src/runtime/physical_plan.h"
 #include "src/sim/cost_model.h"
 
@@ -43,6 +47,14 @@ struct SimOptions {
   int64_t max_events = 200'000'000;
   /// Cap on recorded latency samples (reservoir; 0 = keep all).
   size_t latency_reservoir = 65536;
+  /// Virtual-time interval between per-operator time-series samples
+  /// (queue depth, utilization, rates, watermark lag). 0 disables sampling;
+  /// the default is cheap enough to stay on (a few hundred rows per run).
+  double metrics_interval_s = 0.25;
+  /// Optional span/event tracer (non-owning). When set, the run records
+  /// simulate/aggregate phase spans and in-flight counter samples; with
+  /// `tracer->verbose()` also every operator firing in virtual time.
+  obs::Tracer* tracer = nullptr;
   uint64_t seed = 42;
 };
 
@@ -77,6 +89,13 @@ struct SimResult {
   int64_t events_processed = 0;
   double virtual_time_end = 0.0;
   std::vector<OperatorRunStats> op_stats;
+  /// Named counters/gauges/histograms recorded during the run
+  /// (pdsp.sim.* namespace); always populated, never null after a
+  /// successful run.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Per-operator-instance samples every SimOptions::metrics_interval_s of
+  /// virtual time; empty when sampling is disabled.
+  obs::TimeSeries timeseries;
 
   std::string Summary() const;
 };

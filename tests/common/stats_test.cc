@@ -124,6 +124,129 @@ TEST(HistogramTest, ToStringHasOneLinePerBucket) {
   EXPECT_EQ(lines, 4);
 }
 
+TEST(RunningStatsTest, MergeEmptyIsNoOp) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.Add(x);
+  const RunningStats empty;
+  s.Merge(empty);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeIntoEmptyCopies) {
+  RunningStats a, b;
+  b.Add(5.0);
+  b.Add(7.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 5.0);
+  EXPECT_EQ(a.max(), 7.0);
+}
+
+TEST(RunningStatsTest, MergeTwoEmptiesStaysNaNConsistent) {
+  RunningStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_TRUE(std::isnan(a.min()));
+  EXPECT_TRUE(std::isnan(a.max()));
+  EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(LatencyRecorderTest, PercentileClampsOutOfRange) {
+  LatencyRecorder rec;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) rec.Record(x);
+  EXPECT_DOUBLE_EQ(rec.Percentile(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(1000.0), 4.0);
+  EXPECT_TRUE(std::isnan(rec.Percentile(
+      std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(LatencyRecorderTest, EmptyStatsStayNaNConsistent) {
+  LatencyRecorder rec;
+  EXPECT_TRUE(std::isnan(rec.Percentile(50.0)));
+  EXPECT_TRUE(std::isnan(rec.Min()));
+  EXPECT_TRUE(std::isnan(rec.Max()));
+}
+
+TEST(BatchStatsTest, PercentileClampsAndRejectsNaN) {
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, 250.0), 3.0);
+  EXPECT_TRUE(std::isnan(
+      Percentile({1.0, 2.0}, std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(ExpHistogramTest, BucketsGrowExponentially) {
+  ExpHistogram h;  // 1 µs .. 100 s, base 1.5
+  EXPECT_GT(h.NumBuckets(), 40u);
+  for (size_t i = 2; i + 1 < h.NumBuckets(); ++i) {
+    EXPECT_NEAR(h.BucketHigh(i) / h.BucketLow(i), 1.5, 1e-9);
+    EXPECT_DOUBLE_EQ(h.BucketLow(i), h.BucketHigh(i - 1));
+  }
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_GE(h.BucketHigh(h.NumBuckets() - 1), 100.0);
+}
+
+TEST(ExpHistogramTest, AddRoutesToCoveringBucket) {
+  ExpHistogram h(1e-6, 100.0, 1.5);
+  for (double x : {5e-7, 1e-6, 3.3e-3, 1.0, 50.0, 1e9}) h.Add(x);
+  EXPECT_EQ(h.TotalCount(), 6);
+  EXPECT_EQ(h.BucketCount(0), 1);  // underflow
+  EXPECT_EQ(h.BucketCount(h.NumBuckets() - 1), 1);  // overflow clamp
+  int64_t sum = 0;
+  for (size_t i = 0; i < h.NumBuckets(); ++i) sum += h.BucketCount(i);
+  EXPECT_EQ(sum, h.TotalCount());
+  const size_t ms3 = [&] {
+    for (size_t i = 1; i < h.NumBuckets(); ++i) {
+      if (h.BucketLow(i) <= 3.3e-3 && 3.3e-3 < h.BucketHigh(i)) return i;
+    }
+    return size_t{0};
+  }();
+  EXPECT_GE(h.BucketCount(ms3), 1);
+}
+
+TEST(ExpHistogramTest, PercentileEstimateIsWithinBucketError) {
+  ExpHistogram h;
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) {
+    const double x = 1e-4 * i;  // 0.1 ms .. 100 ms uniform
+    xs.push_back(x);
+    h.Add(x);
+  }
+  const double exact = Percentile(xs, 50.0);
+  const double est = h.Percentile(50.0);
+  // Bucket resolution is a factor of 1.5; the estimate must be within it.
+  EXPECT_GT(est, exact / 1.5);
+  EXPECT_LT(est, exact * 1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), h.stats().min());
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), h.stats().max());
+  EXPECT_DOUBLE_EQ(h.Percentile(200.0), h.stats().max());  // clamped
+}
+
+TEST(ExpHistogramTest, EmptyIsNaN) {
+  ExpHistogram h;
+  EXPECT_TRUE(std::isnan(h.Percentile(50.0)));
+  EXPECT_EQ(h.TotalCount(), 0);
+}
+
+TEST(ExpHistogramTest, MergeAddsCounts) {
+  ExpHistogram a, b;
+  a.Add(0.001);
+  b.Add(0.002);
+  b.Add(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), 3);
+  EXPECT_EQ(a.stats().count(), 3);
+  ExpHistogram empty;
+  a.Merge(empty);  // no-op
+  EXPECT_EQ(a.TotalCount(), 3);
+  ExpHistogram other_geometry(1e-3, 10.0, 2.0);
+  other_geometry.Add(0.5);
+  a.Merge(other_geometry);  // incompatible: ignored
+  EXPECT_EQ(a.TotalCount(), 3);
+}
+
 TEST(BatchStatsTest, MeanOfVector) {
   EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);

@@ -1,0 +1,102 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace pdsp {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterHandlesAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("pdsp.test.tuples");
+  Counter* b = reg.GetCounter("pdsp.test.tuples");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  b->Add(4);
+  EXPECT_EQ(reg.CounterValue("pdsp.test.tuples"), 7);
+  EXPECT_EQ(reg.CounterValue("pdsp.test.absent"), 0);
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("pdsp.test.level");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("pdsp.test.level"), -2.25);
+}
+
+TEST(MetricsRegistryTest, HistogramObservations) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("pdsp.test.latency");
+  h->Observe(0.001);
+  h->Observe(0.010);
+  h->Observe(0.100);
+  const ExpHistogram snap = h->Snapshot();
+  EXPECT_EQ(snap.TotalCount(), 3);
+  EXPECT_DOUBLE_EQ(snap.stats().min(), 0.001);
+  EXPECT_DOUBLE_EQ(snap.stats().max(), 0.100);
+}
+
+TEST(MetricsRegistryTest, NamesAreSortedWithinSections) {
+  MetricsRegistry reg;
+  reg.GetCounter("pdsp.b.x");
+  reg.GetCounter("pdsp.a.x");
+  reg.GetGauge("pdsp.c.x");
+  const std::vector<std::string> names = reg.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "pdsp.a.x");
+  EXPECT_EQ(names[1], "pdsp.b.x");
+  EXPECT_EQ(names[2], "pdsp.c.x");
+}
+
+TEST(MetricsRegistryTest, ToJsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.GetCounter("pdsp.test.count")->Add(42);
+  reg.GetGauge("pdsp.test.rate")->Set(123.5);
+  reg.GetGauge("pdsp.test.nan")->Set(
+      std::numeric_limits<double>::quiet_NaN());
+  reg.GetHistogram("pdsp.test.lat")->Observe(0.005);
+
+  auto parsed = Json::Parse(reg.DumpJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& doc = *parsed;
+  EXPECT_EQ(doc["counters"]["pdsp.test.count"].AsInt(), 42);
+  EXPECT_DOUBLE_EQ(doc["gauges"]["pdsp.test.rate"].AsNumber(), 123.5);
+  // NaN gauges serialize as null, never as invalid JSON.
+  EXPECT_TRUE(doc["gauges"]["pdsp.test.nan"].is_null());
+  const Json& hist = doc["histograms"]["pdsp.test.lat"];
+  EXPECT_EQ(hist["count"].AsInt(), 1);
+  ASSERT_TRUE(hist["buckets"].is_array());
+  ASSERT_EQ(hist["buckets"].size(), 1u);
+  EXPECT_EQ(hist["buckets"].at(0)["count"].AsInt(), 1);
+  EXPECT_LE(hist["buckets"].at(0)["lo"].AsNumber(), 0.005);
+  EXPECT_GT(hist["buckets"].at(0)["hi"].AsNumber(), 0.005);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesDoNotLoseCounts) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("pdsp.test.concurrent");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, c] {
+      for (int i = 0; i < 10000; ++i) {
+        c->Add(1);
+        reg.GetGauge("pdsp.test.g")->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.CounterValue("pdsp.test.concurrent"), 40000);
+}
+
+TEST(MetricNameTest, FollowsConvention) {
+  EXPECT_EQ(MetricName("sim", "sink_tuples"), "pdsp.sim.sink_tuples");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pdsp
