@@ -1,0 +1,59 @@
+#include "src/analysis/analyzer.h"
+
+namespace pdsp {
+namespace analysis {
+
+obs::MetricsRegistry& AnalysisMetrics() {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  return *registry;
+}
+
+const PassRegistry& DefaultPasses() {
+  static const PassRegistry* registry =
+      new PassRegistry(PassRegistry::Default());
+  return *registry;
+}
+
+AnalysisReport AnalyzePlan(const LogicalPlan& plan,
+                           const AnalyzeOptions& options) {
+  // Pass objects are stateless and cheap; a per-call pipeline keeps
+  // disabled_passes a pure call-local concern.
+  PassRegistry registry = PassRegistry::Default();
+  for (const std::string& name : options.disabled_passes) {
+    (void)registry.SetEnabled(name, false);  // unknown names are ignored
+  }
+  const AnalysisContext ctx = AnalysisContext::Make(plan, options.cluster);
+  AnalysisReport raw = registry.RunAll(ctx);
+
+  AnalysisReport report;
+  for (const Diagnostic& d : raw.diagnostics()) {
+    if (d.severity >= options.min_severity) report.Add(d);
+  }
+  report.Finalize();
+
+  if (options.record_metrics) {
+    obs::MetricsRegistry& metrics = AnalysisMetrics();
+    metrics.GetCounter("pdsp.analysis.runs")->Add(1);
+    const int64_t errors = static_cast<int64_t>(report.NumErrors());
+    const int64_t warnings = static_cast<int64_t>(
+        report.CountAtLeast(Severity::kWarning)) - errors;
+    const int64_t infos =
+        static_cast<int64_t>(report.diagnostics().size()) - errors - warnings;
+    if (errors > 0) metrics.GetCounter("pdsp.analysis.errors")->Add(errors);
+    if (warnings > 0) {
+      metrics.GetCounter("pdsp.analysis.warnings")->Add(warnings);
+    }
+    if (infos > 0) metrics.GetCounter("pdsp.analysis.infos")->Add(infos);
+  }
+  return report;
+}
+
+Status CheckPlan(const LogicalPlan& plan, const Cluster* cluster) {
+  AnalyzeOptions options;
+  options.cluster = cluster;
+  options.min_severity = Severity::kError;
+  return AnalyzePlan(plan, options).ToStatus();
+}
+
+}  // namespace analysis
+}  // namespace pdsp

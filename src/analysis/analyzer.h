@@ -1,0 +1,62 @@
+// pdsp::analysis entry points: run the default pass pipeline over a plan
+// (optionally against a cluster model), with per-call pass toggling and a
+// process-wide pdsp.analysis.* metrics registry that counts findings so
+// harness sweeps surface lint volume without log spam.
+//
+// Three call sites use this module (DESIGN.md "Static analysis"):
+//   - PlanBuilder::Build rejects plans with error-severity findings,
+//   - the harness refuses to simulate error-carrying plans unless
+//     RunProtocol::allow_invalid is set,
+//   - `pdspbench analyze <app|structure|all>` prints full reports.
+
+#ifndef PDSP_ANALYSIS_ANALYZER_H_
+#define PDSP_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/analysis/pass.h"
+#include "src/cluster/cluster.h"
+#include "src/obs/metrics.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+namespace analysis {
+
+/// \brief Per-call analyzer configuration.
+struct AnalyzeOptions {
+  /// Hardware model for the feasibility passes; null skips them.
+  const Cluster* cluster = nullptr;
+  /// Findings below this severity are dropped from the report.
+  Severity min_severity = Severity::kInfo;
+  /// Pass names to skip for this call (unknown names are ignored).
+  std::vector<std::string> disabled_passes;
+  /// When false, the run is not counted in AnalysisMetrics().
+  bool record_metrics = true;
+};
+
+/// Runs every (enabled) default pass over the plan. The plan does not need
+/// to be validated: the analyzer re-derives structure and schemas
+/// tolerantly and reports everything it finds, unlike Validate()'s
+/// first-error-only contract.
+AnalysisReport AnalyzePlan(const LogicalPlan& plan,
+                           const AnalyzeOptions& options = {});
+
+/// Error-severity gate used by PlanBuilder::Build and the harness: OK when
+/// the plan carries no error-severity findings, otherwise a
+/// FailedPrecondition listing every error code.
+Status CheckPlan(const LogicalPlan& plan, const Cluster* cluster = nullptr);
+
+/// Process-wide registry behind pdsp.analysis.* counters:
+///   pdsp.analysis.runs, pdsp.analysis.errors, pdsp.analysis.warnings,
+///   pdsp.analysis.infos.
+obs::MetricsRegistry& AnalysisMetrics();
+
+/// The default pass pipeline (name/description listing for the CLI).
+const PassRegistry& DefaultPasses();
+
+}  // namespace analysis
+}  // namespace pdsp
+
+#endif  // PDSP_ANALYSIS_ANALYZER_H_

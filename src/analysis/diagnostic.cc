@@ -1,0 +1,121 @@
+#include "src/analysis/diagnostic.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+namespace analysis {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = StrFormat("%s [%s] %s", code.c_str(),
+                              SeverityToString(severity), pass.c_str());
+  if (!op_name.empty()) {
+    out += " @ " + op_name;
+  }
+  out += ": " + message;
+  if (!hint.empty()) {
+    out += " (fix: " + hint + ")";
+  }
+  return out;
+}
+
+Json Diagnostic::ToJson() const {
+  Json j = Json::Object();
+  j.Set("severity", Json::Str(SeverityToString(severity)));
+  j.Set("code", Json::Str(code));
+  j.Set("pass", Json::Str(pass));
+  j.Set("op", Json::Int(op));
+  j.Set("op_name", Json::Str(op_name));
+  j.Set("message", Json::Str(message));
+  j.Set("hint", Json::Str(hint));
+  return j;
+}
+
+void AnalysisReport::Add(Diagnostic diag) {
+  diagnostics_.push_back(std::move(diag));
+}
+
+void AnalysisReport::Finalize() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) {
+                       return a.severity > b.severity;
+                     }
+                     if (a.op != b.op) return a.op < b.op;
+                     return a.code < b.code;
+                   });
+}
+
+size_t AnalysisReport::CountAtLeast(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= severity) ++n;
+  }
+  return n;
+}
+
+bool AnalysisReport::HasCode(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string AnalysisReport::ToString() const {
+  if (diagnostics_.empty()) return "no diagnostics\n";
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString();
+    out += '\n';
+  }
+  const size_t errors = NumErrors();
+  const size_t warnings = CountAtLeast(Severity::kWarning) - errors;
+  const size_t infos = diagnostics_.size() - errors - warnings;
+  out += StrFormat("%zu error%s, %zu warning%s, %zu info\n", errors,
+                   errors == 1 ? "" : "s", warnings,
+                   warnings == 1 ? "" : "s", infos);
+  return out;
+}
+
+Json AnalysisReport::ToJson() const {
+  Json arr = Json::Array();
+  for (const Diagnostic& d : diagnostics_) arr.Append(d.ToJson());
+  const size_t errors = NumErrors();
+  const size_t warnings = CountAtLeast(Severity::kWarning) - errors;
+  Json j = Json::Object();
+  j.Set("diagnostics", std::move(arr));
+  j.Set("errors", Json::Int(static_cast<int64_t>(errors)));
+  j.Set("warnings", Json::Int(static_cast<int64_t>(warnings)));
+  j.Set("infos", Json::Int(static_cast<int64_t>(diagnostics_.size() -
+                                                errors - warnings)));
+  return j;
+}
+
+Status AnalysisReport::ToStatus() const {
+  if (!HasErrors()) return Status::OK();
+  std::string msg = "plan analysis failed:";
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != Severity::kError) continue;
+    msg += " [" + d.code + "] ";
+    if (!d.op_name.empty()) msg += d.op_name + ": ";
+    msg += d.message + ";";
+  }
+  if (!msg.empty() && msg.back() == ';') msg.pop_back();
+  return Status::FailedPrecondition(std::move(msg));
+}
+
+}  // namespace analysis
+}  // namespace pdsp

@@ -1,0 +1,85 @@
+// pdsp::analysis diagnostics: the structured finding type every lint pass
+// emits, and the report that aggregates them. Each diagnostic carries a
+// stable machine-readable code (PDSP-E301, PDSP-W701, ...), a severity, the
+// offending operator and a fix hint, so CI, the CLI and tests can key on
+// codes instead of message text. See DESIGN.md "Static analysis" for the
+// full code table.
+
+#ifndef PDSP_ANALYSIS_DIAGNOSTIC_H_
+#define PDSP_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace analysis {
+
+/// Severity ladder. kError means the plan must not be simulated (results
+/// would be meaningless); kWarning means the plan is runnable but likely
+/// wastes resources or measures something other than intended.
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* SeverityToString(Severity severity);
+
+/// \brief One finding of one pass against one plan.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  /// Stable code: "PDSP-" + severity letter + 3 digits, e.g. "PDSP-E301".
+  /// The hundreds digit identifies the pass; codes never change meaning.
+  std::string code;
+  /// Registry name of the pass that produced this ("join-key-types", ...).
+  std::string pass;
+  /// Offending operator id, or -1 for plan-level findings.
+  int op = -1;
+  /// Offending operator name ("" for plan-level findings).
+  std::string op_name;
+  /// What is wrong.
+  std::string message;
+  /// How to fix it ("" when no concrete suggestion applies).
+  std::string hint;
+
+  /// "PDSP-E301 [error] join-key-types @ join: ... (fix: ...)".
+  std::string ToString() const;
+  Json ToJson() const;
+};
+
+/// \brief All findings of one analyzer run, ordered by (severity desc,
+/// operator id, code) for stable output.
+class AnalysisReport {
+ public:
+  void Add(Diagnostic diag);
+  /// Sorts diagnostics into the canonical order (idempotent).
+  void Finalize();
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  size_t CountAtLeast(Severity severity) const;
+  size_t NumErrors() const { return CountAtLeast(Severity::kError); }
+  bool HasErrors() const { return NumErrors() > 0; }
+
+  /// True if any diagnostic carries the given code.
+  bool HasCode(const std::string& code) const;
+
+  /// One line per diagnostic plus a summary line; "no diagnostics" when
+  /// clean. Shared by the CLI's human output and the golden tests.
+  std::string ToString() const;
+
+  /// {"diagnostics": [...], "errors": N, "warnings": N, "infos": N}.
+  Json ToJson() const;
+
+  /// OK when error-free; otherwise FailedPrecondition listing every
+  /// error-severity code and message.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace analysis
+}  // namespace pdsp
+
+#endif  // PDSP_ANALYSIS_DIAGNOSTIC_H_

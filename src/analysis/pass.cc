@@ -1,0 +1,205 @@
+#include "src/analysis/pass.h"
+
+#include <queue>
+
+namespace pdsp {
+namespace analysis {
+
+namespace {
+
+// Tolerant schema derivation: mirrors LogicalPlan::DeriveSchemas but marks
+// underivable schemas unknown instead of aborting, so downstream passes can
+// still check everything that *is* derivable.
+void DeriveSchemasTolerant(AnalysisContext* ctx) {
+  const LogicalPlan& plan = *ctx->plan;
+  const size_t n = plan.NumOperators();
+  ctx->schemas.assign(n, Schema());
+  ctx->schema_known.assign(n, false);
+  for (const LogicalPlan::OpId id : ctx->topo) {
+    const OperatorDescriptor& op = plan.op(id);
+    const std::vector<LogicalPlan::OpId>& in = ctx->inputs[id];
+    auto known = [&](size_t port) {
+      return in.size() > port && ctx->schema_known[in[port]];
+    };
+    switch (op.type) {
+      case OperatorType::kSource:
+        if (op.source_index >= 0 &&
+            op.source_index < static_cast<int>(plan.sources().size())) {
+          ctx->schemas[id] =
+              plan.sources()[op.source_index].stream.schema;
+          ctx->schema_known[id] = true;
+        }
+        break;
+      case OperatorType::kFilter:
+      case OperatorType::kMap:
+      case OperatorType::kFlatMap:
+      case OperatorType::kSink:
+        if (known(0)) {
+          ctx->schemas[id] = ctx->schemas[in[0]];
+          ctx->schema_known[id] = true;
+        }
+        break;
+      case OperatorType::kUdo:
+        if (!op.udo_output_fields.empty()) {
+          ctx->schemas[id] = Schema(op.udo_output_fields);
+          ctx->schema_known[id] = true;
+        } else if (known(0)) {
+          ctx->schemas[id] = ctx->schemas[in[0]];
+          ctx->schema_known[id] = true;
+        }
+        break;
+      case OperatorType::kWindowAggregate: {
+        if (!known(0)) break;
+        const Schema& s = ctx->schemas[in[0]];
+        if (op.agg_field >= s.NumFields()) break;
+        Schema out;
+        if (op.key_field != OperatorDescriptor::kNoKey) {
+          if (op.key_field >= s.NumFields()) break;
+          (void)out.AddField({"key", s.field(op.key_field).type});
+        }
+        (void)out.AddField({"agg", DataType::kDouble});
+        ctx->schemas[id] = std::move(out);
+        ctx->schema_known[id] = true;
+        break;
+      }
+      case OperatorType::kWindowJoin: {
+        if (!known(0) || !known(1)) break;
+        const Schema& l = ctx->schemas[in[0]];
+        const Schema& r = ctx->schemas[in[1]];
+        Schema out;
+        for (size_t i = 0; i < l.NumFields(); ++i) {
+          (void)out.AddField({"l_" + l.field(i).name, l.field(i).type});
+        }
+        for (size_t i = 0; i < r.NumFields(); ++i) {
+          (void)out.AddField({"r_" + r.field(i).name, r.field(i).type});
+        }
+        ctx->schemas[id] = std::move(out);
+        ctx->schema_known[id] = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisContext AnalysisContext::Make(const LogicalPlan& plan,
+                                      const Cluster* cluster) {
+  AnalysisContext ctx;
+  ctx.plan = &plan;
+  ctx.cluster = cluster;
+
+  const size_t n = plan.NumOperators();
+  ctx.inputs.assign(n, {});
+  ctx.outputs.assign(n, {});
+  for (const auto& [f, t] : plan.edges()) {
+    if (f < 0 || t < 0 || static_cast<size_t>(f) >= n ||
+        static_cast<size_t>(t) >= n) {
+      continue;  // LogicalPlan::Connect prevents this; stay defensive.
+    }
+    ctx.outputs[f].push_back(t);
+    ctx.inputs[t].push_back(f);
+  }
+
+  // Kahn's algorithm; a cycle leaves topo short and acyclic false.
+  std::vector<int> in_degree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    in_degree[i] = static_cast<int>(ctx.inputs[i].size());
+  }
+  std::queue<LogicalPlan::OpId> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) ready.push(static_cast<LogicalPlan::OpId>(i));
+  }
+  while (!ready.empty()) {
+    const LogicalPlan::OpId id = ready.front();
+    ready.pop();
+    ctx.topo.push_back(id);
+    for (const LogicalPlan::OpId down : ctx.outputs[id]) {
+      if (--in_degree[down] == 0) ready.push(down);
+    }
+  }
+  ctx.acyclic = ctx.topo.size() == n;
+  if (!ctx.acyclic) ctx.topo.clear();
+
+  DeriveSchemasTolerant(&ctx);
+  return ctx;
+}
+
+Diagnostic AnalysisPass::MakeDiag(Severity severity, std::string code,
+                                  const AnalysisContext& ctx,
+                                  LogicalPlan::OpId op, std::string message,
+                                  std::string hint) const {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.pass = name();
+  d.op = op;
+  if (op >= 0 && static_cast<size_t>(op) < ctx.NumOps()) {
+    d.op_name = ctx.op(op).name;
+  }
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+Status PassRegistry::Register(std::unique_ptr<AnalysisPass> pass) {
+  if (pass == nullptr) return Status::InvalidArgument("null pass");
+  if (Has(pass->name())) {
+    return Status::AlreadyExists(std::string("duplicate pass '") +
+                                 pass->name() + "'");
+  }
+  passes_.push_back({std::move(pass), true});
+  return Status::OK();
+}
+
+Status PassRegistry::SetEnabled(const std::string& name, bool enabled) {
+  for (Entry& e : passes_) {
+    if (e.pass->name() == name) {
+      e.enabled = enabled;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no pass named '" + name + "'");
+}
+
+bool PassRegistry::IsEnabled(const std::string& name) const {
+  for (const Entry& e : passes_) {
+    if (e.pass->name() == name) return e.enabled;
+  }
+  return false;
+}
+
+bool PassRegistry::Has(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::vector<std::string> PassRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const Entry& e : passes_) names.emplace_back(e.pass->name());
+  return names;
+}
+
+const AnalysisPass* PassRegistry::Find(const std::string& name) const {
+  for (const Entry& e : passes_) {
+    if (e.pass->name() == name) return e.pass.get();
+  }
+  return nullptr;
+}
+
+AnalysisReport PassRegistry::RunAll(const AnalysisContext& ctx) const {
+  AnalysisReport report;
+  std::vector<Diagnostic> found;
+  for (const Entry& e : passes_) {
+    if (!e.enabled) continue;
+    if (e.pass->needs_cluster() && ctx.cluster == nullptr) continue;
+    found.clear();
+    e.pass->Run(ctx, &found);
+    for (Diagnostic& d : found) report.Add(std::move(d));
+  }
+  report.Finalize();
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace pdsp

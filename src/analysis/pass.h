@@ -1,0 +1,128 @@
+// Pass infrastructure for the static plan analyzer: the shared
+// AnalysisContext every pass reads (tolerantly derived schemas, adjacency,
+// topological order, optional cluster), the AnalysisPass interface, and the
+// PassRegistry that owns an ordered, individually toggleable pass pipeline.
+//
+// Passes never mutate the plan and must tolerate *structurally broken*
+// plans (cycles, dangling operators, out-of-range field references): unlike
+// LogicalPlan::Validate(), which stops at the first problem, the analyzer
+// exists to report everything wrong with a plan in one shot.
+
+#ifndef PDSP_ANALYSIS_PASS_H_
+#define PDSP_ANALYSIS_PASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/cluster/cluster.h"
+#include "src/data/value.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+namespace analysis {
+
+/// \brief Everything a pass may inspect, precomputed once per analyzer run.
+///
+/// Schemas are derived tolerantly: when an operator's schema cannot be
+/// computed (missing input, field out of range, upstream unknown), it is
+/// marked unknown and derivation continues downstream. Passes must check
+/// SchemaKnown() before reading a schema.
+struct AnalysisContext {
+  const LogicalPlan* plan = nullptr;
+  /// Optional hardware model; passes with needs_cluster() only run when set.
+  const Cluster* cluster = nullptr;
+
+  /// Adjacency by operator id (same order as edge insertion).
+  std::vector<std::vector<LogicalPlan::OpId>> inputs;
+  std::vector<std::vector<LogicalPlan::OpId>> outputs;
+
+  /// Topological order of the operator DAG; empty when the plan is cyclic.
+  std::vector<LogicalPlan::OpId> topo;
+  bool acyclic = false;
+
+  /// Best-effort per-operator output schemas (parallel to plan ops).
+  std::vector<Schema> schemas;
+  std::vector<bool> schema_known;
+
+  /// Builds the context (never fails; broken structure yields empty topo /
+  /// unknown schemas, which the structural passes then diagnose).
+  static AnalysisContext Make(const LogicalPlan& plan,
+                              const Cluster* cluster = nullptr);
+
+  size_t NumOps() const { return plan->NumOperators(); }
+  const OperatorDescriptor& op(LogicalPlan::OpId id) const {
+    return plan->op(id);
+  }
+  bool SchemaKnown(LogicalPlan::OpId id) const {
+    return id >= 0 && static_cast<size_t>(id) < schema_known.size() &&
+           schema_known[id];
+  }
+  const Schema& schema(LogicalPlan::OpId id) const { return schemas.at(id); }
+};
+
+/// \brief One composable lint check. Implementations are stateless; Run()
+/// appends any findings to `out`.
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  /// Stable registry name, kebab-case ("window-legality").
+  virtual const char* name() const = 0;
+  /// One-line human description for `pdspbench analyze --list-passes`.
+  virtual const char* description() const = 0;
+  /// Passes that reason about hardware only run when a cluster is supplied.
+  virtual bool needs_cluster() const { return false; }
+
+  virtual void Run(const AnalysisContext& ctx,
+                   std::vector<Diagnostic>* out) const = 0;
+
+ protected:
+  /// Convenience constructor for findings of this pass.
+  Diagnostic MakeDiag(Severity severity, std::string code,
+                      const AnalysisContext& ctx, LogicalPlan::OpId op,
+                      std::string message, std::string hint = "") const;
+};
+
+/// \brief Ordered, owning collection of passes with per-pass enable bits.
+class PassRegistry {
+ public:
+  PassRegistry() = default;
+  PassRegistry(PassRegistry&&) = default;
+  PassRegistry& operator=(PassRegistry&&) = default;
+
+  /// Registry preloaded with every built-in pass (see passes.cc).
+  static PassRegistry Default();
+
+  /// Appends a pass (enabled). Duplicate names are rejected.
+  Status Register(std::unique_ptr<AnalysisPass> pass);
+
+  /// Enables/disables a pass by name; NotFound for unknown names.
+  Status SetEnabled(const std::string& name, bool enabled);
+  bool IsEnabled(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// Registered pass names in registration order.
+  std::vector<std::string> Names() const;
+  /// Pointer to a registered pass (nullptr if unknown).
+  const AnalysisPass* Find(const std::string& name) const;
+
+  size_t NumPasses() const { return passes_.size(); }
+
+  /// Runs every enabled pass (cluster passes only when ctx.cluster is set)
+  /// and returns the finalized report.
+  AnalysisReport RunAll(const AnalysisContext& ctx) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<AnalysisPass> pass;
+    bool enabled = true;
+  };
+  std::vector<Entry> passes_;
+};
+
+}  // namespace analysis
+}  // namespace pdsp
+
+#endif  // PDSP_ANALYSIS_PASS_H_

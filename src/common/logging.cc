@@ -7,7 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace pdsp {
 
@@ -47,8 +48,8 @@ std::atomic<LogLevel>& GlobalLevel() {
   return level;
 }
 
-std::mutex& LogMutex() {
-  static std::mutex mu;
+Mutex& LogMutex() PDSP_RETURN_CAPABILITY(mu) {
+  static Mutex mu;
   return mu;
 }
 
@@ -103,7 +104,7 @@ void LogMessage(LogLevel level, const char* file, int line,
   out += msg;
   out += '\n';
 
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::fwrite(out.data(), 1, out.size(), stderr);
 }
 

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/analysis/analyzer.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/obs/artifacts.h"
@@ -23,6 +24,21 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
                                const Cluster& cluster,
                                const RunProtocol& protocol) {
   if (protocol.repeats < 1) return Status::InvalidArgument("repeats < 1");
+
+  // Static-analysis gate: never burn simulation time on a plan whose
+  // results would be meaningless. Warning-only reports are recorded in the
+  // pdsp.analysis.* counters; one debug line keeps sweeps quiet.
+  const analysis::AnalysisReport report = analysis::AnalyzePlan(plan);
+  if (report.HasErrors()) {
+    if (!protocol.allow_invalid) return report.ToStatus();
+    PDSP_LOG(Warn) << "simulating plan with " << report.NumErrors()
+                   << " analysis error(s) (allow_invalid set)";
+  } else if (!report.empty()) {
+    PDSP_LOG(Debug) << "plan analysis: "
+                    << report.CountAtLeast(analysis::Severity::kWarning)
+                    << " warning(s)";
+  }
+
   CellResult cell;
   int usable = 0;
   for (int r = 0; r < protocol.repeats; ++r) {

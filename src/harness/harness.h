@@ -47,6 +47,12 @@ struct RunProtocol {
   uint64_t seed = 2024;
   PlacementKind placement = PlacementKind::kLeastLoaded;
   ObsOptions obs;
+  /// Simulate even when static analysis (pdsp::analysis) finds
+  /// error-severity diagnostics. By default such plans are refused with
+  /// FailedPrecondition: a malformed plan that silently simulates corrupts
+  /// a whole sweep. Warnings never block; they are counted in the
+  /// pdsp.analysis.* metrics and logged at debug level.
+  bool allow_invalid = false;
 };
 
 /// \brief One measured experiment cell.

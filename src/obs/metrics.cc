@@ -6,14 +6,14 @@ namespace pdsp {
 namespace obs {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -21,26 +21,26 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
                                                ExpHistogram hist) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<HistogramMetric>(std::move(hist));
   return slot.get();
 }
 
 int64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it != counters_.end() ? it->second->value() : 0;
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it != gauges_.end() ? it->second->value() : 0.0;
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, _] : counters_) names.push_back(name);
@@ -59,7 +59,7 @@ Json FiniteNumber(double v) {
 }  // namespace
 
 Json MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Json counters = Json::Object();
   for (const auto& [name, c] : counters_) {
     counters.Set(name, Json::Int(c->value()));

@@ -11,12 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/store/json.h"
 
 namespace pdsp {
@@ -53,19 +53,19 @@ class HistogramMetric {
       : hist_(std::move(hist)) {}
 
   void Observe(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.Add(v);
   }
 
   /// Snapshot copy for querying without holding the lock.
   ExpHistogram Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_;
   }
 
  private:
-  mutable std::mutex mu_;
-  ExpHistogram hist_;
+  mutable Mutex mu_;
+  ExpHistogram hist_ PDSP_GUARDED_BY(mu_);
 };
 
 /// \brief Named metric registry. Get* registers on first use and returns a
@@ -98,10 +98,13 @@ class MetricsRegistry {
   std::string DumpJson() const { return ToJson().Dump(2); }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PDSP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PDSP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      PDSP_GUARDED_BY(mu_);
 };
 
 /// Canonical metric name: "pdsp.<module>.<name>".

@@ -17,7 +17,7 @@ double NowMicros() {
 }  // namespace
 
 void Tracer::Push(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (events_.size() >= max_events_) {
     ++dropped_;
     return;
@@ -76,17 +76,17 @@ void Tracer::SetThreadName(int pid, int tid, std::string name) {
 }
 
 size_t Tracer::NumEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 int64_t Tracer::DroppedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 Json Tracer::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Json events = Json::Array();
   for (const TraceEvent& e : events_) {
     Json doc = Json::Object();

@@ -11,12 +11,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/store/json.h"
 
 namespace pdsp {
@@ -82,10 +82,10 @@ class Tracer {
  private:
   void Push(TraceEvent event);
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ PDSP_GUARDED_BY(mu_);
   size_t max_events_;
-  int64_t dropped_ = 0;
+  int64_t dropped_ PDSP_GUARDED_BY(mu_) = 0;
   bool verbose_ = false;
 };
 

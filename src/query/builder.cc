@@ -1,5 +1,7 @@
 #include "src/query/builder.h"
 
+#include "src/analysis/analyzer.h"
+
 namespace pdsp {
 
 PlanBuilder::OpId PlanBuilder::Add(OperatorDescriptor op,
@@ -166,9 +168,17 @@ PlanBuilder& PlanBuilder::ConnectExtra(OpId from, OpId to) {
   return *this;
 }
 
+PlanBuilder& PlanBuilder::SkipAnalysis() {
+  analyze_ = false;
+  return *this;
+}
+
 Result<LogicalPlan> PlanBuilder::Build() {
   PDSP_RETURN_NOT_OK(status_);
   PDSP_RETURN_NOT_OK(plan_.Validate());
+  if (analyze_) {
+    PDSP_RETURN_NOT_OK(analysis::CheckPlan(plan_));
+  }
   return std::move(plan_);
 }
 

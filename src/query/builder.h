@@ -81,7 +81,15 @@ class PlanBuilder {
   /// Connects an extra edge (for joins built operator-first).
   PlanBuilder& ConnectExtra(OpId from, OpId to);
 
-  /// Validates and returns the plan (or the first latched error).
+  /// Skips the static-analysis gate in Build(): the plan is still
+  /// structurally validated, but error-severity lint findings (bad window
+  /// specs, join key type mismatches, ...) no longer reject it. For tests
+  /// and tools that deliberately build broken plans.
+  PlanBuilder& SkipAnalysis();
+
+  /// Validates the plan, runs the error-severity analysis passes
+  /// (pdsp::analysis; disable with SkipAnalysis) and returns the plan or
+  /// the first latched error / analysis failure.
   Result<LogicalPlan> Build();
 
   /// First latched error (OK if none so far).
@@ -92,6 +100,7 @@ class PlanBuilder {
 
   LogicalPlan plan_;
   Status status_ = Status::OK();
+  bool analyze_ = true;
 };
 
 }  // namespace pdsp

@@ -278,7 +278,22 @@ Status LogicalPlan::DeriveSchemas() {
       }
       case OperatorType::kMap:
       case OperatorType::kFlatMap:
+        out_schemas_[id] = out_schemas_[in[0]];
+        break;
       case OperatorType::kSink:
+        // A multi-input sink merges streams; silently adopting the first
+        // input's schema would hide a mismatched union.
+        for (size_t k = 1; k < in.size(); ++k) {
+          if (!(out_schemas_[in[k]] == out_schemas_[in[0]])) {
+            return Status::InvalidArgument(StrFormat(
+                "%s: sink inputs '%s' (%s) and '%s' (%s) have different "
+                "schemas",
+                op.name.c_str(), ops_[in[0]].name.c_str(),
+                out_schemas_[in[0]].ToString().c_str(),
+                ops_[in[k]].name.c_str(),
+                out_schemas_[in[k]].ToString().c_str()));
+          }
+        }
         out_schemas_[id] = out_schemas_[in[0]];
         break;
       case OperatorType::kUdo:
@@ -334,6 +349,21 @@ Status LogicalPlan::DeriveSchemas() {
 
 Status LogicalPlan::Validate() {
   if (ops_.empty()) return Status::InvalidArgument("empty plan");
+
+  // mutable_op() may have renamed operators since the last validation;
+  // rebuild the name index so FindOperator stays consistent and renames
+  // cannot silently introduce duplicates.
+  by_name_.clear();
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("operator #%zu has an empty name", i));
+    }
+    if (!by_name_.emplace(ops_[i].name, static_cast<OpId>(i)).second) {
+      return Status::AlreadyExists("duplicate operator name '" +
+                                   ops_[i].name + "'");
+    }
+  }
 
   // Arity, parallelism and per-type structural checks.
   int sink_count = 0;
@@ -432,8 +462,11 @@ int LogicalPlan::Depth() const {
   int best = ops_.empty() ? 0 : 1;
   // Works on any acyclic plan; ordering by insertion is insufficient, so use
   // a simple longest-path DP over a locally computed topological order.
+  // Connect() can grow edges_ without changing ops_.size(), so a cached
+  // topo_ of matching length may still be stale — trust it only on a
+  // validated plan.
   LogicalPlan* self = const_cast<LogicalPlan*>(this);
-  if (topo_.size() != ops_.size()) {
+  if (!validated_ || topo_.size() != ops_.size()) {
     if (!self->ComputeTopologicalOrder().ok()) return 0;
   }
   for (const OpId id : topo_) {

@@ -171,7 +171,12 @@ class LogicalPlan {
   /// have no inputs and sinks no outputs, filter/map/agg/udo arity 1, join
   /// arity 2, every operator reachable, parallelism >= 1, keyed operators
   /// hash-partitioned, source_index in range, field indices within the
-  /// upstream schema. Also derives per-operator output schemas.
+  /// upstream schema, multi-input sink schemas agree. Also rebuilds the
+  /// name index (mutable_op may have renamed operators) and derives
+  /// per-operator output schemas. Safe to call repeatedly.
+  ///
+  /// Validate() stops at the first problem; for an exhaustive, structured
+  /// report (including warnings) run pdsp::analysis::AnalyzePlan.
   Status Validate();
 
   bool validated() const { return validated_; }

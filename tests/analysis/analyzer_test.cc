@@ -1,0 +1,212 @@
+#include "src/analysis/analyzer.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/query/builder.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace analysis {
+namespace {
+
+using pdsp::testing::KeyValueStream;
+using pdsp::testing::LinearPlan;
+using pdsp::testing::PoissonArrival;
+
+AnalyzeOptions Quiet() {
+  AnalyzeOptions options;
+  options.record_metrics = false;
+  return options;
+}
+
+// src -> sliding agg with slide == size: exactly one warning (PDSP-W205),
+// stable across runs — the golden-output fixture.
+LogicalPlan DegenerateSlidePlan() {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(100.0));
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.slide_ratio = 1.0;
+  auto agg = b.WindowAggregate("agg", src, w, AggregateFn::kSum, 1, 0);
+  b.Sink("sink", agg);
+  b.SkipAnalysis();
+  auto plan = b.Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *std::move(plan);
+}
+
+TEST(AnalyzerTest, CleanPlanYieldsNoDiagnostics) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(100.0));
+  b.Sink("sink", src);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const AnalysisReport report = AnalyzePlan(*plan, Quiet());
+  EXPECT_TRUE(report.empty()) << report.ToString();
+  EXPECT_TRUE(CheckPlan(*plan).ok());
+}
+
+TEST(AnalyzerTest, GoldenReportText) {
+  const AnalysisReport report = AnalyzePlan(DegenerateSlidePlan(), Quiet());
+  EXPECT_EQ(report.ToString(),
+            "PDSP-W205 [warn] window-legality @ agg: sliding window with "
+            "slide == size behaves like a tumbling window (fix: declare the "
+            "window tumbling to avoid sliding-path overhead)\n"
+            "0 errors, 1 warning, 0 info\n");
+}
+
+TEST(AnalyzerTest, MinSeverityFiltersWarnings) {
+  AnalyzeOptions options = Quiet();
+  options.min_severity = Severity::kError;
+  const AnalysisReport report = AnalyzePlan(DegenerateSlidePlan(), options);
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(AnalyzerTest, DisabledPassIsSkipped) {
+  AnalyzeOptions options = Quiet();
+  options.disabled_passes = {"window-legality"};
+  const AnalysisReport report = AnalyzePlan(DegenerateSlidePlan(), options);
+  EXPECT_FALSE(report.HasCode("PDSP-W205")) << report.ToString();
+}
+
+TEST(AnalyzerTest, UnknownDisabledPassIsIgnored) {
+  AnalyzeOptions options = Quiet();
+  options.disabled_passes = {"no-such-pass"};
+  const AnalysisReport report = AnalyzePlan(DegenerateSlidePlan(), options);
+  EXPECT_TRUE(report.HasCode("PDSP-W205")) << report.ToString();
+}
+
+TEST(AnalyzerTest, MetricsCountRunsAndFindings) {
+  obs::MetricsRegistry& metrics = AnalysisMetrics();
+  const int64_t runs0 = metrics.CounterValue("pdsp.analysis.runs");
+  const int64_t warns0 = metrics.CounterValue("pdsp.analysis.warnings");
+  (void)AnalyzePlan(DegenerateSlidePlan());  // metrics on by default
+  EXPECT_EQ(metrics.CounterValue("pdsp.analysis.runs"), runs0 + 1);
+  EXPECT_EQ(metrics.CounterValue("pdsp.analysis.warnings"), warns0 + 1);
+}
+
+TEST(AnalyzerTest, RecordMetricsFalseLeavesCountersAlone) {
+  obs::MetricsRegistry& metrics = AnalysisMetrics();
+  const int64_t runs0 = metrics.CounterValue("pdsp.analysis.runs");
+  (void)AnalyzePlan(DegenerateSlidePlan(), Quiet());
+  EXPECT_EQ(metrics.CounterValue("pdsp.analysis.runs"), runs0);
+}
+
+TEST(AnalyzerTest, DefaultPassesListsAllTen) {
+  const PassRegistry& registry = DefaultPasses();
+  EXPECT_EQ(registry.NumPasses(), 10u);
+  for (const char* name :
+       {"dead-operator", "window-legality", "join-key-types", "field-refs",
+        "filter-literal", "selectivity-range", "repartition", "udo-checks",
+        "parallelism-feasibility", "sink-io"}) {
+    EXPECT_TRUE(registry.Has(name)) << name;
+    const AnalysisPass* pass = registry.Find(name);
+    ASSERT_NE(pass, nullptr) << name;
+    EXPECT_STRNE(pass->description(), "") << name;
+  }
+}
+
+class StubPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "stub-pass"; }
+  const char* description() const override { return "does nothing"; }
+  void Run(const AnalysisContext&, std::vector<Diagnostic>*) const override {}
+};
+
+TEST(PassRegistryTest, DuplicateRegistrationRejected) {
+  PassRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<StubPass>()).ok());
+  EXPECT_FALSE(registry.Register(std::make_unique<StubPass>()).ok());
+  EXPECT_EQ(registry.NumPasses(), 1u);
+}
+
+TEST(PassRegistryTest, EnableDisableRoundTrip) {
+  PassRegistry registry = PassRegistry::Default();
+  auto names = registry.Names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_TRUE(registry.Has(names[0]));
+  EXPECT_TRUE(registry.SetEnabled(names[0], false).ok());
+  EXPECT_FALSE(registry.IsEnabled(names[0]));
+  EXPECT_TRUE(registry.SetEnabled(names[0], true).ok());
+  EXPECT_TRUE(registry.IsEnabled(names[0]));
+}
+
+TEST(PassRegistryTest, SetEnabledUnknownPassIsNotFound) {
+  PassRegistry registry = PassRegistry::Default();
+  EXPECT_TRUE(registry.SetEnabled("no-such-pass", false).IsNotFound());
+  EXPECT_FALSE(registry.Has("no-such-pass"));
+  EXPECT_EQ(registry.Find("no-such-pass"), nullptr);
+}
+
+TEST(PassRegistryTest, DisabledPassSkippedByRunAll) {
+  const LogicalPlan plan = DegenerateSlidePlan();
+  PassRegistry registry = PassRegistry::Default();
+  ASSERT_TRUE(registry.SetEnabled("window-legality", false).ok());
+  const AnalysisContext ctx = AnalysisContext::Make(plan);
+  const AnalysisReport report = registry.RunAll(ctx);
+  EXPECT_FALSE(report.HasCode("PDSP-W205")) << report.ToString();
+}
+
+TEST(AnalysisContextTest, BrokenPlanStillBuildsContext) {
+  LogicalPlan plan;  // cyclic, no sink, no sources
+  OperatorDescriptor a;
+  a.type = OperatorType::kMap;
+  a.name = "a";
+  OperatorDescriptor c;
+  c.type = OperatorType::kMap;
+  c.name = "c";
+  auto ia = plan.AddOperator(a);
+  auto ic = plan.AddOperator(c);
+  ASSERT_TRUE(ia.ok() && ic.ok());
+  ASSERT_TRUE(plan.Connect(*ia, *ic).ok());
+  ASSERT_TRUE(plan.Connect(*ic, *ia).ok());
+  const AnalysisContext ctx = AnalysisContext::Make(plan);
+  EXPECT_FALSE(ctx.acyclic);
+  EXPECT_TRUE(ctx.topo.empty());
+  EXPECT_FALSE(ctx.SchemaKnown(*ia));
+  EXPECT_FALSE(ctx.SchemaKnown(*ic));
+  // And the analyzer still produces a structured report, not a crash.
+  const AnalysisReport report = AnalyzePlan(plan, Quiet());
+  EXPECT_TRUE(report.HasCode("PDSP-E101")) << report.ToString();
+}
+
+TEST(PlanBuilderGateTest, BuildRejectsErrorCarryingPlan) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(100.0));
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.slide_ratio = 2.0;  // slide > size: PDSP-E203
+  auto agg = b.WindowAggregate("agg", src, w, AggregateFn::kSum, 1, 0);
+  b.Sink("sink", agg);
+  auto plan = b.Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsFailedPrecondition())
+      << plan.status().ToString();
+  EXPECT_NE(plan.status().message().find("PDSP-E203"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST(PlanBuilderGateTest, SkipAnalysisBypassesGateButNotValidation) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(100.0));
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.slide_ratio = 2.0;
+  auto agg = b.WindowAggregate("agg", src, w, AggregateFn::kSum, 1, 0);
+  b.Sink("sink", agg);
+  b.SkipAnalysis();
+  auto plan = b.Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+
+  PlanBuilder broken;
+  auto s2 = broken.Source("src", KeyValueStream(), PoissonArrival(100.0));
+  broken.Map("m", s2);  // dangling: structural validation still applies
+  broken.SkipAnalysis();
+  EXPECT_FALSE(broken.Build().ok());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pdsp

@@ -1,0 +1,129 @@
+#include "src/analysis/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+namespace pdsp {
+namespace analysis {
+namespace {
+
+Diagnostic MakeDiag(Severity severity, const std::string& code, int op,
+                    const std::string& message, const std::string& hint = "") {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = code;
+  d.pass = "test-pass";
+  d.op = op;
+  d.op_name = op >= 0 ? "op" + std::to_string(op) : "";
+  d.message = message;
+  d.hint = hint;
+  return d;
+}
+
+TEST(DiagnosticTest, SeverityNames) {
+  EXPECT_STREQ(SeverityToString(Severity::kInfo), "info");
+  EXPECT_STREQ(SeverityToString(Severity::kWarning), "warn");
+  EXPECT_STREQ(SeverityToString(Severity::kError), "error");
+}
+
+TEST(DiagnosticTest, ToStringCarriesCodeSeverityPassOpAndHint) {
+  Diagnostic d = MakeDiag(Severity::kError, "PDSP-E301", 3, "keys disagree",
+                          "align the key types");
+  const std::string s = d.ToString();
+  EXPECT_NE(s.find("PDSP-E301"), std::string::npos) << s;
+  EXPECT_NE(s.find("[error]"), std::string::npos) << s;
+  EXPECT_NE(s.find("test-pass"), std::string::npos) << s;
+  EXPECT_NE(s.find("op3"), std::string::npos) << s;
+  EXPECT_NE(s.find("keys disagree"), std::string::npos) << s;
+  EXPECT_NE(s.find("fix: align the key types"), std::string::npos) << s;
+}
+
+TEST(DiagnosticTest, PlanLevelDiagnosticOmitsOperator) {
+  Diagnostic d = MakeDiag(Severity::kWarning, "PDSP-W902", -1, "oversubscribed");
+  const std::string s = d.ToString();
+  EXPECT_EQ(s.find('@'), std::string::npos) << s;
+  EXPECT_EQ(s.find("fix:"), std::string::npos) << s;
+}
+
+TEST(DiagnosticTest, ToJsonFields) {
+  Diagnostic d = MakeDiag(Severity::kInfo, "PDSP-I903", 2, "hello", "do x");
+  const std::string json = d.ToJson().Dump();
+  EXPECT_NE(json.find("\"PDSP-I903\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"info\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"do x\""), std::string::npos) << json;
+}
+
+TEST(AnalysisReportTest, EmptyReport) {
+  AnalysisReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.HasErrors());
+  EXPECT_EQ(report.NumErrors(), 0u);
+  EXPECT_EQ(report.ToString(), "no diagnostics\n");
+  EXPECT_TRUE(report.ToStatus().ok());
+}
+
+TEST(AnalysisReportTest, FinalizeSortsBySeverityThenOpThenCode) {
+  AnalysisReport report;
+  report.Add(MakeDiag(Severity::kInfo, "PDSP-I903", -1, "info"));
+  report.Add(MakeDiag(Severity::kError, "PDSP-E401", 5, "late error"));
+  report.Add(MakeDiag(Severity::kWarning, "PDSP-W011", 1, "warn"));
+  report.Add(MakeDiag(Severity::kError, "PDSP-E101", 2, "early error"));
+  report.Finalize();
+  const auto& d = report.diagnostics();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0].code, "PDSP-E101");  // errors first, op 2 before op 5
+  EXPECT_EQ(d[1].code, "PDSP-E401");
+  EXPECT_EQ(d[2].code, "PDSP-W011");
+  EXPECT_EQ(d[3].code, "PDSP-I903");
+}
+
+TEST(AnalysisReportTest, CountsAndHasCode) {
+  AnalysisReport report;
+  report.Add(MakeDiag(Severity::kError, "PDSP-E101", 0, "e"));
+  report.Add(MakeDiag(Severity::kWarning, "PDSP-W205", 1, "w"));
+  report.Add(MakeDiag(Severity::kWarning, "PDSP-W702", 2, "w"));
+  report.Add(MakeDiag(Severity::kInfo, "PDSP-I903", -1, "i"));
+  report.Finalize();
+  EXPECT_EQ(report.CountAtLeast(Severity::kError), 1u);
+  EXPECT_EQ(report.CountAtLeast(Severity::kWarning), 3u);
+  EXPECT_EQ(report.CountAtLeast(Severity::kInfo), 4u);
+  EXPECT_TRUE(report.HasCode("PDSP-W702"));
+  EXPECT_FALSE(report.HasCode("PDSP-E999"));
+}
+
+TEST(AnalysisReportTest, ToStringSummaryLine) {
+  AnalysisReport report;
+  report.Add(MakeDiag(Severity::kError, "PDSP-E101", 0, "e"));
+  report.Add(MakeDiag(Severity::kWarning, "PDSP-W205", 1, "w"));
+  report.Finalize();
+  const std::string s = report.ToString();
+  EXPECT_NE(s.find("1 error"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 warning"), std::string::npos) << s;
+}
+
+TEST(AnalysisReportTest, ToStatusListsEveryErrorCode) {
+  AnalysisReport report;
+  report.Add(MakeDiag(Severity::kError, "PDSP-E101", 0, "cycle"));
+  report.Add(MakeDiag(Severity::kError, "PDSP-E502", 3, "nan literal"));
+  report.Add(MakeDiag(Severity::kWarning, "PDSP-W205", 1, "w"));
+  report.Finalize();
+  const Status st = report.ToStatus();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+  EXPECT_NE(st.message().find("PDSP-E101"), std::string::npos);
+  EXPECT_NE(st.message().find("PDSP-E502"), std::string::npos);
+  EXPECT_EQ(st.message().find("PDSP-W205"), std::string::npos);
+}
+
+TEST(AnalysisReportTest, ToJsonCounts) {
+  AnalysisReport report;
+  report.Add(MakeDiag(Severity::kError, "PDSP-E101", 0, "e"));
+  report.Add(MakeDiag(Severity::kInfo, "PDSP-I903", -1, "i"));
+  report.Finalize();
+  const std::string json = report.ToJson().Dump();
+  EXPECT_NE(json.find("\"errors\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"diagnostics\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pdsp

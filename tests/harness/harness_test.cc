@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "src/harness/synthetic_suite.h"
 #include "tests/testing/test_plans.h"
@@ -43,6 +44,34 @@ TEST(MeasureCellTest, RejectsBadRepeats) {
   RunProtocol protocol;
   protocol.repeats = 0;
   EXPECT_FALSE(MeasureCell(*plan, Cluster::M510(4), protocol).ok());
+}
+
+TEST(MeasureCellTest, RefusesErrorCarryingPlanUnlessAllowed) {
+  // A NaN selectivity hint is analysis error PDSP-E602 but entirely inert
+  // at simulation time (the event simulator applies the real predicate),
+  // so the allow_invalid escape hatch can be exercised end to end.
+  auto plan = testing::LinearPlan(5000.0, 2);
+  ASSERT_TRUE(plan.ok());
+  auto f = plan->FindOperator("filter");
+  ASSERT_TRUE(f.ok());
+  plan->mutable_op(*f)->selectivity_hint =
+      std::numeric_limits<double>::quiet_NaN();
+  ASSERT_TRUE(plan->Validate().ok());  // mutable_op left it unvalidated
+
+  RunProtocol protocol;
+  protocol.repeats = 1;
+  protocol.duration_s = 1.0;
+  protocol.warmup_s = 0.25;
+  auto refused = MeasureCell(*plan, Cluster::M510(4), protocol);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsFailedPrecondition())
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().message().find("PDSP-E602"), std::string::npos)
+      << refused.status().ToString();
+
+  protocol.allow_invalid = true;
+  auto forced = MeasureCell(*plan, Cluster::M510(4), protocol);
+  EXPECT_TRUE(forced.ok()) << forced.status().ToString();
 }
 
 TEST(MeasureAtDegreeTest, RewritesParallelism) {

@@ -253,6 +253,121 @@ TEST(OperatorDescriptorTest, RequiresKeyedInput) {
   EXPECT_TRUE(udo.RequiresKeyedInput());
 }
 
+// Regression: Connect() grows edges_ without changing ops_.size(), so a
+// cached topological order of matching length can still be stale. Depth()
+// must not trust it on an unvalidated plan.
+TEST(LogicalPlanTest, DepthRecomputedAfterConnect) {
+  LogicalPlan plan;
+  SourceBinding binding{KeyValueStream(), PoissonArrival(10)};
+  plan.AddSource(binding);
+  OperatorDescriptor src;
+  src.type = OperatorType::kSource;
+  src.name = "s";
+  OperatorDescriptor m2;
+  m2.type = OperatorType::kMap;
+  m2.name = "m2";
+  OperatorDescriptor m1;
+  m1.type = OperatorType::kMap;
+  m1.name = "m1";
+  OperatorDescriptor sink;
+  sink.type = OperatorType::kSink;
+  sink.name = "k";
+  // Insertion order deliberately puts m2 before m1 so the cached topo
+  // [s, m2, m1, k] disagrees with the post-Connect dependency m1 -> m2.
+  auto s = plan.AddOperator(src);
+  auto b = plan.AddOperator(m2);
+  auto a = plan.AddOperator(m1);
+  auto k = plan.AddOperator(sink);
+  ASSERT_TRUE(s.ok() && a.ok() && b.ok() && k.ok());
+  ASSERT_TRUE(plan.Connect(*s, *a).ok());
+  ASSERT_TRUE(plan.Connect(*s, *b).ok());
+  ASSERT_TRUE(plan.Connect(*a, *k).ok());
+  ASSERT_TRUE(plan.Connect(*b, *k).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  EXPECT_EQ(plan.Depth(), 3);  // s -> m -> k
+
+  // The extra edge leaves ops_.size() (and so a same-length cached topo)
+  // unchanged; Depth() must still notice the plan is no longer validated.
+  ASSERT_TRUE(plan.Connect(*a, *b).ok());  // now s -> m1 -> m2 -> k
+  EXPECT_EQ(plan.Depth(), 4);
+}
+
+// Regression: a multi-input sink used to silently adopt its first input's
+// schema, hiding mismatched unions.
+TEST(LogicalPlanTest, SinkSchemaMismatchRejected) {
+  LogicalPlan plan;
+  SourceBinding binding{KeyValueStream(), PoissonArrival(10)};
+  plan.AddSource(binding);
+  OperatorDescriptor src;
+  src.type = OperatorType::kSource;
+  src.name = "s";
+  OperatorDescriptor agg;
+  agg.type = OperatorType::kWindowAggregate;
+  agg.name = "agg";
+  agg.key_field = 0;
+  agg.agg_field = 1;
+  OperatorDescriptor sink;
+  sink.type = OperatorType::kSink;
+  sink.name = "k";
+  auto s = plan.AddOperator(src);
+  auto a = plan.AddOperator(agg);
+  auto k = plan.AddOperator(sink);
+  ASSERT_TRUE(s.ok() && a.ok() && k.ok());
+  ASSERT_TRUE(plan.Connect(*s, *a).ok());
+  ASSERT_TRUE(plan.Connect(*s, *k).ok());  // (key, val)
+  ASSERT_TRUE(plan.Connect(*a, *k).ok());  // (key, agg) — different schema
+  Status st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("different"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(LogicalPlanTest, SinkWithMatchingMultiInputAccepted) {
+  LogicalPlan plan;
+  SourceBinding binding{KeyValueStream(), PoissonArrival(10)};
+  plan.AddSource(binding);
+  OperatorDescriptor src;
+  src.type = OperatorType::kSource;
+  src.name = "s";
+  OperatorDescriptor map;
+  map.type = OperatorType::kMap;
+  map.name = "m";
+  OperatorDescriptor sink;
+  sink.type = OperatorType::kSink;
+  sink.name = "k";
+  auto s = plan.AddOperator(src);
+  auto m = plan.AddOperator(map);
+  auto k = plan.AddOperator(sink);
+  ASSERT_TRUE(s.ok() && m.ok() && k.ok());
+  ASSERT_TRUE(plan.Connect(*s, *m).ok());
+  ASSERT_TRUE(plan.Connect(*s, *k).ok());
+  ASSERT_TRUE(plan.Connect(*m, *k).ok());  // map preserves the schema
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+// Regression: renames through mutable_op() used to leave the name index
+// stale, so a re-Validate would miss duplicates and FindOperator would
+// answer for names that no longer exist.
+TEST(LogicalPlanTest, RenameViaMutableOpRevalidates) {
+  auto plan = LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  auto f = plan->FindOperator("filter");
+  ASSERT_TRUE(f.ok());
+
+  plan->mutable_op(*f)->name = "agg";  // now duplicates the aggregate
+  EXPECT_FALSE(plan->validated());
+  EXPECT_TRUE(plan->Validate().IsAlreadyExists());
+
+  plan->mutable_op(*f)->name = "";
+  EXPECT_TRUE(plan->Validate().IsInvalidArgument());
+
+  plan->mutable_op(*f)->name = "renamed_filter";
+  ASSERT_TRUE(plan->Validate().ok());
+  EXPECT_TRUE(plan->FindOperator("renamed_filter").ok());
+  EXPECT_TRUE(plan->FindOperator("filter").status().IsNotFound());
+}
+
 TEST(EnumStringsTest, AllEnumsHaveNames) {
   EXPECT_STREQ(OperatorTypeToString(OperatorType::kWindowJoin),
                "window_join");

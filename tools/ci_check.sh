@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The full CI gate: configure, build, run the test suite, statically analyze
+# every canonical plan, and lint.
+#
+# Usage: tools/ci_check.sh [build-dir]
+#   build-dir defaults to ./build.
+#
+# Environment:
+#   PDSP_SANITIZE   forwarded to CMake (e.g. "address;undefined") to run the
+#                   whole gate under ASan/UBSan. Changing it reconfigures the
+#                   build tree.
+#   JOBS            parallel build jobs (default: nproc).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+SANITIZE="${PDSP_SANITIZE:-}"
+
+step() { echo; echo "=== ci_check: $* ==="; }
+
+step "configure ($BUILD_DIR${SANITIZE:+, sanitize=$SANITIZE})"
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPDSP_SANITIZE="$SANITIZE"
+
+step "build (-j$JOBS)"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+step "ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+step "static plan analysis (pdspbench analyze all)"
+"$BUILD_DIR/tools/pdspbench" analyze all
+
+step "lint (tools/lint.sh)"
+tools/lint.sh "$BUILD_DIR"
+
+step "OK"

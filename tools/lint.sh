@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over the first-party sources using
+# the compile database exported by CMake.
+#
+# Usage: tools/lint.sh [build-dir] [-- extra clang-tidy args]
+#   build-dir defaults to ./build. If the directory has no
+#   compile_commands.json, configure first:  cmake -B build -S .
+#
+# Exits 0 when clang-tidy is unavailable (the container ships only gcc);
+# CI treats that as a skip, not a pass.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "lint.sh: $TIDY not found; skipping lint (install clang-tidy to enable)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint.sh: $BUILD_DIR/compile_commands.json missing; run: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# First-party translation units only; tests are linted too but gtest macro
+# expansions stay out via HeaderFilterRegex.
+FILES=$(git ls-files 'src/*.cc' 'tools/*.cc' 'bench/*.cc' 'examples/*.cc')
+if [ -z "$FILES" ]; then
+  echo "lint.sh: no sources found" >&2
+  exit 2
+fi
+
+STATUS=0
+# shellcheck disable=SC2086
+"$TIDY" -p "$BUILD_DIR" --quiet "$@" $FILES || STATUS=$?
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "lint.sh: clang-tidy reported findings (exit $STATUS)" >&2
+fi
+exit "$STATUS"

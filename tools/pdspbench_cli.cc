@@ -6,6 +6,8 @@
 //   pdspbench --app=SG --rate=200000 --parallelism=16 --cluster=c6525
 //   pdspbench --structure=join2 --rate=100000 --parallelism=8
 //   pdspbench --list
+//   pdspbench analyze all
+//   pdspbench analyze SG --json
 //
 // Flags:
 //   --app=<abbrev>        one of the Table 2 applications (WC, SG, ...)
@@ -20,13 +22,24 @@
 //   --save=<id>           persist plan + metrics into --store
 //   --load=<id>           re-execute a stored plan instead of --app/--structure
 //   --store=<dir>         run store directory            [default ./runs]
+//   --allow-invalid       simulate even when static analysis finds errors
 //   --list                print available apps and structures
+//
+// The `analyze` subcommand runs the pdsp::analysis lint passes over
+// registered benchmark plans without simulating them:
+//   pdspbench analyze <abbrev|structure|all> [--json] [--strict]
+//                     [--cluster=NAME] [--nodes=N] [--parallelism=N]
+//                     [--rate=N] [--list-passes]
+// Exit status: 0 when no error-severity diagnostics were found (with
+// --strict: no warnings either), 1 otherwise — CI runs `analyze all`.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "src/analysis/analyzer.h"
 #include "src/apps/apps.h"
 #include "src/common/string_util.h"
 #include "src/harness/synthetic_suite.h"
@@ -52,6 +65,7 @@ struct Args {
   std::string load;
   std::string store_dir = "runs";
   bool list = false;
+  bool allow_invalid = false;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -67,7 +81,10 @@ int Usage() {
                "[--rate=N] [--parallelism=N]\n"
                "                 [--cluster=m510|c6525|c6320|mixed] "
                "[--nodes=N] [--duration=S] [--seed=N]\n"
-               "                 [--placement=NAME] | --list\n");
+               "                 [--placement=NAME] [--allow-invalid] | "
+               "--list\n"
+               "       pdspbench analyze (<abbrev>|<structure>|all) "
+               "[--json] [--strict] | analyze --list-passes\n");
   return 2;
 }
 
@@ -99,17 +116,194 @@ Result<PlacementKind> MakePlacement(const std::string& name) {
   return Status::InvalidArgument("unknown placement '" + name + "'");
 }
 
+// --- analyze subcommand --------------------------------------------------
+
+struct AnalyzeTarget {
+  std::string name;   // abbrev or structure name
+  std::string title;  // human description
+  Result<LogicalPlan> plan = Status::Internal("not built");
+};
+
+Result<LogicalPlan> BuildAppPlan(AppId id, double rate, int parallelism) {
+  AppOptions opt;
+  opt.event_rate = rate;
+  opt.parallelism = parallelism;
+  return MakeApp(id, opt);
+}
+
+Result<LogicalPlan> BuildStructurePlan(SyntheticStructure s, double rate,
+                                       int parallelism) {
+  CanonicalOptions opt;
+  opt.event_rate = rate;
+  opt.parallelism = parallelism;
+  return MakeCanonicalSynthetic(s, opt);
+}
+
+int AnalyzeUsage() {
+  std::fprintf(stderr,
+               "usage: pdspbench analyze (<app-abbrev>|<structure>|all) "
+               "[--json] [--strict]\n"
+               "                 [--cluster=m510|c6525|c6320|mixed] "
+               "[--nodes=N] [--parallelism=N]\n"
+               "                 [--rate=N] | analyze --list-passes\n");
+  return 2;
+}
+
+int AnalyzeMain(int argc, char** argv) {
+  std::string target;
+  std::string cluster_name = "m510";
+  int nodes = 10;
+  int parallelism = 1;
+  double rate = 100000.0;
+  bool json = false;
+  bool strict = false;
+  bool list_passes = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--list-passes") == 0) {
+      list_passes = true;
+    } else if (ParseArg(argv[i], "cluster", &cluster_name)) {
+    } else if (ParseArg(argv[i], "nodes", &value)) {
+      nodes = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "parallelism", &value)) {
+      parallelism = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "rate", &value)) {
+      rate = std::atof(value.c_str());
+    } else if (argv[i][0] != '-' && target.empty()) {
+      target = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown analyze argument: %s\n", argv[i]);
+      return AnalyzeUsage();
+    }
+  }
+  if (list_passes) {
+    std::printf("registered analysis passes:\n");
+    const analysis::PassRegistry& passes = analysis::DefaultPasses();
+    for (const std::string& name : passes.Names()) {
+      const analysis::AnalysisPass* pass = passes.Find(name);
+      std::printf("  %-24s %s%s\n", name.c_str(), pass->description(),
+                  pass->needs_cluster() ? " (needs cluster)" : "");
+    }
+    return 0;
+  }
+  if (target.empty() || nodes < 1 || parallelism < 1 || rate <= 0) {
+    return AnalyzeUsage();
+  }
+  auto cluster = MakeCluster(cluster_name, nodes);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+    return 2;
+  }
+
+  std::vector<AnalyzeTarget> targets;
+  if (target == "all") {
+    for (const AppInfo& info : AllApps()) {
+      targets.push_back({info.abbrev, info.name,
+                         BuildAppPlan(info.id, rate, parallelism)});
+    }
+    for (SyntheticStructure s : AllSyntheticStructures()) {
+      targets.push_back({SyntheticStructureToString(s),
+                         std::string("synthetic ") +
+                             SyntheticStructureToString(s),
+                         BuildStructurePlan(s, rate, parallelism)});
+    }
+  } else if (auto id = FindAppByAbbrev(target); id.ok()) {
+    targets.push_back({target, GetAppInfo(*id).name,
+                       BuildAppPlan(*id, rate, parallelism)});
+  } else {
+    bool found = false;
+    for (SyntheticStructure s : AllSyntheticStructures()) {
+      if (target == SyntheticStructureToString(s)) {
+        targets.push_back({target,
+                           std::string("synthetic ") + target,
+                           BuildStructurePlan(s, rate, parallelism)});
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "unknown analyze target '%s' (use --list for the "
+                   "catalog)\n",
+                   target.c_str());
+      return 2;
+    }
+  }
+
+  analysis::AnalyzeOptions options;
+  options.cluster = &*cluster;
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  Json all = Json::Array();
+  for (AnalyzeTarget& t : targets) {
+    if (!t.plan.ok()) {
+      // The plan factory itself refused (Build()'s error gate or a latched
+      // builder error) — report it as a failed target.
+      ++total_errors;
+      if (json) {
+        Json j = Json::Object();
+        j.Set("plan", Json::Str(t.name));
+        j.Set("build_error", Json::Str(t.plan.status().ToString()));
+        all.Append(std::move(j));
+      } else {
+        std::printf("== %s (%s) ==\nbuild failed: %s\n\n", t.name.c_str(),
+                    t.title.c_str(), t.plan.status().ToString().c_str());
+      }
+      continue;
+    }
+    const analysis::AnalysisReport report =
+        analysis::AnalyzePlan(*t.plan, options);
+    const size_t errors = report.NumErrors();
+    total_errors += errors;
+    total_warnings +=
+        report.CountAtLeast(analysis::Severity::kWarning) - errors;
+    if (json) {
+      Json j = Json::Object();
+      j.Set("plan", Json::Str(t.name));
+      j.Set("report", report.ToJson());
+      all.Append(std::move(j));
+    } else {
+      std::printf("== %s (%s) ==\n%s\n", t.name.c_str(), t.title.c_str(),
+                  report.ToString().c_str());
+    }
+  }
+  if (json) {
+    Json out = Json::Object();
+    out.Set("plans", std::move(all));
+    out.Set("errors", Json::Int(static_cast<int64_t>(total_errors)));
+    out.Set("warnings", Json::Int(static_cast<int64_t>(total_warnings)));
+    std::printf("%s\n", out.Dump(2).c_str());
+  } else {
+    std::printf("analyzed %zu plan%s: %zu error%s, %zu warning%s\n",
+                targets.size(), targets.size() == 1 ? "" : "s",
+                total_errors, total_errors == 1 ? "" : "s", total_warnings,
+                total_warnings == 1 ? "" : "s");
+  }
+  if (total_errors > 0) return 1;
+  if (strict && total_warnings > 0) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
   // Stored plans may reference application UDO kinds; make them resolvable
-  // regardless of how the plan is selected.
+  // regardless of how the plan is selected (and so the udo-checks analysis
+  // pass sees the full kind registry).
   RegisterAppUdos();
+  if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
+    return AnalyzeMain(argc - 1, argv + 1);
+  }
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--list") == 0) {
       args.list = true;
+    } else if (std::strcmp(argv[i], "--allow-invalid") == 0) {
+      args.allow_invalid = true;
     } else if (ParseArg(argv[i], "app", &args.app) ||
                ParseArg(argv[i], "structure", &args.structure) ||
                ParseArg(argv[i], "cluster", &args.cluster) ||
@@ -202,6 +396,21 @@ int Main(int argc, char** argv) {
   if (!plan.ok()) {
     std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
     return 1;
+  }
+
+  // Static-analysis gate (loaded plans bypass PlanBuilder::Build, so the
+  // check runs here for every selection path).
+  if (Status check = analysis::CheckPlan(*plan, &*cluster); !check.ok()) {
+    if (args.allow_invalid) {
+      std::fprintf(stderr, "warning: %s (continuing: --allow-invalid)\n",
+                   check.ToString().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "%s\nrun `pdspbench analyze` for the full report, or "
+                   "pass --allow-invalid to simulate anyway\n",
+                   check.ToString().c_str());
+      return 1;
+    }
   }
 
   std::printf("plan:\n%s\n", plan->ToString().c_str());
