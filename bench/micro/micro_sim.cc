@@ -11,7 +11,7 @@ namespace pdsp {
 namespace {
 
 void RunSim(benchmark::State& state, const LogicalPlan& plan, double rate,
-            bool observability = true) {
+            bool observability = true, bool attribute = false) {
   (void)rate;
   int64_t tuples = 0;
   for (auto _ : state) {
@@ -22,6 +22,9 @@ void RunSim(benchmark::State& state, const LogicalPlan& plan, double rate,
     // Default keeps metric sampling on; the NoObs variants quantify its
     // overhead (acceptance bound: < 5%).
     if (!observability) opt.sim.metrics_interval_s = 0.0;
+    // The Attr variants quantify the latency-attribution charging that
+    // diagnosis runs opt into (default runs never pay it).
+    opt.sim.attribute_latency = attribute;
     auto r = ExecutePlan(plan, Cluster::M510(10), opt);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -65,6 +68,28 @@ void BM_SimJoinPlan(benchmark::State& state) {
   RunSim(state, *plan, 5000.0);
 }
 BENCHMARK(BM_SimJoinPlan)->Arg(1)->Arg(8);
+
+void BM_SimLinearPlanAttr(benchmark::State& state) {
+  const auto parallelism = static_cast<int>(state.range(0));
+  auto plan = testing::LinearPlan(20000.0, parallelism);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  RunSim(state, *plan, 20000.0, /*observability=*/true, /*attribute=*/true);
+}
+BENCHMARK(BM_SimLinearPlanAttr)->Arg(8);
+
+void BM_SimJoinPlanAttr(benchmark::State& state) {
+  const auto parallelism = static_cast<int>(state.range(0));
+  auto plan = testing::TwoWayJoinPlan(5000.0, parallelism);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  RunSim(state, *plan, 5000.0, /*observability=*/true, /*attribute=*/true);
+}
+BENCHMARK(BM_SimJoinPlanAttr)->Arg(8);
 
 }  // namespace
 }  // namespace pdsp

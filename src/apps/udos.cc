@@ -45,6 +45,7 @@ class TokenizeWordsUdo : public Udo {
       StreamElement result;
       result.tuple.event_time = e.tuple.event_time;
       result.birth = e.birth;
+      result.attr_id = e.attr_id;
       result.tuple.values = {Value(word), Value(int64_t{1})};
       out->push_back(std::move(result));
     }
@@ -68,6 +69,7 @@ class SentimentScoreUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     const int64_t polarity = score > 0 ? 1 : (score < 0 ? -1 : 0);
     const int64_t shard = e.tuple.values[0].AsNumeric() >= 0
                               ? static_cast<int64_t>(
@@ -94,6 +96,7 @@ class LogParseUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {Value(status), Value(bytes)};
     out->push_back(std::move(result));
   }
@@ -111,6 +114,7 @@ class TopicExtractUdo : public Udo {
       StreamElement result;
       result.tuple.event_time = e.tuple.event_time;
       result.birth = e.birth;
+      result.attr_id = e.attr_id;
       result.tuple.values = {Value(word), Value(int64_t{1})};
       out->push_back(std::move(result));
     }
@@ -173,6 +177,7 @@ class MachineOutlierUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {machine, Value(score)};
     out->push_back(std::move(result));
   }
@@ -216,6 +221,7 @@ class SpikeDetectUdo : public Udo {
         StreamElement result;
         result.tuple.event_time = e.tuple.event_time;
         result.birth = e.birth;
+        result.attr_id = e.attr_id;
         result.tuple.values = {sensor, Value(v), Value(avg)};
         out->push_back(std::move(result));
       }
@@ -247,6 +253,7 @@ class SmartGridOutlierUdo : public Udo {
       StreamElement result;
       result.tuple.event_time = e.tuple.event_time;
       result.birth = e.birth;
+      result.attr_id = e.attr_id;
       result.tuple.values = {house, Value(load), Value(ratio)};
       out->push_back(std::move(result));
     }
@@ -274,6 +281,7 @@ class LinearRoadTollUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {e.tuple.values[0], Value(toll)};
     out->push_back(std::move(result));
   }
@@ -317,6 +325,7 @@ class MapMatchUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {Value(road), e.tuple.values[3]};
     out->push_back(std::move(result));
   }
@@ -349,6 +358,7 @@ class FraudScoreUdo : public Udo {
       StreamElement result;
       result.tuple.event_time = e.tuple.event_time;
       result.birth = e.birth;
+      result.attr_id = e.attr_id;
       result.tuple.values = {account, e.tuple.values[1], Value(prob)};
       out->push_back(std::move(result));
     }
@@ -384,6 +394,7 @@ class BargainIndexUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {symbol, Value(price), Value(index)};
     out->push_back(std::move(result));
   }
@@ -413,6 +424,7 @@ class ClickDedupUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {e.tuple.values[1], Value(int64_t{1})};
     out->push_back(std::move(result));
   }
@@ -438,6 +450,7 @@ class AdCtrUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {campaign, Value(weight)};
     out->push_back(std::move(result));
   }
@@ -461,6 +474,7 @@ class TpchDiscPriceUdo : public Udo {
     StreamElement result;
     result.tuple.event_time = e.tuple.event_time;
     result.birth = e.birth;
+    result.attr_id = e.attr_id;
     result.tuple.values = {e.tuple.values[0],
                            Value(price * (1.0 - discount))};
     out->push_back(std::move(result));

@@ -50,6 +50,9 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     // Artifacts come from the first repeat only: one representative run per
     // cell keeps the bundle small and the remaining repeats untraced.
     const bool emit_obs = protocol.obs.enabled && r == 0;
+    // Attribution only costs wall clock — virtual-time results are
+    // unaffected — so enabling it for the diagnosed repeat is safe.
+    exec.sim.attribute_latency = r == 0 && protocol.diagnose;
     obs::Tracer tracer;
     if (emit_obs) {
       tracer.set_verbose(protocol.obs.trace_verbose);
@@ -57,8 +60,22 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
       exec.sim.metrics_interval_s = protocol.obs.metrics_interval_s;
     }
     PDSP_ASSIGN_OR_RETURN(SimResult run, ExecutePlan(plan, cluster, exec));
+    if (r == 0 && protocol.diagnose) {
+      // Diagnose the representative run; a diagnosis failure downgrades to
+      // a warning so a sweep never dies on its observability.
+      Result<obs::Diagnosis> diag =
+          obs::DiagnoseRun(plan, cluster, run, protocol.diagnose_options);
+      if (diag.ok()) {
+        cell.diagnosis = std::move(diag).value();
+        cell.has_diagnosis = true;
+      } else {
+        PDSP_LOG(Warn) << "run diagnosis: " << diag.status().ToString();
+      }
+    }
     if (emit_obs) {
-      Status st = obs::WriteRunArtifacts(protocol.obs.dir, run, &tracer);
+      Status st = obs::WriteRunArtifacts(
+          protocol.obs.dir, run, &tracer,
+          cell.has_diagnosis ? &cell.diagnosis : nullptr);
       if (!st.ok()) {
         PDSP_LOG(Warn) << "obs artifacts for " << protocol.obs.dir << ": "
                        << st.ToString();

@@ -11,6 +11,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/common/status.h"
+#include "src/obs/diagnose.h"
 #include "src/query/plan.h"
 #include "src/sim/simulation.h"
 
@@ -53,6 +54,12 @@ struct RunProtocol {
   /// a whole sweep. Warnings never block; they are counted in the
   /// pdsp.analysis.* metrics and logged at debug level.
   bool allow_invalid = false;
+  /// Run bottleneck diagnosis (pdsp::obs::DiagnoseRun) on the first repeat
+  /// and attach it to the cell; with obs enabled it is also written as
+  /// diagnosis.json. Cheap (rule evaluation over already-collected stats).
+  bool diagnose = true;
+  /// Thresholds for the diagnosis rules.
+  obs::DiagnoseOptions diagnose_options;
 };
 
 /// \brief One measured experiment cell.
@@ -61,6 +68,10 @@ struct CellResult {
   double mean_throughput_tps = 0.0;
   int64_t late_drops = 0;
   int64_t backpressure_skipped = 0;
+  /// Diagnosis of the first repeat (RunProtocol::diagnose); check
+  /// `has_diagnosis` before reading.
+  bool has_diagnosis = false;
+  obs::Diagnosis diagnosis;
 };
 
 /// Runs a validated plan `repeats` times with distinct seeds and aggregates

@@ -22,6 +22,27 @@ Status WriteTextFile(const std::filesystem::path& path,
   return Status::OK();
 }
 
+/// Renames `tmp` onto `path` (atomic on POSIX within one filesystem).
+Status RenameInto(const std::filesystem::path& tmp,
+                  const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + tmp.string() + " to " +
+                            path.string() + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+/// Writes `text` to `<path>.tmp` and renames it into place, so a crashed or
+/// concurrent writer never leaves a torn artifact behind.
+Status WriteTextFileAtomic(const std::filesystem::path& path,
+                           const std::string& text) {
+  const std::filesystem::path tmp(path.string() + ".tmp");
+  PDSP_RETURN_NOT_OK(WriteTextFile(tmp, text));
+  return RenameInto(tmp, path);
+}
+
 }  // namespace
 
 Json RunMetricsJson(const SimResult& result) {
@@ -51,7 +72,27 @@ Json RunMetricsJson(const SimResult& result) {
     op.Set("max_instance_util", FiniteNumber(s.max_instance_util));
     op.Set("max_queue_tuples", Json::Int(static_cast<int64_t>(
         s.max_queue_tuples)));
+    Json lat = Json::Object();
+    lat.Set("queue_wait_s", FiniteNumber(s.latency.MeanQueueWait()));
+    lat.Set("network_in_s", FiniteNumber(s.latency.MeanNetworkIn()));
+    lat.Set("service_s", FiniteNumber(s.latency.MeanService()));
+    lat.Set("window_s", FiniteNumber(s.latency.MeanWindowResidency()));
+    lat.Set("source_batch_s", FiniteNumber(s.latency.MeanSourceBatch()));
+    lat.Set("path_cost_s", FiniteNumber(s.latency.MeanPathCost()));
+    op.Set("latency", std::move(lat));
     ops.Append(std::move(op));
+  }
+
+  if (!result.breakdown.empty()) {
+    Json b = Json::Object();
+    b.Set("samples", Json::Int(result.breakdown.samples));
+    b.Set("total_s", FiniteNumber(result.breakdown.total_s));
+    b.Set("source_batch_s", FiniteNumber(result.breakdown.source_batch_s));
+    b.Set("network_s", FiniteNumber(result.breakdown.network_s));
+    b.Set("queue_s", FiniteNumber(result.breakdown.queue_s));
+    b.Set("service_s", FiniteNumber(result.breakdown.service_s));
+    b.Set("window_s", FiniteNumber(result.breakdown.window_s));
+    summary.Set("latency_breakdown", std::move(b));
   }
 
   Json root = Json::Object();
@@ -63,21 +104,31 @@ Json RunMetricsJson(const SimResult& result) {
 }
 
 Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
-                         const Tracer* tracer) {
+                         const Tracer* tracer, const Diagnosis* diagnosis) {
   const std::filesystem::path base(dir);
   std::error_code ec;
   std::filesystem::create_directories(base, ec);
   if (ec && !std::filesystem::is_directory(base)) {
     return Status::Internal("cannot create " + dir + ": " + ec.message());
   }
-  PDSP_RETURN_NOT_OK(WriteTextFile(base / "metrics.json",
-                                   RunMetricsJson(result).Dump(2) + "\n"));
+  PDSP_RETURN_NOT_OK(WriteTextFileAtomic(
+      base / "metrics.json", RunMetricsJson(result).Dump(2) + "\n"));
   if (!result.timeseries.empty()) {
+    const std::filesystem::path ts = base / "timeseries.csv";
     PDSP_RETURN_NOT_OK(
-        result.timeseries.WriteCsv((base / "timeseries.csv").string()));
+        result.timeseries.WriteCsv((ts.string() + ".tmp")));
+    PDSP_RETURN_NOT_OK(
+        RenameInto(std::filesystem::path(ts.string() + ".tmp"), ts));
   }
   if (tracer != nullptr) {
-    PDSP_RETURN_NOT_OK(tracer->WriteFile((base / "trace.json").string()));
+    const std::filesystem::path tr = base / "trace.json";
+    PDSP_RETURN_NOT_OK(tracer->WriteFile(tr.string() + ".tmp"));
+    PDSP_RETURN_NOT_OK(
+        RenameInto(std::filesystem::path(tr.string() + ".tmp"), tr));
+  }
+  if (diagnosis != nullptr) {
+    PDSP_RETURN_NOT_OK(WriteTextFileAtomic(
+        base / "diagnosis.json", diagnosis->ToJson().Dump(2) + "\n"));
   }
   return Status::OK();
 }

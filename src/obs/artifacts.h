@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/common/status.h"
+#include "src/obs/diagnose.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulation.h"
 
@@ -16,14 +17,19 @@ namespace pdsp {
 namespace obs {
 
 /// Serializes the run's headline numbers + registry into the metrics.json
-/// document: {"summary": {...}, "metrics": {counters/gauges/histograms}}.
+/// document: {"summary": {...}, "operators": [...], "metrics":
+/// {counters/gauges/histograms — histograms carry p50/p95/p99}}.
 Json RunMetricsJson(const SimResult& result);
 
 /// Writes metrics.json and, when non-empty, timeseries.csv under `dir`
-/// (created if needed); with a non-null `tracer` also trace.json. Partial
-/// failures abort with the first error; already-written files remain.
+/// (created if needed); with a non-null `tracer` also trace.json, and with a
+/// non-null `diagnosis` also diagnosis.json. Every file is written to
+/// `<name>.tmp` first and renamed into place, so readers never observe a
+/// half-written artifact. Partial failures abort with the first error;
+/// already-renamed files remain.
 Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
-                         const Tracer* tracer);
+                         const Tracer* tracer,
+                         const Diagnosis* diagnosis = nullptr);
 
 }  // namespace obs
 }  // namespace pdsp

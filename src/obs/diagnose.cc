@@ -1,0 +1,409 @@
+#include "src/obs/diagnose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+namespace obs {
+
+namespace {
+
+std::string Ms(double seconds) {
+  return StrFormat("%.3fms", seconds * 1e3);
+}
+
+std::string Pct(double fraction) {
+  return StrFormat("%.0f%%", fraction * 100.0);
+}
+
+/// Parallelism that would bring per-instance utilization down to `target`,
+/// given the observed (or analytic) utilization at parallelism `p`.
+int SuggestParallelism(int p, double utilization, double target) {
+  const double t = std::max(1e-3, target);
+  const int suggested =
+      static_cast<int>(std::ceil(static_cast<double>(p) * utilization / t));
+  return std::max(1, suggested);
+}
+
+}  // namespace
+
+CriticalPath ComputeCriticalPath(const LogicalPlan& plan,
+                                 const SimResult& result) {
+  CriticalPath path;
+  if (!plan.validated() ||
+      result.op_stats.size() != plan.NumOperators()) {
+    return path;
+  }
+  // Longest path by summed per-operator traversal cost, over the topological
+  // order. `best[id]` is the max cost of any source→id chain including id.
+  std::vector<double> best(plan.NumOperators(), 0.0);
+  std::vector<LogicalPlan::OpId> pred(plan.NumOperators(), -1);
+  for (const LogicalPlan::OpId id : plan.TopologicalOrder()) {
+    double in_best = 0.0;
+    LogicalPlan::OpId in_pred = -1;
+    for (const LogicalPlan::OpId up : plan.Inputs(id)) {
+      // First input or strictly better: earlier-id ties win (stable).
+      if (in_pred == -1 || best[up] > in_best) {
+        in_best = best[up];
+        in_pred = up;
+      }
+    }
+    best[id] = in_best + result.op_stats[id].latency.MeanPathCost();
+    pred[id] = in_pred;
+  }
+  // Walk back from the sink.
+  std::vector<LogicalPlan::OpId> chain;
+  for (LogicalPlan::OpId id = plan.SinkId(); id != -1; id = pred[id]) {
+    chain.push_back(id);
+  }
+  std::reverse(chain.begin(), chain.end());
+  path.total_s = best[plan.SinkId()];
+  for (const LogicalPlan::OpId id : chain) {
+    CriticalPathHop hop;
+    hop.op = id;
+    hop.name = plan.op(id).name;
+    hop.cost_s = result.op_stats[id].latency.MeanPathCost();
+    hop.share = path.total_s > 0.0 ? hop.cost_s / path.total_s : 0.0;
+    path.hops.push_back(std::move(hop));
+  }
+  return path;
+}
+
+std::string CriticalPath::ToString() const {
+  if (hops.empty()) return "(no critical path)";
+  std::string out;
+  for (size_t i = 0; i < hops.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += StrFormat("%s (%s)", hops[i].name.c_str(),
+                     Pct(hops[i].share).c_str());
+  }
+  out += StrFormat(" [total %s]", Ms(total_s).c_str());
+  return out;
+}
+
+Json CriticalPath::ToJson() const {
+  Json j = Json::Object();
+  j.Set("total_s", Json::Number(total_s));
+  Json arr = Json::Array();
+  for (const CriticalPathHop& h : hops) {
+    Json hop = Json::Object();
+    hop.Set("op", Json::Int(h.op));
+    hop.Set("name", Json::Str(h.name));
+    hop.Set("cost_s", Json::Number(h.cost_s));
+    hop.Set("share", Json::Number(h.share));
+    arr.Append(std::move(hop));
+  }
+  j.Set("hops", std::move(arr));
+  return j;
+}
+
+namespace {
+
+/// R101/R102/R105: per-operator utilization rules.
+void RunUtilizationRules(const LogicalPlan& plan, const SimResult& result,
+                         const AnalyticEstimate* analytic,
+                         const DiagnoseOptions& opt,
+                         analysis::AnalysisReport* report,
+                         bool* any_saturated) {
+  for (size_t i = 0; i < result.op_stats.size(); ++i) {
+    const auto id = static_cast<LogicalPlan::OpId>(i);
+    const OperatorDescriptor& op = plan.op(id);
+    const OperatorRunStats& s = result.op_stats[i];
+
+    // Fix hints use the analytic (uncapped) utilization when available —
+    // a saturated instance measures ~1.0 busy fraction no matter how far
+    // past capacity it is, but the queueing model knows the true rho.
+    const double rho =
+        analytic != nullptr && analytic->per_op[i].utilization > 0.0
+            ? analytic->per_op[i].utilization
+            : s.utilization;
+
+    if (s.utilization >= opt.saturation_util) {
+      *any_saturated = true;
+      const int to = std::max(
+          s.parallelism + 1,
+          SuggestParallelism(s.parallelism, rho, opt.target_utilization));
+      analysis::Diagnostic d;
+      d.severity = analysis::Severity::kError;
+      d.code = "PDSP-R101";
+      d.pass = "saturated-operator";
+      d.op = id;
+      d.op_name = op.name;
+      d.message = StrFormat(
+          "operator is saturated: mean instance utilization %.2f "
+          "(peak queue %zu tuples)",
+          s.utilization, s.max_queue_tuples);
+      d.hint = StrFormat("raise parallelism of `%s` from %d to ~%d",
+                         op.name.c_str(), s.parallelism, to);
+      report->Add(std::move(d));
+    } else if (s.parallelism >= 2 &&
+               s.max_instance_util >= opt.skew_ratio * s.utilization &&
+               s.max_instance_util >= opt.target_utilization) {
+      // Hot instance far above the mean: key skew (hash partitioning sends
+      // a heavy key to one instance). Scaling by the mean would miss it.
+      const int to = std::max(
+          s.parallelism + 1,
+          SuggestParallelism(s.parallelism, s.max_instance_util,
+                             opt.target_utilization));
+      analysis::Diagnostic d;
+      d.severity = analysis::Severity::kWarning;
+      d.code = "PDSP-R102";
+      d.pass = "skew-bound";
+      d.op = id;
+      d.op_name = op.name;
+      d.message = StrFormat(
+          "skew-bound: hottest instance at %.2f utilization vs %.2f mean "
+          "(%.1fx)",
+          s.max_instance_util, s.utilization,
+          s.max_instance_util / std::max(1e-9, s.utilization));
+      d.hint = StrFormat(
+          "raise parallelism of `%s` from %d to ~%d, or reduce key skew "
+          "(hot keys all hash to one instance)",
+          op.name.c_str(), s.parallelism, to);
+      report->Add(std::move(d));
+    }
+
+    if (op.type != OperatorType::kSource && op.type != OperatorType::kSink &&
+        s.parallelism > 1 && s.utilization <= opt.over_provision_util &&
+        s.tuples_in > 0) {
+      const int to = SuggestParallelism(s.parallelism, s.utilization,
+                                        opt.target_utilization);
+      analysis::Diagnostic d;
+      d.severity = analysis::Severity::kInfo;
+      d.code = "PDSP-R105";
+      d.pass = "over-provisioned";
+      d.op = id;
+      d.op_name = op.name;
+      d.message = StrFormat(
+          "over-provisioned: %d instances at %.3f mean utilization",
+          s.parallelism, s.utilization);
+      d.hint = StrFormat("reduce parallelism of `%s` from %d to ~%d",
+                         op.name.c_str(), s.parallelism,
+                         std::min(to, s.parallelism - 1));
+      report->Add(std::move(d));
+    }
+  }
+}
+
+/// R103: shuffle-bound — network transit dominates the breakdown.
+void RunShuffleRule(const SimResult& result, const DiagnoseOptions& opt,
+                    analysis::AnalysisReport* report) {
+  const LatencyBreakdown& b = result.breakdown;
+  if (b.empty() || b.total_s <= 0.0) return;
+  const double frac = b.network_s / b.total_s;
+  if (frac < opt.shuffle_fraction) return;
+  analysis::Diagnostic d;
+  d.severity = analysis::Severity::kWarning;
+  d.code = "PDSP-R103";
+  d.pass = "shuffle-bound";
+  d.message = StrFormat(
+      "shuffle-bound: network transit is %s of end-to-end latency "
+      "(%s of %s)",
+      Pct(frac).c_str(), Ms(b.network_s).c_str(), Ms(b.total_s).c_str());
+  d.hint =
+      "co-locate heavy neighbours (placement), enable forward chaining, or "
+      "lower parallelism so fewer hops cross node boundaries";
+  report->Add(std::move(d));
+}
+
+/// R104: source-limited — generation was throttled although nothing in the
+/// pipeline is saturated (in-flight cap or window state holds tuples).
+void RunSourceLimitedRule(const LogicalPlan& plan, const SimResult& result,
+                          bool any_saturated,
+                          analysis::AnalysisReport* report) {
+  if (result.backpressure_skipped <= 0 || any_saturated) return;
+  const std::vector<LogicalPlan::OpId> sources = plan.SourceIds();
+  analysis::Diagnostic d;
+  d.severity = analysis::Severity::kWarning;
+  d.code = "PDSP-R104";
+  d.pass = "source-limited";
+  d.op = sources.empty() ? -1 : sources.front();
+  d.op_name = d.op >= 0 ? plan.op(d.op).name : "";
+  d.message = StrFormat(
+      "source-limited: backpressure skipped %lld tuples while no operator "
+      "is saturated (in-flight cap reached, likely window/join state)",
+      static_cast<long long>(result.backpressure_skipped));
+  d.hint =
+      "raise SimOptions::max_in_flight_tuples, shrink windows, or lower the "
+      "source rate — measured throughput understates capacity";
+  report->Add(std::move(d));
+}
+
+/// R106: watermark-stalled — an operator's watermark lag grows monotonically
+/// through the trailing samples, so event time stopped advancing.
+void RunWatermarkRule(const LogicalPlan& plan, const SimResult& result,
+                      const DiagnoseOptions& opt,
+                      analysis::AnalysisReport* report) {
+  if (result.timeseries.empty()) return;
+  // Max lag per (op name, sample time), rows are in time order.
+  std::map<std::string, std::vector<double>> lag_by_op;
+  std::map<std::string, double> last_time;
+  for (const TimeSeriesRow& row : result.timeseries.rows()) {
+    auto& lags = lag_by_op[row.op];
+    auto& t = last_time[row.op];
+    if (lags.empty() || row.time_s > t) {
+      lags.push_back(row.watermark_lag_s);
+      t = row.time_s;
+    } else {
+      lags.back() = std::max(lags.back(), row.watermark_lag_s);
+    }
+  }
+  for (size_t i = 0; i < plan.NumOperators(); ++i) {
+    const auto id = static_cast<LogicalPlan::OpId>(i);
+    const OperatorDescriptor& op = plan.op(id);
+    if (op.type == OperatorType::kSource) continue;  // wm is self-driven
+    auto it = lag_by_op.find(op.name);
+    if (it == lag_by_op.end()) continue;
+    const std::vector<double>& lags = it->second;
+    const int n = opt.stall_min_samples;
+    if (static_cast<int>(lags.size()) < n) continue;
+    bool monotone = true;
+    for (size_t k = lags.size() - n + 1; k < lags.size(); ++k) {
+      if (lags[k] < lags[k - 1]) {
+        monotone = false;
+        break;
+      }
+    }
+    const double final_lag = lags.back();
+    const double growth = final_lag - lags[lags.size() - n];
+    if (!monotone || growth <= 0.0 || final_lag < opt.stall_min_lag_s) {
+      continue;
+    }
+    analysis::Diagnostic d;
+    d.severity = analysis::Severity::kWarning;
+    d.code = "PDSP-R106";
+    d.pass = "watermark-stalled";
+    d.op = id;
+    d.op_name = op.name;
+    d.message = StrFormat(
+        "watermark stalled: input watermark lag grew monotonically over the "
+        "last %d samples to %.2fs",
+        n, final_lag);
+    d.hint =
+        "an upstream channel stopped advancing event time — look for an "
+        "idle source instance or a starved join input; windows downstream "
+        "cannot fire until it resumes";
+    report->Add(std::move(d));
+  }
+}
+
+}  // namespace
+
+Result<Diagnosis> DiagnoseRun(const LogicalPlan& plan, const Cluster& cluster,
+                              const SimResult& result,
+                              const DiagnoseOptions& options) {
+  if (!plan.validated()) {
+    return Status::InvalidArgument("DiagnoseRun requires a validated plan");
+  }
+  if (result.op_stats.size() != plan.NumOperators()) {
+    return Status::InvalidArgument(
+        "SimResult does not match plan (op_stats size mismatch)");
+  }
+  Diagnosis diag;
+  diag.breakdown = result.breakdown;
+  diag.critical_path = ComputeCriticalPath(plan, result);
+
+  // Analytic cross-check at the same parallelism; optional (UDO-heavy plans
+  // may fall outside the model).
+  AnalyticEstimate analytic;
+  const AnalyticEstimate* analytic_ptr = nullptr;
+  Result<AnalyticEstimate> est =
+      EstimateLatencyAnalytically(plan, cluster, options.analytic);
+  if (est.ok()) {
+    analytic = std::move(est).value();
+    analytic_ptr = &analytic;
+    diag.analytic_latency_s = analytic.latency_s;
+    diag.analytic_max_utilization = analytic.max_utilization;
+    for (size_t i = 0; i < analytic.per_op.size(); ++i) {
+      if (diag.analytic_bottleneck_op < 0 ||
+          analytic.per_op[i].utilization >
+              analytic.per_op[diag.analytic_bottleneck_op].utilization) {
+        diag.analytic_bottleneck_op = static_cast<LogicalPlan::OpId>(i);
+      }
+    }
+  }
+
+  bool any_saturated = false;
+  RunUtilizationRules(plan, result, analytic_ptr, options, &diag.report,
+                      &any_saturated);
+  RunShuffleRule(result, options, &diag.report);
+  RunSourceLimitedRule(plan, result, any_saturated, &diag.report);
+  RunWatermarkRule(plan, result, options, &diag.report);
+  diag.report.Finalize();
+  return diag;
+}
+
+Json Diagnosis::ToJson() const {
+  Json j = Json::Object();
+  Json b = Json::Object();
+  b.Set("samples", Json::Int(breakdown.samples));
+  b.Set("total_s", Json::Number(breakdown.total_s));
+  b.Set("source_batch_s", Json::Number(breakdown.source_batch_s));
+  b.Set("network_s", Json::Number(breakdown.network_s));
+  b.Set("queue_s", Json::Number(breakdown.queue_s));
+  b.Set("service_s", Json::Number(breakdown.service_s));
+  b.Set("window_s", Json::Number(breakdown.window_s));
+  j.Set("breakdown", std::move(b));
+  j.Set("critical_path", critical_path.ToJson());
+  j.Set("report", report.ToJson());
+  Json a = Json::Object();
+  a.Set("latency_s", Json::Number(analytic_latency_s));
+  a.Set("max_utilization", Json::Number(analytic_max_utilization));
+  a.Set("bottleneck_op", Json::Int(analytic_bottleneck_op));
+  j.Set("analytic", std::move(a));
+  return j;
+}
+
+std::string Diagnosis::ToString() const {
+  std::string out;
+  if (breakdown.empty()) {
+    out += "latency breakdown: (no post-warm-up sink records)\n";
+  } else {
+    const double t = std::max(1e-12, breakdown.total_s);
+    out += StrFormat(
+        "latency breakdown (mean over %lld results): total %s = "
+        "source-batch %s (%s) + network %s (%s) + queue %s (%s) + "
+        "service %s (%s) + window %s (%s)\n",
+        static_cast<long long>(breakdown.samples),
+        Ms(breakdown.total_s).c_str(), Ms(breakdown.source_batch_s).c_str(),
+        Pct(breakdown.source_batch_s / t).c_str(),
+        Ms(breakdown.network_s).c_str(),
+        Pct(breakdown.network_s / t).c_str(), Ms(breakdown.queue_s).c_str(),
+        Pct(breakdown.queue_s / t).c_str(), Ms(breakdown.service_s).c_str(),
+        Pct(breakdown.service_s / t).c_str(), Ms(breakdown.window_s).c_str(),
+        Pct(breakdown.window_s / t).c_str());
+  }
+  out += "critical path: " + critical_path.ToString() + "\n";
+  out += report.ToString();
+  return out;
+}
+
+std::string Diagnosis::Explain(const SimResult& result) const {
+  std::string out = ToString();
+  out += "\nper-operator components (mean seconds per tuple):\n";
+  out += StrFormat("  %-16s %4s %6s %8s %10s %10s %10s %10s %10s\n", "op",
+                   "par", "util", "max-util", "queue", "net-in", "service",
+                   "window", "src-batch");
+  for (const OperatorRunStats& s : result.op_stats) {
+    const OperatorLatencyStats& l = s.latency;
+    out += StrFormat(
+        "  %-16s %4d %6.2f %8.2f %10.6f %10.6f %10.6f %10.6f %10.6f\n",
+        s.name.c_str(), s.parallelism, s.utilization, s.max_instance_util,
+        l.MeanQueueWait(), l.MeanNetworkIn(), l.MeanService(),
+        l.MeanWindowResidency(), l.MeanSourceBatch());
+  }
+  if (analytic_bottleneck_op >= 0) {
+    out += StrFormat(
+        "analytic cross-check: predicted latency %s, max utilization %.2f "
+        "at op %d\n",
+        Ms(analytic_latency_s).c_str(), analytic_max_utilization,
+        analytic_bottleneck_op);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pdsp

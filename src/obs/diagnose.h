@@ -1,0 +1,118 @@
+// pdsp::obs::diagnose — automated bottleneck diagnosis for simulated runs.
+// Three layers over one completed SimResult:
+//
+//  1. Latency attribution: the engine-recorded LatencyBreakdown (see
+//     src/runtime/element.h) says *where* end-to-end latency is spent
+//     (source batching, network, queueing, service, window residency).
+//  2. Critical path: the source→sink chain maximizing summed mean per-tuple
+//     traversal cost (OperatorLatencyStats::MeanPathCost) says *which
+//     operators* a result's latency flows through, with per-hop shares.
+//  3. Rule engine: classifies *why* — saturated, skew-bound, shuffle-bound,
+//     source-limited, over-provisioned, watermark-stalled — emitting
+//     analysis::Diagnostics with stable PDSP-R### codes and fix hints
+//     derived from the analytic queueing model (src/sim/analytic.h).
+//
+// See DESIGN.md "Runtime diagnosis" for the code table and rule thresholds.
+
+#ifndef PDSP_OBS_DIAGNOSE_H_
+#define PDSP_OBS_DIAGNOSE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/query/plan.h"
+#include "src/sim/analytic.h"
+#include "src/sim/simulation.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+
+/// \brief Rule thresholds. Defaults are deliberately conservative: a
+/// well-provisioned run should produce no warnings (the ci_check smoke run
+/// asserts exactly that).
+struct DiagnoseOptions {
+  /// R101: mean per-instance utilization at/above this is saturation.
+  double saturation_util = 0.90;
+  /// R102: hottest instance >= this multiple of the mean instance.
+  double skew_ratio = 2.0;
+  /// Parallelism fix hints aim for this per-instance utilization.
+  double target_utilization = 0.60;
+  /// R105: non-source/sink operators below this utilization with
+  /// parallelism > 1 are flagged over-provisioned.
+  double over_provision_util = 0.05;
+  /// R103: network share of the end-to-end breakdown at/above this.
+  double shuffle_fraction = 0.40;
+  /// R106: watermark lag must grow monotonically over at least this many
+  /// trailing samples and end at/above stall_min_lag_s.
+  int stall_min_samples = 4;
+  double stall_min_lag_s = 1.0;
+  /// Queueing-model knobs for analytic cross-check and fix hints. Pass the
+  /// run's cost model here so hints match what was simulated.
+  AnalyticOptions analytic;
+};
+
+/// \brief One operator on the critical path.
+struct CriticalPathHop {
+  LogicalPlan::OpId op = -1;
+  std::string name;
+  /// Mean per-tuple cost of traversing this operator (queue wait +
+  /// network-in + service + window residency + source batching).
+  double cost_s = 0.0;
+  /// cost_s as a fraction of the whole path (0 when the path is free).
+  double share = 0.0;
+};
+
+/// \brief The source→sink chain with the highest summed mean traversal
+/// cost — where a typical result's latency actually accrues.
+struct CriticalPath {
+  std::vector<CriticalPathHop> hops;  ///< source first, sink last
+  double total_s = 0.0;               ///< sum of hop costs
+
+  std::string ToString() const;  ///< "src (12%) -> join1 (74%) -> sink (14%)"
+  Json ToJson() const;
+};
+
+/// Extracts the weighted critical path from per-operator latency stats.
+/// Requires a validated plan whose operators match `result.op_stats`.
+CriticalPath ComputeCriticalPath(const LogicalPlan& plan,
+                                 const SimResult& result);
+
+/// \brief Full diagnosis of one run.
+struct Diagnosis {
+  LatencyBreakdown breakdown;
+  CriticalPath critical_path;
+  /// PDSP-R### findings, ordered by (severity desc, op, code).
+  analysis::AnalysisReport report;
+  /// Analytic cross-check at the same parallelism (0/-1 when the analytic
+  /// model could not run, e.g. unknown UDO cost).
+  double analytic_latency_s = 0.0;
+  double analytic_max_utilization = 0.0;
+  LogicalPlan::OpId analytic_bottleneck_op = -1;
+
+  /// True when any diagnostic has the given code (e.g. "PDSP-R101").
+  bool HasCode(const std::string& code) const { return report.HasCode(code); }
+
+  Json ToJson() const;
+  /// Compact human summary: breakdown, critical path, findings.
+  std::string ToString() const;
+  /// ToString() plus per-operator component table (--explain output).
+  std::string Explain(const SimResult& result) const;
+};
+
+/// Diagnoses a completed simulated run of `plan` on `cluster`. Run the
+/// simulation with `SimOptions::attribute_latency` set to get the latency
+/// breakdown, critical path and shuffle-bound rule; without it those
+/// degrade gracefully (empty breakdown, zero-weight path, R103 skipped)
+/// while the utilization/skew/source/watermark rules still apply.
+Result<Diagnosis> DiagnoseRun(const LogicalPlan& plan, const Cluster& cluster,
+                              const SimResult& result,
+                              const DiagnoseOptions& options = {});
+
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_DIAGNOSE_H_

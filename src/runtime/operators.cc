@@ -91,13 +91,19 @@ struct AggState {
   double min = kInf;
   double max = -kInf;
   double first_birth = kInf;
+  // Attribution handle of the earliest contributor: the fired result's
+  // latency is measured against its birth, so its handle travels with it.
+  uint32_t first_attr_id = kNoAttr;
 
-  void Add(double v, double birth) {
+  void Add(double v, double birth, uint32_t attr_id) {
     ++count;
     sum += v;
     min = std::min(min, v);
     max = std::max(max, v);
-    first_birth = std::min(first_birth, birth);
+    if (birth < first_birth) {
+      first_birth = birth;
+      first_attr_id = attr_id;
+    }
   }
 
   double Finish(AggregateFn fn) const {
@@ -146,7 +152,7 @@ class TimeWindowAggExec : public OperatorInstance {
       if (start + duration_ <= watermark_) continue;  // pane already fired
       auto [it, inserted] = panes_.try_emplace(pane);
       if (inserted) timer_heap_.push(start + duration_);
-      it->second[key].Add(v, e.birth);
+      it->second[key].Add(v, e.birth, e.attr_id);
       contributed = true;
     }
     if (!contributed) ++late_drops_;
@@ -163,6 +169,7 @@ class TimeWindowAggExec : public OperatorInstance {
         StreamElement result;
         result.tuple.event_time = pane_end;
         result.birth = state.first_birth;
+        result.attr_id = state.first_attr_id;
         if (keyed) result.tuple.values.push_back(key);
         result.tuple.values.push_back(Value(state.Finish(op_.agg_fn)));
         out->push_back(std::move(result));
@@ -223,13 +230,17 @@ class CountWindowAggExec : public OperatorInstance {
     }
     const Value key = keyed ? e.tuple.values[op_.key_field] : Value(0);
     auto& buf = buffers_[key];
-    buf.emplace_back(e.tuple.values[op_.agg_field].AsNumeric(), e.birth);
+    buf.push_back({e.tuple.values[op_.agg_field].AsNumeric(), e.birth,
+                   e.attr_id});
     if (static_cast<int64_t>(buf.size()) >= length_) {
       AggState state;
-      for (const auto& [v, birth] : buf) state.Add(v, birth);
+      for (const Entry& entry : buf) {
+        state.Add(entry.value, entry.birth, entry.attr_id);
+      }
       StreamElement result;
       result.tuple.event_time = e.tuple.event_time;
       result.birth = state.first_birth;
+      result.attr_id = state.first_attr_id;
       if (keyed) result.tuple.values.push_back(key);
       result.tuple.values.push_back(Value(state.Finish(op_.agg_fn)));
       out->push_back(std::move(result));
@@ -245,10 +256,16 @@ class CountWindowAggExec : public OperatorInstance {
   }
 
  private:
+  struct Entry {
+    double value;
+    double birth;
+    uint32_t attr_id;
+  };
+
   OperatorDescriptor op_;
   int64_t length_;
   int64_t slide_;
-  std::map<Value, std::deque<std::pair<double, double>>> buffers_;
+  std::map<Value, std::deque<Entry>> buffers_;
 };
 
 // Windowed equi-join. Time policy: per-side keyed buffers holding the last
@@ -295,6 +312,10 @@ class WindowJoinExec : public OperatorInstance {
         StreamElement joined;
         joined.tuple.event_time = std::max(t, match.tuple.event_time);
         joined.birth = std::min(e.birth, match.birth);
+        // Attribution follows the earliest contributor (the side latency is
+        // measured against); the buffered partner's residency in the join
+        // window is charged by the simulator when it sees the stale cursor.
+        joined.attr_id = e.birth <= match.birth ? e.attr_id : match.attr_id;
         const StreamElement& left = input_port == 0 ? e : match;
         const StreamElement& right = input_port == 0 ? match : e;
         joined.tuple.values.reserve(left.tuple.values.size() +

@@ -100,7 +100,8 @@ class Engine {
   double TaskSpeed(int task) const;
 
   /// Appends one time-series row per task at virtual time `t` (rates and
-  /// utilization over the interval since the previous sample).
+  /// utilization over the elapsed time since the previous sample — the last
+  /// end-of-run sample may cover a partial interval).
   void SampleTimeSeries(double t);
   /// Verbose tracing: one virtual-time complete event for a firing of
   /// `task` spanning [start, start+duration).
@@ -129,6 +130,34 @@ class Engine {
                           std::vector<PlannedDelivery>* deliveries);
   void EmitSourceBatch(int task, double now);
 
+  // --- latency attribution -----------------------------------------------
+  // Every virtual-time interval an element lives through is charged to
+  // exactly one LatencyAttr component, so sink-side components telescope to
+  // the recorded end-to-end latency. Gated behind
+  // SimOptions::attribute_latency (charging walks every element several
+  // times per hop). Charges happen at four points: batch
+  // dispatch (source-batching at sources, service elsewhere), delivery
+  // (network transit), dequeue (queue wait) and state emergence (window
+  // residency, detected by a stale attribution cursor).
+
+  /// Advances each outgoing element's cursor to `completion`, charging the
+  /// gap to source-batching (sources) or service (operators).
+  void ChargeDispatch(LogicalPlan::OpId op, double completion,
+                      bool is_source,
+                      std::vector<PlannedDelivery>* deliveries);
+  /// Charges `now - cursor` to network transit for a just-delivered batch.
+  void ChargeNetwork(LogicalPlan::OpId op, double now, Batch* batch);
+  /// Charges `now - cursor` to queue wait for a just-dequeued batch.
+  void ChargeQueueWait(LogicalPlan::OpId op, double now, Batch* batch);
+  /// Charges window/join-state residency for outputs whose cursor predates
+  /// `now` (they emerged from operator state rather than this batch).
+  void ChargeWindowResidency(LogicalPlan::OpId op, double now,
+                             std::vector<StreamElement>* outputs);
+  /// Allocates an attribution record with its cursor at `birth`; returns
+  /// kNoAttr once the pool cap is reached (the tail of an extreme run goes
+  /// untracked rather than exhausting memory).
+  uint32_t NewAttr(double birth);
+
   const PhysicalPlan& plan_;
   const Cluster& cluster_;
   const Placement& placement_;
@@ -152,8 +181,22 @@ class Engine {
   std::vector<double> prev_busy_time_;
   std::vector<int64_t> prev_tuples_in_;
   std::vector<int64_t> prev_tuples_out_;
+  double prev_sample_time_ = 0.0;
   bool trace_verbose_ = false;
+  bool attribute_ = false;
   bool bp_active_ = false;
+  // Per-logical-operator latency-component accumulators (moved into
+  // OperatorRunStats::latency at aggregation time).
+  std::vector<OperatorLatencyStats> op_latency_;
+  // Attribution records, one per tracked source element; derived elements
+  // share their earliest contributor's record (StreamElement::attr_id).
+  // Kept engine-side so elements stay small when attribution is off.
+  static constexpr size_t kAttrPoolCap = 4'000'000;
+  std::vector<LatencyAttr> attr_pool_;
+  // Sink-side breakdown sums over post-warm-up records.
+  LatencyAttr bd_sum_;
+  double bd_total_ = 0.0;
+  int64_t bd_n_ = 0;
 };
 
 Status Engine::SetUpTasks() {
@@ -256,7 +299,9 @@ void Engine::ApplyWatermark(TaskState* state, const Batch& batch) {
 }
 
 void Engine::SampleTimeSeries(double t) {
-  const double interval = options_.metrics_interval_s;
+  const double interval = t - prev_sample_time_;
+  if (interval <= 0.0) return;
+  prev_sample_time_ = t;
   const bool bp = pending_tuples_ > options_.max_in_flight_tuples;
   for (size_t task = 0; task < tasks_.size(); ++task) {
     const TaskState& state = tasks_[task];
@@ -416,6 +461,78 @@ void Engine::DispatchDeliveries(int task, double completion,
   }
 }
 
+uint32_t Engine::NewAttr(double birth) {
+  if (attr_pool_.size() >= kAttrPoolCap) return kNoAttr;
+  LatencyAttr a;
+  a.accounted_until = birth;
+  attr_pool_.push_back(a);
+  return static_cast<uint32_t>(attr_pool_.size() - 1);
+}
+
+void Engine::ChargeDispatch(LogicalPlan::OpId op, double completion,
+                            bool is_source,
+                            std::vector<PlannedDelivery>* deliveries) {
+  OperatorLatencyStats& acc = op_latency_[op];
+  for (PlannedDelivery& d : *deliveries) {
+    for (StreamElement& e : d.batch->elements) {
+      if (e.attr_id == kNoAttr) continue;
+      LatencyAttr& a = attr_pool_[e.attr_id];
+      const double delta = completion - a.accounted_until;
+      a.accounted_until = completion;
+      if (is_source) {
+        a.source_batch_s += delta;
+        acc.source_batch_sum_s += delta;
+        ++acc.source_batch_n;
+      } else {
+        a.service_s += delta;
+        acc.service_sum_s += delta;
+        ++acc.service_n;
+      }
+    }
+  }
+}
+
+void Engine::ChargeNetwork(LogicalPlan::OpId op, double now, Batch* batch) {
+  OperatorLatencyStats& acc = op_latency_[op];
+  for (StreamElement& e : batch->elements) {
+    if (e.attr_id == kNoAttr) continue;
+    LatencyAttr& a = attr_pool_[e.attr_id];
+    const double delta = now - a.accounted_until;
+    a.network_s += delta;
+    a.accounted_until = now;
+    acc.network_in_sum_s += delta;
+    ++acc.network_in_n;
+  }
+}
+
+void Engine::ChargeQueueWait(LogicalPlan::OpId op, double now, Batch* batch) {
+  OperatorLatencyStats& acc = op_latency_[op];
+  for (StreamElement& e : batch->elements) {
+    if (e.attr_id == kNoAttr) continue;
+    LatencyAttr& a = attr_pool_[e.attr_id];
+    const double delta = now - a.accounted_until;
+    a.queue_s += delta;
+    a.accounted_until = now;
+    acc.queue_wait_sum_s += delta;
+    ++acc.queue_wait_n;
+  }
+}
+
+void Engine::ChargeWindowResidency(LogicalPlan::OpId op, double now,
+                                   std::vector<StreamElement>* outputs) {
+  OperatorLatencyStats& acc = op_latency_[op];
+  for (StreamElement& e : *outputs) {
+    if (e.attr_id == kNoAttr) continue;
+    LatencyAttr& a = attr_pool_[e.attr_id];
+    const double delta = now - a.accounted_until;
+    if (delta <= 0.0) continue;  // fresh output of this firing, not state
+    a.window_s += delta;
+    a.accounted_until = now;
+    acc.window_sum_s += delta;
+    ++acc.window_n;
+  }
+}
+
 void Engine::EmitSourceBatch(int task, double now) {
   TaskState& state = tasks_[task];
   const PhysicalTask& pt = plan_.task(task);
@@ -444,6 +561,7 @@ void Engine::EmitSourceBatch(int task, double now) {
     StreamElement e;
     e.tuple = state.generator->Next(t_event);
     e.birth = t_event;
+    if (attribute_) e.attr_id = NewAttr(t_event);  // charging starts at birth
     outputs.push_back(std::move(e));
   }
   result_.source_tuples += n;
@@ -473,6 +591,11 @@ void Engine::EmitSourceBatch(int task, double now) {
   if (trace_verbose_) {
     TraceFiring(task, completion - service, service,
                 static_cast<size_t>(n));
+  }
+  // Everything between birth and the batch shipping out — interval fill,
+  // source lag and the source's own service — is source-batching time.
+  if (attribute_) {
+    ChargeDispatch(pt.op, completion, /*is_source=*/true, &deliveries);
   }
   DispatchDeliveries(task, completion, &deliveries);
 
@@ -507,6 +630,7 @@ Status Engine::ProcessOne(int task, double now) {
     state.queued_tuples -= batch->elements.size();
     pending_tuples_ -= static_cast<int64_t>(batch->elements.size());
     state.tuples_in += static_cast<int64_t>(batch->elements.size());
+    if (attribute_) ChargeQueueWait(pt.op, now, batch.get());
     if (batch->elements.empty()) {
       cost = costs_.wm_batch_cost;
     } else {
@@ -522,14 +646,37 @@ Status Engine::ProcessOne(int task, double now) {
   }
   cost += static_cast<double>(outputs.size()) *
           costs_.OutputTupleCost(op, timer_fire);
+  // Outputs whose attribution cursor predates this firing emerged from
+  // operator state (window panes, buffered join partners): charge the gap
+  // as window residency.
+  if (attribute_) ChargeWindowResidency(pt.op, now, &outputs);
 
   if (op.type == OperatorType::kSink) {
     const double completion = now + cost / TaskSpeed(task);
-    for (const StreamElement& e : outputs) {
+    OperatorLatencyStats& acc = op_latency_[pt.op];
+    for (StreamElement& e : outputs) {
+      if (e.attr_id != kNoAttr) {
+        LatencyAttr& a = attr_pool_[e.attr_id];
+        const double svc = completion - a.accounted_until;
+        a.service_s += svc;
+        a.accounted_until = completion;
+        acc.service_sum_s += svc;
+        ++acc.service_n;
+      }
       ++result_.sink_tuples;
       if (completion >= options_.warmup_s) {
         result_.latency.Record(completion - e.birth);
         hist_sink_latency_->Observe(completion - e.birth);
+        if (e.attr_id != kNoAttr) {
+          const LatencyAttr& a = attr_pool_[e.attr_id];
+          bd_sum_.source_batch_s += a.source_batch_s;
+          bd_sum_.network_s += a.network_s;
+          bd_sum_.queue_s += a.queue_s;
+          bd_sum_.service_s += a.service_s;
+          bd_sum_.window_s += a.window_s;
+          bd_total_ += completion - e.birth;
+          ++bd_n_;
+        }
       }
     }
     ctr_sink_tuples_->Add(static_cast<int64_t>(outputs.size()));
@@ -546,6 +693,10 @@ Status Engine::ProcessOne(int task, double now) {
     const double service = cost / TaskSpeed(task);
     state.busy_until = now + service;
     state.busy_time += service;
+    if (attribute_) {
+      ChargeDispatch(pt.op, state.busy_until, /*is_source=*/false,
+                     &deliveries);
+    }
     DispatchDeliveries(task, state.busy_until, &deliveries);
   }
 
@@ -584,12 +735,15 @@ Result<SimResult> Engine::Run() {
       result_.metrics->GetHistogram("pdsp.sim.sink_latency_seconds");
   trace_verbose_ =
       options_.tracer != nullptr && options_.tracer->verbose();
+  attribute_ = options_.attribute_latency;
   PDSP_RETURN_NOT_OK(SetUpTasks());
   prev_busy_time_.assign(tasks_.size(), 0.0);
   prev_tuples_in_.assign(tasks_.size(), 0);
   prev_tuples_out_.assign(tasks_.size(), 0);
-  // Sample points sit at k*interval for k = 1..floor(duration/interval);
-  // the drain past duration_s is covered by the trace, not the series.
+  op_latency_.assign(plan_.logical().NumOperators(), OperatorLatencyStats{});
+  // Sample points sit at k*interval for k = 1..floor(duration/interval),
+  // plus one final end-of-run sample covering the partial last interval
+  // (so metrics_interval_s > duration_s still yields one row per task).
   const double interval = options_.metrics_interval_s;
   double next_sample = interval > 0.0 ? interval : kInf;
 
@@ -614,6 +768,9 @@ Result<SimResult> Engine::Run() {
           EmitSourceBatch(e.task, e.time);
           break;
         case EventKind::kDelivery:
+          if (attribute_) {
+            ChargeNetwork(plan_.task(e.task).op, e.time, e.batch.get());
+          }
           state.queue.push_back(e.batch);
           state.queued_tuples += e.batch->elements.size();
           state.max_queue_tuples =
@@ -631,6 +788,13 @@ Result<SimResult> Engine::Run() {
     while (next_sample <= options_.duration_s) {
       SampleTimeSeries(next_sample);
       next_sample += interval;
+    }
+    // End-of-run sample over the partial last interval, so short runs
+    // (duration < interval) and the drain tail are still represented.
+    if (interval > 0.0) {
+      const double end =
+          std::max(options_.duration_s, result_.virtual_time_end);
+      if (prev_sample_time_ < end) SampleTimeSeries(end);
     }
   }
 
@@ -657,8 +821,20 @@ Result<SimResult> Engine::Run() {
       s.max_instance_util = std::max(s.max_instance_util, util);
     }
     s.utilization = util_sum / s.parallelism;
+    s.latency = op_latency_[op];
     result_.late_drops += s.late_drops;
     result_.op_stats.push_back(std::move(s));
+  }
+
+  if (bd_n_ > 0) {
+    const double inv = 1.0 / static_cast<double>(bd_n_);
+    result_.breakdown.samples = bd_n_;
+    result_.breakdown.source_batch_s = bd_sum_.source_batch_s * inv;
+    result_.breakdown.network_s = bd_sum_.network_s * inv;
+    result_.breakdown.queue_s = bd_sum_.queue_s * inv;
+    result_.breakdown.service_s = bd_sum_.service_s * inv;
+    result_.breakdown.window_s = bd_sum_.window_s * inv;
+    result_.breakdown.total_s = bd_total_ * inv;
   }
 
   result_.median_latency_s = result_.latency.Percentile(50.0);

@@ -51,11 +51,58 @@ struct SimOptions {
   /// (queue depth, utilization, rates, watermark lag). 0 disables sampling;
   /// the default is cheap enough to stay on (a few hundred rows per run).
   double metrics_interval_s = 0.25;
+  /// Per-tuple latency attribution (queue wait / service / network /
+  /// source batching / window residency telescoping to the end-to-end
+  /// latency; see LatencyAttr). Fills SimResult::breakdown and
+  /// OperatorRunStats::latency, which obs::DiagnoseRun's shuffle rule and
+  /// critical path consume. Off by default: charging touches every element
+  /// several times per hop (~15% wall-clock on join-heavy plans), and it
+  /// never changes virtual-time results — every diagnosis path turns it on.
+  bool attribute_latency = false;
   /// Optional span/event tracer (non-owning). When set, the run records
   /// simulate/aggregate phase spans and in-flight counter samples; with
   /// `tracer->verbose()` also every operator firing in virtual time.
   obs::Tracer* tracer = nullptr;
   uint64_t seed = 42;
+};
+
+/// \brief Where tuples passing through one operator spent their time,
+/// accumulated by the engine as it charges each latency component (see
+/// LatencyAttr in src/runtime/element.h). Sums are over charged elements;
+/// the Mean* accessors are safe on empty accumulators (0.0).
+struct OperatorLatencyStats {
+  double queue_wait_sum_s = 0.0;    ///< input-queue wait, per input tuple
+  int64_t queue_wait_n = 0;
+  double network_in_sum_s = 0.0;    ///< channel transit into this operator
+  int64_t network_in_n = 0;
+  double service_sum_s = 0.0;       ///< service as experienced per output
+  int64_t service_n = 0;
+  double window_sum_s = 0.0;        ///< state residency, per emerging result
+  int64_t window_n = 0;
+  double source_batch_sum_s = 0.0;  ///< sources only: batching + source lag
+  int64_t source_batch_n = 0;
+
+  double MeanQueueWait() const {
+    return queue_wait_n > 0 ? queue_wait_sum_s / queue_wait_n : 0.0;
+  }
+  double MeanNetworkIn() const {
+    return network_in_n > 0 ? network_in_sum_s / network_in_n : 0.0;
+  }
+  double MeanService() const {
+    return service_n > 0 ? service_sum_s / service_n : 0.0;
+  }
+  double MeanWindowResidency() const {
+    return window_n > 0 ? window_sum_s / window_n : 0.0;
+  }
+  double MeanSourceBatch() const {
+    return source_batch_n > 0 ? source_batch_sum_s / source_batch_n : 0.0;
+  }
+  /// Mean per-tuple cost a result pays for traversing this operator — the
+  /// edge weight for critical-path extraction (pdsp::obs::ComputeCriticalPath).
+  double MeanPathCost() const {
+    return MeanQueueWait() + MeanNetworkIn() + MeanService() +
+           MeanWindowResidency() + MeanSourceBatch();
+  }
 };
 
 /// \brief Per-operator execution statistics (summed over instances).
@@ -69,6 +116,29 @@ struct OperatorRunStats {
   double utilization = 0.0;      ///< mean per-instance busy fraction
   double max_instance_util = 0.0;///< hottest instance (imbalance indicator)
   size_t max_queue_tuples = 0;
+  /// Latency components charged at this operator (queue wait, service,
+  /// network-in, window residency, source batching).
+  OperatorLatencyStats latency;
+};
+
+/// \brief Mean end-to-end latency decomposition recorded at the sink over
+/// the same post-warm-up records as `SimResult::latency`. The components
+/// telescope: their sum equals `total_s` up to floating-point rounding,
+/// because the engine charges every virtual-time interval of an element's
+/// life to exactly one component.
+struct LatencyBreakdown {
+  int64_t samples = 0;
+  double source_batch_s = 0.0;  ///< mean source batching + source lag
+  double network_s = 0.0;       ///< mean network transit (all hops)
+  double queue_s = 0.0;         ///< mean queueing delay (all operators)
+  double service_s = 0.0;       ///< mean service time (all operators)
+  double window_s = 0.0;        ///< mean window/join state residency
+  double total_s = 0.0;         ///< mean recorded end-to-end latency
+
+  double ComponentSum() const {
+    return source_batch_s + network_s + queue_s + service_s + window_s;
+  }
+  bool empty() const { return samples == 0; }
 };
 
 /// \brief Result of one simulated run.
@@ -89,6 +159,9 @@ struct SimResult {
   int64_t events_processed = 0;
   double virtual_time_end = 0.0;
   std::vector<OperatorRunStats> op_stats;
+  /// End-to-end latency attribution recorded at the sink (empty when no
+  /// post-warm-up sink records were produced).
+  LatencyBreakdown breakdown;
   /// Named counters/gauges/histograms recorded during the run
   /// (pdsp.sim.* namespace); always populated, never null after a
   /// successful run.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 namespace pdsp {
 
@@ -23,6 +24,7 @@ Result<AutoscaleResult> Autoscale(LogicalPlan plan, const Cluster& cluster,
     ExecutionOptions exec = options.execution;
     exec.sim.seed = options.execution.sim.seed +
                     static_cast<uint64_t>(iter) * 524287ULL;
+    exec.sim.attribute_latency = true;  // every iteration is diagnosed
     PDSP_ASSIGN_OR_RETURN(SimResult run, ExecutePlan(plan, cluster, exec));
 
     AutoscaleStep step;
@@ -35,6 +37,21 @@ Result<AutoscaleResult> Autoscale(LogicalPlan plan, const Cluster& cluster,
     for (const OperatorRunStats& s : run.op_stats) {
       step.max_utilization = std::max(step.max_utilization, s.utilization);
     }
+
+    // Run diagnosis: skew-bound operators (PDSP-R102) are scaled by their
+    // hottest instance — the DS2 mean-utilization rule under-provisions
+    // them because the hot key pins one instance near saturation while the
+    // mean looks comfortable.
+    std::set<LogicalPlan::OpId> skew_bound;
+    Result<obs::Diagnosis> diag =
+        obs::DiagnoseRun(plan, cluster, run, options.diagnose);
+    if (diag.ok()) {
+      for (const analysis::Diagnostic& d :
+           diag.value().report.diagnostics()) {
+        step.diagnostic_codes.push_back(d.code);
+        if (d.code == "PDSP-R102" && d.op >= 0) skew_bound.insert(d.op);
+      }
+    }
     result.steps.push_back(step);
 
     // DS2 rule: the work an operator performs per second is
@@ -46,7 +63,9 @@ Result<AutoscaleResult> Autoscale(LogicalPlan plan, const Cluster& cluster,
       const auto id = static_cast<LogicalPlan::OpId>(op);
       if (plan.op(id).type == OperatorType::kSink) continue;
       const OperatorRunStats& s = run.op_stats[op];
-      const double work = s.utilization * plan.op(id).parallelism;
+      const double util =
+          skew_bound.count(id) > 0 ? s.max_instance_util : s.utilization;
+      const double work = util * plan.op(id).parallelism;
       int degree = static_cast<int>(
           std::ceil(work / options.target_utilization));
       degree = std::clamp(degree, options.min_degree, options.max_degree);

@@ -11,8 +11,11 @@
 
 #include <vector>
 
+#include <string>
+
 #include "src/cluster/cluster.h"
 #include "src/common/status.h"
+#include "src/obs/diagnose.h"
 #include "src/query/plan.h"
 #include "src/sim/simulation.h"
 #include "src/workload/enumerator.h"
@@ -32,6 +35,9 @@ struct AutoscalerOptions {
   int max_degree = 128;
   /// Per-iteration measurement run.
   ExecutionOptions execution;
+  /// Thresholds for the per-iteration run diagnosis (pdsp::obs::DiagnoseRun)
+  /// whose saturated/skew findings steer the scaling rule.
+  obs::DiagnoseOptions diagnose;
 };
 
 /// \brief One measure-and-rescale iteration.
@@ -39,6 +45,9 @@ struct AutoscaleStep {
   ParallelismAssignment degrees;
   double median_latency_s = 0.0;
   double max_utilization = 0.0;
+  /// PDSP-R### codes the run diagnosis raised this iteration (e.g.
+  /// "PDSP-R101" saturated, "PDSP-R102" skew-bound).
+  std::vector<std::string> diagnostic_codes;
 };
 
 /// \brief Final outcome.

@@ -1,0 +1,104 @@
+// max_instance_util under skewed key distributions: hash partitioning sends
+// a Zipf-heavy key stream mostly to one instance, so the hottest instance's
+// utilization must pull away from the mean as skew grows — the signal the
+// PDSP-R102 skew-bound diagnosis and the autoscaler key on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/obs/diagnose.h"
+#include "src/sim/simulation.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace {
+
+/// Linear keyed plan whose aggregate sees keys with the given Zipf skew.
+Result<LogicalPlan> SkewedAggPlan(double zipf_s, double rate,
+                                  int parallelism) {
+  PlanBuilder b;
+  auto src = b.Source("src",
+                      testing::KeyValueStream(/*key_cardinality=*/50, zipf_s),
+                      testing::PoissonArrival(rate), 2);
+  WindowSpec win;
+  win.type = WindowType::kTumbling;
+  win.policy = WindowPolicy::kTime;
+  win.duration_ms = 500.0;
+  auto agg = b.WindowAggregate("agg", src, win, AggregateFn::kSum, 1, 0,
+                               parallelism);
+  b.Sink("sink", agg);
+  return b.Build();
+}
+
+struct AggUtil {
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+Result<AggUtil> MeasureAggUtil(double zipf_s) {
+  PDSP_ASSIGN_OR_RETURN(LogicalPlan plan,
+                        SkewedAggPlan(zipf_s, 60000.0, 4));
+  ExecutionOptions opt;
+  opt.sim.duration_s = 2.0;
+  opt.sim.warmup_s = 0.25;
+  opt.sim.seed = 5;
+  PDSP_ASSIGN_OR_RETURN(SimResult r, ExecutePlan(plan, Cluster::M510(4), opt));
+  PDSP_ASSIGN_OR_RETURN(LogicalPlan::OpId agg, plan.FindOperator("agg"));
+  return AggUtil{r.op_stats[agg].utilization,
+                 r.op_stats[agg].max_instance_util};
+}
+
+TEST(SkewTest, MaxInstanceUtilNeverBelowMean) {
+  for (double s : {0.0, 0.8, 1.6}) {
+    SCOPED_TRACE(s);
+    auto u = MeasureAggUtil(s);
+    ASSERT_TRUE(u.ok()) << u.status().ToString();
+    EXPECT_GE(u->max, u->mean - 1e-12);
+    EXPECT_GT(u->max, 0.0);
+  }
+}
+
+TEST(SkewTest, SkewWidensMaxOverMeanGap) {
+  auto uniform = MeasureAggUtil(0.0);
+  auto skewed = MeasureAggUtil(1.6);
+  ASSERT_TRUE(uniform.ok()) << uniform.status().ToString();
+  ASSERT_TRUE(skewed.ok()) << skewed.status().ToString();
+  const double uniform_ratio = uniform->max / std::max(1e-12, uniform->mean);
+  const double skewed_ratio = skewed->max / std::max(1e-12, skewed->mean);
+  // Near-uniform keys balance across the 4 instances; heavy Zipf pins the
+  // hot key's instance well above the mean.
+  EXPECT_LT(uniform_ratio, 1.5) << "uniform keys should balance";
+  EXPECT_GT(skewed_ratio, uniform_ratio + 0.25)
+      << "zipf_s=1.6 should load one instance disproportionately";
+}
+
+TEST(SkewTest, SkewBoundDiagnosisFiresOnHotInstance) {
+  // Drive the hot instance toward saturation while the mean stays moderate:
+  // this is exactly the PDSP-R102 shape (skew-bound, not plan-wide
+  // saturation).
+  auto plan = SkewedAggPlan(1.6, 150000.0, 8);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const Cluster cluster = Cluster::M510(8);
+  ExecutionOptions opt;
+  opt.sim.duration_s = 2.0;
+  opt.sim.warmup_s = 0.25;
+  opt.sim.seed = 5;
+  auto r = ExecutePlan(*plan, cluster, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto agg = plan->FindOperator("agg");
+  ASSERT_TRUE(agg.ok());
+  const OperatorRunStats& s = r->op_stats[*agg];
+  ASSERT_GT(s.max_instance_util, 1.9 * s.utilization)
+      << "setup should produce a skewed aggregate";
+
+  auto diag = obs::DiagnoseRun(*plan, cluster, *r);
+  ASSERT_TRUE(diag.ok()) << diag.status().ToString();
+  if (s.max_instance_util >= 2.0 * s.utilization &&
+      s.max_instance_util >= 0.6 && s.utilization < 0.9) {
+    EXPECT_TRUE(diag->HasCode("PDSP-R102")) << diag->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pdsp

@@ -34,6 +34,28 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 step "static plan analysis (pdspbench analyze all)"
 "$BUILD_DIR/tools/pdspbench" analyze all
 
+step "runtime diagnosis smoke (pdspbench diagnose all --json)"
+# Simulate + diagnose all 14 apps at well-provisioned defaults. The CLI exits
+# non-zero if any error-severity PDSP-R finding fires; the parse additionally
+# checks the JSON is well-formed, every app simulated, and zero runtime
+# errors were reported (warnings/infos like skew or over-provisioning are
+# expected and allowed).
+DIAG_JSON="$BUILD_DIR/diagnose_all.json"
+"$BUILD_DIR/tools/pdspbench" diagnose all --json > "$DIAG_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$DIAG_JSON" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+failed = [p["plan"] for p in d["plans"] if "error" in p]
+assert not failed, f"diagnose failed for: {failed}"
+assert len(d["plans"]) >= 14, f"expected >= 14 apps, got {len(d['plans'])}"
+assert d["errors"] == 0, f"unexpected PDSP-R errors on well-provisioned defaults: {d['errors']}"
+print(f"diagnosed {len(d['plans'])} apps: {d['errors']} errors, {d['warnings']} warnings")
+EOF
+else
+  echo "python3 not found; relying on the CLI exit status only"
+fi
+
 step "lint (tools/lint.sh)"
 tools/lint.sh "$BUILD_DIR"
 

@@ -32,6 +32,15 @@
 //                     [--rate=N] [--list-passes]
 // Exit status: 0 when no error-severity diagnostics were found (with
 // --strict: no warnings either), 1 otherwise — CI runs `analyze all`.
+//
+// The `diagnose` subcommand simulates a plan, then runs the runtime
+// bottleneck diagnosis (pdsp::obs::DiagnoseRun): latency breakdown,
+// weighted critical path and PDSP-R### findings with fix hints:
+//   pdspbench diagnose <abbrev|structure|all> [--parallelism=N] [--rate=N]
+//                      [--cluster=NAME] [--nodes=N] [--duration=S]
+//                      [--seed=N] [--json] [--explain]
+// Exit status: 0 when no error-severity runtime diagnostics (saturation)
+// were found, 1 otherwise.
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +52,7 @@
 #include "src/apps/apps.h"
 #include "src/common/string_util.h"
 #include "src/harness/synthetic_suite.h"
+#include "src/obs/diagnose.h"
 #include "src/sim/analytic.h"
 #include "src/sim/simulation.h"
 #include "src/store/run_store.h"
@@ -84,7 +94,9 @@ int Usage() {
                "                 [--placement=NAME] [--allow-invalid] | "
                "--list\n"
                "       pdspbench analyze (<abbrev>|<structure>|all) "
-               "[--json] [--strict] | analyze --list-passes\n");
+               "[--json] [--strict] | analyze --list-passes\n"
+               "       pdspbench diagnose (<abbrev>|<structure>|all) "
+               "[--parallelism=N] [--json] [--explain]\n");
   return 2;
 }
 
@@ -287,6 +299,173 @@ int AnalyzeMain(int argc, char** argv) {
   return 0;
 }
 
+// --- diagnose subcommand -------------------------------------------------
+
+int DiagnoseUsage() {
+  std::fprintf(stderr,
+               "usage: pdspbench diagnose (<app-abbrev>|<structure>|all) "
+               "[--parallelism=N] [--rate=N]\n"
+               "                 [--cluster=m510|c6525|c6320|mixed] "
+               "[--nodes=N] [--duration=S] [--seed=N]\n"
+               "                 [--json] [--explain]\n");
+  return 2;
+}
+
+int DiagnoseMain(int argc, char** argv) {
+  std::string target;
+  std::string cluster_name = "m510";
+  int nodes = 10;
+  int parallelism = 8;
+  double rate = 100000.0;
+  double duration = 3.0;
+  uint64_t seed = 42;
+  bool json = false;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (ParseArg(argv[i], "cluster", &cluster_name)) {
+    } else if (ParseArg(argv[i], "nodes", &value)) {
+      nodes = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "parallelism", &value)) {
+      parallelism = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "rate", &value)) {
+      rate = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "duration", &value)) {
+      duration = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "seed", &value)) {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (argv[i][0] != '-' && target.empty()) {
+      target = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown diagnose argument: %s\n", argv[i]);
+      return DiagnoseUsage();
+    }
+  }
+  if (target.empty() || nodes < 1 || parallelism < 1 || rate <= 0 ||
+      duration <= 0.5) {
+    return DiagnoseUsage();
+  }
+  auto cluster = MakeCluster(cluster_name, nodes);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+    return 2;
+  }
+
+  std::vector<AnalyzeTarget> targets;
+  if (target == "all") {
+    for (const AppInfo& info : AllApps()) {
+      targets.push_back({info.abbrev, info.name,
+                         BuildAppPlan(info.id, rate, parallelism)});
+    }
+  } else if (auto id = FindAppByAbbrev(target); id.ok()) {
+    targets.push_back({target, GetAppInfo(*id).name,
+                       BuildAppPlan(*id, rate, parallelism)});
+  } else {
+    bool found = false;
+    for (SyntheticStructure s : AllSyntheticStructures()) {
+      if (target == SyntheticStructureToString(s)) {
+        targets.push_back({target, std::string("synthetic ") + target,
+                           BuildStructurePlan(s, rate, parallelism)});
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "unknown diagnose target '%s' (use --list for the "
+                   "catalog)\n",
+                   target.c_str());
+      return 2;
+    }
+  }
+
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  Json all = Json::Array();
+  for (AnalyzeTarget& t : targets) {
+    if (!t.plan.ok()) {
+      ++total_errors;
+      if (json) {
+        Json j = Json::Object();
+        j.Set("plan", Json::Str(t.name));
+        j.Set("error", Json::Str(t.plan.status().ToString()));
+        all.Append(std::move(j));
+      } else {
+        std::printf("== %s (%s) ==\nbuild failed: %s\n\n", t.name.c_str(),
+                    t.title.c_str(), t.plan.status().ToString().c_str());
+      }
+      continue;
+    }
+    ExecutionOptions exec;
+    exec.sim.duration_s = duration;
+    exec.sim.warmup_s = duration * 0.2;
+    exec.sim.seed = seed;
+    exec.sim.attribute_latency = true;
+    auto run = ExecutePlan(*t.plan, *cluster, exec);
+    if (!run.ok()) {
+      ++total_errors;
+      if (json) {
+        Json j = Json::Object();
+        j.Set("plan", Json::Str(t.name));
+        j.Set("error", Json::Str(run.status().ToString()));
+        all.Append(std::move(j));
+      } else {
+        std::printf("== %s (%s) ==\nrun failed: %s\n\n", t.name.c_str(),
+                    t.title.c_str(), run.status().ToString().c_str());
+      }
+      continue;
+    }
+    auto diag = obs::DiagnoseRun(*t.plan, *cluster, *run);
+    if (!diag.ok()) {
+      ++total_errors;
+      if (json) {
+        Json j = Json::Object();
+        j.Set("plan", Json::Str(t.name));
+        j.Set("error", Json::Str(diag.status().ToString()));
+        all.Append(std::move(j));
+      } else {
+        std::printf("== %s (%s) ==\ndiagnosis failed: %s\n\n",
+                    t.name.c_str(), t.title.c_str(),
+                    diag.status().ToString().c_str());
+      }
+      continue;
+    }
+    const size_t errors = diag->report.NumErrors();
+    total_errors += errors;
+    total_warnings +=
+        diag->report.CountAtLeast(analysis::Severity::kWarning) - errors;
+    if (json) {
+      Json j = Json::Object();
+      j.Set("plan", Json::Str(t.name));
+      j.Set("median_latency_s", Json::Number(run->median_latency_s));
+      j.Set("throughput_tps", Json::Number(run->throughput_tps));
+      j.Set("diagnosis", diag->ToJson());
+      all.Append(std::move(j));
+    } else {
+      std::printf("== %s (%s) ==\nmeasured: %s\n%s\n", t.name.c_str(),
+                  t.title.c_str(), run->Summary().c_str(),
+                  explain ? diag->Explain(*run).c_str()
+                          : diag->ToString().c_str());
+    }
+  }
+  if (json) {
+    Json out = Json::Object();
+    out.Set("plans", std::move(all));
+    out.Set("errors", Json::Int(static_cast<int64_t>(total_errors)));
+    out.Set("warnings", Json::Int(static_cast<int64_t>(total_warnings)));
+    std::printf("%s\n", out.Dump(2).c_str());
+  } else {
+    std::printf("diagnosed %zu plan%s: %zu error%s, %zu warning%s\n",
+                targets.size(), targets.size() == 1 ? "" : "s", total_errors,
+                total_errors == 1 ? "" : "s", total_warnings,
+                total_warnings == 1 ? "" : "s");
+  }
+  return total_errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -296,6 +475,9 @@ int Main(int argc, char** argv) {
   RegisterAppUdos();
   if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
     return AnalyzeMain(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "diagnose") == 0) {
+    return DiagnoseMain(argc - 1, argv + 1);
   }
   Args args;
   for (int i = 1; i < argc; ++i) {
