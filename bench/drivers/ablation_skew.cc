@@ -62,8 +62,14 @@ int Main() {
       table.AddRow({StrFormat("%.1f", skew), "n/a", "n/a", "n/a"});
       continue;
     }
+    obs::ArtifactOptions artifacts;
+    artifacts.tracer = &tracer;
+    artifacts.sim_options = &exec.sim;
+    const obs::HostProfile host_profile =
+        obs::HostProfiler::Global().Snapshot();
+    artifacts.host_profile = &host_profile;
     Status obs_st = obs::WriteRunArtifacts(
-        StrFormat("results/ablation_skew/zipf_%.1f", skew), *r, &tracer);
+        StrFormat("results/ablation_skew/zipf_%.1f", skew), *r, artifacts);
     if (!obs_st.ok()) {
       std::fprintf(stderr, "obs: %s\n", obs_st.ToString().c_str());
     }

@@ -50,10 +50,16 @@ int Main() {
         return 1;
       }
       RunProtocol cell_protocol = protocol;
+      cell_protocol.label =
+          StrFormat("fig3/%s", SyntheticStructureToString(structure));
       cell_protocol.obs.enabled = true;
       cell_protocol.obs.dir =
           StrFormat("results/fig3_synthetic/%s_%s",
                     SyntheticStructureToString(structure), cat.name);
+      // Every cell leaves a provenance record: sweep history accumulates in
+      // the shared run ledger.
+      cell_protocol.ledger.enabled = true;
+      cell_protocol.ledger.cluster_name = "m510";
       auto cell = MeasureCell(*plan, cluster, cell_protocol);
       row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
                               : "n/a");

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/obs/host_profile.h"
 #include "src/sim/simulation.h"
 #include "tests/testing/test_plans.h"
 
@@ -90,6 +91,49 @@ void BM_SimJoinPlanAttr(benchmark::State& state) {
   RunSim(state, *plan, 5000.0, /*observability=*/true, /*attribute=*/true);
 }
 BENCHMARK(BM_SimJoinPlanAttr)->Arg(8);
+
+// Host-profiler acceptance pair: the HostProf variant scopes every run in a
+// "simulate" phase on the global profiler (what the harness does per
+// repeat), the control disables the profiler so the scope is a no-op.
+// Acceptance bound: HostProf within 2% of the control.
+void RunSimHostProfiled(benchmark::State& state, bool profiler_enabled) {
+  auto plan = testing::LinearPlan(20000.0, 8);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  obs::HostProfiler& profiler = obs::HostProfiler::Global();
+  const bool was_enabled = profiler.enabled();
+  profiler.set_enabled(profiler_enabled);
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    obs::HostProfiler::Phase phase(&profiler, "simulate");
+    ExecutionOptions opt;
+    opt.sim.duration_s = 1.0;
+    opt.sim.warmup_s = 0.25;
+    opt.sim.seed = 42;
+    auto r = ExecutePlan(*plan, Cluster::M510(10), opt);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      profiler.set_enabled(was_enabled);
+      return;
+    }
+    tuples += r->source_tuples;
+  }
+  profiler.set_enabled(was_enabled);
+  state.counters["src_tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+
+void BM_SimLinearPlanHostProf(benchmark::State& state) {
+  RunSimHostProfiled(state, /*profiler_enabled=*/true);
+}
+BENCHMARK(BM_SimLinearPlanHostProf);
+
+void BM_SimLinearPlanHostProfOff(benchmark::State& state) {
+  RunSimHostProfiled(state, /*profiler_enabled=*/false);
+}
+BENCHMARK(BM_SimLinearPlanHostProfOff);
 
 }  // namespace
 }  // namespace pdsp

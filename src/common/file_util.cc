@@ -1,0 +1,91 @@
+#include "src/common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pdsp {
+
+Status CreateParentDirectories(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (!p.has_parent_path()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(p.parent_path(), ec);
+  if (ec && !std::filesystem::is_directory(p.parent_path())) {
+    return Status::Internal("cannot create " + p.parent_path().string() +
+                            ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status AtomicRename(const std::string& tmp, const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open " + path);
+  out << text;
+  out.flush();
+  if (!out.good()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Status WriteTextFileAtomic(const std::string& path, const std::string& text) {
+  PDSP_RETURN_NOT_OK(CreateParentDirectories(path));
+  const std::string tmp = path + ".tmp";
+  PDSP_RETURN_NOT_OK(WriteTextFile(tmp, text));
+  return AtomicRename(tmp, path);
+}
+
+Status AppendLineAtomic(const std::string& path, const std::string& line) {
+  PDSP_RETURN_NOT_OK(CreateParentDirectories(path));
+  std::string buf = line;
+  if (buf.empty() || buf.back() != '\n') buf.push_back('\n');
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path + " for append: " +
+                            std::strerror(errno));
+  }
+  // One write() call: O_APPEND makes the (offset-seek + write) atomic, so
+  // concurrent appenders cannot interleave within a line.
+  size_t off = 0;
+  Status status = Status::OK();
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::Internal("append to " + path + ": " +
+                                std::strerror(errno));
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::Internal("close " + path + ": " + std::strerror(errno));
+  }
+  return status;
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::Internal("read error on " + path);
+  return buf.str();
+}
+
+}  // namespace pdsp

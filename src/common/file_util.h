@@ -1,0 +1,43 @@
+// Small filesystem helpers shared by every writer of results/ artifacts:
+// atomic whole-file replacement (tmp + rename, so readers and concurrent
+// writers never observe a torn file) and atomic single-line appends for
+// append-only logs such as the run ledger.
+
+#ifndef PDSP_COMMON_FILE_UTIL_H_
+#define PDSP_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace pdsp {
+
+/// Creates `path`'s parent directories (no-op when it has none or they
+/// already exist).
+Status CreateParentDirectories(const std::string& path);
+
+/// Renames `tmp` onto `path` (atomic on POSIX within one filesystem).
+Status AtomicRename(const std::string& tmp, const std::string& path);
+
+/// Writes `text` to `path` directly (non-atomic; prefer the Atomic variant
+/// for anything a reader may race with).
+Status WriteTextFile(const std::string& path, const std::string& text);
+
+/// Writes `text` to `<path>.tmp` and renames it into place, creating parent
+/// directories, so a crashed or concurrent writer never leaves a torn file
+/// behind.
+Status WriteTextFileAtomic(const std::string& path, const std::string& text);
+
+/// Appends `line` (a trailing '\n' is added when missing) to `path` with a
+/// single O_APPEND write, creating the file and parent directories if
+/// needed. POSIX guarantees O_APPEND writes are not interleaved, so
+/// concurrent appenders produce intact lines — the property the run ledger
+/// relies on.
+Status AppendLineAtomic(const std::string& path, const std::string& line);
+
+/// Reads the whole file into a string.
+Result<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace pdsp
+
+#endif  // PDSP_COMMON_FILE_UTIL_H_

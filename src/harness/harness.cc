@@ -1,14 +1,15 @@
 #include "src/harness/harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 
 #include "src/analysis/analyzer.h"
+#include "src/common/file_util.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/obs/artifacts.h"
+#include "src/obs/host_profile.h"
 #include "src/workload/enumerator.h"
 
 namespace pdsp {
@@ -18,6 +19,73 @@ const std::vector<ParallelismCategory>& StandardCategories() {
       {"XS", 1}, {"S", 4}, {"M", 16}, {"L", 32}, {"XL", 64}, {"XXL", 128},
   };
   return kCategories;
+}
+
+namespace {
+
+int MaxParallelism(const LogicalPlan& plan) {
+  int max_p = 1;
+  for (size_t i = 0; i < plan.NumOperators(); ++i) {
+    max_p = std::max(max_p,
+                     plan.op(static_cast<LogicalPlan::OpId>(i)).parallelism);
+  }
+  return max_p;
+}
+
+}  // namespace
+
+obs::RunRecord MakeLedgerRecord(const LogicalPlan& plan,
+                                const Cluster& cluster,
+                                const RunProtocol& protocol,
+                                const CellResult& cell) {
+  obs::RunRecord rec;
+  rec.label = protocol.label.empty() ? "plan" : protocol.label;
+  rec.run_id = obs::MakeRunId(rec.label);
+  rec.timestamp_utc = obs::NowUtcIso8601();
+  rec.plan_hash = obs::PlanHashHex(plan);
+  rec.parallelism = MaxParallelism(plan);
+  // Per-source target rate: all plan factories apply one rate uniformly.
+  if (!plan.sources().empty()) {
+    rec.event_rate = plan.sources().front().arrival.rate;
+  }
+  rec.cluster = protocol.ledger.cluster_name.empty()
+                    ? "custom"
+                    : protocol.ledger.cluster_name;
+  rec.nodes = static_cast<int>(cluster.NumNodes());
+  rec.seed = std::to_string(protocol.seed);
+  rec.repeats = protocol.repeats;
+  rec.duration_s = protocol.duration_s;
+  rec.warmup_s = protocol.warmup_s;
+  rec.build_info = obs::BuildInfoString();
+  rec.throughput_tps = cell.mean_throughput_tps;
+  rec.median_latency_s = cell.mean_median_latency_s;
+  rec.p95_latency_s = cell.p95_latency_s;
+  rec.p99_latency_s = cell.p99_latency_s;
+  rec.throughput_stddev = cell.throughput_stats.stddev();
+  rec.median_latency_stddev = cell.median_latency_stats.stddev();
+  rec.late_drops = cell.late_drops;
+  rec.backpressure_skipped = cell.backpressure_skipped;
+  if (cell.has_diagnosis) {
+    rec.breakdown_source_batch_s = cell.diagnosis.breakdown.source_batch_s;
+    rec.breakdown_network_s = cell.diagnosis.breakdown.network_s;
+    rec.breakdown_queue_s = cell.diagnosis.breakdown.queue_s;
+    rec.breakdown_service_s = cell.diagnosis.breakdown.service_s;
+    rec.breakdown_window_s = cell.diagnosis.breakdown.window_s;
+    for (const analysis::Diagnostic& d : cell.diagnosis.report.diagnostics()) {
+      rec.diagnosis_codes.push_back(d.code);
+    }
+    std::sort(rec.diagnosis_codes.begin(), rec.diagnosis_codes.end());
+    rec.diagnosis_codes.erase(
+        std::unique(rec.diagnosis_codes.begin(), rec.diagnosis_codes.end()),
+        rec.diagnosis_codes.end());
+  }
+  if (protocol.obs.enabled) rec.artifact_dir = protocol.obs.dir;
+  const obs::HostUsage usage = obs::HostProfiler::Global().SampleUsage();
+  rec.host_wall_s = usage.wall_s;
+  rec.host_cpu_user_s = usage.cpu_user_s;
+  rec.host_cpu_sys_s = usage.cpu_sys_s;
+  rec.host_peak_rss_kb = usage.peak_rss_kb;
+  return rec;
 }
 
 Result<CellResult> MeasureCell(const LogicalPlan& plan,
@@ -40,6 +108,21 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
   }
 
   CellResult cell;
+  obs::Tracer tracer;
+  tracer.set_verbose(protocol.obs.trace_verbose);
+  // Harness-level span covering every repeat of the cell, so a sweep's
+  // wall-time layout is visible in Perfetto next to the operator firings.
+  const std::string cell_span_name =
+      StrFormat("cell:%s/%d",
+                protocol.label.empty() ? "plan" : protocol.label.c_str(),
+                MaxParallelism(plan));
+  obs::Span cell_span(protocol.obs.enabled ? &tracer : nullptr,
+                      cell_span_name, "harness");
+  // First-repeat state retained for the artifact bundle written after the
+  // cell completes (so the cell span is closed by then).
+  SimResult first_run;
+  SimOptions first_options;
+  bool have_first = false;
   int usable = 0;
   for (int r = 0; r < protocol.repeats; ++r) {
     ExecutionOptions exec;
@@ -53,16 +136,21 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     // Attribution only costs wall clock — virtual-time results are
     // unaffected — so enabling it for the diagnosed repeat is safe.
     exec.sim.attribute_latency = r == 0 && protocol.diagnose;
-    obs::Tracer tracer;
     if (emit_obs) {
-      tracer.set_verbose(protocol.obs.trace_verbose);
       exec.sim.tracer = &tracer;
       exec.sim.metrics_interval_s = protocol.obs.metrics_interval_s;
     }
-    PDSP_ASSIGN_OR_RETURN(SimResult run, ExecutePlan(plan, cluster, exec));
+    SimResult run;
+    {
+      obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(),
+                                     "simulate");
+      PDSP_ASSIGN_OR_RETURN(run, ExecutePlan(plan, cluster, exec));
+    }
     if (r == 0 && protocol.diagnose) {
       // Diagnose the representative run; a diagnosis failure downgrades to
       // a warning so a sweep never dies on its observability.
+      obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(),
+                                     "diagnose");
       Result<obs::Diagnosis> diag =
           obs::DiagnoseRun(plan, cluster, run, protocol.diagnose_options);
       if (diag.ok()) {
@@ -72,21 +160,40 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
         PDSP_LOG(Warn) << "run diagnosis: " << diag.status().ToString();
       }
     }
-    if (emit_obs) {
-      Status st = obs::WriteRunArtifacts(
-          protocol.obs.dir, run, &tracer,
-          cell.has_diagnosis ? &cell.diagnosis : nullptr);
-      if (!st.ok()) {
-        PDSP_LOG(Warn) << "obs artifacts for " << protocol.obs.dir << ": "
-                       << st.ToString();
-      }
-    }
     cell.late_drops += run.late_drops;
     cell.backpressure_skipped += run.backpressure_skipped;
     if (!std::isnan(run.median_latency_s)) {
       cell.mean_median_latency_s += run.median_latency_s;
       cell.mean_throughput_tps += run.throughput_tps;
+      cell.median_latency_stats.Add(run.median_latency_s);
+      cell.throughput_stats.Add(run.throughput_tps);
       ++usable;
+    }
+    if (r == 0) {
+      cell.p95_latency_s = run.p95_latency_s;
+      cell.p99_latency_s = run.p99_latency_s;
+      first_options = exec.sim;
+      first_run = std::move(run);
+      have_first = true;
+    }
+  }
+  cell_span.End();
+  if (protocol.obs.enabled && have_first) {
+    obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(), "export");
+    obs::ArtifactOptions artifacts;
+    artifacts.tracer = &tracer;
+    artifacts.diagnosis = cell.has_diagnosis ? &cell.diagnosis : nullptr;
+    artifacts.sim_options = &first_options;
+    const obs::HostProfile host_profile =
+        obs::HostProfiler::Global().Snapshot();
+    artifacts.host_profile = &host_profile;
+    if (first_run.metrics != nullptr) {
+      obs::HostProfiler::Global().ExportTo(first_run.metrics.get());
+    }
+    Status st = obs::WriteRunArtifacts(protocol.obs.dir, first_run, artifacts);
+    if (!st.ok()) {
+      PDSP_LOG(Warn) << "obs artifacts for " << protocol.obs.dir << ": "
+                     << st.ToString();
     }
   }
   if (usable == 0) {
@@ -94,6 +201,15 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
   }
   cell.mean_median_latency_s /= usable;
   cell.mean_throughput_tps /= usable;
+  cell.ledger_record = MakeLedgerRecord(plan, cluster, protocol, cell);
+  if (protocol.ledger.enabled) {
+    const obs::RunLedger ledger(protocol.ledger.path);
+    Status st = ledger.Append(cell.ledger_record);
+    if (!st.ok()) {
+      PDSP_LOG(Warn) << "ledger append to " << protocol.ledger.path << ": "
+                     << st.ToString();
+    }
+  }
   return cell;
 }
 
@@ -138,16 +254,11 @@ void TableReporter::Print() const {
 }
 
 Status TableReporter::WriteCsv(const std::string& path) const {
-  std::error_code ec;
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream out(path);
-  if (!out.good()) return Status::Internal("cannot open " + path);
-  out << Join(columns_, ",") << "\n";
-  for (const auto& row : rows_) out << Join(row, ",") << "\n";
-  return Status::OK();
+  // Atomic replacement (tmp + rename): a concurrent reader of results/*.csv
+  // never sees a torn or truncated table.
+  std::string csv = Join(columns_, ",") + "\n";
+  for (const auto& row : rows_) csv += Join(row, ",") + "\n";
+  return WriteTextFileAtomic(path, csv);
 }
 
 std::string LatencyCell(double seconds) {

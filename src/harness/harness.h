@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/obs/diagnose.h"
+#include "src/obs/ledger.h"
 #include "src/query/plan.h"
 #include "src/sim/simulation.h"
 
@@ -40,6 +42,19 @@ struct ObsOptions {
   double metrics_interval_s = 0.25;
 };
 
+/// \brief Run-ledger options for one experiment cell: when enabled,
+/// MeasureCell appends the cell's RunRecord (see src/obs/ledger.h) to the
+/// JSONL ledger at `path`. The record is built either way and returned on
+/// CellResult::ledger_record, so callers (baseline write) can persist it
+/// themselves.
+struct LedgerOptions {
+  bool enabled = false;
+  std::string path = "results/ledger.jsonl";
+  /// Cluster profile name recorded in the ledger ("custom" when empty —
+  /// the Cluster object itself does not know which preset built it).
+  std::string cluster_name;
+};
+
 /// \brief Measurement protocol for one experiment cell.
 struct RunProtocol {
   int repeats = 3;             ///< paper: mean of three runs
@@ -47,7 +62,11 @@ struct RunProtocol {
   double warmup_s = 0.75;
   uint64_t seed = 2024;
   PlacementKind placement = PlacementKind::kLeastLoaded;
+  /// Cell name for provenance: names the harness-level `cell:<label>/<p>`
+  /// span in trace.json and the ledger record. Empty = "plan".
+  std::string label;
   ObsOptions obs;
+  LedgerOptions ledger;
   /// Simulate even when static analysis (pdsp::analysis) finds
   /// error-severity diagnostics. By default such plans are refused with
   /// FailedPrecondition: a malformed plan that silently simulates corrupts
@@ -66,13 +85,31 @@ struct RunProtocol {
 struct CellResult {
   double mean_median_latency_s = 0.0;
   double mean_throughput_tps = 0.0;
+  /// p95/p99 of the first (representative) repeat.
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  /// Per-repeat median-latency / throughput samples — the repeat-run
+  /// variance the comparison engine gates regressions on.
+  RunningStats median_latency_stats;
+  RunningStats throughput_stats;
   int64_t late_drops = 0;
   int64_t backpressure_skipped = 0;
   /// Diagnosis of the first repeat (RunProtocol::diagnose); check
   /// `has_diagnosis` before reading.
   bool has_diagnosis = false;
   obs::Diagnosis diagnosis;
+  /// Provenance record for the cell (appended to the ledger when
+  /// RunProtocol::ledger.enabled; always populated on success).
+  obs::RunRecord ledger_record;
 };
+
+/// Builds the provenance RunRecord for a measured cell: plan hash and
+/// protocol parameters, the cell's virtual-time metrics with repeat
+/// variance, diagnosis codes, artifact dir and the current host footprint.
+obs::RunRecord MakeLedgerRecord(const LogicalPlan& plan,
+                                const Cluster& cluster,
+                                const RunProtocol& protocol,
+                                const CellResult& cell);
 
 /// Runs a validated plan `repeats` times with distinct seeds and aggregates
 /// per the paper's protocol.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/obs/host_profile.h"
+
 namespace pdsp {
 
 Result<DatasetSplit> SplitDataset(const Dataset& data, double train_fraction,
@@ -61,8 +63,13 @@ Result<ModelEvaluation> TrainAndEvaluate(LearnedCostModel* model,
   if (model == nullptr) return Status::InvalidArgument("null model");
   ModelEvaluation eval;
   eval.model_name = model->name();
-  PDSP_ASSIGN_OR_RETURN(eval.train_report,
-                        model->Fit(split.train, split.val, options));
+  {
+    // Cost-model fitting is the harness's dominant non-simulation expense;
+    // scope it so host profiles separate "train" from "simulate".
+    obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(), "train");
+    PDSP_ASSIGN_OR_RETURN(eval.train_report,
+                          model->Fit(split.train, split.val, options));
+  }
   PDSP_ASSIGN_OR_RETURN(eval.val_metrics, Evaluate(*model, split.val));
   PDSP_ASSIGN_OR_RETURN(eval.test_metrics, Evaluate(*model, split.test));
   return eval;

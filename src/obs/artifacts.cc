@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <filesystem>
-#include <fstream>
+
+#include "src/common/file_util.h"
 
 namespace pdsp {
 namespace obs {
@@ -13,39 +14,26 @@ Json FiniteNumber(double v) {
   return std::isfinite(v) ? Json::Number(v) : Json::Null();
 }
 
-Status WriteTextFile(const std::filesystem::path& path,
-                     const std::string& text) {
-  std::ofstream out(path);
-  if (!out.good()) return Status::Internal("cannot open " + path.string());
-  out << text;
-  if (!out.good()) return Status::Internal("short write to " + path.string());
-  return Status::OK();
-}
-
-/// Renames `tmp` onto `path` (atomic on POSIX within one filesystem).
-Status RenameInto(const std::filesystem::path& tmp,
-                  const std::filesystem::path& path) {
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::Internal("cannot rename " + tmp.string() + " to " +
-                            path.string() + ": " + ec.message());
-  }
-  return Status::OK();
-}
-
-/// Writes `text` to `<path>.tmp` and renames it into place, so a crashed or
-/// concurrent writer never leaves a torn artifact behind.
-Status WriteTextFileAtomic(const std::filesystem::path& path,
-                           const std::string& text) {
-  const std::filesystem::path tmp(path.string() + ".tmp");
-  PDSP_RETURN_NOT_OK(WriteTextFile(tmp, text));
-  return RenameInto(tmp, path);
-}
-
 }  // namespace
 
-Json RunMetricsJson(const SimResult& result) {
+Json SimOptionsJson(const SimOptions& options) {
+  Json j = Json::Object();
+  j.Set("duration_s", Json::Number(options.duration_s));
+  j.Set("warmup_s", Json::Number(options.warmup_s));
+  j.Set("source_batch_interval_s",
+        Json::Number(options.source_batch_interval_s));
+  j.Set("watermark_interval_s", Json::Number(options.watermark_interval_s));
+  j.Set("max_in_flight_tuples", Json::Int(options.max_in_flight_tuples));
+  j.Set("max_events", Json::Int(options.max_events));
+  j.Set("latency_reservoir",
+        Json::Int(static_cast<int64_t>(options.latency_reservoir)));
+  j.Set("metrics_interval_s", Json::Number(options.metrics_interval_s));
+  j.Set("attribute_latency", Json::Bool(options.attribute_latency));
+  j.Set("seed", Json::Str(std::to_string(options.seed)));
+  return j;
+}
+
+Json RunMetricsJson(const SimResult& result, const SimOptions* sim_options) {
   Json summary = Json::Object();
   summary.Set("median_latency_s", FiniteNumber(result.median_latency_s));
   summary.Set("mean_latency_s", FiniteNumber(result.mean_latency_s));
@@ -100,11 +88,14 @@ Json RunMetricsJson(const SimResult& result) {
   root.Set("operators", std::move(ops));
   root.Set("metrics", result.metrics != nullptr ? result.metrics->ToJson()
                                                 : Json::Object());
+  if (sim_options != nullptr) {
+    root.Set("options", SimOptionsJson(*sim_options));
+  }
   return root;
 }
 
 Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
-                         const Tracer* tracer, const Diagnosis* diagnosis) {
+                         const ArtifactOptions& options) {
   const std::filesystem::path base(dir);
   std::error_code ec;
   std::filesystem::create_directories(base, ec);
@@ -112,25 +103,37 @@ Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
     return Status::Internal("cannot create " + dir + ": " + ec.message());
   }
   PDSP_RETURN_NOT_OK(WriteTextFileAtomic(
-      base / "metrics.json", RunMetricsJson(result).Dump(2) + "\n"));
+      (base / "metrics.json").string(),
+      RunMetricsJson(result, options.sim_options).Dump(2) + "\n"));
   if (!result.timeseries.empty()) {
-    const std::filesystem::path ts = base / "timeseries.csv";
-    PDSP_RETURN_NOT_OK(
-        result.timeseries.WriteCsv((ts.string() + ".tmp")));
-    PDSP_RETURN_NOT_OK(
-        RenameInto(std::filesystem::path(ts.string() + ".tmp"), ts));
+    const std::string ts = (base / "timeseries.csv").string();
+    PDSP_RETURN_NOT_OK(result.timeseries.WriteCsv(ts + ".tmp"));
+    PDSP_RETURN_NOT_OK(AtomicRename(ts + ".tmp", ts));
   }
-  if (tracer != nullptr) {
-    const std::filesystem::path tr = base / "trace.json";
-    PDSP_RETURN_NOT_OK(tracer->WriteFile(tr.string() + ".tmp"));
-    PDSP_RETURN_NOT_OK(
-        RenameInto(std::filesystem::path(tr.string() + ".tmp"), tr));
+  if (options.tracer != nullptr) {
+    const std::string tr = (base / "trace.json").string();
+    PDSP_RETURN_NOT_OK(options.tracer->WriteFile(tr + ".tmp"));
+    PDSP_RETURN_NOT_OK(AtomicRename(tr + ".tmp", tr));
   }
-  if (diagnosis != nullptr) {
-    PDSP_RETURN_NOT_OK(WriteTextFileAtomic(
-        base / "diagnosis.json", diagnosis->ToJson().Dump(2) + "\n"));
+  if (options.diagnosis != nullptr) {
+    PDSP_RETURN_NOT_OK(
+        WriteTextFileAtomic((base / "diagnosis.json").string(),
+                            options.diagnosis->ToJson().Dump(2) + "\n"));
+  }
+  if (options.host_profile != nullptr) {
+    PDSP_RETURN_NOT_OK(
+        WriteTextFileAtomic((base / "host_profile.json").string(),
+                            options.host_profile->ToJson().Dump(2) + "\n"));
   }
   return Status::OK();
+}
+
+Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
+                         const Tracer* tracer, const Diagnosis* diagnosis) {
+  ArtifactOptions options;
+  options.tracer = tracer;
+  options.diagnosis = diagnosis;
+  return WriteRunArtifacts(dir, result, options);
 }
 
 }  // namespace obs

@@ -1,0 +1,139 @@
+#include "src/obs/compare.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace pdsp {
+namespace obs {
+
+const char* MetricVerdictToString(MetricVerdict verdict) {
+  switch (verdict) {
+    case MetricVerdict::kUnchanged: return "unchanged";
+    case MetricVerdict::kImproved: return "improved";
+    case MetricVerdict::kRegressed: return "regressed";
+  }
+  return "unchanged";
+}
+
+MetricDelta CompareMetric(std::string name, double baseline, double candidate,
+                          bool higher_is_better, double baseline_noise,
+                          double candidate_noise,
+                          const CompareOptions& options) {
+  MetricDelta d;
+  d.metric = std::move(name);
+  d.baseline = baseline;
+  d.candidate = candidate;
+  d.higher_is_better = higher_is_better;
+  d.noise = std::sqrt(baseline_noise * baseline_noise +
+                      candidate_noise * candidate_noise);
+
+  const double delta = candidate - baseline;
+  constexpr double kTiny = 1e-12;
+  if (std::abs(baseline) < kTiny) {
+    // A zero baseline has no meaningful relative change; any non-zero
+    // candidate counts as a full-scale move.
+    d.delta_frac = std::abs(candidate) < kTiny ? 0.0
+                   : (delta > 0 ? 1.0 : -1.0);
+  } else {
+    d.delta_frac = delta / std::abs(baseline);
+  }
+
+  const bool beyond_threshold = std::abs(d.delta_frac) >= options.threshold;
+  const bool beyond_noise =
+      options.noise_sigmas <= 0.0 || d.noise <= 0.0 ||
+      std::abs(delta) >= options.noise_sigmas * d.noise;
+  if (beyond_threshold && beyond_noise) {
+    const bool got_better = higher_is_better ? delta > 0 : delta < 0;
+    d.verdict =
+        got_better ? MetricVerdict::kImproved : MetricVerdict::kRegressed;
+  }
+  return d;
+}
+
+size_t ComparisonReport::CountVerdict(MetricVerdict verdict) const {
+  size_t n = 0;
+  for (const MetricDelta& d : metrics) {
+    if (d.verdict == verdict) ++n;
+  }
+  return n;
+}
+
+Json ComparisonReport::ToJson() const {
+  Json arr = Json::Array();
+  for (const MetricDelta& d : metrics) {
+    Json m = Json::Object();
+    m.Set("metric", Json::Str(d.metric));
+    m.Set("baseline", Json::Number(d.baseline));
+    m.Set("candidate", Json::Number(d.candidate));
+    m.Set("delta_frac", Json::Number(d.delta_frac));
+    m.Set("noise", Json::Number(d.noise));
+    m.Set("higher_is_better", Json::Bool(d.higher_is_better));
+    m.Set("verdict", Json::Str(MetricVerdictToString(d.verdict)));
+    arr.Append(std::move(m));
+  }
+  Json root = Json::Object();
+  root.Set("baseline", Json::Str(baseline_id));
+  root.Set("candidate", Json::Str(candidate_id));
+  root.Set("label", Json::Str(label));
+  root.Set("plan_hash_match", Json::Bool(plan_hash_match));
+  root.Set("metrics", std::move(arr));
+  root.Set("regressed",
+           Json::Int(static_cast<int64_t>(
+               CountVerdict(MetricVerdict::kRegressed))));
+  root.Set("improved",
+           Json::Int(static_cast<int64_t>(
+               CountVerdict(MetricVerdict::kImproved))));
+  return root;
+}
+
+std::string ComparisonReport::ToString() const {
+  std::string out =
+      StrFormat("compare %s -> %s%s\n", baseline_id.c_str(),
+                candidate_id.c_str(),
+                plan_hash_match ? "" : "  [WARNING: plan hash differs]");
+  out += StrFormat("  %-18s %14s %14s %9s  %s\n", "metric", "baseline",
+                   "candidate", "delta", "verdict");
+  for (const MetricDelta& d : metrics) {
+    out += StrFormat("  %-18s %14.6g %14.6g %+8.1f%%  %s\n",
+                     d.metric.c_str(), d.baseline, d.candidate,
+                     d.delta_frac * 100.0, MetricVerdictToString(d.verdict));
+  }
+  out += StrFormat("  => %zu regressed, %zu improved, %zu unchanged\n",
+                   CountVerdict(MetricVerdict::kRegressed),
+                   CountVerdict(MetricVerdict::kImproved),
+                   CountVerdict(MetricVerdict::kUnchanged));
+  return out;
+}
+
+ComparisonReport CompareRecords(const RunRecord& baseline,
+                                const RunRecord& candidate,
+                                const CompareOptions& options) {
+  ComparisonReport report;
+  report.baseline_id = baseline.run_id;
+  report.candidate_id = candidate.run_id;
+  report.label = candidate.label;
+  report.plan_hash_match = baseline.plan_hash == candidate.plan_hash &&
+                           !baseline.plan_hash.empty();
+  report.metrics.push_back(CompareMetric(
+      "throughput_tps", baseline.throughput_tps, candidate.throughput_tps,
+      /*higher_is_better=*/true, baseline.throughput_stddev,
+      candidate.throughput_stddev, options));
+  report.metrics.push_back(CompareMetric(
+      "median_latency_s", baseline.median_latency_s,
+      candidate.median_latency_s, /*higher_is_better=*/false,
+      baseline.median_latency_stddev, candidate.median_latency_stddev,
+      options));
+  report.metrics.push_back(CompareMetric(
+      "p95_latency_s", baseline.p95_latency_s, candidate.p95_latency_s,
+      /*higher_is_better=*/false, baseline.median_latency_stddev,
+      candidate.median_latency_stddev, options));
+  report.metrics.push_back(CompareMetric(
+      "p99_latency_s", baseline.p99_latency_s, candidate.p99_latency_s,
+      /*higher_is_better=*/false, baseline.median_latency_stddev,
+      candidate.median_latency_stddev, options));
+  return report;
+}
+
+}  // namespace obs
+}  // namespace pdsp

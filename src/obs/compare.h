@@ -1,0 +1,88 @@
+// pdsp::obs comparison engine: noise-aware diffing of two ledger RunRecords
+// (candidate vs baseline). Each headline virtual-time metric is classified
+// improved / regressed / unchanged using two gates that must BOTH trip
+// before a verdict leaves "unchanged":
+//
+//   1. relative threshold — |delta| / baseline >= CompareOptions::threshold;
+//   2. noise — when repeat-run stddevs were recorded, |delta| must also
+//      exceed `noise_sigmas` × the combined stddev
+//      sqrt(baseline² + candidate²), so single-repeat jitter inside the
+//      recorded variance never flags a regression.
+//
+// `pdspbench compare/baseline check` and tools/bench_gate.sh exit non-zero
+// when any metric is classified regressed.
+
+#ifndef PDSP_OBS_COMPARE_H_
+#define PDSP_OBS_COMPARE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/obs/ledger.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+
+enum class MetricVerdict { kUnchanged, kImproved, kRegressed };
+
+const char* MetricVerdictToString(MetricVerdict verdict);
+
+/// \brief One metric's baseline/candidate pair and its classification.
+struct MetricDelta {
+  std::string metric;          ///< e.g. "throughput_tps"
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta_frac = 0.0;     ///< (candidate - baseline) / |baseline|
+  double noise = 0.0;          ///< combined repeat stddev (0 = unknown)
+  bool higher_is_better = false;
+  MetricVerdict verdict = MetricVerdict::kUnchanged;
+};
+
+struct CompareOptions {
+  /// Minimum relative change before a metric can leave "unchanged".
+  double threshold = 0.10;
+  /// When repeat variance is known, |delta| must additionally exceed this
+  /// many combined standard deviations. <= 0 disables the noise gate.
+  double noise_sigmas = 2.0;
+};
+
+/// \brief Full comparison of two run records.
+struct ComparisonReport {
+  std::string baseline_id;
+  std::string candidate_id;
+  std::string label;
+  /// False when the two records hash different plans — deltas may then be
+  /// apples-to-oranges and the report says so.
+  bool plan_hash_match = true;
+  std::vector<MetricDelta> metrics;
+
+  size_t CountVerdict(MetricVerdict verdict) const;
+  bool HasRegressions() const {
+    return CountVerdict(MetricVerdict::kRegressed) > 0;
+  }
+
+  Json ToJson() const;
+  /// Aligned metric table plus a one-line verdict summary.
+  std::string ToString() const;
+};
+
+/// Classifies one metric pair (see file comment for the two gates).
+MetricDelta CompareMetric(std::string name, double baseline, double candidate,
+                          bool higher_is_better, double baseline_noise,
+                          double candidate_noise,
+                          const CompareOptions& options);
+
+/// Diffs the headline metrics of two records: throughput (higher is
+/// better), median / p95 / p99 latency (lower is better). The median's
+/// repeat stddev stands in as the noise estimate for p95/p99, which come
+/// from a single diagnosed repeat.
+ComparisonReport CompareRecords(const RunRecord& baseline,
+                                const RunRecord& candidate,
+                                const CompareOptions& options = {});
+
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_COMPARE_H_

@@ -1,8 +1,6 @@
 #include "src/obs/timeseries.h"
 
-#include <filesystem>
-#include <fstream>
-
+#include "src/common/file_util.h"
 #include "src/common/string_util.h"
 
 namespace pdsp {
@@ -43,16 +41,7 @@ std::string TimeSeries::ToCsv() const {
 }
 
 Status TimeSeries::WriteCsv(const std::string& path) const {
-  std::error_code ec;
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream out(path);
-  if (!out.good()) return Status::Internal("cannot open " + path);
-  out << ToCsv();
-  if (!out.good()) return Status::Internal("short write to " + path);
-  return Status::OK();
+  return WriteTextFileAtomic(path, ToCsv());
 }
 
 }  // namespace obs

@@ -1,7 +1,6 @@
 #include "src/obs/trace.h"
 
-#include <filesystem>
-#include <fstream>
+#include "src/common/file_util.h"
 
 namespace pdsp {
 namespace obs {
@@ -114,17 +113,7 @@ Json Tracer::ToJson() const {
 }
 
 Status Tracer::WriteFile(const std::string& path) const {
-  std::error_code ec;
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream out(path);
-  if (!out.good()) return Status::Internal("cannot open " + path);
-  out << ToJson().Dump();
-  out << "\n";
-  if (!out.good()) return Status::Internal("short write to " + path);
-  return Status::OK();
+  return WriteTextFileAtomic(path, ToJson().Dump() + "\n");
 }
 
 Span::Span(Tracer* tracer, std::string name, std::string category, int tid)

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/file_util.h"
 #include "src/store/plan_serde.h"
 
 namespace pdsp {
@@ -46,12 +47,7 @@ Status RunStore::SaveRun(const std::string& id, const LogicalPlan& plan,
   doc.Set("cluster", std::move(cluster_json));
   doc.Set("metrics", SimResultToJson(result));
 
-  std::ofstream out(path);
-  if (!out.good()) return Status::Internal("cannot open " + path);
-  out << doc.Dump(/*indent=*/2) << "\n";
-  out.close();
-  if (!out.good()) return Status::Internal("write failed for " + path);
-  return Status::OK();
+  return WriteTextFileAtomic(path, doc.Dump(/*indent=*/2) + "\n");
 }
 
 Result<Json> RunStore::LoadRun(const std::string& id) const {

@@ -1,0 +1,126 @@
+#include "src/obs/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pdsp {
+namespace obs {
+namespace {
+
+RunRecord MeasuredRecord(const std::string& run_id) {
+  RunRecord r;
+  r.run_id = run_id;
+  r.label = "WC";
+  r.plan_hash = "0123456789abcdef";
+  r.throughput_tps = 10000.0;
+  r.median_latency_s = 1.0;
+  r.p95_latency_s = 1.8;
+  r.p99_latency_s = 2.2;
+  return r;
+}
+
+TEST(CompareMetricTest, SmallDeltaIsUnchanged) {
+  const MetricDelta d = CompareMetric("throughput_tps", 10000.0, 10050.0,
+                                      /*higher_is_better=*/true, 0.0, 0.0,
+                                      CompareOptions{});
+  EXPECT_EQ(d.verdict, MetricVerdict::kUnchanged);
+  EXPECT_NEAR(d.delta_frac, 0.005, 1e-12);
+}
+
+TEST(CompareMetricTest, DirectionFollowsHigherIsBetter) {
+  CompareOptions options;
+  options.threshold = 0.10;
+  // -20% throughput (higher is better) regresses; -20% latency improves.
+  EXPECT_EQ(CompareMetric("tput", 10000.0, 8000.0, true, 0, 0, options)
+                .verdict,
+            MetricVerdict::kRegressed);
+  EXPECT_EQ(CompareMetric("lat", 1.0, 0.8, false, 0, 0, options).verdict,
+            MetricVerdict::kImproved);
+  EXPECT_EQ(CompareMetric("lat", 1.0, 1.2, false, 0, 0, options).verdict,
+            MetricVerdict::kRegressed);
+}
+
+TEST(CompareMetricTest, NoiseGateSuppressesJitterWithinVariance) {
+  CompareOptions options;
+  options.threshold = 0.10;
+  options.noise_sigmas = 2.0;
+  // +20% latency, but repeat stddev 0.2s on both sides: combined noise
+  // sqrt(0.08) ~ 0.28s > |delta| 0.2s / 2 sigmas -> stays unchanged.
+  const MetricDelta noisy = CompareMetric("lat", 1.0, 1.2, false, 0.2, 0.2,
+                                          options);
+  EXPECT_EQ(noisy.verdict, MetricVerdict::kUnchanged);
+  // Same delta with tight variance trips both gates.
+  const MetricDelta tight = CompareMetric("lat", 1.0, 1.2, false, 0.001,
+                                          0.001, options);
+  EXPECT_EQ(tight.verdict, MetricVerdict::kRegressed);
+}
+
+TEST(CompareMetricTest, ZeroBaselineTreatedAsFullScaleMove) {
+  const MetricDelta d = CompareMetric("tput", 0.0, 100.0, true, 0, 0,
+                                      CompareOptions{});
+  EXPECT_EQ(d.verdict, MetricVerdict::kImproved);
+}
+
+TEST(CompareRecordsTest, IdenticalRerunIsUnchangedEverywhere) {
+  const RunRecord base = MeasuredRecord("WC-base");
+  const RunRecord rerun = MeasuredRecord("WC-rerun");
+  const ComparisonReport report = CompareRecords(base, rerun);
+  EXPECT_TRUE(report.plan_hash_match);
+  EXPECT_FALSE(report.HasRegressions());
+  EXPECT_EQ(report.CountVerdict(MetricVerdict::kUnchanged),
+            report.metrics.size());
+}
+
+TEST(CompareRecordsTest, TwentyPercentLatencyRegressionIsFlagged) {
+  const RunRecord base = MeasuredRecord("WC-base");
+  RunRecord bad = MeasuredRecord("WC-bad");
+  bad.median_latency_s *= 1.2;
+  CompareOptions options;
+  options.threshold = 0.10;
+  const ComparisonReport report = CompareRecords(base, bad, options);
+  EXPECT_TRUE(report.HasRegressions());
+  bool found = false;
+  for (const MetricDelta& d : report.metrics) {
+    if (d.metric == "median_latency_s") {
+      found = true;
+      EXPECT_EQ(d.verdict, MetricVerdict::kRegressed);
+      EXPECT_NEAR(d.delta_frac, 0.2, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompareRecordsTest, ThroughputDropRegressionIsFlagged) {
+  const RunRecord base = MeasuredRecord("WC-base");
+  RunRecord bad = MeasuredRecord("WC-bad");
+  bad.throughput_tps *= 0.8;
+  const ComparisonReport report = CompareRecords(base, bad);
+  EXPECT_TRUE(report.HasRegressions());
+  EXPECT_EQ(report.metrics.front().metric, "throughput_tps");
+  EXPECT_EQ(report.metrics.front().verdict, MetricVerdict::kRegressed);
+}
+
+TEST(CompareRecordsTest, PlanHashMismatchIsReported) {
+  const RunRecord base = MeasuredRecord("WC-base");
+  RunRecord other = MeasuredRecord("WC-other");
+  other.plan_hash = "ffffffffffffffff";
+  const ComparisonReport report = CompareRecords(base, other);
+  EXPECT_FALSE(report.plan_hash_match);
+  // The human rendering calls the mismatch out.
+  EXPECT_NE(report.ToString().find("plan hash"), std::string::npos);
+}
+
+TEST(CompareRecordsTest, ReportJsonCarriesVerdicts) {
+  RunRecord bad = MeasuredRecord("WC-bad");
+  bad.throughput_tps *= 0.5;
+  const Json json = CompareRecords(MeasuredRecord("WC-base"), bad).ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json["baseline"].AsString(), "WC-base");
+  ASSERT_TRUE(json["metrics"].is_array());
+  EXPECT_EQ(json["metrics"].at(0)["verdict"].AsString(), "regressed");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pdsp

@@ -1,0 +1,86 @@
+#include "src/obs/host_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pdsp {
+namespace obs {
+namespace {
+
+TEST(HostProfilerTest, PhasesAccumulateCountTotalAndMax) {
+  HostProfiler profiler;
+  profiler.RecordPhase("simulate", 0.25);
+  profiler.RecordPhase("simulate", 0.75);
+  profiler.RecordPhase("train", 0.10);
+  const HostProfile profile = profiler.Snapshot();
+  ASSERT_EQ(profile.phases.count("simulate"), 1u);
+  const HostPhaseStats& sim = profile.phases.at("simulate");
+  EXPECT_EQ(sim.count, 2);
+  EXPECT_DOUBLE_EQ(sim.total_s, 1.0);
+  EXPECT_DOUBLE_EQ(sim.max_s, 0.75);
+  EXPECT_EQ(profile.phases.at("train").count, 1);
+}
+
+TEST(HostProfilerTest, PhaseScopeRecordsOnceEvenWithExplicitEnd) {
+  HostProfiler profiler;
+  {
+    HostProfiler::Phase phase(&profiler, "export");
+    phase.End();
+    // The destructor must not double-count after End().
+  }
+  EXPECT_EQ(profiler.Snapshot().phases.at("export").count, 1);
+}
+
+TEST(HostProfilerTest, DisabledAndNullProfilersRecordNothing) {
+  HostProfiler profiler;
+  profiler.set_enabled(false);
+  { HostProfiler::Phase phase(&profiler, "simulate"); }
+  { HostProfiler::Phase phase(nullptr, "simulate"); }
+  EXPECT_TRUE(profiler.Snapshot().phases.empty());
+}
+
+TEST(HostProfilerTest, UsageSamplesAreSane) {
+  HostProfiler profiler;
+  const HostUsage usage = profiler.SampleUsage();
+  EXPECT_GE(usage.wall_s, 0.0);
+  EXPECT_GE(usage.cpu_user_s, 0.0);
+  EXPECT_GE(usage.cpu_sys_s, 0.0);
+#ifdef __linux__
+  // A running test binary certainly has resident memory.
+  EXPECT_GT(usage.rss_kb, 0);
+  EXPECT_GE(usage.peak_rss_kb, usage.rss_kb);
+#endif
+}
+
+TEST(HostProfilerTest, ResetClearsPhases) {
+  HostProfiler profiler;
+  profiler.RecordPhase("simulate", 1.0);
+  profiler.Reset();
+  EXPECT_TRUE(profiler.Snapshot().phases.empty());
+}
+
+TEST(HostProfilerTest, ExportToSetsHostGauges) {
+  HostProfiler profiler;
+  profiler.RecordPhase("simulate", 2.0);
+  MetricsRegistry registry;
+  profiler.ExportTo(&registry);
+  EXPECT_GT(registry.GaugeValue("pdsp.host.peak_rss_kb"), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("pdsp.host.phase.simulate.total_s"),
+                   2.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("pdsp.host.phase.simulate.count"),
+                   1.0);
+}
+
+TEST(HostProfileTest, ToJsonCarriesUsageAndPhases) {
+  HostProfiler profiler;
+  profiler.RecordPhase("build-plan", 0.5);
+  const Json json = profiler.Snapshot().ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_TRUE(json["usage"].is_object());
+  EXPECT_DOUBLE_EQ(json["phases"]["build-plan"]["total_s"].AsNumber(), 0.5);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pdsp

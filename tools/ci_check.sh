@@ -56,6 +56,16 @@ else
   echo "python3 not found; relying on the CLI exit status only"
 fi
 
+step "benchmark regression gate (tools/bench_gate.sh)"
+# Small fixed subset with generous thresholds: this catches real breakage
+# (a plan change, a simulator behavior change), not microbenchmark noise.
+# The gate re-measures each checked-in baseline with its recorded protocol;
+# virtual-time determinism makes the comparison machine-independent.
+PDSP_GATE_APPS="${PDSP_GATE_APPS:-WC linear}" \
+PDSP_GATE_THRESHOLD="${PDSP_GATE_THRESHOLD:-0.25}" \
+PDSP_GATE_SKIP_MICRO="${PDSP_GATE_SKIP_MICRO:-1}" \
+  tools/bench_gate.sh "$BUILD_DIR"
+
 step "lint (tools/lint.sh)"
 tools/lint.sh "$BUILD_DIR"
 

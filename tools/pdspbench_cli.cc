@@ -41,6 +41,23 @@
 //                      [--seed=N] [--json] [--explain]
 // Exit status: 0 when no error-severity runtime diagnostics (saturation)
 // were found, 1 otherwise.
+//
+// Provenance / regression subcommands over the run ledger
+// (results/ledger.jsonl by default; see src/obs/ledger.h):
+//   pdspbench history (<label>|all) [--ledger=PATH] [--limit=N] [--json]
+//   pdspbench compare <baseline> <candidate> [--ledger=PATH]
+//                     [--threshold=F] [--sigmas=F] [--json]
+//     Record specs: a label (latest run), label~N (N-back), a run id or a
+//     unique >=4-char run-id prefix. Exit 1 when any metric regressed.
+//   pdspbench baseline write (<abbrev>|<structure>|all) [--dir=DIR] ...
+//   pdspbench baseline check (<abbrev>|<structure>|all) [--dir=DIR]
+//                     [--threshold=F] [--json]
+//     write: measures the target(s) and stores the RunRecord under
+//     bench/baselines/<label>.json (also appended to the ledger).
+//     check: re-measures with the baseline's recorded protocol (same seed,
+//     repeats, rate, parallelism, cluster) and compares; exit 1 on
+//     regression beyond threshold — tools/bench_gate.sh's core.
+// The plain run mode accepts --ledger=PATH to append its own RunRecord.
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,11 +65,19 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <filesystem>
+
 #include "src/analysis/analyzer.h"
 #include "src/apps/apps.h"
+#include "src/common/file_util.h"
 #include "src/common/string_util.h"
+#include "src/harness/harness.h"
 #include "src/harness/synthetic_suite.h"
+#include "src/obs/compare.h"
 #include "src/obs/diagnose.h"
+#include "src/obs/host_profile.h"
+#include "src/obs/ledger.h"
 #include "src/sim/analytic.h"
 #include "src/sim/simulation.h"
 #include "src/store/run_store.h"
@@ -74,6 +99,7 @@ struct Args {
   std::string save;
   std::string load;
   std::string store_dir = "runs";
+  std::string ledger;  ///< when set, append this run's RunRecord here
   bool list = false;
   bool allow_invalid = false;
 };
@@ -96,7 +122,15 @@ int Usage() {
                "       pdspbench analyze (<abbrev>|<structure>|all) "
                "[--json] [--strict] | analyze --list-passes\n"
                "       pdspbench diagnose (<abbrev>|<structure>|all) "
-               "[--parallelism=N] [--json] [--explain]\n");
+               "[--parallelism=N] [--json] [--explain]\n"
+               "       pdspbench history (<label>|all) [--ledger=PATH] "
+               "[--limit=N] [--json]\n"
+               "       pdspbench compare <runA> <runB> [--ledger=PATH] "
+               "[--threshold=F] [--sigmas=F] [--json]\n"
+               "       pdspbench baseline (write|check) "
+               "(<abbrev>|<structure>|all) [--dir=PATH] [--threshold=F]\n"
+               "  (plain runs accept --ledger=PATH to append a provenance "
+               "record)\n");
   return 2;
 }
 
@@ -466,6 +500,369 @@ int DiagnoseMain(int argc, char** argv) {
   return total_errors > 0 ? 1 : 0;
 }
 
+// --- history / compare / baseline subcommands ----------------------------
+
+constexpr char kDefaultLedgerPath[] = "results/ledger.jsonl";
+constexpr char kDefaultBaselineDir[] = "bench/baselines";
+
+int HistoryUsage() {
+  std::fprintf(stderr,
+               "usage: pdspbench history (<label>|all) [--ledger=PATH] "
+               "[--limit=N] [--json]\n");
+  return 2;
+}
+
+int HistoryMain(int argc, char** argv) {
+  std::string target;
+  std::string ledger_path = kDefaultLedgerPath;
+  size_t limit = 20;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (ParseArg(argv[i], "ledger", &ledger_path)) {
+    } else if (ParseArg(argv[i], "limit", &value)) {
+      limit = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (argv[i][0] != '-' && target.empty()) {
+      target = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown history argument: %s\n", argv[i]);
+      return HistoryUsage();
+    }
+  }
+  if (target.empty() || limit < 1) return HistoryUsage();
+  auto records = obs::RunLedger(ledger_path).Load();
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<const obs::RunRecord*> selected;
+  for (const obs::RunRecord& r : *records) {
+    if (target == "all" || r.label == target) selected.push_back(&r);
+  }
+  if (selected.size() > limit) {
+    selected.erase(selected.begin(),
+                   selected.end() - static_cast<ptrdiff_t>(limit));
+  }
+  if (json) {
+    Json arr = Json::Array();
+    for (const obs::RunRecord* r : selected) arr.Append(r->ToJson());
+    Json out = Json::Object();
+    out.Set("ledger", Json::Str(ledger_path));
+    out.Set("records", std::move(arr));
+    std::printf("%s\n", out.Dump(2).c_str());
+    return 0;
+  }
+  if (selected.empty()) {
+    std::printf("no ledger records for '%s' in %s\n", target.c_str(),
+                ledger_path.c_str());
+    return 0;
+  }
+  std::printf("%-34s %-20s %-14s %4s %9s %10s %10s %12s  %s\n", "run_id",
+              "timestamp", "label", "p", "rate", "p50(ms)", "p95(ms)",
+              "tput(t/s)", "codes");
+  for (const obs::RunRecord* r : selected) {
+    std::printf("%-34s %-20s %-14s %4d %9.0f %10.2f %10.2f %12.0f  %s\n",
+                r->run_id.c_str(), r->timestamp_utc.c_str(),
+                r->label.c_str(), r->parallelism, r->event_rate,
+                r->median_latency_s * 1e3, r->p95_latency_s * 1e3,
+                r->throughput_tps, Join(r->diagnosis_codes, ",").c_str());
+  }
+  return 0;
+}
+
+int CompareUsage() {
+  std::fprintf(stderr,
+               "usage: pdspbench compare <baseline> <candidate> "
+               "[--ledger=PATH] [--threshold=F]\n"
+               "                 [--sigmas=F] [--json]\n"
+               "  record specs: label | label~N | run id | unique >=4-char "
+               "run-id prefix\n");
+  return 2;
+}
+
+int CompareMain(int argc, char** argv) {
+  std::vector<std::string> specs;
+  std::string ledger_path = kDefaultLedgerPath;
+  obs::CompareOptions options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (ParseArg(argv[i], "ledger", &ledger_path)) {
+    } else if (ParseArg(argv[i], "threshold", &value)) {
+      options.threshold = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "sigmas", &value)) {
+      options.noise_sigmas = std::atof(value.c_str());
+    } else if (argv[i][0] != '-') {
+      specs.push_back(argv[i]);
+    } else {
+      std::fprintf(stderr, "unknown compare argument: %s\n", argv[i]);
+      return CompareUsage();
+    }
+  }
+  if (specs.size() != 2 || options.threshold <= 0) return CompareUsage();
+  auto records = obs::RunLedger(ledger_path).Load();
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 2;
+  }
+  auto baseline = obs::ResolveRecord(*records, specs[0]);
+  auto candidate = obs::ResolveRecord(*records, specs[1]);
+  if (!baseline.ok() || !candidate.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!baseline.ok() ? baseline.status() : candidate.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+  const obs::ComparisonReport report =
+      obs::CompareRecords(*baseline, *candidate, options);
+  if (json) {
+    std::printf("%s\n", report.ToJson().Dump(2).c_str());
+  } else {
+    std::printf("%s", report.ToString().c_str());
+  }
+  return report.HasRegressions() ? 1 : 0;
+}
+
+int BaselineUsage() {
+  std::fprintf(stderr,
+               "usage: pdspbench baseline write (<abbrev>|<structure>|all) "
+               "[--dir=DIR] [--ledger=PATH]\n"
+               "                 [--parallelism=N] [--rate=N] "
+               "[--cluster=NAME] [--nodes=N] [--repeats=N]\n"
+               "                 [--duration=S] [--seed=N]\n"
+               "       pdspbench baseline check (<abbrev>|<structure>|all) "
+               "[--dir=DIR] [--ledger=PATH]\n"
+               "                 [--threshold=F] [--sigmas=F] [--json]\n");
+  return 2;
+}
+
+Result<LogicalPlan> BuildPlanByLabel(const std::string& label, double rate,
+                                     int parallelism) {
+  if (auto id = FindAppByAbbrev(label); id.ok()) {
+    return BuildAppPlan(*id, rate, parallelism);
+  }
+  for (SyntheticStructure s : AllSyntheticStructures()) {
+    if (label == SyntheticStructureToString(s)) {
+      return BuildStructurePlan(s, rate, parallelism);
+    }
+  }
+  return Status::NotFound("unknown app/structure '" + label + "'");
+}
+
+std::string BaselineFilePath(const std::string& dir,
+                             const std::string& label) {
+  std::string name = label;
+  std::replace(name.begin(), name.end(), '/', '_');
+  return dir + "/" + name + ".json";
+}
+
+/// Measures `label` under `protocol` and returns the cell's ledger record.
+Result<obs::RunRecord> MeasureForLedger(const std::string& label,
+                                        double rate, int parallelism,
+                                        const Cluster& cluster,
+                                        RunProtocol protocol) {
+  Result<LogicalPlan> plan = [&] {
+    obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(),
+                                   "build-plan");
+    return BuildPlanByLabel(label, rate, parallelism);
+  }();
+  PDSP_RETURN_NOT_OK(plan.status());
+  protocol.label = label;
+  PDSP_ASSIGN_OR_RETURN(CellResult cell,
+                        MeasureCell(*plan, cluster, protocol));
+  return cell.ledger_record;
+}
+
+int BaselineMain(int argc, char** argv) {
+  std::string verb;
+  std::string target;
+  std::string dir = kDefaultBaselineDir;
+  std::string ledger_path = kDefaultLedgerPath;
+  std::string cluster_name = "m510";
+  int nodes = 10;
+  int parallelism = 8;
+  double rate = 100000.0;
+  int repeats = 3;
+  double duration = 2.0;
+  uint64_t seed = 2024;
+  obs::CompareOptions options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (ParseArg(argv[i], "dir", &dir) ||
+               ParseArg(argv[i], "ledger", &ledger_path) ||
+               ParseArg(argv[i], "cluster", &cluster_name)) {
+    } else if (ParseArg(argv[i], "nodes", &value)) {
+      nodes = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "parallelism", &value)) {
+      parallelism = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "rate", &value)) {
+      rate = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "repeats", &value)) {
+      repeats = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "duration", &value)) {
+      duration = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "seed", &value)) {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "threshold", &value)) {
+      options.threshold = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "sigmas", &value)) {
+      options.noise_sigmas = std::atof(value.c_str());
+    } else if (argv[i][0] != '-' && verb.empty()) {
+      verb = argv[i];
+    } else if (argv[i][0] != '-' && target.empty()) {
+      target = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown baseline argument: %s\n", argv[i]);
+      return BaselineUsage();
+    }
+  }
+  if ((verb != "write" && verb != "check") || target.empty() ||
+      parallelism < 1 || nodes < 1 || rate <= 0 || repeats < 1 ||
+      duration <= 0.5 || options.threshold <= 0) {
+    return BaselineUsage();
+  }
+
+  std::vector<std::string> labels;
+  if (target == "all") {
+    if (verb == "write") {
+      for (const AppInfo& info : AllApps()) labels.push_back(info.abbrev);
+      for (SyntheticStructure s : AllSyntheticStructures()) {
+        labels.push_back(SyntheticStructureToString(s));
+      }
+    } else {
+      // check all = every stored baseline file.
+      std::error_code ec;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".json") {
+          labels.push_back(entry.path().stem().string());
+        }
+      }
+      std::sort(labels.begin(), labels.end());
+      if (labels.empty()) {
+        std::fprintf(stderr, "no baselines under %s\n", dir.c_str());
+        return 2;
+      }
+    }
+  } else {
+    labels.push_back(target);
+  }
+
+  int failures = 0;
+  size_t regressed_metrics = 0;
+  Json all = Json::Array();
+  for (const std::string& label : labels) {
+    if (verb == "write") {
+      auto cluster = MakeCluster(cluster_name, nodes);
+      if (!cluster.ok()) {
+        std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+        return 2;
+      }
+      RunProtocol protocol;
+      protocol.repeats = repeats;
+      protocol.duration_s = duration;
+      protocol.warmup_s = duration * 0.25;
+      protocol.seed = seed;
+      protocol.ledger.enabled = true;
+      protocol.ledger.path = ledger_path;
+      protocol.ledger.cluster_name = cluster_name;
+      auto record =
+          MeasureForLedger(label, rate, parallelism, *cluster, protocol);
+      if (!record.ok()) {
+        std::fprintf(stderr, "baseline write %s: %s\n", label.c_str(),
+                     record.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      const std::string path = BaselineFilePath(dir, label);
+      Status st = WriteTextFileAtomic(path, record->ToJson().Dump(2) + "\n");
+      if (!st.ok()) {
+        std::fprintf(stderr, "baseline write %s: %s\n", label.c_str(),
+                     st.ToString().c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("baseline %s: p50 %.2f ms, tput %.0f t/s -> %s\n",
+                  label.c_str(), record->median_latency_s * 1e3,
+                  record->throughput_tps, path.c_str());
+      continue;
+    }
+
+    // check
+    const std::string path = BaselineFilePath(dir, label);
+    auto text = ReadTextFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "baseline check %s: %s\n", label.c_str(),
+                   text.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto parsed = Json::Parse(*text);
+    Result<obs::RunRecord> base = Status::Internal("unparsed");
+    if (parsed.ok()) base = obs::RunRecord::FromJson(*parsed);
+    if (!parsed.ok() || !base.ok()) {
+      std::fprintf(stderr, "baseline check %s: %s\n", label.c_str(),
+                   (!parsed.ok() ? parsed.status() : base.status())
+                       .ToString()
+                       .c_str());
+      ++failures;
+      continue;
+    }
+    // Re-measure with the baseline's recorded protocol so the comparison is
+    // bit-for-bit re-executable: same seed, repeats, rate, parallelism and
+    // cluster preset.
+    auto cluster = MakeCluster(base->cluster, base->nodes);
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "baseline check %s: %s\n", label.c_str(),
+                   cluster.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    RunProtocol protocol;
+    protocol.repeats = base->repeats;
+    protocol.duration_s = base->duration_s;
+    protocol.warmup_s = base->warmup_s;
+    protocol.seed = std::strtoull(base->seed.c_str(), nullptr, 10);
+    protocol.ledger.enabled = true;
+    protocol.ledger.path = ledger_path;
+    protocol.ledger.cluster_name = base->cluster;
+    auto record = MeasureForLedger(base->label, base->event_rate,
+                                   base->parallelism, *cluster, protocol);
+    if (!record.ok()) {
+      std::fprintf(stderr, "baseline check %s: %s\n", label.c_str(),
+                   record.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const obs::ComparisonReport report =
+        obs::CompareRecords(*base, *record, options);
+    regressed_metrics += report.CountVerdict(obs::MetricVerdict::kRegressed);
+    if (json) {
+      all.Append(report.ToJson());
+    } else {
+      std::printf("%s", report.ToString().c_str());
+    }
+  }
+  if (verb == "check" && json) {
+    Json out = Json::Object();
+    out.Set("baselines", std::move(all));
+    out.Set("regressed", Json::Int(static_cast<int64_t>(regressed_metrics)));
+    out.Set("failures", Json::Int(failures));
+    std::printf("%s\n", out.Dump(2).c_str());
+  }
+  if (failures > 0) return 2;
+  if (verb == "check" && regressed_metrics > 0) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -478,6 +875,15 @@ int Main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "diagnose") == 0) {
     return DiagnoseMain(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "history") == 0) {
+    return HistoryMain(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "compare") == 0) {
+    return CompareMain(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "baseline") == 0) {
+    return BaselineMain(argc - 1, argv + 1);
   }
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -492,7 +898,8 @@ int Main(int argc, char** argv) {
                ParseArg(argv[i], "placement", &args.placement) ||
                ParseArg(argv[i], "save", &args.save) ||
                ParseArg(argv[i], "load", &args.load) ||
-               ParseArg(argv[i], "store", &args.store_dir)) {
+               ParseArg(argv[i], "store", &args.store_dir) ||
+               ParseArg(argv[i], "ledger", &args.ledger)) {
       // parsed into the struct
     } else if (ParseArg(argv[i], "rate", &value)) {
       args.rate = std::atof(value.c_str());
@@ -538,6 +945,8 @@ int Main(int argc, char** argv) {
   }
 
   Result<LogicalPlan> plan = Status::Internal("unreachable");
+  obs::HostProfiler::Phase build_phase(&obs::HostProfiler::Global(),
+                                       "build-plan");
   if (!args.load.empty()) {
     RunStore store(args.store_dir);
     plan = store.LoadPlan(args.load);
@@ -575,6 +984,7 @@ int Main(int argc, char** argv) {
     opt.parallelism = args.parallelism;
     plan = MakeCanonicalSynthetic(structure, opt);
   }
+  build_phase.End();
   if (!plan.ok()) {
     std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
     return 1;
@@ -608,12 +1018,49 @@ int Main(int argc, char** argv) {
   exec.sim.duration_s = args.duration;
   exec.sim.warmup_s = args.duration * 0.2;
   exec.sim.seed = args.seed;
-  auto result = ExecutePlan(*plan, *cluster, exec);
+  Result<SimResult> result = Status::Internal("unreachable");
+  {
+    obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(), "simulate");
+    result = ExecutePlan(*plan, *cluster, exec);
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("measured: %s\n\n", result->Summary().c_str());
+  if (!args.ledger.empty()) {
+    // Single ad-hoc run, so the "mean of repeats" collapses to one sample;
+    // the record still carries full provenance (plan hash, seed, build).
+    RunProtocol protocol;
+    protocol.repeats = 1;
+    protocol.duration_s = args.duration;
+    protocol.warmup_s = args.duration * 0.2;
+    protocol.seed = args.seed;
+    protocol.label = !args.app.empty()
+                         ? args.app
+                         : (!args.structure.empty() ? args.structure
+                                                    : args.load);
+    protocol.ledger.enabled = true;
+    protocol.ledger.path = args.ledger;
+    protocol.ledger.cluster_name = args.cluster;
+    CellResult cell;
+    cell.mean_median_latency_s = result->median_latency_s;
+    cell.mean_throughput_tps = result->throughput_tps;
+    cell.p95_latency_s = result->p95_latency_s;
+    cell.p99_latency_s = result->p99_latency_s;
+    cell.median_latency_stats.Add(result->median_latency_s);
+    cell.throughput_stats.Add(result->throughput_tps);
+    cell.late_drops = result->late_drops;
+    cell.backpressure_skipped = result->backpressure_skipped;
+    obs::RunRecord record = MakeLedgerRecord(*plan, *cluster, protocol, cell);
+    Status appended = obs::RunLedger(args.ledger).Append(record);
+    if (appended.ok()) {
+      std::printf("ledger: appended %s to %s\n\n", record.run_id.c_str(),
+                  args.ledger.c_str());
+    } else {
+      std::fprintf(stderr, "ledger: %s\n", appended.ToString().c_str());
+    }
+  }
   if (!args.save.empty()) {
     RunStore store(args.store_dir);
     Status saved = store.SaveRun(args.save, *plan, *cluster, *result);
