@@ -42,7 +42,8 @@ Result<LogicalPlan> DeepPipeline(double rate, int parallelism,
 
 }  // namespace
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const double rate = bench::FastMode() ? 40000.0 : 150000.0;
   RunProtocol protocol = bench::FigureProtocol();
@@ -55,30 +56,45 @@ int Main() {
       {"parallelism", "forward+chain(ms)", "forward,no-chain(ms)",
        "rebalance(ms)"});
 
-  for (int parallelism : {4, 16, 64}) {
+  struct Config {
+    Partitioning partitioning;
+    bool chain;
+    const char* name;
+  };
+  const std::vector<Config> configs = {
+      {Partitioning::kForward, true, "fwd-chain"},
+      {Partitioning::kForward, false, "fwd-nochain"},
+      {Partitioning::kRebalance, true, "rebalance"},
+  };
+  const std::vector<int> degrees = {4, 16, 64};
+
+  std::vector<exec::SweepCell> cells;
+  for (int parallelism : degrees) {
+    for (const Config& config : configs) {
+      exec::SweepCell cell;
+      const Partitioning partitioning = config.partitioning;
+      cell.make_plan = [rate, parallelism, partitioning] {
+        return DeepPipeline(rate, parallelism, partitioning);
+      };
+      cell.cluster = cluster;
+      cell.protocol = protocol;
+      // The chaining toggle rides on the protocol's cost model — no need to
+      // bypass the harness anymore.
+      cell.protocol.costs.chain_forward_channels = config.chain;
+      cell.label =
+          StrFormat("ablation_chaining/%s/p%d", config.name, parallelism);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "ablation_chaining", jobs);
+
+  size_t idx = 0;
+  for (int parallelism : degrees) {
     std::vector<std::string> row = {StrFormat("%d", parallelism)};
-    struct Config {
-      Partitioning partitioning;
-      bool chain;
-    };
-    for (const Config& config :
-         {Config{Partitioning::kForward, true},
-          Config{Partitioning::kForward, false},
-          Config{Partitioning::kRebalance, true}}) {
-      auto plan = DeepPipeline(rate, parallelism, config.partitioning);
-      if (!plan.ok()) {
-        row.push_back("n/a");
-        continue;
-      }
-      // MeasureCell uses default costs; run directly to toggle chaining.
-      ExecutionOptions exec;
-      exec.placement = protocol.placement;
-      exec.costs.chain_forward_channels = config.chain;
-      exec.sim.duration_s = protocol.duration_s;
-      exec.sim.warmup_s = protocol.warmup_s;
-      exec.sim.seed = protocol.seed;
-      auto r = ExecutePlan(*plan, cluster, exec);
-      row.push_back(r.ok() ? LatencyCell(r->median_latency_s) : "n/a");
+    for ([[maybe_unused]] const Config& config : configs) {
+      row.push_back(bench::LatencyOrNa(sweep.cells[idx++]));
     }
     table.AddRow(std::move(row));
   }
@@ -89,4 +105,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

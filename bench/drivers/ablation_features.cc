@@ -37,10 +37,12 @@ DatasetSplit StripSplit(const DatasetSplit& split) {
 
 }  // namespace
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const bool fast = bench::FastMode();
 
   DataGenOptions gen;
+  gen.jobs = jobs;
   gen.num_samples = fast ? 45 : 200;
   gen.seed = 717;
   gen.query.rate_floor = 1000.0;
@@ -106,4 +108,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

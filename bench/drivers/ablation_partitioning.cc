@@ -43,14 +43,17 @@ Result<LogicalPlan> PipelinePlan(double rate, int parallelism,
 
 }  // namespace
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 40000.0 : 150000.0;
 
+  const std::vector<Partitioning> partitionings = {
+      Partitioning::kForward, Partitioning::kRebalance, Partitioning::kHash};
+
   std::vector<std::string> columns = {"parallelism"};
-  for (Partitioning p : {Partitioning::kForward, Partitioning::kRebalance,
-                         Partitioning::kHash}) {
+  for (Partitioning p : partitionings) {
     columns.push_back(StrFormat("%s(ms)", PartitioningToString(p)));
   }
   TableReporter table(
@@ -59,18 +62,30 @@ int Main() {
                 rate / 1000.0),
       columns);
 
-  for (int parallelism : {2, 8, 32, 64}) {
+  const std::vector<int> degrees = {2, 8, 32, 64};
+  std::vector<exec::SweepCell> cells;
+  for (int parallelism : degrees) {
+    for (Partitioning p : partitionings) {
+      exec::SweepCell cell;
+      cell.make_plan = [rate, parallelism, p] {
+        return PipelinePlan(rate, parallelism, p);
+      };
+      cell.cluster = cluster;
+      cell.protocol = protocol;
+      cell.label = StrFormat("ablation_partitioning/%s/p%d",
+                             PartitioningToString(p), parallelism);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "ablation_partitioning", jobs);
+
+  size_t idx = 0;
+  for (int parallelism : degrees) {
     std::vector<std::string> row = {StrFormat("%d", parallelism)};
-    for (Partitioning p : {Partitioning::kForward, Partitioning::kRebalance,
-                           Partitioning::kHash}) {
-      auto plan = PipelinePlan(rate, parallelism, p);
-      if (!plan.ok()) {
-        row.push_back("n/a");
-        continue;
-      }
-      auto cell = MeasureCell(*plan, cluster, protocol);
-      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
-                              : "n/a");
+    for ([[maybe_unused]] Partitioning p : partitionings) {
+      row.push_back(bench::LatencyOrNa(sweep.cells[idx++]));
     }
     table.AddRow(std::move(row));
   }
@@ -81,4 +96,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

@@ -14,7 +14,9 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
+  RegisterAppUdos();
   const RunProtocol base = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 50000.0 : 150000.0;
 
@@ -32,23 +34,38 @@ int Main() {
       columns);
 
   const Cluster cluster = Cluster::Mixed(10);
-  for (AppId app : {AppId::kSpikeDetection, AppId::kSentimentAnalysis,
-                    AppId::kWordCount}) {
-    std::vector<std::string> row = {GetAppInfo(app).abbrev};
+  const std::vector<AppId> apps = {AppId::kSpikeDetection,
+                                   AppId::kSentimentAnalysis,
+                                   AppId::kWordCount};
+  std::vector<exec::SweepCell> cells;
+  for (AppId app : apps) {
     AppOptions opt;
     opt.event_rate = rate;
     // 32-way over ~4 operators puts ~13 tasks per 8-core node: packing vs
     // spreading policies now genuinely differ.
     opt.parallelism = 32;
     opt.window_scale = 0.4;
-    auto plan = MakeApp(app, opt);
-    if (!plan.ok()) return 1;
     for (PlacementKind kind : kinds) {
-      RunProtocol protocol = base;
-      protocol.placement = kind;
-      auto cell = MeasureCell(*plan, cluster, protocol);
-      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
-                              : "n/a");
+      exec::SweepCell cell;
+      cell.make_plan = [app, opt] { return MakeApp(app, opt); };
+      cell.cluster = cluster;
+      cell.protocol = base;
+      cell.protocol.placement = kind;
+      cell.label = StrFormat("ablation_placement/%s/%s",
+                             GetAppInfo(app).abbrev,
+                             PlacementKindToString(kind));
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "ablation_placement", jobs);
+
+  size_t idx = 0;
+  for (AppId app : apps) {
+    std::vector<std::string> row = {GetAppInfo(app).abbrev};
+    for ([[maybe_unused]] PlacementKind kind : kinds) {
+      row.push_back(bench::LatencyOrNa(sweep.cells[idx++]));
     }
     table.AddRow(std::move(row));
   }
@@ -59,4 +76,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

@@ -9,12 +9,40 @@
 
 #include "bench/drivers/driver_util.h"
 #include "src/common/string_util.h"
-#include "src/obs/artifacts.h"
 #include "src/query/builder.h"
 
 namespace pdsp {
 
-int Main() {
+namespace {
+
+Result<LogicalPlan> SkewPlan(double rate, double skew) {
+  StreamSpec stream;
+  (void)stream.schema.AddField({"key", DataType::kInt});
+  (void)stream.schema.AddField({"val", DataType::kDouble});
+  FieldGeneratorSpec key;
+  key.dist = FieldDistribution::kZipfKey;
+  key.cardinality = 1000;
+  key.zipf_s = skew;
+  FieldGeneratorSpec val;
+  val.dist = FieldDistribution::kUniformDouble;
+  val.max = 100.0;
+  stream.specs = {key, val};
+  ArrivalProcess::Options arrival;
+  arrival.rate = rate;
+
+  PlanBuilder b;
+  auto src = b.Source("src", stream, arrival, 8);
+  WindowSpec win;
+  win.duration_ms = 1000.0;
+  auto agg = b.WindowAggregate("agg", src, win, AggregateFn::kSum, 1, 0, 8);
+  b.Sink("sink", agg);
+  return b.Build();
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 40000.0 : 120000.0;
@@ -25,58 +53,42 @@ int Main() {
                 rate / 1000.0),
       {"zipf_s", "p50(ms)", "hottest-instance util", "mean util"});
 
-  for (double skew : {0.0, 0.4, 0.8, 1.2, 1.6}) {
-    StreamSpec stream;
-    (void)stream.schema.AddField({"key", DataType::kInt});
-    (void)stream.schema.AddField({"val", DataType::kDouble});
-    FieldGeneratorSpec key;
-    key.dist = FieldDistribution::kZipfKey;
-    key.cardinality = 1000;
-    key.zipf_s = skew;
-    FieldGeneratorSpec val;
-    val.dist = FieldDistribution::kUniformDouble;
-    val.max = 100.0;
-    stream.specs = {key, val};
-    ArrivalProcess::Options arrival;
-    arrival.rate = rate;
-
-    PlanBuilder b;
-    auto src = b.Source("src", stream, arrival, 8);
-    WindowSpec win;
-    win.duration_ms = 1000.0;
-    auto agg = b.WindowAggregate("agg", src, win, AggregateFn::kSum, 1, 0, 8);
-    b.Sink("sink", agg);
-    auto plan = b.Build();
-    if (!plan.ok()) return 1;
-
-    ExecutionOptions exec;
-    exec.sim.duration_s = protocol.duration_s;
-    exec.sim.warmup_s = protocol.warmup_s;
-    exec.sim.seed = protocol.seed;
+  const std::vector<double> skews = {0.0, 0.4, 0.8, 1.2, 1.6};
+  std::vector<exec::SweepCell> cells;
+  for (double skew : skews) {
+    exec::SweepCell cell;
+    cell.make_plan = [rate, skew] { return SkewPlan(rate, skew); };
+    cell.cluster = cluster;
+    cell.protocol = protocol;
+    cell.label = StrFormat("ablation_skew/zipf_%.1f", skew);
     // Per-cell artifact bundle: the time-series makes the skew-induced
     // imbalance directly visible (hot instance queue depth / utilization).
-    obs::Tracer tracer;
-    exec.sim.tracer = &tracer;
-    auto r = ExecutePlan(*plan, cluster, exec);
-    if (!r.ok()) {
-      table.AddRow({StrFormat("%.1f", skew), "n/a", "n/a", "n/a"});
+    cell.protocol.obs.enabled = true;
+    cell.protocol.obs.dir = StrFormat("results/ablation_skew/zipf_%.1f", skew);
+    cells.push_back(std::move(cell));
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "ablation_skew", jobs);
+
+  // The plan shape is identical across skews, so "agg"'s operator id can be
+  // resolved from any one instantiation.
+  size_t agg_id = 0;
+  if (auto probe = SkewPlan(rate, 0.0); probe.ok()) {
+    if (auto id = probe->FindOperator("agg"); id.ok()) {
+      agg_id = static_cast<size_t>(*id);
+    }
+  }
+
+  for (size_t i = 0; i < skews.size(); ++i) {
+    const exec::SweepCellOutcome& outcome = sweep.cells[i];
+    if (!outcome.result.ok() || outcome.result->op_stats.size() <= agg_id) {
+      table.AddRow({StrFormat("%.1f", skews[i]), "n/a", "n/a", "n/a"});
       continue;
     }
-    obs::ArtifactOptions artifacts;
-    artifacts.tracer = &tracer;
-    artifacts.sim_options = &exec.sim;
-    const obs::HostProfile host_profile =
-        obs::HostProfiler::Global().Snapshot();
-    artifacts.host_profile = &host_profile;
-    Status obs_st = obs::WriteRunArtifacts(
-        StrFormat("results/ablation_skew/zipf_%.1f", skew), *r, artifacts);
-    if (!obs_st.ok()) {
-      std::fprintf(stderr, "obs: %s\n", obs_st.ToString().c_str());
-    }
-    auto agg_id = plan->FindOperator("agg");
-    const OperatorRunStats& stats = r->op_stats[*agg_id];
-    table.AddRow({StrFormat("%.1f", skew),
-                  LatencyCell(r->median_latency_s),
+    const OperatorRunStats& stats = outcome.result->op_stats[agg_id];
+    table.AddRow({StrFormat("%.1f", skews[i]),
+                  LatencyCell(outcome.result->mean_median_latency_s),
                   StrFormat("%.2f", stats.max_instance_util),
                   StrFormat("%.2f", stats.utilization)});
   }
@@ -87,4 +99,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

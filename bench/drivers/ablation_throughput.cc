@@ -5,16 +5,18 @@
 // source backpressure and the hottest-operator utilization — locating each
 // application's capacity knee.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/drivers/driver_util.h"
 #include "src/apps/apps.h"
 #include "src/common/string_util.h"
-#include "src/sim/simulation.h"
 
 namespace pdsp {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
+  RegisterAppUdos();
   const bool fast = bench::FastMode();
   const Cluster cluster = Cluster::M510(10);
   const std::vector<double> rates =
@@ -27,33 +29,54 @@ int Main() {
       {"app", "offered(ev/s)", "results/s", "p50(ms)", "bp_skipped",
        "hottest util"});
 
-  for (AppId app : {AppId::kSpikeDetection, AppId::kWordCount,
-                    AppId::kTpcH}) {
+  // Capacity-knee sweeps are single-shot by design: one run per offered
+  // rate, no repeat averaging.
+  RunProtocol protocol;
+  protocol.repeats = 1;
+  protocol.duration_s = fast ? 1.5 : 2.5;
+  protocol.warmup_s = 0.5;
+
+  const std::vector<AppId> apps = {AppId::kSpikeDetection, AppId::kWordCount,
+                                   AppId::kTpcH};
+  std::vector<exec::SweepCell> cells;
+  for (AppId app : apps) {
     for (double rate : rates) {
+      exec::SweepCell cell;
       AppOptions opt;
       opt.event_rate = rate;
       opt.parallelism = 16;
       opt.window_scale = 0.4;
-      auto plan = MakeApp(app, opt);
-      if (!plan.ok()) return 1;
-      ExecutionOptions exec;
-      exec.sim.duration_s = fast ? 1.5 : 2.5;
-      exec.sim.warmup_s = 0.5;
-      auto r = ExecutePlan(*plan, cluster, exec);
-      if (!r.ok()) {
+      cell.make_plan = [app, opt] { return MakeApp(app, opt); };
+      cell.cluster = cluster;
+      cell.protocol = protocol;
+      cell.label = StrFormat("ablation_throughput/%s/%s",
+                             GetAppInfo(app).abbrev, HumanCount(rate).c_str());
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "ablation_throughput", jobs);
+
+  size_t idx = 0;
+  for (AppId app : apps) {
+    for (double rate : rates) {
+      const exec::SweepCellOutcome& outcome = sweep.cells[idx++];
+      if (!outcome.result.ok()) {
         table.AddRow({GetAppInfo(app).abbrev, HumanCount(rate), "n/a", "n/a",
                       "n/a", "n/a"});
         continue;
       }
+      const CellResult& r = *outcome.result;
       double hottest = 0.0;
-      for (const OperatorRunStats& s : r->op_stats) {
+      for (const OperatorRunStats& s : r.op_stats) {
         hottest = std::max(hottest, s.max_instance_util);
       }
       table.AddRow({GetAppInfo(app).abbrev, HumanCount(rate),
-                    ThroughputCell(r->throughput_tps),
-                    LatencyCell(r->median_latency_s),
+                    ThroughputCell(r.mean_throughput_tps),
+                    LatencyCell(r.mean_median_latency_s),
                     StrFormat("%lld",
-                              static_cast<long long>(r->backpressure_skipped)),
+                              static_cast<long long>(r.backpressure_skipped)),
                     StrFormat("%.2f", hottest)});
     }
   }
@@ -64,4 +87,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

@@ -1,13 +1,20 @@
 // Shared knobs for the figure-reproduction drivers. Setting the environment
 // variable PDSP_BENCH_FAST=1 shrinks durations/repeats for smoke runs; the
-// default settings are the ones EXPERIMENTS.md reports.
+// default settings are the ones EXPERIMENTS.md reports. Every driver also
+// accepts --jobs=N (or PDSP_JOBS=N) to fan its sweep cells across worker
+// threads — per-cell results are bit-identical to a sequential run.
 
 #ifndef PDSP_BENCH_DRIVERS_DRIVER_UTIL_H_
 #define PDSP_BENCH_DRIVERS_DRIVER_UTIL_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "src/exec/sweep.h"
 #include "src/harness/harness.h"
 
 namespace pdsp {
@@ -32,6 +39,50 @@ inline RunProtocol FigureProtocol() {
     p.warmup_s = 0.6;
   }
   return p;
+}
+
+/// Worker-thread count for the driver's sweep: --jobs=N on the command line
+/// wins over the PDSP_JOBS environment variable; the default is sequential.
+/// 0 (or any non-positive value) means one worker per hardware thread.
+inline int ParseJobs(int argc, char** argv) {
+  int jobs = 1;
+  if (const char* env = std::getenv("PDSP_JOBS");
+      env != nullptr && *env != '\0') {
+    jobs = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  return jobs;
+}
+
+/// Runs a driver's cell grid through the sweep scheduler and reports the
+/// fan-out on stderr (cells ok, jobs, wall seconds). Results come back in
+/// cell order, so drivers index `sweep.cells[i]` in the same order they
+/// pushed cells.
+inline exec::SweepResult RunDriverSweep(std::vector<exec::SweepCell> cells,
+                                        const std::string& name, int jobs) {
+  exec::SweepOptions options;
+  options.jobs = jobs;
+  options.name = name;
+  exec::SweepResult sweep = exec::RunSweep(cells, options);
+  std::fprintf(stderr, "[%s] %zu/%zu cells ok, jobs=%d, wall %.2fs\n",
+               name.c_str(), sweep.NumOk(), sweep.cells.size(), sweep.jobs,
+               sweep.wall_s);
+  return sweep;
+}
+
+/// Formats one sweep outcome as a latency table cell ("n/a" on failure,
+/// logging the failure so it is not silently swallowed into the table).
+inline std::string LatencyOrNa(const exec::SweepCellOutcome& outcome) {
+  if (!outcome.result.ok()) {
+    std::fprintf(stderr, "cell %s: %s\n", outcome.label.c_str(),
+                 outcome.result.status().ToString().c_str());
+    return "n/a";
+  }
+  return LatencyCell(outcome.result->mean_median_latency_s);
 }
 
 }  // namespace bench

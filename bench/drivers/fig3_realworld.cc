@@ -14,7 +14,10 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
+  // UDO factories must be registered before sweep workers spawn.
+  RegisterAppUdos();
   const Cluster cluster = Cluster::M510(10);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 50000.0 : 200000.0;
@@ -36,24 +39,33 @@ int Main() {
                 rate / 1000.0),
       columns);
 
+  std::vector<exec::SweepCell> cells;
   for (AppId app : apps) {
-    std::vector<std::string> row = {GetAppInfo(app).abbrev};
     for (const auto& cat : StandardCategories()) {
+      exec::SweepCell cell;
       AppOptions opt;
       opt.event_rate = rate;
       opt.parallelism = cat.degree;
       // Windows scaled to fit several firings into the measured horizon
       // (LR's 5s sliding window would otherwise outlive the run).
       opt.window_scale = 0.4;
-      auto plan = MakeApp(app, opt);
-      if (!plan.ok()) {
-        std::fprintf(stderr, "app %s: %s\n", GetAppInfo(app).abbrev,
-                     plan.status().ToString().c_str());
-        return 1;
-      }
-      auto cell = MeasureCell(*plan, cluster, protocol);
-      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
-                              : "n/a");
+      cell.make_plan = [app, opt] { return MakeApp(app, opt); };
+      cell.cluster = cluster;
+      cell.protocol = protocol;
+      cell.label =
+          StrFormat("fig3rw/%s/%s", GetAppInfo(app).abbrev, cat.name);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "fig3_realworld", jobs);
+
+  size_t idx = 0;
+  for (AppId app : apps) {
+    std::vector<std::string> row = {GetAppInfo(app).abbrev};
+    for ([[maybe_unused]] const auto& cat : StandardCategories()) {
+      row.push_back(bench::LatencyOrNa(sweep.cells[idx++]));
     }
     table.AddRow(std::move(row));
   }
@@ -65,4 +77,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

@@ -15,7 +15,8 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 50000.0 : 200000.0;
@@ -36,33 +37,42 @@ int Main() {
                 rate / 1000.0),
       columns);
 
+  std::vector<exec::SweepCell> cells;
   for (SyntheticStructure structure : structures) {
-    std::vector<std::string> row = {SyntheticStructureToString(structure)};
     for (const auto& cat : StandardCategories()) {
+      exec::SweepCell cell;
       CanonicalOptions opt;
       opt.event_rate = rate;
       opt.parallelism = cat.degree;
-      auto plan = MakeCanonicalSynthetic(structure, opt);
-      if (!plan.ok()) {
-        std::fprintf(stderr, "plan %s: %s\n",
-                     SyntheticStructureToString(structure),
-                     plan.status().ToString().c_str());
-        return 1;
-      }
-      RunProtocol cell_protocol = protocol;
-      cell_protocol.label =
+      cell.make_plan = [structure, opt] {
+        return MakeCanonicalSynthetic(structure, opt);
+      };
+      cell.cluster = cluster;
+      cell.protocol = protocol;
+      cell.protocol.label =
           StrFormat("fig3/%s", SyntheticStructureToString(structure));
-      cell_protocol.obs.enabled = true;
-      cell_protocol.obs.dir =
+      cell.label = StrFormat("fig3/%s/%s",
+                             SyntheticStructureToString(structure), cat.name);
+      cell.protocol.obs.enabled = true;
+      cell.protocol.obs.dir =
           StrFormat("results/fig3_synthetic/%s_%s",
                     SyntheticStructureToString(structure), cat.name);
       // Every cell leaves a provenance record: sweep history accumulates in
       // the shared run ledger.
-      cell_protocol.ledger.enabled = true;
-      cell_protocol.ledger.cluster_name = "m510";
-      auto cell = MeasureCell(*plan, cluster, cell_protocol);
-      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
-                              : "n/a");
+      cell.protocol.ledger.enabled = true;
+      cell.protocol.ledger.cluster_name = "m510";
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "fig3_synthetic", jobs);
+
+  size_t idx = 0;
+  for (SyntheticStructure structure : structures) {
+    std::vector<std::string> row = {SyntheticStructureToString(structure)};
+    for ([[maybe_unused]] const auto& cat : StandardCategories()) {
+      row.push_back(bench::LatencyOrNa(sweep.cells[idx++]));
     }
     table.AddRow(std::move(row));
   }
@@ -74,4 +84,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

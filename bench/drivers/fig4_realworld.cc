@@ -14,7 +14,9 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
+  RegisterAppUdos();
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 80000.0 : 400000.0;
 
@@ -45,22 +47,31 @@ int Main() {
                 rate / 1000.0),
       columns);
 
+  std::vector<exec::SweepCell> cells;
   for (AppId app : apps) {
-    std::vector<std::string> row = {GetAppInfo(app).abbrev};
     for (const auto& config : clusters) {
+      exec::SweepCell cell;
       AppOptions opt;
       opt.event_rate = rate;
       opt.parallelism = config.degree;
       opt.window_scale = 0.4;
-      auto plan = MakeApp(app, opt);
-      if (!plan.ok()) {
-        std::fprintf(stderr, "app %s: %s\n", GetAppInfo(app).abbrev,
-                     plan.status().ToString().c_str());
-        return 1;
-      }
-      auto cell = MeasureCell(*plan, config.cluster, protocol);
-      row.push_back(cell.ok() ? LatencyCell(cell->mean_median_latency_s)
-                              : "n/a");
+      cell.make_plan = [app, opt] { return MakeApp(app, opt); };
+      cell.cluster = config.cluster;
+      cell.protocol = protocol;
+      cell.label =
+          StrFormat("fig4rw/%s/%s", GetAppInfo(app).abbrev, config.label);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "fig4_realworld", jobs);
+
+  size_t idx = 0;
+  for (AppId app : apps) {
+    std::vector<std::string> row = {GetAppInfo(app).abbrev};
+    for ([[maybe_unused]] const auto& config : clusters) {
+      row.push_back(bench::LatencyOrNa(sweep.cells[idx++]));
     }
     table.AddRow(std::move(row));
   }
@@ -72,4 +83,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

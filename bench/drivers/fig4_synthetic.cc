@@ -15,7 +15,8 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 50000.0 : 200000.0;
 
@@ -45,25 +46,43 @@ int Main() {
                 rate / 1000.0),
       columns);
 
+  // One sweep cell per (category, cluster, structure); the table averages
+  // each group of |structures| cells into one entry afterwards.
+  std::vector<exec::SweepCell> cells;
   for (const auto& cat : StandardCategories()) {
-    std::vector<std::string> row = {cat.name};
     for (const auto& config : clusters) {
-      std::vector<double> latencies;
       for (SyntheticStructure structure : structures) {
+        exec::SweepCell cell;
         CanonicalOptions opt;
         opt.event_rate = rate;
         opt.parallelism = cat.degree;
-        auto plan = MakeCanonicalSynthetic(structure, opt);
-        if (!plan.ok()) {
-          std::fprintf(stderr, "plan: %s\n",
-                       plan.status().ToString().c_str());
-          return 1;
-        }
-        auto cell = MeasureCell(*plan, config.cluster, protocol);
-        if (cell.ok()) latencies.push_back(cell->mean_median_latency_s);
+        cell.make_plan = [structure, opt] {
+          return MakeCanonicalSynthetic(structure, opt);
+        };
+        cell.cluster = config.cluster;
+        cell.protocol = protocol;
+        cell.label = StrFormat("fig4/%s/%s/%s", cat.name, config.label,
+                               SyntheticStructureToString(structure));
+        cells.push_back(std::move(cell));
       }
-      row.push_back(latencies.empty() ? "n/a"
-                                      : LatencyCell(Mean(latencies)));
+    }
+  }
+
+  const exec::SweepResult sweep =
+      bench::RunDriverSweep(std::move(cells), "fig4_synthetic", jobs);
+
+  size_t idx = 0;
+  for (const auto& cat : StandardCategories()) {
+    std::vector<std::string> row = {cat.name};
+    for ([[maybe_unused]] const auto& config : clusters) {
+      std::vector<double> latencies;
+      for ([[maybe_unused]] SyntheticStructure structure : structures) {
+        const exec::SweepCellOutcome& outcome = sweep.cells[idx++];
+        if (outcome.result.ok()) {
+          latencies.push_back(outcome.result->mean_median_latency_s);
+        }
+      }
+      row.push_back(latencies.empty() ? "n/a" : LatencyCell(Mean(latencies)));
     }
     table.AddRow(std::move(row));
   }
@@ -75,4 +94,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

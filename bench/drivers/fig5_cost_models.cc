@@ -21,7 +21,8 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const bool fast = bench::FastMode();
   const std::vector<SyntheticStructure> structures = {
       SyntheticStructure::kLinear,
@@ -46,6 +47,7 @@ int Main() {
   gen.enumeration.max_degree = 32;
   gen.execution.sim.duration_s = fast ? 1.5 : 2.5;
   gen.execution.sim.warmup_s = 0.5;
+  gen.jobs = jobs;
 
   const Cluster cluster = Cluster::M510(10);
   std::printf("generating %d labeled queries...\n", gen.num_samples);
@@ -162,4 +164,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

@@ -39,7 +39,8 @@ DataGenOptions BaseGen(bool fast) {
 
 }  // namespace
 
-int Main() {
+int Main(int argc, char** argv) {
+  const int jobs = bench::ParseJobs(argc, argv);
   const bool fast = bench::FastMode();
   const Cluster cluster = Cluster::M510(10);
   const std::vector<SyntheticStructure> seen_structures = {
@@ -55,6 +56,7 @@ int Main() {
 
   // Common evaluation corpora: realistic deployment configurations.
   DataGenOptions eval_gen = BaseGen(fast);
+  eval_gen.jobs = jobs;
   eval_gen.strategy = EnumerationStrategy::kRuleBased;
   eval_gen.enumeration.rule_jitter = 3;
   eval_gen.seed = 6001;
@@ -90,6 +92,7 @@ int Main() {
        {EnumerationStrategy::kRandom, EnumerationStrategy::kRuleBased}) {
     for (int size : training_sizes) {
       DataGenOptions gen = BaseGen(fast);
+      gen.jobs = jobs;
       gen.strategy = strategy;
       gen.structures = seen_structures;
       gen.num_samples = size;
@@ -133,4 +136,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

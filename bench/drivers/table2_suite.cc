@@ -11,7 +11,8 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int, char**) {
+  // Static table; --jobs is accepted (for driver uniformity) but unused.
   TableReporter apps_table(
       "Table 2: real-world application suite",
       {"abbrev", "name", "area", "UDO", "data-intensive", "operators",
@@ -54,4 +55,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

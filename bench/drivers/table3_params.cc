@@ -12,7 +12,8 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int, char**) {
+  // Static table; --jobs is accepted (for driver uniformity) but unused.
   const QueryGenOptions defaults;
   TableReporter table("Table 3: workload generator parameter ranges",
                       {"dimension", "parameter", "range"});
@@ -73,4 +74,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

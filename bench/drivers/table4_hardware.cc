@@ -9,7 +9,8 @@
 
 namespace pdsp {
 
-int Main() {
+int Main(int, char**) {
+  // Static table; --jobs is accepted (for driver uniformity) but unused.
   TableReporter table("Table 4: hardware configuration (CloudLab models)",
                       {"cluster", "node", "nodes", "cores/node", "RAM(GB)",
                        "storage(GB)", "processor", "GHz", "NIC(Gbps)",
@@ -44,4 +45,4 @@ int Main() {
 
 }  // namespace pdsp
 
-int main() { return pdsp::Main(); }
+int main(int argc, char** argv) { return pdsp::Main(argc, argv); }

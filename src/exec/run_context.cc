@@ -1,0 +1,30 @@
+#include "src/exec/run_context.h"
+
+namespace pdsp {
+namespace exec {
+
+RunContext::RunContext()
+    : owned_profiler_(std::make_unique<obs::HostProfiler>()),
+      profiler_(owned_profiler_.get()),
+      metrics_(std::make_shared<obs::MetricsRegistry>()) {}
+
+RunContext::RunContext(obs::HostProfiler* profiler_sink)
+    : profiler_(profiler_sink),
+      metrics_(std::make_shared<obs::MetricsRegistry>()) {
+  if (profiler_ == nullptr) {
+    owned_profiler_ = std::make_unique<obs::HostProfiler>();
+    profiler_ = owned_profiler_.get();
+  }
+}
+
+uint64_t RunContext::MixSeed(uint64_t base, uint64_t index) {
+  // splitmix64 finalizer (Steele et al.): full-avalanche mixing so adjacent
+  // cell indices land in unrelated RNG streams.
+  uint64_t z = (base ^ index) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace exec
+}  // namespace pdsp

@@ -1,0 +1,85 @@
+// Per-run execution context: the explicit bundle of everything one measured
+// run is allowed to mutate. Before this existed, the cell path leaked state
+// through process-wide singletons (obs::HostProfiler::Global() phase
+// timers, implicitly shared registries), which made concurrent sweep cells
+// impossible to reason about. A RunContext owns (or is explicitly bound to)
+//
+//   * the MetricsRegistry the representative repeat records into,
+//   * the Tracer the cell's spans/firings go to,
+//   * the host-profiler phase sink its wall-clock phases accumulate in, and
+//   * the seed state repeat seeds derive from.
+//
+// Thread-safety contract (see DESIGN.md "Execution model"): a RunContext is
+// confined to one thread at a time; cross-context aggregation happens by
+// merging (MetricsRegistry::MergeFrom, HostProfiler::MergeWorkerPhases)
+// after the owning thread is done, in deterministic (cell-index) order.
+
+#ifndef PDSP_EXEC_RUN_CONTEXT_H_
+#define PDSP_EXEC_RUN_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/obs/host_profile.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace pdsp {
+namespace exec {
+
+/// \brief Owns the mutable observability state of one measured run.
+class RunContext {
+ public:
+  /// A context with a private host-profiler sink (parallel workers; tests).
+  RunContext();
+
+  /// A context bound to an external profiler sink — pass
+  /// &obs::HostProfiler::Global() to reproduce the legacy single-threaded
+  /// behavior where every phase lands in the process-wide profiler.
+  explicit RunContext(obs::HostProfiler* profiler_sink);
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// The run's metric registry; also handed to the simulator for the
+  /// representative repeat so SimResult::metrics aliases it.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+  obs::Tracer* tracer() { return &tracer_; }
+
+  /// Phase sink for this run's wall-clock scopes (simulate / diagnose /
+  /// train / export). Never null.
+  obs::HostProfiler* profiler() { return profiler_; }
+
+  /// True when the sink is private to this context (i.e. its phases must be
+  /// merged somewhere to be visible).
+  bool owns_profiler() const { return owned_profiler_ != nullptr; }
+
+  uint64_t base_seed() const { return base_seed_; }
+  void set_base_seed(uint64_t seed) { base_seed_ = seed; }
+
+  /// Seed of repeat `r`: base + r * 7919 (prime stride). A pure function of
+  /// (base_seed, r) — independent of worker identity and execution order,
+  /// which is what makes --jobs=1 and --jobs=N bit-identical.
+  uint64_t SeedForRepeat(int repeat) const {
+    return base_seed_ + static_cast<uint64_t>(repeat) * 7919ULL;
+  }
+
+  /// splitmix64 of (base ^ index): a well-spread per-cell seed for callers
+  /// that fan one base seed across many cells.
+  static uint64_t MixSeed(uint64_t base, uint64_t index);
+
+ private:
+  std::unique_ptr<obs::HostProfiler> owned_profiler_;
+  obs::HostProfiler* profiler_;  // == owned_profiler_.get() or external
+  obs::Tracer tracer_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  uint64_t base_seed_ = 2024;
+};
+
+}  // namespace exec
+}  // namespace pdsp
+
+#endif  // PDSP_EXEC_RUN_CONTEXT_H_

@@ -1,0 +1,88 @@
+// The parallel sweep scheduler. A figure/table reproduction is a grid of
+// independent cells — (app × structure × parallelism × rate × cluster)
+// combinations, each a deterministic virtual-time simulation — so RunSweep
+// fans them across --jobs workers and merges the observability state back
+// deterministically:
+//
+//   * every cell runs under its own RunContext (tracer, metrics registry,
+//     seed state) bound to its worker's private HostProfiler;
+//   * cell seeds derive only from each cell's protocol, never from worker
+//     identity or execution order, so --jobs=1 and --jobs=N produce
+//     bit-identical per-cell virtual-time results;
+//   * results, merged metrics and ledger appends are canonicalized by cell
+//     index (submission order), not completion order;
+//   * per-worker phase timers are merged into HostProfiler::Global() (and
+//     the returned HostProfile) as worker phases — kept separate from
+//     single-threaded wall-clock phases so concurrent busy-seconds are
+//     never double-counted as wall seconds.
+
+#ifndef PDSP_EXEC_SWEEP_H_
+#define PDSP_EXEC_SWEEP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/harness.h"
+
+namespace pdsp {
+namespace exec {
+
+/// \brief One sweep cell: a plan factory plus the protocol to measure it
+/// under. The factory runs on the worker (plan construction is pure and
+/// cheap); `cluster` is copied in so the cell owns everything it touches.
+struct SweepCell {
+  /// Display/row identifier. Also used as protocol.label when that is
+  /// empty, so ledger records and trace spans are named per cell.
+  std::string label;
+  std::function<Result<LogicalPlan>()> make_plan;
+  Cluster cluster;
+  RunProtocol protocol;
+};
+
+/// \brief Scheduler knobs for one sweep.
+struct SweepOptions {
+  /// Worker count; <= 0 means one per hardware thread.
+  int jobs = 1;
+  /// Sweep name: prefixes worker-phase names ("<name>:worker0") and labels
+  /// the optional summary ledger record.
+  std::string name = "sweep";
+  /// When enabled, RunSweep appends one summary RunRecord (label = `name`,
+  /// host_wall_s = sweep wall seconds, parallelism = jobs, repeats = cell
+  /// count) after the per-cell records — the hook bench_gate.sh uses to
+  /// compare jobs=1 vs jobs=N wall clock.
+  LedgerOptions summary_ledger;
+};
+
+/// \brief Outcome of one cell, in canonical (submission) order.
+struct SweepCellOutcome {
+  std::string label;
+  Result<CellResult> result;
+};
+
+/// \brief A completed sweep.
+struct SweepResult {
+  std::vector<SweepCellOutcome> cells;  ///< canonical submission order
+  int jobs = 1;                         ///< resolved worker count
+  double wall_s = 0.0;                  ///< sweep wall-clock seconds
+  /// Per-cell registries merged in canonical order, plus the sweep's
+  /// worker-phase host gauges (pdsp.host.workers, worker_phase.*).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Host usage at join + per-worker phase timers.
+  obs::HostProfile host;
+
+  /// Count of cells whose result is ok().
+  size_t NumOk() const;
+};
+
+/// Runs every cell across `options.jobs` workers. Per-cell ledger appends
+/// (cells with protocol.ledger.enabled) happen at join in canonical order —
+/// never from workers — so ledger record order is independent of jobs.
+SweepResult RunSweep(const std::vector<SweepCell>& cells,
+                     const SweepOptions& options);
+
+}  // namespace exec
+}  // namespace pdsp
+
+#endif  // PDSP_EXEC_SWEEP_H_

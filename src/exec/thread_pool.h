@@ -1,0 +1,90 @@
+// Fixed-size worker pool for the sweep scheduler. Deliberately minimal:
+// tasks are type-erased thunks, results travel through std::future (so an
+// exception thrown inside a task re-throws at the caller's .get(), not in
+// the worker), and shutdown drains the queue before joining. The pool makes
+// no fairness or affinity promises — sweep determinism never depends on
+// which worker runs a cell (seeds derive from cell indices, results are
+// canonicalized by submission order).
+
+#ifndef PDSP_EXEC_THREAD_POOL_H_
+#define PDSP_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pdsp {
+namespace exec {
+
+/// \brief Fixed pool of `num_threads` workers draining a FIFO task queue.
+/// Thread-safe; Submit may be called from any thread, including from inside
+/// a task (the queue is unbounded, so this cannot deadlock).
+class ThreadPool {
+ public:
+  /// Clamps to at least one worker.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins (same as Shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. An exception thrown
+  /// by `fn` is captured and re-thrown from future::get(). Submitting after
+  /// Shutdown() returns a future holding a std::runtime_error.
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    const bool accepted = Enqueue([task]() { (*task)(); });
+    if (!accepted) {
+      // Burn the packaged task with an error so the future is never
+      // abandoned (get() would otherwise throw broken_promise, which is
+      // less actionable).
+      try {
+        throw std::runtime_error("ThreadPool::Submit after Shutdown");
+      } catch (...) {
+        // packaged_task has no set_exception; run a replacement promise.
+        std::promise<R> broken;
+        broken.set_exception(std::current_exception());
+        return broken.get_future();
+      }
+    }
+    return future;
+  }
+
+  /// Stops accepting tasks, finishes everything already queued and joins
+  /// the workers. Idempotent.
+  void Shutdown();
+
+ private:
+  /// Returns false when the pool has been shut down.
+  bool Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool shutdown_ = false;                    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Worker count for `jobs` requested jobs: 0 or negative means "one per
+/// hardware thread" (std::thread::hardware_concurrency, at least 1).
+int ResolveJobs(int jobs);
+
+}  // namespace exec
+}  // namespace pdsp
+
+#endif  // PDSP_EXEC_THREAD_POOL_H_

@@ -91,7 +91,19 @@ obs::RunRecord MakeLedgerRecord(const LogicalPlan& plan,
 Result<CellResult> MeasureCell(const LogicalPlan& plan,
                                const Cluster& cluster,
                                const RunProtocol& protocol) {
+  // Legacy single-threaded entry: a private context whose wall-clock
+  // phases land in the process-wide profiler.
+  exec::RunContext context(&obs::HostProfiler::Global());
+  return MeasureCell(plan, cluster, protocol, &context);
+}
+
+Result<CellResult> MeasureCell(const LogicalPlan& plan,
+                               const Cluster& cluster,
+                               const RunProtocol& protocol,
+                               exec::RunContext* context) {
+  if (context == nullptr) return MeasureCell(plan, cluster, protocol);
   if (protocol.repeats < 1) return Status::InvalidArgument("repeats < 1");
+  context->set_base_seed(protocol.seed);
 
   // Static-analysis gate: never burn simulation time on a plan whose
   // results would be meaningless. Warning-only reports are recorded in the
@@ -108,7 +120,7 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
   }
 
   CellResult cell;
-  obs::Tracer tracer;
+  obs::Tracer& tracer = *context->tracer();
   tracer.set_verbose(protocol.obs.trace_verbose);
   // Harness-level span covering every repeat of the cell, so a sweep's
   // wall-time layout is visible in Perfetto next to the operator firings.
@@ -127,9 +139,12 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
   for (int r = 0; r < protocol.repeats; ++r) {
     ExecutionOptions exec;
     exec.placement = protocol.placement;
+    exec.costs = protocol.costs;
     exec.sim.duration_s = protocol.duration_s;
     exec.sim.warmup_s = protocol.warmup_s;
-    exec.sim.seed = protocol.seed + static_cast<uint64_t>(r) * 7919ULL;
+    // Pure function of (protocol.seed, r): bit-identical no matter which
+    // worker or context executes the cell.
+    exec.sim.seed = context->SeedForRepeat(r);
     // Artifacts come from the first repeat only: one representative run per
     // cell keeps the bundle small and the remaining repeats untraced.
     const bool emit_obs = protocol.obs.enabled && r == 0;
@@ -140,17 +155,18 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
       exec.sim.tracer = &tracer;
       exec.sim.metrics_interval_s = protocol.obs.metrics_interval_s;
     }
+    // The representative repeat records into the context's registry so
+    // SimResult::metrics aliases per-run state the caller can merge.
+    if (r == 0) exec.sim.metrics = context->metrics();
     SimResult run;
     {
-      obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(),
-                                     "simulate");
+      obs::HostProfiler::Phase phase(context->profiler(), "simulate");
       PDSP_ASSIGN_OR_RETURN(run, ExecutePlan(plan, cluster, exec));
     }
     if (r == 0 && protocol.diagnose) {
       // Diagnose the representative run; a diagnosis failure downgrades to
       // a warning so a sweep never dies on its observability.
-      obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(),
-                                     "diagnose");
+      obs::HostProfiler::Phase phase(context->profiler(), "diagnose");
       Result<obs::Diagnosis> diag =
           obs::DiagnoseRun(plan, cluster, run, protocol.diagnose_options);
       if (diag.ok()) {
@@ -178,17 +194,17 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     }
   }
   cell_span.End();
+  if (have_first) cell.op_stats = first_run.op_stats;
   if (protocol.obs.enabled && have_first) {
-    obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(), "export");
+    obs::HostProfiler::Phase phase(context->profiler(), "export");
     obs::ArtifactOptions artifacts;
     artifacts.tracer = &tracer;
     artifacts.diagnosis = cell.has_diagnosis ? &cell.diagnosis : nullptr;
     artifacts.sim_options = &first_options;
-    const obs::HostProfile host_profile =
-        obs::HostProfiler::Global().Snapshot();
+    const obs::HostProfile host_profile = context->profiler()->Snapshot();
     artifacts.host_profile = &host_profile;
     if (first_run.metrics != nullptr) {
-      obs::HostProfiler::Global().ExportTo(first_run.metrics.get());
+      context->profiler()->ExportTo(first_run.metrics.get());
     }
     Status st = obs::WriteRunArtifacts(protocol.obs.dir, first_run, artifacts);
     if (!st.ok()) {
@@ -218,6 +234,14 @@ Result<CellResult> MeasureAtDegree(LogicalPlan plan, int degree,
                                    const RunProtocol& protocol) {
   PDSP_RETURN_NOT_OK(ApplyUniformParallelism(&plan, degree));
   return MeasureCell(plan, cluster, protocol);
+}
+
+Result<CellResult> MeasureAtDegree(LogicalPlan plan, int degree,
+                                   const Cluster& cluster,
+                                   const RunProtocol& protocol,
+                                   exec::RunContext* context) {
+  PDSP_RETURN_NOT_OK(ApplyUniformParallelism(&plan, degree));
+  return MeasureCell(plan, cluster, protocol, context);
 }
 
 TableReporter::TableReporter(std::string title,

@@ -12,6 +12,7 @@
 #include "src/cluster/cluster.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/exec/run_context.h"
 #include "src/obs/diagnose.h"
 #include "src/obs/ledger.h"
 #include "src/query/plan.h"
@@ -62,6 +63,10 @@ struct RunProtocol {
   double warmup_s = 0.75;
   uint64_t seed = 2024;
   PlacementKind placement = PlacementKind::kLeastLoaded;
+  /// Simulator cost model for every repeat. Defaults reproduce the paper
+  /// protocol; ablations override single knobs (e.g. chaining) without
+  /// bypassing the harness.
+  CostModel costs;
   /// Cell name for provenance: names the harness-level `cell:<label>/<p>`
   /// span in trace.json and the ledger record. Empty = "plan".
   std::string label;
@@ -94,6 +99,9 @@ struct CellResult {
   RunningStats throughput_stats;
   int64_t late_drops = 0;
   int64_t backpressure_skipped = 0;
+  /// Per-operator stats of the first (representative) repeat — utilization
+  /// and imbalance columns without re-running outside the harness.
+  std::vector<OperatorRunStats> op_stats;
   /// Diagnosis of the first repeat (RunProtocol::diagnose); check
   /// `has_diagnosis` before reading.
   bool has_diagnosis = false;
@@ -112,7 +120,19 @@ obs::RunRecord MakeLedgerRecord(const LogicalPlan& plan,
                                 const CellResult& cell);
 
 /// Runs a validated plan `repeats` times with distinct seeds and aggregates
-/// per the paper's protocol.
+/// per the paper's protocol. All mutable run state (tracer, metrics, phase
+/// timers) lives in `context`, which must be private to this call — the
+/// sweep scheduler hands every concurrent cell its own context. Repeat
+/// seeds derive only from protocol.seed, so results are bit-identical
+/// regardless of which worker/context executes the cell.
+Result<CellResult> MeasureCell(const LogicalPlan& plan,
+                               const Cluster& cluster,
+                               const RunProtocol& protocol,
+                               exec::RunContext* context);
+
+/// Compatibility shim for single-threaded callers: measures with a private
+/// context whose phase timers land in obs::HostProfiler::Global(), exactly
+/// the legacy behavior.
 Result<CellResult> MeasureCell(const LogicalPlan& plan,
                                const Cluster& cluster,
                                const RunProtocol& protocol);
@@ -121,6 +141,10 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
 Result<CellResult> MeasureAtDegree(LogicalPlan plan, int degree,
                                    const Cluster& cluster,
                                    const RunProtocol& protocol);
+Result<CellResult> MeasureAtDegree(LogicalPlan plan, int degree,
+                                   const Cluster& cluster,
+                                   const RunProtocol& protocol,
+                                   exec::RunContext* context);
 
 /// \brief Fixed-width text table accumulated row by row; also serializable
 /// to CSV for downstream plotting.

@@ -2,8 +2,45 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
+#include <utility>
+
+#include "src/exec/thread_pool.h"
 
 namespace pdsp {
+
+namespace {
+
+/// One generated-but-not-yet-simulated candidate query. Candidates are
+/// produced sequentially (the generator/RNG state is a single stream), so
+/// the attempt sequence — and with it every simulation seed — is identical
+/// no matter how many workers later simulate them.
+struct Candidate {
+  LogicalPlan plan;
+  SyntheticStructure structure;
+  uint64_t sim_seed = 0;
+};
+
+struct SimOutcome {
+  std::optional<Result<SimResult>> result;
+  double seconds = 0.0;
+};
+
+SimOutcome SimulateCandidate(const Candidate& candidate,
+                             const DataGenOptions& options,
+                             const Cluster& cluster) {
+  ExecutionOptions exec = options.execution;
+  exec.sim.seed = candidate.sim_seed;
+  SimOutcome outcome;
+  const auto t0 = std::chrono::steady_clock::now();
+  outcome.result.emplace(ExecutePlan(candidate.plan, cluster, exec));
+  outcome.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return outcome;
+}
+
+}  // namespace
 
 Result<DataGenResult> GenerateTrainingData(const DataGenOptions& options,
                                            const Cluster& cluster) {
@@ -18,54 +55,94 @@ Result<DataGenResult> GenerateTrainingData(const DataGenOptions& options,
   Rng rng(options.seed * 1315423911ULL + 17);
   DataGenResult result;
 
+  const int jobs = exec::ResolveJobs(options.jobs);
+  std::optional<exec::ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+
   int attempts = 0;
   const int max_attempts = options.num_samples * 4 + 32;
+  // Wave loop: generate exactly as many candidates as samples are still
+  // missing (a pure function of collection state, so the attempt sequence
+  // matches the sequential one attempt-for-attempt), simulate the wave
+  // across the workers, then consume outcomes in attempt order.
   while (static_cast<int>(result.dataset.size()) < options.num_samples &&
          attempts < max_attempts) {
-    ++attempts;
-    const SyntheticStructure structure = rng.Choice(structures);
-    PDSP_ASSIGN_OR_RETURN(LogicalPlan plan, generator.Generate(structure));
+    const int wave =
+        std::min(options.num_samples - static_cast<int>(result.dataset.size()),
+                 max_attempts - attempts);
+    std::vector<Candidate> candidates;
+    candidates.reserve(static_cast<size_t>(wave));
+    for (int k = 0; k < wave; ++k) {
+      ++attempts;
+      const SyntheticStructure structure = rng.Choice(structures);
+      PDSP_ASSIGN_OR_RETURN(LogicalPlan plan, generator.Generate(structure));
 
-    // One parallelism assignment per query, drawn from the strategy.
-    PDSP_ASSIGN_OR_RETURN(
-        auto assignments,
-        EnumerateParallelism(plan, options.strategy, options.enumeration,
-                             &rng));
-    if (assignments.empty()) {
-      return Status::Internal("enumeration produced no assignments");
+      // One parallelism assignment per query, drawn from the strategy.
+      PDSP_ASSIGN_OR_RETURN(
+          auto assignments,
+          EnumerateParallelism(plan, options.strategy, options.enumeration,
+                               &rng));
+      if (assignments.empty()) {
+        return Status::Internal("enumeration produced no assignments");
+      }
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(assignments.size()) - 1));
+      PDSP_RETURN_NOT_OK(ApplyParallelism(&plan, assignments[pick]));
+
+      Candidate candidate;
+      candidate.plan = std::move(plan);
+      candidate.structure = structure;
+      candidate.sim_seed =
+          options.seed * 2654435761ULL + static_cast<uint64_t>(attempts);
+      candidates.push_back(std::move(candidate));
     }
-    const size_t pick = static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(assignments.size()) - 1));
-    PDSP_RETURN_NOT_OK(ApplyParallelism(&plan, assignments[pick]));
 
-    ExecutionOptions exec = options.execution;
-    exec.sim.seed =
-        options.seed * 2654435761ULL + static_cast<uint64_t>(attempts);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto sim = ExecutePlan(plan, cluster, exec);
-    result.collection_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    if (!sim.ok()) {
-      // Pathological draws (e.g. join cascades that amplify beyond the
-      // simulator's tuple budget) are discarded, not fatal — the paper's
-      // generator likewise skips invalid workloads.
-      if (sim.status().IsResourceExhausted()) {
+    // Simulate the wave. Each candidate is self-contained (own plan, own
+    // seed); the shared cluster and execution options are read-only.
+    std::vector<SimOutcome> outcomes(candidates.size());
+    if (pool.has_value() && candidates.size() > 1) {
+      std::vector<std::future<SimOutcome>> futures;
+      futures.reserve(candidates.size());
+      for (const Candidate& candidate : candidates) {
+        futures.push_back(pool->Submit([&candidate, &options, &cluster]() {
+          return SimulateCandidate(candidate, options, cluster);
+        }));
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        outcomes[i] = futures[i].get();
+      }
+    } else {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        outcomes[i] = SimulateCandidate(candidates[i], options, cluster);
+      }
+    }
+
+    // Consume in attempt order — the labeling decisions (discard vs
+    // encode) replay exactly as a sequential run would make them.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      result.collection_seconds += outcomes[i].seconds;
+      Result<SimResult>& sim = *outcomes[i].result;
+      if (!sim.ok()) {
+        // Pathological draws (e.g. join cascades that amplify beyond the
+        // simulator's tuple budget) are discarded, not fatal — the paper's
+        // generator likewise skips invalid workloads.
+        if (sim.status().IsResourceExhausted()) {
+          ++result.discarded;
+          continue;
+        }
+        return sim.status();
+      }
+      if (sim->sink_tuples == 0 || std::isnan(sim->median_latency_s) ||
+          sim->median_latency_s <= 0.0) {
         ++result.discarded;
         continue;
       }
-      return sim.status();
+      PDSP_ASSIGN_OR_RETURN(
+          PlanSample sample,
+          EncodeSample(candidates[i].plan, cluster, sim->median_latency_s,
+                       static_cast<int>(candidates[i].structure)));
+      result.dataset.samples.push_back(std::move(sample));
     }
-    if (sim->sink_tuples == 0 || std::isnan(sim->median_latency_s) ||
-        sim->median_latency_s <= 0.0) {
-      ++result.discarded;
-      continue;
-    }
-    PDSP_ASSIGN_OR_RETURN(
-        PlanSample sample,
-        EncodeSample(plan, cluster, sim->median_latency_s,
-                     static_cast<int>(structure)));
-    result.dataset.samples.push_back(std::move(sample));
   }
   if (result.dataset.empty()) {
     return Status::Internal("no query produced usable training data");

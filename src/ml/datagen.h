@@ -31,6 +31,11 @@ struct DataGenOptions {
   /// Number of labeled samples to produce.
   int num_samples = 100;
   uint64_t seed = 99;
+  /// Worker threads for candidate-query simulation (the dominant cost of
+  /// corpus generation; <= 0 means one per hardware thread). Query
+  /// generation stays sequential and simulation seeds derive from attempt
+  /// indices, so the corpus is bit-identical for every jobs value.
+  int jobs = 1;
 };
 
 /// \brief Generation outcome: the corpus plus cost accounting.

@@ -59,14 +59,16 @@ void SplitByStructure(const Dataset& data,
 
 Result<ModelEvaluation> TrainAndEvaluate(LearnedCostModel* model,
                                          const DatasetSplit& split,
-                                         const TrainOptions& options) {
+                                         const TrainOptions& options,
+                                         obs::HostProfiler* profiler) {
   if (model == nullptr) return Status::InvalidArgument("null model");
+  if (profiler == nullptr) profiler = &obs::HostProfiler::Global();
   ModelEvaluation eval;
   eval.model_name = model->name();
   {
     // Cost-model fitting is the harness's dominant non-simulation expense;
     // scope it so host profiles separate "train" from "simulate".
-    obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(), "train");
+    obs::HostProfiler::Phase phase(profiler, "train");
     PDSP_ASSIGN_OR_RETURN(eval.train_report,
                           model->Fit(split.train, split.val, options));
   }

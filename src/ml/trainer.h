@@ -11,6 +11,7 @@
 #include "src/common/rng.h"
 #include "src/ml/metrics.h"
 #include "src/ml/model.h"
+#include "src/obs/host_profile.h"
 
 namespace pdsp {
 
@@ -41,10 +42,14 @@ struct ModelEvaluation {
 };
 
 /// Fits `model` on split.train (early stopping on split.val) and evaluates
-/// on val and test.
+/// on val and test. The "train" wall-clock phase is recorded into
+/// `profiler`; the default (null) resolves to obs::HostProfiler::Global(),
+/// the legacy single-threaded behavior. Callers running training inside a
+/// sweep worker pass their run context's profiler instead.
 Result<ModelEvaluation> TrainAndEvaluate(LearnedCostModel* model,
                                          const DatasetSplit& split,
-                                         const TrainOptions& options);
+                                         const TrainOptions& options,
+                                         obs::HostProfiler* profiler = nullptr);
 
 }  // namespace pdsp
 

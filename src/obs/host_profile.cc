@@ -40,14 +40,9 @@ bool ReadProcSelfStatus(int64_t* rss_kb, int64_t* hwm_kb) {
 
 }  // namespace
 
-Json HostProfile::ToJson() const {
-  Json u = Json::Object();
-  u.Set("wall_s", Json::Number(usage.wall_s));
-  u.Set("cpu_user_s", Json::Number(usage.cpu_user_s));
-  u.Set("cpu_sys_s", Json::Number(usage.cpu_sys_s));
-  u.Set("rss_kb", Json::Int(usage.rss_kb));
-  u.Set("peak_rss_kb", Json::Int(usage.peak_rss_kb));
+namespace {
 
+Json PhaseMapToJson(const WorkerPhaseMap& phases) {
   Json ph = Json::Object();
   for (const auto& [name, stats] : phases) {
     Json p = Json::Object();
@@ -56,10 +51,44 @@ Json HostProfile::ToJson() const {
     p.Set("max_s", Json::Number(stats.max_s));
     ph.Set(name, std::move(p));
   }
+  return ph;
+}
+
+}  // namespace
+
+WorkerPhaseMap HostProfile::AggregateWorkerPhases() const {
+  WorkerPhaseMap aggregate;
+  for (const auto& [worker, phases] : worker_phases) {
+    (void)worker;
+    for (const auto& [name, stats] : phases) {
+      HostPhaseStats& agg = aggregate[name];
+      agg.count += stats.count;
+      agg.total_s += stats.total_s;
+      if (stats.max_s > agg.max_s) agg.max_s = stats.max_s;
+    }
+  }
+  return aggregate;
+}
+
+Json HostProfile::ToJson() const {
+  Json u = Json::Object();
+  u.Set("wall_s", Json::Number(usage.wall_s));
+  u.Set("cpu_user_s", Json::Number(usage.cpu_user_s));
+  u.Set("cpu_sys_s", Json::Number(usage.cpu_sys_s));
+  u.Set("rss_kb", Json::Int(usage.rss_kb));
+  u.Set("peak_rss_kb", Json::Int(usage.peak_rss_kb));
 
   Json root = Json::Object();
   root.Set("usage", std::move(u));
-  root.Set("phases", std::move(ph));
+  root.Set("phases", PhaseMapToJson(phases));
+  if (!worker_phases.empty()) {
+    Json workers = Json::Object();
+    for (const auto& [worker, worker_map] : worker_phases) {
+      workers.Set(worker, PhaseMapToJson(worker_map));
+    }
+    root.Set("workers", std::move(workers));
+    root.Set("worker_aggregate", PhaseMapToJson(AggregateWorkerPhases()));
+  }
   return root;
 }
 
@@ -101,12 +130,25 @@ HostUsage HostProfiler::SampleUsage() const {
   return usage;
 }
 
+void HostProfiler::MergeWorkerPhases(const std::string& worker,
+                                     const WorkerPhaseMap& phases) {
+  MutexLock lock(mu_);
+  WorkerPhaseMap& mine = worker_phases_[worker];
+  for (const auto& [name, stats] : phases) {
+    HostPhaseStats& existing = mine[name];
+    existing.count += stats.count;
+    existing.total_s += stats.total_s;
+    if (stats.max_s > existing.max_s) existing.max_s = stats.max_s;
+  }
+}
+
 HostProfile HostProfiler::Snapshot() const {
   HostProfile profile;
   profile.usage = SampleUsage();
   {
     MutexLock lock(mu_);
     profile.phases = phases_;
+    profile.worker_phases = worker_phases_;
   }
   return profile;
 }
@@ -127,11 +169,22 @@ void HostProfiler::ExportTo(MetricsRegistry* registry) const {
     registry->GetGauge("pdsp.host.phase." + name + ".count")
         ->Set(static_cast<double>(stats.count));
   }
+  if (!profile.worker_phases.empty()) {
+    registry->GetGauge("pdsp.host.workers")
+        ->Set(static_cast<double>(profile.worker_phases.size()));
+    for (const auto& [name, stats] : profile.AggregateWorkerPhases()) {
+      registry->GetGauge("pdsp.host.worker_phase." + name + ".total_s")
+          ->Set(stats.total_s);
+      registry->GetGauge("pdsp.host.worker_phase." + name + ".count")
+          ->Set(static_cast<double>(stats.count));
+    }
+  }
 }
 
 void HostProfiler::Reset() {
   MutexLock lock(mu_);
   phases_.clear();
+  worker_phases_.clear();
   start_ = std::chrono::steady_clock::now();
 }
 

@@ -47,12 +47,31 @@ struct HostPhaseStats {
   double max_s = 0.0;  ///< longest single scope
 };
 
+/// \brief Per-phase timers of one named sweep worker, merged into the
+/// parent profiler at join (HostProfiler::MergeWorkerPhases).
+using WorkerPhaseMap = std::map<std::string, HostPhaseStats>;
+
 /// \brief Snapshot of the profiler: resource usage + per-phase timers.
+///
+/// `phases` holds scopes recorded directly on this profiler (the
+/// single-threaded wall-clock story). `worker_phases` holds scopes that
+/// ran concurrently on sweep workers, keyed by worker name — kept separate
+/// precisely so parallel busy-seconds are never summed into the profiler's
+/// own wall-clock phases (N workers × t seconds each is N·t CPU-seconds,
+/// not N·t wall seconds). `AggregateWorkerPhases()` sums across workers
+/// when the cross-worker CPU-second total is wanted explicitly.
 struct HostProfile {
   HostUsage usage;
   std::map<std::string, HostPhaseStats> phases;
+  std::map<std::string, WorkerPhaseMap> worker_phases;
 
-  /// {"usage": {...}, "phases": {name: {count, total_s, max_s}}}.
+  /// Per-phase sums across all workers (CPU-seconds, not wall).
+  WorkerPhaseMap AggregateWorkerPhases() const;
+
+  /// {"usage": {...}, "phases": {name: {count, total_s, max_s}},
+  ///  "workers": {worker: {phase: {...}}},
+  ///  "worker_aggregate": {phase: {...}}} — the worker sections are
+  /// omitted when no worker phases were merged.
   Json ToJson() const;
 };
 
@@ -76,6 +95,13 @@ class HostProfiler {
   /// Adds one completed scope of `name` lasting `seconds`.
   void RecordPhase(const std::string& name, double seconds);
 
+  /// Adopts a sweep worker's phase accumulators under `worker` (e.g.
+  /// "worker0"). Re-merging the same worker name folds the maps together.
+  /// Worker phases stay separate from this profiler's own phases — see
+  /// HostProfile for the double-counting rationale.
+  void MergeWorkerPhases(const std::string& worker,
+                         const WorkerPhaseMap& phases);
+
   /// Reads /proc/self/status + getrusage now.
   HostUsage SampleUsage() const;
 
@@ -83,7 +109,10 @@ class HostProfiler {
   HostProfile Snapshot() const;
 
   /// Sets pdsp.host.{wall_s, cpu_user_s, cpu_sys_s, rss_kb, peak_rss_kb}
-  /// and pdsp.host.phase.<name>.{total_s, count} gauges.
+  /// and pdsp.host.phase.<name>.{total_s, count} gauges; with merged
+  /// worker phases also pdsp.host.workers and the aggregate
+  /// pdsp.host.worker_phase.<name>.{total_s, count} (CPU-seconds summed
+  /// across workers; per-worker detail lives in host_profile.json).
   void ExportTo(MetricsRegistry* registry) const;
 
   /// Clears phase accumulators and re-anchors the wall clock (tests).
@@ -121,6 +150,7 @@ class HostProfiler {
   std::chrono::steady_clock::time_point start_;
   mutable Mutex mu_;
   std::map<std::string, HostPhaseStats> phases_ PDSP_GUARDED_BY(mu_);
+  std::map<std::string, WorkerPhaseMap> worker_phases_ PDSP_GUARDED_BY(mu_);
 };
 
 /// Scopes a phase on the global profiler for the current block.

@@ -39,6 +39,31 @@ double MetricsRegistry::GaugeValue(const std::string& name) const {
   return it != gauges_.end() ? it->second->value() : 0.0;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  if (&other == this) return;
+  // Snapshot `other` first so the two registry locks are never held
+  // together (no ordering to get wrong).
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, ExpHistogram> histograms;
+  {
+    MutexLock lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) counters[name] = c->value();
+    for (const auto& [name, g] : other.gauges_) gauges[name] = g->value();
+    for (const auto& [name, h] : other.histograms_) {
+      histograms.emplace(name, h->Snapshot());
+    }
+  }
+  for (const auto& [name, v] : counters) GetCounter(name)->Add(v);
+  for (const auto& [name, v] : gauges) GetGauge(name)->Set(v);
+  for (auto& [name, hist] : histograms) {
+    // Register with `hist`'s geometry when the metric is new (it starts
+    // empty and the merge below fills it), then fold the buckets in.
+    ExpHistogram geometry(hist.lo(), hist.hi(), hist.base());
+    GetHistogram(name, std::move(geometry))->Merge(hist);
+  }
+}
+
 std::vector<std::string> MetricsRegistry::Names() const {
   MutexLock lock(mu_);
   std::vector<std::string> names;

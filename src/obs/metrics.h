@@ -63,6 +63,13 @@ class HistogramMetric {
     return hist_;
   }
 
+  /// Folds another histogram's buckets in (identical geometry required;
+  /// see ExpHistogram::Merge).
+  void Merge(const ExpHistogram& other) {
+    MutexLock lock(mu_);
+    hist_.Merge(other);
+  }
+
  private:
   mutable Mutex mu_;
   ExpHistogram hist_ PDSP_GUARDED_BY(mu_);
@@ -89,6 +96,13 @@ class MetricsRegistry {
 
   /// Sorted names of all registered metrics.
   std::vector<std::string> Names() const;
+
+  /// Folds another registry into this one: counters add, histograms merge
+  /// (identical geometry required — see ExpHistogram::Merge), gauges are
+  /// last-write-wins in call order. Used by the sweep scheduler to combine
+  /// per-worker registries at join; callers make the result deterministic
+  /// by merging in canonical (cell-index) order.
+  void MergeFrom(const MetricsRegistry& other);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
   /// mean, min, max, p50, p95, p99, buckets: [{lo, hi, count}, ...]}}}.

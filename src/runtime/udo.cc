@@ -82,23 +82,34 @@ UdoRegistry& UdoRegistry::Global() {
 }
 
 void UdoRegistry::Register(const std::string& kind, UdoFactory factory) {
+  MutexLock lock(mu_);
   factories_[kind] = std::move(factory);
 }
 
 Result<std::unique_ptr<Udo>> UdoRegistry::Create(
     const OperatorDescriptor& op) const {
-  auto it = factories_.find(op.udo_kind);
-  if (it == factories_.end()) {
-    return Status::NotFound("unknown UDO kind '" + op.udo_kind + "'");
+  // Copy the factory out so it is invoked without the lock held: UDO
+  // construction may be arbitrarily expensive and must not serialize
+  // concurrent sweep cells.
+  UdoFactory factory;
+  {
+    MutexLock lock(mu_);
+    auto it = factories_.find(op.udo_kind);
+    if (it == factories_.end()) {
+      return Status::NotFound("unknown UDO kind '" + op.udo_kind + "'");
+    }
+    factory = it->second;
   }
-  return it->second(op);
+  return factory(op);
 }
 
 bool UdoRegistry::Contains(const std::string& kind) const {
+  MutexLock lock(mu_);
   return factories_.count(kind) != 0;
 }
 
 std::vector<std::string> UdoRegistry::Kinds() const {
+  MutexLock lock(mu_);
   std::vector<std::string> kinds;
   kinds.reserve(factories_.size());
   for (const auto& [kind, factory] : factories_) kinds.push_back(kind);

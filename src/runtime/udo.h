@@ -15,6 +15,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/query/plan.h"
 #include "src/runtime/element.h"
 
@@ -48,15 +49,25 @@ using UdoFactory =
     std::function<std::unique_ptr<Udo>(const OperatorDescriptor&)>;
 
 /// \brief Process-wide registry of UDO kinds.
+///
+/// Thread-safety: Create/Contains/Kinds are safe to call concurrently —
+/// sweep workers instantiate UDOs from inside cell execution
+/// (CreateOperatorInstance). Register is also locked, but the supported
+/// protocol is to register every kind before spawning workers (the drivers
+/// and CLI call RegisterAppUdos() up front): a factory registered while a
+/// concurrent Create runs is only visible to lookups that start afterwards.
 class UdoRegistry {
  public:
   /// The singleton registry (generic kinds pre-registered).
   static UdoRegistry& Global();
 
-  /// Registers a factory; re-registering a kind replaces it.
+  /// Registers a factory; re-registering a kind replaces it. Call before
+  /// spawning sweep workers (see class comment).
   void Register(const std::string& kind, UdoFactory factory);
 
-  /// Instantiates the UDO for a descriptor by its udo_kind.
+  /// Instantiates the UDO for a descriptor by its udo_kind. The factory
+  /// runs outside the registry lock, so a slow factory never serializes
+  /// concurrent cells.
   Result<std::unique_ptr<Udo>> Create(const OperatorDescriptor& op) const;
 
   bool Contains(const std::string& kind) const;
@@ -64,7 +75,9 @@ class UdoRegistry {
 
  private:
   UdoRegistry();
-  std::map<std::string, UdoFactory> factories_;
+
+  mutable Mutex mu_;
+  std::map<std::string, UdoFactory> factories_ PDSP_GUARDED_BY(mu_);
 };
 
 // Generic built-in kinds:

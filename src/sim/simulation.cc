@@ -726,7 +726,9 @@ void Engine::MaybeStart(int task, double now) {
 
 Result<SimResult> Engine::Run() {
   result_.latency = LatencyRecorder(options_.latency_reservoir);
-  result_.metrics = std::make_shared<obs::MetricsRegistry>();
+  result_.metrics = options_.metrics != nullptr
+                        ? options_.metrics
+                        : std::make_shared<obs::MetricsRegistry>();
   ctr_source_tuples_ = result_.metrics->GetCounter("pdsp.sim.source_tuples");
   ctr_sink_tuples_ = result_.metrics->GetCounter("pdsp.sim.sink_tuples");
   ctr_bp_skipped_ =

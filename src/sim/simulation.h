@@ -63,6 +63,12 @@ struct SimOptions {
   /// simulate/aggregate phase spans and in-flight counter samples; with
   /// `tracer->verbose()` also every operator firing in virtual time.
   obs::Tracer* tracer = nullptr;
+  /// Registry the run's pdsp.sim.* metrics are recorded into. When null
+  /// (the default) the engine creates a private registry; a run context
+  /// (pdsp::exec::RunContext) passes its own so SimResult::metrics aliases
+  /// the per-run registry instead of hidden fresh state. Must not be
+  /// shared between concurrently running simulations of the same context.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
   uint64_t seed = 42;
 };
 

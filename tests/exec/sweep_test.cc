@@ -1,0 +1,197 @@
+#include "src/exec/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/obs/ledger.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace exec {
+namespace {
+
+// A 16-cell grid over (rate, parallelism): big enough to exercise real
+// fan-out, small enough (0.4s horizon, 1 repeat) to stay fast.
+std::vector<SweepCell> MakeGrid(const std::string& ledger_path = "") {
+  std::vector<SweepCell> cells;
+  const Cluster cluster = Cluster::M510(4);
+  for (int i = 0; i < 16; ++i) {
+    SweepCell cell;
+    const double rate = 800.0 + 125.0 * i;
+    const int parallelism = 1 + (i % 3);
+    cell.make_plan = [rate, parallelism] {
+      return testing::LinearPlan(rate, parallelism);
+    };
+    cell.cluster = cluster;
+    cell.protocol.repeats = 1;
+    cell.protocol.duration_s = 0.4;
+    cell.protocol.warmup_s = 0.1;
+    cell.protocol.seed = 7;
+    cell.protocol.diagnose = false;
+    cell.label = StrFormat("grid/%02d", i);
+    if (!ledger_path.empty()) {
+      cell.protocol.ledger.enabled = true;
+      cell.protocol.ledger.path = ledger_path;
+      cell.protocol.ledger.cluster_name = "m510";
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::string TempLedgerPath(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/pdsp_sweep_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name + ".jsonl";
+  std::filesystem::remove(path);
+  return path;
+}
+
+TEST(SweepTest, SequentialAndParallelRunsAreBitIdentical) {
+  const std::string ledger1 = TempLedgerPath("jobs1");
+  const std::string ledger8 = TempLedgerPath("jobs8");
+
+  SweepOptions seq;
+  seq.jobs = 1;
+  const SweepResult r1 = RunSweep(MakeGrid(ledger1), seq);
+
+  SweepOptions par;
+  par.jobs = 8;
+  const SweepResult r8 = RunSweep(MakeGrid(ledger8), par);
+
+  ASSERT_EQ(r1.cells.size(), 16u);
+  ASSERT_EQ(r8.cells.size(), 16u);
+  EXPECT_EQ(r1.NumOk(), 16u);
+  EXPECT_EQ(r8.NumOk(), 16u);
+
+  for (size_t i = 0; i < 16; ++i) {
+    SCOPED_TRACE(r1.cells[i].label);
+    EXPECT_EQ(r1.cells[i].label, r8.cells[i].label);
+    ASSERT_TRUE(r1.cells[i].result.ok());
+    ASSERT_TRUE(r8.cells[i].result.ok());
+    const CellResult& a = *r1.cells[i].result;
+    const CellResult& b = *r8.cells[i].result;
+    // Exact equality, not tolerance: the simulator is deterministic in
+    // virtual time and seeds derive only from (protocol.seed, repeat).
+    EXPECT_EQ(a.mean_median_latency_s, b.mean_median_latency_s);
+    EXPECT_EQ(a.mean_throughput_tps, b.mean_throughput_tps);
+    EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
+    EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+    EXPECT_EQ(a.late_drops, b.late_drops);
+    EXPECT_EQ(a.backpressure_skipped, b.backpressure_skipped);
+  }
+
+  // Ledger records: same canonical order and identical content modulo the
+  // per-invocation identity (run_id, timestamp) and host-footprint fields.
+  auto records1 = obs::RunLedger(ledger1).Load();
+  auto records8 = obs::RunLedger(ledger8).Load();
+  ASSERT_TRUE(records1.ok());
+  ASSERT_TRUE(records8.ok());
+  ASSERT_EQ(records1->size(), 16u);
+  ASSERT_EQ(records8->size(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    const obs::RunRecord& a = (*records1)[i];
+    const obs::RunRecord& b = (*records8)[i];
+    SCOPED_TRACE(a.label);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.plan_hash, b.plan_hash);
+    EXPECT_EQ(a.parallelism, b.parallelism);
+    EXPECT_EQ(a.event_rate, b.event_rate);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.repeats, b.repeats);
+    EXPECT_EQ(a.throughput_tps, b.throughput_tps);
+    EXPECT_EQ(a.median_latency_s, b.median_latency_s);
+    EXPECT_EQ(a.p95_latency_s, b.p95_latency_s);
+    EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+    EXPECT_EQ(a.late_drops, b.late_drops);
+    EXPECT_EQ(a.backpressure_skipped, b.backpressure_skipped);
+  }
+}
+
+TEST(SweepTest, ResultsComeBackInCellOrder) {
+  SweepOptions options;
+  options.jobs = 4;
+  const SweepResult sweep = RunSweep(MakeGrid(), options);
+  ASSERT_EQ(sweep.cells.size(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(sweep.cells[i].label, StrFormat("grid/%02zu", i));
+  }
+}
+
+TEST(SweepTest, FailingCellDoesNotPoisonTheSweep) {
+  std::vector<SweepCell> cells = MakeGrid();
+  cells.resize(4);
+  cells[1].make_plan = []() -> Result<LogicalPlan> {
+    return Status::InvalidArgument("deliberately broken cell");
+  };
+  SweepOptions options;
+  options.jobs = 2;
+  const SweepResult sweep = RunSweep(cells, options);
+  ASSERT_EQ(sweep.cells.size(), 4u);
+  EXPECT_EQ(sweep.NumOk(), 3u);
+  EXPECT_TRUE(sweep.cells[0].result.ok());
+  ASSERT_FALSE(sweep.cells[1].result.ok());
+  EXPECT_TRUE(sweep.cells[1].result.status().IsInvalidArgument());
+  EXPECT_TRUE(sweep.cells[2].result.ok());
+  EXPECT_TRUE(sweep.cells[3].result.ok());
+  EXPECT_EQ(sweep.metrics->CounterValue("pdsp.exec.cells_failed"), 1);
+}
+
+TEST(SweepTest, MissingPlanFactoryIsInvalidArgument) {
+  std::vector<SweepCell> cells(1);
+  cells[0].label = "no-factory";
+  const SweepResult sweep = RunSweep(cells, SweepOptions());
+  ASSERT_EQ(sweep.cells.size(), 1u);
+  ASSERT_FALSE(sweep.cells[0].result.ok());
+  EXPECT_TRUE(sweep.cells[0].result.status().IsInvalidArgument());
+}
+
+TEST(SweepTest, MergedMetricsAndHostProfileCoverAllCells) {
+  SweepOptions options;
+  options.jobs = 4;
+  std::vector<SweepCell> cells = MakeGrid();
+  cells.resize(8);
+  const SweepResult sweep = RunSweep(cells, options);
+  ASSERT_NE(sweep.metrics, nullptr);
+  EXPECT_EQ(sweep.metrics->CounterValue("pdsp.exec.cells_total"), 8);
+  EXPECT_EQ(sweep.metrics->CounterValue("pdsp.exec.cells_failed"), 0);
+  EXPECT_EQ(sweep.metrics->GaugeValue("pdsp.exec.jobs"), 4.0);
+  EXPECT_GT(sweep.metrics->GaugeValue("pdsp.exec.sweep_wall_s"), 0.0);
+
+  // Worker phase seconds live under worker_phases (per worker), never in
+  // the wall-clock `phases` map — that would double-count CPU seconds.
+  EXPECT_FALSE(sweep.host.worker_phases.empty());
+  EXPECT_EQ(sweep.host.phases.count("simulate"), 0u);
+  const obs::WorkerPhaseMap aggregate = sweep.host.AggregateWorkerPhases();
+  ASSERT_EQ(aggregate.count("simulate"), 1u);
+  // 8 cells x 1 repeat = 8 simulate scopes across all workers.
+  EXPECT_EQ(aggregate.at("simulate").count, 8);
+}
+
+TEST(SweepTest, SummaryRecordLandsInTheSummaryLedger) {
+  const std::string path = TempLedgerPath("summary");
+  SweepOptions options;
+  options.jobs = 2;
+  options.name = "unit-sweep";
+  options.summary_ledger.enabled = true;
+  options.summary_ledger.path = path;
+  options.summary_ledger.cluster_name = "m510";
+  std::vector<SweepCell> cells = MakeGrid();
+  cells.resize(4);
+  const SweepResult sweep = RunSweep(cells, options);
+  EXPECT_EQ(sweep.NumOk(), 4u);
+  auto records = obs::RunLedger(path).Load();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].label, "unit-sweep");
+  EXPECT_EQ((*records)[0].parallelism, 2);  // jobs recorded as parallelism
+  EXPECT_GT((*records)[0].host_wall_s, 0.0);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace pdsp

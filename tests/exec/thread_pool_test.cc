@@ -1,0 +1,90 @@
+#include "src/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+namespace pdsp {
+namespace exec {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResultsInSubmissionOrder) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsEverything) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 1; });
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit([&count] { count.fetch_add(1); }));
+    }
+    pool.Shutdown();
+    // Shutdown waits for queued tasks; every future must be ready.
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a crash
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFailsTheFuture) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  auto f = pool.Submit([] { return 3; });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ResolveJobs) {
+  EXPECT_EQ(ResolveJobs(3), 3);
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_GE(ResolveJobs(0), 1);   // hardware concurrency, at least one
+  EXPECT_GE(ResolveJobs(-5), 1);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace pdsp

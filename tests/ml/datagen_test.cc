@@ -50,6 +50,26 @@ TEST(DataGenTest, DeterministicForSeed) {
   }
 }
 
+TEST(DataGenTest, ParallelJobsProduceTheSequentialCorpus) {
+  // Wave-parallel simulation must not change the attempt sequence, the
+  // discard decisions, or any sample: jobs only divides wall-clock time.
+  DataGenOptions seq = FastOptions(8, 21);
+  DataGenOptions par = FastOptions(8, 21);
+  par.jobs = 4;
+  auto a = GenerateTrainingData(seq, Cluster::M510(4));
+  auto b = GenerateTrainingData(par, Cluster::M510(4));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->dataset.size(), b->dataset.size());
+  EXPECT_EQ(a->discarded, b->discarded);
+  for (size_t i = 0; i < a->dataset.size(); ++i) {
+    const PlanSample& sa = a->dataset.samples[i];
+    const PlanSample& sb = b->dataset.samples[i];
+    EXPECT_EQ(sa.latency_s, sb.latency_s);  // bit-identical, not approx
+    EXPECT_EQ(sa.structure_tag, sb.structure_tag);
+    EXPECT_EQ(sa.flat, sb.flat);
+  }
+}
+
 TEST(DataGenTest, RestrictedStructuresAreHonored) {
   DataGenOptions opt = FastOptions(8);
   opt.structures = {SyntheticStructure::kLinear,

@@ -72,6 +72,52 @@ TEST(HostProfilerTest, ExportToSetsHostGauges) {
                    1.0);
 }
 
+TEST(HostProfilerTest, WorkerPhasesStaySeparateFromWallClockPhases) {
+  HostProfiler worker_a;
+  worker_a.RecordPhase("simulate", 1.0);
+  worker_a.RecordPhase("simulate", 0.5);
+  HostProfiler worker_b;
+  worker_b.RecordPhase("simulate", 2.0);
+  worker_b.RecordPhase("export", 0.25);
+
+  HostProfiler merger;
+  merger.MergeWorkerPhases("sweep:worker0", worker_a.Snapshot().phases);
+  merger.MergeWorkerPhases("sweep:worker1", worker_b.Snapshot().phases);
+
+  const HostProfile profile = merger.Snapshot();
+  // Concurrent busy-seconds must not masquerade as wall-clock phases.
+  EXPECT_TRUE(profile.phases.empty());
+  ASSERT_EQ(profile.worker_phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      profile.worker_phases.at("sweep:worker0").at("simulate").total_s, 1.5);
+
+  const WorkerPhaseMap aggregate = profile.AggregateWorkerPhases();
+  ASSERT_EQ(aggregate.count("simulate"), 1u);
+  EXPECT_DOUBLE_EQ(aggregate.at("simulate").total_s, 3.5);
+  EXPECT_EQ(aggregate.at("simulate").count, 3);
+  EXPECT_DOUBLE_EQ(aggregate.at("simulate").max_s, 2.0);
+  EXPECT_DOUBLE_EQ(aggregate.at("export").total_s, 0.25);
+}
+
+TEST(HostProfilerTest, WorkerPhasesExportAndSerialize) {
+  HostProfiler worker;
+  worker.RecordPhase("simulate", 1.0);
+  HostProfiler merger;
+  merger.MergeWorkerPhases("w0", worker.Snapshot().phases);
+
+  MetricsRegistry registry;
+  merger.ExportTo(&registry);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("pdsp.host.workers"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GaugeValue("pdsp.host.worker_phase.simulate.total_s"), 1.0);
+
+  const Json json = merger.Snapshot().ToJson();
+  EXPECT_DOUBLE_EQ(
+      json["workers"]["w0"]["simulate"]["total_s"].AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      json["worker_aggregate"]["simulate"]["total_s"].AsNumber(), 1.0);
+}
+
 TEST(HostProfileTest, ToJsonCarriesUsageAndPhases) {
   HostProfiler profiler;
   profiler.RecordPhase("build-plan", 0.5);

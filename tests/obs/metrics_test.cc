@@ -93,6 +93,33 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesDoNotLoseCounts) {
   EXPECT_EQ(reg.CounterValue("pdsp.test.concurrent"), 40000);
 }
 
+TEST(MetricsRegistryTest, MergeFromAddsCountersAndMergesHistograms) {
+  MetricsRegistry a;
+  a.GetCounter("pdsp.test.count")->Add(10);
+  a.GetGauge("pdsp.test.rate")->Set(1.0);
+  a.GetHistogram("pdsp.test.lat")->Observe(0.010);
+
+  MetricsRegistry b;
+  b.GetCounter("pdsp.test.count")->Add(5);
+  b.GetCounter("pdsp.test.only_b")->Add(2);
+  b.GetGauge("pdsp.test.rate")->Set(2.0);
+  b.GetHistogram("pdsp.test.lat")->Observe(0.020);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue("pdsp.test.count"), 15);
+  EXPECT_EQ(a.CounterValue("pdsp.test.only_b"), 2);
+  // Gauges are last-write-wins in merge-call order.
+  EXPECT_DOUBLE_EQ(a.GaugeValue("pdsp.test.rate"), 2.0);
+  EXPECT_EQ(a.GetHistogram("pdsp.test.lat")->Snapshot().TotalCount(), 2);
+}
+
+TEST(MetricsRegistryTest, MergeFromSelfIsANoOp) {
+  MetricsRegistry a;
+  a.GetCounter("pdsp.test.count")->Add(3);
+  a.MergeFrom(a);
+  EXPECT_EQ(a.CounterValue("pdsp.test.count"), 3);
+}
+
 TEST(MetricNameTest, FollowsConvention) {
   EXPECT_EQ(MetricName("sim", "sink_tuples"), "pdsp.sim.sink_tuples");
 }

@@ -23,6 +23,8 @@
 #   PDSP_GATE_LEDGER      ledger path the gate appends to
 #                         (default results/ledger.jsonl)
 #   PDSP_GATE_SKIP_MICRO  set to 1 to skip the microbenchmark pass
+#   PDSP_GATE_SKIP_SWEEP  set to 1 to skip the parallel-sweep pair
+#   PDSP_GATE_SWEEP_JOBS  worker count for the parallel leg (default 4)
 
 set -eu
 
@@ -63,6 +65,59 @@ print(f"host-profiler overhead: {overhead * 100:+.2f}% "
 if overhead > 0.10:
     sys.exit(f"host-profiler overhead {overhead*100:.1f}% exceeds 10% bound")
 EOF
+  fi
+fi
+
+if [ "${PDSP_GATE_SKIP_SWEEP:-0}" != "1" ]; then
+  SWEEP_JOBS="${PDSP_GATE_SWEEP_JOBS:-4}"
+  step "parallel sweep pair (16 cells, jobs=1 vs jobs=$SWEEP_JOBS)"
+  # The same 16-cell parallelism sweep run twice: sequentially and fanned
+  # across $SWEEP_JOBS workers. The simulator is deterministic in virtual
+  # time, so both legs must produce bit-identical per-cell ledger records;
+  # each leg also appends one summary record (parallelism = worker count,
+  # host_wall_s = sweep wall clock) used to report the speedup.
+  SWEEP_LEDGER_1="$BUILD_DIR/bench_gate_sweep_jobs1.jsonl"
+  SWEEP_LEDGER_N="$BUILD_DIR/bench_gate_sweep_jobsN.jsonl"
+  rm -f "$SWEEP_LEDGER_1" "$SWEEP_LEDGER_N"
+  SWEEP_ARGS="--structure=linear --rate=20000
+              --parallelism=1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16
+              --nodes=16 --duration=1.0 --seed=42"
+  "$PDSPBENCH" $SWEEP_ARGS --jobs=1 --ledger="$SWEEP_LEDGER_1" > /dev/null
+  "$PDSPBENCH" $SWEEP_ARGS --jobs="$SWEEP_JOBS" --ledger="$SWEEP_LEDGER_N" \
+      > /dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SWEEP_LEDGER_1" "$SWEEP_LEDGER_N" <<'EOF'
+import json, sys
+
+def load(path):
+    cells, summaries = [], []
+    for line in open(path):
+        r = json.loads(line)
+        (summaries if r["label"].startswith("sweep/") else cells).append(r)
+    return cells, summaries
+
+# Fields that identify the run or the host footprint, not the simulated
+# outcome — allowed to differ between the two legs.
+VOLATILE = {"run_id", "timestamp_utc", "host"}
+
+cells1, sum1 = load(sys.argv[1])
+cellsN, sumN = load(sys.argv[2])
+assert len(cells1) == len(cellsN) == 16, \
+    f"expected 16 cells per leg, got {len(cells1)} vs {len(cellsN)}"
+for a, b in zip(cells1, cellsN):
+    keys = set(a) | set(b)
+    diff = [k for k in sorted(keys - VOLATILE) if a.get(k) != b.get(k)]
+    assert not diff, f"{a['label']}: jobs=1 vs jobs=N differ on {diff}"
+assert len(sum1) == 1 and len(sumN) == 1, "missing sweep summary record"
+w1, wN = sum1[0]["host"]["wall_s"], sumN[0]["host"]["wall_s"]
+jobs = sumN[0]["parallelism"]
+speedup = w1 / wN if wN > 0 else float("nan")
+print(f"16 cells bit-identical across legs; "
+      f"jobs=1 wall {w1:.2f}s, jobs={jobs} wall {wN:.2f}s, "
+      f"speedup {speedup:.2f}x")
+EOF
+  else
+    echo "python3 not found; sweep legs ran but were not compared"
   fi
 fi
 

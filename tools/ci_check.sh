@@ -9,6 +9,8 @@
 #   PDSP_SANITIZE   forwarded to CMake (e.g. "address;undefined") to run the
 #                   whole gate under ASan/UBSan. Changing it reconfigures the
 #                   build tree.
+#   PDSP_SKIP_TSAN  set to 1 to skip the ThreadSanitizer pass over the
+#                   concurrency-sensitive suites (exec/sim/obs/harness).
 #   JOBS            parallel build jobs (default: nproc).
 
 set -eu
@@ -30,6 +32,25 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 step "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "${PDSP_SKIP_TSAN:-0}" != "1" ]; then
+  step "ThreadSanitizer pass (exec/sim/obs/harness suites)"
+  # A separate build tree under PDSP_SANITIZE=thread: TSan and ASan are
+  # mutually exclusive, and reconfiguring the main tree would churn its
+  # cache. Only the concurrency-sensitive suites are built and run — the
+  # sweep scheduler fans simulations across worker threads, so these suites
+  # exercise every cross-thread interaction (pool handoff, registry merge,
+  # worker-phase merge, UDO registry) under the race detector.
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPDSP_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+        --target exec_test sim_test obs_test harness_test runtime_test
+  for t in exec_test sim_test obs_test harness_test runtime_test; do
+    echo "--- tsan: $t ---"
+    "$TSAN_DIR/tests/$t"
+  done
+fi
 
 step "static plan analysis (pdspbench analyze all)"
 "$BUILD_DIR/tools/pdspbench" analyze all

@@ -14,6 +14,8 @@
 //   --structure=<name>    one of the synthetic structures (linear, join2...)
 //   --rate=<events/s>     per-source event rate          [default 100000]
 //   --parallelism=<n>     degree for all operators       [default 8]
+//                         a comma list (e.g. 2,8,32) sweeps the degrees
+//   --jobs=<n>            sweep worker threads (0 = all cores) [default 1]
 //   --cluster=<name>      m510 | c6525 | c6320 | mixed   [default m510]
 //   --nodes=<n>           cluster size                   [default 10]
 //   --duration=<s>        generation horizon             [default 5]
@@ -72,6 +74,7 @@
 #include "src/apps/apps.h"
 #include "src/common/file_util.h"
 #include "src/common/string_util.h"
+#include "src/exec/sweep.h"
 #include "src/harness/harness.h"
 #include "src/harness/synthetic_suite.h"
 #include "src/obs/compare.h"
@@ -81,6 +84,7 @@
 #include "src/sim/analytic.h"
 #include "src/sim/simulation.h"
 #include "src/store/run_store.h"
+#include "src/workload/enumerator.h"
 
 namespace pdsp {
 
@@ -91,6 +95,10 @@ struct Args {
   std::string structure;
   double rate = 100000.0;
   int parallelism = 8;
+  /// All degrees from --parallelism; more than one switches to sweep mode.
+  std::vector<int> degrees = {8};
+  /// Sweep worker threads (--jobs; 0 = one per hardware thread).
+  int jobs = 1;
   std::string cluster = "m510";
   int nodes = 10;
   double duration = 5.0;
@@ -114,8 +122,9 @@ bool ParseArg(const char* arg, const char* name, std::string* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: pdspbench (--app=<abbrev> | --structure=<name>) "
-               "[--rate=N] [--parallelism=N]\n"
-               "                 [--cluster=m510|c6525|c6320|mixed] "
+               "[--rate=N] [--parallelism=N[,N...]]\n"
+               "                 [--jobs=N] "
+               "[--cluster=m510|c6525|c6320|mixed] "
                "[--nodes=N] [--duration=S] [--seed=N]\n"
                "                 [--placement=NAME] [--allow-invalid] | "
                "--list\n"
@@ -863,6 +872,127 @@ int BaselineMain(int argc, char** argv) {
   return 0;
 }
 
+// --- parallelism sweep mode ----------------------------------------------
+
+// `--parallelism=2,8,32` fans one cell per degree across --jobs workers via
+// the exec sweep scheduler; per-cell results are bit-identical to --jobs=1.
+int RunParallelismSweep(const Args& args, const Cluster& cluster,
+                        PlacementKind placement) {
+  const std::string selection = !args.app.empty()
+                                    ? args.app
+                                    : (!args.structure.empty()
+                                           ? args.structure
+                                           : args.load);
+  RunProtocol protocol;
+  protocol.repeats = 1;
+  protocol.duration_s = args.duration;
+  protocol.warmup_s = args.duration * 0.2;
+  protocol.seed = args.seed;
+  protocol.placement = placement;
+  protocol.label = selection;
+  protocol.allow_invalid = args.allow_invalid;
+  if (!args.ledger.empty()) {
+    protocol.ledger.enabled = true;
+    protocol.ledger.path = args.ledger;
+    protocol.ledger.cluster_name = args.cluster;
+  }
+
+  std::vector<exec::SweepCell> cells;
+  for (int degree : args.degrees) {
+    exec::SweepCell cell;
+    if (!args.app.empty()) {
+      auto id = FindAppByAbbrev(args.app);
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s (use --list)\n",
+                     id.status().ToString().c_str());
+        return 2;
+      }
+      const AppId app = *id;
+      AppOptions opt;
+      opt.event_rate = args.rate;
+      opt.parallelism = degree;
+      cell.make_plan = [app, opt] { return MakeApp(app, opt); };
+    } else if (!args.structure.empty()) {
+      bool found = false;
+      SyntheticStructure structure = SyntheticStructure::kLinear;
+      for (SyntheticStructure s : AllSyntheticStructures()) {
+        if (args.structure == SyntheticStructureToString(s)) {
+          structure = s;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown structure '%s' (use --list)\n",
+                     args.structure.c_str());
+        return 2;
+      }
+      CanonicalOptions opt;
+      opt.event_rate = args.rate;
+      opt.parallelism = degree;
+      cell.make_plan = [structure, opt] {
+        return MakeCanonicalSynthetic(structure, opt);
+      };
+    } else {
+      const std::string store_dir = args.store_dir;
+      const std::string load_id = args.load;
+      cell.make_plan = [store_dir, load_id,
+                        degree]() -> Result<LogicalPlan> {
+        RunStore store(store_dir);
+        PDSP_ASSIGN_OR_RETURN(LogicalPlan plan, store.LoadPlan(load_id));
+        PDSP_RETURN_NOT_OK(ApplyUniformParallelism(&plan, degree));
+        return plan;
+      };
+    }
+    cell.cluster = cluster;
+    cell.protocol = protocol;
+    cell.label = StrFormat("%s/p%d", selection.c_str(), degree);
+    cells.push_back(std::move(cell));
+  }
+
+  exec::SweepOptions options;
+  options.jobs = args.jobs;
+  options.name = StrFormat("sweep/%s", selection.c_str());
+  if (!args.ledger.empty()) {
+    // One summary record per sweep invocation: parallelism = worker count,
+    // host_wall_s = sweep wall clock. bench_gate.sh reads consecutive
+    // summary pairs (jobs=1 vs jobs=N) to report the parallel speedup.
+    options.summary_ledger.enabled = true;
+    options.summary_ledger.path = args.ledger;
+    options.summary_ledger.cluster_name = args.cluster;
+  }
+  const exec::SweepResult sweep = exec::RunSweep(cells, options);
+
+  TableReporter table(
+      StrFormat("%s: parallelism sweep (%s x%d, %.0f ev/s)",
+                selection.c_str(), args.cluster.c_str(), args.nodes,
+                args.rate),
+      {"parallelism", "p50(ms)", "p95(ms)", "results/s", "late", "bp"});
+  for (size_t i = 0; i < sweep.cells.size(); ++i) {
+    const int degree = args.degrees[i];
+    const exec::SweepCellOutcome& outcome = sweep.cells[i];
+    if (!outcome.result.ok()) {
+      std::fprintf(stderr, "p=%d: %s\n", degree,
+                   outcome.result.status().ToString().c_str());
+      table.AddRow({StrFormat("%d", degree), "n/a", "n/a", "n/a", "n/a",
+                    "n/a"});
+      continue;
+    }
+    const CellResult& cell = *outcome.result;
+    table.AddRow({StrFormat("%d", degree),
+                  LatencyCell(cell.mean_median_latency_s),
+                  LatencyCell(cell.p95_latency_s),
+                  ThroughputCell(cell.mean_throughput_tps),
+                  StrFormat("%lld", static_cast<long long>(cell.late_drops)),
+                  StrFormat("%lld",
+                            static_cast<long long>(
+                                cell.backpressure_skipped))});
+  }
+  table.Print();
+  std::printf("sweep: %zu/%zu cells ok, jobs=%d, wall %.2fs\n",
+              sweep.NumOk(), sweep.cells.size(), sweep.jobs, sweep.wall_s);
+  return sweep.NumOk() == sweep.cells.size() ? 0 : 1;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -904,7 +1034,14 @@ int Main(int argc, char** argv) {
     } else if (ParseArg(argv[i], "rate", &value)) {
       args.rate = std::atof(value.c_str());
     } else if (ParseArg(argv[i], "parallelism", &value)) {
-      args.parallelism = std::atoi(value.c_str());
+      args.degrees.clear();
+      for (const std::string& part : Split(value, ',')) {
+        args.degrees.push_back(std::atoi(part.c_str()));
+      }
+      if (args.degrees.empty()) args.degrees.push_back(0);  // caught below
+      args.parallelism = args.degrees.front();
+    } else if (ParseArg(argv[i], "jobs", &value)) {
+      args.jobs = std::atoi(value.c_str());
     } else if (ParseArg(argv[i], "nodes", &value)) {
       args.nodes = std::atoi(value.c_str());
     } else if (ParseArg(argv[i], "duration", &value)) {
@@ -928,7 +1065,9 @@ int Main(int argc, char** argv) {
                  "pass exactly one of --app / --structure / --load\n");
     return Usage();
   }
-  if (args.rate <= 0 || args.parallelism < 1 || args.nodes < 1 ||
+  bool degrees_ok = !args.degrees.empty();
+  for (int d : args.degrees) degrees_ok = degrees_ok && d >= 1;
+  if (args.rate <= 0 || !degrees_ok || args.nodes < 1 ||
       args.duration <= 0.5) {
     std::fprintf(stderr, "bad numeric flags\n");
     return Usage();
@@ -942,6 +1081,10 @@ int Main(int argc, char** argv) {
                      .ToString()
                      .c_str());
     return 2;
+  }
+
+  if (args.degrees.size() > 1) {
+    return RunParallelismSweep(args, *cluster, *placement);
   }
 
   Result<LogicalPlan> plan = Status::Internal("unreachable");
