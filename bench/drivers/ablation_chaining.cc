@@ -43,7 +43,7 @@ Result<LogicalPlan> DeepPipeline(double rate, int parallelism,
 }  // namespace
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const double rate = bench::FastMode() ? 40000.0 : 150000.0;
   RunProtocol protocol = bench::FigureProtocol();
@@ -88,7 +88,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "ablation_chaining", jobs);
+      bench::RunDriverSweep(std::move(cells), "ablation_chaining", opts);
 
   size_t idx = 0;
   for (int parallelism : degrees) {
@@ -100,7 +100,7 @@ int Main(int argc, char** argv) {
   }
   table.Print();
   (void)table.WriteCsv("results/ablation_chaining.csv");
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

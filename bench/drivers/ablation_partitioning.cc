@@ -44,7 +44,7 @@ Result<LogicalPlan> PipelinePlan(double rate, int parallelism,
 }  // namespace
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 40000.0 : 150000.0;
@@ -79,7 +79,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "ablation_partitioning", jobs);
+      bench::RunDriverSweep(std::move(cells), "ablation_partitioning", opts);
 
   size_t idx = 0;
   for (int parallelism : degrees) {
@@ -91,7 +91,7 @@ int Main(int argc, char** argv) {
   }
   table.Print();
   (void)table.WriteCsv("results/ablation_partitioning.csv");
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

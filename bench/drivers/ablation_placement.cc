@@ -15,7 +15,7 @@
 namespace pdsp {
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   RegisterAppUdos();
   const RunProtocol base = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 50000.0 : 150000.0;
@@ -59,7 +59,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "ablation_placement", jobs);
+      bench::RunDriverSweep(std::move(cells), "ablation_placement", opts);
 
   size_t idx = 0;
   for (AppId app : apps) {
@@ -71,7 +71,7 @@ int Main(int argc, char** argv) {
   }
   table.Print();
   (void)table.WriteCsv("results/ablation_placement.csv");
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

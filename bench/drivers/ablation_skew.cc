@@ -42,7 +42,7 @@ Result<LogicalPlan> SkewPlan(double rate, double skew) {
 }  // namespace
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 40000.0 : 120000.0;
@@ -69,7 +69,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "ablation_skew", jobs);
+      bench::RunDriverSweep(std::move(cells), "ablation_skew", opts);
 
   // The plan shape is identical across skews, so "agg"'s operator id can be
   // resolved from any one instantiation.
@@ -94,7 +94,7 @@ int Main(int argc, char** argv) {
   }
   table.Print();
   (void)table.WriteCsv("results/ablation_skew.csv");
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

@@ -15,7 +15,7 @@
 namespace pdsp {
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   RegisterAppUdos();
   const bool fast = bench::FastMode();
   const Cluster cluster = Cluster::M510(10);
@@ -56,7 +56,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "ablation_throughput", jobs);
+      bench::RunDriverSweep(std::move(cells), "ablation_throughput", opts);
 
   size_t idx = 0;
   for (AppId app : apps) {
@@ -82,7 +82,7 @@ int Main(int argc, char** argv) {
   }
   table.Print();
   (void)table.WriteCsv("results/ablation_throughput.csv");
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

@@ -2,10 +2,16 @@
 // variable PDSP_BENCH_FAST=1 shrinks durations/repeats for smoke runs; the
 // default settings are the ones EXPERIMENTS.md reports. Every driver also
 // accepts --jobs=N (or PDSP_JOBS=N) to fan its sweep cells across worker
-// threads — per-cell results are bit-identical to a sequential run.
+// threads — per-cell results are bit-identical to a sequential run — and
+// --progress[=plain|rich|off] / --progress-file=PATH (or PDSP_PROGRESS /
+// PDSP_PROGRESS_FILE) for live sweep monitoring with PDSP-M### watchdog
+// findings. Driver sweeps install the SIGINT drain handler: Ctrl-C
+// finishes in-flight cells, flushes their ledger records and exits 130.
 
 #ifndef PDSP_BENCH_DRIVERS_DRIVER_UTIL_H_
 #define PDSP_BENCH_DRIVERS_DRIVER_UTIL_H_
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,8 +20,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/string_util.h"
 #include "src/exec/sweep.h"
 #include "src/harness/harness.h"
+#include "src/obs/monitor.h"
 
 namespace pdsp {
 namespace bench {
@@ -58,20 +66,94 @@ inline int ParseJobs(int argc, char** argv) {
   return jobs;
 }
 
-/// Runs a driver's cell grid through the sweep scheduler and reports the
-/// fan-out on stderr (cells ok, jobs, wall seconds). Results come back in
-/// cell order, so drivers index `sweep.cells[i]` in the same order they
-/// pushed cells.
+/// \brief Everything ParseDriverOptions gleans from argv/environment.
+struct DriverSweepOptions {
+  int jobs = 1;
+  obs::MonitorOptions monitor;
+};
+
+/// Parses --jobs / --progress[=mode] / --progress-file (command line wins
+/// over PDSP_JOBS / PDSP_PROGRESS / PDSP_PROGRESS_FILE). A bad progress
+/// mode warns and leaves rendering off rather than aborting a long
+/// benchmark over a typo'd cosmetic flag.
+inline DriverSweepOptions ParseDriverOptions(int argc, char** argv) {
+  DriverSweepOptions opts;
+  opts.jobs = ParseJobs(argc, argv);
+  std::string mode;
+  bool progress_set = false;
+  if (const char* env = std::getenv("PDSP_PROGRESS");
+      env != nullptr && *env != '\0') {
+    mode = env;
+    progress_set = true;
+  }
+  if (const char* env = std::getenv("PDSP_PROGRESS_FILE");
+      env != nullptr && *env != '\0') {
+    opts.monitor.jsonl_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progress") == 0) {
+      progress_set = true;
+      mode.clear();  // auto
+    } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
+      progress_set = true;
+      mode = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--progress-file=", 16) == 0) {
+      opts.monitor.jsonl_path = argv[i] + 16;
+    }
+  }
+  if (progress_set || !opts.monitor.jsonl_path.empty()) {
+    opts.monitor.enabled = true;
+    if (progress_set) {
+      auto render = obs::ParseRenderMode(mode, isatty(fileno(stderr)) != 0);
+      if (render.ok()) {
+        opts.monitor.render = *render;
+      } else {
+        std::fprintf(stderr, "%s; progress rendering disabled\n",
+                     render.status().ToString().c_str());
+      }
+    }
+  }
+  return opts;
+}
+
+/// Runs a driver's cell grid through the sweep scheduler (with the SIGINT
+/// drain handler installed) and reports the fan-out on stderr (cells ok,
+/// jobs, wall seconds, monitor findings). Results come back in cell order,
+/// so drivers index `sweep.cells[i]` in the same order they pushed cells.
 inline exec::SweepResult RunDriverSweep(std::vector<exec::SweepCell> cells,
-                                        const std::string& name, int jobs) {
+                                        const std::string& name,
+                                        const DriverSweepOptions& opts) {
   exec::SweepOptions options;
-  options.jobs = jobs;
+  options.jobs = opts.jobs;
   options.name = name;
+  options.monitor = opts.monitor;
+  options.install_sigint = true;
   exec::SweepResult sweep = exec::RunSweep(cells, options);
   std::fprintf(stderr, "[%s] %zu/%zu cells ok, jobs=%d, wall %.2fs\n",
                name.c_str(), sweep.NumOk(), sweep.cells.size(), sweep.jobs,
                sweep.wall_s);
+  if (!sweep.monitor.codes.empty()) {
+    std::fprintf(stderr, "[%s] monitor: %s\n", name.c_str(),
+                 Join(sweep.monitor.codes, ", ").c_str());
+  }
+  if (sweep.interrupted) {
+    std::fprintf(stderr, "[%s] interrupted — partial results flushed\n",
+                 name.c_str());
+  }
   return sweep;
+}
+
+/// Back-compat shorthand: sweep with N workers, no monitoring.
+inline exec::SweepResult RunDriverSweep(std::vector<exec::SweepCell> cells,
+                                        const std::string& name, int jobs) {
+  DriverSweepOptions opts;
+  opts.jobs = jobs;
+  return RunDriverSweep(std::move(cells), name, opts);
+}
+
+/// Driver exit code honoring the SIGINT convention (130 after a drain).
+inline int SweepExitCode(const exec::SweepResult& sweep, int code = 0) {
+  return sweep.interrupted ? 130 : code;
 }
 
 /// Formats one sweep outcome as a latency table cell ("n/a" on failure,

@@ -15,7 +15,7 @@
 namespace pdsp {
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   // UDO factories must be registered before sweep workers spawn.
   RegisterAppUdos();
   const Cluster cluster = Cluster::M510(10);
@@ -59,7 +59,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "fig3_realworld", jobs);
+      bench::RunDriverSweep(std::move(cells), "fig3_realworld", opts);
 
   size_t idx = 0;
   for (AppId app : apps) {
@@ -72,7 +72,7 @@ int Main(int argc, char** argv) {
   table.Print();
   Status st = table.WriteCsv("results/fig3_realworld.csv");
   if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

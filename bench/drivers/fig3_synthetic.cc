@@ -16,7 +16,7 @@
 namespace pdsp {
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   const Cluster cluster = Cluster::M510(10);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 50000.0 : 200000.0;
@@ -66,7 +66,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "fig3_synthetic", jobs);
+      bench::RunDriverSweep(std::move(cells), "fig3_synthetic", opts);
 
   size_t idx = 0;
   for (SyntheticStructure structure : structures) {
@@ -79,7 +79,7 @@ int Main(int argc, char** argv) {
   table.Print();
   Status st = table.WriteCsv("results/fig3_synthetic.csv");
   if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

@@ -15,7 +15,7 @@
 namespace pdsp {
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   RegisterAppUdos();
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 80000.0 : 400000.0;
@@ -65,7 +65,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "fig4_realworld", jobs);
+      bench::RunDriverSweep(std::move(cells), "fig4_realworld", opts);
 
   size_t idx = 0;
   for (AppId app : apps) {
@@ -78,7 +78,7 @@ int Main(int argc, char** argv) {
   table.Print();
   Status st = table.WriteCsv("results/fig4_realworld.csv");
   if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

@@ -16,7 +16,7 @@
 namespace pdsp {
 
 int Main(int argc, char** argv) {
-  const int jobs = bench::ParseJobs(argc, argv);
+  const bench::DriverSweepOptions opts = bench::ParseDriverOptions(argc, argv);
   const RunProtocol protocol = bench::FigureProtocol();
   const double rate = bench::FastMode() ? 50000.0 : 200000.0;
 
@@ -69,7 +69,7 @@ int Main(int argc, char** argv) {
   }
 
   const exec::SweepResult sweep =
-      bench::RunDriverSweep(std::move(cells), "fig4_synthetic", jobs);
+      bench::RunDriverSweep(std::move(cells), "fig4_synthetic", opts);
 
   size_t idx = 0;
   for (const auto& cat : StandardCategories()) {
@@ -89,7 +89,7 @@ int Main(int argc, char** argv) {
   table.Print();
   Status st = table.WriteCsv("results/fig4_synthetic.csv");
   if (!st.ok()) std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
-  return 0;
+  return bench::SweepExitCode(sweep);
 }
 
 }  // namespace pdsp

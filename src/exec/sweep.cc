@@ -1,7 +1,10 @@
 #include "src/exec/sweep.h"
 
+#include <csignal>
+
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -13,6 +16,40 @@ namespace pdsp {
 namespace exec {
 
 namespace {
+
+// SIGINT drain support. The handler only flips a flag (async-signal-safe);
+// workers poll it before claiming each cell. Process-global because signal
+// disposition is — RunSweep never nests.
+std::atomic<bool> g_sigint{false};
+
+void SigintFlagHandler(int) { g_sigint.store(true, std::memory_order_relaxed); }
+
+/// Installs the drain handler on construction, restores the previous
+/// disposition on destruction. A no-op unless `enable`.
+class ScopedSigintHandler {
+ public:
+  explicit ScopedSigintHandler(bool enable) : enabled_(enable) {
+    if (!enabled_) return;
+    g_sigint.store(false, std::memory_order_relaxed);
+    struct sigaction action = {};
+    action.sa_handler = SigintFlagHandler;
+    sigemptyset(&action.sa_mask);
+    enabled_ = sigaction(SIGINT, &action, &previous_) == 0;
+  }
+  ~ScopedSigintHandler() {
+    if (enabled_) sigaction(SIGINT, &previous_, nullptr);
+  }
+  ScopedSigintHandler(const ScopedSigintHandler&) = delete;
+  ScopedSigintHandler& operator=(const ScopedSigintHandler&) = delete;
+
+  bool Interrupted() const {
+    return enabled_ && g_sigint.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool enabled_;
+  struct sigaction previous_ = {};
+};
 
 /// Summary provenance record for the whole sweep (label = sweep name).
 /// Virtual-time fields stay zero — the per-cell records carry those — but
@@ -34,6 +71,9 @@ obs::RunRecord MakeSweepSummaryRecord(const SweepOptions& options,
   rec.host_cpu_user_s = sweep.host.usage.cpu_user_s;
   rec.host_cpu_sys_s = sweep.host.usage.cpu_sys_s;
   rec.host_peak_rss_kb = sweep.host.usage.peak_rss_kb;
+  // Monitor findings (PDSP-M###) ride on the summary record only — the
+  // per-cell records must stay bit-identical with monitoring on or off.
+  rec.diagnosis_codes = sweep.monitor.codes;
   return rec;
 }
 
@@ -56,6 +96,19 @@ SweepResult RunSweep(const std::vector<SweepCell>& cells,
   // Never spin up more workers than there are cells.
   if (static_cast<size_t>(sweep.jobs) > cells.size()) {
     sweep.jobs = static_cast<int>(cells.size());
+  }
+
+  const std::string prefix = options.name.empty() ? "sweep" : options.name;
+  ScopedSigintHandler sigint(options.install_sigint);
+
+  std::unique_ptr<obs::SweepProgress> progress;
+  std::unique_ptr<obs::SnapshotSampler> sampler;
+  if (options.monitor.enabled) {
+    progress = std::make_unique<obs::SweepProgress>(prefix, cells.size(),
+                                                    sweep.jobs);
+    sampler = std::make_unique<obs::SnapshotSampler>(progress.get(),
+                                                     options.monitor);
+    sampler->Start();
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -83,6 +136,10 @@ SweepResult RunSweep(const std::vector<SweepCell>& cells,
         for (size_t i = next_cell.fetch_add(1, std::memory_order_relaxed);
              i < cells.size();
              i = next_cell.fetch_add(1, std::memory_order_relaxed)) {
+          // Drain on Ctrl-C: the in-flight cell (previous iteration) ran to
+          // completion; claimed-but-unstarted cells are left unfilled and
+          // reported as interrupted at merge.
+          if (sigint.Interrupted()) break;
           const SweepCell& cell = cells[i];
           RunProtocol protocol = cell.protocol;
           if (protocol.label.empty()) protocol.label = cell.label;
@@ -100,9 +157,15 @@ SweepResult RunSweep(const std::vector<SweepCell>& cells,
             continue;
           }
           RunContext context(&profiler);
+          if (progress != nullptr) {
+            progress->StartCell(w, i, cell.label, context.metrics());
+          }
           results[i].emplace(
               MeasureCell(*plan, cell.cluster, protocol, &context));
           cell_metrics[i] = context.metrics();
+          if (progress != nullptr) {
+            progress->FinishCell(w, i, results[i]->ok());
+          }
         }
         worker_phases[static_cast<size_t>(w)] = profiler.Snapshot().phases;
       }));
@@ -122,6 +185,18 @@ SweepResult RunSweep(const std::vector<SweepCell>& cells,
   sweep.wall_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
+  sweep.interrupted = sigint.Interrupted();
+  if (sampler != nullptr) {
+    sweep.monitor = sampler->Stop();
+    sweep.monitor.ExportTo(sweep.metrics.get());
+    // Also visible in host_profile.json bundles written after the sweep:
+    // each worker's monitored busy-seconds as a named phase accumulator.
+    for (const obs::WorkerSnapshot& w : sweep.monitor.last.workers) {
+      obs::HostProfiler::Global().RecordPhase(
+          StrFormat("%s:monitor-worker%d-busy", prefix.c_str(), w.worker),
+          w.busy_s);
+    }
+  }
 
   // Everything below is single-threaded merge work in canonical order.
   sweep.cells.reserve(cells.size());
@@ -129,15 +204,16 @@ SweepResult RunSweep(const std::vector<SweepCell>& cells,
     Result<CellResult> result =
         results[i].has_value()
             ? std::move(*results[i])
-            : Result<CellResult>(
-                  Status::Internal("sweep cell not executed (worker died)"));
+            : Result<CellResult>(Status::Internal(
+                  sweep.interrupted
+                      ? "sweep interrupted before cell ran"
+                      : "sweep cell not executed (worker died)"));
     sweep.cells.push_back(SweepCellOutcome{cells[i].label, std::move(result)});
     if (cell_metrics[i] != nullptr) {
       sweep.metrics->MergeFrom(*cell_metrics[i]);
     }
   }
 
-  const std::string prefix = options.name.empty() ? "sweep" : options.name;
   obs::HostProfiler host_merger;
   for (int w = 0; w < sweep.jobs; ++w) {
     const std::string worker_name = StrFormat("%s:worker%d", prefix.c_str(), w);

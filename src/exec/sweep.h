@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/harness/harness.h"
+#include "src/obs/monitor.h"
 
 namespace pdsp {
 namespace exec {
@@ -53,6 +54,17 @@ struct SweepOptions {
   /// count) after the per-cell records — the hook bench_gate.sh uses to
   /// compare jobs=1 vs jobs=N wall clock.
   LedgerOptions summary_ledger;
+  /// Live monitoring (obs::SnapshotSampler); off by default. The monitor
+  /// only observes — per-cell virtual-time results stay bit-identical with
+  /// it on or off, at any jobs count.
+  obs::MonitorOptions monitor;
+  /// Install a scoped SIGINT handler for the duration of the sweep: on
+  /// Ctrl-C, workers drain their in-flight cells but claim no new ones,
+  /// completed cells still append to the ledger in canonical order, the
+  /// monitor flushes a final progress.jsonl snapshot, and
+  /// SweepResult::interrupted is set (CLI drivers then exit 130). The
+  /// previous handler is restored when RunSweep returns.
+  bool install_sigint = false;
 };
 
 /// \brief Outcome of one cell, in canonical (submission) order.
@@ -71,6 +83,13 @@ struct SweepResult {
   std::shared_ptr<obs::MetricsRegistry> metrics;
   /// Host usage at join + per-worker phase timers.
   obs::HostProfile host;
+  /// True when a SIGINT arrived while install_sigint was set; cells that
+  /// never ran carry a non-ok "sweep interrupted" result.
+  bool interrupted = false;
+  /// Final monitor state (meaningful when options.monitor.enabled). Its
+  /// codes are folded into the summary ledger record's diagnosis_codes and
+  /// exported as pdsp.monitor.* gauges on `metrics`.
+  obs::MonitorSummary monitor;
 
   /// Count of cells whose result is ok().
   size_t NumOk() const;

@@ -1,0 +1,466 @@
+#include "src/obs/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/file_util.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace pdsp {
+namespace obs {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Sum of every counter in `registry` — a cheap liveness signal: the
+/// simulator bumps pdsp.sim.* counters while a cell runs, so a frozen sum
+/// across snapshots means the worker is stuck, not slow.
+int64_t CounterSum(const MetricsRegistry& registry) {
+  int64_t sum = 0;
+  for (const std::string& name : registry.Names()) {
+    sum += registry.CounterValue(name);  // non-counters read as 0
+  }
+  return sum;
+}
+
+double MedianOf(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 0) {
+    const double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+    return (lo + hi) / 2.0;
+  }
+  return hi;
+}
+
+std::string EtaCell(double eta_s) {
+  if (eta_s < 0) return "?";
+  if (eta_s >= 90.0) return StrFormat("%.1fmin", eta_s / 60.0);
+  return StrFormat("%.1fs", eta_s);
+}
+
+}  // namespace
+
+Result<MonitorOptions::RenderMode> ParseRenderMode(const std::string& value,
+                                                   bool stderr_is_tty) {
+  if (value.empty() || value == "auto") {
+    return stderr_is_tty ? MonitorOptions::RenderMode::kRich
+                         : MonitorOptions::RenderMode::kPlain;
+  }
+  if (value == "plain") return MonitorOptions::RenderMode::kPlain;
+  if (value == "rich") return MonitorOptions::RenderMode::kRich;
+  if (value == "off") return MonitorOptions::RenderMode::kOff;
+  return Status::InvalidArgument("unknown progress mode '" + value +
+                                 "' (plain|rich|off|auto)");
+}
+
+Json WorkerSnapshot::ToJson() const {
+  Json j = Json::Object();
+  j.Set("worker", Json::Int(worker));
+  j.Set("current_cell", Json::Int(current_cell));
+  j.Set("current_label", Json::Str(current_label));
+  j.Set("cell_elapsed_s", Json::Number(cell_elapsed_s));
+  j.Set("cells_done", Json::Int(cells_done));
+  j.Set("busy_s", Json::Number(busy_s));
+  j.Set("metric_sum", Json::Int(metric_sum));
+  return j;
+}
+
+double SweepSnapshot::BusyFraction(const WorkerSnapshot& w) const {
+  if (wall_s <= 0.0) return 0.0;
+  return std::min(1.0, std::max(0.0, w.busy_s / wall_s));
+}
+
+Json SweepSnapshot::ToJson() const {
+  Json j = Json::Object();
+  j.Set("schema_version", Json::Int(schema_version));
+  j.Set("sweep", Json::Str(sweep));
+  j.Set("seq", Json::Int(seq));
+  j.Set("wall_s", Json::Number(wall_s));
+  j.Set("cells_total", Json::Int(static_cast<int64_t>(cells_total)));
+  j.Set("cells_done", Json::Int(static_cast<int64_t>(cells_done)));
+  j.Set("cells_failed", Json::Int(static_cast<int64_t>(cells_failed)));
+  j.Set("eta_s", Json::Number(eta_s));
+  j.Set("median_cell_s", Json::Number(median_cell_s));
+  j.Set("final", Json::Bool(final_snapshot));
+  Json arr = Json::Array();
+  for (const WorkerSnapshot& w : workers) arr.Append(w.ToJson());
+  j.Set("workers", std::move(arr));
+  return j;
+}
+
+Json MonitorFinding::ToJson() const {
+  Json j = Json::Object();
+  j.Set("code", Json::Str(code));
+  j.Set("worker", Json::Int(worker));
+  j.Set("subject", Json::Str(subject));
+  j.Set("message", Json::Str(message));
+  return j;
+}
+
+void EtaEstimator::AddCompletedCell(double duration_s) {
+  if (duration_s < 0.0) duration_s = 0.0;
+  ewma_s_ = completed_ == 0
+                ? duration_s
+                : alpha_ * duration_s + (1.0 - alpha_) * ewma_s_;
+  ++completed_;
+}
+
+double EtaEstimator::Estimate(
+    size_t cells_remaining, int jobs,
+    const std::vector<double>& in_flight_elapsed_s) const {
+  if (completed_ == 0) return -1.0;
+  if (jobs < 1) jobs = 1;
+  // Each in-flight cell still needs (ewma - elapsed) seconds, floored at a
+  // tenth of the EWMA (a cell past its expected duration is "almost done"
+  // as far as the estimate can know).
+  double work_s = 0.0;
+  for (double elapsed : in_flight_elapsed_s) {
+    work_s += std::max(ewma_s_ - elapsed, ewma_s_ * 0.1);
+  }
+  work_s += static_cast<double>(cells_remaining) * ewma_s_;
+  return work_s / jobs;
+}
+
+std::vector<MonitorFinding> SweepWatchdog::Evaluate(
+    const SweepSnapshot& snapshot) {
+  if (tracks_.size() < snapshot.workers.size()) {
+    tracks_.resize(snapshot.workers.size());
+  }
+  std::vector<MonitorFinding> fresh;
+  auto fire = [&](MonitorFinding finding) {
+    const std::string key = finding.code + "|" + finding.subject;
+    if (!fired_.insert(key).second) return;
+    findings_.push_back(finding);
+    fresh.push_back(std::move(finding));
+  };
+
+  // --- M201: straggler cell ----------------------------------------------
+  if (snapshot.cells_done >= options_.straggler_min_completed &&
+      snapshot.median_cell_s > 0.0) {
+    const double limit = options_.straggler_ratio * snapshot.median_cell_s;
+    for (const WorkerSnapshot& w : snapshot.workers) {
+      if (w.current_cell < 0 || w.cell_elapsed_s <= limit) continue;
+      fire({"PDSP-M201", w.worker, w.current_label,
+            StrFormat("cell '%s' on worker %d has run %.2fs, > %.1fx the "
+                      "%.2fs median of %zu completed cells",
+                      w.current_label.c_str(), w.worker, w.cell_elapsed_s,
+                      options_.straggler_ratio, snapshot.median_cell_s,
+                      snapshot.cells_done)});
+    }
+  }
+
+  // --- M202: stalled worker ----------------------------------------------
+  for (const WorkerSnapshot& w : snapshot.workers) {
+    WorkerTrack& track = tracks_[static_cast<size_t>(w.worker)];
+    if (w.current_cell < 0 || w.metric_sum < 0) {
+      // Idle (or unobservable): reset the streak.
+      track = WorkerTrack{};
+      continue;
+    }
+    if (track.cell == w.current_cell && track.metric_sum == w.metric_sum) {
+      ++track.snapshots_without_delta;
+    } else {
+      track.cell = w.current_cell;
+      track.metric_sum = w.metric_sum;
+      track.snapshots_without_delta = 0;
+    }
+    if (track.snapshots_without_delta >= options_.stall_snapshots) {
+      fire({"PDSP-M202", w.worker, StrFormat("worker%d", w.worker),
+            StrFormat("worker %d in cell '%s' produced no metric delta "
+                      "across %d consecutive snapshots (%.2fs elapsed)",
+                      w.worker, w.current_label.c_str(),
+                      track.snapshots_without_delta, w.cell_elapsed_s)});
+    }
+  }
+
+  // --- M203: worker-utilization imbalance --------------------------------
+  if (snapshot.wall_s >= options_.imbalance_min_wall_s &&
+      snapshot.workers.size() > 1) {
+    double min_frac = 1.0;
+    double max_frac = 0.0;
+    int min_worker = -1;
+    for (const WorkerSnapshot& w : snapshot.workers) {
+      const double frac = snapshot.BusyFraction(w);
+      if (frac < min_frac) {
+        min_frac = frac;
+        min_worker = w.worker;
+      }
+      max_frac = std::max(max_frac, frac);
+    }
+    if (max_frac > 0.0 && min_frac < options_.imbalance_ratio * max_frac) {
+      fire({"PDSP-M203", min_worker, StrFormat("worker%d", min_worker),
+            StrFormat("worker %d busy fraction %.2f is below %.2fx the "
+                      "busiest worker's %.2f — cells are imbalanced across "
+                      "workers",
+                      min_worker, min_frac, options_.imbalance_ratio,
+                      max_frac)});
+    }
+  }
+  return fresh;
+}
+
+std::vector<std::string> SweepWatchdog::Codes() const {
+  std::vector<std::string> codes;
+  for (const MonitorFinding& f : findings_) codes.push_back(f.code);
+  std::sort(codes.begin(), codes.end());
+  codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  return codes;
+}
+
+SweepProgress::SweepProgress(std::string name, size_t cells_total, int jobs)
+    : name_(std::move(name)),
+      cells_total_(cells_total),
+      jobs_(jobs < 1 ? 1 : jobs),
+      start_(std::chrono::steady_clock::now()) {
+  MutexLock lock(mu_);
+  workers_.resize(static_cast<size_t>(jobs_));
+}
+
+void SweepProgress::StartCell(int worker, size_t cell,
+                              const std::string& label,
+                              std::shared_ptr<const MetricsRegistry> metrics) {
+  MutexLock lock(mu_);
+  if (worker < 0 || static_cast<size_t>(worker) >= workers_.size()) return;
+  WorkerSlot& slot = workers_[static_cast<size_t>(worker)];
+  slot.current_cell = static_cast<int>(cell);
+  slot.label = label;
+  slot.cell_start = std::chrono::steady_clock::now();
+  slot.metrics = std::move(metrics);
+}
+
+void SweepProgress::FinishCell(int worker, size_t cell, bool ok) {
+  MutexLock lock(mu_);
+  if (worker < 0 || static_cast<size_t>(worker) >= workers_.size()) return;
+  WorkerSlot& slot = workers_[static_cast<size_t>(worker)];
+  if (slot.current_cell != static_cast<int>(cell)) return;
+  const double elapsed =
+      Seconds(slot.cell_start, std::chrono::steady_clock::now());
+  slot.current_cell = -1;
+  slot.label.clear();
+  slot.metrics.reset();
+  slot.busy_s += elapsed;
+  ++slot.cells_done;
+  ++cells_done_;
+  if (!ok) ++cells_failed_;
+  completed_cell_s_.push_back(elapsed);
+  eta_.AddCompletedCell(elapsed);
+}
+
+SweepSnapshot SweepProgress::Snapshot(bool final_snapshot) {
+  const auto now = std::chrono::steady_clock::now();
+  // Copy the live registries out under the lock, sum their counters after
+  // releasing it: CounterSum takes each registry's own lock, and holding
+  // two locks at once is how deadlocks are born.
+  std::vector<std::shared_ptr<const MetricsRegistry>> live;
+  SweepSnapshot snap;
+  {
+    MutexLock lock(mu_);
+    snap.sweep = name_;
+    snap.seq = ++seq_;
+    snap.wall_s = Seconds(start_, now);
+    snap.cells_total = cells_total_;
+    snap.cells_done = cells_done_;
+    snap.cells_failed = cells_failed_;
+    snap.median_cell_s = MedianOf(completed_cell_s_);
+    snap.final_snapshot = final_snapshot;
+    std::vector<double> in_flight;
+    size_t in_flight_count = 0;
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      const WorkerSlot& slot = workers_[w];
+      WorkerSnapshot ws;
+      ws.worker = static_cast<int>(w);
+      ws.current_cell = slot.current_cell;
+      ws.current_label = slot.label;
+      ws.cells_done = slot.cells_done;
+      ws.busy_s = slot.busy_s;
+      if (slot.current_cell >= 0) {
+        ws.cell_elapsed_s = Seconds(slot.cell_start, now);
+        ws.busy_s += ws.cell_elapsed_s;
+        in_flight.push_back(ws.cell_elapsed_s);
+        ++in_flight_count;
+      }
+      live.push_back(slot.metrics);
+      snap.workers.push_back(std::move(ws));
+    }
+    const size_t queued =
+        cells_total_ - std::min(cells_total_, cells_done_ + in_flight_count);
+    snap.eta_s = eta_.Estimate(queued, jobs_, in_flight);
+  }
+  for (size_t w = 0; w < live.size(); ++w) {
+    if (live[w] != nullptr) snap.workers[w].metric_sum = CounterSum(*live[w]);
+  }
+  return snap;
+}
+
+Json MonitorSummary::ToJson() const {
+  Json j = Json::Object();
+  j.Set("snapshot", last.ToJson());
+  Json arr = Json::Array();
+  for (const MonitorFinding& f : findings) arr.Append(f.ToJson());
+  j.Set("findings", std::move(arr));
+  Json code_arr = Json::Array();
+  for (const std::string& c : codes) code_arr.Append(Json::Str(c));
+  j.Set("codes", std::move(code_arr));
+  Json busy = Json::Array();
+  for (double b : worker_busy_fraction) busy.Append(Json::Number(b));
+  j.Set("worker_busy_fraction", std::move(busy));
+  Json stragglers = Json::Array();
+  for (const std::string& s : straggler_cells) {
+    stragglers.Append(Json::Str(s));
+  }
+  j.Set("straggler_cells", std::move(stragglers));
+  return j;
+}
+
+void MonitorSummary::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->GetGauge("pdsp.monitor.snapshots")
+      ->Set(static_cast<double>(last.seq));
+  registry->GetGauge("pdsp.monitor.findings")
+      ->Set(static_cast<double>(findings.size()));
+  double min_frac = worker_busy_fraction.empty() ? 0.0 : 1.0;
+  double max_frac = 0.0;
+  for (size_t w = 0; w < worker_busy_fraction.size(); ++w) {
+    const double frac = worker_busy_fraction[w];
+    registry->GetGauge(StrFormat("pdsp.monitor.worker%zu.busy_fraction", w))
+        ->Set(frac);
+    min_frac = std::min(min_frac, frac);
+    max_frac = std::max(max_frac, frac);
+  }
+  registry->GetGauge("pdsp.monitor.busy_fraction_min")->Set(min_frac);
+  registry->GetGauge("pdsp.monitor.busy_fraction_max")->Set(max_frac);
+}
+
+SnapshotSampler::SnapshotSampler(SweepProgress* progress,
+                                 MonitorOptions options)
+    : progress_(progress),
+      options_(std::move(options)),
+      stream_(options_.stream != nullptr ? options_.stream : stderr),
+      watchdog_(options_) {}
+
+SnapshotSampler::~SnapshotSampler() { Stop(); }
+
+void SnapshotSampler::Start() {
+  if (thread_.joinable() || stopped_) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MonitorSummary SnapshotSampler::Stop() {
+  if (stopped_) return summary_;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Tick(/*final_snapshot=*/true);
+  if (rich_line_open_) {
+    std::fprintf(stream_, "\n");
+    rich_line_open_ = false;
+  }
+  summary_.findings = watchdog_.findings();
+  summary_.codes = watchdog_.Codes();
+  for (const MonitorFinding& f : summary_.findings) {
+    if (f.code == "PDSP-M201") summary_.straggler_cells.push_back(f.subject);
+  }
+  for (const WorkerSnapshot& w : summary_.last.workers) {
+    summary_.worker_busy_fraction.push_back(summary_.last.BusyFraction(w));
+  }
+  stopped_ = true;
+  return summary_;
+}
+
+void SnapshotSampler::Loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_s > 0.0 ? options_.interval_s : 0.5);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    Tick(/*final_snapshot=*/false);
+    lock.lock();
+  }
+}
+
+void SnapshotSampler::Tick(bool final_snapshot) {
+  if (progress_ == nullptr) return;
+  SweepSnapshot snap = progress_->Snapshot(final_snapshot);
+  const std::vector<MonitorFinding> fresh = watchdog_.Evaluate(snap);
+  Render(snap, fresh);
+  AppendJsonl(snap, fresh);
+  if (final_snapshot) summary_.last = std::move(snap);
+}
+
+void SnapshotSampler::Render(const SweepSnapshot& snapshot,
+                             const std::vector<MonitorFinding>& fresh) {
+  if (options_.render == MonitorOptions::RenderMode::kOff) return;
+
+  size_t busy = 0;
+  std::string detail;
+  for (const WorkerSnapshot& w : snapshot.workers) {
+    if (w.current_cell < 0) continue;
+    ++busy;
+    if (detail.size() < 60) {
+      detail += StrFormat("%sw%d:%s %.1fs", detail.empty() ? "" : " ",
+                          w.worker, w.current_label.c_str(),
+                          w.cell_elapsed_s);
+    }
+  }
+  const std::string line = StrFormat(
+      "[%s] %zu/%zu cells%s | %zu/%zu workers busy | eta %s | %s",
+      snapshot.sweep.c_str(), snapshot.cells_done, snapshot.cells_total,
+      snapshot.cells_failed > 0
+          ? StrFormat(" (%zu failed)", snapshot.cells_failed).c_str()
+          : "",
+      busy, snapshot.workers.size(), EtaCell(snapshot.eta_s).c_str(),
+      detail.empty() ? "idle" : detail.c_str());
+
+  if (options_.render == MonitorOptions::RenderMode::kRich) {
+    // \r + clear-to-end rewrites the status in place; findings get their
+    // own permanent lines above it.
+    for (const MonitorFinding& f : fresh) {
+      std::fprintf(stream_, "\r\x1b[2K%s: %s\n", f.code.c_str(),
+                   f.message.c_str());
+    }
+    std::fprintf(stream_, "\r\x1b[2K%s", line.c_str());
+    std::fflush(stream_);
+    rich_line_open_ = true;
+  } else {
+    for (const MonitorFinding& f : fresh) {
+      std::fprintf(stream_, "%s: %s\n", f.code.c_str(), f.message.c_str());
+    }
+    std::fprintf(stream_, "%s\n", line.c_str());
+  }
+}
+
+void SnapshotSampler::AppendJsonl(const SweepSnapshot& snapshot,
+                                  const std::vector<MonitorFinding>& fresh) {
+  if (options_.jsonl_path.empty()) return;
+  Json j = snapshot.ToJson();
+  if (!fresh.empty()) {
+    Json arr = Json::Array();
+    for (const MonitorFinding& f : fresh) arr.Append(f.ToJson());
+    j.Set("findings", std::move(arr));
+  }
+  Status st = AppendLineAtomic(options_.jsonl_path, j.Dump(0));
+  if (!st.ok()) {
+    PDSP_LOG(Warn) << "progress append to " << options_.jsonl_path << ": "
+                   << st.ToString();
+    // Do not retry every tick on a persistently broken path.
+    options_.jsonl_path.clear();
+  }
+}
+
+}  // namespace obs
+}  // namespace pdsp

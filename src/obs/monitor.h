@@ -1,0 +1,315 @@
+// pdsp::obs::monitor — live telemetry for sweeps. Three pieces close the
+// gap between "the sweep is running" and "a human can see what it is
+// doing":
+//
+//  1. SweepProgress — lock-light shared state the sweep scheduler updates
+//     on cell boundaries (StartCell/FinishCell; one small mutex, touched a
+//     few times per cell, never per tuple). Each snapshot also reads the
+//     running cell's MetricsRegistry counters, which is how the watchdog
+//     can tell a slow-but-alive worker from a stalled one.
+//  2. SnapshotSampler — a background thread that snapshots SweepProgress on
+//     a wall-clock interval (default 500 ms), feeds the watchdog, renders a
+//     single-line ANSI status (rich), periodic log lines (plain) or
+//     nothing, and appends every snapshot to an append-only progress.jsonl
+//     so the monitoring itself is replayable after the fact.
+//  3. SweepWatchdog — a pure function of the snapshot stream emitting
+//     stable PDSP-M### monitor diagnostics:
+//       PDSP-M201  straggler cell: elapsed > k × median completed-cell time
+//       PDSP-M202  stalled worker: no metric delta across >= N snapshots
+//       PDSP-M203  worker-utilization imbalance: min busy fraction below
+//                  ratio × max busy fraction
+//     Being pure over snapshots keeps the rules deterministic and lets
+//     tests synthesize exact snapshot sequences.
+//
+// The monitor only *observes*: it never touches seeds, contexts or cell
+// results, so per-cell virtual-time results stay bit-identical with
+// monitoring on or off, at any --jobs. Final findings surface as the
+// MonitorSummary the sweep scheduler folds into its summary ledger record
+// (diagnosis_codes) and exports as pdsp.monitor.* gauges.
+// See DESIGN.md "Monitoring & reporting".
+
+#ifndef PDSP_OBS_MONITOR_H_
+#define PDSP_OBS_MONITOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+#include "src/obs/metrics.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+
+/// Current progress.jsonl line schema; bumped on incompatible layout
+/// changes so replay tooling never misreads old files.
+inline constexpr int kProgressSchemaVersion = 1;
+
+/// \brief Knobs for live sweep monitoring.
+struct MonitorOptions {
+  /// Master switch; a disabled monitor costs nothing (no thread, no hooks).
+  bool enabled = false;
+
+  /// Wall-clock snapshot cadence.
+  double interval_s = 0.5;
+
+  /// How snapshots are rendered while the sweep runs.
+  enum class RenderMode {
+    kOff,    ///< no terminal output (progress.jsonl may still be written)
+    kPlain,  ///< one log line per snapshot (CI logs, redirected output)
+    kRich,   ///< single-line ANSI status, rewritten in place (TTYs)
+  };
+  RenderMode render = RenderMode::kOff;
+
+  /// Append-only snapshot log (one SweepSnapshot JSON per line); empty
+  /// disables the file.
+  std::string jsonl_path;
+
+  /// Render target; nullptr means stderr.
+  std::FILE* stream = nullptr;
+
+  // --- watchdog thresholds -----------------------------------------------
+  /// M201: a running cell is a straggler when its elapsed time exceeds this
+  /// multiple of the median completed-cell duration.
+  double straggler_ratio = 3.0;
+  /// M201 needs at least this many completed cells for a stable median.
+  size_t straggler_min_completed = 3;
+  /// M202: consecutive snapshots a worker may sit in the same cell with no
+  /// observable metric delta before it is declared stalled.
+  int stall_snapshots = 4;
+  /// M203: fires when min worker busy fraction < ratio × max busy
+  /// fraction, once the sweep is old enough to judge.
+  double imbalance_ratio = 0.25;
+  double imbalance_min_wall_s = 1.0;
+  /// EWMA smoothing factor for completed-cell durations (ETA estimate).
+  double eta_alpha = 0.3;
+};
+
+/// Parses a --progress flag value: "" or "auto" picks rich on a TTY and
+/// plain otherwise; "plain"/"rich"/"off" select explicitly.
+Result<MonitorOptions::RenderMode> ParseRenderMode(const std::string& value,
+                                                   bool stderr_is_tty);
+
+/// \brief One worker's state at snapshot time.
+struct WorkerSnapshot {
+  int worker = 0;
+  /// Cell index the worker is executing; -1 when idle/done.
+  int current_cell = -1;
+  std::string current_label;
+  /// Wall seconds spent in the current cell (0 when idle).
+  double cell_elapsed_s = 0.0;
+  /// Cells this worker has completed.
+  int64_t cells_done = 0;
+  /// Cumulative wall seconds spent inside cells (including the current one).
+  double busy_s = 0.0;
+  /// Sum of the running cell's registry counters — the liveness signal the
+  /// M202 rule watches for deltas. -1 when no registry is attached.
+  int64_t metric_sum = -1;
+
+  Json ToJson() const;
+};
+
+/// \brief One sampled state of a whole sweep (a progress.jsonl line).
+struct SweepSnapshot {
+  int schema_version = kProgressSchemaVersion;
+  std::string sweep;       ///< sweep name
+  int64_t seq = 0;         ///< strictly increasing per sampler
+  double wall_s = 0.0;     ///< seconds since sweep start
+  size_t cells_total = 0;
+  size_t cells_done = 0;   ///< completed (ok or failed)
+  size_t cells_failed = 0;
+  /// EWMA-based seconds-to-completion estimate; < 0 when unknown (nothing
+  /// completed yet).
+  double eta_s = -1.0;
+  /// Median duration of completed cells; 0 until something completes.
+  double median_cell_s = 0.0;
+  bool final_snapshot = false;
+  std::vector<WorkerSnapshot> workers;
+
+  /// Busy fraction of one worker (busy_s / wall_s, clamped to [0,1]).
+  double BusyFraction(const WorkerSnapshot& w) const;
+
+  Json ToJson() const;
+};
+
+/// \brief One monitor diagnostic (stable PDSP-M### code).
+struct MonitorFinding {
+  std::string code;     ///< "PDSP-M201" | "PDSP-M202" | "PDSP-M203"
+  int worker = -1;      ///< worker index the finding is about (-1 = sweep)
+  std::string subject;  ///< cell label / worker name the code fired for
+  std::string message;  ///< human-readable explanation with numbers
+
+  Json ToJson() const;
+};
+
+/// \brief EWMA estimator over completed-cell durations, answering "how long
+/// until the sweep finishes" for the status line.
+class EtaEstimator {
+ public:
+  explicit EtaEstimator(double alpha = 0.3) : alpha_(alpha) {}
+
+  void AddCompletedCell(double duration_s);
+
+  /// Smoothed per-cell seconds; 0 until the first completion.
+  double ewma_s() const { return ewma_s_; }
+  int64_t completed() const { return completed_; }
+
+  /// Expected seconds to drain `cells_remaining` queued cells plus the
+  /// given in-flight cells (their elapsed time is credited) across `jobs`
+  /// workers. Returns -1 when no completed cell has calibrated the EWMA.
+  double Estimate(size_t cells_remaining, int jobs,
+                  const std::vector<double>& in_flight_elapsed_s) const;
+
+ private:
+  double alpha_;
+  double ewma_s_ = 0.0;
+  int64_t completed_ = 0;
+};
+
+/// \brief The M201/M202/M203 rule engine. Feed snapshots in order; each
+/// Evaluate returns only the findings that fired for the first time (a
+/// (code, subject) pair never re-fires), so callers can stream them to the
+/// renderer without deduplicating.
+class SweepWatchdog {
+ public:
+  explicit SweepWatchdog(const MonitorOptions& options = {})
+      : options_(options) {}
+
+  std::vector<MonitorFinding> Evaluate(const SweepSnapshot& snapshot);
+
+  /// Everything fired so far, in fire order.
+  const std::vector<MonitorFinding>& findings() const { return findings_; }
+
+  /// Sorted, deduplicated PDSP-M### codes — the ledger-record form.
+  std::vector<std::string> Codes() const;
+
+ private:
+  struct WorkerTrack {
+    int cell = -1;
+    int64_t metric_sum = -1;
+    int snapshots_without_delta = 0;
+  };
+
+  MonitorOptions options_;
+  std::vector<WorkerTrack> tracks_;
+  std::set<std::string> fired_;  // "code|subject" first-fire dedup
+  std::vector<MonitorFinding> findings_;
+};
+
+/// \brief Shared progress state between sweep workers (writers) and the
+/// sampler (reader). All members are thread-safe; updates happen on cell
+/// boundaries only, so contention is negligible next to cell runtimes.
+class SweepProgress {
+ public:
+  SweepProgress(std::string name, size_t cells_total, int jobs);
+
+  /// Worker `worker` starts executing cell `cell`. `metrics` is the cell's
+  /// live registry (may be null) — snapshots sum its counters to expose a
+  /// liveness signal without locking anything per tuple.
+  void StartCell(int worker, size_t cell, const std::string& label,
+                 std::shared_ptr<const MetricsRegistry> metrics);
+
+  /// Worker `worker` finished its current cell.
+  void FinishCell(int worker, size_t cell, bool ok);
+
+  /// Samples the current state and bumps the snapshot sequence number.
+  SweepSnapshot Snapshot(bool final_snapshot = false);
+
+  const std::string& name() const { return name_; }
+  size_t cells_total() const { return cells_total_; }
+  int jobs() const { return jobs_; }
+
+ private:
+  struct WorkerSlot {
+    int current_cell = -1;
+    std::string label;
+    std::chrono::steady_clock::time_point cell_start;
+    int64_t cells_done = 0;
+    double busy_s = 0.0;  // completed cells only; running cell added live
+    std::shared_ptr<const MetricsRegistry> metrics;
+  };
+
+  std::string name_;
+  size_t cells_total_;
+  int jobs_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable Mutex mu_;
+  std::vector<WorkerSlot> workers_ PDSP_GUARDED_BY(mu_);
+  size_t cells_done_ PDSP_GUARDED_BY(mu_) = 0;
+  size_t cells_failed_ PDSP_GUARDED_BY(mu_) = 0;
+  std::vector<double> completed_cell_s_ PDSP_GUARDED_BY(mu_);
+  EtaEstimator eta_ PDSP_GUARDED_BY(mu_);
+  int64_t seq_ PDSP_GUARDED_BY(mu_) = 0;
+};
+
+/// \brief Final monitor state returned by SnapshotSampler::Stop().
+struct MonitorSummary {
+  SweepSnapshot last;                        ///< the final snapshot
+  std::vector<MonitorFinding> findings;      ///< fire order
+  std::vector<std::string> codes;            ///< sorted + deduplicated
+  std::vector<double> worker_busy_fraction;  ///< indexed by worker
+  /// Labels of cells flagged PDSP-M201.
+  std::vector<std::string> straggler_cells;
+
+  Json ToJson() const;
+
+  /// Exports pdsp.monitor.{snapshots, findings, busy_fraction_min/max} and
+  /// per-worker pdsp.monitor.worker<N>.busy_fraction gauges.
+  void ExportTo(MetricsRegistry* registry) const;
+};
+
+/// \brief Background wall-clock sampler driving the watchdog, the renderer
+/// and progress.jsonl. Construction does not start the thread; Stop() (or
+/// destruction) joins it and takes one last snapshot so the file always
+/// ends with `final_snapshot: true`.
+class SnapshotSampler {
+ public:
+  SnapshotSampler(SweepProgress* progress, MonitorOptions options);
+  ~SnapshotSampler();
+
+  SnapshotSampler(const SnapshotSampler&) = delete;
+  SnapshotSampler& operator=(const SnapshotSampler&) = delete;
+
+  void Start();
+
+  /// Idempotent: takes the final snapshot, joins the thread, returns the
+  /// summary (also cached for repeat calls).
+  MonitorSummary Stop();
+
+ private:
+  void Loop();
+  /// One sampler tick: snapshot, watchdog, render, append.
+  void Tick(bool final_snapshot);
+  void Render(const SweepSnapshot& snapshot,
+              const std::vector<MonitorFinding>& fresh);
+  void AppendJsonl(const SweepSnapshot& snapshot,
+                   const std::vector<MonitorFinding>& fresh);
+
+  SweepProgress* progress_;
+  MonitorOptions options_;
+  std::FILE* stream_;
+  SweepWatchdog watchdog_;
+
+  std::thread thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  bool rich_line_open_ = false;
+  MonitorSummary summary_;
+};
+
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_MONITOR_H_

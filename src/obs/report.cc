@@ -1,0 +1,399 @@
+#include "src/obs/report.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/common/file_util.h"
+#include "src/common/stats.h"
+#include "src/common/string_util.h"
+#include "src/obs/svg.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+
+namespace {
+
+using svg::EscapeText;
+
+bool IsDirectory(const std::string& path) {
+  struct stat st = {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Formats a number for HTML body text; non-finite values render as a dash
+/// so the file never contains a "nan"/"inf" literal (CI greps for those).
+std::string Num(double v, const char* fmt = "%.4g") {
+  if (!std::isfinite(v)) return "&#8212;";
+  return StrFormat(fmt, v);
+}
+
+double MedianOf(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t mid = xs.size() / 2;
+  if (xs.size() % 2 == 0) return (xs[mid - 1] + xs[mid]) / 2.0;
+  return xs[mid];
+}
+
+/// Per-app view: for each parallelism keep the newest record (ledger order
+/// is oldest-first), so re-measured cells replace their predecessors in
+/// the charts instead of double-plotting.
+struct AppGroup {
+  std::string app;
+  std::vector<RunRecord> records;           ///< ledger order, filtered
+  std::map<int, RunRecord> by_parallelism;  ///< newest per parallelism
+};
+
+std::vector<AppGroup> GroupByApp(const std::vector<RunRecord>& records,
+                                 const ReportOptions& options) {
+  std::map<std::string, AppGroup> groups;
+  for (const RunRecord& rec : records) {
+    if (IsSummaryLabel(rec.label)) continue;
+    const std::string app = AppOfLabel(rec.label);
+    if (!options.app_filter.empty() && app != options.app_filter) continue;
+    AppGroup& group = groups[app];
+    group.app = app;
+    group.records.push_back(rec);
+  }
+  std::vector<AppGroup> out;
+  for (auto& entry : groups) {
+    AppGroup& group = entry.second;
+    if (options.limit > 0 && group.records.size() > options.limit) {
+      group.records.erase(group.records.begin(),
+                          group.records.end() - options.limit);
+    }
+    for (const RunRecord& rec : group.records) {
+      group.by_parallelism[rec.parallelism] = rec;  // newest wins
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+std::string ThroughputChart(const AppGroup& group) {
+  svg::LineChartSpec spec;
+  spec.title = group.app + ": throughput vs parallelism";
+  spec.x_label = "parallelism";
+  spec.y_label = "throughput (tuples/s)";
+  svg::Series series;
+  series.label = "throughput";
+  for (const auto& entry : group.by_parallelism) {
+    series.points.emplace_back(entry.first, entry.second.throughput_tps);
+  }
+  spec.series.push_back(std::move(series));
+  return svg::RenderLineChart(spec);
+}
+
+std::string PercentileChart(const AppGroup& group) {
+  svg::LineChartSpec spec;
+  spec.title = group.app + ": latency vs parallelism";
+  spec.x_label = "parallelism";
+  spec.y_label = "latency (s)";
+  svg::Series p50{"p50", "", {}}, p95{"p95", "", {}}, p99{"p99", "", {}};
+  for (const auto& entry : group.by_parallelism) {
+    const RunRecord& rec = entry.second;
+    p50.points.emplace_back(entry.first, rec.median_latency_s);
+    p95.points.emplace_back(entry.first, rec.p95_latency_s);
+    p99.points.emplace_back(entry.first, rec.p99_latency_s);
+  }
+  spec.series = {std::move(p50), std::move(p95), std::move(p99)};
+  return svg::RenderLineChart(spec);
+}
+
+std::string BreakdownChart(const AppGroup& group) {
+  svg::StackedBarSpec spec;
+  spec.title = group.app + ": latency breakdown";
+  spec.y_label = "seconds";
+  spec.part_labels = {"source", "network", "queue", "service", "window"};
+  for (const auto& entry : group.by_parallelism) {
+    const RunRecord& rec = entry.second;
+    svg::StackedBar bar;
+    bar.label = StrFormat("p=%d", entry.first);
+    bar.parts = {rec.breakdown_source_batch_s, rec.breakdown_network_s,
+                 rec.breakdown_queue_s, rec.breakdown_service_s,
+                 rec.breakdown_window_s};
+    spec.bars.push_back(std::move(bar));
+  }
+  return svg::RenderStackedBars(spec);
+}
+
+std::string SweepHeatmap(const std::vector<AppGroup>& groups,
+                         const ReportOptions& options) {
+  svg::HeatmapSpec spec;
+  spec.title = "sweep heatmap: throughput by app × parallelism "
+               "(red outline = straggler wall clock)";
+  std::set<int> parallelisms;
+  for (const AppGroup& group : groups) {
+    for (const auto& entry : group.by_parallelism) {
+      parallelisms.insert(entry.first);
+    }
+  }
+  std::map<int, int> col_of;
+  for (int p : parallelisms) {
+    col_of[p] = static_cast<int>(spec.col_labels.size());
+    spec.col_labels.push_back(StrFormat("p=%d", p));
+  }
+  for (const AppGroup& group : groups) {
+    const int row = static_cast<int>(spec.row_labels.size());
+    spec.row_labels.push_back(group.app);
+    // The monitor's M201 rule re-applied to recorded host wall seconds:
+    // within one app, a cell whose wall clock exceeds ratio × median is a
+    // straggler worth a second look even after the run is long gone.
+    std::vector<double> walls;
+    for (const auto& entry : group.by_parallelism) {
+      if (std::isfinite(entry.second.host_wall_s)) {
+        walls.push_back(entry.second.host_wall_s);
+      }
+    }
+    const double median_wall = MedianOf(walls);
+    for (const auto& entry : group.by_parallelism) {
+      const RunRecord& rec = entry.second;
+      svg::HeatmapCell cell;
+      cell.row = row;
+      cell.col = col_of[entry.first];
+      cell.value = rec.throughput_tps;
+      cell.flagged = walls.size() >= 3 && median_wall > 0.0 &&
+                     rec.host_wall_s > options.straggler_ratio * median_wall;
+      cell.tooltip = StrFormat("%s: %.0f tuples/s, wall %.2fs",
+                               rec.label.c_str(), rec.throughput_tps,
+                               rec.host_wall_s);
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  return svg::RenderHeatmap(spec);
+}
+
+/// Critical-path rows harvested from diagnosis.json bundles. Returns an
+/// empty string when no record carries a readable bundle.
+std::string CriticalPathTable(const std::vector<AppGroup>& groups) {
+  std::string rows;
+  for (const AppGroup& group : groups) {
+    for (const auto& entry : group.by_parallelism) {
+      const RunRecord& rec = entry.second;
+      if (rec.artifact_dir.empty()) continue;
+      Result<std::string> text =
+          ReadTextFile(rec.artifact_dir + "/diagnosis.json");
+      if (!text.ok()) continue;
+      Result<Json> doc = Json::Parse(*text);
+      if (!doc.ok() || !(*doc)["critical_path"].is_object()) continue;
+      const Json& path = (*doc)["critical_path"];
+      const Json& hops = path["hops"];
+      std::string chain;
+      for (size_t i = 0; i < hops.size(); ++i) {
+        const Json& hop = hops.at(i);
+        if (!chain.empty()) chain += " &#8594; ";
+        chain += EscapeText(hop["name"].AsString()) +
+                 StrFormat(" (%.0f%%)", hop["share"].AsNumber() * 100.0);
+      }
+      if (chain.empty()) continue;
+      rows += "<tr><td>" + EscapeText(rec.label) + "</td><td>" + chain +
+              "</td><td class=\"num\">" +
+              Num(path["total_s"].AsNumber(), "%.4f") + "</td></tr>\n";
+    }
+  }
+  if (rows.empty()) return "";
+  return "<h2>Critical paths</h2>\n"
+         "<table><tr><th>cell</th><th>source &#8594; sink chain"
+         "</th><th>total s/tuple</th></tr>\n" +
+         rows + "</table>\n";
+}
+
+const char* VerdictClass(MetricVerdict verdict) {
+  switch (verdict) {
+    case MetricVerdict::kImproved: return "improved";
+    case MetricVerdict::kRegressed: return "regressed";
+    case MetricVerdict::kUnchanged: break;
+  }
+  return "unchanged";
+}
+
+/// Compare section: newest record per label on both sides, diffed with the
+/// noise-aware engine.
+std::string CompareSection(const std::vector<RunRecord>& records,
+                           const std::vector<RunRecord>& baseline,
+                           const ReportOptions& options, size_t* compared) {
+  std::map<std::string, RunRecord> base_by_label;
+  for (const RunRecord& rec : baseline) {
+    if (!IsSummaryLabel(rec.label)) base_by_label[rec.label] = rec;
+  }
+  std::map<std::string, RunRecord> cand_by_label;
+  for (const RunRecord& rec : records) {
+    if (!IsSummaryLabel(rec.label)) cand_by_label[rec.label] = rec;
+  }
+  std::string rows;
+  for (const auto& entry : cand_by_label) {
+    auto it = base_by_label.find(entry.first);
+    if (it == base_by_label.end()) continue;
+    ComparisonReport report =
+        CompareRecords(it->second, entry.second, options.compare);
+    ++*compared;
+    for (const MetricDelta& m : report.metrics) {
+      rows += "<tr><td>" + EscapeText(entry.first) + "</td><td>" +
+              EscapeText(m.metric) + "</td><td class=\"num\">" +
+              Num(m.baseline) + "</td><td class=\"num\">" + Num(m.candidate) +
+              "</td><td class=\"num\">" + Num(m.delta_frac * 100.0, "%+.1f") +
+              "%</td><td class=\"" + VerdictClass(m.verdict) + "\">" +
+              MetricVerdictToString(m.verdict) + "</td></tr>\n";
+    }
+    if (!report.plan_hash_match) {
+      rows += "<tr><td>" + EscapeText(entry.first) +
+              "</td><td colspan=\"5\" class=\"regressed\">plan hash differs "
+              "from baseline &#8212; deltas may be apples-to-oranges"
+              "</td></tr>\n";
+    }
+  }
+  if (rows.empty()) {
+    return "<h2>Compare</h2><p>No labels in common with the baseline.</p>\n";
+  }
+  return "<h2>Compare vs baseline</h2>\n"
+         "<table><tr><th>label</th><th>metric</th><th>baseline</th>"
+         "<th>candidate</th><th>&#916;</th><th>verdict</th></tr>\n" +
+         rows + "</table>\n";
+}
+
+std::string SummaryTable(const std::vector<RunRecord>& records) {
+  std::string rows;
+  for (const RunRecord& rec : records) {
+    if (!IsSummaryLabel(rec.label)) continue;
+    std::string codes;
+    for (const std::string& code : rec.diagnosis_codes) {
+      if (!codes.empty()) codes += ", ";
+      codes += code;
+    }
+    rows += "<tr><td>" + EscapeText(rec.label) + "</td><td>" +
+            EscapeText(rec.timestamp_utc) + "</td><td class=\"num\">" +
+            StrFormat("%d", rec.parallelism) + "</td><td class=\"num\">" +
+            StrFormat("%d", rec.repeats) + "</td><td class=\"num\">" +
+            Num(rec.host_wall_s, "%.2f") + "</td><td>" +
+            EscapeText(codes.empty() ? "-" : codes) + "</td></tr>\n";
+  }
+  if (rows.empty()) return "";
+  return "<h2>Sweep summaries</h2>\n"
+         "<table><tr><th>sweep</th><th>when</th><th>jobs</th><th>cells</th>"
+         "<th>wall s</th><th>monitor codes</th></tr>\n" +
+         rows + "</table>\n";
+}
+
+}  // namespace
+
+std::string AppOfLabel(const std::string& label) {
+  const size_t slash = label.find('/');
+  return slash == std::string::npos ? label : label.substr(0, slash);
+}
+
+bool IsSummaryLabel(const std::string& label) {
+  return label == "sweep" || label.rfind("sweep/", 0) == 0;
+}
+
+Result<std::vector<RunRecord>> LoadRecordsForReport(const std::string& path) {
+  std::string resolved = path;
+  if (IsDirectory(path)) resolved = path + "/ledger.jsonl";
+  if (!EndsWith(resolved, ".jsonl")) {
+    // Try the single-record baseline layout first; fall back to JSONL so a
+    // ledger with an unconventional name still loads.
+    Result<std::string> text = ReadTextFile(resolved);
+    if (!text.ok()) return text.status();
+    Result<Json> doc = Json::Parse(*text);
+    if (doc.ok()) {
+      Result<RunRecord> rec = RunRecord::FromJson(*doc);
+      if (rec.ok()) return std::vector<RunRecord>{*rec};
+    }
+  }
+  Result<std::vector<RunRecord>> records = RunLedger(resolved).Load();
+  if (!records.ok()) return records.status();
+  if (records->empty()) {
+    return Status::NotFound("no records in " + resolved);
+  }
+  return records;
+}
+
+Result<ReportResult> GenerateReport(const std::vector<RunRecord>& records,
+                                    const ReportOptions& options) {
+  std::vector<AppGroup> groups = GroupByApp(records, options);
+  if (groups.empty()) {
+    return Status::NotFound(
+        options.app_filter.empty()
+            ? "no measurement records to report"
+            : "no records match --app=" + options.app_filter);
+  }
+
+  ReportResult out;
+  for (const AppGroup& group : groups) {
+    out.stats.records += group.records.size();
+  }
+  out.stats.apps = groups.size();
+
+  std::string charts;
+  for (const AppGroup& group : groups) {
+    charts += "<h2>" + EscapeText(group.app) + "</h2>\n<div class=\"row\">\n";
+    charts += ThroughputChart(group) + "\n";
+    charts += PercentileChart(group) + "\n";
+    charts += BreakdownChart(group) + "\n";
+    charts += "</div>\n";
+    out.stats.charts += 3;
+  }
+  charts += SweepHeatmap(groups, options) + "\n";
+  out.stats.charts += 1;
+
+  std::string sections = CriticalPathTable(groups);
+  sections += SummaryTable(records);
+  if (!options.against_path.empty()) {
+    Result<std::vector<RunRecord>> baseline =
+        LoadRecordsForReport(options.against_path);
+    if (!baseline.ok()) return baseline.status();
+    sections +=
+        CompareSection(records, *baseline, options, &out.stats.compared);
+  }
+
+  out.html =
+      "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>" +
+      EscapeText(options.title) +
+      "</title>\n<style>\n"
+      "body{font-family:sans-serif;margin:24px;color:#222;max-width:1260px}\n"
+      "h1{font-size:22px}h2{font-size:16px;margin-top:28px}\n"
+      "table{border-collapse:collapse;font-size:13px}\n"
+      "td,th{border:1px solid #ccc;padding:4px 8px;text-align:left}\n"
+      "th{background:#f2f2f2}td.num{text-align:right;"
+      "font-variant-numeric:tabular-nums}\n"
+      "td.improved{color:#1a7f37}td.regressed{color:#c00;font-weight:bold}\n"
+      "td.unchanged{color:#666}\n"
+      ".row{display:flex;flex-wrap:wrap;gap:12px}\n"
+      "svg{border:1px solid #eee;background:#fff}\n"
+      ".meta{color:#666;font-size:13px}\n"
+      "</style>\n</head>\n<body>\n" +
+      StrFormat("<!-- pdsp-report charts=%zu records=%zu apps=%zu -->\n",
+                out.stats.charts, out.stats.records, out.stats.apps) +
+      "<h1>" + EscapeText(options.title) + "</h1>\n<p class=\"meta\">" +
+      StrFormat("%zu records, %zu apps &#183; generated %s &#183; "
+                "pdspbench report",
+                out.stats.records, out.stats.apps,
+                EscapeText(NowUtcIso8601()).c_str()) +
+      "</p>\n" + charts + sections + "</body>\n</html>\n";
+  return out;
+}
+
+Result<ReportStats> WriteReportFile(const std::string& input_path,
+                                    const std::string& out_path,
+                                    const ReportOptions& options) {
+  Result<std::vector<RunRecord>> records = LoadRecordsForReport(input_path);
+  if (!records.ok()) return records.status();
+  Result<ReportResult> report = GenerateReport(*records, options);
+  if (!report.ok()) return report.status();
+  Status st = WriteTextFileAtomic(out_path, report->html);
+  if (!st.ok()) return st;
+  return report->stats;
+}
+
+}  // namespace obs
+}  // namespace pdsp

@@ -1,0 +1,93 @@
+// pdsp::obs::report — `pdspbench report`: one self-contained HTML file from
+// a run ledger (or a single-record baseline file, or an artifact
+// directory). No JS, no external assets — every chart is inline SVG
+// (src/obs/svg.h), so the file mails/archives as one artifact and renders
+// offline. Per app the report shows the paper's Fig-3-style views:
+//
+//   * throughput vs parallelism,
+//   * p50/p95/p99 latency vs parallelism,
+//   * stacked latency-breakdown bars per measured cell,
+//
+// plus one sweep heatmap (label × parallelism, colored by throughput) with
+// straggler cells flagged by re-applying the monitor's M201 rule to the
+// recorded host wall seconds, a critical-path table read from each
+// record's diagnosis.json bundle when artifact_dir is set, and — with
+// ReportOptions::against_path — a compare table per matching label using
+// the noise-aware CompareRecords engine.
+//
+// The generated HTML carries a machine-readable marker comment
+//   <!-- pdsp-report charts=<N> records=<M> apps=<K> -->
+// that CI uses to assert the <svg> count matches what the generator
+// intended (tools/ci_check.sh).
+
+#ifndef PDSP_OBS_REPORT_H_
+#define PDSP_OBS_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/compare.h"
+#include "src/obs/ledger.h"
+
+namespace pdsp {
+namespace obs {
+
+struct ReportOptions {
+  std::string title = "PDSP-Bench report";
+  /// Baseline ledger / record file for the compare section; empty skips it.
+  std::string against_path;
+  CompareOptions compare;
+  /// Only include records whose app (label up to the first '/') matches.
+  std::string app_filter;
+  /// Keep only the newest N records per app (0 = all) — mirrors
+  /// `pdspbench history --limit`.
+  size_t limit = 0;
+  /// M201 re-derivation: a cell is flagged a straggler in the heatmap when
+  /// its host wall seconds exceed this multiple of the app median.
+  double straggler_ratio = 3.0;
+};
+
+/// \brief What the generator produced, for callers that validate.
+struct ReportStats {
+  size_t records = 0;  ///< measurement records rendered (summaries excluded)
+  size_t apps = 0;     ///< distinct app groups
+  size_t charts = 0;   ///< inline <svg> charts emitted
+  size_t compared = 0; ///< labels matched against the baseline
+};
+
+struct ReportResult {
+  std::string html;
+  ReportStats stats;
+};
+
+/// App grouping key: the label up to the first '/' ("WC/p4" -> "WC",
+/// "linear" -> "linear").
+std::string AppOfLabel(const std::string& label);
+
+/// True for sweep-summary provenance records (label "sweep" or "sweep/...")
+/// — they carry no virtual-time results and are listed, not charted.
+bool IsSummaryLabel(const std::string& label);
+
+/// Loads records for reporting from any of:
+///   * a JSONL ledger (one record per line),
+///   * a single-record JSON file (bench/baselines/<app>.json layout),
+///   * a directory containing ledger.jsonl.
+Result<std::vector<RunRecord>> LoadRecordsForReport(const std::string& path);
+
+/// Renders the report. Fails on an empty record set (after filtering) or
+/// an unreadable --against path; missing diagnosis.json bundles degrade to
+/// omitting that record's critical-path row.
+Result<ReportResult> GenerateReport(const std::vector<RunRecord>& records,
+                                    const ReportOptions& options);
+
+/// Load + generate + atomically write `out_path`. Returns the stats.
+Result<ReportStats> WriteReportFile(const std::string& input_path,
+                                    const std::string& out_path,
+                                    const ReportOptions& options);
+
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_REPORT_H_

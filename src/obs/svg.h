@@ -1,0 +1,149 @@
+// pdsp::obs::svg — dependency-free inline-SVG chart primitives for the
+// report generator. Three renderers cover everything the report needs:
+// line charts (throughput / percentile vs parallelism), stacked bars
+// (latency breakdown), and heatmaps (sweep cell × repeat). Output is a
+// plain <svg> element suitable for direct embedding in HTML — no scripts,
+// no external assets, so a report file stays self-contained and viewable
+// offline.
+//
+// Non-finite data points are dropped at the renderer boundary: an SVG that
+// contains a literal "nan" renders nothing in most viewers, and CI greps
+// generated reports for exactly that literal.
+
+#ifndef PDSP_OBS_SVG_H_
+#define PDSP_OBS_SVG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdsp {
+namespace obs {
+namespace svg {
+
+/// XML-escapes text for element content and attribute values.
+std::string EscapeText(const std::string& text);
+
+/// The categorical palette (wraps around); stable across runs so series
+/// colors are comparable between reports.
+const char* PaletteColor(size_t index);
+
+/// Sequential color ramp for heatmap cells: t in [0,1] maps from light
+/// (low) to dark blue (high). Out-of-range t is clamped.
+std::string ColorRamp(double t);
+
+/// "Nice" tick positions covering [min_v, max_v] (roughly `target` of
+/// them). Returns {0} when the span is degenerate.
+std::vector<double> Ticks(double min_v, double max_v, int target = 5);
+
+/// Compact tick label: trims trailing zeros, switches to k/M suffixes for
+/// large magnitudes.
+std::string TickLabel(double v);
+
+/// Linear map from a data domain onto a pixel range (range may be
+/// inverted, as SVG y grows downward).
+class LinearScale {
+ public:
+  LinearScale(double domain_min, double domain_max, double range_min,
+              double range_max);
+  double operator()(double v) const;
+
+ private:
+  double d0_, d1_, r0_, r1_;
+};
+
+/// Minimal element sink; the chart renderers compose on top of it.
+class Canvas {
+ public:
+  Canvas(double width, double height);
+
+  void Rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0, const std::string& tooltip = "");
+  void Line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double stroke_width = 1.0);
+  void Polyline(const std::vector<std::pair<double, double>>& points,
+                const std::string& stroke, double stroke_width = 1.5);
+  void Circle(double cx, double cy, double r, const std::string& fill,
+              const std::string& tooltip = "");
+  /// anchor: "start" | "middle" | "end".
+  void Text(double x, double y, const std::string& text, double size = 11,
+            const std::string& anchor = "start",
+            const std::string& fill = "#333", double rotate_deg = 0.0);
+
+  /// Closes the element; the canvas must not be reused afterwards.
+  std::string Finish() const;
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+ private:
+  double width_;
+  double height_;
+  std::string body_;
+};
+
+/// One line-chart series; points are (x, y) in data space.
+struct Series {
+  std::string label;
+  std::string color;  ///< empty picks from the palette by series index
+  std::vector<std::pair<double, double>> points;
+};
+
+struct LineChartSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<Series> series;
+  double width = 560;
+  double height = 300;
+  bool y_from_zero = true;
+};
+
+/// Multi-series line chart with axes, ticks and a legend. Series with no
+/// finite points are skipped; an all-empty spec renders an "(no data)"
+/// placeholder instead of a broken chart.
+std::string RenderLineChart(const LineChartSpec& spec);
+
+/// One stacked bar; parts align with StackedBarSpec::part_labels.
+struct StackedBar {
+  std::string label;
+  std::vector<double> parts;
+};
+
+struct StackedBarSpec {
+  std::string title;
+  std::string y_label;
+  std::vector<std::string> part_labels;
+  std::vector<StackedBar> bars;
+  double width = 560;
+  double height = 300;
+};
+
+/// Vertical stacked bars (latency breakdown per cell) with a legend.
+std::string RenderStackedBars(const StackedBarSpec& spec);
+
+struct HeatmapCell {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+  bool flagged = false;  ///< draws an outline (M201 straggler marker)
+  std::string tooltip;
+};
+
+struct HeatmapSpec {
+  std::string title;
+  std::vector<std::string> row_labels;
+  std::vector<std::string> col_labels;
+  std::vector<HeatmapCell> cells;
+  double cell_size = 26;
+};
+
+/// Grid heatmap colored by value (min..max over finite cells); missing
+/// cells stay blank, flagged cells get a red outline.
+std::string RenderHeatmap(const HeatmapSpec& spec);
+
+}  // namespace svg
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_SVG_H_

@@ -1,10 +1,32 @@
 #include "src/obs/timeseries.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
 #include "src/common/file_util.h"
 #include "src/common/string_util.h"
 
 namespace pdsp {
 namespace obs {
+
+namespace {
+
+/// CSV cell for a sampled double: non-finite samples (a gauge that divided
+/// by a zero interval, an unset watermark) serialize as an *empty* cell —
+/// "nan"/"inf" literals break strict CSV parsers and the SVG charts.
+std::string CsvCell(double v, const char* fmt) {
+  if (!std::isfinite(v)) return "";
+  return StrFormat(fmt, v);
+}
+
+/// Inverse of CsvCell: an empty cell parses back to quiet NaN.
+double ParseCell(const std::string& cell) {
+  if (cell.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return std::strtod(cell.c_str(), nullptr);
+}
+
+}  // namespace
 
 const std::vector<std::string>& TimeSeries::Columns() {
   static const std::vector<std::string> kColumns = {
@@ -29,15 +51,50 @@ std::vector<double> TimeSeries::SampleTimes() const {
 std::string TimeSeries::ToCsv() const {
   std::string out = Join(Columns(), ",") + "\n";
   for (const TimeSeriesRow& row : rows_) {
-    out += StrFormat("%.6f,%d,%s,%d,%lld,%.4f,%.1f,%.1f,%.6f,%lld,%d\n",
-                     row.time_s, row.task, row.op.c_str(), row.instance,
-                     static_cast<long long>(row.queue_tuples),
-                     row.utilization, row.in_rate_tps, row.out_rate_tps,
-                     row.watermark_lag_s,
+    out += CsvCell(row.time_s, "%.6f") +
+           StrFormat(",%d,%s,%d,%lld,", row.task, row.op.c_str(),
+                     row.instance, static_cast<long long>(row.queue_tuples)) +
+           CsvCell(row.utilization, "%.4f") + "," +
+           CsvCell(row.in_rate_tps, "%.1f") + "," +
+           CsvCell(row.out_rate_tps, "%.1f") + "," +
+           CsvCell(row.watermark_lag_s, "%.6f") +
+           StrFormat(",%lld,%d\n",
                      static_cast<long long>(row.in_flight_tuples),
                      row.backpressure ? 1 : 0);
   }
   return out;
+}
+
+Result<TimeSeries> TimeSeries::FromCsv(const std::string& csv) {
+  const std::vector<std::string> lines = Split(csv, '\n');
+  if (lines.empty() || Trim(lines[0]) != Join(Columns(), ",")) {
+    return Status::InvalidArgument("timeseries CSV: bad or missing header");
+  }
+  TimeSeries series;
+  for (size_t n = 1; n < lines.size(); ++n) {
+    const std::string line = Trim(lines[n]);
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() != Columns().size()) {
+      return Status::InvalidArgument(
+          StrFormat("timeseries CSV line %zu: %zu cells, expected %zu", n + 1,
+                    cells.size(), Columns().size()));
+    }
+    TimeSeriesRow row;
+    row.time_s = ParseCell(cells[0]);
+    row.task = std::atoi(cells[1].c_str());
+    row.op = cells[2];
+    row.instance = std::atoi(cells[3].c_str());
+    row.queue_tuples = std::atoll(cells[4].c_str());
+    row.utilization = ParseCell(cells[5]);
+    row.in_rate_tps = ParseCell(cells[6]);
+    row.out_rate_tps = ParseCell(cells[7]);
+    row.watermark_lag_s = ParseCell(cells[8]);
+    row.in_flight_tuples = std::atoll(cells[9].c_str());
+    row.backpressure = cells[10] == "1";
+    series.Append(std::move(row));
+  }
+  return series;
 }
 
 Status TimeSeries::WriteCsv(const std::string& path) const {

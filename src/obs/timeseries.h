@@ -50,7 +50,13 @@ class TimeSeries {
   /// Distinct sample timestamps, in order of first appearance.
   std::vector<double> SampleTimes() const;
 
+  /// Serializes all rows. Non-finite samples become empty cells (never
+  /// "nan"/"inf" literals, which break strict CSV parsers downstream).
   std::string ToCsv() const;
+
+  /// Parses a ToCsv() document; empty numeric cells come back as NaN, so
+  /// ToCsv(FromCsv(x)) == x. Rejects a bad header or ragged rows.
+  static Result<TimeSeries> FromCsv(const std::string& csv);
 
   /// Writes ToCsv() to `path`, creating parent directories.
   Status WriteCsv(const std::string& path) const;

@@ -2,12 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+
+#include <algorithm>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "src/common/file_util.h"
 #include "src/common/string_util.h"
 #include "src/obs/ledger.h"
+#include "src/store/json.h"
 #include "tests/testing/test_plans.h"
 
 namespace pdsp {
@@ -190,6 +195,168 @@ TEST(SweepTest, SummaryRecordLandsInTheSummaryLedger) {
   EXPECT_EQ((*records)[0].label, "unit-sweep");
   EXPECT_EQ((*records)[0].parallelism, 2);  // jobs recorded as parallelism
   EXPECT_GT((*records)[0].host_wall_s, 0.0);
+}
+
+TEST(SweepTest, MonitoringOnDoesNotPerturbResults) {
+  // The monitor only observes: per-cell virtual-time results must stay
+  // bit-identical with monitoring enabled at any --jobs.
+  SweepOptions plain;
+  plain.jobs = 1;
+  const SweepResult r1 = RunSweep(MakeGrid(), plain);
+
+  const std::string jsonl = TempLedgerPath("progress");
+  SweepOptions monitored;
+  monitored.jobs = 4;
+  monitored.name = "monitored";
+  monitored.monitor.enabled = true;
+  monitored.monitor.interval_s = 0.01;
+  monitored.monitor.render = obs::MonitorOptions::RenderMode::kOff;
+  monitored.monitor.jsonl_path = jsonl;
+  const SweepResult r4 = RunSweep(MakeGrid(), monitored);
+
+  ASSERT_EQ(r1.cells.size(), 16u);
+  ASSERT_EQ(r4.cells.size(), 16u);
+  EXPECT_EQ(r4.NumOk(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    SCOPED_TRACE(r1.cells[i].label);
+    ASSERT_TRUE(r1.cells[i].result.ok());
+    ASSERT_TRUE(r4.cells[i].result.ok());
+    EXPECT_EQ(r1.cells[i].result->mean_median_latency_s,
+              r4.cells[i].result->mean_median_latency_s);
+    EXPECT_EQ(r1.cells[i].result->mean_throughput_tps,
+              r4.cells[i].result->mean_throughput_tps);
+    EXPECT_EQ(r1.cells[i].result->p99_latency_s,
+              r4.cells[i].result->p99_latency_s);
+  }
+
+  // Monitor summary: final snapshot covers all cells, busy fractions are
+  // per worker, and the gauges were exported into the merged registry.
+  EXPECT_EQ(r4.monitor.last.cells_done, 16u);
+  EXPECT_TRUE(r4.monitor.last.final_snapshot);
+  EXPECT_EQ(r4.monitor.worker_busy_fraction.size(), 4u);
+  EXPECT_GE(r4.metrics->GaugeValue("pdsp.monitor.snapshots"), 1.0);
+
+  // progress.jsonl: every line parses, seq strictly increases, last line is
+  // the final snapshot.
+  auto text = ReadTextFile(jsonl);
+  ASSERT_TRUE(text.ok());
+  const std::vector<std::string> lines = Split(Trim(*text), '\n');
+  ASSERT_GE(lines.size(), 1u);
+  int64_t last_seq = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto parsed = Json::Parse(lines[i]);
+    ASSERT_TRUE(parsed.ok()) << "line " << i + 1;
+    EXPECT_GT((*parsed)["seq"].AsInt(), last_seq);
+    last_seq = (*parsed)["seq"].AsInt();
+  }
+  auto last = Json::Parse(lines.back());
+  ASSERT_TRUE(last.ok());
+  EXPECT_TRUE((*last)["final"].AsBool());
+  EXPECT_EQ((*last)["cells_done"].AsInt(), 16);
+}
+
+TEST(SweepTest, StragglerCellSurfacesM201InTheSummaryRecord) {
+  // Three fast cells + one deliberately heavy cell on 2 workers: once the
+  // fast cells' median is established, the heavy cell's elapsed wall time
+  // crosses straggler_ratio x median and M201 must fire.
+  std::vector<SweepCell> cells;
+  const Cluster cluster = Cluster::M510(4);
+  for (int i = 0; i < 4; ++i) {
+    SweepCell cell;
+    const bool heavy = i == 0;
+    const double rate = heavy ? 20000.0 : 300.0;
+    const int parallelism = heavy ? 4 : 1;
+    cell.make_plan = [rate, parallelism] {
+      return testing::LinearPlan(rate, parallelism);
+    };
+    cell.cluster = cluster;
+    cell.protocol.repeats = 1;
+    cell.protocol.duration_s = heavy ? 6.0 : 0.05;
+    cell.protocol.warmup_s = 0.01;
+    cell.protocol.seed = 7;
+    cell.protocol.diagnose = false;
+    cell.label = heavy ? "straggler/heavy" : StrFormat("straggler/fast%d", i);
+    cells.push_back(std::move(cell));
+  }
+
+  const std::string summary_path = TempLedgerPath("m201_summary");
+  SweepOptions options;
+  options.jobs = 2;
+  options.name = "sweep/m201";
+  options.monitor.enabled = true;
+  options.monitor.interval_s = 0.005;
+  options.monitor.render = obs::MonitorOptions::RenderMode::kOff;
+  options.monitor.straggler_ratio = 2.0;
+  options.monitor.straggler_min_completed = 3;
+  options.summary_ledger.enabled = true;
+  options.summary_ledger.path = summary_path;
+
+  const SweepResult sweep = RunSweep(cells, options);
+  EXPECT_EQ(sweep.NumOk(), 4u);
+  ASSERT_FALSE(sweep.monitor.codes.empty());
+  EXPECT_NE(std::find(sweep.monitor.codes.begin(), sweep.monitor.codes.end(),
+                      "PDSP-M201"),
+            sweep.monitor.codes.end())
+      << Join(sweep.monitor.codes, ",");
+  EXPECT_NE(std::find(sweep.monitor.straggler_cells.begin(),
+                      sweep.monitor.straggler_cells.end(), "straggler/heavy"),
+            sweep.monitor.straggler_cells.end());
+
+  // The codes ride on the summary ledger record (and only there — per-cell
+  // records stay bit-identical with monitoring off).
+  auto records = obs::RunLedger(summary_path).Load();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].label, "sweep/m201");
+  EXPECT_NE(std::find((*records)[0].diagnosis_codes.begin(),
+                      (*records)[0].diagnosis_codes.end(), "PDSP-M201"),
+            (*records)[0].diagnosis_codes.end());
+}
+
+TEST(SweepTest, SigintDrainsInFlightCellsAndFlushesTheLedger) {
+  const std::string ledger_path = TempLedgerPath("sigint");
+  std::vector<SweepCell> cells = MakeGrid(ledger_path);
+  cells.resize(6);
+  // The first claimed cell raises SIGINT from inside its plan factory: it
+  // is in flight, so it must complete and land in the ledger; cells claimed
+  // afterwards must not run.
+  auto original = cells[0].make_plan;
+  cells[0].make_plan = [original] {
+    std::raise(SIGINT);
+    return original();
+  };
+
+  SweepOptions options;
+  options.jobs = 1;
+  options.install_sigint = true;
+  const SweepResult sweep = RunSweep(cells, options);
+
+  EXPECT_TRUE(sweep.interrupted);
+  ASSERT_EQ(sweep.cells.size(), 6u);
+  EXPECT_TRUE(sweep.cells[0].result.ok());
+  for (size_t i = 1; i < 6; ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_FALSE(sweep.cells[i].result.ok());
+    EXPECT_NE(sweep.cells[i].result.status().ToString().find("interrupted"),
+              std::string::npos);
+  }
+  auto records = obs::RunLedger(ledger_path).Load();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].label, "grid/00");
+}
+
+TEST(SweepTest, SigintHandlerIsScopedToTheSweep) {
+  // After RunSweep returns, the previous SIGINT disposition is restored and
+  // a later uninterrupted sweep is not tainted by the earlier flag.
+  std::vector<SweepCell> cells = MakeGrid();
+  cells.resize(2);
+  SweepOptions options;
+  options.jobs = 1;
+  options.install_sigint = true;
+  const SweepResult sweep = RunSweep(cells, options);
+  EXPECT_FALSE(sweep.interrupted);
+  EXPECT_EQ(sweep.NumOk(), 2u);
 }
 
 }  // namespace

@@ -82,9 +82,13 @@ if [ "${PDSP_GATE_SKIP_SWEEP:-0}" != "1" ]; then
   SWEEP_ARGS="--structure=linear --rate=20000
               --parallelism=1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16
               --nodes=16 --duration=1.0 --seed=42"
-  "$PDSPBENCH" $SWEEP_ARGS --jobs=1 --ledger="$SWEEP_LEDGER_1" > /dev/null
+  # Both legs run with live monitoring on (--progress=plain): the monitor
+  # only observes, so the bit-identical assertion below also proves the
+  # telemetry thread never perturbs per-cell results.
+  "$PDSPBENCH" $SWEEP_ARGS --jobs=1 --ledger="$SWEEP_LEDGER_1" \
+      --progress=plain > /dev/null
   "$PDSPBENCH" $SWEEP_ARGS --jobs="$SWEEP_JOBS" --ledger="$SWEEP_LEDGER_N" \
-      > /dev/null
+      --progress=plain > /dev/null
   if command -v python3 >/dev/null 2>&1; then
     python3 - "$SWEEP_LEDGER_1" "$SWEEP_LEDGER_N" <<'EOF'
 import json, sys
@@ -119,6 +123,14 @@ EOF
   else
     echo "python3 not found; sweep legs ran but were not compared"
   fi
+
+  step "report generation timing (pdspbench report over the sweep ledger)"
+  REPORT_OUT="$BUILD_DIR/bench_gate_report.html"
+  REPORT_START_NS=$(date +%s%N)
+  "$PDSPBENCH" report "$SWEEP_LEDGER_N" --out="$REPORT_OUT" \
+      --title="bench_gate sweep report"
+  REPORT_END_NS=$(date +%s%N)
+  echo "report generated in $(( (REPORT_END_NS - REPORT_START_NS) / 1000000 )) ms -> $REPORT_OUT"
 fi
 
 step "baseline checks ($APPS; threshold=$THRESHOLD, sigmas=$SIGMAS)"

@@ -77,6 +77,57 @@ else
   echo "python3 not found; relying on the CLI exit status only"
 fi
 
+step "sweep monitor + report smoke"
+# A tiny monitored sweep end-to-end: 4 cells with --progress=plain writing
+# an append-only progress.jsonl, then `pdspbench report` over the resulting
+# ledger and over a checked-in baseline. Validates the telemetry stream
+# (well-formed JSON lines, strictly monotone seq, final snapshot last) and
+# the report invariants (marker comment matches the <svg> count, no "nan"
+# literals ever reach the HTML).
+SMOKE_LEDGER="$BUILD_DIR/ci_sweep_ledger.jsonl"
+SMOKE_PROGRESS="$BUILD_DIR/ci_sweep_progress.jsonl"
+SMOKE_REPORT="$BUILD_DIR/ci_report.html"
+rm -f "$SMOKE_LEDGER" "$SMOKE_PROGRESS" "$SMOKE_REPORT"
+"$BUILD_DIR/tools/pdspbench" --structure=linear --rate=5000 \
+    --parallelism=1,2,4,8 --nodes=8 --duration=0.6 --seed=7 --jobs=2 \
+    --ledger="$SMOKE_LEDGER" --progress=plain \
+    --progress-file="$SMOKE_PROGRESS" > /dev/null
+"$BUILD_DIR/tools/pdspbench" report "$SMOKE_LEDGER" --out="$SMOKE_REPORT" \
+    --title="CI smoke report"
+"$BUILD_DIR/tools/pdspbench" report bench/baselines/linear.json \
+    --out="$BUILD_DIR/ci_baseline_report.html"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_PROGRESS" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert lines, "progress.jsonl is empty"
+seqs = [l["seq"] for l in lines]
+assert seqs == sorted(set(seqs)), f"seq not strictly monotone: {seqs}"
+assert all(l["schema_version"] == 1 for l in lines), "schema_version drift"
+assert lines[-1]["final"] is True, "last line is not the final snapshot"
+assert lines[-1]["cells_done"] == lines[-1]["cells_total"] == 4, \
+    f"final snapshot incomplete: {lines[-1]}"
+print(f"progress.jsonl: {len(lines)} snapshots, final at seq {seqs[-1]}")
+EOF
+  for html in "$SMOKE_REPORT" "$BUILD_DIR/ci_baseline_report.html"; do
+    python3 - "$html" <<'EOF'
+import re, sys
+html = open(sys.argv[1]).read()
+assert html.strip(), "report is empty"
+m = re.search(r"<!-- pdsp-report charts=(\d+) records=(\d+) apps=(\d+) -->",
+              html)
+assert m, "missing pdsp-report marker comment"
+charts, svgs = int(m.group(1)), html.count("<svg")
+assert svgs == charts, f"marker says {charts} charts, found {svgs} <svg>"
+assert "nan" not in html.lower(), "report leaks a nan literal"
+print(f"{sys.argv[1]}: {svgs} charts, {m.group(2)} records, "
+      f"{m.group(3)} apps")
+EOF
+  done
+else
+  echo "python3 not found; monitor/report artifacts generated but unchecked"
+fi
+
 step "benchmark regression gate (tools/bench_gate.sh)"
 # Small fixed subset with generous thresholds: this catches real breakage
 # (a plan change, a simulator behavior change), not microbenchmark noise.

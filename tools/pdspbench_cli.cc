@@ -16,6 +16,10 @@
 //   --parallelism=<n>     degree for all operators       [default 8]
 //                         a comma list (e.g. 2,8,32) sweeps the degrees
 //   --jobs=<n>            sweep worker threads (0 = all cores) [default 1]
+//   --progress[=mode]     live sweep monitoring: plain | rich | off | auto
+//                         (bare --progress = auto: rich on a TTY, plain
+//                         otherwise); emits PDSP-M### watchdog findings
+//   --progress-file=<p>   append monitor snapshots to <p> (JSONL)
 //   --cluster=<name>      m510 | c6525 | c6320 | mixed   [default m510]
 //   --nodes=<n>           cluster size                   [default 10]
 //   --duration=<s>        generation horizon             [default 5]
@@ -46,7 +50,10 @@
 //
 // Provenance / regression subcommands over the run ledger
 // (results/ledger.jsonl by default; see src/obs/ledger.h):
-//   pdspbench history (<label>|all) [--ledger=PATH] [--limit=N] [--json]
+//   pdspbench history [<label>|all] [--ledger=PATH] [--app=NAME]
+//                     [--limit=N] [--json]
+//   pdspbench report <ledger|dir|record.json> [--out=PATH] [--against=PATH]
+//                     [--app=NAME] [--limit=N] — self-contained HTML report
 //   pdspbench compare <baseline> <candidate> [--ledger=PATH]
 //                     [--threshold=F] [--sigmas=F] [--json]
 //     Record specs: a label (latest run), label~N (N-back), a run id or a
@@ -60,6 +67,8 @@
 //     repeats, rate, parallelism, cluster) and compares; exit 1 on
 //     regression beyond threshold — tools/bench_gate.sh's core.
 // The plain run mode accepts --ledger=PATH to append its own RunRecord.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -81,6 +90,8 @@
 #include "src/obs/diagnose.h"
 #include "src/obs/host_profile.h"
 #include "src/obs/ledger.h"
+#include "src/obs/monitor.h"
+#include "src/obs/report.h"
 #include "src/sim/analytic.h"
 #include "src/sim/simulation.h"
 #include "src/store/run_store.h"
@@ -108,6 +119,12 @@ struct Args {
   std::string load;
   std::string store_dir = "runs";
   std::string ledger;  ///< when set, append this run's RunRecord here
+  /// --progress[=plain|rich|off|auto]: live sweep monitoring. Empty means
+  /// the flag was not given at all (monitor fully off).
+  std::string progress;
+  bool progress_set = false;
+  /// --progress-file=PATH: append every monitor snapshot here (JSONL).
+  std::string progress_file;
   bool list = false;
   bool allow_invalid = false;
 };
@@ -132,14 +149,20 @@ int Usage() {
                "[--json] [--strict] | analyze --list-passes\n"
                "       pdspbench diagnose (<abbrev>|<structure>|all) "
                "[--parallelism=N] [--json] [--explain]\n"
-               "       pdspbench history (<label>|all) [--ledger=PATH] "
-               "[--limit=N] [--json]\n"
+               "       pdspbench history [<label>|all] [--ledger=PATH] "
+               "[--app=NAME] [--limit=N] [--json]\n"
+               "       pdspbench report <ledger|dir|record.json> "
+               "[--out=PATH] [--against=PATH] [--app=NAME]\n"
+               "                 [--limit=N] [--title=S] [--threshold=F] "
+               "[--sigmas=F]\n"
                "       pdspbench compare <runA> <runB> [--ledger=PATH] "
                "[--threshold=F] [--sigmas=F] [--json]\n"
                "       pdspbench baseline (write|check) "
                "(<abbrev>|<structure>|all) [--dir=PATH] [--threshold=F]\n"
                "  (plain runs accept --ledger=PATH to append a provenance "
-               "record)\n");
+               "record; sweeps accept\n"
+               "   --progress[=plain|rich|off] and --progress-file=PATH for "
+               "live monitoring)\n");
   return 2;
 }
 
@@ -516,14 +539,18 @@ constexpr char kDefaultBaselineDir[] = "bench/baselines";
 
 int HistoryUsage() {
   std::fprintf(stderr,
-               "usage: pdspbench history (<label>|all) [--ledger=PATH] "
-               "[--limit=N] [--json]\n");
+               "usage: pdspbench history [<label>|all] [--ledger=PATH] "
+               "[--app=NAME] [--limit=N] [--json]\n"
+               "  --app filters by the label's app part (label up to the "
+               "first '/'),\n"
+               "  so 'history --app=WC' matches WC, WC/p4, WC/p8, ...\n");
   return 2;
 }
 
 int HistoryMain(int argc, char** argv) {
   std::string target;
   std::string ledger_path = kDefaultLedgerPath;
+  std::string app_filter;
   size_t limit = 20;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
@@ -531,6 +558,7 @@ int HistoryMain(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (ParseArg(argv[i], "ledger", &ledger_path)) {
+    } else if (ParseArg(argv[i], "app", &app_filter)) {
     } else if (ParseArg(argv[i], "limit", &value)) {
       limit = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (argv[i][0] != '-' && target.empty()) {
@@ -540,7 +568,8 @@ int HistoryMain(int argc, char** argv) {
       return HistoryUsage();
     }
   }
-  if (target.empty() || limit < 1) return HistoryUsage();
+  if (target.empty()) target = "all";  // --app alone scopes large ledgers
+  if (limit < 1) return HistoryUsage();
   auto records = obs::RunLedger(ledger_path).Load();
   if (!records.ok()) {
     std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
@@ -548,7 +577,11 @@ int HistoryMain(int argc, char** argv) {
   }
   std::vector<const obs::RunRecord*> selected;
   for (const obs::RunRecord& r : *records) {
-    if (target == "all" || r.label == target) selected.push_back(&r);
+    if (target != "all" && r.label != target) continue;
+    if (!app_filter.empty() && obs::AppOfLabel(r.label) != app_filter) {
+      continue;
+    }
+    selected.push_back(&r);
   }
   if (selected.size() > limit) {
     selected.erase(selected.begin(),
@@ -872,6 +905,64 @@ int BaselineMain(int argc, char** argv) {
   return 0;
 }
 
+// --- report subcommand ---------------------------------------------------
+
+int ReportUsage() {
+  std::fprintf(stderr,
+               "usage: pdspbench report <ledger.jsonl|artifact-dir|"
+               "record.json> [--out=PATH]\n"
+               "                 [--against=PATH] [--app=NAME] [--limit=N] "
+               "[--title=S]\n"
+               "                 [--threshold=F] [--sigmas=F]\n"
+               "  renders one self-contained HTML file (inline SVG, no JS) "
+               "with throughput,\n"
+               "  latency-percentile and latency-breakdown charts per app, "
+               "a sweep heatmap,\n"
+               "  critical paths from diagnosis.json bundles, and — with "
+               "--against — a\n"
+               "  noise-aware comparison against a baseline ledger.\n");
+  return 2;
+}
+
+int ReportMain(int argc, char** argv) {
+  std::string input;
+  std::string out_path = "report.html";
+  obs::ReportOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseArg(argv[i], "out", &out_path) ||
+        ParseArg(argv[i], "against", &options.against_path) ||
+        ParseArg(argv[i], "app", &options.app_filter) ||
+        ParseArg(argv[i], "title", &options.title)) {
+    } else if (ParseArg(argv[i], "limit", &value)) {
+      options.limit = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(argv[i], "threshold", &value)) {
+      options.compare.threshold = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "sigmas", &value)) {
+      options.compare.noise_sigmas = std::atof(value.c_str());
+    } else if (argv[i][0] != '-' && input.empty()) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown report argument: %s\n", argv[i]);
+      return ReportUsage();
+    }
+  }
+  if (input.empty() || options.compare.threshold <= 0) return ReportUsage();
+  auto stats = obs::WriteReportFile(input, out_path, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "report: %s\n", stats.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("report: %zu records, %zu apps, %zu charts%s -> %s\n",
+              stats->records, stats->apps, stats->charts,
+              options.against_path.empty()
+                  ? ""
+                  : StrFormat(" (%zu labels compared)", stats->compared)
+                        .c_str(),
+              out_path.c_str());
+  return 0;
+}
+
 // --- parallelism sweep mode ----------------------------------------------
 
 // `--parallelism=2,8,32` fans one cell per degree across --jobs workers via
@@ -952,6 +1043,22 @@ int RunParallelismSweep(const Args& args, const Cluster& cluster,
   exec::SweepOptions options;
   options.jobs = args.jobs;
   options.name = StrFormat("sweep/%s", selection.c_str());
+  // Ctrl-C drains in-flight cells and still flushes completed-cell ledger
+  // records plus the final monitor snapshot; we exit 130 below.
+  options.install_sigint = true;
+  if (args.progress_set || !args.progress_file.empty()) {
+    auto mode = obs::ParseRenderMode(args.progress,
+                                     isatty(fileno(stderr)) != 0);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+      return 2;
+    }
+    options.monitor.enabled = true;
+    options.monitor.render = args.progress_set
+                                 ? *mode
+                                 : obs::MonitorOptions::RenderMode::kOff;
+    options.monitor.jsonl_path = args.progress_file;
+  }
   if (!args.ledger.empty()) {
     // One summary record per sweep invocation: parallelism = worker count,
     // host_wall_s = sweep wall clock. bench_gate.sh reads consecutive
@@ -990,6 +1097,21 @@ int RunParallelismSweep(const Args& args, const Cluster& cluster,
   table.Print();
   std::printf("sweep: %zu/%zu cells ok, jobs=%d, wall %.2fs\n",
               sweep.NumOk(), sweep.cells.size(), sweep.jobs, sweep.wall_s);
+  if (options.monitor.enabled && !sweep.monitor.codes.empty()) {
+    std::printf("monitor: %s", Join(sweep.monitor.codes, ", ").c_str());
+    if (!sweep.monitor.straggler_cells.empty()) {
+      std::printf(" (stragglers: %s)",
+                  Join(sweep.monitor.straggler_cells, ", ").c_str());
+    }
+    std::printf("\n");
+  }
+  if (sweep.interrupted) {
+    std::fprintf(stderr,
+                 "sweep: interrupted — %zu/%zu cells completed, partial "
+                 "results flushed\n",
+                 sweep.NumOk(), sweep.cells.size());
+    return 130;
+  }
   return sweep.NumOk() == sweep.cells.size() ? 0 : 1;
 }
 
@@ -1015,6 +1137,9 @@ int Main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "baseline") == 0) {
     return BaselineMain(argc - 1, argv + 1);
   }
+  if (argc > 1 && std::strcmp(argv[1], "report") == 0) {
+    return ReportMain(argc - 1, argv + 1);
+  }
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -1022,6 +1147,11 @@ int Main(int argc, char** argv) {
       args.list = true;
     } else if (std::strcmp(argv[i], "--allow-invalid") == 0) {
       args.allow_invalid = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      args.progress_set = true;  // bare flag: auto (rich on TTY, else plain)
+    } else if (ParseArg(argv[i], "progress", &args.progress)) {
+      args.progress_set = true;
+    } else if (ParseArg(argv[i], "progress-file", &args.progress_file)) {
     } else if (ParseArg(argv[i], "app", &args.app) ||
                ParseArg(argv[i], "structure", &args.structure) ||
                ParseArg(argv[i], "cluster", &args.cluster) ||
