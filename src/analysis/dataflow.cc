@@ -1,0 +1,34 @@
+#include "src/analysis/dataflow.h"
+
+namespace pdsp {
+namespace analysis {
+
+const char* DataflowDirectionToString(DataflowDirection d) {
+  switch (d) {
+    case DataflowDirection::kForward:
+      return "forward";
+    case DataflowDirection::kBackward:
+      return "backward";
+  }
+  return "?";
+}
+
+int ProducerChannelsInto(const AnalysisContext& ctx, LogicalPlan::OpId op) {
+  // How many producer tasks can deliver to ONE instance of `op`: a forward
+  // edge pins each consumer instance to a single producer instance; hash
+  // and rebalance edges let every producer instance reach every consumer
+  // instance. More than one producer per instance means the arrival
+  // interleaving is scheduler-dependent in a distributed runtime — the
+  // merge points the determinism analysis cares about.
+  const Partitioning mode = ctx.op(op).input_partitioning;
+  int producers = 0;
+  for (const LogicalPlan::OpId up : ctx.inputs[op]) {
+    producers += mode == Partitioning::kForward
+                     ? 1
+                     : std::max(1, ctx.op(up).parallelism);
+  }
+  return producers;
+}
+
+}  // namespace analysis
+}  // namespace pdsp

@@ -1,0 +1,224 @@
+// Generic fixed-point dataflow engine over the LogicalPlan DAG. The four
+// concrete analyses in src/analysis/properties.h (partitioning, rate
+// intervals, constant refinement, determinism) are instances of this
+// engine; passes consume their results through AnalysisContext::props.
+//
+// The engine is the textbook worklist algorithm specialized to operator
+// DAGs:
+//
+//   - A Fact is attached to every operator's input and output. For a
+//     forward analysis, in(op) = Combine(facts of all input edges) and
+//     out(op) = Transfer(op, in(op)); a backward analysis swaps the edge
+//     directions (in(op) combines the *consumers*' facts).
+//   - Combine must be permutation-invariant over its edge facts — fan-in
+//     join order (left/right input permutation) must not change the
+//     result. tests/analysis/dataflow_test.cc asserts this for every
+//     bundled analysis.
+//   - Transfer must be monotone with respect to the analysis' Leq order:
+//     recomputing an operator may only move its fact *up* the lattice.
+//     The engine checks this on every recomputation (the check is a single
+//     Leq call, cheap enough to keep in release builds) and reports a
+//     violation instead of looping.
+//   - Termination never depends on the input being well-formed: a cyclic
+//     plan, a non-monotone transfer, or a lattice of unbounded height all
+//     trip the per-operator visit cap and yield a structured
+//     non-convergence diagnostic rather than an infinite loop. Passes
+//     surface that diagnostic; they never consume partial facts silently.
+//
+// Analyses are deliberately *tolerant*: like every other part of
+// pdsp::analysis they run on structurally broken plans (the structural
+// passes report the breakage; the engine just has to terminate).
+
+#ifndef PDSP_ANALYSIS_DATAFLOW_H_
+#define PDSP_ANALYSIS_DATAFLOW_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/analysis/pass.h"
+#include "src/common/string_util.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+namespace analysis {
+
+/// Direction a dataflow analysis propagates facts in.
+enum class DataflowDirection {
+  kForward,   ///< sources -> sink, in(op) combines input-edge facts
+  kBackward,  ///< sink -> sources, in(op) combines output-edge facts
+};
+
+const char* DataflowDirectionToString(DataflowDirection d);
+
+/// Producer tasks that can deliver to ONE instance of `op` (1 per forward
+/// edge, upstream parallelism per shuffled edge). More than one means the
+/// arrival interleaving at `op` is scheduler-dependent in a distributed
+/// runtime — the merge points the determinism analysis keys on.
+int ProducerChannelsInto(const AnalysisContext& ctx, LogicalPlan::OpId op);
+
+/// \brief Convergence report of one engine run.
+struct FixpointStats {
+  bool converged = false;
+  /// Worklist pops (operator evaluations) performed.
+  int iterations = 0;
+  /// True when a recomputation moved a fact *down* the lattice — the
+  /// analysis' Transfer/Combine is broken, and its facts must not be
+  /// trusted.
+  bool monotonicity_violated = false;
+  /// Human-readable explanation when !converged or monotonicity_violated.
+  std::string diagnostic;
+
+  bool ok() const { return converged && !monotonicity_violated; }
+};
+
+/// \brief Facts for every operator, plus how the fixed point was reached.
+template <typename Fact>
+struct DataflowResult {
+  /// Fact flowing *into* each operator (combined over edges), indexed by
+  /// operator id.
+  std::vector<Fact> in;
+  /// Fact at each operator's output (Transfer applied), indexed by id.
+  std::vector<Fact> out;
+  FixpointStats stats;
+};
+
+/// \brief One monotone analysis: lattice + transfer functions.
+///
+/// Implementations are stateless with respect to the iteration: all engine
+/// state lives in DataflowResult. `Fact` needs value semantics only.
+template <typename Fact>
+class DataflowAnalysis {
+ public:
+  virtual ~DataflowAnalysis() = default;
+
+  /// Stable analysis name used in diagnostics ("rate-interval").
+  virtual const char* name() const = 0;
+
+  virtual DataflowDirection direction() const {
+    return DataflowDirection::kForward;
+  }
+
+  /// Least lattice element: the initial fact of every unvisited operator.
+  virtual Fact Bottom() const = 0;
+
+  /// Input fact for boundary operators (no predecessors in the analysis
+  /// direction): sources for forward analyses, sinks for backward ones.
+  virtual Fact Boundary(const AnalysisContext& ctx,
+                        LogicalPlan::OpId op) const = 0;
+
+  /// Combines the facts arriving over `op`'s edges, listed in edge order
+  /// (predecessor outputs for forward, successor inputs for backward).
+  /// MUST be invariant under permutation of `edge_facts`.
+  virtual Fact Combine(const AnalysisContext& ctx, LogicalPlan::OpId op,
+                       const std::vector<Fact>& edge_facts) const = 0;
+
+  /// Applies `op`'s effect to its combined input fact.
+  virtual Fact Transfer(const AnalysisContext& ctx, LogicalPlan::OpId op,
+                        const Fact& in) const = 0;
+
+  virtual bool Equal(const Fact& a, const Fact& b) const = 0;
+
+  /// Partial order used by the monotonicity check: true when a is at or
+  /// below b in the lattice. Leq(Bottom(), x) must hold for every x.
+  virtual bool Leq(const Fact& a, const Fact& b) const = 0;
+};
+
+/// Runs `analysis` to a fixed point over the context's operator graph.
+///
+/// Visits are capped at kMaxVisitsPerOp per operator; a plan that has not
+/// converged by then (cycle, non-monotone transfer, unbounded lattice)
+/// yields stats.converged == false with a diagnostic naming the analysis
+/// and the offending operator. Facts in the result are the last computed
+/// values and are only meaningful when stats.ok().
+template <typename Fact>
+DataflowResult<Fact> RunDataflow(const DataflowAnalysis<Fact>& analysis,
+                                 const AnalysisContext& ctx) {
+  // Generous bound: every lattice bundled here has height <= 4, so honest
+  // analyses converge in O(depth) visits. Only broken inputs get near it.
+  constexpr int kMaxVisitsPerOp = 64;
+
+  const size_t n = ctx.NumOps();
+  const bool forward = analysis.direction() == DataflowDirection::kForward;
+  const auto& preds = forward ? ctx.inputs : ctx.outputs;
+  const auto& succs = forward ? ctx.outputs : ctx.inputs;
+
+  DataflowResult<Fact> result;
+  result.in.assign(n, analysis.Bottom());
+  result.out.assign(n, analysis.Bottom());
+  std::vector<bool> computed(n, false);
+  std::vector<int> visits(n, 0);
+  std::vector<bool> queued(n, false);
+
+  // Seed in propagation order when one exists; otherwise (cyclic plan) in
+  // id order — the visit cap guarantees termination either way.
+  std::vector<LogicalPlan::OpId> worklist;
+  worklist.reserve(n);
+  if (ctx.acyclic && ctx.topo.size() == n) {
+    for (const LogicalPlan::OpId id : ctx.topo) worklist.push_back(id);
+    if (!forward) std::reverse(worklist.begin(), worklist.end());
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      worklist.push_back(static_cast<LogicalPlan::OpId>(i));
+    }
+  }
+  for (const LogicalPlan::OpId id : worklist) queued[id] = true;
+
+  size_t head = 0;
+  while (head < worklist.size()) {
+    const LogicalPlan::OpId op = worklist[head++];
+    queued[op] = false;
+    if (++visits[op] > kMaxVisitsPerOp) {
+      result.stats.converged = false;
+      result.stats.diagnostic = StrFormat(
+          "%s analysis did not reach a fixed point: operator '%s' "
+          "re-evaluated more than %d times (cyclic plan or a transfer "
+          "function that keeps changing its result)",
+          analysis.name(), ctx.op(op).name.c_str(), kMaxVisitsPerOp);
+      return result;
+    }
+    ++result.stats.iterations;
+
+    Fact in;
+    if (preds[op].empty()) {
+      in = analysis.Boundary(ctx, op);
+    } else {
+      std::vector<Fact> edge_facts;
+      edge_facts.reserve(preds[op].size());
+      for (const LogicalPlan::OpId p : preds[op]) {
+        edge_facts.push_back(result.out[p]);
+      }
+      in = analysis.Combine(ctx, op, edge_facts);
+    }
+    Fact out = analysis.Transfer(ctx, op, in);
+
+    const bool changed = !computed[op] || !analysis.Equal(result.out[op], out);
+    if (computed[op] && changed && !analysis.Leq(result.out[op], out)) {
+      result.stats.monotonicity_violated = true;
+      result.stats.diagnostic = StrFormat(
+          "%s analysis is non-monotone at operator '%s': recomputation "
+          "moved its fact down the lattice; facts are untrustworthy",
+          analysis.name(), ctx.op(op).name.c_str());
+      return result;
+    }
+    result.in[op] = std::move(in);
+    result.out[op] = std::move(out);
+    computed[op] = true;
+    if (changed) {
+      for (const LogicalPlan::OpId s : succs[op]) {
+        if (!queued[s]) {
+          queued[s] = true;
+          worklist.push_back(s);
+        }
+      }
+    }
+  }
+
+  result.stats.converged = true;
+  return result;
+}
+
+}  // namespace analysis
+}  // namespace pdsp
+
+#endif  // PDSP_ANALYSIS_DATAFLOW_H_

@@ -2,6 +2,8 @@
 
 #include <queue>
 
+#include "src/analysis/properties.h"
+
 namespace pdsp {
 namespace analysis {
 
@@ -122,6 +124,8 @@ AnalysisContext AnalysisContext::Make(const LogicalPlan& plan,
   if (!ctx.acyclic) ctx.topo.clear();
 
   DeriveSchemasTolerant(&ctx);
+  ctx.props =
+      std::make_shared<const PlanProperties>(ComputePlanProperties(ctx));
   return ctx;
 }
 

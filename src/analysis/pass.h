@@ -23,6 +23,8 @@
 namespace pdsp {
 namespace analysis {
 
+struct PlanProperties;  // src/analysis/properties.h
+
 /// \brief Everything a pass may inspect, precomputed once per analyzer run.
 ///
 /// Schemas are derived tolerantly: when an operator's schema cannot be
@@ -45,6 +47,12 @@ struct AnalysisContext {
   /// Best-effort per-operator output schemas (parallel to plan ops).
   std::vector<Schema> schemas;
   std::vector<bool> schema_known;
+
+  /// Facts derived by the dataflow analyses (partitioning, rate intervals,
+  /// constant refinement, determinism); computed once by Make so every
+  /// pass can consume them. Always set; individual analyses may report
+  /// non-convergence through their FixpointStats.
+  std::shared_ptr<const PlanProperties> props;
 
   /// Builds the context (never fails; broken structure yields empty topo /
   /// unknown schemas, which the structural passes then diagnose).

@@ -25,14 +25,28 @@
 //   parallelism-feasibility  PDSP-W901 operator wider than cluster,
 //                            PDSP-W902 heavy oversubscription,
 //                            PDSP-I903 oversubscription
+//   dataflow-partitioning    PDSP-W704 proven redundant shuffle (input
+//                            already hash-partitioned on the same key)
+//   rate-interval            PDSP-W605 statically over-saturated operator
+//   const-refinement         PDSP-E503 statically always-false filter,
+//                            PDSP-W504 always-true filter,
+//                            PDSP-I505 statically dead subgraph
+//   determinism              (no diagnostics: publishes the verdict in the
+//                            property table / ledger)
+//
+// The last four passes surface facts proven by the dataflow analyses
+// (src/analysis/properties.h) through AnalysisContext::props; they emit
+// nothing when the underlying analysis did not converge.
 //
 // Codes are stable: never renumber, only append.
 
 #include <cmath>
 
 #include "src/analysis/pass.h"
+#include "src/analysis/properties.h"
 #include "src/common/string_util.h"
 #include "src/runtime/udo.h"
+#include "src/sim/cost_model.h"
 
 namespace pdsp {
 namespace analysis {
@@ -674,6 +688,152 @@ class SinkIoPass : public AnalysisPass {
   }
 };
 
+// --- dataflow-partitioning -----------------------------------------------
+
+// Surfaces the *proven* redundant shuffles derived by the partitioning
+// analysis. Unlike the heuristic PDSP-W702 ("shuffle immediately re-keyed",
+// a local pattern match), PDSP-W704 rests on provenance: the analysis
+// tracked the routing value back to where it was produced and showed the
+// input stream is already placed by Hash(value) % parallelism.
+class DataflowPartitioningPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "dataflow-partitioning"; }
+  const char* description() const override {
+    return "proven redundant shuffles (input already hash-partitioned on "
+           "the same key)";
+  }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    if (ctx.props == nullptr || !ctx.props->partitioning_stats.ok()) return;
+    for (size_t i = 0; i < ctx.props->ops.size() && i < ctx.NumOps(); ++i) {
+      const OperatorProperties& p = ctx.props->ops[i];
+      if (!p.redundant_shuffle) continue;
+      out->push_back(MakeDiag(
+          Severity::kWarning, "PDSP-W704", ctx, static_cast<OpId>(i),
+          StrFormat("redundant shuffle: %s", p.redundant_shuffle_why.c_str()),
+          "use forward partitioning to keep tuples on their producing "
+          "instances (elides the network hop)"));
+    }
+  }
+};
+
+// --- rate-interval -------------------------------------------------------
+
+// Static saturation check: even the *lower* bound of the derived input-rate
+// interval exceeds what the operator's instances can serve on the fastest
+// node of the cluster (reference core when no cluster is given). Fires
+// before any simulation runs.
+class RateIntervalPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "rate-interval"; }
+  const char* description() const override {
+    return "statically over-saturated operators (derived min input rate "
+           "exceeds service capacity)";
+  }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    if (ctx.props == nullptr || !ctx.props->rate_stats.ok()) return;
+    double speed = 1.0;
+    if (ctx.cluster != nullptr) {
+      for (const Node& node : ctx.cluster->nodes()) {
+        speed = std::max(speed, node.effective_speed);
+      }
+    }
+    const CostModel cost;
+    for (size_t i = 0; i < ctx.props->ops.size() && i < ctx.NumOps(); ++i) {
+      const OpId id = static_cast<OpId>(i);
+      const OperatorDescriptor& op = ctx.op(id);
+      if (op.type == OperatorType::kSource) continue;
+      const RateInterval& in = ctx.props->ops[i].input_rate;
+      if (in.lo <= 0.0) continue;
+      const double per_tuple = cost.InputTupleCost(op);
+      const double capacity =
+          static_cast<double>(std::max(1, op.parallelism)) * speed /
+          std::max(1e-12, per_tuple);
+      const double utilization = in.lo / capacity;
+      if (utilization < 1.0) continue;
+      const int needed = static_cast<int>(
+          std::ceil(static_cast<double>(std::max(1, op.parallelism)) *
+                    utilization));
+      out->push_back(MakeDiag(
+          Severity::kWarning, "PDSP-W605", ctx, id,
+          StrFormat("statically over-saturated: proven minimum input rate "
+                    "%.0f ev/s is %.1fx the service capacity of %d "
+                    "instance(s) (%.0f ev/s)",
+                    in.lo, utilization, op.parallelism, capacity),
+          StrFormat("raise parallelism to at least %d or reduce the "
+                    "upstream rate",
+                    needed)));
+    }
+  }
+};
+
+// --- const-refinement ----------------------------------------------------
+
+// Statically-unsatisfiable (and vacuous) filters, proven by constant
+// propagation of generator value intervals, plus the dead subgraphs an
+// always-false filter induces.
+class ConstRefinementPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "const-refinement"; }
+  const char* description() const override {
+    return "statically always-false/always-true filters and the dead "
+           "subgraphs they induce";
+  }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    if (ctx.props == nullptr || !ctx.props->refinement_stats.ok()) return;
+    for (size_t i = 0; i < ctx.props->ops.size() && i < ctx.NumOps(); ++i) {
+      const OpId id = static_cast<OpId>(i);
+      const OperatorProperties& p = ctx.props->ops[i];
+      if (p.filter_always_false) {
+        out->push_back(MakeDiag(
+            Severity::kError, "PDSP-E503", ctx, id,
+            StrFormat("filter is statically always false: %s",
+                      p.filter_why.c_str()),
+            "fix the literal (or the generator range); everything "
+            "downstream of this filter is dead"));
+      } else if (p.filter_always_true) {
+        out->push_back(MakeDiag(
+            Severity::kWarning, "PDSP-W504", ctx, id,
+            StrFormat("filter is statically always true: %s",
+                      p.filter_why.c_str()),
+            "drop the filter or choose a literal inside the value range"));
+      }
+      if (p.statically_dead && !p.filter_always_false) {
+        out->push_back(MakeDiag(
+            Severity::kInfo, "PDSP-I505", ctx, id,
+            "statically dead: the derived maximum input rate is zero "
+            "(downstream of an always-false filter)",
+            "remove the dead subgraph or fix the filter that kills it"));
+      }
+    }
+  }
+};
+
+// --- determinism ---------------------------------------------------------
+
+// Emits no diagnostics: the determinism verdict is a property, not a
+// defect. Registered so `analyze --list-passes` documents where the
+// verdict in the property table / ledger comes from.
+class DeterminismPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "determinism"; }
+  const char* description() const override {
+    return "per-plan determinism verdict (published in the --dataflow "
+           "property table and ledger records; no diagnostics)";
+  }
+
+  void Run(const AnalysisContext& ctx,
+           std::vector<Diagnostic>* out) const override {
+    (void)ctx;
+    (void)out;
+  }
+};
+
 }  // namespace
 
 }  // namespace analysis
@@ -696,6 +856,10 @@ PassRegistry PassRegistry::Default() {
   (void)registry.Register(std::make_unique<UdoChecksPass>());
   (void)registry.Register(std::make_unique<ParallelismFeasibilityPass>());
   (void)registry.Register(std::make_unique<SinkIoPass>());
+  (void)registry.Register(std::make_unique<DataflowPartitioningPass>());
+  (void)registry.Register(std::make_unique<RateIntervalPass>());
+  (void)registry.Register(std::make_unique<ConstRefinementPass>());
+  (void)registry.Register(std::make_unique<DeterminismPass>());
   return registry;
 }
 

@@ -1,0 +1,1211 @@
+#include "src/analysis/properties.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/string_util.h"
+#include "src/data/generator.h"
+#include "src/query/selectivity.h"
+#include "src/runtime/udo.h"
+
+namespace pdsp {
+namespace analysis {
+
+namespace {
+
+using OpId = LogicalPlan::OpId;
+
+// Widening applied where the model *estimates* instead of proves: derived
+// filter selectivities (CDF inversion of the generator distribution),
+// selectivity hints, flatmap fanouts and window fire rates (key-presence
+// math) are expectations, so their intervals get a multiplicative margin.
+// Tuned against simulator-observed rates across all fourteen applications
+// by tests/property/dataflow_property_test.cc.
+constexpr double kEstimateLo = 0.70, kEstimateHi = 1.30;
+constexpr double kWindowLo = 0.20, kWindowHi = 2.50;
+constexpr double kJoinLo = 0.20, kJoinHi = 3.00;
+// Amplifying UDOs (declared fanout > 1) emit a data-dependent number of
+// tuples per input (e.g. words per sentence); allow this much headroom
+// over the declared mean.
+constexpr double kUdoFanoutHi = 1.50;
+
+// --- constant refinement --------------------------------------------------
+
+// Per-output-field knowledge: where the value was produced (provenance,
+// the anchor partitioning proofs compare) and, when the generator
+// distribution is bounded, a closed numeric interval the value must lie in.
+struct FieldFact {
+  OpId origin_op = -1;  ///< -1: provenance unknown (derived/rewritten value)
+  size_t origin_field = 0;
+  bool range_known = false;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool operator==(const FieldFact& o) const {
+    return origin_op == o.origin_op && origin_field == o.origin_field &&
+           range_known == o.range_known && lo == o.lo && hi == o.hi;
+  }
+};
+
+struct RefineFact {
+  bool reached = false;
+  std::vector<FieldFact> fields;
+
+  bool operator==(const RefineFact& o) const {
+    return reached == o.reached && fields == o.fields;
+  }
+};
+
+// Outcome of pushing one filter predicate through a value interval.
+struct PredicateOutcome {
+  bool always_false = false;
+  bool always_true = false;
+  FieldFact narrowed;  ///< post-filter fact for the tested field
+};
+
+PredicateOutcome ApplyPredicate(const FieldFact& fact, FilterOp op,
+                                const Value& literal) {
+  PredicateOutcome r;
+  r.narrowed = fact;
+  if (!fact.range_known || literal.is_string()) return r;
+  const double v = literal.AsNumeric();
+  switch (op) {
+    case FilterOp::kLt:
+      r.always_false = fact.lo >= v;
+      r.always_true = fact.hi < v;
+      r.narrowed.hi = std::min(fact.hi, v);
+      break;
+    case FilterOp::kLe:
+      r.always_false = fact.lo > v;
+      r.always_true = fact.hi <= v;
+      r.narrowed.hi = std::min(fact.hi, v);
+      break;
+    case FilterOp::kGt:
+      r.always_false = fact.hi <= v;
+      r.always_true = fact.lo > v;
+      r.narrowed.lo = std::max(fact.lo, v);
+      break;
+    case FilterOp::kGe:
+      r.always_false = fact.hi < v;
+      r.always_true = fact.lo >= v;
+      r.narrowed.lo = std::max(fact.lo, v);
+      break;
+    case FilterOp::kEq:
+      r.always_false = v < fact.lo || v > fact.hi;
+      r.always_true = fact.lo == fact.hi && fact.lo == v;
+      r.narrowed.lo = r.narrowed.hi = v;
+      break;
+    case FilterOp::kNe:
+      r.always_false = fact.lo == fact.hi && fact.lo == v;
+      r.always_true = v < fact.lo || v > fact.hi;
+      break;
+  }
+  if (r.always_false) {
+    // Empty set: keep an empty-looking interval so downstream narrowing
+    // stays consistent (the rate analysis zeroes the stream anyway).
+    r.narrowed.lo = 1.0;
+    r.narrowed.hi = 0.0;
+    r.narrowed.range_known = false;
+  }
+  return r;
+}
+
+FieldFact SourceFieldFact(OpId op, size_t field,
+                          const FieldGeneratorSpec& spec) {
+  FieldFact f;
+  f.origin_op = op;
+  f.origin_field = field;
+  switch (spec.dist) {
+    case FieldDistribution::kUniformInt:
+    case FieldDistribution::kUniformDouble:
+      f.range_known = true;
+      f.lo = std::min(spec.min, spec.max);
+      f.hi = std::max(spec.min, spec.max);
+      break;
+    case FieldDistribution::kZipfKey:
+    case FieldDistribution::kUniformKey:
+      // Key generators draw from [1, cardinality].
+      f.range_known = true;
+      f.lo = 1.0;
+      f.hi = static_cast<double>(std::max<int64_t>(1, spec.cardinality));
+      break;
+    default:
+      // Normal/sequence are unbounded; strings carry no numeric range.
+      break;
+  }
+  return f;
+}
+
+FieldFact MergeFieldFacts(const FieldFact& a, const FieldFact& b) {
+  FieldFact m;
+  if (a.origin_op == b.origin_op && a.origin_field == b.origin_field) {
+    m.origin_op = a.origin_op;
+    m.origin_field = a.origin_field;
+  }
+  if (a.range_known && b.range_known) {
+    m.range_known = true;
+    m.lo = std::min(a.lo, b.lo);
+    m.hi = std::max(a.hi, b.hi);
+  }
+  return m;
+}
+
+class RefinementAnalysis : public DataflowAnalysis<RefineFact> {
+ public:
+  const char* name() const override { return "constant-refinement"; }
+  RefineFact Bottom() const override { return {}; }
+
+  RefineFact Boundary(const AnalysisContext& ctx, OpId op) const override {
+    RefineFact f;
+    f.reached = true;
+    const OperatorDescriptor& d = ctx.op(op);
+    if (d.type != OperatorType::kSource) return f;
+    const auto& sources = ctx.plan->sources();
+    if (d.source_index < 0 ||
+        static_cast<size_t>(d.source_index) >= sources.size()) {
+      return f;
+    }
+    const auto& specs = sources[d.source_index].stream.specs;
+    f.fields.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      f.fields.push_back(SourceFieldFact(op, i, specs[i]));
+    }
+    return f;
+  }
+
+  RefineFact Combine(const AnalysisContext& ctx, OpId op,
+                     const std::vector<RefineFact>& edge_facts) const override {
+    // Window joins are the one multi-port operator: their edge facts are
+    // *concatenated* in port order (left block then right block, matching
+    // the derived l_/r_ schema), not lattice-joined.
+    if (ctx.op(op).type == OperatorType::kWindowJoin &&
+        edge_facts.size() == 2) {
+      RefineFact f;
+      f.reached = edge_facts[0].reached || edge_facts[1].reached;
+      if (edge_facts[0].reached && edge_facts[1].reached) {
+        f.fields = edge_facts[0].fields;
+        f.fields.insert(f.fields.end(), edge_facts[1].fields.begin(),
+                        edge_facts[1].fields.end());
+      }
+      return f;
+    }
+    // Same-port fan-in (multi-input sink): pairwise merge, permutation
+    // invariant. Arity disagreement degrades to "reached, nothing known".
+    RefineFact merged;
+    for (const RefineFact& f : edge_facts) {
+      if (!f.reached) continue;
+      if (!merged.reached) {
+        merged = f;
+        continue;
+      }
+      if (merged.fields.size() != f.fields.size()) {
+        merged.fields.clear();
+        continue;
+      }
+      for (size_t i = 0; i < f.fields.size(); ++i) {
+        merged.fields[i] = MergeFieldFacts(merged.fields[i], f.fields[i]);
+      }
+    }
+    return merged;
+  }
+
+  RefineFact Transfer(const AnalysisContext& ctx, OpId op,
+                      const RefineFact& in) const override {
+    const OperatorDescriptor& d = ctx.op(op);
+    RefineFact out = in;
+    if (!in.reached && d.type != OperatorType::kSource) return out;
+    out.reached = true;
+    switch (d.type) {
+      case OperatorType::kSource:
+        // Boundary already built the fact; sources have no predecessors.
+        return in;
+      case OperatorType::kFilter: {
+        if (d.filter_field < out.fields.size()) {
+          const PredicateOutcome p = ApplyPredicate(
+              out.fields[d.filter_field], d.filter_op, d.filter_literal);
+          out.fields[d.filter_field] = p.narrowed;
+        }
+        return out;
+      }
+      case OperatorType::kMap:
+      case OperatorType::kFlatMap:
+      case OperatorType::kSink:
+        // Values pass through verbatim (MapExec/FlatMapExec copy tuples).
+        return out;
+      case OperatorType::kUdo:
+        // UDOs may rewrite any field; only arity survives. A kind-aware
+        // refinement could do better, but soundness beats precision here.
+        for (FieldFact& f : out.fields) f = FieldFact{};
+        if (!d.udo_output_fields.empty()) {
+          out.fields.assign(d.udo_output_fields.size(), FieldFact{});
+        }
+        return out;
+      case OperatorType::kWindowAggregate: {
+        RefineFact agg;
+        agg.reached = true;
+        const bool keyed = d.key_field != OperatorDescriptor::kNoKey;
+        if (keyed) {
+          agg.fields.push_back(d.key_field < in.fields.size()
+                                   ? in.fields[d.key_field]
+                                   : FieldFact{});
+        }
+        FieldFact value;  // the aggregate column
+        if ((d.agg_fn == AggregateFn::kMin || d.agg_fn == AggregateFn::kMax ||
+             d.agg_fn == AggregateFn::kAvg ||
+             d.agg_fn == AggregateFn::kMean) &&
+            d.agg_field < in.fields.size() &&
+            in.fields[d.agg_field].range_known) {
+          // min/max/avg of values in [lo,hi] stays in [lo,hi]; sums don't.
+          value.range_known = true;
+          value.lo = in.fields[d.agg_field].lo;
+          value.hi = in.fields[d.agg_field].hi;
+        }
+        agg.fields.push_back(value);
+        return agg;
+      }
+      case OperatorType::kWindowJoin:
+        // Combine already concatenated the port blocks.
+        return out;
+    }
+    return out;
+  }
+
+  bool Equal(const RefineFact& a, const RefineFact& b) const override {
+    return a == b;
+  }
+
+  bool Leq(const RefineFact& a, const RefineFact& b) const override {
+    // Precision may only be *lost* on recomputation: unreached -> reached,
+    // known origin -> unknown, ranges widen. Lenient where incomparable —
+    // the check exists to catch blatant oscillation, not to re-prove the
+    // lattice.
+    if (!a.reached) return true;
+    if (!b.reached) return false;
+    if (a.fields.size() != b.fields.size()) return true;
+    for (size_t i = 0; i < a.fields.size(); ++i) {
+      const FieldFact& x = a.fields[i];
+      const FieldFact& y = b.fields[i];
+      if (y.range_known && x.range_known && (y.lo > x.lo || y.hi < x.hi)) {
+        return false;  // range narrowed: moved down the lattice
+      }
+      if (y.range_known && !x.range_known) return false;
+    }
+    return true;
+  }
+};
+
+// --- rate intervals -------------------------------------------------------
+
+// in-fact: one interval per input edge (port order); out-fact: one entry,
+// the operator's emitted rate.
+struct RateFact {
+  std::vector<RateInterval> edges;
+
+  bool operator==(const RateFact& o) const { return edges == o.edges; }
+};
+
+RateInterval Sum(const std::vector<RateInterval>& edges) {
+  RateInterval total;
+  for (const RateInterval& e : edges) {
+    total.lo += e.lo;
+    total.hi += e.hi;
+  }
+  return total;
+}
+
+RateInterval Scale(const RateInterval& r, double flo, double fhi) {
+  return {r.lo * flo, r.hi * fhi};
+}
+
+class RateAnalysis : public DataflowAnalysis<RateFact> {
+ public:
+  explicit RateAnalysis(const DataflowResult<RefineFact>* refinement)
+      : refinement_(refinement) {}
+
+  const char* name() const override { return "rate-interval"; }
+  RateFact Bottom() const override { return {}; }
+
+  RateFact Boundary(const AnalysisContext&, OpId) const override {
+    return {};
+  }
+
+  RateFact Combine(const AnalysisContext&, OpId,
+                   const std::vector<RateFact>& edge_facts) const override {
+    RateFact in;
+    in.edges.reserve(edge_facts.size());
+    for (const RateFact& f : edge_facts) {
+      in.edges.push_back(f.edges.empty() ? RateInterval{} : f.edges[0]);
+    }
+    return in;
+  }
+
+  RateFact Transfer(const AnalysisContext& ctx, OpId op,
+                    const RateFact& in) const override {
+    const OperatorDescriptor& d = ctx.op(op);
+    const RateInterval total = Sum(in.edges);
+    RateFact out;
+    out.edges.push_back(OutputRate(ctx, op, d, in, total));
+    return out;
+  }
+
+  bool Equal(const RateFact& a, const RateFact& b) const override {
+    return a == b;
+  }
+
+  bool Leq(const RateFact& a, const RateFact& b) const override {
+    // Widening order: intervals may only grow.
+    if (a.edges.empty()) return true;
+    if (a.edges.size() != b.edges.size()) return true;
+    for (size_t i = 0; i < a.edges.size(); ++i) {
+      if (b.edges[i].lo > a.edges[i].lo || b.edges[i].hi < a.edges[i].hi) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The pass-fraction interval used for this operator (recomputed, cheap).
+  RateInterval Selectivity(const AnalysisContext& ctx, OpId op) const {
+    const OperatorDescriptor& d = ctx.op(op);
+    if (d.type == OperatorType::kFilter) return FilterSelectivity(ctx, op, d);
+    if (d.type == OperatorType::kFlatMap) {
+      // The fanout is a per-tuple mean, not a bound.
+      const double f = std::max(0.0, d.flatmap_fanout);
+      return {f * kEstimateLo, f * kEstimateHi};
+    }
+    if (d.type == OperatorType::kUdo) {
+      // A UDO's declared selectivity is a cost-model hint, not a contract:
+      // the app suite's UDOs pass anywhere from 0.1% (fraud scoring) to 4x
+      // the declared fraction of their input. Nothing below pass-through
+      // (or, for amplifying UDOs, the widened declared fanout) is provable,
+      // and the floor is genuinely zero.
+      const double s = std::max(0.0, d.udo_selectivity);
+      return {0.0, s <= 1.0 ? 1.0 : s * kUdoFanoutHi};
+    }
+    return {1.0, 1.0};
+  }
+
+ private:
+  RateInterval FilterSelectivity(const AnalysisContext& ctx, OpId op,
+                                 const OperatorDescriptor& d) const {
+    // Constant refinement trumps everything: a proven always-false filter
+    // passes nothing no matter what the hint claims.
+    if (refinement_ != nullptr && refinement_->stats.ok() &&
+        static_cast<size_t>(op) < refinement_->in.size()) {
+      const RefineFact& in = refinement_->in[op];
+      if (d.filter_field < in.fields.size()) {
+        const PredicateOutcome p = ApplyPredicate(in.fields[d.filter_field],
+                                                  d.filter_op,
+                                                  d.filter_literal);
+        if (p.always_false) return {0.0, 0.0};
+        if (p.always_true) return {1.0, 1.0};
+      }
+    }
+    if (d.selectivity_hint >= 0.0) {
+      // Hints are estimates supplied by plan generators, not proofs.
+      const double s = std::clamp(d.selectivity_hint, 0.0, 1.0);
+      return {std::clamp(s * kEstimateLo, 0.0, 1.0),
+              std::clamp(s * kEstimateHi, 0.0, 1.0)};
+    }
+    const auto& inputs = ctx.inputs[op];
+    if (!inputs.empty()) {
+      auto spec = ResolveFieldSpec(*ctx.plan, inputs[0], d.filter_field);
+      if (spec.ok()) {
+        auto est =
+            EstimateFilterSelectivity(*spec, d.filter_op, d.filter_literal);
+        if (est.ok()) {
+          return {std::clamp(*est * kEstimateLo, 0.0, 1.0),
+                  std::clamp(*est * kEstimateHi, 0.0, 1.0)};
+        }
+      }
+    }
+    return {0.0, 1.0};  // nothing provable
+  }
+
+  /// Provable distinct-value count of a field, `fallback` when the field's
+  /// generator cannot be resolved (e.g. produced by a UDO). Callers that
+  /// need an upper bound pass infinity; the join-selectivity estimate keeps
+  /// a finite default (CardinalityModel::kDefaultDistinctKeys).
+  double DistinctKeys(const AnalysisContext& ctx, OpId input, size_t field,
+                      double fallback = 1000.0) const {
+    auto spec = ResolveFieldSpec(*ctx.plan, input, field);
+    if (!spec.ok()) return fallback;
+    switch (spec->dist) {
+      case FieldDistribution::kZipfKey:
+      case FieldDistribution::kUniformKey:
+      case FieldDistribution::kWordString:
+        return static_cast<double>(spec->cardinality);
+      case FieldDistribution::kUniformInt:
+        return std::max(1.0, spec->max - spec->min + 1.0);
+      default:
+        return fallback;
+    }
+  }
+
+  RateInterval OutputRate(const AnalysisContext& ctx, OpId op,
+                          const OperatorDescriptor& d, const RateFact& in,
+                          const RateInterval& total) const {
+    switch (d.type) {
+      case OperatorType::kSource: {
+        const auto& sources = ctx.plan->sources();
+        if (d.source_index < 0 ||
+            static_cast<size_t>(d.source_index) >= sources.size()) {
+          return {};
+        }
+        const auto& arrival = sources[d.source_index].arrival;
+        const double r = std::max(0.0, arrival.rate);
+        if (arrival.kind == ArrivalKind::kBursty) {
+          // Long-run mean is `rate`; burst windows sustain peak_factor x.
+          return {r, r * std::max(1.0, arrival.peak_factor)};
+        }
+        return {r, r};
+      }
+      case OperatorType::kFilter:
+      case OperatorType::kFlatMap:
+      case OperatorType::kUdo: {
+        const RateInterval s = Selectivity(ctx, op);
+        return Scale(total, s.lo, s.hi);
+      }
+      case OperatorType::kMap:
+      case OperatorType::kSink:
+        return total;
+      case OperatorType::kWindowAggregate: {
+        if (d.window.policy == WindowPolicy::kCount) {
+          const double slide = static_cast<double>(
+              std::max<int64_t>(1, d.window.SlideTuples()));
+          // Every input tuple advances exactly its key's pane; fire rate is
+          // input/slide once panes are warm. Warmup (length_tuples per key)
+          // can hold the observed rate below that, hence the wide floor.
+          return Scale({total.lo / slide, total.hi / slide}, kWindowLo,
+                       kWindowHi);
+        }
+        const double slide = std::max(1e-6, d.window.SlideSeconds());
+        double keys = 1.0;
+        const bool keyed = d.key_field != OperatorDescriptor::kNoKey;
+        if (keyed && !ctx.inputs[op].empty()) {
+          // Unknown key cardinality (e.g. UDO-produced keys) means fires
+          // are bounded only by the tuples-per-window cap below.
+          keys = DistinctKeys(ctx, ctx.inputs[op][0], d.key_field,
+                              std::numeric_limits<double>::infinity());
+        }
+        const auto fire = [&](double rate_in) {
+          const double in_window = rate_in * d.window.DurationSeconds();
+          const double keys_eff = std::min(keys, std::max(1.0, in_window));
+          return keys_eff / slide;
+        };
+        return {fire(total.lo) * kWindowLo, fire(total.hi) * kWindowHi};
+      }
+      case OperatorType::kWindowJoin: {
+        const RateInterval l =
+            in.edges.size() > 0 ? in.edges[0] : RateInterval{};
+        const RateInterval r =
+            in.edges.size() > 1 ? in.edges[1] : RateInterval{};
+        double sel;
+        if (d.join_selectivity_hint >= 0.0) {
+          sel = d.join_selectivity_hint;
+        } else if (ctx.inputs[op].size() >= 2) {
+          auto spec_l =
+              ResolveFieldSpec(*ctx.plan, ctx.inputs[op][0], d.join_left_key);
+          auto spec_r =
+              ResolveFieldSpec(*ctx.plan, ctx.inputs[op][1], d.join_right_key);
+          if (spec_l.ok() && spec_r.ok()) {
+            sel = KeyMatchProbability(*spec_l, *spec_r);
+          } else {
+            const double keys =
+                std::max(1.0, std::max(DistinctKeys(ctx, ctx.inputs[op][0],
+                                                    d.join_left_key),
+                                       DistinctKeys(ctx, ctx.inputs[op][1],
+                                                    d.join_right_key)));
+            sel = 1.0 / keys;
+          }
+        } else {
+          sel = 0.001;
+        }
+        const auto probe = [&](double rl, double rr) {
+          double wl, wr;
+          if (d.window.policy == WindowPolicy::kTime) {
+            wl = rl * d.window.DurationSeconds();
+            wr = rr * d.window.DurationSeconds();
+          } else {
+            wl = wr = static_cast<double>(d.window.length_tuples);
+          }
+          return rl * wr * sel + rr * wl * sel;
+        };
+        return {probe(l.lo, r.lo) * kJoinLo, probe(l.hi, r.hi) * kJoinHi};
+      }
+    }
+    return total;
+  }
+
+  const DataflowResult<RefineFact>* refinement_;
+};
+
+// --- partitioning ---------------------------------------------------------
+
+class PartitioningAnalysis : public DataflowAnalysis<PartitionFact> {
+ public:
+  explicit PartitioningAnalysis(const DataflowResult<RefineFact>* refinement)
+      : refinement_(refinement) {}
+
+  const char* name() const override { return "partitioning"; }
+  PartitionFact Bottom() const override { return {}; }
+
+  PartitionFact Boundary(const AnalysisContext&, OpId) const override {
+    return {};  // sources receive nothing
+  }
+
+  PartitionFact Combine(
+      const AnalysisContext& ctx, OpId op,
+      const std::vector<PartitionFact>& edge_facts) const override {
+    const OperatorDescriptor& d = ctx.op(op);
+    const auto& preds = ctx.inputs[op];
+
+    // A window join whose both ports arrive hashed on their port keys at
+    // the consumer's degree is co-partitioned: its received stream (and
+    // the matches it emits) are placed by the shared key value.
+    if (d.type == OperatorType::kWindowJoin && edge_facts.size() == 2 &&
+        preds.size() == 2) {
+      const PartitionFact l = Routed(ctx, op, preds[0], 0, edge_facts[0]);
+      const PartitionFact r = Routed(ctx, op, preds[1], 1, edge_facts[1]);
+      if (l.kind == PartitionFact::Kind::kHashed &&
+          r.kind == PartitionFact::Kind::kHashed && l.degree == r.degree) {
+        return l;  // anchor on the left key's provenance
+      }
+      return Join(l, r);
+    }
+
+    PartitionFact joined;
+    for (size_t i = 0; i < edge_facts.size() && i < preds.size(); ++i) {
+      joined = Join(joined, Routed(ctx, op, preds[i], static_cast<int>(i),
+                                   edge_facts[i]));
+    }
+    return joined;
+  }
+
+  PartitionFact Transfer(const AnalysisContext& ctx, OpId op,
+                         const PartitionFact& in) const override {
+    const OperatorDescriptor& d = ctx.op(op);
+    switch (d.type) {
+      case OperatorType::kSource:
+        if (d.parallelism <= 1) {
+          PartitionFact f;
+          f.kind = PartitionFact::Kind::kSingleton;
+          return f;
+        }
+        return Arbitrary();
+      case OperatorType::kFilter:
+      case OperatorType::kMap:
+      case OperatorType::kFlatMap:
+      case OperatorType::kUdo:
+      case OperatorType::kSink:
+        // Per-instance processing: placement is untouched, and the hashed
+        // claim anchors on value *provenance*, which rewriting fields
+        // cannot retroactively break.
+        return in;
+      case OperatorType::kWindowAggregate: {
+        if (d.key_field == OperatorDescriptor::kNoKey) {
+          return d.parallelism <= 1 ? Singleton() : Arbitrary();
+        }
+        // Keyed panes emit from the instance that owns the key: the output
+        // stays placed exactly like the input — but the claim is only
+        // provable when the placement key *is* the grouping key.
+        if (in.kind == PartitionFact::Kind::kSingleton) return in;
+        if (in.kind == PartitionFact::Kind::kHashed) {
+          const FieldFact key = InputFieldFact(op, d.key_field);
+          if (key.origin_op >= 0 && key.origin_op == in.key_origin_op &&
+              key.origin_field == in.key_origin_field) {
+            return in;
+          }
+        }
+        return Arbitrary();
+      }
+      case OperatorType::kWindowJoin:
+        // Combine already derived the co-partitioned placement (or gave
+        // up); matches are emitted where the key lives.
+        return in;
+    }
+    return Arbitrary();
+  }
+
+  bool Equal(const PartitionFact& a, const PartitionFact& b) const override {
+    return a == b;
+  }
+
+  bool Leq(const PartitionFact& a, const PartitionFact& b) const override {
+    const auto rank = [](PartitionFact::Kind k) {
+      switch (k) {
+        case PartitionFact::Kind::kUnreached:
+          return 0;
+        case PartitionFact::Kind::kSingleton:
+        case PartitionFact::Kind::kHashed:
+          return 1;
+        case PartitionFact::Kind::kArbitrary:
+          return 2;
+      }
+      return 2;
+    };
+    return a == b || rank(a.kind) < rank(b.kind);
+  }
+
+  /// The distribution of `pred`'s emitted stream after `op`'s declared
+  /// input routing delivers it to `op`'s instances.
+  PartitionFact Routed(const AnalysisContext& ctx, OpId op, OpId pred,
+                       int port, const PartitionFact& upstream) const {
+    const OperatorDescriptor& d = ctx.op(op);
+    if (upstream.kind == PartitionFact::Kind::kUnreached) return upstream;
+    if (d.parallelism <= 1) return Singleton();
+    switch (d.input_partitioning) {
+      case Partitioning::kRebalance:
+        return Arbitrary();
+      case Partitioning::kForward: {
+        // Instance i keeps talking to instance i; only valid verbatim when
+        // degrees match (expansion degrades it to rebalance otherwise).
+        if (ctx.op(pred).parallelism != d.parallelism) return Arbitrary();
+        return upstream;
+      }
+      case Partitioning::kHash: {
+        const size_t key = HashKeyField(ctx, op, port);
+        const FieldFact f = OutputFieldFact(pred, key);
+        if (f.origin_op < 0) return Arbitrary();
+        PartitionFact hashed;
+        hashed.kind = PartitionFact::Kind::kHashed;
+        hashed.key_origin_op = f.origin_op;
+        hashed.key_origin_field = f.origin_field;
+        hashed.degree = d.parallelism;
+        return hashed;
+      }
+    }
+    return Arbitrary();
+  }
+
+  /// The field a hash shuffle into `op` routes on, as an index into the
+  /// producer's output schema. Mirrors PhysicalPlan::PartitionKeyField,
+  /// including the fall-back-to-field-0 of non-keyed consumers.
+  static size_t HashKeyField(const AnalysisContext& ctx, OpId op, int port) {
+    const OperatorDescriptor& d = ctx.op(op);
+    size_t key = OperatorDescriptor::kNoKey;
+    switch (d.type) {
+      case OperatorType::kWindowAggregate:
+        key = d.key_field;
+        break;
+      case OperatorType::kWindowJoin:
+        key = port == 0 ? d.join_left_key : d.join_right_key;
+        break;
+      case OperatorType::kUdo:
+        key = d.udo_stateful ? 0 : OperatorDescriptor::kNoKey;
+        break;
+      default:
+        break;
+    }
+    return key == OperatorDescriptor::kNoKey ? 0 : key;
+  }
+
+  FieldFact OutputFieldFact(OpId op, size_t field) const {
+    if (refinement_ == nullptr || !refinement_->stats.ok()) return {};
+    if (static_cast<size_t>(op) >= refinement_->out.size()) return {};
+    const RefineFact& f = refinement_->out[op];
+    if (field >= f.fields.size()) return {};
+    return f.fields[field];
+  }
+
+  FieldFact InputFieldFact(OpId op, size_t field) const {
+    if (refinement_ == nullptr || !refinement_->stats.ok()) return {};
+    if (static_cast<size_t>(op) >= refinement_->in.size()) return {};
+    const RefineFact& f = refinement_->in[op];
+    if (field >= f.fields.size()) return {};
+    return f.fields[field];
+  }
+
+ private:
+  static PartitionFact Singleton() {
+    PartitionFact f;
+    f.kind = PartitionFact::Kind::kSingleton;
+    return f;
+  }
+  static PartitionFact Arbitrary() {
+    PartitionFact f;
+    f.kind = PartitionFact::Kind::kArbitrary;
+    return f;
+  }
+
+  static PartitionFact Join(const PartitionFact& a, const PartitionFact& b) {
+    if (a.kind == PartitionFact::Kind::kUnreached) return b;
+    if (b.kind == PartitionFact::Kind::kUnreached) return a;
+    if (a == b) return a;
+    return Arbitrary();
+  }
+
+  const DataflowResult<RefineFact>* refinement_;
+};
+
+// --- determinism ----------------------------------------------------------
+
+struct DetFact {
+  Determinism level = Determinism::kDeterministic;
+  /// Arrival order at each consumer instance is uniquely determined.
+  bool ordered = true;
+
+  bool operator==(const DetFact& o) const {
+    return level == o.level && ordered == o.ordered;
+  }
+};
+
+// Why one operator degrades the stream's determinism class. Empty reason
+// means the operator is transparent.
+struct OpDetEffect {
+  Determinism floor = Determinism::kDeterministic;
+  bool order_sensitive = false;
+  const char* reason = "";
+};
+
+OpDetEffect ClassifyOperator(const OperatorDescriptor& d) {
+  OpDetEffect e;
+  switch (d.type) {
+    case OperatorType::kSource:
+    case OperatorType::kMap:
+    case OperatorType::kFilter:
+    case OperatorType::kSink:
+      return e;
+    case OperatorType::kFlatMap: {
+      const double fanout = std::max(0.0, d.flatmap_fanout);
+      if (fanout != std::floor(fanout)) {
+        e.order_sensitive = true;
+        e.reason = "fractional fanout consumes per-element rng draws";
+      }
+      return e;
+    }
+    case OperatorType::kWindowAggregate:
+      if (d.window.policy == WindowPolicy::kCount) {
+        e.order_sensitive = true;
+        e.reason = "count-based panes fill in arrival order";
+      } else if (d.agg_fn == AggregateFn::kSum ||
+                 d.agg_fn == AggregateFn::kAvg ||
+                 d.agg_fn == AggregateFn::kMean) {
+        e.order_sensitive = true;
+        e.reason = "floating-point aggregation order";
+      }
+      if (d.key_field == OperatorDescriptor::kNoKey && d.parallelism > 1) {
+        e.order_sensitive = true;
+        e.reason = "global (keyless) state split across instances";
+      }
+      return e;
+    case OperatorType::kWindowJoin:
+      // Probe-at-arrival semantics: whether a pair is emitted depends on
+      // which side arrived first, i.e. on the cross-port interleaving.
+      e.order_sensitive = true;
+      e.reason = "join probes depend on cross-port arrival interleaving";
+      return e;
+    case OperatorType::kUdo: {
+      const UdoRegistry& registry = UdoRegistry::Global();
+      auto traits = registry.TraitsOf(d.udo_kind);
+      if (!traits.has_value()) {
+        e.floor = Determinism::kNondeterministic;
+        e.reason = "UDO kind with undeclared determinism traits";
+        return e;
+      }
+      if (traits->rng) {
+        e.order_sensitive = true;
+        e.reason = "UDO consumes per-element rng draws";
+      }
+      if (traits->order_sensitive || d.udo_stateful) {
+        e.order_sensitive = true;
+        if (*e.reason == '\0') e.reason = "order-sensitive UDO state";
+      }
+      return e;
+    }
+  }
+  return e;
+}
+
+class DeterminismAnalysis : public DataflowAnalysis<DetFact> {
+ public:
+  const char* name() const override { return "determinism"; }
+  DetFact Bottom() const override { return {}; }
+
+  DetFact Boundary(const AnalysisContext&, OpId) const override {
+    return {};  // seeded generators: deterministic, ordered
+  }
+
+  DetFact Combine(const AnalysisContext& ctx, OpId op,
+                  const std::vector<DetFact>& edge_facts) const override {
+    DetFact in;
+    for (const DetFact& f : edge_facts) {
+      in.level = std::max(in.level, f.level);
+      in.ordered = in.ordered && f.ordered;
+    }
+    if (ProducerChannelsInto(ctx, op) > 1) in.ordered = false;
+    return in;
+  }
+
+  DetFact Transfer(const AnalysisContext& ctx, OpId op,
+                   const DetFact& in) const override {
+    const OpDetEffect e = ClassifyOperator(ctx.op(op));
+    DetFact out = in;
+    out.level = std::max(out.level, e.floor);
+    if (e.order_sensitive && !in.ordered) {
+      out.level = std::max(out.level, Determinism::kOrderDependent);
+    }
+    return out;
+  }
+
+  bool Equal(const DetFact& a, const DetFact& b) const override {
+    return a == b;
+  }
+
+  bool Leq(const DetFact& a, const DetFact& b) const override {
+    return a.level <= b.level && (a.ordered || !b.ordered);
+  }
+};
+
+// --- backward liveness ----------------------------------------------------
+
+struct LiveFact {
+  bool live = false;
+  bool operator==(const LiveFact& o) const { return live == o.live; }
+};
+
+class LivenessAnalysis : public DataflowAnalysis<LiveFact> {
+ public:
+  const char* name() const override { return "liveness"; }
+  DataflowDirection direction() const override {
+    return DataflowDirection::kBackward;
+  }
+  LiveFact Bottom() const override { return {}; }
+  LiveFact Boundary(const AnalysisContext& ctx, OpId op) const override {
+    return {ctx.op(op).type == OperatorType::kSink};
+  }
+  LiveFact Combine(const AnalysisContext&, OpId,
+                   const std::vector<LiveFact>& edge_facts) const override {
+    LiveFact f;
+    for (const LiveFact& e : edge_facts) f.live = f.live || e.live;
+    return f;
+  }
+  LiveFact Transfer(const AnalysisContext& ctx, OpId op,
+                    const LiveFact& in) const override {
+    if (ctx.op(op).type == OperatorType::kSink) return {true};
+    return in;
+  }
+  bool Equal(const LiveFact& a, const LiveFact& b) const override {
+    return a == b;
+  }
+  bool Leq(const LiveFact& a, const LiveFact& b) const override {
+    return !a.live || b.live;
+  }
+};
+
+std::string OriginName(const LogicalPlan& plan, OpId op, size_t field) {
+  if (op < 0 || static_cast<size_t>(op) >= plan.NumOperators()) return "?";
+  if (plan.validated()) {
+    const Schema& schema = plan.OutputSchema(op);
+    if (field < schema.NumFields()) {
+      return plan.op(op).name + "." + schema.field(field).name;
+    }
+  }
+  return StrFormat("%s.f%zu", plan.op(op).name.c_str(), field);
+}
+
+}  // namespace
+
+const char* PartitionKindToString(PartitionFact::Kind kind) {
+  switch (kind) {
+    case PartitionFact::Kind::kUnreached:
+      return "unreached";
+    case PartitionFact::Kind::kSingleton:
+      return "singleton";
+    case PartitionFact::Kind::kHashed:
+      return "hashed";
+    case PartitionFact::Kind::kArbitrary:
+      return "arbitrary";
+  }
+  return "?";
+}
+
+const char* DeterminismToString(Determinism d) {
+  switch (d) {
+    case Determinism::kDeterministic:
+      return "deterministic";
+    case Determinism::kOrderDependent:
+      return "order-dependent";
+    case Determinism::kNondeterministic:
+      return "nondeterministic";
+  }
+  return "?";
+}
+
+PlanProperties ComputePlanProperties(const AnalysisContext& ctx) {
+  PlanProperties props;
+  const size_t n = ctx.NumOps();
+  props.ops.resize(n);
+
+  const RefinementAnalysis refinement_analysis;
+  const auto refinement = RunDataflow(refinement_analysis, ctx);
+  props.refinement_stats = refinement.stats;
+
+  const RateAnalysis rate_analysis(&refinement);
+  const auto rates = RunDataflow(rate_analysis, ctx);
+  props.rate_stats = rates.stats;
+
+  const PartitioningAnalysis partitioning_analysis(&refinement);
+  const auto partitioning = RunDataflow(partitioning_analysis, ctx);
+  props.partitioning_stats = partitioning.stats;
+
+  const DeterminismAnalysis determinism_analysis;
+  const auto determinism = RunDataflow(determinism_analysis, ctx);
+  props.determinism_stats = determinism.stats;
+
+  const LivenessAnalysis liveness_analysis;
+  const auto liveness = RunDataflow(liveness_analysis, ctx);
+
+  for (size_t i = 0; i < n; ++i) {
+    const OpId id = static_cast<OpId>(i);
+    const OperatorDescriptor& d = ctx.op(id);
+    OperatorProperties& p = props.ops[i];
+
+    if (partitioning.stats.ok()) {
+      p.input_distribution = partitioning.in[i];
+      p.output_distribution = partitioning.out[i];
+    }
+    if (rates.stats.ok()) {
+      RateInterval in_total;
+      for (const RateInterval& e : rates.in[i].edges) {
+        in_total.lo += e.lo;
+        in_total.hi += e.hi;
+      }
+      p.input_rate = in_total;
+      p.output_rate =
+          rates.out[i].edges.empty() ? RateInterval{} : rates.out[i].edges[0];
+      p.selectivity = rate_analysis.Selectivity(ctx, id);
+    }
+    if (refinement.stats.ok() && d.type == OperatorType::kFilter &&
+        !ctx.inputs[id].empty()) {
+      const RefineFact& in = refinement.in[i];
+      if (d.filter_field < in.fields.size()) {
+        const FieldFact& f = in.fields[d.filter_field];
+        const PredicateOutcome outcome =
+            ApplyPredicate(f, d.filter_op, d.filter_literal);
+        p.filter_always_false = outcome.always_false;
+        p.filter_always_true = outcome.always_true;
+        if (outcome.always_false || outcome.always_true) {
+          p.filter_why = StrFormat(
+              "tested value (%s) is provably in [%g, %g], so `%s %g` is %s",
+              OriginName(*ctx.plan, f.origin_op >= 0 ? f.origin_op : id,
+                         f.origin_field)
+                  .c_str(),
+              f.lo, f.hi, FilterOpToString(d.filter_op),
+              d.filter_literal.AsNumeric(),
+              outcome.always_false ? "always false" : "always true");
+        }
+      }
+    }
+    if (rates.stats.ok() && refinement.stats.ok() &&
+        d.type != OperatorType::kSource && refinement.in[i].reached &&
+        p.input_rate.hi <= 0.0 && !ctx.inputs[id].empty()) {
+      p.statically_dead = true;
+    }
+    if (determinism.stats.ok()) {
+      const OpDetEffect e = ClassifyOperator(d);
+      p.merge_point = ProducerChannelsInto(ctx, id) > 1;
+      p.determinism = determinism.out[i].level;
+      if (*e.reason != '\0') p.determinism_reason = e.reason;
+    }
+    p.reaches_sink = liveness.stats.ok() && liveness.out[i].live;
+
+    // Proven redundant shuffle: the operator re-hashes a stream that is
+    // already placed by the same provenance key at the same degree.
+    if (partitioning.stats.ok() && refinement.stats.ok() &&
+        d.input_partitioning == Partitioning::kHash && d.parallelism > 1) {
+      bool all_redundant = !ctx.inputs[id].empty();
+      std::string why;
+      for (size_t e = 0; e < ctx.inputs[id].size(); ++e) {
+        const OpId pred = ctx.inputs[id][e];
+        const PartitionFact& up = partitioning.out[pred];
+        const size_t key = PartitioningAnalysis::HashKeyField(
+            ctx, id, static_cast<int>(e));
+        const FieldFact kf = partitioning_analysis.OutputFieldFact(pred, key);
+        const bool redundant =
+            up.kind == PartitionFact::Kind::kHashed &&
+            up.degree == d.parallelism &&
+            ctx.op(pred).parallelism == d.parallelism && kf.origin_op >= 0 &&
+            kf.origin_op == up.key_origin_op &&
+            kf.origin_field == up.key_origin_field;
+        if (!redundant) {
+          all_redundant = false;
+          break;
+        }
+        if (why.empty()) {
+          why = StrFormat(
+              "input from '%s' is already hash-partitioned on %s across %d "
+              "instances",
+              ctx.op(pred).name.c_str(),
+              OriginName(*ctx.plan, up.key_origin_op, up.key_origin_field)
+                  .c_str(),
+              up.degree);
+        }
+      }
+      if (all_redundant) {
+        p.redundant_shuffle = true;
+        p.redundant_shuffle_why = why;
+      }
+    }
+  }
+
+  // Plan verdict: worst sink stream, counting an undetermined write order
+  // as order dependence (bit-identity of a sink file includes order).
+  bool found_sink = false;
+  Determinism verdict = Determinism::kDeterministic;
+  std::string verdict_reason;
+  for (size_t i = 0; i < n && determinism.stats.ok(); ++i) {
+    if (ctx.op(static_cast<OpId>(i)).type != OperatorType::kSink) continue;
+    found_sink = true;
+    Determinism level = determinism.in[i].level;
+    std::string reason;
+    if (level == Determinism::kDeterministic && !determinism.in[i].ordered) {
+      level = Determinism::kOrderDependent;
+      reason = "sink write order depends on the arrival interleaving";
+    } else {
+      // First upstream operator that degraded the stream to this level.
+      for (size_t j = 0; j < n; ++j) {
+        if (determinism.out[j].level == level &&
+            !props.ops[j].determinism_reason.empty()) {
+          reason = StrFormat("'%s': %s",
+                             ctx.op(static_cast<OpId>(j)).name.c_str(),
+                             props.ops[j].determinism_reason.c_str());
+          break;
+        }
+      }
+    }
+    if (level >= verdict) {
+      verdict = level;
+      if (!reason.empty() || level == Determinism::kDeterministic) {
+        verdict_reason = reason;
+      }
+    }
+  }
+  if (!determinism.stats.ok()) {
+    props.verdict = Determinism::kNondeterministic;
+    props.verdict_reason = "determinism analysis did not converge";
+  } else if (!found_sink) {
+    props.verdict = Determinism::kNondeterministic;
+    props.verdict_reason = "plan has no sink";
+  } else {
+    props.verdict = verdict;
+    props.verdict_reason = verdict_reason;
+    if (props.verdict == Determinism::kDeterministic) {
+      props.verdict_reason =
+          "all operators are order-insensitive and every instance has a "
+          "single producer";
+    } else if (props.verdict_reason.empty()) {
+      props.verdict_reason = DeterminismToString(props.verdict);
+    }
+  }
+  return props;
+}
+
+Json PlanProperties::ToJson(const LogicalPlan& plan) const {
+  Json j = Json::Object();
+  Json ops_json = Json::Array();
+  for (size_t i = 0; i < ops.size() && i < plan.NumOperators(); ++i) {
+    const OpId id = static_cast<OpId>(i);
+    const OperatorProperties& p = ops[i];
+    Json o = Json::Object();
+    o.Set("op", Json::Int(static_cast<int64_t>(i)));
+    o.Set("name", Json::Str(plan.op(id).name));
+    o.Set("type", Json::Str(OperatorTypeToString(plan.op(id).type)));
+
+    Json part = Json::Object();
+    part.Set("input", Json::Str(PartitionKindToString(
+                          p.input_distribution.kind)));
+    part.Set("output", Json::Str(PartitionKindToString(
+                           p.output_distribution.kind)));
+    if (p.output_distribution.kind == PartitionFact::Kind::kHashed) {
+      part.Set("key",
+               Json::Str(OriginName(plan, p.output_distribution.key_origin_op,
+                                    p.output_distribution.key_origin_field)));
+      part.Set("degree", Json::Int(p.output_distribution.degree));
+    }
+    part.Set("redundant_shuffle", Json::Bool(p.redundant_shuffle));
+    o.Set("partitioning", std::move(part));
+
+    Json rate = Json::Object();
+    rate.Set("input_lo", Json::Number(p.input_rate.lo));
+    rate.Set("input_hi", Json::Number(p.input_rate.hi));
+    rate.Set("output_lo", Json::Number(p.output_rate.lo));
+    rate.Set("output_hi", Json::Number(p.output_rate.hi));
+    o.Set("rate_interval", std::move(rate));
+
+    Json det = Json::Object();
+    det.Set("class", Json::Str(DeterminismToString(p.determinism)));
+    det.Set("merge_point", Json::Bool(p.merge_point));
+    if (!p.determinism_reason.empty()) {
+      det.Set("reason", Json::Str(p.determinism_reason));
+    }
+    o.Set("determinism", std::move(det));
+
+    o.Set("reaches_sink", Json::Bool(p.reaches_sink));
+    if (p.statically_dead) o.Set("statically_dead", Json::Bool(true));
+    if (p.filter_always_false) o.Set("always_false", Json::Bool(true));
+    if (p.filter_always_true) o.Set("always_true", Json::Bool(true));
+    ops_json.Append(std::move(o));
+  }
+  j.Set("operators", std::move(ops_json));
+
+  Json verdict = Json::Object();
+  verdict.Set("class", Json::Str(DeterminismToString(this->verdict)));
+  verdict.Set("reason", Json::Str(verdict_reason));
+  j.Set("determinism", std::move(verdict));
+  j.Set("converged", Json::Bool(AllConverged()));
+  if (!AllConverged()) {
+    Json why = Json::Array();
+    for (const FixpointStats* s :
+         {&partitioning_stats, &rate_stats, &refinement_stats,
+          &determinism_stats}) {
+      if (!s->ok()) why.Append(Json::Str(s->diagnostic));
+    }
+    j.Set("diagnostics", std::move(why));
+  }
+  return j;
+}
+
+std::string PlanProperties::ToString(const LogicalPlan& plan) const {
+  std::string out;
+  out += StrFormat("  %-14s %-11s %-24s %-22s %s\n", "operator", "type",
+                   "partitioning (in->out)", "rate [lo, hi]", "determinism");
+  for (size_t i = 0; i < ops.size() && i < plan.NumOperators(); ++i) {
+    const OpId id = static_cast<OpId>(i);
+    const OperatorProperties& p = ops[i];
+    std::string part =
+        StrFormat("%s -> %s", PartitionKindToString(p.input_distribution.kind),
+                  PartitionKindToString(p.output_distribution.kind));
+    if (p.output_distribution.kind == PartitionFact::Kind::kHashed) {
+      part += StrFormat(" on %s",
+                        OriginName(plan, p.output_distribution.key_origin_op,
+                                   p.output_distribution.key_origin_field)
+                            .c_str());
+    }
+    std::string det = DeterminismToString(p.determinism);
+    if (!p.determinism_reason.empty()) {
+      det += StrFormat(" (%s)", p.determinism_reason.c_str());
+    }
+    out += StrFormat("  %-14s %-11s %-24s [%9.1f, %9.1f]  %s\n",
+                     plan.op(id).name.c_str(),
+                     OperatorTypeToString(plan.op(id).type), part.c_str(),
+                     p.output_rate.lo, p.output_rate.hi, det.c_str());
+    if (p.redundant_shuffle) {
+      out += StrFormat("                 ^ redundant shuffle: %s\n",
+                       p.redundant_shuffle_why.c_str());
+    }
+    if (p.filter_always_false || p.filter_always_true) {
+      out += StrFormat("                 ^ %s\n", p.filter_why.c_str());
+    }
+  }
+  out += StrFormat("  determinism verdict: %s (%s)\n",
+                   DeterminismToString(verdict), verdict_reason.c_str());
+  if (!AllConverged()) {
+    out += "  WARNING: not all analyses converged; facts are partial\n";
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace pdsp

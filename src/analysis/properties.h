@@ -1,0 +1,192 @@
+// Proven plan properties, derived once per analysis run by the four
+// dataflow analyses (src/analysis/dataflow.h) and exposed to passes via
+// AnalysisContext::props, to the CLI via `pdspbench analyze --dataflow`,
+// and to the ledger/diagnosis artifacts:
+//
+//   partitioning  — how each operator's received stream is spread over its
+//                   instances, with hash-key *provenance* (which source
+//                   field the routing value originates from), proving
+//                   redundant shuffles (PDSP-W704) instead of guessing.
+//   rate interval — [min,max] sustained event-rate bounds per operator,
+//                   propagated from arrival processes through selectivity /
+//                   fanout / window math; feeds the static saturation check
+//                   (PDSP-W605) and is validated against simulator-observed
+//                   rates by tests/property/dataflow_property_test.cc.
+//   constant refinement — per-field value intervals + provenance through
+//                   filters/maps; proves filters statically always-false
+//                   (PDSP-E503, dead downstream subgraph) or always-true
+//                   (PDSP-W504).
+//   determinism   — classifies operators (order-sensitive aggregation,
+//                   rng-bearing or unknown UDOs, merge points) and derives
+//                   a per-plan verdict scoping future bit-identity claims;
+//                   recorded in every ledger RunRecord.
+//
+// All analyses are tolerant: they produce *some* fact table even for
+// structurally broken plans (facts degrade to "unknown"; the engine's
+// FixpointStats says whether they can be trusted).
+
+#ifndef PDSP_ANALYSIS_PROPERTIES_H_
+#define PDSP_ANALYSIS_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/dataflow.h"
+#include "src/query/plan.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace analysis {
+
+// --- partitioning --------------------------------------------------------
+
+/// \brief How a stream is distributed across an operator's instances.
+struct PartitionFact {
+  enum class Kind {
+    kUnreached,  ///< bottom: no path from a source reaches this operator
+    kSingleton,  ///< one instance holds every tuple (parallelism 1)
+    kHashed,     ///< routed by Hash(value) % degree of a provenance-tracked
+                 ///< key value
+    kArbitrary,  ///< top: no provable distribution (rebalance, sources, ...)
+  };
+  Kind kind = Kind::kUnreached;
+  /// kHashed only: provenance anchor of the routing value — the operator
+  /// and output-field index where that value was *produced* (a source
+  /// field for anything reached through value-preserving operators).
+  LogicalPlan::OpId key_origin_op = -1;
+  size_t key_origin_field = 0;
+  /// kHashed only: the instance count the hash was taken modulo.
+  int degree = 1;
+
+  bool operator==(const PartitionFact& o) const {
+    if (kind != o.kind) return false;
+    if (kind != Kind::kHashed) return true;
+    return key_origin_op == o.key_origin_op &&
+           key_origin_field == o.key_origin_field && degree == o.degree;
+  }
+};
+
+const char* PartitionKindToString(PartitionFact::Kind kind);
+
+// --- rate intervals ------------------------------------------------------
+
+/// \brief [lo, hi] bounds on a sustained event rate (events/second).
+/// lo is the provable long-run minimum, hi the provable burst-window
+/// maximum; both are conservative (widened where the model estimates
+/// rather than proves, e.g. unhinted filter selectivities span [0,1]).
+struct RateInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double rate, double rel_tol = 0.0,
+                double abs_tol = 0.0) const {
+    return rate >= lo * (1.0 - rel_tol) - abs_tol &&
+           rate <= hi * (1.0 + rel_tol) + abs_tol;
+  }
+  bool operator==(const RateInterval& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+// --- determinism ---------------------------------------------------------
+
+/// Determinism class of a stream (and, at the sink, of the whole plan),
+/// ordered as a lattice: each level includes everything above it.
+enum class Determinism {
+  /// Bit-identical output stream under any scheduler interleaving.
+  kDeterministic = 0,
+  /// Output *content* is a deterministic function of the input multisets,
+  /// but depends on arrival order at some merge point (floating-point
+  /// aggregation order, count-based windows, rng draws consumed per
+  /// element) — reproducible only under a fixed delivery order.
+  kOrderDependent = 1,
+  /// No determinism claim possible (unknown UDO kind).
+  kNondeterministic = 2,
+};
+
+const char* DeterminismToString(Determinism d);
+
+// --- per-operator property table -----------------------------------------
+
+/// \brief Everything the dataflow analyses proved about one operator.
+struct OperatorProperties {
+  // Partitioning: distribution of the stream this operator *receives*
+  // (post input_partitioning routing) and of the stream it emits (before
+  // any downstream routing).
+  PartitionFact input_distribution;
+  PartitionFact output_distribution;
+  /// Proven: the operator declares a hash shuffle whose input is already
+  /// hash-partitioned on the same provenance key at the same degree
+  /// (PDSP-W704 material).
+  bool redundant_shuffle = false;
+  std::string redundant_shuffle_why;  ///< evidence string for the finding
+
+  // Rates.
+  RateInterval input_rate;
+  RateInterval output_rate;
+  /// Per-input-tuple pass fraction interval used to derive output_rate
+  /// ([1,1] for rate-preserving operators).
+  RateInterval selectivity;
+
+  // Constant refinement.
+  /// Filters only: the predicate provably rejects every input value.
+  bool filter_always_false = false;
+  /// Filters only: the predicate provably accepts every input value.
+  bool filter_always_true = false;
+  std::string filter_why;  ///< evidence for either proof, empty otherwise
+  /// Non-sources with a provably-zero input rate (downstream of an
+  /// always-false filter): the subgraph is statically dead.
+  bool statically_dead = false;
+
+  // Determinism.
+  Determinism determinism = Determinism::kDeterministic;
+  /// First reason this operator degrades the stream's determinism class
+  /// ("floating-point aggregation order", ...); empty when it preserves it.
+  std::string determinism_reason;
+  /// True when >1 producer task can deliver to one instance of this
+  /// operator (scheduler-dependent arrival interleaving).
+  bool merge_point = false;
+
+  /// Backward liveness: some path leads from this operator to a sink.
+  bool reaches_sink = false;
+};
+
+/// \brief The full derived-property table for one plan.
+struct PlanProperties {
+  /// Indexed by operator id, parallel to the plan's operators.
+  std::vector<OperatorProperties> ops;
+
+  /// Plan-level determinism verdict (the sink's stream class; worst sink
+  /// wins when the plan is malformed enough to carry several).
+  Determinism verdict = Determinism::kDeterministic;
+  std::string verdict_reason;
+
+  /// Convergence of each underlying analysis; facts are only meaningful
+  /// for analyses whose stats.ok(). A cyclic plan reports non-convergence
+  /// here (and the dead-operator pass reports the cycle itself).
+  FixpointStats partitioning_stats;
+  FixpointStats rate_stats;
+  FixpointStats refinement_stats;
+  FixpointStats determinism_stats;
+
+  bool AllConverged() const {
+    return partitioning_stats.ok() && rate_stats.ok() &&
+           refinement_stats.ok() && determinism_stats.ok();
+  }
+
+  /// Machine-readable table: {"operators": [{"name", "partitioning",
+  /// "rate_interval", "determinism", ...}], "determinism": {...},
+  /// "converged": bool}. Schema is validated by ci_check.sh.
+  Json ToJson(const LogicalPlan& plan) const;
+  /// Human-readable table for `pdspbench analyze --dataflow`.
+  std::string ToString(const LogicalPlan& plan) const;
+};
+
+/// Runs all four analyses over the context. Never fails; see PlanProperties
+/// field docs for how broken inputs degrade.
+PlanProperties ComputePlanProperties(const AnalysisContext& ctx);
+
+}  // namespace analysis
+}  // namespace pdsp
+
+#endif  // PDSP_ANALYSIS_PROPERTIES_H_

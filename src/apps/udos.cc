@@ -486,51 +486,59 @@ class TpchDiscPriceUdo : public Udo {
 void RegisterAppUdos() {
   static const bool registered = [] {
     UdoRegistry& r = UdoRegistry::Global();
+    // Determinism traits: "pure" UDOs are stateless element-wise functions
+    // (any arrival order yields the same output multiset); "ordered" UDOs
+    // keep running state (counters, baselines, dedup sets) whose outputs
+    // depend on the order same-instance elements arrive in.
+    const UdoTraits pure{/*pure=*/true, /*rng=*/false,
+                         /*order_sensitive=*/false};
+    const UdoTraits ordered{/*pure=*/false, /*rng=*/false,
+                            /*order_sensitive=*/true};
     r.Register("tokenize_words", [](const OperatorDescriptor&) {
       return std::make_unique<TokenizeWordsUdo>();
-    });
+    }, pure);
     r.Register("sa_score", [](const OperatorDescriptor&) {
       return std::make_unique<SentimentScoreUdo>();
-    });
+    }, pure);
     r.Register("lp_parse", [](const OperatorDescriptor&) {
       return std::make_unique<LogParseUdo>();
-    });
+    }, pure);
     r.Register("tt_extract", [](const OperatorDescriptor&) {
       return std::make_unique<TopicExtractUdo>();
-    });
+    }, pure);
     r.Register("tt_rank", [](const OperatorDescriptor&) {
       return std::make_unique<TopicRankUdo>(10);
-    });
+    }, ordered);
     r.Register("mo_score", [](const OperatorDescriptor&) {
       return std::make_unique<MachineOutlierUdo>();
-    });
+    }, ordered);
     r.Register("sd_spike", [](const OperatorDescriptor&) {
       return std::make_unique<SpikeDetectUdo>(16, 0.25);
-    });
+    }, ordered);
     r.Register("sg_outlier", [](const OperatorDescriptor&) {
       return std::make_unique<SmartGridOutlierUdo>();
-    });
+    }, ordered);
     r.Register("lr_toll", [](const OperatorDescriptor&) {
       return std::make_unique<LinearRoadTollUdo>();
-    });
+    }, pure);
     r.Register("tm_map_match", [](const OperatorDescriptor&) {
       return std::make_unique<MapMatchUdo>();
-    });
+    }, pure);
     r.Register("fd_score", [](const OperatorDescriptor&) {
       return std::make_unique<FraudScoreUdo>();
-    });
+    }, ordered);
     r.Register("bi_vwap", [](const OperatorDescriptor&) {
       return std::make_unique<BargainIndexUdo>();
-    });
+    }, ordered);
     r.Register("ca_dedup", [](const OperatorDescriptor&) {
       return std::make_unique<ClickDedupUdo>(1 << 20);
-    });
+    }, ordered);
     r.Register("ad_ctr", [](const OperatorDescriptor&) {
       return std::make_unique<AdCtrUdo>();
-    });
+    }, ordered);
     r.Register("tpch_disc_price", [](const OperatorDescriptor&) {
       return std::make_unique<TpchDiscPriceUdo>();
-    });
+    }, pure);
     return true;
   }();
   (void)registered;

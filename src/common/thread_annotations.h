@@ -72,6 +72,14 @@ class PDSP_CAPABILITY("mutex") Mutex {
   void Unlock() PDSP_RELEASE() { mu_.unlock(); }
   bool TryLock() PDSP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  // BasicLockable spelling so std::condition_variable_any (and
+  // std::unique_lock) can operate on an annotated Mutex directly:
+  // cv.wait(mu) temporarily releases and re-acquires through these, which
+  // is capability-neutral from the analysis' point of view.
+  void lock() PDSP_ACQUIRE() { mu_.lock(); }
+  void unlock() PDSP_RELEASE() { mu_.unlock(); }
+  bool try_lock() PDSP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
  private:
   std::mutex mu_;
 };

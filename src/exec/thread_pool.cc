@@ -17,7 +17,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Enqueue(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(fn));
   }
@@ -27,7 +27,7 @@ bool ThreadPool::Enqueue(std::function<void()> fn) {
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       // A second Shutdown (e.g. explicit call followed by the destructor)
       // must not re-join already-joined threads.
@@ -45,8 +45,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // wait() releases and re-acquires mu_ through its BasicLockable
+      // interface — capability-neutral, so the guarded reads stay checked.
+      while (!shutdown_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();

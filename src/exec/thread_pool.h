@@ -14,11 +14,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace pdsp {
 namespace exec {
@@ -73,10 +74,11 @@ class ThreadPool {
   bool Enqueue(std::function<void()> fn);
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool shutdown_ = false;                    // guarded by mu_
+  Mutex mu_;
+  /// _any so it can block on the annotated Mutex directly.
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ PDSP_GUARDED_BY(mu_);
+  bool shutdown_ PDSP_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

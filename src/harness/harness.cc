@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/properties.h"
 #include "src/common/file_util.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
@@ -119,6 +120,11 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
                     << " warning(s)";
   }
 
+  // Derived static properties: the determinism verdict lands in the ledger
+  // record and the full property table rides along in diagnosis.json.
+  const std::shared_ptr<const analysis::PlanProperties> props =
+      analysis::AnalysisContext::Make(plan, &cluster).props;
+
   CellResult cell;
   obs::Tracer& tracer = *context->tracer();
   tracer.set_verbose(protocol.obs.trace_verbose);
@@ -171,6 +177,7 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
           obs::DiagnoseRun(plan, cluster, run, protocol.diagnose_options);
       if (diag.ok()) {
         cell.diagnosis = std::move(diag).value();
+        cell.diagnosis.dataflow = props->ToJson(plan);
         cell.has_diagnosis = true;
       } else {
         PDSP_LOG(Warn) << "run diagnosis: " << diag.status().ToString();
@@ -218,6 +225,8 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
   cell.mean_median_latency_s /= usable;
   cell.mean_throughput_tps /= usable;
   cell.ledger_record = MakeLedgerRecord(plan, cluster, protocol, cell);
+  cell.ledger_record.determinism =
+      analysis::DeterminismToString(props->verdict);
   if (protocol.ledger.enabled) {
     const obs::RunLedger ledger(protocol.ledger.path);
     Status st = ledger.Append(cell.ledger_record);

@@ -354,6 +354,7 @@ Json Diagnosis::ToJson() const {
   a.Set("max_utilization", Json::Number(analytic_max_utilization));
   a.Set("bottleneck_op", Json::Int(analytic_bottleneck_op));
   j.Set("analytic", std::move(a));
+  if (!dataflow.is_null()) j.Set("dataflow", dataflow);
   return j;
 }
 

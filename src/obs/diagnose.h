@@ -92,6 +92,9 @@ struct Diagnosis {
   double analytic_latency_s = 0.0;
   double analytic_max_utilization = 0.0;
   LogicalPlan::OpId analytic_bottleneck_op = -1;
+  /// Static property table derived by the dataflow analyses
+  /// (PlanProperties::ToJson); null when the harness did not attach one.
+  Json dataflow;
 
   /// True when any diagnostic has the given code (e.g. "PDSP-R101").
   bool HasCode(const std::string& code) const { return report.HasCode(code); }

@@ -77,6 +77,7 @@ Json RunRecord::ToJson() const {
   breakdown.Set("window_s", Json::Number(breakdown_window_s));
   j.Set("breakdown", std::move(breakdown));
   j.Set("diagnosis_codes", StrArray(diagnosis_codes));
+  j.Set("determinism", Json::Str(determinism));
   j.Set("artifact_dir", Json::Str(artifact_dir));
   Json host = Json::Object();
   host.Set("wall_s", Json::Number(host_wall_s));
@@ -141,6 +142,7 @@ Result<RunRecord> RunRecord::FromJson(const Json& json) {
       }
     }
   }
+  r.determinism = StrField(json, "determinism");
   r.artifact_dir = StrField(json, "artifact_dir");
   const Json& host = json["host"];
   r.host_wall_s = NumField(host, "wall_s");

@@ -70,6 +70,11 @@ struct RunRecord {
   double breakdown_window_s = 0.0;
   /// PDSP-R### codes the runtime diagnosis emitted, sorted, deduplicated.
   std::vector<std::string> diagnosis_codes;
+  /// Static determinism verdict of the plan ("deterministic" /
+  /// "order-dependent" / "nondeterministic"), derived by the dataflow
+  /// determinism analysis; empty on records written before the analysis
+  /// existed. Scopes any bit-identity claim made about the run.
+  std::string determinism;
   /// Artifact bundle directory (metrics.json / trace.json /
   /// host_profile.json ...) when the run wrote one; empty otherwise.
   std::string artifact_dir;

@@ -357,7 +357,7 @@ void SnapshotSampler::Start() {
 MonitorSummary SnapshotSampler::Stop() {
   if (stopped_) return summary_;
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     stop_requested_ = true;
   }
   stop_cv_.notify_all();
@@ -382,14 +382,18 @@ MonitorSummary SnapshotSampler::Stop() {
 void SnapshotSampler::Loop() {
   const auto interval = std::chrono::duration<double>(
       options_.interval_s > 0.0 ? options_.interval_s : 0.5);
-  std::unique_lock<std::mutex> lock(stop_mu_);
-  while (!stop_requested_) {
-    if (stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
-      break;
+  for (;;) {
+    {
+      MutexLock lock(stop_mu_);
+      if (stop_requested_) return;
+      // Timed wait directly on the annotated Mutex through its
+      // BasicLockable surface — capability-neutral, so the guarded reads
+      // of stop_requested_ stay statically checked. A spurious wakeup at
+      // worst takes one extra sample, which is harmless.
+      stop_cv_.wait_for(stop_mu_, interval);
+      if (stop_requested_) return;
     }
-    lock.unlock();
     Tick(/*final_snapshot=*/false);
-    lock.lock();
   }
 }
 

@@ -301,9 +301,14 @@ class SnapshotSampler {
   SweepWatchdog watchdog_;
 
   std::thread thread_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
+  Mutex stop_mu_;
+  /// _any so it can block on the annotated Mutex directly.
+  std::condition_variable_any stop_cv_;
+  /// The only cross-thread state: the controlling thread raises it, the
+  /// sampler thread polls it. Everything below is touched exclusively by
+  /// the controlling thread (before Start() or after join), so it needs
+  /// no guard.
+  bool stop_requested_ PDSP_GUARDED_BY(stop_mu_) = false;
   bool stopped_ = false;
   bool rich_line_open_ = false;
   MonitorSummary summary_;

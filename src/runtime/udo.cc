@@ -59,21 +59,25 @@ class KeyCountUdo : public Udo {
 }  // namespace
 
 UdoRegistry::UdoRegistry() {
+  const UdoTraits pure{/*pure=*/true, /*rng=*/false, /*order_sensitive=*/false};
+  const UdoTraits rng{/*pure=*/false, /*rng=*/true, /*order_sensitive=*/false};
+  const UdoTraits ordered{/*pure=*/false, /*rng=*/false,
+                          /*order_sensitive=*/true};
   Register("noop", [](const OperatorDescriptor&) {
     return std::make_unique<NoopUdo>();
-  });
+  }, pure);
   Register("heavy", [](const OperatorDescriptor&) {
     return std::make_unique<NoopUdo>();  // cost comes from the cost model
-  });
+  }, pure);
   Register("sample", [](const OperatorDescriptor& op) {
     return std::make_unique<SampleUdo>(op.udo_selectivity);
-  });
+  }, rng);
   Register("replicate", [](const OperatorDescriptor& op) {
     return std::make_unique<ReplicateUdo>(op.udo_selectivity);
-  });
+  }, rng);
   Register("key_count", [](const OperatorDescriptor&) {
     return std::make_unique<KeyCountUdo>();
-  });
+  }, ordered);
 }
 
 UdoRegistry& UdoRegistry::Global() {
@@ -84,6 +88,21 @@ UdoRegistry& UdoRegistry::Global() {
 void UdoRegistry::Register(const std::string& kind, UdoFactory factory) {
   MutexLock lock(mu_);
   factories_[kind] = std::move(factory);
+  traits_.erase(kind);  // re-registering without traits resets to unknown
+}
+
+void UdoRegistry::Register(const std::string& kind, UdoFactory factory,
+                           const UdoTraits& traits) {
+  MutexLock lock(mu_);
+  factories_[kind] = std::move(factory);
+  traits_[kind] = traits;
+}
+
+std::optional<UdoTraits> UdoRegistry::TraitsOf(const std::string& kind) const {
+  MutexLock lock(mu_);
+  auto it = traits_.find(kind);
+  if (it == traits_.end()) return std::nullopt;
+  return it->second;
 }
 
 Result<std::unique_ptr<Udo>> UdoRegistry::Create(

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,23 @@ class Udo {
 using UdoFactory =
     std::function<std::unique_ptr<Udo>(const OperatorDescriptor&)>;
 
+/// \brief Determinism-relevant properties a UDO kind declares at
+/// registration, consumed by the static determinism analysis
+/// (src/analysis/properties.h). Kinds registered without traits are
+/// treated as nondeterministic — declaring traits is the opt-in that makes
+/// a plan eligible for a determinism verdict better than "unknown".
+struct UdoTraits {
+  /// Output depends only on the individual input element (no state, no
+  /// rng, no arrival-order sensitivity).
+  bool pure = false;
+  /// Consumes rng draws per element: output content is deterministic only
+  /// under a fixed per-instance element order (draws realign).
+  bool rng = false;
+  /// Keeps state whose evolution depends on the order elements arrive in
+  /// (running counts, sequence detectors, ...).
+  bool order_sensitive = false;
+};
+
 /// \brief Process-wide registry of UDO kinds.
 ///
 /// Thread-safety: Create/Contains/Kinds are safe to call concurrently —
@@ -62,8 +80,16 @@ class UdoRegistry {
   static UdoRegistry& Global();
 
   /// Registers a factory; re-registering a kind replaces it. Call before
-  /// spawning sweep workers (see class comment).
+  /// spawning sweep workers (see class comment). The overload without
+  /// traits leaves the kind's determinism unknown (= nondeterministic to
+  /// the analysis).
   void Register(const std::string& kind, UdoFactory factory);
+  void Register(const std::string& kind, UdoFactory factory,
+                const UdoTraits& traits);
+
+  /// Declared determinism traits of a kind; nullopt when the kind is
+  /// unknown or was registered without traits.
+  std::optional<UdoTraits> TraitsOf(const std::string& kind) const;
 
   /// Instantiates the UDO for a descriptor by its udo_kind. The factory
   /// runs outside the registry lock, so a slow factory never serializes
@@ -78,6 +104,7 @@ class UdoRegistry {
 
   mutable Mutex mu_;
   std::map<std::string, UdoFactory> factories_ PDSP_GUARDED_BY(mu_);
+  std::map<std::string, UdoTraits> traits_ PDSP_GUARDED_BY(mu_);
 };
 
 // Generic built-in kinds:

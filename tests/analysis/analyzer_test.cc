@@ -94,13 +94,14 @@ TEST(AnalyzerTest, RecordMetricsFalseLeavesCountersAlone) {
   EXPECT_EQ(metrics.CounterValue("pdsp.analysis.runs"), runs0);
 }
 
-TEST(AnalyzerTest, DefaultPassesListsAllTen) {
+TEST(AnalyzerTest, DefaultPassesListsAllFourteen) {
   const PassRegistry& registry = DefaultPasses();
-  EXPECT_EQ(registry.NumPasses(), 10u);
+  EXPECT_EQ(registry.NumPasses(), 14u);
   for (const char* name :
        {"dead-operator", "window-legality", "join-key-types", "field-refs",
         "filter-literal", "selectivity-range", "repartition", "udo-checks",
-        "parallelism-feasibility", "sink-io"}) {
+        "parallelism-feasibility", "sink-io", "dataflow-partitioning",
+        "rate-interval", "const-refinement", "determinism"}) {
     EXPECT_TRUE(registry.Has(name)) << name;
     const AnalysisPass* pass = registry.Find(name);
     ASSERT_NE(pass, nullptr) << name;

@@ -1,0 +1,369 @@
+// Negative-path tests for the dataflow engine (cycles terminate with a
+// diagnostic, non-monotone transfers are detected, fan-in combination is
+// order-independent) plus the crafted plans the new dataflow passes must
+// flag: a proven redundant shuffle (PDSP-W704), a statically over-saturated
+// operator (PDSP-W605) and a statically always-false filter with its dead
+// subgraph (PDSP-E503 / PDSP-W504 / PDSP-I505).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/dataflow.h"
+#include "src/analysis/properties.h"
+#include "src/query/builder.h"
+#include "tests/testing/test_plans.h"
+
+namespace pdsp {
+namespace analysis {
+namespace {
+
+using pdsp::testing::KeyValueStream;
+using pdsp::testing::LinearPlan;
+using pdsp::testing::PoissonArrival;
+
+AnalyzeOptions Quiet() {
+  AnalyzeOptions options;
+  options.record_metrics = false;
+  return options;
+}
+
+OperatorDescriptor Op(OperatorType type, const std::string& name) {
+  OperatorDescriptor op;
+  op.type = type;
+  op.name = name;
+  return op;
+}
+
+LogicalPlan::OpId MustAdd(LogicalPlan* plan, OperatorDescriptor op) {
+  auto id = plan->AddOperator(std::move(op));
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  return *id;
+}
+
+// s -> m1 -> m2 -> sink, with a back edge m2 -> m1.
+LogicalPlan CyclicPlan() {
+  LogicalPlan plan;
+  plan.AddSource({KeyValueStream(), PoissonArrival(10)});
+  auto s = MustAdd(&plan, Op(OperatorType::kSource, "s"));
+  auto m1 = MustAdd(&plan, Op(OperatorType::kMap, "m1"));
+  auto m2 = MustAdd(&plan, Op(OperatorType::kMap, "m2"));
+  auto k = MustAdd(&plan, Op(OperatorType::kSink, "k"));
+  EXPECT_TRUE(plan.Connect(s, m1).ok());
+  EXPECT_TRUE(plan.Connect(m1, m2).ok());
+  EXPECT_TRUE(plan.Connect(m2, m1).ok());  // back edge
+  EXPECT_TRUE(plan.Connect(m2, k).ok());
+  return plan;
+}
+
+// Unbounded-height "analysis": every recomputation moves the fact up, so
+// on a cyclic plan it can never reach a fixed point. Monotone, though —
+// the engine must stop via the visit cap, not the monotonicity check.
+class CountingAnalysis : public DataflowAnalysis<int> {
+ public:
+  const char* name() const override { return "counting"; }
+  int Bottom() const override { return 0; }
+  int Boundary(const AnalysisContext&, LogicalPlan::OpId) const override {
+    return 0;
+  }
+  int Combine(const AnalysisContext&, LogicalPlan::OpId,
+              const std::vector<int>& edge_facts) const override {
+    int max = 0;
+    for (const int f : edge_facts) max = std::max(max, f);
+    return max;
+  }
+  int Transfer(const AnalysisContext&, LogicalPlan::OpId,
+               const int& in) const override {
+    return in + 1;
+  }
+  bool Equal(const int& a, const int& b) const override { return a == b; }
+  bool Leq(const int& a, const int& b) const override { return a <= b; }
+};
+
+// Anti-monotone "analysis": out = 100 - in with summing fan-in, so a
+// growing input moves the output *down* the declared <= order. On a DAG a
+// single sweep hides this; a cycle forces a recomputation that exposes it.
+class AntiMonotoneAnalysis : public DataflowAnalysis<int> {
+ public:
+  const char* name() const override { return "anti-monotone"; }
+  int Bottom() const override { return 0; }
+  int Boundary(const AnalysisContext&, LogicalPlan::OpId) const override {
+    return 0;
+  }
+  int Combine(const AnalysisContext&, LogicalPlan::OpId,
+              const std::vector<int>& edge_facts) const override {
+    int sum = 0;
+    for (const int f : edge_facts) sum += f;
+    return sum;
+  }
+  int Transfer(const AnalysisContext&, LogicalPlan::OpId,
+               const int& in) const override {
+    return 100 - in;
+  }
+  bool Equal(const int& a, const int& b) const override { return a == b; }
+  bool Leq(const int& a, const int& b) const override { return a <= b; }
+};
+
+TEST(DataflowEngineTest, CyclicPlanTerminatesWithDiagnostic) {
+  const LogicalPlan plan = CyclicPlan();
+  const AnalysisContext ctx = AnalysisContext::Make(plan);
+  ASSERT_FALSE(ctx.acyclic);
+  const DataflowResult<int> r = RunDataflow(CountingAnalysis(), ctx);
+  EXPECT_FALSE(r.stats.converged);
+  EXPECT_FALSE(r.stats.ok());
+  EXPECT_NE(r.stats.diagnostic.find("counting"), std::string::npos)
+      << r.stats.diagnostic;
+  EXPECT_NE(r.stats.diagnostic.find("fixed point"), std::string::npos)
+      << r.stats.diagnostic;
+}
+
+TEST(DataflowEngineTest, NonMonotoneTransferIsDetected) {
+  const LogicalPlan plan = CyclicPlan();
+  const AnalysisContext ctx = AnalysisContext::Make(plan);
+  const DataflowResult<int> r = RunDataflow(AntiMonotoneAnalysis(), ctx);
+  EXPECT_TRUE(r.stats.monotonicity_violated);
+  EXPECT_FALSE(r.stats.ok());
+  EXPECT_NE(r.stats.diagnostic.find("anti-monotone"), std::string::npos)
+      << r.stats.diagnostic;
+  EXPECT_NE(r.stats.diagnostic.find("non-monotone"), std::string::npos)
+      << r.stats.diagnostic;
+}
+
+TEST(DataflowEngineTest, AcyclicPlanConvergesInOneSweep) {
+  auto plan = LinearPlan();
+  ASSERT_TRUE(plan.ok());
+  const AnalysisContext ctx = AnalysisContext::Make(*plan);
+  ASSERT_TRUE(ctx.acyclic);
+  const DataflowResult<int> r = RunDataflow(CountingAnalysis(), ctx);
+  EXPECT_TRUE(r.stats.ok());
+  // Topological seeding evaluates every operator exactly once on a DAG.
+  EXPECT_EQ(r.stats.iterations, static_cast<int>(ctx.NumOps()));
+}
+
+TEST(DataflowEngineTest, BundledAnalysesConvergeOnWellFormedPlans) {
+  for (const auto& plan :
+       {pdsp::testing::LinearPlan(), pdsp::testing::TwoWayJoinPlan()}) {
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    const AnalysisContext ctx = AnalysisContext::Make(*plan);
+    ASSERT_NE(ctx.props, nullptr);
+    EXPECT_TRUE(ctx.props->AllConverged());
+  }
+}
+
+TEST(DataflowEngineTest, CyclicPlanReportsNonConvergenceInProperties) {
+  const LogicalPlan plan = CyclicPlan();
+  const AnalysisContext ctx = AnalysisContext::Make(plan);
+  ASSERT_NE(ctx.props, nullptr);
+  // The rate analysis keeps summing around the cycle and must report
+  // non-convergence rather than hang; no analysis may claim a broken run.
+  EXPECT_FALSE(ctx.props->AllConverged());
+  // The analyzer still terminates and reports the cycle structurally.
+  const AnalysisReport report = AnalyzePlan(plan, Quiet());
+  EXPECT_TRUE(report.HasCode("PDSP-E101")) << report.ToString();
+}
+
+// Two sources feeding one sink, with the connect order permuted: every
+// derived fact at the fan-in must be identical (Combine is required to be
+// permutation-invariant over its edge facts).
+TEST(DataflowEngineTest, FanInCombineIsOrderIndependent) {
+  auto build = [](bool swap) {
+    LogicalPlan p;
+    p.AddSource({KeyValueStream(), PoissonArrival(100)});
+    p.AddSource({KeyValueStream(50), PoissonArrival(200)});
+    auto s1_desc = Op(OperatorType::kSource, "s1");
+    s1_desc.source_index = 0;
+    auto s2_desc = Op(OperatorType::kSource, "s2");
+    s2_desc.source_index = 1;
+    auto s1 = MustAdd(&p, s1_desc);
+    auto s2 = MustAdd(&p, s2_desc);
+    auto k = MustAdd(&p, Op(OperatorType::kSink, "k"));
+    if (swap) {
+      EXPECT_TRUE(p.Connect(s2, k).ok());
+      EXPECT_TRUE(p.Connect(s1, k).ok());
+    } else {
+      EXPECT_TRUE(p.Connect(s1, k).ok());
+      EXPECT_TRUE(p.Connect(s2, k).ok());
+    }
+    return p;
+  };
+  const LogicalPlan a = build(false);
+  const LogicalPlan b = build(true);
+  const AnalysisContext ctx_a = AnalysisContext::Make(a);
+  const AnalysisContext ctx_b = AnalysisContext::Make(b);
+  ASSERT_NE(ctx_a.props, nullptr);
+  ASSERT_NE(ctx_b.props, nullptr);
+  ASSERT_EQ(ctx_a.props->ops.size(), ctx_b.props->ops.size());
+  const OperatorProperties& ka = ctx_a.props->ops[2];
+  const OperatorProperties& kb = ctx_b.props->ops[2];
+  EXPECT_TRUE(ka.input_distribution == kb.input_distribution);
+  EXPECT_TRUE(ka.input_rate == kb.input_rate);
+  EXPECT_TRUE(ka.output_rate == kb.output_rate);
+  EXPECT_EQ(ka.determinism, kb.determinism);
+  EXPECT_EQ(ka.merge_point, kb.merge_point);
+  EXPECT_EQ(ctx_a.props->verdict, ctx_b.props->verdict);
+}
+
+// --- crafted diagnostic plans --------------------------------------------
+
+// source(p=2) -> keyed agg(p=2, key f0) -> filter(forward, p=2) ->
+// hash-shuffled map(p=2): the map re-hashes on field 0, whose value
+// provably originates from the same source field the aggregate already
+// hashed on, across the same instance count — a proven redundant shuffle.
+TEST(DataflowPassTest, RedundantShuffleYieldsW704WithFixHint) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(1000.0), 2);
+  WindowSpec win;
+  win.type = WindowType::kTumbling;
+  win.policy = WindowPolicy::kTime;
+  win.duration_ms = 1000.0;
+  auto agg = b.WindowAggregate("agg", src, win, AggregateFn::kMax, 1, 0, 2);
+  auto f = b.Filter("keep", agg, 1, FilterOp::kGt, Value(0.0), 2);
+  b.WithPartitioning(f, Partitioning::kForward);
+  auto m = b.Map("reshuffle", f, 2);
+  b.WithPartitioning(m, Partitioning::kHash);
+  b.Sink("sink", m);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  const AnalysisContext ctx = AnalysisContext::Make(*plan);
+  ASSERT_NE(ctx.props, nullptr);
+  ASSERT_TRUE(ctx.props->partitioning_stats.ok());
+  EXPECT_TRUE(ctx.props->ops[m].redundant_shuffle)
+      << ctx.props->ToString(*plan);
+
+  const AnalysisReport report = AnalyzePlan(*plan, Quiet());
+  ASSERT_TRUE(report.HasCode("PDSP-W704")) << report.ToString();
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.code != "PDSP-W704") continue;
+    EXPECT_EQ(d.op, m);
+    EXPECT_NE(d.hint.find("forward partitioning"), std::string::npos)
+        << d.ToString();
+  }
+}
+
+// A filter placed after a rebalance does NOT receive a provably hashed
+// stream, so the proof-based W704 must stay silent.
+TEST(DataflowPassTest, RebalanceBreaksTheRedundancyProof) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(1000.0), 2);
+  WindowSpec win;
+  win.type = WindowType::kTumbling;
+  win.policy = WindowPolicy::kTime;
+  win.duration_ms = 1000.0;
+  auto agg = b.WindowAggregate("agg", src, win, AggregateFn::kMax, 1, 0, 2);
+  auto f = b.Filter("keep", agg, 1, FilterOp::kGt, Value(0.0), 2);
+  b.WithPartitioning(f, Partitioning::kRebalance);
+  auto m = b.Map("reshuffle", f, 2);
+  b.WithPartitioning(m, Partitioning::kHash);
+  b.Sink("sink", m);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const AnalysisReport report = AnalyzePlan(*plan, Quiet());
+  EXPECT_FALSE(report.HasCode("PDSP-W704")) << report.ToString();
+}
+
+// 1M ev/s into a single filter instance: the proven minimum input rate
+// exceeds the reference-core service capacity (1 / 2.5us = 400k ev/s).
+TEST(DataflowPassTest, OverSaturatedOperatorYieldsW605WithFixHint) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(1.0e6), 1);
+  auto f = b.Filter("hot", src, 1, FilterOp::kGt, Value(50.0), 1);
+  b.Sink("sink", f, 1);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  const AnalysisReport report = AnalyzePlan(*plan, Quiet());
+  ASSERT_TRUE(report.HasCode("PDSP-W605")) << report.ToString();
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.code != "PDSP-W605") continue;
+    EXPECT_EQ(d.op, f);
+    // 1e6 / 400k = 2.5x => at least ceil(2.5) = 3 instances.
+    EXPECT_NE(d.hint.find("at least 3"), std::string::npos) << d.ToString();
+  }
+}
+
+TEST(DataflowPassTest, ComfortableRateStaysW605Silent) {
+  auto plan = LinearPlan(/*rate=*/1000.0, /*parallelism=*/2);
+  ASSERT_TRUE(plan.ok());
+  const AnalysisReport report = AnalyzePlan(*plan, Quiet());
+  EXPECT_FALSE(report.HasCode("PDSP-W605")) << report.ToString();
+}
+
+// val is uniform in [0, 100); "val > 1000" is provably always false, the
+// downstream subgraph statically dead, and "val < 1000" always true.
+TEST(DataflowPassTest, AlwaysFalseFilterYieldsE503AndDeadSubgraphI505) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(100.0));
+  auto f = b.Filter("never", src, 1, FilterOp::kGt, Value(1000.0));
+  auto m = b.Map("dead_map", f);
+  b.Sink("sink", m);
+  b.SkipAnalysis();
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  const AnalysisReport report = AnalyzePlan(*plan, Quiet());
+  EXPECT_TRUE(report.HasCode("PDSP-E503")) << report.ToString();
+  EXPECT_TRUE(report.HasCode("PDSP-I505")) << report.ToString();
+  // E503 is error severity: the builder's analysis gate rejects the plan.
+  EXPECT_FALSE(CheckPlan(*plan).ok());
+
+  const AnalysisContext ctx = AnalysisContext::Make(*plan);
+  ASSERT_NE(ctx.props, nullptr);
+  EXPECT_TRUE(ctx.props->ops[f].filter_always_false);
+  EXPECT_TRUE(ctx.props->ops[m].statically_dead);
+  EXPECT_EQ(ctx.props->ops[m].input_rate.hi, 0.0);
+}
+
+TEST(DataflowPassTest, AlwaysTrueFilterYieldsW504) {
+  PlanBuilder b;
+  auto src = b.Source("src", KeyValueStream(), PoissonArrival(100.0));
+  auto f = b.Filter("always", src, 1, FilterOp::kLt, Value(1000.0));
+  b.Sink("sink", f);
+  auto plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const AnalysisReport report = AnalyzePlan(*plan, Quiet());
+  EXPECT_TRUE(report.HasCode("PDSP-W504")) << report.ToString();
+  const AnalysisContext ctx = AnalysisContext::Make(*plan);
+  EXPECT_TRUE(ctx.props->ops[f].filter_always_true);
+}
+
+// The determinism verdict: a single-producer p=1 chain is deterministic
+// even with an order-sensitive aggregation; a join makes the plan
+// order-dependent (probe results depend on cross-port interleaving).
+TEST(DataflowPassTest, DeterminismVerdictsMatchPlanShape) {
+  auto chain = LinearPlan(/*rate=*/1000.0, /*parallelism=*/1);
+  ASSERT_TRUE(chain.ok());
+  const AnalysisContext cctx = AnalysisContext::Make(*chain);
+  EXPECT_EQ(cctx.props->verdict, Determinism::kDeterministic)
+      << cctx.props->verdict_reason;
+
+  auto join = pdsp::testing::TwoWayJoinPlan();
+  ASSERT_TRUE(join.ok());
+  const AnalysisContext jctx = AnalysisContext::Make(*join);
+  EXPECT_EQ(jctx.props->verdict, Determinism::kOrderDependent)
+      << jctx.props->verdict_reason;
+  EXPECT_FALSE(jctx.props->verdict_reason.empty());
+}
+
+TEST(DataflowPassTest, PropertyJsonCarriesTheFullSchema) {
+  auto plan = pdsp::testing::TwoWayJoinPlan();
+  ASSERT_TRUE(plan.ok());
+  const AnalysisContext ctx = AnalysisContext::Make(*plan);
+  const Json j = ctx.props->ToJson(*plan);
+  ASSERT_TRUE(j["operators"].is_array());
+  ASSERT_EQ(j["operators"].size(), plan->NumOperators());
+  for (size_t i = 0; i < j["operators"].size(); ++i) {
+    const Json& op = j["operators"].at(i);
+    EXPECT_TRUE(op["partitioning"].is_object()) << op.Dump(0);
+    EXPECT_TRUE(op["rate_interval"].is_object()) << op.Dump(0);
+    EXPECT_TRUE(op["determinism"].is_object()) << op.Dump(0);
+  }
+  EXPECT_TRUE(j["determinism"].is_object());
+  EXPECT_TRUE(j["converged"].is_bool());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pdsp

@@ -11,6 +11,8 @@
 #                   build tree.
 #   PDSP_SKIP_TSAN  set to 1 to skip the ThreadSanitizer pass over the
 #                   concurrency-sensitive suites (exec/sim/obs/harness).
+#   PDSP_SKIP_UBSAN set to 1 to skip the UndefinedBehaviorSanitizer pass
+#                   over the analysis/sim/exec/property suites.
 #   JOBS            parallel build jobs (default: nproc).
 
 set -eu
@@ -52,8 +54,59 @@ if [ "${PDSP_SKIP_TSAN:-0}" != "1" ]; then
   done
 fi
 
+if [ "${PDSP_SKIP_UBSAN:-0}" != "1" ]; then
+  step "UndefinedBehaviorSanitizer pass (analysis/sim/exec/property suites)"
+  # The dataflow analyses lean on floating-point interval arithmetic
+  # (widening multiplications, infinity-valued fallbacks, rate/capacity
+  # divisions) and the simulator on integer event accounting — exactly the
+  # code UBSan's float-cast/overflow/shift checks exercise. Same separate-
+  # tree rationale as the TSan block above.
+  UBSAN_DIR="${BUILD_DIR}-ubsan"
+  cmake -B "$UBSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPDSP_SANITIZE=undefined
+  cmake --build "$UBSAN_DIR" -j "$JOBS" \
+        --target analysis_test sim_test exec_test property_test
+  for t in analysis_test sim_test exec_test property_test; do
+    echo "--- ubsan: $t ---"
+    UBSAN_OPTIONS=halt_on_error=1 "$UBSAN_DIR/tests/$t"
+  done
+fi
+
 step "static plan analysis (pdspbench analyze all)"
 "$BUILD_DIR/tools/pdspbench" analyze all
+
+step "dataflow property smoke (pdspbench analyze all --dataflow --json)"
+# Derive the proven plan properties for all 14 apps and validate the JSON
+# schema: every operator carries partitioning, rate-interval and determinism
+# facts, every plan carries a top-level determinism verdict, and every
+# fixed-point computation converged.
+DATAFLOW_JSON="$BUILD_DIR/analyze_dataflow.json"
+"$BUILD_DIR/tools/pdspbench" analyze all --dataflow --json > "$DATAFLOW_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$DATAFLOW_JSON" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert len(d["plans"]) >= 14, f"expected >= 14 apps, got {len(d['plans'])}"
+for p in d["plans"]:
+    props = p["properties"]
+    assert props["converged"] is True, f"{p['plan']}: dataflow did not converge"
+    det = props["determinism"]
+    assert det["class"] in ("deterministic", "order-dependent", "nondeterministic"), \
+        f"{p['plan']}: bad determinism class {det!r}"
+    assert det["reason"], f"{p['plan']}: empty determinism reason"
+    assert props["operators"], f"{p['plan']}: no operator facts"
+    for op in props["operators"]:
+        for key in ("partitioning", "rate_interval", "determinism"):
+            assert key in op, f"{p['plan']} op {op.get('name')}: missing {key}"
+        ri = op["rate_interval"]
+        assert ri["input_lo"] <= ri["input_hi"] and ri["output_lo"] <= ri["output_hi"], \
+            f"{p['plan']} op {op.get('name')}: inverted rate interval"
+print(f"dataflow properties: {len(d['plans'])} plans, all converged, "
+      f"schema complete")
+EOF
+else
+  echo "python3 not found; relying on the CLI exit status only"
+fi
 
 step "runtime diagnosis smoke (pdspbench diagnose all --json)"
 # Simulate + diagnose all 14 apps at well-provisioned defaults. The CLI exits

@@ -80,6 +80,7 @@
 #include <filesystem>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/properties.h"
 #include "src/apps/apps.h"
 #include "src/common/file_util.h"
 #include "src/common/string_util.h"
@@ -220,10 +221,12 @@ Result<LogicalPlan> BuildStructurePlan(SyntheticStructure s, double rate,
 int AnalyzeUsage() {
   std::fprintf(stderr,
                "usage: pdspbench analyze (<app-abbrev>|<structure>|all) "
-               "[--json] [--strict]\n"
+               "[--json] [--strict] [--dataflow]\n"
                "                 [--cluster=m510|c6525|c6320|mixed] "
                "[--nodes=N] [--parallelism=N]\n"
-               "                 [--rate=N] | analyze --list-passes\n");
+               "                 [--rate=N] | analyze --list-passes\n"
+               "  --dataflow  print the derived property table "
+               "(partitioning, rate intervals, determinism)\n");
   return 2;
 }
 
@@ -236,6 +239,7 @@ int AnalyzeMain(int argc, char** argv) {
   bool json = false;
   bool strict = false;
   bool list_passes = false;
+  bool dataflow = false;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -244,6 +248,8 @@ int AnalyzeMain(int argc, char** argv) {
       strict = true;
     } else if (std::strcmp(argv[i], "--list-passes") == 0) {
       list_passes = true;
+    } else if (std::strcmp(argv[i], "--dataflow") == 0) {
+      dataflow = true;
     } else if (ParseArg(argv[i], "cluster", &cluster_name)) {
     } else if (ParseArg(argv[i], "nodes", &value)) {
       nodes = std::atoi(value.c_str());
@@ -342,10 +348,21 @@ int AnalyzeMain(int argc, char** argv) {
       Json j = Json::Object();
       j.Set("plan", Json::Str(t.name));
       j.Set("report", report.ToJson());
+      if (dataflow) {
+        const analysis::AnalysisContext ctx =
+            analysis::AnalysisContext::Make(*t.plan, &*cluster);
+        j.Set("properties", ctx.props->ToJson(*t.plan));
+      }
       all.Append(std::move(j));
     } else {
       std::printf("== %s (%s) ==\n%s\n", t.name.c_str(), t.title.c_str(),
                   report.ToString().c_str());
+      if (dataflow) {
+        const analysis::AnalysisContext ctx =
+            analysis::AnalysisContext::Make(*t.plan, &*cluster);
+        std::printf("derived properties:\n%s\n",
+                    ctx.props->ToString(*t.plan).c_str());
+      }
     }
   }
   if (json) {
