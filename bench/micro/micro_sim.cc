@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/obs/host_profile.h"
+#include "src/obs/prof.h"
 #include "src/sim/simulation.h"
 #include "tests/testing/test_plans.h"
 
@@ -134,6 +135,65 @@ void BM_SimLinearPlanHostProfOff(benchmark::State& state) {
   RunSimHostProfiled(state, /*profiler_enabled=*/false);
 }
 BENCHMARK(BM_SimLinearPlanHostProfOff);
+
+// Sampling-CPU-profiler acceptance pair: the Prof variant runs the sampler
+// at the default 97 Hz with the simulate phase marked — exactly what
+// `--profile` adds to a harness cell, including the per-firing operator
+// markers inside the engine. The control leaves the profiler off, so every
+// ProfScope collapses to one relaxed load + branch. Acceptance bound
+// (tools/bench_gate.sh): Prof within 10% of the control in CI noise; the
+// design target is <= 2%.
+void RunSimCpuProfiled(benchmark::State& state, bool profiler_enabled) {
+  auto plan = testing::LinearPlan(20000.0, 8);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  obs::prof::ThreadRegistration registration("bench-main");
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    obs::prof::ProfOptions options;
+    options.enabled = profiler_enabled;
+    options.hz = 97.0;
+    obs::prof::Profiler profiler(options);
+    if (profiler_enabled) {
+      Status st = profiler.Start();
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    {
+      obs::prof::ProfScope phase(obs::prof::FrameKind::kPhase, "simulate");
+      ExecutionOptions opt;
+      opt.sim.duration_s = 1.0;
+      opt.sim.warmup_s = 0.25;
+      opt.sim.seed = 42;
+      auto r = ExecutePlan(*plan, Cluster::M510(10), opt);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      tuples += r->source_tuples;
+    }
+    if (profiler_enabled) {
+      const obs::prof::CpuProfile profile = profiler.Stop();
+      benchmark::DoNotOptimize(profile.samples);
+    }
+  }
+  state.counters["src_tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+
+void BM_SimLinearPlanProf(benchmark::State& state) {
+  RunSimCpuProfiled(state, /*profiler_enabled=*/true);
+}
+BENCHMARK(BM_SimLinearPlanProf);
+
+void BM_SimLinearPlanProfOff(benchmark::State& state) {
+  RunSimCpuProfiled(state, /*profiler_enabled=*/false);
+}
+BENCHMARK(BM_SimLinearPlanProfOff);
 
 }  // namespace
 }  // namespace pdsp

@@ -17,6 +17,24 @@ RunContext::RunContext(obs::HostProfiler* profiler_sink)
   }
 }
 
+Status RunContext::StartCpuProfiler(const obs::prof::ProfOptions& options) {
+  // Replacing a still-running profiler (e.g. after an error-path return
+  // skipped StopCpuProfiler) stops it first via its destructor.
+  cpu_profiler_ = std::make_unique<obs::prof::Profiler>(options);
+  return cpu_profiler_->Start();
+}
+
+obs::prof::CpuProfile RunContext::StopCpuProfiler() {
+  if (cpu_profiler_ == nullptr) return obs::prof::CpuProfile{};
+  obs::prof::CpuProfile profile = cpu_profiler_->Stop();
+  cpu_profiler_.reset();
+  return profile;
+}
+
+bool RunContext::cpu_profiling() const {
+  return cpu_profiler_ != nullptr && cpu_profiler_->running();
+}
+
 uint64_t RunContext::MixSeed(uint64_t base, uint64_t index) {
   // splitmix64 finalizer (Steele et al.): full-avalanche mixing so adjacent
   // cell indices land in unrelated RNG streams.

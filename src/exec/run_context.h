@@ -20,8 +20,10 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/common/status.h"
 #include "src/obs/host_profile.h"
 #include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 
 namespace pdsp {
@@ -71,8 +73,22 @@ class RunContext {
   /// that fan one base seed across many cells.
   static uint64_t MixSeed(uint64_t base, uint64_t index);
 
+  /// Creates (replacing any previous one) and starts the context-owned
+  /// sampling CPU profiler. With options.all_threads=false the calling
+  /// thread must already hold a prof::ThreadRegistration.
+  Status StartCpuProfiler(const obs::prof::ProfOptions& options);
+
+  /// Stops the owned profiler and returns its aggregate; an empty profile
+  /// when none was started. The profiler is destroyed afterwards, so a
+  /// context can be reused for an unprofiled run.
+  obs::prof::CpuProfile StopCpuProfiler();
+
+  /// True while the owned sampling profiler is running.
+  bool cpu_profiling() const;
+
  private:
   std::unique_ptr<obs::HostProfiler> owned_profiler_;
+  std::unique_ptr<obs::prof::Profiler> cpu_profiler_;
   obs::HostProfiler* profiler_;  // == owned_profiler_.get() or external
   obs::Tracer tracer_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;

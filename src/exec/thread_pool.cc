@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/string_util.h"
+#include "src/obs/prof.h"
+
 namespace pdsp {
 namespace exec {
 
@@ -9,7 +12,7 @@ ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -41,7 +44,12 @@ void ThreadPool::Shutdown() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int index) {
+  // Register with the CPU-profiler machinery for the worker's lifetime:
+  // a sampling profiler in all-threads mode can then attribute this
+  // worker's CPU, and per-cell registrations inside tasks nest as no-ops.
+  obs::prof::ThreadRegistration prof_registration(
+      StrFormat("pool-worker%d", index));
   for (;;) {
     std::function<void()> task;
     {

@@ -72,7 +72,7 @@ class ThreadPool {
  private:
   /// Returns false when the pool has been shut down.
   bool Enqueue(std::function<void()> fn);
-  void WorkerLoop();
+  void WorkerLoop(int index);
 
   Mutex mu_;
   /// _any so it can block on the annotated Mutex directly.

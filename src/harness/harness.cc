@@ -81,6 +81,17 @@ obs::RunRecord MakeLedgerRecord(const LogicalPlan& plan,
         rec.diagnosis_codes.end());
   }
   if (protocol.obs.enabled) rec.artifact_dir = protocol.obs.dir;
+  if (cell.has_profile) {
+    rec.profile_samples = cell.profile.samples;
+    rec.profile_cpu_s = cell.profile.total_cpu_s;
+    rec.profile_sampler_cpu_s = cell.profile.sampler_cpu_s;
+    for (const obs::prof::FrameTotal& op : cell.profile.operators) {
+      if (op.name == "(none)") continue;  // samples outside any operator
+      rec.profile_top_operator = op.name;  // sorted by cpu_s desc
+      rec.profile_top_operator_cpu_s = op.cpu_s;
+      break;
+    }
+  }
   const obs::HostUsage usage = obs::HostProfiler::Global().SampleUsage();
   rec.host_wall_s = usage.wall_s;
   rec.host_cpu_user_s = usage.cpu_user_s;
@@ -126,6 +137,19 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
       analysis::AnalysisContext::Make(plan, &cluster).props;
 
   CellResult cell;
+  // CPU profiling: register this thread (a no-op on pool workers, which
+  // stay registered for the pool's lifetime) and start the context-owned
+  // sampler before the first repeat. With the default single-thread scope
+  // each concurrent sweep cell samples only its own worker, so parallel
+  // cells never attribute each other's CPU. Start failure downgrades to a
+  // warning — a sweep never dies on its observability.
+  std::unique_ptr<obs::prof::ThreadRegistration> prof_registration;
+  if (protocol.profile.enabled) {
+    prof_registration =
+        std::make_unique<obs::prof::ThreadRegistration>("harness");
+    Status st = context->StartCpuProfiler(protocol.profile);
+    if (!st.ok()) PDSP_LOG(Warn) << "cpu profiler: " << st.ToString();
+  }
   obs::Tracer& tracer = *context->tracer();
   tracer.set_verbose(protocol.obs.trace_verbose);
   // Harness-level span covering every repeat of the cell, so a sweep's
@@ -142,6 +166,9 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
   SimOptions first_options;
   bool have_first = false;
   int usable = 0;
+  obs::prof::ProfScope app_scope(
+      obs::prof::FrameKind::kApp,
+      protocol.label.empty() ? std::string("plan") : protocol.label);
   for (int r = 0; r < protocol.repeats; ++r) {
     ExecutionOptions exec;
     exec.placement = protocol.placement;
@@ -167,12 +194,16 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     SimResult run;
     {
       obs::HostProfiler::Phase phase(context->profiler(), "simulate");
+      obs::prof::ProfScope prof_phase(obs::prof::FrameKind::kPhase,
+                                      "simulate");
       PDSP_ASSIGN_OR_RETURN(run, ExecutePlan(plan, cluster, exec));
     }
     if (r == 0 && protocol.diagnose) {
       // Diagnose the representative run; a diagnosis failure downgrades to
       // a warning so a sweep never dies on its observability.
       obs::HostProfiler::Phase phase(context->profiler(), "diagnose");
+      obs::prof::ProfScope prof_phase(obs::prof::FrameKind::kPhase,
+                                      "diagnose");
       Result<obs::Diagnosis> diag =
           obs::DiagnoseRun(plan, cluster, run, protocol.diagnose_options);
       if (diag.ok()) {
@@ -201,6 +232,12 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     }
   }
   cell_span.End();
+  // Stop before the export phase: profile.json is part of the bundle, so
+  // the profile cannot cover its own serialization.
+  if (protocol.profile.enabled && context->cpu_profiling()) {
+    cell.profile = context->StopCpuProfiler();
+    cell.has_profile = true;
+  }
   if (have_first) cell.op_stats = first_run.op_stats;
   if (protocol.obs.enabled && have_first) {
     obs::HostProfiler::Phase phase(context->profiler(), "export");
@@ -208,6 +245,7 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     artifacts.tracer = &tracer;
     artifacts.diagnosis = cell.has_diagnosis ? &cell.diagnosis : nullptr;
     artifacts.sim_options = &first_options;
+    artifacts.cpu_profile = cell.has_profile ? &cell.profile : nullptr;
     const obs::HostProfile host_profile = context->profiler()->Snapshot();
     artifacts.host_profile = &host_profile;
     if (first_run.metrics != nullptr) {

@@ -72,6 +72,13 @@ struct RunProtocol {
   std::string label;
   ObsOptions obs;
   LedgerOptions ledger;
+  /// Sampling CPU profiler for the cell (--profile[=HZ]): when enabled,
+  /// MeasureCell registers its thread, starts the context-owned profiler
+  /// around the repeats and attaches the CpuProfile to the cell, the
+  /// artifact bundle (profile.json) and the ledger record's summary. Only
+  /// wall-clock/host state is touched, so virtual-time results stay
+  /// bit-identical with profiling on.
+  obs::prof::ProfOptions profile;
   /// Simulate even when static analysis (pdsp::analysis) finds
   /// error-severity diagnostics. By default such plans are refused with
   /// FailedPrecondition: a malformed plan that silently simulates corrupts
@@ -109,6 +116,10 @@ struct CellResult {
   /// Provenance record for the cell (appended to the ledger when
   /// RunProtocol::ledger.enabled; always populated on success).
   obs::RunRecord ledger_record;
+  /// Sampled CPU profile of the cell (RunProtocol::profile.enabled); check
+  /// `has_profile` before reading.
+  bool has_profile = false;
+  obs::prof::CpuProfile profile;
 };
 
 /// Builds the provenance RunRecord for a measured cell: plan hash and

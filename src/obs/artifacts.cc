@@ -125,6 +125,11 @@ Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
         WriteTextFileAtomic((base / "host_profile.json").string(),
                             options.host_profile->ToJson().Dump(2) + "\n"));
   }
+  if (options.cpu_profile != nullptr) {
+    PDSP_RETURN_NOT_OK(
+        WriteTextFileAtomic((base / "profile.json").string(),
+                            options.cpu_profile->ToJson().Dump(2) + "\n"));
+  }
   return Status::OK();
 }
 

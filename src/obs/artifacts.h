@@ -12,6 +12,7 @@
 #include "src/common/status.h"
 #include "src/obs/diagnose.h"
 #include "src/obs/host_profile.h"
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulation.h"
 
@@ -37,6 +38,7 @@ struct ArtifactOptions {
   const Diagnosis* diagnosis = nullptr;    ///< diagnosis.json
   const SimOptions* sim_options = nullptr; ///< metrics.json "options" block
   const HostProfile* host_profile = nullptr;  ///< host_profile.json
+  const prof::CpuProfile* cpu_profile = nullptr;  ///< profile.json
 };
 
 /// Writes metrics.json and, when non-empty, timeseries.csv under `dir`

@@ -85,6 +85,19 @@ Json RunRecord::ToJson() const {
   host.Set("cpu_sys_s", Json::Number(host_cpu_sys_s));
   host.Set("peak_rss_kb", Json::Int(host_peak_rss_kb));
   j.Set("host", std::move(host));
+  if (profile_samples > 0) {
+    // Only profiled runs carry the key: unprofiled records stay
+    // byte-identical to earlier builds, and bit-identity checks can treat
+    // the whole nested object as volatile (like "host").
+    Json profile = Json::Object();
+    profile.Set("samples", Json::Int(profile_samples));
+    profile.Set("cpu_s", Json::Number(profile_cpu_s));
+    profile.Set("sampler_cpu_s", Json::Number(profile_sampler_cpu_s));
+    profile.Set("top_operator", Json::Str(profile_top_operator));
+    profile.Set("top_operator_cpu_s",
+                Json::Number(profile_top_operator_cpu_s));
+    j.Set("profile", std::move(profile));
+  }
   return j;
 }
 
@@ -149,6 +162,12 @@ Result<RunRecord> RunRecord::FromJson(const Json& json) {
   r.host_cpu_user_s = NumField(host, "cpu_user_s");
   r.host_cpu_sys_s = NumField(host, "cpu_sys_s");
   r.host_peak_rss_kb = IntField(host, "peak_rss_kb");
+  const Json& profile = json["profile"];  // null on unprofiled records
+  r.profile_samples = IntField(profile, "samples");
+  r.profile_cpu_s = NumField(profile, "cpu_s");
+  r.profile_sampler_cpu_s = NumField(profile, "sampler_cpu_s");
+  r.profile_top_operator = StrField(profile, "top_operator");
+  r.profile_top_operator_cpu_s = NumField(profile, "top_operator_cpu_s");
   return r;
 }
 

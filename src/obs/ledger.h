@@ -85,6 +85,17 @@ struct RunRecord {
   double host_cpu_sys_s = 0.0;
   int64_t host_peak_rss_kb = 0;
 
+  // --- sampling-CPU-profile summary (full data in artifact_dir/
+  // profile.json). Serialized as one nested "profile" object and only when
+  // profile_samples > 0, so unprofiled records are byte-identical to before
+  // and bit-identity checks can treat the whole key as volatile (like
+  // "host"). ---------------------------------------------------------------
+  int64_t profile_samples = 0;
+  double profile_cpu_s = 0.0;
+  double profile_sampler_cpu_s = 0.0;
+  std::string profile_top_operator;
+  double profile_top_operator_cpu_s = 0.0;
+
   Json ToJson() const;
   /// Parses a record; rejects unknown schema versions and missing
   /// mandatory fields (run_id, label).

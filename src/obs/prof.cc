@@ -1,0 +1,549 @@
+#include "src/obs/prof.h"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/common/thread_annotations.h"
+
+namespace pdsp {
+namespace obs {
+namespace prof {
+
+namespace {
+
+/// Sentinel folded-stack key for samples whose marker snapshot stayed torn
+/// across all retries. Cannot collide with a real frame: kinds fit in 8
+/// bits, so bit 63 is never set by PackFrame.
+constexpr uint64_t kTornSentinel = ~0ULL;
+
+double TimespecSeconds(const timespec& ts) {
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// Name interning: ids are 1-based indices into a stable string table. The
+// mutex is only taken when interning/looking up — never on the marker path,
+// which carries pre-interned ids.
+
+struct NameTable {
+  Mutex mu;
+  std::vector<std::string> names PDSP_GUARDED_BY(mu);
+  std::map<std::string, uint32_t> ids PDSP_GUARDED_BY(mu);
+};
+
+NameTable& GlobalNames() {
+  static NameTable* table = new NameTable();
+  return *table;
+}
+
+// ---------------------------------------------------------------------------
+// Thread registry. Entries are shared_ptrs so a sampler that copied the
+// list keeps a dying thread's entry alive (and skips it via `alive`).
+
+struct ThreadRegistry {
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadEntry>> threads PDSP_GUARDED_BY(mu);
+};
+
+ThreadRegistry& GlobalRegistry() {
+  static ThreadRegistry* registry = new ThreadRegistry();
+  return *registry;
+}
+
+thread_local ThreadEntry* t_entry = nullptr;
+
+std::vector<std::shared_ptr<ThreadEntry>> RegisteredThreadsSnapshot() {
+  ThreadRegistry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  return registry.threads;
+}
+
+std::shared_ptr<ThreadEntry> CurrentThreadEntryShared() {
+  if (t_entry == nullptr) return nullptr;
+  ThreadRegistry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  for (const auto& entry : registry.threads) {
+    if (entry.get() == t_entry) return entry;
+  }
+  return nullptr;
+}
+
+std::string RenderFrame(uint64_t frame) {
+  std::string name = LookupName(FrameNameOf(frame));
+  if (name.empty()) name = "(anon)";
+  return std::string(FrameKindName(FrameKindOf(frame))) + ":" + name;
+}
+
+std::string RenderStackKey(const std::vector<uint64_t>& frames) {
+  if (frames.empty()) return "(unmarked)";
+  if (frames.size() == 1 && frames[0] == kTornSentinel) return "(torn)";
+  std::vector<std::string> parts;
+  parts.reserve(frames.size());
+  for (uint64_t frame : frames) parts.push_back(RenderFrame(frame));
+  return Join(parts, ";");
+}
+
+/// Innermost operator frame's name, or "(none)".
+std::string OperatorOfStack(const std::vector<uint64_t>& frames) {
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if (*it == kTornSentinel) break;
+    if (FrameKindOf(*it) == FrameKind::kOperator) {
+      std::string name = LookupName(FrameNameOf(*it));
+      return name.empty() ? "(anon)" : name;
+    }
+  }
+  return "(none)";
+}
+
+/// Outermost phase frame's name, or "(none)".
+std::string PhaseOfStack(const std::vector<uint64_t>& frames) {
+  for (uint64_t frame : frames) {
+    if (frame == kTornSentinel) break;
+    if (FrameKindOf(frame) == FrameKind::kPhase) {
+      std::string name = LookupName(FrameNameOf(frame));
+      return name.empty() ? "(anon)" : name;
+    }
+  }
+  return "(none)";
+}
+
+double NumField(const Json& json, const char* key) {
+  const Json& v = json[key];
+  return v.is_number() ? v.AsNumber() : 0.0;
+}
+
+int64_t IntField(const Json& json, const char* key) {
+  const Json& v = json[key];
+  return v.is_number() ? v.AsInt() : 0;
+}
+
+std::string StrField(const Json& json, const char* key) {
+  const Json& v = json[key];
+  return v.is_string() ? v.AsString() : "";
+}
+
+}  // namespace
+
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kPhase: return "phase";
+    case FrameKind::kApp: return "app";
+    case FrameKind::kOperator: return "op";
+    case FrameKind::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+uint32_t InternName(const std::string& name) {
+  NameTable& table = GlobalNames();
+  MutexLock lock(table.mu);
+  auto it = table.ids.find(name);
+  if (it != table.ids.end()) return it->second;
+  table.names.push_back(name);
+  const uint32_t id = static_cast<uint32_t>(table.names.size());  // 1-based
+  table.ids.emplace(name, id);
+  return id;
+}
+
+std::string LookupName(uint32_t id) {
+  if (id == 0) return "";
+  NameTable& table = GlobalNames();
+  MutexLock lock(table.mu);
+  if (id > table.names.size()) return "";
+  return table.names[id - 1];
+}
+
+ThreadRegistration::ThreadRegistration(const std::string& name) {
+  if (t_entry != nullptr) return;  // nested: the outer registration owns
+  auto entry = std::make_shared<ThreadEntry>();
+  entry->name = name;
+  entry->clock_valid =
+      pthread_getcpuclockid(pthread_self(), &entry->cpu_clock) == 0;
+  {
+    ThreadRegistry& registry = GlobalRegistry();
+    MutexLock lock(registry.mu);
+    registry.threads.push_back(entry);
+  }
+  t_entry = entry.get();
+  entry_ = std::move(entry);
+}
+
+ThreadRegistration::~ThreadRegistration() {
+  if (entry_ == nullptr) return;
+  entry_->alive.store(false, std::memory_order_release);
+  {
+    ThreadRegistry& registry = GlobalRegistry();
+    MutexLock lock(registry.mu);
+    auto& threads = registry.threads;
+    threads.erase(std::remove(threads.begin(), threads.end(), entry_),
+                  threads.end());
+  }
+  t_entry = nullptr;
+}
+
+ThreadEntry* CurrentThreadEntry() { return t_entry; }
+
+namespace detail {
+std::atomic<int> active_profilers{0};
+}  // namespace detail
+
+ProfScope::ProfScope(FrameKind kind, const char* name)
+    : ProfScope(kind, ProfilingActive() && name != nullptr && *name != '\0'
+                          ? InternName(name)
+                          : 0u) {}
+
+ProfScope::ProfScope(FrameKind kind, const std::string& name)
+    : ProfScope(kind, ProfilingActive() && !name.empty() ? InternName(name)
+                                                         : 0u) {}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+struct Profiler::Impl {
+  explicit Impl(const ProfOptions& opts) : options(opts) {}
+
+  ProfOptions options;
+  double hz = 0.0;
+  bool running = false;
+  bool started_gate = false;  // we incremented active_profilers
+  std::chrono::steady_clock::time_point start_time{};
+
+  Mutex mu;
+  std::condition_variable_any cv;
+  bool stop_requested PDSP_GUARDED_BY(mu) = false;
+  std::thread sampler;
+
+  /// Only sampled thread when !options.all_threads.
+  std::shared_ptr<ThreadEntry> only;
+
+  // --- sampler-thread-private state (read by Stop() after join) ---
+  struct PerThread {
+    std::shared_ptr<ThreadEntry> keep;
+    double last_cpu_s = 0.0;
+    int64_t samples = 0;
+    double cpu_s = 0.0;
+  };
+  struct Fold {
+    int64_t samples = 0;
+    double cpu_s = 0.0;
+  };
+  std::map<const ThreadEntry*, PerThread> per_thread;
+  std::map<std::vector<uint64_t>, Fold> folds;
+  int64_t samples = 0;
+  int64_t dropped = 0;
+  double sampler_cpu_s = 0.0;
+  double duration_s = 0.0;
+
+  void SampleOnce(bool prime_only);
+  void Loop();
+};
+
+void Profiler::Impl::SampleOnce(bool prime_only) {
+  std::vector<std::shared_ptr<ThreadEntry>> targets;
+  if (only != nullptr) {
+    targets.push_back(only);
+  } else {
+    targets = RegisteredThreadsSnapshot();
+  }
+  for (const auto& entry : targets) {
+    if (!entry->clock_valid) continue;
+    if (!entry->alive.load(std::memory_order_acquire)) continue;
+    timespec ts{};
+    // The clock of a thread that exited between the alive check and here
+    // reads as an error — skip; its entry drops off the registry snapshot
+    // next tick.
+    if (clock_gettime(entry->cpu_clock, &ts) != 0) continue;
+    const double cpu = TimespecSeconds(ts);
+    auto [it, inserted] = per_thread.try_emplace(entry.get());
+    PerThread& pt = it->second;
+    if (inserted) {
+      // First sight (at Start for pre-registered threads, mid-run for ones
+      // registered later): baseline only, nothing to attribute yet.
+      pt.keep = entry;
+      pt.last_cpu_s = cpu;
+      continue;
+    }
+    if (prime_only) {
+      pt.last_cpu_s = cpu;
+      continue;
+    }
+    const double delta = cpu - pt.last_cpu_s;
+    pt.last_cpu_s = cpu;
+    if (delta <= 0.0) continue;
+    ++samples;
+    ++pt.samples;
+    pt.cpu_s += delta;
+    uint64_t frames[kMaxMarkerDepth];
+    const int n = entry->stack.Snapshot(frames);
+    std::vector<uint64_t> key;
+    if (n < 0) {
+      ++dropped;
+      key.assign(1, kTornSentinel);
+    } else {
+      key.assign(frames, frames + n);
+    }
+    Fold& fold = folds[std::move(key)];
+    ++fold.samples;
+    fold.cpu_s += delta;
+  }
+}
+
+void Profiler::Impl::Loop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / hz));
+  auto next = std::chrono::steady_clock::now() + interval;
+  for (;;) {
+    bool stopping = false;
+    {
+      MutexLock lock(mu);
+      // Timed wait on the annotated Mutex through its BasicLockable
+      // surface (same pattern as SnapshotSampler::Loop) so the guarded
+      // read of stop_requested stays statically checked.
+      while (!stop_requested && std::chrono::steady_clock::now() < next) {
+        cv.wait_until(mu, next);
+      }
+      stopping = stop_requested;
+    }
+    if (stopping) break;
+    SampleOnce(/*prime_only=*/false);
+    next += interval;
+    const auto now = std::chrono::steady_clock::now();
+    if (now > next + interval) next = now + interval;  // no catch-up burst
+  }
+  // One final sample so a run shorter than a tick still yields data: the
+  // delta since the Start() baseline covers everything that happened.
+  SampleOnce(/*prime_only=*/false);
+  timespec self{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &self) == 0) {
+    sampler_cpu_s = TimespecSeconds(self);
+  }
+}
+
+Profiler::Profiler(const ProfOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Profiler::~Profiler() {
+  if (impl_ != nullptr && impl_->running) Stop();
+}
+
+bool Profiler::running() const { return impl_->running; }
+
+Status Profiler::Start() {
+  Impl& impl = *impl_;
+  if (impl.running) {
+    return Status::FailedPrecondition("profiler already running");
+  }
+  impl.hz = std::min(2000.0, std::max(1.0, impl.options.hz));
+  if (!impl.options.all_threads) {
+    impl.only = CurrentThreadEntryShared();
+    if (impl.only == nullptr) {
+      return Status::FailedPrecondition(
+          "calling thread is not registered; create a "
+          "prof::ThreadRegistration first or set all_threads");
+    }
+  }
+  {
+    MutexLock lock(impl.mu);
+    impl.stop_requested = false;
+  }
+  impl.per_thread.clear();
+  impl.folds.clear();
+  impl.samples = 0;
+  impl.dropped = 0;
+  impl.sampler_cpu_s = 0.0;
+  impl.start_time = std::chrono::steady_clock::now();
+  // Baseline pass from the starting thread (the sampler does not exist
+  // yet, so Impl state is still single-threaded here).
+  impl.SampleOnce(/*prime_only=*/true);
+  detail::active_profilers.fetch_add(1, std::memory_order_relaxed);
+  impl.started_gate = true;
+  impl.sampler = std::thread([this] { impl_->Loop(); });
+  impl.running = true;
+  return Status::OK();
+}
+
+CpuProfile Profiler::Stop() {
+  Impl& impl = *impl_;
+  CpuProfile profile;
+  if (!impl.running) return profile;
+  {
+    MutexLock lock(impl.mu);
+    impl.stop_requested = true;
+  }
+  impl.cv.notify_all();
+  if (impl.sampler.joinable()) impl.sampler.join();
+  impl.running = false;
+  if (impl.started_gate) {
+    detail::active_profilers.fetch_sub(1, std::memory_order_relaxed);
+    impl.started_gate = false;
+  }
+  impl.duration_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - impl.start_time)
+                        .count();
+
+  profile.hz = impl.hz;
+  profile.duration_s = impl.duration_s;
+  profile.samples = impl.samples;
+  profile.dropped = impl.dropped;
+  profile.sampler_cpu_s = impl.sampler_cpu_s;
+
+  // Folded stacks: merge by rendered key (distinct frame vectors render to
+  // distinct strings unless names collide, in which case merging is right).
+  std::map<std::string, Impl::Fold> by_stack;
+  std::map<std::string, Impl::Fold> by_operator;
+  std::map<std::string, Impl::Fold> by_phase;
+  for (const auto& [frames, fold] : impl.folds) {
+    profile.total_cpu_s += fold.cpu_s;
+    auto& stack = by_stack[RenderStackKey(frames)];
+    stack.samples += fold.samples;
+    stack.cpu_s += fold.cpu_s;
+    auto& op = by_operator[OperatorOfStack(frames)];
+    op.samples += fold.samples;
+    op.cpu_s += fold.cpu_s;
+    auto& phase = by_phase[PhaseOfStack(frames)];
+    phase.samples += fold.samples;
+    phase.cpu_s += fold.cpu_s;
+  }
+  for (const auto& [stack, fold] : by_stack) {
+    profile.folded.push_back({stack, fold.samples, fold.cpu_s});
+  }
+  auto to_totals = [](const std::map<std::string, Impl::Fold>& m) {
+    std::vector<FrameTotal> totals;
+    totals.reserve(m.size());
+    for (const auto& [name, fold] : m) {
+      totals.push_back({name, fold.samples, fold.cpu_s});
+    }
+    std::sort(totals.begin(), totals.end(),
+              [](const FrameTotal& a, const FrameTotal& b) {
+                if (a.cpu_s != b.cpu_s) return a.cpu_s > b.cpu_s;
+                return a.name < b.name;
+              });
+    return totals;
+  };
+  profile.operators = to_totals(by_operator);
+  profile.phases = to_totals(by_phase);
+
+  int64_t truncated = 0;
+  for (const auto& [entry_ptr, pt] : impl.per_thread) {
+    profile.threads.push_back({pt.keep->name, pt.samples, pt.cpu_s});
+    truncated += pt.keep->stack.truncated();
+  }
+  std::sort(profile.threads.begin(), profile.threads.end(),
+            [](const ThreadCpu& a, const ThreadCpu& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.cpu_s > b.cpu_s;
+            });
+  profile.truncated = truncated;
+  impl.only.reset();
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// CpuProfile JSON
+
+Json CpuProfile::ToJson() const {
+  Json j = Json::Object();
+  j.Set("schema_version", Json::Int(schema_version));
+  j.Set("hz", Json::Number(hz));
+  j.Set("duration_s", Json::Number(duration_s));
+  j.Set("total_cpu_s", Json::Number(total_cpu_s));
+  j.Set("samples", Json::Int(samples));
+  j.Set("dropped", Json::Int(dropped));
+  j.Set("truncated", Json::Int(truncated));
+  j.Set("sampler_cpu_s", Json::Number(sampler_cpu_s));
+  Json folds = Json::Array();
+  for (const FoldedSample& f : folded) {
+    Json e = Json::Object();
+    e.Set("stack", Json::Str(f.stack));
+    e.Set("samples", Json::Int(f.samples));
+    e.Set("cpu_s", Json::Number(f.cpu_s));
+    folds.Append(std::move(e));
+  }
+  j.Set("folded", std::move(folds));
+  auto totals_json = [](const std::vector<FrameTotal>& totals) {
+    Json arr = Json::Array();
+    for (const FrameTotal& t : totals) {
+      Json e = Json::Object();
+      e.Set("name", Json::Str(t.name));
+      e.Set("samples", Json::Int(t.samples));
+      e.Set("cpu_s", Json::Number(t.cpu_s));
+      arr.Append(std::move(e));
+    }
+    return arr;
+  };
+  j.Set("operators", totals_json(operators));
+  j.Set("phases", totals_json(phases));
+  Json threads_json = Json::Array();
+  for (const ThreadCpu& t : threads) {
+    Json e = Json::Object();
+    e.Set("name", Json::Str(t.name));
+    e.Set("samples", Json::Int(t.samples));
+    e.Set("cpu_s", Json::Number(t.cpu_s));
+    threads_json.Append(std::move(e));
+  }
+  j.Set("threads", std::move(threads_json));
+  return j;
+}
+
+Result<CpuProfile> CpuProfile::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("profile document is not an object");
+  }
+  const int64_t version = IntField(json, "schema_version");
+  if (version != kProfileSchemaVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported profile schema_version %lld",
+                  static_cast<long long>(version)));
+  }
+  CpuProfile profile;
+  profile.hz = NumField(json, "hz");
+  profile.duration_s = NumField(json, "duration_s");
+  profile.total_cpu_s = NumField(json, "total_cpu_s");
+  profile.samples = IntField(json, "samples");
+  profile.dropped = IntField(json, "dropped");
+  profile.truncated = IntField(json, "truncated");
+  profile.sampler_cpu_s = NumField(json, "sampler_cpu_s");
+  const Json& folds = json["folded"];
+  if (folds.is_array()) {
+    for (size_t i = 0; i < folds.size(); ++i) {
+      const Json& e = folds.at(i);
+      profile.folded.push_back(
+          {StrField(e, "stack"), IntField(e, "samples"), NumField(e, "cpu_s")});
+    }
+  }
+  auto read_totals = [&json](const char* key) {
+    std::vector<FrameTotal> totals;
+    const Json& arr = json[key];
+    if (arr.is_array()) {
+      for (size_t i = 0; i < arr.size(); ++i) {
+        const Json& e = arr.at(i);
+        totals.push_back({StrField(e, "name"), IntField(e, "samples"),
+                          NumField(e, "cpu_s")});
+      }
+    }
+    return totals;
+  };
+  profile.operators = read_totals("operators");
+  profile.phases = read_totals("phases");
+  const Json& threads = json["threads"];
+  if (threads.is_array()) {
+    for (size_t i = 0; i < threads.size(); ++i) {
+      const Json& e = threads.at(i);
+      profile.threads.push_back(
+          {StrField(e, "name"), IntField(e, "samples"), NumField(e, "cpu_s")});
+    }
+  }
+  return profile;
+}
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace pdsp

@@ -1,0 +1,314 @@
+// pdsp::obs::prof — in-process sampling CPU profiler with no external
+// dependencies. RAII ProfScope markers push frames (phase / app / operator /
+// kernel) onto a lock-free fixed-depth thread-local marker stack; a
+// background sampler thread walks the registered threads at a fixed cadence
+// (default 97 Hz — prime, so it cannot alias a periodic workload), reads
+// each thread's per-thread CPU clock delta and aggregates weighted folded
+// stacks. Attribution is therefore real CPU seconds, not wall-clock guesses,
+// and the design is async-signal-free by construction: no SIGPROF handler
+// ever interrupts arbitrary code, the sampler only reads atomics and clocks
+// from its own thread (see DESIGN.md "CPU profiling" for the trade-off).
+//
+// Concurrency contract:
+//   * Marker slots, depth and the sequence counter are individual atomics —
+//     the writer (the marked thread) uses relaxed/release stores, the
+//     sampler validates each snapshot with a seqlock-style sequence check
+//     and drops torn reads (counted in CpuProfile::dropped). No locks on
+//     the marker path, no data races by construction (TSan-clean).
+//   * When no profiler is running, ProfScope costs one relaxed atomic load
+//     and a branch — cheap enough for the simulator's per-firing loop.
+//   * Thread registration/unregistration takes a global mutex; the sampler
+//     copies the registry under that mutex and reads thread CPU clocks
+//     outside it, skipping entries whose thread has exited.
+
+#ifndef PDSP_OBS_PROF_H_
+#define PDSP_OBS_PROF_H_
+
+#include <time.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+namespace prof {
+
+/// What a marker frame annotates, outermost to innermost in a well-formed
+/// stack: harness phase -> application -> logical operator -> kernel.
+enum class FrameKind : uint8_t { kPhase = 0, kApp = 1, kOperator = 2, kKernel = 3 };
+
+/// Short stable label ("phase", "app", "op", "kernel") used in folded-stack
+/// strings and the flame graph.
+const char* FrameKindName(FrameKind kind);
+
+/// Interns `name` into the process-wide name table and returns its id
+/// (always >= 1; id 0 is reserved for "no name" and renders "(anon)").
+/// Intern once on a cold path (e.g. when a run starts) and hand the id to
+/// ProfScope so the hot path never touches strings.
+uint32_t InternName(const std::string& name);
+
+/// Name for an interned id; "" for 0 or an unknown id.
+std::string LookupName(uint32_t id);
+
+/// A marker frame packed into one atomic word: kind in bits [32,40),
+/// interned name id in bits [0,32). 0 means "empty slot".
+constexpr uint64_t PackFrame(FrameKind kind, uint32_t name_id) {
+  return (static_cast<uint64_t>(kind) << 32) | name_id;
+}
+constexpr FrameKind FrameKindOf(uint64_t frame) {
+  return static_cast<FrameKind>((frame >> 32) & 0xffu);
+}
+constexpr uint32_t FrameNameOf(uint64_t frame) {
+  return static_cast<uint32_t>(frame & 0xffffffffu);
+}
+
+/// Deeper nesting than this is truncated (counted, never UB): pushes beyond
+/// the limit only bump the logical depth so pops stay paired.
+inline constexpr int kMaxMarkerDepth = 16;
+
+/// \brief Fixed-depth lock-free marker stack, one per registered thread.
+/// Written only by the owning thread; read by the sampler through
+/// Snapshot(), which detects concurrent mutation with a sequence counter
+/// and reports a torn read instead of returning a frankenstack.
+class MarkerStack {
+ public:
+  void Push(FrameKind kind, uint32_t name_id) {
+    const uint32_t d = depth_.load(std::memory_order_relaxed);
+    if (d < static_cast<uint32_t>(kMaxMarkerDepth)) {
+      seq_.fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
+      frames_[d].store(PackFrame(kind, name_id), std::memory_order_relaxed);
+      depth_.store(d + 1, std::memory_order_relaxed);
+      seq_.fetch_add(1, std::memory_order_release);  // even: consistent again
+    } else {
+      truncated_.fetch_add(1, std::memory_order_relaxed);
+      depth_.store(d + 1, std::memory_order_relaxed);  // keep pops paired
+    }
+  }
+
+  void Pop() {
+    const uint32_t d = depth_.load(std::memory_order_relaxed);
+    if (d == 0) return;  // unbalanced pop: ignore rather than corrupt
+    if (d <= static_cast<uint32_t>(kMaxMarkerDepth)) {
+      seq_.fetch_add(1, std::memory_order_acq_rel);
+      depth_.store(d - 1, std::memory_order_relaxed);
+      seq_.fetch_add(1, std::memory_order_release);
+    } else {
+      depth_.store(d - 1, std::memory_order_relaxed);  // truncated region
+    }
+  }
+
+  /// Copies up to kMaxMarkerDepth frames into `out` and returns the count,
+  /// or -1 if the stack kept changing across `max_attempts` tries (the
+  /// caller should count the sample as dropped).
+  int Snapshot(uint64_t (&out)[kMaxMarkerDepth], int max_attempts = 3) const {
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      const uint64_t before = seq_.load(std::memory_order_acquire);
+      if (before & 1) continue;  // writer mid-flight
+      uint32_t d = depth_.load(std::memory_order_relaxed);
+      if (d > static_cast<uint32_t>(kMaxMarkerDepth)) {
+        d = static_cast<uint32_t>(kMaxMarkerDepth);
+      }
+      for (uint32_t i = 0; i < d; ++i) {
+        out[i] = frames_[i].load(std::memory_order_relaxed);
+      }
+      // The re-check is an acq_rel RMW rather than a fence + relaxed load:
+      // its release half keeps the frame loads above from sinking past it,
+      // and unlike std::atomic_thread_fence it is instrumented by TSan.
+      // At <= 2 kHz sampling the extra write is noise.
+      if (seq_.fetch_add(0, std::memory_order_acq_rel) == before) {
+        return static_cast<int>(d);
+      }
+    }
+    return -1;
+  }
+
+  /// Pushes that fell off the fixed-depth end (cumulative for the thread).
+  int64_t truncated() const {
+    return truncated_.load(std::memory_order_relaxed);
+  }
+
+  /// Current logical depth (may exceed kMaxMarkerDepth when truncating).
+  uint32_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint32_t> depth_{0};
+  mutable std::atomic<uint64_t> seq_{0};
+  std::atomic<int64_t> truncated_{0};
+  std::array<std::atomic<uint64_t>, kMaxMarkerDepth> frames_{};
+};
+
+/// \brief Registry entry for one sampled thread. Created by
+/// ThreadRegistration; the sampler holds shared_ptr copies, so the entry
+/// outlives the thread and `alive` tells the sampler to stop reading its
+/// CPU clock.
+struct ThreadEntry {
+  std::string name;
+  ::clockid_t cpu_clock{};
+  bool clock_valid = false;
+  std::atomic<bool> alive{true};
+  MarkerStack stack;
+};
+
+/// \brief RAII registration of the calling thread with the profiler
+/// machinery (CPU clock id + marker stack). Nested registration on an
+/// already-registered thread is a no-op, so pool workers registered for the
+/// pool's lifetime compose with per-cell registrations in the harness.
+class ThreadRegistration {
+ public:
+  explicit ThreadRegistration(const std::string& name);
+  ~ThreadRegistration();
+
+  ThreadRegistration(const ThreadRegistration&) = delete;
+  ThreadRegistration& operator=(const ThreadRegistration&) = delete;
+
+  /// False when this was a nested (no-op) registration.
+  bool owner() const { return entry_ != nullptr; }
+
+ private:
+  std::shared_ptr<ThreadEntry> entry_;  // null when nested
+};
+
+/// The calling thread's registry entry, or nullptr when unregistered.
+ThreadEntry* CurrentThreadEntry();
+
+namespace detail {
+/// Count of running Profilers; gates every ProfScope.
+extern std::atomic<int> active_profilers;
+}  // namespace detail
+
+/// True while at least one Profiler is sampling — the only state ProfScope
+/// reads before deciding to do nothing.
+inline bool ProfilingActive() {
+  return detail::active_profilers.load(std::memory_order_relaxed) > 0;
+}
+
+/// \brief RAII marker: pushes one frame on the calling thread's marker
+/// stack for its scope. No-op (one relaxed load + branch) when no profiler
+/// is running, the thread is unregistered, or `name_id` is 0.
+class ProfScope {
+ public:
+  ProfScope(FrameKind kind, uint32_t name_id) {
+    if (name_id == 0 || !ProfilingActive()) return;
+    ThreadEntry* entry = CurrentThreadEntry();
+    if (entry == nullptr) return;
+    stack_ = &entry->stack;
+    stack_->Push(kind, name_id);
+  }
+
+  /// Interns `name` (only when a profiler is active — keep off hot paths;
+  /// pre-intern and use the id overload there).
+  ProfScope(FrameKind kind, const char* name);
+  ProfScope(FrameKind kind, const std::string& name);
+
+  ~ProfScope() {
+    if (stack_ != nullptr) stack_->Pop();
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  MarkerStack* stack_ = nullptr;
+};
+
+/// \brief Profiler configuration (CLI: --profile[=HZ]).
+struct ProfOptions {
+  bool enabled = false;
+  /// Sampling cadence; clamped to [1, 2000] at Start. 97 is prime, so the
+  /// sampler cannot phase-lock with periodic simulator work.
+  double hz = 97.0;
+  /// false: sample only the thread that calls Start() — the right scope for
+  /// per-cell profiles in a parallel sweep, where a global walk would
+  /// attribute sibling cells' CPU to this cell. true: walk every registered
+  /// thread (pool workers included).
+  bool all_threads = false;
+};
+
+struct FoldedSample {
+  std::string stack;  ///< "phase:simulate;app:WC;op:count" ("" never occurs)
+  int64_t samples = 0;
+  double cpu_s = 0.0;
+};
+
+struct FrameTotal {
+  std::string name;
+  int64_t samples = 0;
+  double cpu_s = 0.0;
+};
+
+struct ThreadCpu {
+  std::string name;
+  int64_t samples = 0;
+  double cpu_s = 0.0;
+};
+
+inline constexpr int kProfileSchemaVersion = 1;
+
+/// \brief Aggregated result of one profiling session. Telescoping
+/// invariants (validated in tests): sum(folded.cpu_s) == total_cpu_s ==
+/// sum(operators.cpu_s) == sum(phases.cpu_s) — operators/phases partition
+/// every sample by its innermost operator / outermost phase frame, with
+/// "(none)" buckets for samples that had no such frame.
+struct CpuProfile {
+  int schema_version = kProfileSchemaVersion;
+  double hz = 0.0;          ///< effective cadence the sampler ran at
+  double duration_s = 0.0;  ///< wall-clock Start..Stop
+  double total_cpu_s = 0.0; ///< CPU seconds attributed across all samples
+  int64_t samples = 0;      ///< thread-samples with a positive CPU delta
+  int64_t dropped = 0;      ///< torn marker-stack reads (CPU kept, stack "(torn)")
+  int64_t truncated = 0;    ///< marker pushes beyond kMaxMarkerDepth
+  double sampler_cpu_s = 0.0;  ///< CPU the sampler thread itself burned
+  std::vector<FoldedSample> folded;    ///< sorted by stack string
+  std::vector<FrameTotal> operators;   ///< sorted by cpu_s desc, name asc
+  std::vector<FrameTotal> phases;      ///< sorted by cpu_s desc, name asc
+  std::vector<ThreadCpu> threads;      ///< sorted by name
+
+  bool empty() const { return samples == 0; }
+
+  Json ToJson() const;
+  /// Rejects documents whose schema_version != kProfileSchemaVersion;
+  /// otherwise lenient (missing keys read as empty/zero).
+  static Result<CpuProfile> FromJson(const Json& json);
+};
+
+/// \brief Background-thread sampling profiler. Start() spawns the sampler;
+/// Stop() joins it (taking one final sample first, so even sub-tick runs
+/// yield data) and returns the aggregated CpuProfile. The destructor stops
+/// a still-running session and discards its result.
+class Profiler {
+ public:
+  explicit Profiler(const ProfOptions& options);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Spawns the sampler thread. With all_threads=false the calling thread
+  /// must already be registered (ThreadRegistration) — it becomes the only
+  /// sampled thread. FailedPrecondition when already running or the calling
+  /// thread is unregistered.
+  Status Start();
+
+  /// Joins the sampler and aggregates. Returns an empty profile when Start
+  /// was never (successfully) called.
+  CpuProfile Stop();
+
+  bool running() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_PROF_H_

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "src/common/file_util.h"
 #include "src/common/stats.h"
 #include "src/common/string_util.h"
+#include "src/obs/prof.h"
 #include "src/obs/svg.h"
 #include "src/store/json.h"
 
@@ -209,6 +211,103 @@ std::string CriticalPathTable(const std::vector<AppGroup>& groups) {
          rows + "</table>\n";
 }
 
+/// CPU-profile section harvested from profile.json bundles: one flame
+/// graph per profiled cell plus a "CPU vs virtual time" table that
+/// cross-checks measured CPU shares against the cost model's service-cost
+/// shares (busy_time_s from the bundle's metrics.json) — the calibration
+/// signal for the sim-vs-real loop. Every rendered flame graph counts into
+/// *charts so the pdsp-report marker stays equal to the <svg> count.
+std::string ProfileSection(const std::vector<AppGroup>& groups,
+                           size_t* charts) {
+  std::string html;
+  for (const AppGroup& group : groups) {
+    for (const auto& entry : group.by_parallelism) {
+      const RunRecord& rec = entry.second;
+      if (rec.artifact_dir.empty()) continue;
+      Result<std::string> text =
+          ReadTextFile(rec.artifact_dir + "/profile.json");
+      if (!text.ok()) continue;
+      Result<Json> doc = Json::Parse(*text);
+      if (!doc.ok()) continue;
+      Result<prof::CpuProfile> profile = prof::CpuProfile::FromJson(*doc);
+      if (!profile.ok() || profile->empty()) continue;
+
+      svg::FlameGraphSpec spec;
+      // Raw label is fine here: Canvas::Text escapes its content.
+      spec.title = StrFormat("%s: CPU flame graph (%.4fs sampled @ %.0f Hz)",
+                             rec.label.c_str(), profile->total_cpu_s,
+                             profile->hz);
+      for (const prof::FoldedSample& f : profile->folded) {
+        spec.stacks.emplace_back(f.stack, f.cpu_s);
+      }
+      html += "<h2>CPU flame graph: " + EscapeText(rec.label) + "</h2>\n";
+      html += svg::RenderFlameGraph(spec) + "\n";
+      ++*charts;
+
+      // Virtual-time service shares from the bundle's metrics.json.
+      std::map<std::string, double> busy;
+      double busy_total = 0.0;
+      Result<std::string> metrics_text =
+          ReadTextFile(rec.artifact_dir + "/metrics.json");
+      if (metrics_text.ok()) {
+        Result<Json> metrics = Json::Parse(*metrics_text);
+        if (metrics.ok()) {
+          const Json& ops = (*metrics)["operators"];
+          for (size_t i = 0; ops.is_array() && i < ops.size(); ++i) {
+            const Json& op = ops.at(i);
+            if (!op["name"].is_string() || !op["busy_time_s"].is_number()) {
+              continue;
+            }
+            const double v = op["busy_time_s"].AsNumber();
+            if (!std::isfinite(v)) continue;
+            busy[op["name"].AsString()] += v;
+            busy_total += v;
+          }
+        }
+      }
+      double cpu_op_total = 0.0;
+      for (const prof::FrameTotal& op : profile->operators) {
+        if (op.name != "(none)") cpu_op_total += op.cpu_s;
+      }
+      constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+      std::string rows;
+      for (const prof::FrameTotal& op : profile->operators) {
+        if (op.name == "(none)") continue;
+        const double cpu_share =
+            cpu_op_total > 0.0 ? op.cpu_s / cpu_op_total * 100.0 : kNaN;
+        auto it = busy.find(op.name);
+        const double virt_share = it != busy.end() && busy_total > 0.0
+                                      ? it->second / busy_total * 100.0
+                                      : kNaN;
+        rows += "<tr><td>" + EscapeText(op.name) + "</td><td class=\"num\">" +
+                Num(op.cpu_s, "%.4f") + "</td><td class=\"num\">" +
+                StrFormat("%lld", static_cast<long long>(op.samples)) +
+                "</td><td class=\"num\">" + Num(cpu_share, "%.1f") +
+                "%</td><td class=\"num\">" + Num(virt_share, "%.1f") +
+                "%</td><td class=\"num\">" +
+                Num(cpu_share - virt_share, "%+.1f") + "</td></tr>\n";
+      }
+      if (!rows.empty()) {
+        html += "<h2>CPU vs virtual time: " + EscapeText(rec.label) +
+                "</h2>\n"
+                "<table><tr><th>operator</th><th>CPU s</th><th>samples</th>"
+                "<th>measured CPU share</th><th>modeled service share</th>"
+                "<th>&#916; pp</th></tr>\n" +
+                rows + "</table>\n";
+      }
+      html += "<p class=\"meta\">" +
+              StrFormat("%lld samples (%lld dropped, %lld truncated "
+                        "frames) &#183; sampler overhead %.4fs CPU",
+                        static_cast<long long>(profile->samples),
+                        static_cast<long long>(profile->dropped),
+                        static_cast<long long>(profile->truncated),
+                        profile->sampler_cpu_s) +
+              "</p>\n";
+    }
+  }
+  return html;
+}
+
 const char* VerdictClass(MetricVerdict verdict) {
   switch (verdict) {
     case MetricVerdict::kImproved: return "improved";
@@ -347,6 +446,7 @@ Result<ReportResult> GenerateReport(const std::vector<RunRecord>& records,
   out.stats.charts += 1;
 
   std::string sections = CriticalPathTable(groups);
+  sections += ProfileSection(groups, &out.stats.charts);
   sections += SummaryTable(records);
   if (!options.against_path.empty()) {
     Result<std::vector<RunRecord>> baseline =

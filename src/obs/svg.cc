@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
 
 #include "src/common/string_util.h"
 
@@ -393,6 +395,92 @@ std::string RenderHeatmap(const HeatmapSpec& spec) {
     canvas.Rect(kx, top + 18, 12, 12, ColorRamp(1.0));
     canvas.Text(kx + 16, top + 28, TickLabel(v_max), 10, "start", "#555");
   }
+  return canvas.Finish();
+}
+
+namespace {
+
+/// Trie node for flame-graph aggregation. Children are keyed by frame
+/// label, so sibling order — and therefore the rendered SVG — is
+/// deterministic regardless of input order.
+struct FlameNode {
+  double value = 0.0;
+  std::map<std::string, FlameNode> children;
+};
+
+int FlameDepth(const FlameNode& node) {
+  int deepest = 0;
+  for (const auto& [name, child] : node.children) {
+    (void)name;
+    deepest = std::max(deepest, 1 + FlameDepth(child));
+  }
+  return deepest;
+}
+
+/// FNV-1a over the frame name: std::hash is not guaranteed stable across
+/// implementations, and a frame should keep its color across reports.
+size_t FrameColorIndex(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+void RenderFlameNode(Canvas* canvas, const std::string& name,
+                     const FlameNode& node, double x, int depth,
+                     double px_per_unit, double row_height, double top,
+                     double total) {
+  const double w = node.value * px_per_unit;
+  if (w < 0.5) return;  // sub-pixel frames add bytes, not information
+  const double y = top + depth * row_height;
+  const double share = total > 0.0 ? node.value / total * 100.0 : 0.0;
+  canvas->Rect(x, y, std::max(0.5, w - 0.6), row_height - 2,
+               PaletteColor(FrameColorIndex(name)), 0.85,
+               StrFormat("%s: %.4fs (%.1f%%)", name.c_str(), node.value,
+                         share));
+  if (w > 34) {
+    const size_t max_chars = static_cast<size_t>((w - 8) / 6.2);
+    const std::string label =
+        name.size() > max_chars
+            ? name.substr(0, max_chars > 2 ? max_chars - 2 : 0) + ".."
+            : name;
+    canvas->Text(x + 4, y + row_height - 6, label, 10, "start", "#222");
+  }
+  double child_x = x;
+  for (const auto& [child_name, child] : node.children) {
+    RenderFlameNode(canvas, child_name, child, child_x, depth + 1,
+                    px_per_unit, row_height, top, total);
+    child_x += child.value * px_per_unit;
+  }
+}
+
+}  // namespace
+
+std::string RenderFlameGraph(const FlameGraphSpec& spec) {
+  FlameNode root;
+  for (const auto& [stack, weight] : spec.stacks) {
+    if (!Finite(weight) || weight <= 0.0 || stack.empty()) continue;
+    root.value += weight;
+    FlameNode* node = &root;
+    for (const std::string& frame : Split(stack, ';')) {
+      node = &node->children[frame.empty() ? std::string("(anon)") : frame];
+      node->value += weight;
+    }
+  }
+  if (root.value <= 0.0) {
+    return Placeholder(spec.width, 120, spec.title);
+  }
+  const double row_height = spec.row_height > 4 ? spec.row_height : 18;
+  const double top = 26;
+  const double left = 8;
+  const double plot_width = spec.width - left - 8;
+  const int rows = 1 + FlameDepth(root);  // + synthetic root row
+  Canvas canvas(spec.width, top + rows * row_height + 8);
+  canvas.Text(10, 17, spec.title, 13, "start", "#111");
+  RenderFlameNode(&canvas, spec.root_label, root, left, 0,
+                  plot_width / root.value, row_height, top, root.value);
   return canvas.Finish();
 }
 

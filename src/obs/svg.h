@@ -142,6 +142,23 @@ struct HeatmapSpec {
 /// cells stay blank, flagged cells get a red outline.
 std::string RenderHeatmap(const HeatmapSpec& spec);
 
+struct FlameGraphSpec {
+  std::string title;
+  /// Weighted folded stacks: ("frame;frame;frame", weight). Weights are
+  /// CPU seconds; non-finite or non-positive weights are dropped.
+  std::vector<std::pair<std::string, double>> stacks;
+  /// Label for the synthetic root frame spanning the full width.
+  std::string root_label = "all";
+  double width = 900;
+  double row_height = 18;
+};
+
+/// Icicle-style flame graph (root on top, callees below, width ∝ weight).
+/// Frame colors are stable hashes of the frame name, so the same operator
+/// keeps its color across reports. An empty spec renders a "(no data)"
+/// placeholder.
+std::string RenderFlameGraph(const FlameGraphSpec& spec);
+
 }  // namespace svg
 }  // namespace obs
 }  // namespace pdsp

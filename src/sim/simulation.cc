@@ -10,6 +10,7 @@
 #include "src/common/string_util.h"
 #include "src/data/arrival.h"
 #include "src/data/generator.h"
+#include "src/obs/prof.h"
 #include "src/runtime/operators.h"
 
 namespace pdsp {
@@ -185,6 +186,18 @@ class Engine {
   bool trace_verbose_ = false;
   bool attribute_ = false;
   bool bp_active_ = false;
+  // CPU-profiler marker ids, pre-interned at Run() start and only when a
+  // profiler is active (empty otherwise). A ProfScope with id 0 is a no-op,
+  // so the per-firing cost with profiling off stays one relaxed load and a
+  // branch per scope.
+  std::vector<uint32_t> op_marker_ids_;
+  uint32_t kernel_fire_id_ = 0;
+  uint32_t kernel_process_id_ = 0;
+
+  uint32_t OpMarkerId(LogicalPlan::OpId op) const {
+    const auto i = static_cast<size_t>(op);
+    return i < op_marker_ids_.size() ? op_marker_ids_[i] : 0u;
+  }
   // Per-logical-operator latency-component accumulators (moved into
   // OperatorRunStats::latency at aggregation time).
   std::vector<OperatorLatencyStats> op_latency_;
@@ -537,6 +550,8 @@ void Engine::EmitSourceBatch(int task, double now) {
   TaskState& state = tasks_[task];
   const PhysicalTask& pt = plan_.task(task);
   const OperatorDescriptor& op = plan_.logical().op(pt.op);
+  obs::prof::ProfScope op_scope(obs::prof::FrameKind::kOperator,
+                                OpMarkerId(pt.op));
   const double dt = state.batch_interval;
 
   int64_t n = state.arrival->EventsInWindow(now, dt, &state.rng);
@@ -609,6 +624,8 @@ Status Engine::ProcessOne(int task, double now) {
   TaskState& state = tasks_[task];
   const PhysicalTask& pt = plan_.task(task);
   const OperatorDescriptor& op = plan_.logical().op(pt.op);
+  obs::prof::ProfScope op_scope(obs::prof::FrameKind::kOperator,
+                                OpMarkerId(pt.op));
 
   std::vector<StreamElement> outputs;
   double cost = 0.0;
@@ -621,9 +638,13 @@ Status Engine::ProcessOne(int task, double now) {
     // semantics — queueing delay anywhere upstream holds the watermark back
     // and therefore delays firing (and raises end-to-end latency).
     timer_fire = true;
+    obs::prof::ProfScope kernel_scope(obs::prof::FrameKind::kKernel,
+                                      kernel_fire_id_);
     state.instance->OnTimer(state.input_wm, &outputs);
     cost = costs_.BatchCost(op);
   } else {
+    obs::prof::ProfScope kernel_scope(obs::prof::FrameKind::kKernel,
+                                      kernel_process_id_);
     std::shared_ptr<Batch> batch = state.queue.front();
     state.queue.pop_front();
     in_tuples = batch->elements.size();
@@ -738,6 +759,17 @@ Result<SimResult> Engine::Run() {
   trace_verbose_ =
       options_.tracer != nullptr && options_.tracer->verbose();
   attribute_ = options_.attribute_latency;
+  if (obs::prof::ProfilingActive()) {
+    // Pre-intern every marker name once so the per-firing scopes carry
+    // plain ids and never touch the name table's mutex.
+    op_marker_ids_.resize(plan_.logical().NumOperators());
+    for (size_t op = 0; op < plan_.logical().NumOperators(); ++op) {
+      op_marker_ids_[op] = obs::prof::InternName(
+          plan_.logical().op(static_cast<LogicalPlan::OpId>(op)).name);
+    }
+    kernel_fire_id_ = obs::prof::InternName("fire-timers");
+    kernel_process_id_ = obs::prof::InternName("process-batch");
+  }
   PDSP_RETURN_NOT_OK(SetUpTasks());
   prev_busy_time_.assign(tasks_.size(), 0.0);
   prev_tuples_in_.assign(tasks_.size(), 0);

@@ -12,6 +12,7 @@
 #include "src/common/file_util.h"
 #include "src/common/string_util.h"
 #include "src/obs/ledger.h"
+#include "src/obs/prof.h"
 
 namespace pdsp {
 namespace obs {
@@ -207,6 +208,38 @@ TEST(WriteReportFileTest, EndToEndLedgerToHtmlOnDisk) {
   ASSERT_TRUE(html.ok());
   EXPECT_EQ(CountOccurrences(*html, "<svg"), stats->charts);
   EXPECT_NE(html->find("</html>"), std::string::npos);
+}
+
+TEST(GenerateReportTest, ProfiledBundlesGetFlameGraphAndCpuTable) {
+  const std::string dir =
+      ::testing::TempDir() + "/pdsp_report_test/prof_bundle";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  prof::CpuProfile profile;
+  profile.hz = 97.0;
+  profile.duration_s = 1.0;
+  profile.total_cpu_s = 1.0;
+  profile.samples = 97;
+  profile.folded = {
+      {"phase:simulate;app:WC;op:count<script>alert(1)</script>", 97, 1.0}};
+  profile.operators = {{"count<script>alert(1)</script>", 97, 1.0}};
+  profile.phases = {{"simulate", 97, 1.0}};
+  ASSERT_TRUE(
+      WriteTextFileAtomic(dir + "/profile.json", profile.ToJson().Dump(2))
+          .ok());
+
+  std::vector<RunRecord> records = TwoAppLedger();
+  records.back().artifact_dir = dir;  // one profiled cell
+  auto report = GenerateReport(records, ReportOptions());
+  ASSERT_TRUE(report.ok());
+  // 7 base charts + 1 flame graph, and the marker still equals <svg> count.
+  EXPECT_EQ(report->stats.charts, 8u);
+  EXPECT_EQ(CountOccurrences(report->html, "<svg"), report->stats.charts);
+  EXPECT_NE(report->html.find("CPU flame graph"), std::string::npos);
+  EXPECT_NE(report->html.find("CPU vs virtual time"), std::string::npos);
+  // Hostile operator names from profile.json never reach the HTML raw.
+  EXPECT_EQ(report->html.find("<script>"), std::string::npos);
+  EXPECT_NE(report->html.find("&lt;script&gt;"), std::string::npos);
 }
 
 }  // namespace

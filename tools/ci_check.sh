@@ -181,6 +181,51 @@ else
   echo "python3 not found; monitor/report artifacts generated but unchecked"
 fi
 
+step "profiled run smoke (--profile + artifacts + flame-graph report)"
+# A profiled 2-cell sweep end-to-end: the sampling CPU profiler on at a
+# high cadence, artifact bundles under a fresh directory, then a report over
+# the ledger. Validates the profile.json schema and its telescoping
+# invariant (folded == total == operators == phases) and that the report
+# embeds a flame graph while its chart marker still matches the <svg> count.
+PROF_DIR="$BUILD_DIR/ci_prof_artifacts"
+PROF_LEDGER="$BUILD_DIR/ci_prof_ledger.jsonl"
+PROF_REPORT="$BUILD_DIR/ci_prof_report.html"
+rm -rf "$PROF_DIR"
+rm -f "$PROF_LEDGER" "$PROF_REPORT"
+"$BUILD_DIR/tools/pdspbench" --structure=linear --rate=20000 \
+    --parallelism=1,4 --nodes=4 --duration=2.0 --seed=7 --profile=997 \
+    --artifacts="$PROF_DIR" --ledger="$PROF_LEDGER" > /dev/null
+"$BUILD_DIR/tools/pdspbench" report "$PROF_LEDGER" --out="$PROF_REPORT" \
+    --title="CI profiled smoke"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$PROF_DIR" "$PROF_REPORT" <<'EOF'
+import glob, json, re, sys
+profiles = sorted(glob.glob(sys.argv[1] + "/*/*/profile.json"))
+assert len(profiles) == 2, f"expected 2 profile.json bundles, got {profiles}"
+for path in profiles:
+    p = json.load(open(path))
+    assert p["schema_version"] == 1, f"{path}: bad schema_version"
+    assert p["samples"] >= 1, f"{path}: no samples (final-sample guarantee broken)"
+    total = p["total_cpu_s"]
+    for key in ("folded", "operators", "phases"):
+        s = sum(e["cpu_s"] for e in p[key])
+        assert abs(s - total) < 1e-9, \
+            f"{path}: {key} sum {s} != total {total} (telescoping broken)"
+    assert any(o["name"] not in ("(none)", "(torn)") for o in p["operators"]), \
+        f"{path}: no operator attribution"
+html = open(sys.argv[2]).read()
+assert "CPU flame graph" in html, "report lacks the flame-graph section"
+m = re.search(r"<!-- pdsp-report charts=(\d+) ", html)
+assert m, "missing pdsp-report marker comment"
+charts, svgs = int(m.group(1)), html.count("<svg")
+assert svgs == charts, f"marker says {charts} charts, found {svgs} <svg>"
+print(f"profiled smoke: {len(profiles)} bundles telescoped, "
+      f"report embeds {svgs} charts incl. flame graphs")
+EOF
+else
+  echo "python3 not found; profiled artifacts generated but unchecked"
+fi
+
 step "benchmark regression gate (tools/bench_gate.sh)"
 # Small fixed subset with generous thresholds: this catches real breakage
 # (a plan change, a simulator behavior change), not microbenchmark noise.

@@ -20,6 +20,12 @@
 //                         (bare --progress = auto: rich on a TTY, plain
 //                         otherwise); emits PDSP-M### watchdog findings
 //   --progress-file=<p>   append monitor snapshots to <p> (JSONL)
+//   --profile[=HZ]        sample real CPU per operator while simulating
+//                         (sampling profiler, default 97 Hz; results in
+//                         profile.json + the ledger record; virtual-time
+//                         outputs stay bit-identical)
+//   --artifacts=<dir>     write per-run artifact bundles under <dir>
+//                         (sweeps: <dir>/<cell-label>/)
 //   --cluster=<name>      m510 | c6525 | c6320 | mixed   [default m510]
 //   --nodes=<n>           cluster size                   [default 10]
 //   --duration=<s>        generation horizon             [default 5]
@@ -51,7 +57,7 @@
 // Provenance / regression subcommands over the run ledger
 // (results/ledger.jsonl by default; see src/obs/ledger.h):
 //   pdspbench history [<label>|all] [--ledger=PATH] [--app=NAME]
-//                     [--limit=N] [--json]
+//                     [--limit=N] [--json] [--format=table|csv]
 //   pdspbench report <ledger|dir|record.json> [--out=PATH] [--against=PATH]
 //                     [--app=NAME] [--limit=N] — self-contained HTML report
 //   pdspbench compare <baseline> <candidate> [--ledger=PATH]
@@ -70,14 +76,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
-
-#include <algorithm>
-#include <filesystem>
 
 #include "src/analysis/analyzer.h"
 #include "src/analysis/properties.h"
@@ -91,7 +97,9 @@
 #include "src/obs/diagnose.h"
 #include "src/obs/host_profile.h"
 #include "src/obs/ledger.h"
+#include "src/obs/artifacts.h"
 #include "src/obs/monitor.h"
+#include "src/obs/prof.h"
 #include "src/obs/report.h"
 #include "src/sim/analytic.h"
 #include "src/sim/simulation.h"
@@ -120,6 +128,13 @@ struct Args {
   std::string load;
   std::string store_dir = "runs";
   std::string ledger;  ///< when set, append this run's RunRecord here
+  /// --profile[=HZ]: sampling CPU profiler (bare flag keeps the default
+  /// cadence). Profiling never perturbs virtual-time results.
+  bool profile_set = false;
+  double profile_hz = 97.0;
+  /// --artifacts=DIR: write per-run artifact bundles (metrics.json,
+  /// profile.json, ...) under DIR (sweeps: DIR/<cell-label>/).
+  std::string artifacts;
   /// --progress[=plain|rich|off|auto]: live sweep monitoring. Empty means
   /// the flag was not given at all (monitor fully off).
   std::string progress;
@@ -152,6 +167,7 @@ int Usage() {
                "[--parallelism=N] [--json] [--explain]\n"
                "       pdspbench history [<label>|all] [--ledger=PATH] "
                "[--app=NAME] [--limit=N] [--json]\n"
+               "                 [--format=table|csv]\n"
                "       pdspbench report <ledger|dir|record.json> "
                "[--out=PATH] [--against=PATH] [--app=NAME]\n"
                "                 [--limit=N] [--title=S] [--threshold=F] "
@@ -163,7 +179,9 @@ int Usage() {
                "  (plain runs accept --ledger=PATH to append a provenance "
                "record; sweeps accept\n"
                "   --progress[=plain|rich|off] and --progress-file=PATH for "
-               "live monitoring)\n");
+               "live monitoring;\n"
+               "   both accept --profile[=HZ] for CPU sampling and "
+               "--artifacts=DIR for bundles)\n");
   return 2;
 }
 
@@ -554,13 +572,31 @@ int DiagnoseMain(int argc, char** argv) {
 constexpr char kDefaultLedgerPath[] = "results/ledger.jsonl";
 constexpr char kDefaultBaselineDir[] = "bench/baselines";
 
+/// RFC-4180 CSV field: quoted (with doubled inner quotes) only when the
+/// value contains a delimiter, quote or newline, so plain numeric fields
+/// stay byte-identical to their printf form.
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string out = "\"";
+  for (const char c : value) {
+    out += c;
+    if (c == '"') out += '"';  // RFC 4180: escape by doubling
+  }
+  out += '"';
+  return out;
+}
+
 int HistoryUsage() {
   std::fprintf(stderr,
                "usage: pdspbench history [<label>|all] [--ledger=PATH] "
-               "[--app=NAME] [--limit=N] [--json]\n"
+               "[--app=NAME] [--limit=N]\n"
+               "                 [--json] [--format=table|csv]\n"
                "  --app filters by the label's app part (label up to the "
                "first '/'),\n"
-               "  so 'history --app=WC' matches WC, WC/p4, WC/p8, ...\n");
+               "  so 'history --app=WC' matches WC, WC/p4, WC/p8, ...\n"
+               "  --format=csv streams the selection as RFC-4180 CSV (one "
+               "header row) for\n"
+               "  spreadsheets and scripts; --json keeps the full records.\n");
   return 2;
 }
 
@@ -568,6 +604,7 @@ int HistoryMain(int argc, char** argv) {
   std::string target;
   std::string ledger_path = kDefaultLedgerPath;
   std::string app_filter;
+  std::string format = "table";
   size_t limit = 20;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
@@ -576,6 +613,7 @@ int HistoryMain(int argc, char** argv) {
       json = true;
     } else if (ParseArg(argv[i], "ledger", &ledger_path)) {
     } else if (ParseArg(argv[i], "app", &app_filter)) {
+    } else if (ParseArg(argv[i], "format", &format)) {
     } else if (ParseArg(argv[i], "limit", &value)) {
       limit = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (argv[i][0] != '-' && target.empty()) {
@@ -586,7 +624,9 @@ int HistoryMain(int argc, char** argv) {
     }
   }
   if (target.empty()) target = "all";  // --app alone scopes large ledgers
-  if (limit < 1) return HistoryUsage();
+  if (limit < 1 || (format != "table" && format != "csv")) {
+    return HistoryUsage();
+  }
   auto records = obs::RunLedger(ledger_path).Load();
   if (!records.ok()) {
     std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
@@ -611,6 +651,49 @@ int HistoryMain(int argc, char** argv) {
     out.Set("ledger", Json::Str(ledger_path));
     out.Set("records", std::move(arr));
     std::printf("%s\n", out.Dump(2).c_str());
+    return 0;
+  }
+  if (format == "csv") {
+    // Header always prints so a filtered-to-empty selection still yields a
+    // valid CSV document.
+    std::printf(
+        "run_id,timestamp_utc,label,plan_hash,parallelism,event_rate,"
+        "cluster,nodes,seed,repeats,duration_s,throughput_tps,"
+        "median_latency_s,p95_latency_s,p99_latency_s,late_drops,"
+        "backpressure_skipped,diagnosis_codes,determinism,artifact_dir,"
+        "profile_samples,profile_cpu_s,profile_top_operator\n");
+    for (const obs::RunRecord* r : selected) {
+      const std::vector<std::string> fields = {
+          r->run_id,
+          r->timestamp_utc,
+          r->label,
+          r->plan_hash,
+          StrFormat("%d", r->parallelism),
+          StrFormat("%.17g", r->event_rate),
+          r->cluster,
+          StrFormat("%d", r->nodes),
+          r->seed,
+          StrFormat("%d", r->repeats),
+          StrFormat("%.17g", r->duration_s),
+          StrFormat("%.17g", r->throughput_tps),
+          StrFormat("%.17g", r->median_latency_s),
+          StrFormat("%.17g", r->p95_latency_s),
+          StrFormat("%.17g", r->p99_latency_s),
+          StrFormat("%lld", static_cast<long long>(r->late_drops)),
+          StrFormat("%lld",
+                    static_cast<long long>(r->backpressure_skipped)),
+          Join(r->diagnosis_codes, ";"),
+          r->determinism,
+          r->artifact_dir,
+          StrFormat("%lld", static_cast<long long>(r->profile_samples)),
+          StrFormat("%.17g", r->profile_cpu_s),
+          r->profile_top_operator,
+      };
+      std::vector<std::string> quoted;
+      quoted.reserve(fields.size());
+      for (const std::string& f : fields) quoted.push_back(CsvField(f));
+      std::printf("%s\n", Join(quoted, ",").c_str());
+    }
     return 0;
   }
   if (selected.empty()) {
@@ -1004,6 +1087,10 @@ int RunParallelismSweep(const Args& args, const Cluster& cluster,
     protocol.ledger.path = args.ledger;
     protocol.ledger.cluster_name = args.cluster;
   }
+  if (args.profile_set) {
+    protocol.profile.enabled = true;
+    protocol.profile.hz = args.profile_hz;
+  }
 
   std::vector<exec::SweepCell> cells;
   for (int degree : args.degrees) {
@@ -1054,6 +1141,10 @@ int RunParallelismSweep(const Args& args, const Cluster& cluster,
     cell.cluster = cluster;
     cell.protocol = protocol;
     cell.label = StrFormat("%s/p%d", selection.c_str(), degree);
+    if (!args.artifacts.empty()) {
+      cell.protocol.obs.enabled = true;
+      cell.protocol.obs.dir = args.artifacts + "/" + cell.label;
+    }
     cells.push_back(std::move(cell));
   }
 
@@ -1112,6 +1203,22 @@ int RunParallelismSweep(const Args& args, const Cluster& cluster,
                                 cell.backpressure_skipped))});
   }
   table.Print();
+  if (args.profile_set) {
+    for (size_t i = 0; i < sweep.cells.size(); ++i) {
+      const exec::SweepCellOutcome& outcome = sweep.cells[i];
+      if (!outcome.result.ok() || !outcome.result->has_profile) continue;
+      const obs::prof::CpuProfile& p = outcome.result->profile;
+      const obs::RunRecord& rec = outcome.result->ledger_record;
+      std::printf("profile p=%d: %lld samples @ %.0f Hz, %.4fs CPU, "
+                  "top operator %s (%.4fs)\n",
+                  args.degrees[i], static_cast<long long>(p.samples), p.hz,
+                  p.total_cpu_s,
+                  rec.profile_top_operator.empty()
+                      ? "(none)"
+                      : rec.profile_top_operator.c_str(),
+                  rec.profile_top_operator_cpu_s);
+    }
+  }
   std::printf("sweep: %zu/%zu cells ok, jobs=%d, wall %.2fs\n",
               sweep.NumOk(), sweep.cells.size(), sweep.jobs, sweep.wall_s);
   if (options.monitor.enabled && !sweep.monitor.codes.empty()) {
@@ -1168,6 +1275,12 @@ int Main(int argc, char** argv) {
       args.progress_set = true;  // bare flag: auto (rich on TTY, else plain)
     } else if (ParseArg(argv[i], "progress", &args.progress)) {
       args.progress_set = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      args.profile_set = true;  // bare flag keeps the default cadence
+    } else if (ParseArg(argv[i], "profile", &value)) {
+      args.profile_set = true;
+      args.profile_hz = std::atof(value.c_str());
+    } else if (ParseArg(argv[i], "artifacts", &args.artifacts)) {
     } else if (ParseArg(argv[i], "progress-file", &args.progress_file)) {
     } else if (ParseArg(argv[i], "app", &args.app) ||
                ParseArg(argv[i], "structure", &args.structure) ||
@@ -1215,7 +1328,7 @@ int Main(int argc, char** argv) {
   bool degrees_ok = !args.degrees.empty();
   for (int d : args.degrees) degrees_ok = degrees_ok && d >= 1;
   if (args.rate <= 0 || !degrees_ok || args.nodes < 1 ||
-      args.duration <= 0.5) {
+      args.duration <= 0.5 || (args.profile_set && args.profile_hz <= 0)) {
     std::fprintf(stderr, "bad numeric flags\n");
     return Usage();
   }
@@ -1303,21 +1416,72 @@ int Main(int argc, char** argv) {
                 analytic->saturated ? ", SATURATED" : "");
   }
 
+  const std::string run_label =
+      !args.app.empty() ? args.app
+                        : (!args.structure.empty() ? args.structure
+                                                   : args.load);
+
   ExecutionOptions exec;
   exec.placement = *placement;
   exec.sim.duration_s = args.duration;
   exec.sim.warmup_s = args.duration * 0.2;
   exec.sim.seed = args.seed;
+
+  // --profile: register this thread, sample it across the simulate phase.
+  // The profiler only reads wall/CPU clocks, so virtual-time results stay
+  // bit-identical to an unprofiled run.
+  obs::prof::ProfOptions prof_options;
+  prof_options.enabled = args.profile_set;
+  prof_options.hz = args.profile_hz;
+  std::unique_ptr<obs::prof::ThreadRegistration> prof_registration;
+  obs::prof::Profiler profiler(prof_options);
+  if (args.profile_set) {
+    prof_registration =
+        std::make_unique<obs::prof::ThreadRegistration>("main");
+    if (Status st = profiler.Start(); !st.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", st.ToString().c_str());
+    }
+  }
   Result<SimResult> result = Status::Internal("unreachable");
   {
     obs::HostProfiler::Phase phase(&obs::HostProfiler::Global(), "simulate");
+    obs::prof::ProfScope app_scope(obs::prof::FrameKind::kApp, run_label);
+    obs::prof::ProfScope phase_scope(obs::prof::FrameKind::kPhase,
+                                     "simulate");
     result = ExecutePlan(*plan, *cluster, exec);
   }
+  obs::prof::CpuProfile profile;
+  if (profiler.running()) profile = profiler.Stop();
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("measured: %s\n\n", result->Summary().c_str());
+  if (args.profile_set && !profile.empty()) {
+    std::printf("cpu profile: %lld samples @ %.0f Hz, %.4fs CPU "
+                "(sampler %.4fs, %lld dropped)\n",
+                static_cast<long long>(profile.samples), profile.hz,
+                profile.total_cpu_s, profile.sampler_cpu_s,
+                static_cast<long long>(profile.dropped));
+    for (const obs::prof::FrameTotal& op : profile.operators) {
+      if (op.name == "(none)") continue;
+      std::printf("  %-20s %9.4fs %6lld samples\n", op.name.c_str(),
+                  op.cpu_s, static_cast<long long>(op.samples));
+    }
+    std::printf("\n");
+  }
+  if (!args.artifacts.empty()) {
+    obs::ArtifactOptions bundle;
+    bundle.sim_options = &exec.sim;
+    bundle.cpu_profile = profile.empty() ? nullptr : &profile;
+    Status st = obs::WriteRunArtifacts(args.artifacts, *result, bundle);
+    if (st.ok()) {
+      std::printf("artifacts: wrote bundle to %s/\n\n",
+                  args.artifacts.c_str());
+    } else {
+      std::fprintf(stderr, "artifacts: %s\n", st.ToString().c_str());
+    }
+  }
   if (!args.ledger.empty()) {
     // Single ad-hoc run, so the "mean of repeats" collapses to one sample;
     // the record still carries full provenance (plan hash, seed, build).
@@ -1326,13 +1490,14 @@ int Main(int argc, char** argv) {
     protocol.duration_s = args.duration;
     protocol.warmup_s = args.duration * 0.2;
     protocol.seed = args.seed;
-    protocol.label = !args.app.empty()
-                         ? args.app
-                         : (!args.structure.empty() ? args.structure
-                                                    : args.load);
+    protocol.label = run_label;
     protocol.ledger.enabled = true;
     protocol.ledger.path = args.ledger;
     protocol.ledger.cluster_name = args.cluster;
+    if (!args.artifacts.empty()) {
+      protocol.obs.enabled = true;  // record points at the bundle above
+      protocol.obs.dir = args.artifacts;
+    }
     CellResult cell;
     cell.mean_median_latency_s = result->median_latency_s;
     cell.mean_throughput_tps = result->throughput_tps;
@@ -1342,6 +1507,10 @@ int Main(int argc, char** argv) {
     cell.throughput_stats.Add(result->throughput_tps);
     cell.late_drops = result->late_drops;
     cell.backpressure_skipped = result->backpressure_skipped;
+    if (!profile.empty()) {
+      cell.profile = profile;
+      cell.has_profile = true;
+    }
     obs::RunRecord record = MakeLedgerRecord(*plan, *cluster, protocol, cell);
     Status appended = obs::RunLedger(args.ledger).Append(record);
     if (appended.ok()) {
