@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/obs/host_profile.h"
+#include "src/obs/mem.h"
 #include "src/obs/prof.h"
 #include "src/sim/simulation.h"
 #include "tests/testing/test_plans.h"
@@ -194,6 +195,63 @@ void BM_SimLinearPlanProfOff(benchmark::State& state) {
   RunSimCpuProfiled(state, /*profiler_enabled=*/false);
 }
 BENCHMARK(BM_SimLinearPlanProfOff);
+
+// Allocation-sampler acceptance pair: the MemProf variant arms the
+// interposed operator-new hooks at the default 1/512 KiB interval — exactly
+// what `--mem-profile` adds to a harness cell. The control leaves the
+// profiler off, so every allocation pays only the relaxed gate load in
+// NoteAlloc. Acceptance bound (tools/bench_gate.sh): MemProf within 10% of
+// the control in CI noise; the design target is <= 2%.
+void RunSimMemProfiled(benchmark::State& state, bool profiler_enabled) {
+  auto plan = testing::LinearPlan(20000.0, 8);
+  if (!plan.ok()) {
+    state.SkipWithError("plan");
+    return;
+  }
+  obs::prof::ThreadRegistration registration("bench-main");
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    obs::mem::MemOptions options;
+    options.enabled = profiler_enabled;
+    obs::mem::MemProfiler profiler(options);
+    if (profiler_enabled) {
+      Status st = profiler.Start();
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    {
+      obs::prof::ProfScope phase(obs::prof::FrameKind::kPhase, "simulate");
+      ExecutionOptions opt;
+      opt.sim.duration_s = 1.0;
+      opt.sim.warmup_s = 0.25;
+      opt.sim.seed = 42;
+      auto r = ExecutePlan(*plan, Cluster::M510(10), opt);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      tuples += r->source_tuples;
+    }
+    if (profiler_enabled) {
+      const obs::mem::MemProfile profile = profiler.Stop();
+      benchmark::DoNotOptimize(profile.samples);
+    }
+  }
+  state.counters["src_tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+
+void BM_SimLinearPlanMemProf(benchmark::State& state) {
+  RunSimMemProfiled(state, /*profiler_enabled=*/true);
+}
+BENCHMARK(BM_SimLinearPlanMemProf);
+
+void BM_SimLinearPlanMemProfOff(benchmark::State& state) {
+  RunSimMemProfiled(state, /*profiler_enabled=*/false);
+}
+BENCHMARK(BM_SimLinearPlanMemProfOff);
 
 }  // namespace
 }  // namespace pdsp

@@ -35,6 +35,22 @@ bool RunContext::cpu_profiling() const {
   return cpu_profiler_ != nullptr && cpu_profiler_->running();
 }
 
+Status RunContext::StartMemProfiler(const obs::mem::MemOptions& options) {
+  mem_profiler_ = std::make_unique<obs::mem::MemProfiler>(options);
+  return mem_profiler_->Start();
+}
+
+obs::mem::MemProfile RunContext::StopMemProfiler() {
+  if (mem_profiler_ == nullptr) return obs::mem::MemProfile{};
+  obs::mem::MemProfile profile = mem_profiler_->Stop();
+  mem_profiler_.reset();
+  return profile;
+}
+
+bool RunContext::mem_profiling() const {
+  return mem_profiler_ != nullptr && mem_profiler_->running();
+}
+
 uint64_t RunContext::MixSeed(uint64_t base, uint64_t index) {
   // splitmix64 finalizer (Steele et al.): full-avalanche mixing so adjacent
   // cell indices land in unrelated RNG streams.

@@ -22,6 +22,7 @@
 
 #include "src/common/status.h"
 #include "src/obs/host_profile.h"
+#include "src/obs/mem.h"
 #include "src/obs/metrics.h"
 #include "src/obs/prof.h"
 #include "src/obs/trace.h"
@@ -86,9 +87,23 @@ class RunContext {
   /// True while the owned sampling profiler is running.
   bool cpu_profiling() const;
 
+  /// Creates (replacing any previous one) and starts the context-owned
+  /// sampling allocation profiler. With options.all_threads=false the
+  /// calling thread must already hold a prof::ThreadRegistration; Start and
+  /// Stop must run on the same thread (the confinement contract above).
+  Status StartMemProfiler(const obs::mem::MemOptions& options);
+
+  /// Stops the owned allocation profiler and returns its aggregate; an
+  /// empty profile when none was started.
+  obs::mem::MemProfile StopMemProfiler();
+
+  /// True while the owned allocation profiler is running.
+  bool mem_profiling() const;
+
  private:
   std::unique_ptr<obs::HostProfiler> owned_profiler_;
   std::unique_ptr<obs::prof::Profiler> cpu_profiler_;
+  std::unique_ptr<obs::mem::MemProfiler> mem_profiler_;
   obs::HostProfiler* profiler_;  // == owned_profiler_.get() or external
   obs::Tracer tracer_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;

@@ -92,6 +92,19 @@ obs::RunRecord MakeLedgerRecord(const LogicalPlan& plan,
       break;
     }
   }
+  if (cell.has_mem_profile) {
+    rec.mem_samples = cell.mem_profile.samples;
+    rec.mem_total_bytes = cell.mem_profile.total_bytes;
+    rec.mem_live_bytes = cell.mem_profile.live_bytes;
+    rec.mem_peak_heap_bytes = cell.mem_profile.peak_heap_bytes;
+    rec.mem_bytes_per_tuple = cell.mem_profile.bytes_per_tuple;
+    for (const obs::mem::MemFrameTotal& op : cell.mem_profile.operators) {
+      if (op.name == "(untracked)") continue;  // samples outside any op
+      rec.mem_top_operator = op.name;  // sorted by total_bytes desc
+      rec.mem_top_operator_bytes = op.total_bytes;
+      break;
+    }
+  }
   const obs::HostUsage usage = obs::HostProfiler::Global().SampleUsage();
   rec.host_wall_s = usage.wall_s;
   rec.host_cpu_user_s = usage.cpu_user_s;
@@ -144,11 +157,20 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
   // cells never attribute each other's CPU. Start failure downgrades to a
   // warning — a sweep never dies on its observability.
   std::unique_ptr<obs::prof::ThreadRegistration> prof_registration;
-  if (protocol.profile.enabled) {
+  if (protocol.profile.enabled || protocol.mem.enabled) {
     prof_registration =
         std::make_unique<obs::prof::ThreadRegistration>("harness");
+  }
+  if (protocol.profile.enabled) {
     Status st = context->StartCpuProfiler(protocol.profile);
     if (!st.ok()) PDSP_LOG(Warn) << "cpu profiler: " << st.ToString();
+  }
+  // The memory profiler samples only this thread's allocations (default
+  // scope), attributed to the same marker stack the CPU sampler reads;
+  // starting it also keeps ProfScope markers live when --profile is off.
+  if (protocol.mem.enabled) {
+    Status st = context->StartMemProfiler(protocol.mem);
+    if (!st.ok()) PDSP_LOG(Warn) << "memory profiler: " << st.ToString();
   }
   obs::Tracer& tracer = *context->tracer();
   tracer.set_verbose(protocol.obs.trace_verbose);
@@ -238,6 +260,25 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     cell.profile = context->StopCpuProfiler();
     cell.has_profile = true;
   }
+  if (protocol.mem.enabled && context->mem_profiling()) {
+    cell.mem_profile = context->StopMemProfiler();
+    // Empty means interposition is compiled out (or nothing allocated
+    // enough to sample): no memory.json, no nested ledger object.
+    cell.has_mem_profile = !cell.mem_profile.empty();
+  }
+  if (cell.has_mem_profile && cell.has_diagnosis) {
+    // Memory findings ride the existing rule-engine plumbing: codes land
+    // in diagnosis.json and the ledger's diagnosis_codes like PDSP-R###.
+    double node_memory_gb = 0.0;
+    for (const Node& node : cluster.nodes()) {
+      if (node_memory_gb == 0.0 || node.spec.memory_gb < node_memory_gb) {
+        node_memory_gb = node.spec.memory_gb;
+      }
+    }
+    obs::mem::DiagnoseMemProfile(cell.mem_profile, node_memory_gb,
+                                 &cell.diagnosis.report);
+    cell.diagnosis.report.Finalize();
+  }
   if (have_first) cell.op_stats = first_run.op_stats;
   if (protocol.obs.enabled && have_first) {
     obs::HostProfiler::Phase phase(context->profiler(), "export");
@@ -246,6 +287,7 @@ Result<CellResult> MeasureCell(const LogicalPlan& plan,
     artifacts.diagnosis = cell.has_diagnosis ? &cell.diagnosis : nullptr;
     artifacts.sim_options = &first_options;
     artifacts.cpu_profile = cell.has_profile ? &cell.profile : nullptr;
+    artifacts.mem_profile = cell.has_mem_profile ? &cell.mem_profile : nullptr;
     const obs::HostProfile host_profile = context->profiler()->Snapshot();
     artifacts.host_profile = &host_profile;
     if (first_run.metrics != nullptr) {

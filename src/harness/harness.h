@@ -79,6 +79,13 @@ struct RunProtocol {
   /// wall-clock/host state is touched, so virtual-time results stay
   /// bit-identical with profiling on.
   obs::prof::ProfOptions profile;
+  /// Sampling allocation profiler for the cell (--mem-profile[=KiB]): when
+  /// enabled, MeasureCell starts the context-owned memory profiler around
+  /// the repeats and attaches the MemProfile to the cell, the artifact
+  /// bundle (memory.json), the ledger record's nested "memory" summary and
+  /// — when diagnosis ran — PDSP-M301..M303 findings. Samples only observe
+  /// host-side state, so virtual-time results stay bit-identical.
+  obs::mem::MemOptions mem;
   /// Simulate even when static analysis (pdsp::analysis) finds
   /// error-severity diagnostics. By default such plans are refused with
   /// FailedPrecondition: a malformed plan that silently simulates corrupts
@@ -120,6 +127,11 @@ struct CellResult {
   /// `has_profile` before reading.
   bool has_profile = false;
   obs::prof::CpuProfile profile;
+  /// Sampled allocation profile of the cell (RunProtocol::mem.enabled);
+  /// check `has_mem_profile` before reading. Stays false when allocation
+  /// interposition is compiled out (PDSP_SANITIZE=address).
+  bool has_mem_profile = false;
+  obs::mem::MemProfile mem_profile;
 };
 
 /// Builds the provenance RunRecord for a measured cell: plan hash and

@@ -130,6 +130,11 @@ Status WriteRunArtifacts(const std::string& dir, const SimResult& result,
         WriteTextFileAtomic((base / "profile.json").string(),
                             options.cpu_profile->ToJson().Dump(2) + "\n"));
   }
+  if (options.mem_profile != nullptr) {
+    PDSP_RETURN_NOT_OK(
+        WriteTextFileAtomic((base / "memory.json").string(),
+                            options.mem_profile->ToJson().Dump(2) + "\n"));
+  }
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "src/common/status.h"
 #include "src/obs/diagnose.h"
 #include "src/obs/host_profile.h"
+#include "src/obs/mem.h"
 #include "src/obs/prof.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulation.h"
@@ -39,6 +40,7 @@ struct ArtifactOptions {
   const SimOptions* sim_options = nullptr; ///< metrics.json "options" block
   const HostProfile* host_profile = nullptr;  ///< host_profile.json
   const prof::CpuProfile* cpu_profile = nullptr;  ///< profile.json
+  const mem::MemProfile* mem_profile = nullptr;   ///< memory.json
 };
 
 /// Writes metrics.json and, when non-empty, timeseries.csv under `dir`

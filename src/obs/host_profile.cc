@@ -77,6 +77,7 @@ Json HostProfile::ToJson() const {
   u.Set("cpu_sys_s", Json::Number(usage.cpu_sys_s));
   u.Set("rss_kb", Json::Int(usage.rss_kb));
   u.Set("peak_rss_kb", Json::Int(usage.peak_rss_kb));
+  u.Set("peak_rss_bytes", Json::Int(usage.peak_rss_bytes));
 
   Json root = Json::Object();
   root.Set("usage", std::move(u));
@@ -119,14 +120,19 @@ HostUsage HostProfiler::SampleUsage() const {
   if (getrusage(RUSAGE_SELF, &ru) == 0) {
     usage.cpu_user_s = TimevalSeconds(ru.ru_utime);
     usage.cpu_sys_s = TimevalSeconds(ru.ru_stime);
-    usage.peak_rss_kb = static_cast<int64_t>(ru.ru_maxrss);  // Linux: kB
+#if defined(__APPLE__)
+    usage.peak_rss_bytes = static_cast<int64_t>(ru.ru_maxrss);  // bytes
+#else
+    usage.peak_rss_bytes = static_cast<int64_t>(ru.ru_maxrss) * 1024;  // kB
+#endif
   }
   int64_t rss = 0;
   int64_t hwm = 0;
   if (ReadProcSelfStatus(&rss, &hwm)) {
     usage.rss_kb = rss;
-    if (hwm > usage.peak_rss_kb) usage.peak_rss_kb = hwm;
+    if (hwm * 1024 > usage.peak_rss_bytes) usage.peak_rss_bytes = hwm * 1024;
   }
+  usage.peak_rss_kb = usage.peak_rss_bytes / 1024;
   return usage;
 }
 
@@ -163,6 +169,8 @@ void HostProfiler::ExportTo(MetricsRegistry* registry) const {
       ->Set(static_cast<double>(profile.usage.rss_kb));
   registry->GetGauge("pdsp.host.peak_rss_kb")
       ->Set(static_cast<double>(profile.usage.peak_rss_kb));
+  registry->GetGauge("pdsp.host.peak_rss_bytes")
+      ->Set(static_cast<double>(profile.usage.peak_rss_bytes));
   for (const auto& [name, stats] : profile.phases) {
     registry->GetGauge("pdsp.host.phase." + name + ".total_s")
         ->Set(stats.total_s);

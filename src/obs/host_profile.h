@@ -37,7 +37,12 @@ struct HostUsage {
   double cpu_user_s = 0.0;   ///< process user CPU (getrusage, cumulative)
   double cpu_sys_s = 0.0;    ///< process system CPU (cumulative)
   int64_t rss_kb = 0;        ///< current VmRSS (0 when /proc unavailable)
-  int64_t peak_rss_kb = 0;   ///< max(VmHWM, ru_maxrss)
+  int64_t peak_rss_kb = 0;   ///< peak_rss_bytes / 1024 (back-compat)
+  /// Peak RSS in bytes: max(VmHWM, ru_maxrss) with ru_maxrss converted
+  /// per platform (Linux reports kB, macOS reports bytes — the raw value
+  /// must not be used as one fixed unit). Cross-checked against
+  /// MemProfile::peak_heap_bytes in tests: sampled heap never exceeds it.
+  int64_t peak_rss_bytes = 0;
 };
 
 /// \brief Accumulated wall-clock time of one named phase.

@@ -98,6 +98,19 @@ Json RunRecord::ToJson() const {
                 Json::Number(profile_top_operator_cpu_s));
     j.Set("profile", std::move(profile));
   }
+  if (mem_samples > 0) {
+    // Same discipline as "profile": only memory-profiled runs carry the
+    // key, so unprofiled records stay byte-identical across builds.
+    Json memory = Json::Object();
+    memory.Set("samples", Json::Int(mem_samples));
+    memory.Set("total_bytes", Json::Int(mem_total_bytes));
+    memory.Set("live_bytes", Json::Int(mem_live_bytes));
+    memory.Set("peak_heap_bytes", Json::Int(mem_peak_heap_bytes));
+    memory.Set("bytes_per_tuple", Json::Number(mem_bytes_per_tuple));
+    memory.Set("top_operator", Json::Str(mem_top_operator));
+    memory.Set("top_operator_bytes", Json::Int(mem_top_operator_bytes));
+    j.Set("memory", std::move(memory));
+  }
   return j;
 }
 
@@ -168,6 +181,14 @@ Result<RunRecord> RunRecord::FromJson(const Json& json) {
   r.profile_sampler_cpu_s = NumField(profile, "sampler_cpu_s");
   r.profile_top_operator = StrField(profile, "top_operator");
   r.profile_top_operator_cpu_s = NumField(profile, "top_operator_cpu_s");
+  const Json& memory = json["memory"];  // null on non-mem-profiled records
+  r.mem_samples = IntField(memory, "samples");
+  r.mem_total_bytes = IntField(memory, "total_bytes");
+  r.mem_live_bytes = IntField(memory, "live_bytes");
+  r.mem_peak_heap_bytes = IntField(memory, "peak_heap_bytes");
+  r.mem_bytes_per_tuple = NumField(memory, "bytes_per_tuple");
+  r.mem_top_operator = StrField(memory, "top_operator");
+  r.mem_top_operator_bytes = IntField(memory, "top_operator_bytes");
   return r;
 }
 

@@ -96,6 +96,18 @@ struct RunRecord {
   std::string profile_top_operator;
   double profile_top_operator_cpu_s = 0.0;
 
+  // --- allocation-profile summary (full data in artifact_dir/memory.json).
+  // Same discipline as "profile": serialized as one nested "memory" object
+  // and only when mem_samples > 0, so unprofiled records stay byte-identical
+  // and bit-identity checks treat the key as volatile. -------------------
+  int64_t mem_samples = 0;
+  int64_t mem_total_bytes = 0;
+  int64_t mem_live_bytes = 0;
+  int64_t mem_peak_heap_bytes = 0;
+  double mem_bytes_per_tuple = 0.0;
+  std::string mem_top_operator;
+  int64_t mem_top_operator_bytes = 0;
+
   Json ToJson() const;
   /// Parses a record; rejects unknown schema versions and missing
   /// mandatory fields (run_id, label).

@@ -1,0 +1,881 @@
+#include "src/obs/mem.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/common/thread_annotations.h"
+#include "src/obs/prof.h"
+
+namespace pdsp {
+namespace obs {
+namespace mem {
+
+namespace detail {
+std::atomic<int> active_mem_profilers{0};
+}  // namespace detail
+
+namespace {
+
+/// Folded-stack key for samples whose marker snapshot stayed torn across
+/// all retries (same encoding as the CPU profiler's sentinel: bit 63 is
+/// never set by PackFrame).
+constexpr uint64_t kTornSentinel = ~0ULL;
+
+constexpr const char* kUntracked = "(untracked)";
+
+// ---------------------------------------------------------------------------
+// Sampled-allocation table. A fixed global array of atomic slots records
+// every sampled allocation still live, so the free hook can observe the
+// free (possibly from another thread) without any lock in the common case.
+// Slot protocol: state 0 = empty, 1 = busy (being written or reclaimed),
+// anything else = the sampled pointer. Writers claim a slot by CASing the
+// state (0 -> 1 on insert, ptr -> 1 on reclaim), mutate the payload with
+// relaxed stores, then publish/clear with a release store.
+
+constexpr size_t kTableSize = 4096;  // power of two
+constexpr size_t kTableMask = kTableSize - 1;
+constexpr size_t kProbeWindow = 16;
+constexpr uintptr_t kSlotBusy = 1;
+
+struct Slot {
+  std::atomic<uintptr_t> state{0};
+  std::atomic<int64_t> weight{0};
+  std::atomic<uintptr_t> owner{0};     // the owning Collector*
+  std::atomic<uint32_t> op_id{0};      // innermost operator frame (0 = none)
+  std::atomic<uint32_t> kernel_id{0};  // innermost kernel frame (0 = none)
+};
+
+Slot g_table[kTableSize];
+
+// Membership pre-filter over sampled pointers: one bit per hash value, so
+// the free hook can reject never-sampled pointers with a single L1 load
+// instead of the 16-slot probe (the probe's scattered cache lines, paid on
+// every free while armed, dominated the hook's measured overhead). Bits
+// are set on insert and cleared wholesale when the last session's Stop()
+// drains the table — a bit may cover several live pointers, so per-free
+// clearing would yield false negatives, i.e. leaked slots. False
+// positives only cost the old probe. 2 KiB; a few hundred samples keep
+// the hit rate on non-sampled frees around a few percent.
+constexpr size_t kFilterBits = 16384;
+constexpr size_t kFilterMask = kFilterBits - 1;
+std::atomic<uint64_t> g_filter[kFilterBits / 64];
+
+/// Occupied-slot count for `g_table`. Zero whenever no sampled allocation is
+/// currently live, which lets the free hook bail after a single load before
+/// it even hashes the pointer — the dominant case for short-lived churn.
+std::atomic<int64_t> g_live_slots{0};
+
+/// Uses high hash bits, decorrelated from the table index (low bits).
+size_t FilterBit(size_t h) { return (h >> 16) & kFilterMask; }
+
+size_t HashPtr(const void* ptr) {
+  // splitmix64 finalizer over the address; allocator alignment makes the
+  // low bits useless on their own.
+  uint64_t x = reinterpret_cast<uintptr_t>(ptr);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+
+// ---------------------------------------------------------------------------
+// Collector: the mutable state of one profiling session. All non-atomic
+// state is guarded by the global collector registry mutex (sampled events
+// are rare — one per ~512 KiB allocated — so a single mutex is not a
+// bottleneck and makes the liveness check and the state update one
+// critical section, which is what rules out use-after-free when a free or
+// a late sample races Stop()).
+
+struct Fold {
+  int64_t samples = 0;
+  int64_t bytes = 0;
+  int64_t allocs = 0;
+};
+
+struct Collector {
+  int64_t interval_bytes = 0;
+  std::chrono::steady_clock::time_point start_time;
+
+  std::map<std::vector<uint64_t>, Fold> folds;
+  std::map<std::string, int64_t> tuples_by_op;
+  std::vector<MemTimelinePoint> timeline;
+  int64_t timeline_stride = 1;  // record every Nth sample (decimation)
+  int64_t samples = 0;
+  int64_t dropped = 0;
+  int64_t table_overflow = 0;
+  int64_t total_bytes = 0;
+  int64_t live_bytes = 0;
+  int64_t peak_heap_bytes = 0;
+  int64_t allocs_estimate = 0;
+  int64_t frees = 0;
+  int64_t freed_bytes = 0;
+};
+
+struct CollectorRegistry {
+  Mutex mu;
+  std::set<Collector*> live PDSP_GUARDED_BY(mu);
+};
+
+CollectorRegistry& GlobalCollectors() {
+  static CollectorRegistry* registry = new CollectorRegistry();
+  return *registry;
+}
+
+/// Collector for allocations made by this thread (all_threads=false
+/// sessions bind here), else the process-wide fallback below.
+thread_local Collector* t_collector = nullptr;
+std::atomic<Collector*> g_all_collector{nullptr};
+
+/// Per-thread exponential skip state. Plain PODs: no TLS init guard on the
+/// hot path. `t_countdown` counts down bytes until the next sample;
+/// `t_current_skip` remembers the drawn interval so the sample weight can
+/// cover the skipped bytes plus the overshoot exactly.
+thread_local int64_t t_countdown = 0;
+thread_local int64_t t_current_skip = 0;
+thread_local uint64_t t_rng_state = 0;
+/// True while inside a slow path: allocations/frees the profiler's own
+/// bookkeeping performs are never re-sampled (no recursion, no deadlock).
+thread_local bool t_in_hook = false;
+
+std::atomic<uint64_t> g_rng_streams{0};
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Draws the next exponential byte skip with mean `mean_bytes`, clamped to
+/// [1, 64 * mean] so one unlucky draw cannot blind the profiler.
+int64_t DrawSkip(int64_t mean_bytes) {
+  if (t_rng_state == 0) {
+    t_rng_state = 0x9e3779b97f4a7c15ULL ^
+                  (g_rng_streams.fetch_add(1, std::memory_order_relaxed) +
+                   reinterpret_cast<uintptr_t>(&t_rng_state));
+    (void)SplitMix64(&t_rng_state);
+  }
+  // u uniform in (0, 1]: never 0, so log(u) is finite.
+  const double u =
+      (static_cast<double>(SplitMix64(&t_rng_state) >> 11) + 1.0) / 9007199254740993.0;
+  const double k = -static_cast<double>(mean_bytes) * std::log(u);
+  const double cap = static_cast<double>(mean_bytes) * 64.0;
+  return static_cast<int64_t>(std::max(1.0, std::min(k, cap)));
+}
+
+bool InsertSlot(void* ptr, Collector* owner, int64_t weight, uint32_t op_id,
+                uint32_t kernel_id) {
+  const size_t h = HashPtr(ptr);
+  for (size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = g_table[(h + i) & kTableMask];
+    uintptr_t expected = 0;
+    if (slot.state.compare_exchange_strong(expected, kSlotBusy,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+      slot.weight.store(weight, std::memory_order_relaxed);
+      slot.owner.store(reinterpret_cast<uintptr_t>(owner),
+                       std::memory_order_relaxed);
+      slot.op_id.store(op_id, std::memory_order_relaxed);
+      slot.kernel_id.store(kernel_id, std::memory_order_relaxed);
+      const size_t bit = FilterBit(h);
+      g_filter[bit / 64].fetch_or(uint64_t{1} << (bit % 64),
+                                  std::memory_order_relaxed);
+      g_live_slots.fetch_add(1, std::memory_order_relaxed);
+      slot.state.store(reinterpret_cast<uintptr_t>(ptr),
+                       std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string NameOrAnon(uint32_t id) {
+  std::string name = prof::LookupName(id);
+  return name.empty() ? "(anon)" : name;
+}
+
+std::string RenderStackKey(const std::vector<uint64_t>& frames) {
+  if (frames.empty()) return "(unmarked)";
+  if (frames.size() == 1 && frames[0] == kTornSentinel) return "(torn)";
+  std::string out;
+  for (uint64_t frame : frames) {
+    if (!out.empty()) out += ";";
+    out += prof::FrameKindName(prof::FrameKindOf(frame));
+    out += ":";
+    out += NameOrAnon(prof::FrameNameOf(frame));
+  }
+  return out;
+}
+
+/// Innermost frame of `kind`, or 0 when the stack has none.
+uint32_t InnermostFrameId(const std::vector<uint64_t>& frames,
+                          prof::FrameKind kind) {
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if (*it == kTornSentinel) break;
+    if (prof::FrameKindOf(*it) == kind) return prof::FrameNameOf(*it);
+  }
+  return 0;
+}
+
+std::string BucketName(uint32_t id) {
+  return id == 0 ? kUntracked : NameOrAnon(id);
+}
+
+double NumField(const Json& json, const char* key) {
+  const Json& v = json[key];
+  return v.is_number() ? v.AsNumber() : 0.0;
+}
+
+int64_t IntField(const Json& json, const char* key) {
+  const Json& v = json[key];
+  return v.is_number() ? v.AsInt() : 0;
+}
+
+std::string StrField(const Json& json, const char* key) {
+  const Json& v = json[key];
+  return v.is_string() ? v.AsString() : "";
+}
+
+/// The collector the calling thread feeds, or nullptr.
+Collector* BoundCollector() {
+  Collector* c = t_collector;
+  if (c == nullptr) c = g_all_collector.load(std::memory_order_relaxed);
+  return c;
+}
+
+void SampleAllocSlow(Collector* hint, void* ptr, std::size_t size) {
+  // Reset the countdown FIRST: if anything below bails (reentrancy, a
+  // stopped collector), the thread still skips ahead instead of re-firing
+  // on every subsequent allocation.
+  const int64_t consumed = t_current_skip - t_countdown;  // skipped + this
+  const int64_t mean = hint->interval_bytes > 0 ? hint->interval_bytes
+                                                : int64_t{512 * 1024};
+  t_current_skip = DrawSkip(mean);
+  t_countdown = t_current_skip;
+  if (t_in_hook) return;  // profiler bookkeeping: never self-sample
+  t_in_hook = true;
+
+  const int64_t weight =
+      consumed > 0 ? consumed : static_cast<int64_t>(size);
+  const int64_t sz = size > 0 ? static_cast<int64_t>(size) : 1;
+  const int64_t alloc_count = std::max<int64_t>(1, (weight + sz / 2) / sz);
+
+  // Snapshot the marker stack before taking the registry mutex: the stack
+  // belongs to this thread and needs no lock.
+  std::vector<uint64_t> key;
+  bool torn = false;
+  prof::ThreadEntry* entry = prof::CurrentThreadEntry();
+  if (entry != nullptr) {
+    uint64_t frames[prof::kMaxMarkerDepth];
+    const int n = entry->stack.Snapshot(frames);
+    if (n < 0) {
+      torn = true;
+      key.assign(1, kTornSentinel);
+    } else {
+      key.assign(frames, frames + n);
+    }
+  }
+  const uint32_t op_id = InnermostFrameId(key, prof::FrameKind::kOperator);
+  const uint32_t kernel_id = InnermostFrameId(key, prof::FrameKind::kKernel);
+
+  CollectorRegistry& registry = GlobalCollectors();
+  {
+    MutexLock lock(registry.mu);
+    if (registry.live.count(hint) != 0) {  // Stop() may have raced us
+      Collector& c = *hint;
+      Fold& fold = c.folds[key];
+      fold.samples += 1;
+      fold.bytes += weight;
+      fold.allocs += alloc_count;
+      c.samples += 1;
+      c.total_bytes += weight;
+      c.allocs_estimate += alloc_count;
+      if (torn) c.dropped += 1;
+      if (InsertSlot(ptr, hint, weight, op_id, kernel_id)) {
+        c.live_bytes += weight;
+        if (c.live_bytes > c.peak_heap_bytes) c.peak_heap_bytes = c.live_bytes;
+      } else {
+        // Probe window full: this pointer's lifetime is untrackable, so
+        // account its weight as freed immediately. That keeps the exact
+        // telescoping invariant (freed + live == total) even under
+        // overflow; `table_overflow` discloses the degradation.
+        c.table_overflow += 1;
+        c.freed_bytes += weight;
+      }
+      if (c.samples % c.timeline_stride == 0) {
+        const double t_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          c.start_time)
+                .count();
+        c.timeline.push_back({t_s, c.live_bytes});
+        if (c.timeline.size() >= 2048) {  // decimate: keep every other point
+          std::vector<MemTimelinePoint> thinned;
+          thinned.reserve(c.timeline.size() / 2);
+          for (size_t i = 0; i < c.timeline.size(); i += 2) {
+            thinned.push_back(c.timeline[i]);
+          }
+          c.timeline = std::move(thinned);
+          c.timeline_stride *= 2;
+        }
+      }
+    }
+  }
+  t_in_hook = false;
+}
+
+}  // namespace
+
+namespace detail {
+
+void OnAlloc(void* ptr, std::size_t size) noexcept {
+  // Fast path first, collector lookup second: the overwhelmingly common
+  // outcome is "countdown not yet expired", which costs one thread-local
+  // decrement and a branch. Only when the countdown trips do we resolve
+  // which collector (if any) this thread feeds.
+  t_countdown -= static_cast<int64_t>(size);
+  if (t_countdown >= 0) return;
+  Collector* c = BoundCollector();
+  if (c == nullptr) {
+    // Armed process, but this thread feeds no collector (another session's
+    // worker). Skip ahead a default interval so the re-check amortizes to
+    // two loads per ~512 KiB allocated instead of per allocation. The
+    // countdown decrements above may later bleed up to one interval of
+    // pre-bind bytes into this thread's first sample — bounded, and well
+    // inside sampling noise.
+    t_current_skip = int64_t{512 * 1024};
+    t_countdown = t_current_skip;
+    return;
+  }
+  SampleAllocSlow(c, ptr, size);
+}
+
+void OnFree(void* ptr) noexcept {
+  if (g_live_slots.load(std::memory_order_relaxed) == 0) {
+    return;  // no sampled allocation is live anywhere: nothing to match
+  }
+  const size_t h = HashPtr(ptr);
+  const size_t bit = FilterBit(h);
+  if ((g_filter[bit / 64].load(std::memory_order_relaxed) &
+       (uint64_t{1} << (bit % 64))) == 0) {
+    return;  // never sampled: the overwhelmingly common free
+  }
+  const uintptr_t p = reinterpret_cast<uintptr_t>(ptr);
+  for (size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = g_table[(h + i) & kTableMask];
+    uintptr_t expected = p;
+    if (slot.state.load(std::memory_order_relaxed) != p) continue;
+    if (!slot.state.compare_exchange_strong(expected, kSlotBusy,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      continue;  // another thread (or Stop's sweep) claimed it first
+    }
+    const int64_t weight = slot.weight.load(std::memory_order_relaxed);
+    Collector* owner = reinterpret_cast<Collector*>(
+        slot.owner.load(std::memory_order_relaxed));
+    slot.state.store(0, std::memory_order_release);
+    g_live_slots.fetch_sub(1, std::memory_order_relaxed);
+    // Never take the registry mutex from inside profiler bookkeeping: the
+    // slot is cleared either way, only the owner's counters go unupdated.
+    if (t_in_hook) return;
+    t_in_hook = true;
+    {
+      CollectorRegistry& registry = GlobalCollectors();
+      MutexLock lock(registry.mu);
+      if (registry.live.count(owner) != 0) {  // post-Stop frees are dropped
+        owner->frees += 1;
+        owner->freed_bytes += weight;
+        owner->live_bytes -= weight;
+      }
+    }
+    t_in_hook = false;
+    return;
+  }
+}
+
+}  // namespace detail
+
+namespace detail {
+#ifdef PDSP_MEM_PROFILE
+// Defined in mem_hooks.cc; referencing it here drags that archive member
+// into every link (see the comment at its definition).
+extern const bool mem_hooks_linked;
+#endif
+}  // namespace detail
+
+bool InterpositionAvailable() {
+#ifdef PDSP_MEM_PROFILE
+  return detail::mem_hooks_linked;
+#else
+  return false;
+#endif
+}
+
+int64_t LiveTableSlotsInUse() {
+  int64_t used = 0;
+  for (const Slot& slot : g_table) {
+    if (slot.state.load(std::memory_order_relaxed) != 0) ++used;
+  }
+  return used;
+}
+
+void NoteTuplesProcessed(const std::string& op_name, int64_t tuples) {
+  if (tuples <= 0) return;
+  Collector* c = BoundCollector();
+  if (c == nullptr || t_in_hook) return;
+  t_in_hook = true;
+  {
+    CollectorRegistry& registry = GlobalCollectors();
+    MutexLock lock(registry.mu);
+    if (registry.live.count(c) != 0) c->tuples_by_op[op_name] += tuples;
+  }
+  t_in_hook = false;
+}
+
+// ---------------------------------------------------------------------------
+// MemProfiler
+
+struct MemProfiler::Impl {
+  MemOptions options;
+  bool running = false;
+  bool inert = false;       // interposition compiled out: Start() succeeded
+                            // but nothing will ever be sampled
+  bool bound_global = false;
+  std::unique_ptr<Collector> collector;
+  std::chrono::steady_clock::time_point start_time;
+};
+
+MemProfiler::MemProfiler(const MemOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+
+MemProfiler::~MemProfiler() {
+  if (impl_ != nullptr && impl_->running) Stop();
+}
+
+bool MemProfiler::running() const { return impl_->running; }
+
+Status MemProfiler::Start() {
+  Impl& impl = *impl_;
+  if (impl.running) {
+    return Status::FailedPrecondition("memory profiler already running");
+  }
+  if (!InterpositionAvailable()) {
+    PDSP_LOG(Info) << "memory profiler: allocation interposition compiled "
+                      "out (PDSP_SANITIZE=address) — run proceeds "
+                      "unprofiled";
+    impl.inert = true;
+    impl.running = true;
+    return Status::OK();
+  }
+  if (!impl.options.all_threads && prof::CurrentThreadEntry() == nullptr) {
+    return Status::FailedPrecondition(
+        "memory profiler: calling thread is not registered "
+        "(prof::ThreadRegistration)");
+  }
+  if (!impl.options.all_threads && t_collector != nullptr) {
+    return Status::FailedPrecondition(
+        "memory profiler: this thread already feeds another profiler");
+  }
+  if (impl.options.all_threads &&
+      g_all_collector.load(std::memory_order_relaxed) != nullptr) {
+    return Status::FailedPrecondition(
+        "memory profiler: an all-threads profiler is already running");
+  }
+
+  auto collector = std::make_unique<Collector>();
+  collector->interval_bytes =
+      std::max<int64_t>(1024, impl.options.sample_interval_bytes);
+  collector->start_time = std::chrono::steady_clock::now();
+  impl.start_time = collector->start_time;
+  {
+    CollectorRegistry& registry = GlobalCollectors();
+    MutexLock lock(registry.mu);
+    registry.live.insert(collector.get());
+  }
+  if (impl.options.all_threads) {
+    g_all_collector.store(collector.get(), std::memory_order_relaxed);
+    impl.bound_global = true;
+  } else {
+    t_collector = collector.get();
+  }
+  impl.collector = std::move(collector);
+  // Arm the hooks last, and also activate the ProfScope marker machinery so
+  // operator markers are maintained even without a CPU sampler alongside.
+  prof::detail::active_profilers.fetch_add(1, std::memory_order_relaxed);
+  detail::active_mem_profilers.fetch_add(1, std::memory_order_relaxed);
+  impl.running = true;
+  return Status::OK();
+}
+
+MemProfile MemProfiler::Stop() {
+  Impl& impl = *impl_;
+  MemProfile profile;
+  if (!impl.running) return profile;
+  impl.running = false;
+  if (impl.inert) {
+    impl.inert = false;
+    return profile;
+  }
+  // Disarm first so no new fast-path work starts, then unbind.
+  detail::active_mem_profilers.fetch_sub(1, std::memory_order_relaxed);
+  prof::detail::active_profilers.fetch_sub(1, std::memory_order_relaxed);
+  if (impl.bound_global) {
+    g_all_collector.store(nullptr, std::memory_order_relaxed);
+    impl.bound_global = false;
+  } else {
+    t_collector = nullptr;  // Start/Stop same-thread contract
+  }
+
+  Collector& c = *impl.collector;
+  std::map<uint32_t, int64_t> live_by_op;
+  std::map<uint32_t, int64_t> live_by_kernel;
+  int64_t live_total = 0;
+  {
+    // One critical section: sweep this session's slots out of the table,
+    // then unregister — after which a racing free or late sample finds the
+    // collector gone and drops its update instead of touching freed state.
+    CollectorRegistry& registry = GlobalCollectors();
+    MutexLock lock(registry.mu);
+    for (Slot& slot : g_table) {
+      uintptr_t state = slot.state.load(std::memory_order_relaxed);
+      if (state == 0 || state == kSlotBusy) continue;
+      if (slot.owner.load(std::memory_order_relaxed) !=
+          reinterpret_cast<uintptr_t>(&c)) {
+        continue;
+      }
+      if (!slot.state.compare_exchange_strong(state, kSlotBusy,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+        continue;  // a free hook claimed it between the load and the CAS
+      }
+      const int64_t weight = slot.weight.load(std::memory_order_relaxed);
+      live_by_op[slot.op_id.load(std::memory_order_relaxed)] += weight;
+      live_by_kernel[slot.kernel_id.load(std::memory_order_relaxed)] += weight;
+      live_total += weight;
+      slot.state.store(0, std::memory_order_release);
+      g_live_slots.fetch_sub(1, std::memory_order_relaxed);
+    }
+    registry.live.erase(&c);
+    if (registry.live.empty()) {
+      // Last session out: the sweeps above drained every live slot, so the
+      // pre-filter can be reset wholesale. Inserts hold this mutex and
+      // check liveness first, so no set bit can race the clear.
+      for (std::atomic<uint64_t>& word : g_filter) {
+        word.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  profile.sample_interval_bytes = c.interval_bytes;
+  profile.duration_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    impl.start_time)
+          .count();
+  profile.samples = c.samples;
+  profile.dropped = c.dropped;
+  profile.table_overflow = c.table_overflow;
+  profile.total_bytes = c.total_bytes;
+  profile.live_bytes = live_total;  // exact: what the sweep actually found
+  profile.peak_heap_bytes = c.peak_heap_bytes;
+  profile.allocs_estimate = c.allocs_estimate;
+  profile.frees = c.frees;
+  profile.freed_bytes = c.freed_bytes;
+  profile.timeline = std::move(c.timeline);
+
+  // Aggregate folds -> folded stacks + per-operator / per-kernel totals.
+  // Everything is summed from the same fold rows, so the telescoping
+  // invariant sum(folded) == total == sum(operators) == sum(kernels) holds
+  // exactly in integer arithmetic.
+  struct Bucket {
+    int64_t samples = 0;
+    int64_t bytes = 0;
+    int64_t allocs = 0;
+  };
+  std::map<std::string, Fold> by_stack;
+  std::map<uint32_t, Bucket> by_op;
+  std::map<uint32_t, Bucket> by_kernel;
+  for (const auto& [frames, fold] : c.folds) {
+    Fold& row = by_stack[RenderStackKey(frames)];
+    row.samples += fold.samples;
+    row.bytes += fold.bytes;
+    row.allocs += fold.allocs;
+    Bucket& op = by_op[InnermostFrameId(frames, prof::FrameKind::kOperator)];
+    op.samples += fold.samples;
+    op.bytes += fold.bytes;
+    op.allocs += fold.allocs;
+    Bucket& k = by_kernel[InnermostFrameId(frames, prof::FrameKind::kKernel)];
+    k.samples += fold.samples;
+    k.bytes += fold.bytes;
+    k.allocs += fold.allocs;
+  }
+  for (const auto& [stack, fold] : by_stack) {
+    profile.folded.push_back({stack, fold.samples, fold.bytes, fold.allocs});
+  }
+  auto emit_totals = [](const std::map<uint32_t, Bucket>& buckets,
+                        const std::map<uint32_t, int64_t>& live) {
+    std::vector<MemFrameTotal> totals;
+    for (const auto& [id, b] : buckets) {
+      MemFrameTotal t;
+      t.name = BucketName(id);
+      t.samples = b.samples;
+      t.total_bytes = b.bytes;
+      t.allocs = b.allocs;
+      auto it = live.find(id);
+      if (it != live.end()) t.live_bytes = it->second;
+      totals.push_back(std::move(t));
+    }
+    std::sort(totals.begin(), totals.end(),
+              [](const MemFrameTotal& a, const MemFrameTotal& b) {
+                if (a.total_bytes != b.total_bytes) {
+                  return a.total_bytes > b.total_bytes;
+                }
+                return a.name < b.name;
+              });
+    return totals;
+  };
+  profile.operators = emit_totals(by_op, live_by_op);
+  profile.kernels = emit_totals(by_kernel, live_by_kernel);
+
+  // Join the simulator's tuple counts: per-operator bytes/tuple plus the
+  // profile-level figure over all processed tuples.
+  for (MemFrameTotal& op : profile.operators) {
+    auto it = c.tuples_by_op.find(op.name);
+    if (it != c.tuples_by_op.end() && it->second > 0) {
+      op.tuples = it->second;
+      op.bytes_per_tuple =
+          static_cast<double>(op.total_bytes) / static_cast<double>(op.tuples);
+    }
+  }
+  for (const auto& [name, tuples] : c.tuples_by_op) {
+    (void)name;
+    profile.tuples_processed += tuples;
+  }
+  if (profile.tuples_processed > 0) {
+    profile.bytes_per_tuple = static_cast<double>(profile.total_bytes) /
+                              static_cast<double>(profile.tuples_processed);
+  }
+
+  impl.collector.reset();
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// MemProfile JSON
+
+Json MemProfile::ToJson() const {
+  Json j = Json::Object();
+  j.Set("schema_version", Json::Int(schema_version));
+  j.Set("sample_interval_bytes", Json::Int(sample_interval_bytes));
+  j.Set("duration_s", Json::Number(duration_s));
+  j.Set("samples", Json::Int(samples));
+  j.Set("dropped", Json::Int(dropped));
+  j.Set("table_overflow", Json::Int(table_overflow));
+  j.Set("total_bytes", Json::Int(total_bytes));
+  j.Set("live_bytes", Json::Int(live_bytes));
+  j.Set("peak_heap_bytes", Json::Int(peak_heap_bytes));
+  j.Set("allocs_estimate", Json::Int(allocs_estimate));
+  j.Set("frees", Json::Int(frees));
+  j.Set("freed_bytes", Json::Int(freed_bytes));
+  j.Set("tuples_processed", Json::Int(tuples_processed));
+  j.Set("bytes_per_tuple", Json::Number(bytes_per_tuple));
+  Json folds = Json::Array();
+  for (const MemFolded& f : folded) {
+    Json e = Json::Object();
+    e.Set("stack", Json::Str(f.stack));
+    e.Set("samples", Json::Int(f.samples));
+    e.Set("bytes", Json::Int(f.bytes));
+    e.Set("allocs", Json::Int(f.allocs));
+    folds.Append(std::move(e));
+  }
+  j.Set("folded", std::move(folds));
+  auto totals_json = [](const std::vector<MemFrameTotal>& totals) {
+    Json arr = Json::Array();
+    for (const MemFrameTotal& t : totals) {
+      Json e = Json::Object();
+      e.Set("name", Json::Str(t.name));
+      e.Set("samples", Json::Int(t.samples));
+      e.Set("total_bytes", Json::Int(t.total_bytes));
+      e.Set("live_bytes", Json::Int(t.live_bytes));
+      e.Set("allocs", Json::Int(t.allocs));
+      e.Set("tuples", Json::Int(t.tuples));
+      e.Set("bytes_per_tuple", Json::Number(t.bytes_per_tuple));
+      arr.Append(std::move(e));
+    }
+    return arr;
+  };
+  j.Set("operators", totals_json(operators));
+  j.Set("kernels", totals_json(kernels));
+  Json tl = Json::Array();
+  for (const MemTimelinePoint& p : timeline) {
+    Json e = Json::Object();
+    e.Set("t_s", Json::Number(p.t_s));
+    e.Set("live_bytes", Json::Int(p.live_bytes));
+    tl.Append(std::move(e));
+  }
+  j.Set("timeline", std::move(tl));
+  return j;
+}
+
+Result<MemProfile> MemProfile::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("memory profile document is not an object");
+  }
+  const int64_t version = IntField(json, "schema_version");
+  if (version != kMemProfileSchemaVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported memory profile schema_version %lld",
+                  static_cast<long long>(version)));
+  }
+  MemProfile profile;
+  profile.sample_interval_bytes = IntField(json, "sample_interval_bytes");
+  profile.duration_s = NumField(json, "duration_s");
+  profile.samples = IntField(json, "samples");
+  profile.dropped = IntField(json, "dropped");
+  profile.table_overflow = IntField(json, "table_overflow");
+  profile.total_bytes = IntField(json, "total_bytes");
+  profile.live_bytes = IntField(json, "live_bytes");
+  profile.peak_heap_bytes = IntField(json, "peak_heap_bytes");
+  profile.allocs_estimate = IntField(json, "allocs_estimate");
+  profile.frees = IntField(json, "frees");
+  profile.freed_bytes = IntField(json, "freed_bytes");
+  profile.tuples_processed = IntField(json, "tuples_processed");
+  profile.bytes_per_tuple = NumField(json, "bytes_per_tuple");
+  const Json& folds = json["folded"];
+  if (folds.is_array()) {
+    for (size_t i = 0; i < folds.size(); ++i) {
+      const Json& e = folds.at(i);
+      profile.folded.push_back({StrField(e, "stack"), IntField(e, "samples"),
+                                IntField(e, "bytes"), IntField(e, "allocs")});
+    }
+  }
+  auto read_totals = [&json](const char* key) {
+    std::vector<MemFrameTotal> totals;
+    const Json& arr = json[key];
+    if (arr.is_array()) {
+      for (size_t i = 0; i < arr.size(); ++i) {
+        const Json& e = arr.at(i);
+        MemFrameTotal t;
+        t.name = StrField(e, "name");
+        t.samples = IntField(e, "samples");
+        t.total_bytes = IntField(e, "total_bytes");
+        t.live_bytes = IntField(e, "live_bytes");
+        t.allocs = IntField(e, "allocs");
+        t.tuples = IntField(e, "tuples");
+        t.bytes_per_tuple = NumField(e, "bytes_per_tuple");
+        totals.push_back(std::move(t));
+      }
+    }
+    return totals;
+  };
+  profile.operators = read_totals("operators");
+  profile.kernels = read_totals("kernels");
+  const Json& tl = json["timeline"];
+  if (tl.is_array()) {
+    for (size_t i = 0; i < tl.size(); ++i) {
+      const Json& e = tl.at(i);
+      profile.timeline.push_back(
+          {NumField(e, "t_s"), IntField(e, "live_bytes")});
+    }
+  }
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// Memory diagnostics (PDSP-M301..M303)
+
+void DiagnoseMemProfile(const MemProfile& profile, double node_memory_gb,
+                        analysis::AnalysisReport* report) {
+  if (report == nullptr || profile.empty()) return;
+  constexpr double kMiB = 1024.0 * 1024.0;
+
+  // M301: one operator dominates allocation. Requires enough samples that
+  // the share is not one lucky draw.
+  const MemFrameTotal* top = nullptr;
+  for (const MemFrameTotal& op : profile.operators) {
+    if (op.name == kUntracked) continue;
+    if (top == nullptr || op.total_bytes > top->total_bytes) top = &op;
+  }
+  if (top != nullptr && profile.samples >= 16 && top->samples >= 8 &&
+      profile.total_bytes > 0) {
+    const double share = static_cast<double>(top->total_bytes) /
+                         static_cast<double>(profile.total_bytes);
+    if (share > 0.60) {
+      analysis::Diagnostic d;
+      d.severity = analysis::Severity::kWarning;
+      d.code = "PDSP-M301";
+      d.pass = "mem-profile";
+      d.op_name = top->name;
+      d.message = StrFormat(
+          "operator '%s' accounts for %.0f%% of sampled allocation "
+          "(%.1f MiB of %.1f MiB)",
+          top->name.c_str(), share * 100.0, top->total_bytes / kMiB,
+          profile.total_bytes / kMiB);
+      d.hint =
+          "reduce per-tuple allocations in this operator (reuse buffers, "
+          "pre-size containers); see its bytes_per_tuple in memory.json";
+      report->Add(std::move(d));
+    }
+  }
+
+  // M302: retention — a large share of sampled bytes is still live at the
+  // end of the run, i.e. the heap grew without matching tuple turnover.
+  if (profile.samples >= 16 && profile.total_bytes > 0 &&
+      profile.live_bytes > 4 * profile.sample_interval_bytes) {
+    const double retained = static_cast<double>(profile.live_bytes) /
+                            static_cast<double>(profile.total_bytes);
+    if (retained > 0.50) {
+      const MemFrameTotal* holder = nullptr;
+      for (const MemFrameTotal& op : profile.operators) {
+        if (op.name == kUntracked) continue;
+        if (holder == nullptr || op.live_bytes > holder->live_bytes) {
+          holder = &op;
+        }
+      }
+      analysis::Diagnostic d;
+      d.severity = analysis::Severity::kWarning;
+      d.code = "PDSP-M302";
+      d.pass = "mem-profile";
+      if (holder != nullptr && holder->live_bytes > 0) d.op_name = holder->name;
+      d.message = StrFormat(
+          "%.0f%% of sampled allocation (%.1f MiB) is still live at end of "
+          "run — heap growth without matching tuple turnover",
+          retained * 100.0, profile.live_bytes / kMiB);
+      d.hint =
+          "look for unbounded operator state (windows that never evict, "
+          "growing join/hash state) or results accumulated per run";
+      report->Add(std::move(d));
+    }
+  }
+
+  // M303: peak sampled heap exceeds a cluster node's memory.
+  if (node_memory_gb > 0.0) {
+    const double node_bytes = node_memory_gb * 1024.0 * kMiB;
+    if (static_cast<double>(profile.peak_heap_bytes) > node_bytes) {
+      analysis::Diagnostic d;
+      d.severity = analysis::Severity::kWarning;
+      d.code = "PDSP-M303";
+      d.pass = "mem-profile";
+      d.message = StrFormat(
+          "peak sampled heap %.2f GiB exceeds the %.0f GiB node memory "
+          "budget",
+          profile.peak_heap_bytes / (1024.0 * kMiB), node_memory_gb);
+      d.hint =
+          "lower generator rate or raise parallelism so per-instance state "
+          "fits one node, or provision larger nodes";
+      report->Add(std::move(d));
+    }
+  }
+}
+
+}  // namespace mem
+}  // namespace obs
+}  // namespace pdsp

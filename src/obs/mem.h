@@ -1,0 +1,210 @@
+// pdsp::obs::mem — in-process sampling allocation profiler with no external
+// dependencies. A PDSP_MEM_PROFILE-guarded translation unit (mem_hooks.cc)
+// interposes global operator new/delete and forwards every allocation and
+// free through NoteAlloc/NoteFree below; a per-thread exponential byte
+// countdown decides which allocations become samples (default: one sample
+// per 512 KiB allocated, so the hot path is one relaxed load, a branch and
+// a thread-local decrement). Each sample carries the allocation-weighted
+// byte interval it represents and is attributed to the calling thread's
+// ProfScope marker stack (src/obs/prof.h) — yielding per-operator and
+// per-kernel total-bytes, live-bytes, allocation counts, peak heap and,
+// joined with the simulator's per-operator tuple counts, bytes per
+// processed tuple.
+//
+// Telescoping invariant (validated in tests, mirrored from CpuProfile):
+//   sum(folded.bytes) == total_bytes == sum(operators.total_bytes)
+// where operators includes an "(untracked)" bucket for samples whose marker
+// stack carried no operator frame. All sums are exact integer arithmetic.
+//
+// Concurrency contract:
+//   * When no memory profiler is running, NoteAlloc/NoteFree cost one
+//     relaxed atomic load and a branch — unprofiled runs pay (almost)
+//     nothing even in a PDSP_MEM_PROFILE build, and builds without the
+//     define pay literally nothing (the hooks TU compiles to empty).
+//   * The sampled-allocation table (used to observe frees of sampled
+//     allocations, possibly from other threads) is a fixed global array of
+//     atomic slots with a claim protocol — the free path never takes a
+//     mutex unless the freed pointer was actually sampled.
+//   * The slow sampling path is reentrancy-guarded: allocations performed
+//     by the profiler's own bookkeeping are never re-sampled, so the hooks
+//     cannot recurse or self-deadlock.
+//   * Interposition is compiled out under AddressSanitizer (ASan must own
+//     malloc); MemProfiler::Start then logs a notice and stays inert.
+
+#ifndef PDSP_OBS_MEM_H_
+#define PDSP_OBS_MEM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/common/status.h"
+#include "src/store/json.h"
+
+namespace pdsp {
+namespace obs {
+namespace mem {
+
+namespace detail {
+/// Count of running MemProfilers; gates every hook.
+extern std::atomic<int> active_mem_profilers;
+/// Slow paths, defined in mem.cc. Never called unless a profiler is active.
+void OnAlloc(void* ptr, std::size_t size) noexcept;
+void OnFree(void* ptr) noexcept;
+}  // namespace detail
+
+/// True while at least one MemProfiler is running — the only state the
+/// allocation hooks read before deciding to do nothing.
+inline bool MemProfilingActive() {
+  return detail::active_mem_profilers.load(std::memory_order_relaxed) > 0;
+}
+
+/// Called by the interposed operator new with every allocation. Must not
+/// allocate on the fast path (it runs inside operator new).
+inline void NoteAlloc(void* ptr, std::size_t size) noexcept {
+  if (MemProfilingActive()) detail::OnAlloc(ptr, size);
+}
+
+/// Called by the interposed operator delete with every free.
+inline void NoteFree(void* ptr) noexcept {
+  if (MemProfilingActive()) detail::OnFree(ptr);
+}
+
+/// True when this binary was built with the PDSP_MEM_PROFILE interposition
+/// TU (i.e. not under AddressSanitizer). When false, MemProfiler::Start
+/// logs a notice and the session yields an empty profile.
+bool InterpositionAvailable();
+
+/// \brief Memory-profiler configuration (CLI: --mem-profile[=KiB]).
+struct MemOptions {
+  bool enabled = false;
+  /// Mean bytes between samples (exponential skip, per thread); clamped to
+  /// >= 1024 at Start. Smaller = more samples = more overhead.
+  int64_t sample_interval_bytes = 512 * 1024;
+  /// false: sample only allocations made by the thread that calls Start()
+  /// — the right scope for per-cell profiles in a parallel sweep. true:
+  /// sample every thread's allocations into this profiler.
+  bool all_threads = false;
+};
+
+struct MemFolded {
+  std::string stack;  ///< "phase:simulate;app:WC;op:count" ("" never occurs)
+  int64_t samples = 0;
+  int64_t bytes = 0;   ///< sampled-weighted bytes allocated under this stack
+  int64_t allocs = 0;  ///< estimated allocation count (weight / size)
+};
+
+/// Per-operator (or per-kernel) allocation totals. `operators` rows join
+/// the simulator's tuple counts to give bytes per processed tuple.
+struct MemFrameTotal {
+  std::string name;
+  int64_t samples = 0;
+  int64_t total_bytes = 0;  ///< cumulative sampled allocation bytes
+  int64_t live_bytes = 0;   ///< sampled bytes not yet freed at Stop()
+  int64_t allocs = 0;       ///< estimated allocation count
+  int64_t tuples = 0;       ///< tuples processed (operators only; 0 = unknown)
+  double bytes_per_tuple = 0.0;  ///< total_bytes / tuples, 0 when unknown
+};
+
+struct MemTimelinePoint {
+  double t_s = 0.0;        ///< seconds since Start()
+  int64_t live_bytes = 0;  ///< tracked live bytes at that instant
+};
+
+inline constexpr int kMemProfileSchemaVersion = 1;
+
+/// \brief Aggregated result of one memory-profiling session. All byte
+/// figures are sampled estimates: each sample's weight is the exact byte
+/// interval it represents, so totals are unbiased and the telescoping sums
+/// are exact in integer arithmetic.
+struct MemProfile {
+  int schema_version = kMemProfileSchemaVersion;
+  int64_t sample_interval_bytes = 0;  ///< effective mean skip the run used
+  double duration_s = 0.0;            ///< wall-clock Start..Stop
+  int64_t samples = 0;                ///< sampled allocations
+  int64_t dropped = 0;          ///< torn marker-stack reads (bytes kept)
+  int64_t table_overflow = 0;   ///< samples whose free cannot be observed
+  int64_t total_bytes = 0;      ///< weighted bytes allocated
+  int64_t live_bytes = 0;       ///< weighted bytes still live at Stop()
+  int64_t peak_heap_bytes = 0;  ///< max tracked live bytes over the run
+  int64_t allocs_estimate = 0;  ///< estimated total allocation count
+  int64_t frees = 0;            ///< sampled allocations seen freed
+  int64_t freed_bytes = 0;      ///< weighted bytes of those frees
+  int64_t tuples_processed = 0;  ///< total tuples (from NoteTuplesProcessed)
+  double bytes_per_tuple = 0.0;  ///< total_bytes / tuples_processed
+  std::vector<MemFolded> folded;        ///< sorted by stack string
+  std::vector<MemFrameTotal> operators; ///< sorted by total_bytes desc, name
+  std::vector<MemFrameTotal> kernels;   ///< sorted by total_bytes desc, name
+  std::vector<MemTimelinePoint> timeline;  ///< live-bytes over wall time
+
+  bool empty() const { return samples == 0; }
+
+  Json ToJson() const;
+  /// Rejects documents whose schema_version != kMemProfileSchemaVersion;
+  /// otherwise lenient (missing keys read as empty/zero).
+  static Result<MemProfile> FromJson(const Json& json);
+};
+
+/// Credits `tuples` processed tuples to operator `op_name` on the profiler
+/// bound to the calling thread (no-op when none is). The simulator calls
+/// this once per run with each operator's input-tuple total — off the
+/// firing hot path — so MemProfile can report bytes per processed tuple.
+void NoteTuplesProcessed(const std::string& op_name, int64_t tuples);
+
+/// \brief Sampling allocation profiler. Start() arms the hooks for the
+/// calling thread (or all threads); Stop() disarms them, sweeps the live
+/// table and returns the aggregated MemProfile. The destructor stops a
+/// still-running session and discards its result. Start/Stop must be
+/// called from the same thread (the RunContext confinement contract).
+///
+/// Start() also activates the ProfScope marker machinery (prof::
+/// ProfilingActive()), so operator markers are maintained even when no CPU
+/// sampler runs alongside.
+class MemProfiler {
+ public:
+  explicit MemProfiler(const MemOptions& options);
+  ~MemProfiler();
+
+  MemProfiler(const MemProfiler&) = delete;
+  MemProfiler& operator=(const MemProfiler&) = delete;
+
+  /// Arms the hooks. With all_threads=false the calling thread must already
+  /// be registered (prof::ThreadRegistration) so samples can read its
+  /// marker stack. FailedPrecondition when already running or unregistered.
+  /// OK but inert (with a logged notice) when interposition is compiled
+  /// out — a sweep never dies on its observability.
+  Status Start();
+
+  /// Disarms, aggregates and returns the profile. Returns an empty profile
+  /// when Start was never (successfully) called or interposition is absent.
+  MemProfile Stop();
+
+  bool running() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Appends PDSP-M301 (allocation-dominated operator), PDSP-M302 (heap
+/// growth without tuple growth, i.e. retention) and PDSP-M303 (peak heap
+/// exceeds a cluster node's memory) findings derived from `profile` into
+/// `report`. `node_memory_gb` is the per-node memory budget the M303 check
+/// compares against (<= 0 disables it). No-op for empty profiles.
+void DiagnoseMemProfile(const MemProfile& profile, double node_memory_gb,
+                        analysis::AnalysisReport* report);
+
+/// Slots currently occupied in the global sampled-allocation table. After
+/// every profiler has stopped this must be 0 (Stop() sweeps its own slots)
+/// — asserted in tests to prove the table cannot leak across runs.
+int64_t LiveTableSlotsInUse();
+
+}  // namespace mem
+}  // namespace obs
+}  // namespace pdsp
+
+#endif  // PDSP_OBS_MEM_H_

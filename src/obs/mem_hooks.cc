@@ -1,0 +1,91 @@
+// Global operator new/delete interposition for pdsp::obs::mem. This TU is
+// compiled into the pdsp library only when PDSP_MEM_PROFILE is defined
+// (src/CMakeLists.txt sets it by default and drops it under
+// PDSP_SANITIZE=address, where ASan must own malloc). Without the define
+// this file is empty and the binary's allocator is untouched.
+//
+// The replacements forward to malloc/free and report every allocation and
+// free to NoteAlloc/NoteFree, which are one relaxed atomic load and a
+// branch when no memory profiler is running — so unprofiled runs pay
+// (almost) nothing. Aligned (align_val_t) overloads are deliberately not
+// replaced: the default library versions remain a consistent new/delete
+// pair, those allocations are simply never sampled.
+
+#ifdef PDSP_MEM_PROFILE
+
+#include <cstdlib>
+#include <new>
+
+#include "src/obs/mem.h"
+
+namespace pdsp {
+namespace obs {
+namespace mem {
+namespace detail {
+
+// Link anchor referenced by InterpositionAvailable() in mem.cc. Without it,
+// a linker that already resolved operator new elsewhere (e.g. libtsan.so's
+// interceptors under -fsanitize=thread) never pulls this archive member, and
+// the hooks silently vanish from the binary. The reference forces this TU
+// into every link that contains mem.cc, so the executable's own definitions
+// win symbol resolution and the profiler keeps seeing allocations.
+extern const bool mem_hooks_linked;
+extern const bool mem_hooks_linked = true;
+
+}  // namespace detail
+}  // namespace mem
+}  // namespace obs
+}  // namespace pdsp
+
+namespace {
+
+void* AllocOrThrow(std::size_t size) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* ptr = std::malloc(size);
+    if (ptr != nullptr) {
+      pdsp::obs::mem::NoteAlloc(ptr, size);
+      return ptr;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* AllocNoThrow(std::size_t size) noexcept {
+  if (size == 0) size = 1;
+  void* ptr = std::malloc(size);
+  if (ptr != nullptr) pdsp::obs::mem::NoteAlloc(ptr, size);
+  return ptr;
+}
+
+void FreePtr(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  pdsp::obs::mem::NoteFree(ptr);
+  std::free(ptr);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return AllocOrThrow(size); }
+void* operator new[](std::size_t size) { return AllocOrThrow(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return AllocNoThrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return AllocNoThrow(size);
+}
+
+void operator delete(void* ptr) noexcept { FreePtr(ptr); }
+void operator delete[](void* ptr) noexcept { FreePtr(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { FreePtr(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { FreePtr(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  FreePtr(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  FreePtr(ptr);
+}
+
+#endif  // PDSP_MEM_PROFILE

@@ -12,6 +12,7 @@
 #include "src/common/file_util.h"
 #include "src/common/stats.h"
 #include "src/common/string_util.h"
+#include "src/obs/mem.h"
 #include "src/obs/prof.h"
 #include "src/obs/svg.h"
 #include "src/store/json.h"
@@ -308,6 +309,96 @@ std::string ProfileSection(const std::vector<AppGroup>& groups,
   return html;
 }
 
+/// Memory-profile section harvested from memory.json bundles: an
+/// allocation flame graph (widths ∝ sampled bytes) per profiled cell, a
+/// live-heap timeline with the peak annotated, and a bytes-per-tuple table
+/// — the per-operator allocation budget that bench_gate.sh gates on. Every
+/// chart counts into *charts so the pdsp-report marker stays equal to the
+/// <svg> count.
+std::string MemorySection(const std::vector<AppGroup>& groups,
+                          size_t* charts) {
+  constexpr double kMiB = 1024.0 * 1024.0;
+  std::string html;
+  for (const AppGroup& group : groups) {
+    for (const auto& entry : group.by_parallelism) {
+      const RunRecord& rec = entry.second;
+      if (rec.artifact_dir.empty()) continue;
+      Result<std::string> text =
+          ReadTextFile(rec.artifact_dir + "/memory.json");
+      if (!text.ok()) continue;
+      Result<Json> doc = Json::Parse(*text);
+      if (!doc.ok()) continue;
+      Result<mem::MemProfile> profile = mem::MemProfile::FromJson(*doc);
+      if (!profile.ok() || profile->empty()) continue;
+
+      svg::FlameGraphSpec spec;
+      spec.title = StrFormat(
+          "%s: allocation flame graph (%.1f MiB sampled, 1/%lld KiB)",
+          rec.label.c_str(), profile->total_bytes / kMiB,
+          static_cast<long long>(profile->sample_interval_bytes / 1024));
+      for (const mem::MemFolded& f : profile->folded) {
+        spec.stacks.emplace_back(f.stack, static_cast<double>(f.bytes));
+      }
+      html += "<h2>Allocation flame graph: " + EscapeText(rec.label) +
+              "</h2>\n";
+      html += svg::RenderFlameGraph(spec) + "\n";
+      ++*charts;
+
+      if (profile->timeline.size() >= 2) {
+        svg::LineChartSpec chart;
+        chart.title =
+            StrFormat("%s: live heap over run (peak %.1f MiB)",
+                      rec.label.c_str(), profile->peak_heap_bytes / kMiB);
+        chart.x_label = "wall time (s)";
+        chart.y_label = "live MiB (sampled)";
+        svg::Series series;
+        series.label = "live heap";
+        for (const mem::MemTimelinePoint& p : profile->timeline) {
+          series.points.emplace_back(p.t_s, p.live_bytes / kMiB);
+        }
+        chart.series.push_back(std::move(series));
+        html += svg::RenderLineChart(chart) + "\n";
+        ++*charts;
+      }
+
+      std::string rows;
+      for (const mem::MemFrameTotal& op : profile->operators) {
+        rows += "<tr><td>" + EscapeText(op.name) + "</td><td class=\"num\">" +
+                Num(op.total_bytes / kMiB, "%.2f") +
+                "</td><td class=\"num\">" + Num(op.live_bytes / kMiB, "%.2f") +
+                "</td><td class=\"num\">" +
+                StrFormat("%lld", static_cast<long long>(op.allocs)) +
+                "</td><td class=\"num\">" +
+                StrFormat("%lld", static_cast<long long>(op.tuples)) +
+                "</td><td class=\"num\">" +
+                (op.tuples > 0 ? Num(op.bytes_per_tuple, "%.1f")
+                               : std::string("&#8212;")) +
+                "</td></tr>\n";
+      }
+      if (!rows.empty()) {
+        html += "<h2>Bytes per tuple: " + EscapeText(rec.label) +
+                "</h2>\n"
+                "<table><tr><th>operator</th><th>alloc MiB</th>"
+                "<th>live MiB</th><th>~allocs</th><th>tuples</th>"
+                "<th>bytes/tuple</th></tr>\n" +
+                rows + "</table>\n";
+      }
+      html += "<p class=\"meta\">" +
+              StrFormat("%lld allocation samples (%lld torn, %lld table "
+                        "overflow) &#183; %.1f MiB allocated, %.1f MiB live "
+                        "at end &#183; %.1f bytes/tuple over %lld tuples",
+                        static_cast<long long>(profile->samples),
+                        static_cast<long long>(profile->dropped),
+                        static_cast<long long>(profile->table_overflow),
+                        profile->total_bytes / kMiB,
+                        profile->live_bytes / kMiB, profile->bytes_per_tuple,
+                        static_cast<long long>(profile->tuples_processed)) +
+              "</p>\n";
+    }
+  }
+  return html;
+}
+
 const char* VerdictClass(MetricVerdict verdict) {
   switch (verdict) {
     case MetricVerdict::kImproved: return "improved";
@@ -447,6 +538,7 @@ Result<ReportResult> GenerateReport(const std::vector<RunRecord>& records,
 
   std::string sections = CriticalPathTable(groups);
   sections += ProfileSection(groups, &out.stats.charts);
+  sections += MemorySection(groups, &out.stats.charts);
   sections += SummaryTable(records);
   if (!options.against_path.empty()) {
     Result<std::vector<RunRecord>> baseline =

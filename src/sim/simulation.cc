@@ -10,6 +10,7 @@
 #include "src/common/string_util.h"
 #include "src/data/arrival.h"
 #include "src/data/generator.h"
+#include "src/obs/mem.h"
 #include "src/obs/prof.h"
 #include "src/runtime/operators.h"
 
@@ -857,6 +858,11 @@ Result<SimResult> Engine::Run() {
     s.utilization = util_sum / s.parallelism;
     s.latency = op_latency_[op];
     result_.late_drops += s.late_drops;
+    // Credit this run's processed tuples to the memory profiler (bytes per
+    // tuple). Once per run per operator — nothing on the firing hot path.
+    if (obs::mem::MemProfilingActive()) {
+      obs::mem::NoteTuplesProcessed(s.name, s.tuples_in);
+    }
     result_.op_stats.push_back(std::move(s));
   }
 

@@ -3,8 +3,10 @@
 # baselines (bench/baselines/*.json) with each baseline's recorded protocol,
 # appends every measurement to the run ledger, and exits non-zero when any
 # virtual-time metric regresses beyond the noise-aware threshold
-# (pdsp::obs::CompareRecords). Also runs the micro_sim host-profiler and
-# sampling-CPU-profiler pairs and reports the self-profiling overhead.
+# (pdsp::obs::CompareRecords). Also runs the micro_sim host-profiler,
+# sampling-CPU-profiler and allocation-sampler pairs and reports the
+# self-profiling overhead, and gates per-operator bytes-per-tuple against
+# the checked-in allocation budgets (bench/baselines/mem_budget.json).
 #
 # Because the simulator is deterministic in virtual time for a fixed seed,
 # an unchanged tree reproduces the baselines bit-for-bit on any machine —
@@ -24,6 +26,7 @@
 #                         (default results/ledger.jsonl)
 #   PDSP_GATE_SKIP_MICRO  set to 1 to skip the microbenchmark pass
 #   PDSP_GATE_SKIP_SWEEP  set to 1 to skip the parallel-sweep pair
+#   PDSP_GATE_SKIP_MEM    set to 1 to skip the allocation budget gate
 #   PDSP_GATE_SWEEP_JOBS  worker count for the parallel leg (default 4)
 
 set -eu
@@ -46,10 +49,10 @@ if [ ! -x "$PDSPBENCH" ]; then
 fi
 
 if [ "${PDSP_GATE_SKIP_MICRO:-0}" != "1" ] && [ -x "$BUILD_DIR/bench/micro_sim" ]; then
-  step "micro_sim profiler overhead pairs (host + sampling CPU)"
+  step "micro_sim profiler overhead pairs (host + sampling CPU + alloc)"
   MICRO_JSON="$BUILD_DIR/bench_gate_micro.json"
   "$BUILD_DIR/bench/micro_sim" \
-      --benchmark_filter='BM_SimLinearPlanHostProf|BM_SimLinearPlanProf' \
+      --benchmark_filter='BM_SimLinearPlanHostProf|BM_SimLinearPlanProf|BM_SimLinearPlanMemProf' \
       --benchmark_format=json > "$MICRO_JSON"
   if command -v python3 >/dev/null 2>&1; then
     python3 - "$MICRO_JSON" <<'EOF'
@@ -63,6 +66,8 @@ for label, on_name, off_name in [
      "BM_SimLinearPlanHostProfOff"),
     ("cpu-sampling-profiler", "BM_SimLinearPlanProf",
      "BM_SimLinearPlanProfOff"),
+    ("allocation-sampling-profiler", "BM_SimLinearPlanMemProf",
+     "BM_SimLinearPlanMemProfOff"),
 ]:
     on, off = times[on_name], times[off_name]
     overhead = (on - off) / off
@@ -87,11 +92,12 @@ if [ "${PDSP_GATE_SKIP_SWEEP:-0}" != "1" ]; then
   rm -f "$SWEEP_LEDGER_1" "$SWEEP_LEDGER_N"
   SWEEP_ARGS="--structure=linear --rate=20000
               --parallelism=1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16
-              --nodes=16 --duration=1.0 --seed=42 --profile"
-  # Both legs run with live monitoring (--progress=plain) AND the sampling
-  # CPU profiler (--profile) on: both only observe host-side state, so the
-  # bit-identical assertion below also proves that neither the telemetry
-  # thread nor the sampler perturbs per-cell virtual-time results.
+              --nodes=16 --duration=1.0 --seed=42 --profile --mem-profile"
+  # Both legs run with live monitoring (--progress=plain) AND both samplers
+  # (--profile, --mem-profile) on: all three only observe host-side state,
+  # so the bit-identical assertion below also proves that neither the
+  # telemetry thread nor either sampler perturbs per-cell virtual-time
+  # results.
   "$PDSPBENCH" $SWEEP_ARGS --jobs=1 --ledger="$SWEEP_LEDGER_1" \
       --progress=plain > /dev/null
   "$PDSPBENCH" $SWEEP_ARGS --jobs="$SWEEP_JOBS" --ledger="$SWEEP_LEDGER_N" \
@@ -109,14 +115,28 @@ def load(path):
 
 # Fields that identify the run or the host footprint, not the simulated
 # outcome — allowed to differ between the two legs. "profile" is the
-# sampled-CPU summary: real CPU seconds, inherently host-volatile.
-VOLATILE = {"run_id", "timestamp_utc", "host", "profile"}
+# sampled-CPU summary and "memory" the sampled-allocation summary: both
+# measure real host behavior, inherently volatile across runs.
+VOLATILE = {"run_id", "timestamp_utc", "host", "profile", "memory"}
+
+# Diagnosis codes derived from the allocation profile (PDSP-M3xx) inherit
+# its volatility: sample counts differ run to run, so whether a memory
+# diagnostic fires is not deterministic. Simulated-outcome diagnostics
+# (backpressure, skew, ...) must still match exactly.
+def stable_codes(record):
+    codes = record.get("diagnosis_codes")
+    if isinstance(codes, list):
+        record = dict(record)
+        record["diagnosis_codes"] = [
+            c for c in codes if not str(c).startswith("PDSP-M3")]
+    return record
 
 cells1, sum1 = load(sys.argv[1])
 cellsN, sumN = load(sys.argv[2])
 assert len(cells1) == len(cellsN) == 16, \
     f"expected 16 cells per leg, got {len(cells1)} vs {len(cellsN)}"
 for a, b in zip(cells1, cellsN):
+    a, b = stable_codes(a), stable_codes(b)
     keys = set(a) | set(b)
     diff = [k for k in sorted(keys - VOLATILE) if a.get(k) != b.get(k)]
     assert not diff, f"{a['label']}: jobs=1 vs jobs=N differ on {diff}"
@@ -139,6 +159,53 @@ EOF
       --title="bench_gate sweep report"
   REPORT_END_NS=$(date +%s%N)
   echo "report generated in $(( (REPORT_END_NS - REPORT_START_NS) / 1000000 )) ms -> $REPORT_OUT"
+fi
+
+if [ "${PDSP_GATE_SKIP_MEM:-0}" != "1" ] && \
+    [ -f "$BASELINE_DIR/mem_budget.json" ] && \
+    command -v python3 >/dev/null 2>&1; then
+  step "allocation budget gate (bytes/tuple vs $BASELINE_DIR/mem_budget.json)"
+  # Re-measures each budgeted workload with --mem-profile at the budget
+  # file's sampling interval and fails when any per-run bytes-per-tuple
+  # estimate exceeds its checked-in ceiling. Budgets are deliberately
+  # generous (~2x measured) — this catches an allocation regression like an
+  # accidental per-firing copy, not sampling noise; it also locks in the
+  # win when the columnar data-plane refactor lands.
+  python3 - "$PDSPBENCH" "$BASELINE_DIR/mem_budget.json" "$BUILD_DIR" <<'EOF'
+import json, subprocess, sys
+pdspbench, budget_path, build_dir = sys.argv[1:4]
+budget = json.load(open(budget_path))
+proto = budget["protocol"]
+failures = []
+for entry in budget["budgets"]:
+    ledger = f"{build_dir}/bench_gate_mem_{entry['label']}.jsonl"
+    open(ledger, "w").close()
+    cmd = [pdspbench, entry["selector"],
+           f"--rate={proto['rate']}",
+           f"--parallelism={proto['parallelism']}",
+           f"--nodes={proto['nodes']}",
+           f"--duration={proto['duration_s']}",
+           f"--seed={proto['seed']}",
+           f"--mem-profile={budget['interval_kib']}",
+           f"--ledger={ledger}"]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    records = [json.loads(line) for line in open(ledger)]
+    mem = records[-1].get("memory")
+    if mem is None:
+        print(f"{entry['label']}: no memory summary (interposition "
+              "compiled out?) — skipping")
+        continue
+    bpt = mem["bytes_per_tuple"]
+    limit = entry["max_bytes_per_tuple"]
+    verdict = "OK" if bpt <= limit else "OVER BUDGET"
+    print(f"{entry['label']}: {bpt:.1f} B/tuple "
+          f"(budget {limit:.0f}, peak heap "
+          f"{mem['peak_heap_bytes'] / 1048576:.1f} MiB) {verdict}")
+    if bpt > limit:
+        failures.append(entry["label"])
+if failures:
+    sys.exit("allocation budget exceeded: " + " ".join(failures))
+EOF
 fi
 
 step "baseline checks ($APPS; threshold=$THRESHOLD, sigmas=$SIGMAS)"

@@ -226,6 +226,58 @@ else
   echo "python3 not found; profiled artifacts generated but unchecked"
 fi
 
+step "mem-profiled run smoke (--mem-profile + artifacts + memory report)"
+# An allocation-profiled 2-cell sweep end-to-end: the sampler on at a fine
+# 16 KiB interval so even short runs collect hundreds of samples, artifact
+# bundles, then a report. Validates the memory.json schema and its
+# telescoping invariant (operators incl. "(untracked)" == folded == total,
+# exact in integers) and that the report's chart marker grows by the
+# allocation flame graphs while still matching the <svg> count. Skipped
+# when interposition is compiled out (PDSP_SANITIZE=address).
+MEM_DIR="$BUILD_DIR/ci_mem_artifacts"
+MEM_LEDGER="$BUILD_DIR/ci_mem_ledger.jsonl"
+MEM_REPORT="$BUILD_DIR/ci_mem_report.html"
+rm -rf "$MEM_DIR"
+rm -f "$MEM_LEDGER" "$MEM_REPORT"
+"$BUILD_DIR/tools/pdspbench" --structure=linear --rate=20000 \
+    --parallelism=1,4 --nodes=4 --duration=2.0 --seed=7 --mem-profile=16 \
+    --artifacts="$MEM_DIR" --ledger="$MEM_LEDGER" > /dev/null
+"$BUILD_DIR/tools/pdspbench" report "$MEM_LEDGER" --out="$MEM_REPORT" \
+    --title="CI mem-profiled smoke"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$MEM_DIR" "$MEM_REPORT" <<'EOF'
+import glob, json, re, sys
+memories = sorted(glob.glob(sys.argv[1] + "/*/*/memory.json"))
+if not memories:
+    print("mem-profiled smoke: no memory.json (interposition compiled "
+          "out, e.g. PDSP_SANITIZE=address) — skipped")
+    sys.exit(0)
+assert len(memories) == 2, f"expected 2 memory.json bundles, got {memories}"
+for path in memories:
+    m = json.load(open(path))
+    assert m["schema_version"] == 1, f"{path}: bad schema_version"
+    assert m["samples"] >= 1, f"{path}: no allocation samples"
+    total = m["total_bytes"]
+    for key in ("folded", "operators"):
+        field = "bytes" if key == "folded" else "total_bytes"
+        s = sum(e[field] for e in m[key])
+        assert s == total, \
+            f"{path}: {key} sum {s} != total {total} (telescoping broken)"
+    assert any(o["name"] != "(untracked)" for o in m["operators"]), \
+        f"{path}: no operator attribution"
+html = open(sys.argv[2]).read()
+assert "allocation flame graph" in html, "report lacks the memory section"
+mark = re.search(r"<!-- pdsp-report charts=(\d+) ", html)
+assert mark, "missing pdsp-report marker comment"
+charts, svgs = int(mark.group(1)), html.count("<svg")
+assert svgs == charts, f"marker says {charts} charts, found {svgs} <svg>"
+print(f"mem-profiled smoke: {len(memories)} bundles telescoped exactly, "
+      f"report embeds {svgs} charts incl. allocation flame graphs")
+EOF
+else
+  echo "python3 not found; mem-profiled artifacts generated but unchecked"
+fi
+
 step "benchmark regression gate (tools/bench_gate.sh)"
 # Small fixed subset with generous thresholds: this catches real breakage
 # (a plan change, a simulator behavior change), not microbenchmark noise.

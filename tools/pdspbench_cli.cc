@@ -98,6 +98,7 @@
 #include "src/obs/host_profile.h"
 #include "src/obs/ledger.h"
 #include "src/obs/artifacts.h"
+#include "src/obs/mem.h"
 #include "src/obs/monitor.h"
 #include "src/obs/prof.h"
 #include "src/obs/report.h"
@@ -132,6 +133,11 @@ struct Args {
   /// cadence). Profiling never perturbs virtual-time results.
   bool profile_set = false;
   double profile_hz = 97.0;
+  /// --mem-profile[=KiB]: sampling allocation profiler (bare flag keeps the
+  /// default 512 KiB sampling interval). Like --profile, it only observes
+  /// host-side state, so virtual-time results stay bit-identical.
+  bool mem_profile_set = false;
+  double mem_interval_kib = 512.0;
   /// --artifacts=DIR: write per-run artifact bundles (metrics.json,
   /// profile.json, ...) under DIR (sweeps: DIR/<cell-label>/).
   std::string artifacts;
@@ -180,8 +186,9 @@ int Usage() {
                "record; sweeps accept\n"
                "   --progress[=plain|rich|off] and --progress-file=PATH for "
                "live monitoring;\n"
-               "   both accept --profile[=HZ] for CPU sampling and "
-               "--artifacts=DIR for bundles)\n");
+               "   both accept --profile[=HZ] for CPU sampling, "
+               "--mem-profile[=KiB] for allocation\n"
+               "   sampling and --artifacts=DIR for bundles)\n");
   return 2;
 }
 
@@ -661,7 +668,8 @@ int HistoryMain(int argc, char** argv) {
         "cluster,nodes,seed,repeats,duration_s,throughput_tps,"
         "median_latency_s,p95_latency_s,p99_latency_s,late_drops,"
         "backpressure_skipped,diagnosis_codes,determinism,artifact_dir,"
-        "profile_samples,profile_cpu_s,profile_top_operator\n");
+        "profile_samples,profile_cpu_s,profile_top_operator,"
+        "peak_heap_bytes,bytes_per_tuple,alloc_samples\n");
     for (const obs::RunRecord* r : selected) {
       const std::vector<std::string> fields = {
           r->run_id,
@@ -688,6 +696,17 @@ int HistoryMain(int argc, char** argv) {
           StrFormat("%lld", static_cast<long long>(r->profile_samples)),
           StrFormat("%.17g", r->profile_cpu_s),
           r->profile_top_operator,
+          // Memory columns stay empty for records predating --mem-profile
+          // (and for unprofiled runs) so old ledgers load cleanly.
+          r->mem_samples > 0
+              ? StrFormat("%lld",
+                          static_cast<long long>(r->mem_peak_heap_bytes))
+              : "",
+          r->mem_samples > 0 ? StrFormat("%.17g", r->mem_bytes_per_tuple)
+                             : "",
+          r->mem_samples > 0
+              ? StrFormat("%lld", static_cast<long long>(r->mem_samples))
+              : "",
       };
       std::vector<std::string> quoted;
       quoted.reserve(fields.size());
@@ -1091,6 +1110,11 @@ int RunParallelismSweep(const Args& args, const Cluster& cluster,
     protocol.profile.enabled = true;
     protocol.profile.hz = args.profile_hz;
   }
+  if (args.mem_profile_set) {
+    protocol.mem.enabled = true;
+    protocol.mem.sample_interval_bytes =
+        static_cast<int64_t>(args.mem_interval_kib * 1024.0);
+  }
 
   std::vector<exec::SweepCell> cells;
   for (int degree : args.degrees) {
@@ -1219,6 +1243,26 @@ int RunParallelismSweep(const Args& args, const Cluster& cluster,
                   rec.profile_top_operator_cpu_s);
     }
   }
+  if (args.mem_profile_set) {
+    for (size_t i = 0; i < sweep.cells.size(); ++i) {
+      const exec::SweepCellOutcome& outcome = sweep.cells[i];
+      if (!outcome.result.ok() || !outcome.result->has_mem_profile) {
+        continue;
+      }
+      const obs::mem::MemProfile& m = outcome.result->mem_profile;
+      const obs::RunRecord& rec = outcome.result->ledger_record;
+      std::printf("memory p=%d: %lld samples, %.1f MiB allocated, peak "
+                  "heap %.1f MiB, top operator %s (%.1f MiB)\n",
+                  args.degrees[i], static_cast<long long>(m.samples),
+                  static_cast<double>(m.total_bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(m.peak_heap_bytes) / (1024.0 * 1024.0),
+                  rec.mem_top_operator.empty()
+                      ? "(none)"
+                      : rec.mem_top_operator.c_str(),
+                  static_cast<double>(rec.mem_top_operator_bytes) /
+                      (1024.0 * 1024.0));
+    }
+  }
   std::printf("sweep: %zu/%zu cells ok, jobs=%d, wall %.2fs\n",
               sweep.NumOk(), sweep.cells.size(), sweep.jobs, sweep.wall_s);
   if (options.monitor.enabled && !sweep.monitor.codes.empty()) {
@@ -1280,6 +1324,11 @@ int Main(int argc, char** argv) {
     } else if (ParseArg(argv[i], "profile", &value)) {
       args.profile_set = true;
       args.profile_hz = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--mem-profile") == 0) {
+      args.mem_profile_set = true;  // bare flag keeps the default interval
+    } else if (ParseArg(argv[i], "mem-profile", &value)) {
+      args.mem_profile_set = true;
+      args.mem_interval_kib = std::atof(value.c_str());
     } else if (ParseArg(argv[i], "artifacts", &args.artifacts)) {
     } else if (ParseArg(argv[i], "progress-file", &args.progress_file)) {
     } else if (ParseArg(argv[i], "app", &args.app) ||
@@ -1328,7 +1377,8 @@ int Main(int argc, char** argv) {
   bool degrees_ok = !args.degrees.empty();
   for (int d : args.degrees) degrees_ok = degrees_ok && d >= 1;
   if (args.rate <= 0 || !degrees_ok || args.nodes < 1 ||
-      args.duration <= 0.5 || (args.profile_set && args.profile_hz <= 0)) {
+      args.duration <= 0.5 || (args.profile_set && args.profile_hz <= 0) ||
+      (args.mem_profile_set && args.mem_interval_kib <= 0)) {
     std::fprintf(stderr, "bad numeric flags\n");
     return Usage();
   }
@@ -1435,11 +1485,25 @@ int Main(int argc, char** argv) {
   prof_options.hz = args.profile_hz;
   std::unique_ptr<obs::prof::ThreadRegistration> prof_registration;
   obs::prof::Profiler profiler(prof_options);
-  if (args.profile_set) {
+  if (args.profile_set || args.mem_profile_set) {
     prof_registration =
         std::make_unique<obs::prof::ThreadRegistration>("main");
+  }
+  if (args.profile_set) {
     if (Status st = profiler.Start(); !st.ok()) {
       std::fprintf(stderr, "profiler: %s\n", st.ToString().c_str());
+    }
+  }
+  // --mem-profile: sample this thread's allocations across the simulate
+  // phase, attributed to the same marker stack the CPU profiler reads.
+  obs::mem::MemOptions mem_options;
+  mem_options.enabled = args.mem_profile_set;
+  mem_options.sample_interval_bytes =
+      static_cast<int64_t>(args.mem_interval_kib * 1024.0);
+  obs::mem::MemProfiler mem_profiler(mem_options);
+  if (args.mem_profile_set) {
+    if (Status st = mem_profiler.Start(); !st.ok()) {
+      std::fprintf(stderr, "mem-profiler: %s\n", st.ToString().c_str());
     }
   }
   Result<SimResult> result = Status::Internal("unreachable");
@@ -1452,6 +1516,8 @@ int Main(int argc, char** argv) {
   }
   obs::prof::CpuProfile profile;
   if (profiler.running()) profile = profiler.Stop();
+  obs::mem::MemProfile mem_profile;
+  if (mem_profiler.running()) mem_profile = mem_profiler.Stop();
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
     return 1;
@@ -1470,10 +1536,34 @@ int Main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (args.mem_profile_set && !mem_profile.empty()) {
+    std::printf("mem profile: %lld samples (1/%lld KiB), %.1f MiB "
+                "allocated, %.1f MiB live, peak heap %.1f MiB\n",
+                static_cast<long long>(mem_profile.samples),
+                static_cast<long long>(
+                    mem_profile.sample_interval_bytes / 1024),
+                static_cast<double>(mem_profile.total_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(mem_profile.live_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(mem_profile.peak_heap_bytes) /
+                    (1024.0 * 1024.0));
+    for (const obs::mem::MemFrameTotal& op : mem_profile.operators) {
+      std::printf("  %-20s %9.2f MiB %6lld samples%s\n", op.name.c_str(),
+                  static_cast<double>(op.total_bytes) / (1024.0 * 1024.0),
+                  static_cast<long long>(op.samples),
+                  op.tuples > 0
+                      ? StrFormat(" (%.1f B/tuple)", op.bytes_per_tuple)
+                            .c_str()
+                      : "");
+    }
+    std::printf("\n");
+  }
   if (!args.artifacts.empty()) {
     obs::ArtifactOptions bundle;
     bundle.sim_options = &exec.sim;
     bundle.cpu_profile = profile.empty() ? nullptr : &profile;
+    bundle.mem_profile = mem_profile.empty() ? nullptr : &mem_profile;
     Status st = obs::WriteRunArtifacts(args.artifacts, *result, bundle);
     if (st.ok()) {
       std::printf("artifacts: wrote bundle to %s/\n\n",
@@ -1510,6 +1600,10 @@ int Main(int argc, char** argv) {
     if (!profile.empty()) {
       cell.profile = profile;
       cell.has_profile = true;
+    }
+    if (!mem_profile.empty()) {
+      cell.mem_profile = mem_profile;
+      cell.has_mem_profile = true;
     }
     obs::RunRecord record = MakeLedgerRecord(*plan, *cluster, protocol, cell);
     Status appended = obs::RunLedger(args.ledger).Append(record);
