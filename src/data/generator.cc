@@ -113,6 +113,51 @@ Value TupleGenerator::GenerateField(const FieldGeneratorSpec& spec,
   return Value();
 }
 
+void TupleGenerator::AppendNext(double event_time, double birth,
+                                uint32_t attr_id, data::Batch* out) {
+  // Field order and RNG draw order must match Next() exactly. Numeric
+  // distributions append straight into the typed columns; the string
+  // distributions build a Value (they allocate anyway) and let the batch
+  // intern it.
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FieldGeneratorSpec& spec = specs_[i];
+    switch (spec.dist) {
+      case FieldDistribution::kUniformInt:
+        out->AppendInt(i, rng_.UniformInt(static_cast<int64_t>(spec.min),
+                                          static_cast<int64_t>(spec.max)));
+        break;
+      case FieldDistribution::kUniformDouble:
+        out->AppendDouble(i, rng_.Uniform(spec.min, spec.max));
+        break;
+      case FieldDistribution::kNormalDouble: {
+        const double mean = (spec.min + spec.max) / 2.0;
+        const double sd = (spec.max - spec.min) / 6.0;
+        out->AppendDouble(
+            i, std::clamp(rng_.Normal(mean, sd), spec.min, spec.max));
+        break;
+      }
+      case FieldDistribution::kZipfKey:
+        out->AppendInt(i, rng_.Zipf(spec.cardinality, spec.zipf_s));
+        break;
+      case FieldDistribution::kUniformKey:
+        out->AppendInt(i, rng_.UniformInt(1, spec.cardinality));
+        break;
+      case FieldDistribution::kSequence: {
+        if (i >= sequence_counters_.size()) {
+          sequence_counters_.resize(i + 1, 0);
+        }
+        out->AppendInt(i, sequence_counters_[i]++);
+        break;
+      }
+      case FieldDistribution::kWordString:
+      case FieldDistribution::kSentence:
+        out->AppendValue(i, GenerateField(spec, i));
+        break;
+    }
+  }
+  out->FinishRow(event_time, birth, attr_id);
+}
+
 Tuple TupleGenerator::Next(double event_time) {
   Tuple t;
   t.event_time = event_time;

@@ -12,6 +12,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/data/batch.h"
 #include "src/data/value.h"
 
 namespace pdsp {
@@ -52,6 +53,14 @@ class TupleGenerator {
 
   /// Next tuple stamped with the given event time.
   Tuple Next(double event_time);
+
+  /// Columnar counterpart of Next(): appends the next tuple directly to
+  /// *out (whose layout must match this generator's schema) without
+  /// materializing a Tuple. Draws the same RNG sequence as Next(), field by
+  /// field in order, so a batch built this way is bit-identical to the
+  /// row-at-a-time stream.
+  void AppendNext(double event_time, double birth, uint32_t attr_id,
+                  data::Batch* out);
 
   const Schema& schema() const { return schema_; }
   const std::vector<FieldGeneratorSpec>& specs() const { return specs_; }

@@ -21,6 +21,19 @@ uint64_t FnvHash(const void* data, size_t len, uint64_t seed) {
 
 }  // namespace
 
+uint64_t HashInt64Value(int64_t v) { return FnvHash(&v, sizeof(v), 0x11); }
+
+uint64_t HashDoubleValue(double d) {
+  if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+    return HashInt64Value(static_cast<int64_t>(d));
+  }
+  return FnvHash(&d, sizeof(d), 0x11);
+}
+
+uint64_t HashStringValue(std::string_view s) {
+  return FnvHash(s.data(), s.size(), 0x22);
+}
+
 const char* DataTypeToString(DataType type) {
   switch (type) {
     case DataType::kInt:
@@ -69,22 +82,14 @@ bool Value::operator==(const Value& other) const {
 
 uint64_t Value::Hash() const {
   switch (type()) {
-    case DataType::kInt: {
-      const int64_t v = AsInt();
-      return FnvHash(&v, sizeof(v), 0x11);
-    }
-    case DataType::kDouble: {
-      // Hash the integer value identically to kInt when exactly integral so
-      // that 3 and 3.0 land in the same partition.
-      const double d = AsDouble();
-      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
-        const int64_t v = static_cast<int64_t>(d);
-        return FnvHash(&v, sizeof(v), 0x11);
-      }
-      return FnvHash(&d, sizeof(d), 0x11);
-    }
+    case DataType::kInt:
+      return HashInt64Value(AsInt());
+    case DataType::kDouble:
+      // Integral doubles hash identically to kInt so that 3 and 3.0 land in
+      // the same partition (see HashDoubleValue).
+      return HashDoubleValue(AsDouble());
     case DataType::kString:
-      return FnvHash(AsString().data(), AsString().size(), 0x22);
+      return HashStringValue(AsString());
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -20,6 +21,16 @@ enum class DataType { kInt = 0, kDouble = 1, kString = 2 };
 
 /// Short stable name ("int", "double", "string").
 const char* DataTypeToString(DataType type);
+
+/// Per-type hash primitives behind Value::Hash(), exported so columnar
+/// kernels (src/runtime/kernels.h) can hash raw column data bit-identically
+/// to the row path — hash partitioning must route a key to the same
+/// downstream instance regardless of which path carried it.
+uint64_t HashInt64Value(int64_t v);
+/// Exactly integral doubles hash as their int64 value (3.0 and 3 land in
+/// the same partition); other doubles hash their raw bytes.
+uint64_t HashDoubleValue(double d);
+uint64_t HashStringValue(std::string_view s);
 
 /// \brief One data item of a tuple: int64, double or string.
 class Value {

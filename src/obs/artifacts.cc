@@ -23,6 +23,7 @@ Json SimOptionsJson(const SimOptions& options) {
   j.Set("source_batch_interval_s",
         Json::Number(options.source_batch_interval_s));
   j.Set("watermark_interval_s", Json::Number(options.watermark_interval_s));
+  j.Set("batch_rows", Json::Int(options.batch_rows));
   j.Set("max_in_flight_tuples", Json::Int(options.max_in_flight_tuples));
   j.Set("max_events", Json::Int(options.max_events));
   j.Set("latency_reservoir",

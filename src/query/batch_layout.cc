@@ -1,0 +1,24 @@
+#include "src/query/batch_layout.h"
+
+namespace pdsp {
+
+data::BatchLayout LayoutForSchema(const Schema& schema) {
+  return data::BatchLayout(schema);
+}
+
+Result<std::vector<data::BatchLayout>> DeriveBatchLayouts(
+    const LogicalPlan& plan) {
+  if (!plan.validated()) {
+    return Status::FailedPrecondition(
+        "DeriveBatchLayouts requires a validated plan");
+  }
+  std::vector<data::BatchLayout> layouts;
+  layouts.reserve(plan.NumOperators());
+  for (size_t id = 0; id < plan.NumOperators(); ++id) {
+    layouts.push_back(
+        LayoutForSchema(plan.OutputSchema(static_cast<LogicalPlan::OpId>(id))));
+  }
+  return layouts;
+}
+
+}  // namespace pdsp

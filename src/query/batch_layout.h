@@ -1,0 +1,28 @@
+// Schema -> columnar batch layout derivation for validated logical plans.
+// The simulation engine precomputes one BatchLayout per operator output so
+// every transport batch on an edge is schema-specialized (src/data/batch.h)
+// without consulting the Schema on the hot path.
+
+#ifndef PDSP_QUERY_BATCH_LAYOUT_H_
+#define PDSP_QUERY_BATCH_LAYOUT_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/batch.h"
+#include "src/query/plan.h"
+
+namespace pdsp {
+
+/// Columnar layout for tuples conforming to `schema`.
+data::BatchLayout LayoutForSchema(const Schema& schema);
+
+/// Per-operator output layouts, indexed by operator id (the layout of the
+/// batches the operator emits, i.e. LayoutForSchema(plan.OutputSchema(id))).
+/// Fails unless the plan is validated.
+Result<std::vector<data::BatchLayout>> DeriveBatchLayouts(
+    const LogicalPlan& plan);
+
+}  // namespace pdsp
+
+#endif  // PDSP_QUERY_BATCH_LAYOUT_H_

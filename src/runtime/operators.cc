@@ -8,6 +8,8 @@
 
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
+#include "src/obs/prof.h"
+#include "src/runtime/kernels.h"
 #include "src/runtime/udo.h"
 
 namespace pdsp {
@@ -30,9 +32,42 @@ bool EvaluateFilter(const Value& value, FilterOp op, const Value& literal) {
   return false;
 }
 
+Status OperatorInstance::ProcessBatch(const data::Batch& in, size_t row_begin,
+                                      size_t row_end, int input_port,
+                                      double now, data::Batch* out) {
+  // Row-view adapter: the type-erasure boundary for operators without a
+  // columnar kernel (UDOs, joins). Each row is materialized once, processed
+  // by the scalar path, and its outputs re-appended columnar.
+  std::vector<StreamElement> scratch;
+  for (size_t row = row_begin; row < row_end; ++row) {
+    scratch.clear();
+    StreamElement e;
+    e.tuple = in.RowTuple(row);
+    e.birth = in.birth(row);
+    e.attr_id = in.attr_id(row);
+    PDSP_RETURN_NOT_OK(Process(e, input_port, now, &scratch));
+    for (const StreamElement& o : scratch) {
+      if (o.tuple.values.size() != out->NumColumns()) {
+        return Status::Internal(StrFormat(
+            "operator emitted arity %zu but its output schema has %zu "
+            "fields",
+            o.tuple.values.size(), out->NumColumns()));
+      }
+      out->AppendTuple(o.tuple, o.birth, o.attr_id);
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Kernel-level CPU-profiler marker, interned once per instance and only
+// when a profiling session is active (id 0 makes every ProfScope a no-op).
+uint32_t KernelMarker(const char* name) {
+  return obs::prof::ProfilingActive() ? obs::prof::InternName(name) : 0u;
+}
 
 class FilterExec : public OperatorInstance {
  public:
@@ -52,8 +87,21 @@ class FilterExec : public OperatorInstance {
     return Status::OK();
   }
 
+  Status ProcessBatch(const data::Batch& in, size_t row_begin, size_t row_end,
+                      int, double, data::Batch* out) override {
+    obs::prof::ProfScope scope(obs::prof::FrameKind::kKernel, kernel_id_);
+    sel_.clear();
+    PDSP_RETURN_NOT_OK(kernels::FilterSelect(in, row_begin, row_end,
+                                             op_.filter_field, op_.filter_op,
+                                             op_.filter_literal, &sel_));
+    out->AppendGather(in, sel_);
+    return Status::OK();
+  }
+
  private:
   OperatorDescriptor op_;
+  data::SelectionVector sel_;  // scratch, reused across firings
+  uint32_t kernel_id_ = KernelMarker("filter-kernel");
 };
 
 class MapExec : public OperatorInstance {
@@ -61,6 +109,12 @@ class MapExec : public OperatorInstance {
   Status Process(const StreamElement& e, int, double,
                  std::vector<StreamElement>* out) override {
     out->push_back(e);
+    return Status::OK();
+  }
+
+  Status ProcessBatch(const data::Batch& in, size_t row_begin, size_t row_end,
+                      int, double, data::Batch* out) override {
+    out->AppendRange(in, row_begin, row_end);
     return Status::OK();
   }
 };
@@ -72,16 +126,38 @@ class FlatMapExec : public OperatorInstance {
 
   Status Process(const StreamElement& e, int, double,
                  std::vector<StreamElement>* out) override {
-    const auto whole = static_cast<int64_t>(fanout_);
-    int64_t copies = whole;
-    copies += rng_.Bernoulli(fanout_ - static_cast<double>(whole)) ? 1 : 0;
+    const int64_t copies = DrawCopies();
     for (int64_t i = 0; i < copies; ++i) out->push_back(e);
     return Status::OK();
   }
 
+  Status ProcessBatch(const data::Batch& in, size_t row_begin, size_t row_end,
+                      int, double, data::Batch* out) override {
+    obs::prof::ProfScope scope(obs::prof::FrameKind::kKernel, kernel_id_);
+    // Replication as a selection vector with repeated indices; the RNG is
+    // drawn per row in row order, matching the scalar path draw for draw.
+    sel_.clear();
+    for (size_t row = row_begin; row < row_end; ++row) {
+      const int64_t copies = DrawCopies();
+      for (int64_t i = 0; i < copies; ++i) {
+        sel_.push_back(static_cast<uint32_t>(row));
+      }
+    }
+    out->AppendGather(in, sel_);
+    return Status::OK();
+  }
+
  private:
+  int64_t DrawCopies() {
+    const auto whole = static_cast<int64_t>(fanout_);
+    return whole +
+           (rng_.Bernoulli(fanout_ - static_cast<double>(whole)) ? 1 : 0);
+  }
+
   double fanout_;
   Rng rng_;
+  data::SelectionVector sel_;
+  uint32_t kernel_id_ = KernelMarker("flatmap-kernel");
 };
 
 // Incremental aggregate over one pane/buffer.
@@ -133,7 +209,6 @@ class TimeWindowAggExec : public OperatorInstance {
   Status Process(const StreamElement& e, int, double,
                  std::vector<StreamElement>* out) override {
     (void)out;
-    const double t = e.tuple.event_time;
     if (op_.agg_field >= e.tuple.values.size()) {
       return Status::OutOfRange("aggregate field beyond tuple arity");
     }
@@ -142,20 +217,32 @@ class TimeWindowAggExec : public OperatorInstance {
       return Status::OutOfRange("key field beyond tuple arity");
     }
     const Value key = keyed ? e.tuple.values[op_.key_field] : Value(0);
-    const double v = e.tuple.values[op_.agg_field].AsNumeric();
-    // Panes containing t: starts in (t - duration, t], aligned to slide.
-    const auto last_pane = static_cast<int64_t>(std::floor(t / slide_));
-    bool contributed = false;
-    for (int64_t pane = last_pane; pane >= 0; --pane) {
-      const double start = static_cast<double>(pane) * slide_;
-      if (start + duration_ <= t) break;  // pane closed before t
-      if (start + duration_ <= watermark_) continue;  // pane already fired
-      auto [it, inserted] = panes_.try_emplace(pane);
-      if (inserted) timer_heap_.push(start + duration_);
-      it->second[key].Add(v, e.birth, e.attr_id);
-      contributed = true;
+    AddRow(e.tuple.event_time, key,
+           e.tuple.values[op_.agg_field].AsNumeric(), e.birth, e.attr_id);
+    return Status::OK();
+  }
+
+  Status ProcessBatch(const data::Batch& in, size_t row_begin, size_t row_end,
+                      int, double, data::Batch* out) override {
+    (void)out;  // time windows emit on timers, not on input
+    obs::prof::ProfScope scope(obs::prof::FrameKind::kKernel, kernel_id_);
+    if (op_.agg_field >= in.NumColumns()) {
+      return Status::OutOfRange("aggregate field beyond tuple arity");
     }
-    if (!contributed) ++late_drops_;
+    const bool keyed = op_.key_field != OperatorDescriptor::kNoKey;
+    if (keyed && op_.key_field >= in.NumColumns()) {
+      return Status::OutOfRange("key field beyond tuple arity");
+    }
+    // Columnar pre-pass: one tight loop extracts the aggregate column's
+    // numeric view; only the key column is materialized per row.
+    vals_.resize(row_end - row_begin);
+    kernels::NumericColumn(in, row_begin, row_end, op_.agg_field,
+                           vals_.data());
+    for (size_t row = row_begin; row < row_end; ++row) {
+      const Value key = keyed ? in.ValueAt(row, op_.key_field) : Value(0);
+      AddRow(in.event_time(row), key, vals_[row - row_begin], in.birth(row),
+             in.attr_id(row));
+    }
     return Status::OK();
   }
 
@@ -200,11 +287,30 @@ class TimeWindowAggExec : public OperatorInstance {
   int64_t LateDrops() const override { return late_drops_; }
 
  private:
+  void AddRow(double t, const Value& key, double v, double birth,
+              uint32_t attr_id) {
+    // Panes containing t: starts in (t - duration, t], aligned to slide.
+    const auto last_pane = static_cast<int64_t>(std::floor(t / slide_));
+    bool contributed = false;
+    for (int64_t pane = last_pane; pane >= 0; --pane) {
+      const double start = static_cast<double>(pane) * slide_;
+      if (start + duration_ <= t) break;  // pane closed before t
+      if (start + duration_ <= watermark_) continue;  // pane already fired
+      auto [it, inserted] = panes_.try_emplace(pane);
+      if (inserted) timer_heap_.push(start + duration_);
+      it->second[key].Add(v, birth, attr_id);
+      contributed = true;
+    }
+    if (!contributed) ++late_drops_;
+  }
+
   OperatorDescriptor op_;
   double duration_;
   double slide_;
   double watermark_ = -kInf;  // end of the latest fired pane
   int64_t late_drops_ = 0;
+  std::vector<double> vals_;  // scratch for the columnar numeric pre-pass
+  uint32_t kernel_id_ = KernelMarker("aggregate-kernel");
   // pane index -> key -> aggregate state; ordered so firing pops from front.
   std::map<int64_t, std::map<Value, AggState>> panes_;
   std::priority_queue<double, std::vector<double>, std::greater<>> timer_heap_;
@@ -229,22 +335,34 @@ class CountWindowAggExec : public OperatorInstance {
       return Status::OutOfRange("key field beyond tuple arity");
     }
     const Value key = keyed ? e.tuple.values[op_.key_field] : Value(0);
-    auto& buf = buffers_[key];
-    buf.push_back({e.tuple.values[op_.agg_field].AsNumeric(), e.birth,
-                   e.attr_id});
-    if (static_cast<int64_t>(buf.size()) >= length_) {
-      AggState state;
-      for (const Entry& entry : buf) {
-        state.Add(entry.value, entry.birth, entry.attr_id);
+    StreamElement fired;
+    if (AddRow(key, keyed, e.tuple.values[op_.agg_field].AsNumeric(),
+               e.tuple.event_time, e.birth, e.attr_id, &fired)) {
+      out->push_back(std::move(fired));
+    }
+    return Status::OK();
+  }
+
+  Status ProcessBatch(const data::Batch& in, size_t row_begin, size_t row_end,
+                      int, double, data::Batch* out) override {
+    obs::prof::ProfScope scope(obs::prof::FrameKind::kKernel, kernel_id_);
+    if (op_.agg_field >= in.NumColumns()) {
+      return Status::OutOfRange("aggregate field beyond tuple arity");
+    }
+    const bool keyed = op_.key_field != OperatorDescriptor::kNoKey;
+    if (keyed && op_.key_field >= in.NumColumns()) {
+      return Status::OutOfRange("key field beyond tuple arity");
+    }
+    vals_.resize(row_end - row_begin);
+    kernels::NumericColumn(in, row_begin, row_end, op_.agg_field,
+                           vals_.data());
+    for (size_t row = row_begin; row < row_end; ++row) {
+      const Value key = keyed ? in.ValueAt(row, op_.key_field) : Value(0);
+      StreamElement fired;
+      if (AddRow(key, keyed, vals_[row - row_begin], in.event_time(row),
+                 in.birth(row), in.attr_id(row), &fired)) {
+        out->AppendTuple(fired.tuple, fired.birth, fired.attr_id);
       }
-      StreamElement result;
-      result.tuple.event_time = e.tuple.event_time;
-      result.birth = state.first_birth;
-      result.attr_id = state.first_attr_id;
-      if (keyed) result.tuple.values.push_back(key);
-      result.tuple.values.push_back(Value(state.Finish(op_.agg_fn)));
-      out->push_back(std::move(result));
-      for (int64_t i = 0; i < slide_ && !buf.empty(); ++i) buf.pop_front();
     }
     return Status::OK();
   }
@@ -262,10 +380,32 @@ class CountWindowAggExec : public OperatorInstance {
     uint32_t attr_id;
   };
 
+  /// Buffers one element; fires the key's window into *fired (returning
+  /// true) once the buffer reaches the window length.
+  bool AddRow(const Value& key, bool keyed, double v, double event_time,
+              double birth, uint32_t attr_id, StreamElement* fired) {
+    auto& buf = buffers_[key];
+    buf.push_back({v, birth, attr_id});
+    if (static_cast<int64_t>(buf.size()) < length_) return false;
+    AggState state;
+    for (const Entry& entry : buf) {
+      state.Add(entry.value, entry.birth, entry.attr_id);
+    }
+    fired->tuple.event_time = event_time;
+    fired->birth = state.first_birth;
+    fired->attr_id = state.first_attr_id;
+    if (keyed) fired->tuple.values.push_back(key);
+    fired->tuple.values.push_back(Value(state.Finish(op_.agg_fn)));
+    for (int64_t i = 0; i < slide_ && !buf.empty(); ++i) buf.pop_front();
+    return true;
+  }
+
   OperatorDescriptor op_;
   int64_t length_;
   int64_t slide_;
   std::map<Value, std::deque<Entry>> buffers_;
+  std::vector<double> vals_;
+  uint32_t kernel_id_ = KernelMarker("aggregate-kernel");
 };
 
 // Windowed equi-join. Time policy: per-side keyed buffers holding the last
@@ -406,6 +546,12 @@ class SinkExec : public OperatorInstance {
   Status Process(const StreamElement& e, int, double,
                  std::vector<StreamElement>* out) override {
     out->push_back(e);  // the simulator records latency on sink output
+    return Status::OK();
+  }
+
+  Status ProcessBatch(const data::Batch& in, size_t row_begin, size_t row_end,
+                      int, double, data::Batch* out) override {
+    out->AppendRange(in, row_begin, row_end);
     return Status::OK();
   }
 };

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/data/batch.h"
 #include "src/query/plan.h"
 #include "src/runtime/element.h"
 
@@ -26,6 +27,18 @@ class OperatorInstance {
   /// 1 = right) at virtual time `now`; appends outputs to *out.
   virtual Status Process(const StreamElement& element, int input_port,
                          double now, std::vector<StreamElement>* out) = 0;
+
+  /// Processes rows [row_begin, row_end) of a columnar batch, appending
+  /// output rows to *out (whose layout is this operator's output layout).
+  /// The base implementation materializes each row into a StreamElement and
+  /// delegates to Process — the row-view adapter stateful operators and
+  /// UDOs rely on. Vectorizable operators (filter, map, flatMap, window
+  /// aggregation, sink) override it with columnar kernels
+  /// (src/runtime/kernels.h) that are bit-identical to the scalar path:
+  /// same outputs, same order, same RNG draw sequence.
+  virtual Status ProcessBatch(const data::Batch& in, size_t row_begin,
+                              size_t row_end, int input_port, double now,
+                              data::Batch* out);
 
   /// Fires any timers due at or before `now` (window pane emission).
   virtual void OnTimer(double now, std::vector<StreamElement>* out) {

@@ -9,9 +9,12 @@
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
 #include "src/data/arrival.h"
+#include "src/data/batch.h"
 #include "src/data/generator.h"
 #include "src/obs/mem.h"
 #include "src/obs/prof.h"
+#include "src/query/batch_layout.h"
+#include "src/runtime/kernels.h"
 #include "src/runtime/operators.h"
 
 namespace pdsp {
@@ -23,7 +26,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 enum class EventKind { kSourceBatch, kDelivery, kReady };
 
 struct Batch {
-  std::vector<StreamElement> elements;
+  /// Payload rows in columnar form (schema-specialized per sending edge).
+  data::Batch rows;
   int input_port = 0;
   /// Delivered over a chained forward channel: the receiver charges no
   /// framing overhead (same-thread call, as in Flink operator chains).
@@ -118,11 +122,16 @@ class Engine {
 
   /// Splits outputs into per-destination sub-batches, adds the send-side
   /// costs to *cost, and fills *deliveries with (delay, dest, batch).
-  /// Every sub-batch carries `sender_wm`; when `broadcast_wm` is set,
-  /// destinations that received no data still get a watermark-only batch
-  /// (Flink's periodic watermark emission).
-  void RouteOutputs(int task, const std::vector<StreamElement>& outputs,
-                    double sender_wm, bool broadcast_wm, double* cost,
+  /// Hash partitioning runs the columnar partition kernel (hash the key
+  /// column once, scatter row indices, gather each destination's rows in
+  /// one pass); rebalance and forward reduce to index arithmetic plus a
+  /// range copy. Destination order and per-destination row order match the
+  /// scalar per-element router exactly. Every sub-batch carries
+  /// `sender_wm`; when `broadcast_wm` is set, destinations that received no
+  /// data still get a watermark-only batch (Flink's periodic watermark
+  /// emission).
+  void RouteOutputs(int task, const data::Batch& outputs, double sender_wm,
+                    bool broadcast_wm, double* cost,
                     std::vector<PlannedDelivery>* deliveries);
 
   /// Applies a processed batch's watermark to its channel and recomputes the
@@ -154,7 +163,7 @@ class Engine {
   /// Charges window/join-state residency for outputs whose cursor predates
   /// `now` (they emerged from operator state rather than this batch).
   void ChargeWindowResidency(LogicalPlan::OpId op, double now,
-                             std::vector<StreamElement>* outputs);
+                             const data::Batch& outputs);
   /// Allocates an attribution record with its cursor at `birth`; returns
   /// kNoAttr once the pool cap is reached (the tail of an extreme run goes
   /// untracked rather than exhausting memory).
@@ -170,6 +179,10 @@ class Engine {
   int64_t seq_ = 0;
   std::vector<TaskState> tasks_;
   std::vector<std::vector<ChannelGroup>> out_channels_;  // per op
+  // Columnar layout each operator's output batches use, indexed by op id.
+  std::vector<data::BatchLayout> out_layouts_;
+  // Routing scratch (per-destination row selections), reused across firings.
+  std::vector<data::SelectionVector> parts_;
   int64_t pending_tuples_ = 0;
   int64_t events_processed_ = 0;
   Status run_error_ = Status::OK();
@@ -179,6 +192,9 @@ class Engine {
   obs::Counter* ctr_source_tuples_ = nullptr;
   obs::Counter* ctr_sink_tuples_ = nullptr;
   obs::Counter* ctr_bp_skipped_ = nullptr;
+  obs::Counter* ctr_data_batches_ = nullptr;
+  obs::Counter* ctr_data_rows_ = nullptr;
+  obs::Counter* ctr_data_promotions_ = nullptr;
   obs::HistogramMetric* hist_sink_latency_ = nullptr;
   std::vector<double> prev_busy_time_;
   std::vector<int64_t> prev_tuples_in_;
@@ -194,6 +210,7 @@ class Engine {
   std::vector<uint32_t> op_marker_ids_;
   uint32_t kernel_fire_id_ = 0;
   uint32_t kernel_process_id_ = 0;
+  uint32_t kernel_partition_id_ = 0;
 
   uint32_t OpMarkerId(LogicalPlan::OpId op) const {
     const auto i = static_cast<size_t>(op);
@@ -219,6 +236,7 @@ Status Engine::SetUpTasks() {
   for (size_t op = 0; op < plan_.logical().NumOperators(); ++op) {
     out_channels_[op] = plan_.ChannelsFrom(static_cast<LogicalPlan::OpId>(op));
   }
+  PDSP_ASSIGN_OR_RETURN(out_layouts_, DeriveBatchLayouts(plan_.logical()));
   Rng master(options_.seed);
   for (size_t t = 0; t < plan_.NumTasks(); ++t) {
     const PhysicalTask& pt = plan_.task(static_cast<int>(t));
@@ -366,11 +384,11 @@ void Engine::TraceFiring(int task, double start, double duration,
                                task, std::move(args));
 }
 
-void Engine::RouteOutputs(int task,
-                          const std::vector<StreamElement>& outputs,
+void Engine::RouteOutputs(int task, const data::Batch& outputs,
                           double sender_wm, bool broadcast_wm, double* cost,
                           std::vector<PlannedDelivery>* deliveries) {
-  if (outputs.empty() && !broadcast_wm) return;
+  const size_t n = outputs.NumRows();
+  if (n == 0 && !broadcast_wm) return;
   TaskState& state = tasks_[task];
   const PhysicalTask& pt = plan_.task(task);
   const auto& groups = out_channels_[pt.op];
@@ -381,42 +399,62 @@ void Engine::RouteOutputs(int task,
     const int p_dest = plan_.ParallelismOf(g.to_op);
     const size_t key_field = plan_.PartitionKeyField(g.to_op, g.input_port);
     std::vector<std::shared_ptr<Batch>> sub(p_dest);
-    for (const StreamElement& e : outputs) {
-      int dest;
+    auto sub_batch = [&](int d) -> Batch& {
+      if (!sub[d]) {
+        sub[d] = std::make_shared<Batch>();
+        sub[d]->rows = data::Batch(outputs.layout());
+        sub[d]->input_port = g.input_port;
+      }
+      return *sub[d];
+    };
+    if (n > 0) {
       switch (g.mode) {
         case Partitioning::kForward:
-          dest = pt.instance;
+          sub_batch(pt.instance).rows.AppendRange(outputs, 0, n);
           break;
-        case Partitioning::kRebalance:
-          dest = static_cast<int>(state.rr_cursor[gi]++ % p_dest);
+        case Partitioning::kRebalance: {
+          // Row i goes to (cursor + i) % p — the scalar router's
+          // per-element round robin, batched.
+          parts_.clear();
+          parts_.resize(static_cast<size_t>(p_dest));
+          const size_t cursor = state.rr_cursor[gi];
+          for (size_t i = 0; i < n; ++i) {
+            parts_[(cursor + i) % static_cast<size_t>(p_dest)].push_back(
+                static_cast<uint32_t>(i));
+          }
+          state.rr_cursor[gi] += n;
+          for (int d = 0; d < p_dest; ++d) {
+            if (parts_[d].empty()) continue;
+            sub_batch(d).rows.AppendGather(outputs, parts_[d]);
+          }
           break;
+        }
         case Partitioning::kHash: {
+          obs::prof::ProfScope kernel_scope(obs::prof::FrameKind::kKernel,
+                                            kernel_partition_id_);
+          // The effective key field is batch-wide (fixed arity): fall back
+          // to field 0 when the declared key is absent, and to destination
+          // 0 for zero-arity tuples — exactly the scalar router's per-
+          // element fallback.
+          const size_t arity = outputs.NumColumns();
           const size_t f =
-              key_field != OperatorDescriptor::kNoKey &&
-                      key_field < e.tuple.values.size()
+              key_field != OperatorDescriptor::kNoKey && key_field < arity
                   ? key_field
                   : 0;
-          const uint64_t h = f < e.tuple.values.size()
-                                 ? e.tuple.values[f].Hash()
-                                 : 0;
-          dest = static_cast<int>(h % static_cast<uint64_t>(p_dest));
+          kernels::Partition(outputs, 0, n, f, p_dest, &parts_);
+          for (int d = 0; d < p_dest; ++d) {
+            if (parts_[d].empty()) continue;
+            sub_batch(d).rows.AppendGather(outputs, parts_[d]);
+          }
           break;
         }
       }
-      if (!sub[dest]) {
-        sub[dest] = std::make_shared<Batch>();
-        sub[dest]->input_port = g.input_port;
-      }
-      sub[dest]->elements.push_back(e);
     }
     if (broadcast_wm) {
       // Watermark-only batches for destinations with no data this round.
       for (int d = 0; d < p_dest; ++d) {
         if (g.mode == Partitioning::kForward && d != pt.instance) continue;
-        if (!sub[d]) {
-          sub[d] = std::make_shared<Batch>();
-          sub[d]->input_port = g.input_port;
-        }
+        sub_batch(d);
       }
     }
     const bool chained =
@@ -426,13 +464,13 @@ void Engine::RouteOutputs(int task,
       sub[d]->from_task = task;
       sub[d]->watermark = sender_wm;
       sub[d]->chained = chained;
+      const size_t sub_rows = sub[d]->rows.NumRows();
       const int dest_task = plan_.TaskId(g.to_op, d);
       const int dest_node = placement_.node_of_task[dest_task];
       if (chained && dest_node == src_node) {
         // Same thread: no send cost, immediate delivery.
+        state.tuples_out += static_cast<int64_t>(sub_rows);
         deliveries->push_back({0.0, dest_task, std::move(sub[d])});
-        state.tuples_out += static_cast<int64_t>(
-            deliveries->back().batch->elements.size());
         continue;
       }
       *cost += costs_.subbatch_send_overhead;
@@ -440,17 +478,14 @@ void Engine::RouteOutputs(int task,
       if (dest_node == src_node) {
         delay = costs_.local_handoff_latency;
       } else {
-        size_t bytes = 0;
-        for (const StreamElement& e : sub[d]->elements) {
-          bytes += e.tuple.WireSize();
-        }
+        const size_t bytes = sub[d]->rows.WireSize(0, sub_rows);
         *cost += static_cast<double>(bytes) *
                  costs_.serialization_cost_per_byte;
         delay = cluster_.LinkLatencySeconds(src_node, dest_node) +
                 static_cast<double>(bytes) /
                     cluster_.LinkBandwidthBytesPerSec(src_node, dest_node);
       }
-      state.tuples_out += static_cast<int64_t>(sub[d]->elements.size());
+      state.tuples_out += static_cast<int64_t>(sub_rows);
       deliveries->push_back({delay, dest_task, std::move(sub[d])});
     }
   }
@@ -460,7 +495,7 @@ void Engine::DispatchDeliveries(int task, double completion,
                                 std::vector<PlannedDelivery>* deliveries) {
   (void)task;
   for (PlannedDelivery& d : *deliveries) {
-    pending_tuples_ += static_cast<int64_t>(d.batch->elements.size());
+    pending_tuples_ += static_cast<int64_t>(d.batch->rows.NumRows());
     Push(completion + d.delay, EventKind::kDelivery, d.dest_task,
          std::move(d.batch));
   }
@@ -488,9 +523,9 @@ void Engine::ChargeDispatch(LogicalPlan::OpId op, double completion,
                             std::vector<PlannedDelivery>* deliveries) {
   OperatorLatencyStats& acc = op_latency_[op];
   for (PlannedDelivery& d : *deliveries) {
-    for (StreamElement& e : d.batch->elements) {
-      if (e.attr_id == kNoAttr) continue;
-      LatencyAttr& a = attr_pool_[e.attr_id];
+    for (uint32_t attr : d.batch->rows.attr_ids()) {
+      if (attr == kNoAttr) continue;
+      LatencyAttr& a = attr_pool_[attr];
       const double delta = completion - a.accounted_until;
       a.accounted_until = completion;
       if (is_source) {
@@ -508,9 +543,9 @@ void Engine::ChargeDispatch(LogicalPlan::OpId op, double completion,
 
 void Engine::ChargeNetwork(LogicalPlan::OpId op, double now, Batch* batch) {
   OperatorLatencyStats& acc = op_latency_[op];
-  for (StreamElement& e : batch->elements) {
-    if (e.attr_id == kNoAttr) continue;
-    LatencyAttr& a = attr_pool_[e.attr_id];
+  for (uint32_t attr : batch->rows.attr_ids()) {
+    if (attr == kNoAttr) continue;
+    LatencyAttr& a = attr_pool_[attr];
     const double delta = now - a.accounted_until;
     a.network_s += delta;
     a.accounted_until = now;
@@ -521,9 +556,9 @@ void Engine::ChargeNetwork(LogicalPlan::OpId op, double now, Batch* batch) {
 
 void Engine::ChargeQueueWait(LogicalPlan::OpId op, double now, Batch* batch) {
   OperatorLatencyStats& acc = op_latency_[op];
-  for (StreamElement& e : batch->elements) {
-    if (e.attr_id == kNoAttr) continue;
-    LatencyAttr& a = attr_pool_[e.attr_id];
+  for (uint32_t attr : batch->rows.attr_ids()) {
+    if (attr == kNoAttr) continue;
+    LatencyAttr& a = attr_pool_[attr];
     const double delta = now - a.accounted_until;
     a.queue_s += delta;
     a.accounted_until = now;
@@ -533,11 +568,11 @@ void Engine::ChargeQueueWait(LogicalPlan::OpId op, double now, Batch* batch) {
 }
 
 void Engine::ChargeWindowResidency(LogicalPlan::OpId op, double now,
-                                   std::vector<StreamElement>* outputs) {
+                                   const data::Batch& outputs) {
   OperatorLatencyStats& acc = op_latency_[op];
-  for (StreamElement& e : *outputs) {
-    if (e.attr_id == kNoAttr) continue;
-    LatencyAttr& a = attr_pool_[e.attr_id];
+  for (uint32_t attr : outputs.attr_ids()) {
+    if (attr == kNoAttr) continue;
+    LatencyAttr& a = attr_pool_[attr];
     const double delta = now - a.accounted_until;
     if (delta <= 0.0) continue;  // fresh output of this firing, not state
     a.window_s += delta;
@@ -569,16 +604,18 @@ void Engine::EmitSourceBatch(int task, double now) {
     ctr_bp_skipped_->Add(n);
     n = 0;
   }
-  std::vector<StreamElement> outputs;
-  outputs.reserve(static_cast<size_t>(n));
+  data::Batch outputs(out_layouts_[pt.op]);
+  outputs.Reserve(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     const double t_event =
         now + (static_cast<double>(i) + 0.5) * dt / static_cast<double>(n);
-    StreamElement e;
-    e.tuple = state.generator->Next(t_event);
-    e.birth = t_event;
-    if (attribute_) e.attr_id = NewAttr(t_event);  // charging starts at birth
-    outputs.push_back(std::move(e));
+    // Charging starts at birth (== event time for raw source tuples).
+    const uint32_t attr = attribute_ ? NewAttr(t_event) : kNoAttr;
+    state.generator->AppendNext(t_event, t_event, attr, &outputs);
+  }
+  if (n > 0) {
+    ctr_data_batches_->Add(1);
+    ctr_data_rows_->Add(n);
   }
   result_.source_tuples += n;
   ctr_source_tuples_->Add(n);
@@ -628,7 +665,7 @@ Status Engine::ProcessOne(int task, double now) {
   obs::prof::ProfScope op_scope(obs::prof::FrameKind::kOperator,
                                 OpMarkerId(pt.op));
 
-  std::vector<StreamElement> outputs;
+  data::Batch outputs(out_layouts_[pt.op]);
   double cost = 0.0;
   bool timer_fire = false;
   size_t in_tuples = 0;
@@ -641,44 +678,60 @@ Status Engine::ProcessOne(int task, double now) {
     timer_fire = true;
     obs::prof::ProfScope kernel_scope(obs::prof::FrameKind::kKernel,
                                       kernel_fire_id_);
-    state.instance->OnTimer(state.input_wm, &outputs);
+    std::vector<StreamElement> fired;
+    state.instance->OnTimer(state.input_wm, &fired);
+    for (const StreamElement& e : fired) {
+      outputs.AppendTuple(e.tuple, e.birth, e.attr_id);
+    }
     cost = costs_.BatchCost(op);
   } else {
     obs::prof::ProfScope kernel_scope(obs::prof::FrameKind::kKernel,
                                       kernel_process_id_);
     std::shared_ptr<Batch> batch = state.queue.front();
     state.queue.pop_front();
-    in_tuples = batch->elements.size();
-    state.queued_tuples -= batch->elements.size();
-    pending_tuples_ -= static_cast<int64_t>(batch->elements.size());
-    state.tuples_in += static_cast<int64_t>(batch->elements.size());
+    const size_t rows = batch->rows.NumRows();
+    in_tuples = rows;
+    state.queued_tuples -= rows;
+    pending_tuples_ -= static_cast<int64_t>(rows);
+    state.tuples_in += static_cast<int64_t>(rows);
     if (attribute_) ChargeQueueWait(pt.op, now, batch.get());
-    if (batch->elements.empty()) {
+    if (rows == 0) {
       cost = costs_.wm_batch_cost;
     } else {
       cost = (batch->chained ? 0.0 : costs_.BatchCost(op)) +
-             static_cast<double>(batch->elements.size()) *
-                 costs_.InputTupleCost(op);
+             static_cast<double>(rows) * costs_.InputTupleCost(op);
+      ctr_data_batches_->Add(1);
+      ctr_data_rows_->Add(static_cast<int64_t>(rows));
     }
-    for (const StreamElement& e : batch->elements) {
-      PDSP_RETURN_NOT_OK(
-          state.instance->Process(e, batch->input_port, now, &outputs));
+    // Vectorized kernels run over chunks of at most batch_rows rows; the
+    // chunking is invisible in virtual time (same `now`, same cost model)
+    // and in results (kernels preserve row order and RNG draw order).
+    const auto chunk =
+        static_cast<size_t>(std::max<int64_t>(1, options_.batch_rows));
+    for (size_t begin = 0; begin < rows; begin += chunk) {
+      PDSP_RETURN_NOT_OK(state.instance->ProcessBatch(
+          batch->rows, begin, std::min(rows, begin + chunk),
+          batch->input_port, now, &outputs));
     }
     ApplyWatermark(&state, *batch);
   }
-  cost += static_cast<double>(outputs.size()) *
+  if (outputs.promotions() > 0) {
+    ctr_data_promotions_->Add(static_cast<int64_t>(outputs.promotions()));
+  }
+  cost += static_cast<double>(outputs.NumRows()) *
           costs_.OutputTupleCost(op, timer_fire);
   // Outputs whose attribution cursor predates this firing emerged from
   // operator state (window panes, buffered join partners): charge the gap
   // as window residency.
-  if (attribute_) ChargeWindowResidency(pt.op, now, &outputs);
+  if (attribute_) ChargeWindowResidency(pt.op, now, outputs);
 
   if (op.type == OperatorType::kSink) {
     const double completion = now + cost / TaskSpeed(task);
     OperatorLatencyStats& acc = op_latency_[pt.op];
-    for (StreamElement& e : outputs) {
-      if (e.attr_id != kNoAttr) {
-        LatencyAttr& a = attr_pool_[e.attr_id];
+    for (size_t r = 0; r < outputs.NumRows(); ++r) {
+      const uint32_t attr = outputs.attr_id(r);
+      if (attr != kNoAttr) {
+        LatencyAttr& a = attr_pool_[attr];
         const double svc = completion - a.accounted_until;
         a.service_s += svc;
         a.accounted_until = completion;
@@ -687,21 +740,22 @@ Status Engine::ProcessOne(int task, double now) {
       }
       ++result_.sink_tuples;
       if (completion >= options_.warmup_s) {
-        result_.latency.Record(completion - e.birth);
-        hist_sink_latency_->Observe(completion - e.birth);
-        if (e.attr_id != kNoAttr) {
-          const LatencyAttr& a = attr_pool_[e.attr_id];
+        const double latency = completion - outputs.birth(r);
+        result_.latency.Record(latency);
+        hist_sink_latency_->Observe(latency);
+        if (attr != kNoAttr) {
+          const LatencyAttr& a = attr_pool_[attr];
           bd_sum_.source_batch_s += a.source_batch_s;
           bd_sum_.network_s += a.network_s;
           bd_sum_.queue_s += a.queue_s;
           bd_sum_.service_s += a.service_s;
           bd_sum_.window_s += a.window_s;
-          bd_total_ += completion - e.birth;
+          bd_total_ += latency;
           ++bd_n_;
         }
       }
     }
-    ctr_sink_tuples_->Add(static_cast<int64_t>(outputs.size()));
+    ctr_sink_tuples_->Add(static_cast<int64_t>(outputs.NumRows()));
     state.busy_time += completion - now;
     state.busy_until = completion;
   } else {
@@ -724,7 +778,7 @@ Status Engine::ProcessOne(int task, double now) {
 
   if (trace_verbose_) {
     TraceFiring(task, now, state.busy_until - now,
-                timer_fire ? outputs.size() : in_tuples);
+                timer_fire ? outputs.NumRows() : in_tuples);
   }
   // Wake self at completion to pick up further work.
   Push(state.busy_until, EventKind::kReady, task);
@@ -755,6 +809,10 @@ Result<SimResult> Engine::Run() {
   ctr_sink_tuples_ = result_.metrics->GetCounter("pdsp.sim.sink_tuples");
   ctr_bp_skipped_ =
       result_.metrics->GetCounter("pdsp.sim.backpressure_skipped");
+  ctr_data_batches_ = result_.metrics->GetCounter("pdsp.data.batches");
+  ctr_data_rows_ = result_.metrics->GetCounter("pdsp.data.rows");
+  ctr_data_promotions_ =
+      result_.metrics->GetCounter("pdsp.data.column_promotions");
   hist_sink_latency_ =
       result_.metrics->GetHistogram("pdsp.sim.sink_latency_seconds");
   trace_verbose_ =
@@ -770,6 +828,7 @@ Result<SimResult> Engine::Run() {
     }
     kernel_fire_id_ = obs::prof::InternName("fire-timers");
     kernel_process_id_ = obs::prof::InternName("process-batch");
+    kernel_partition_id_ = obs::prof::InternName("partition-kernel");
   }
   PDSP_RETURN_NOT_OK(SetUpTasks());
   prev_busy_time_.assign(tasks_.size(), 0.0);
@@ -807,7 +866,7 @@ Result<SimResult> Engine::Run() {
             ChargeNetwork(plan_.task(e.task).op, e.time, e.batch.get());
           }
           state.queue.push_back(e.batch);
-          state.queued_tuples += e.batch->elements.size();
+          state.queued_tuples += e.batch->rows.NumRows();
           state.max_queue_tuples =
               std::max(state.max_queue_tuples, state.queued_tuples);
           MaybeStart(e.task, e.time);
@@ -926,6 +985,9 @@ Result<SimResult> Simulation::Run(const PhysicalPlan& plan,
   if (options.duration_s <= 0.0 || options.warmup_s < 0.0 ||
       options.warmup_s >= options.duration_s) {
     return Status::InvalidArgument("bad duration/warmup");
+  }
+  if (options.batch_rows < 1) {
+    return Status::InvalidArgument("batch_rows must be >= 1");
   }
   Engine engine(plan, cluster, placement, costs, options);
   return engine.Run();

@@ -40,6 +40,13 @@ struct SimOptions {
   /// watermark to all downstream instances, mirroring Flink's periodic
   /// watermark emission. Smaller = tighter window firing, more overhead.
   double watermark_interval_s = 0.05;
+  /// Rows per vectorized kernel invocation on the columnar data plane:
+  /// each task firing processes its input batch in chunks of at most this
+  /// many rows through OperatorInstance::ProcessBatch. Purely an execution
+  /// granularity — event scheduling, cost accounting and RNG draw order are
+  /// per-firing/per-tuple, so results are bit-identical at any value
+  /// (batch_rows=1 degenerates to tuple-at-a-time). Must be >= 1.
+  int64_t batch_rows = 1024;
   /// Source backpressure: generation pauses while more than this many
   /// elements are queued anywhere in the pipeline.
   int64_t max_in_flight_tuples = 600'000;

@@ -25,6 +25,7 @@
 #   PDSP_GATE_LEDGER      ledger path the gate appends to
 #                         (default results/ledger.jsonl)
 #   PDSP_GATE_SKIP_MICRO  set to 1 to skip the microbenchmark pass
+#   PDSP_GATE_SKIP_TPUT   set to 1 to skip the kernel throughput gate
 #   PDSP_GATE_SKIP_SWEEP  set to 1 to skip the parallel-sweep pair
 #   PDSP_GATE_SKIP_MEM    set to 1 to skip the allocation budget gate
 #   PDSP_GATE_SWEEP_JOBS  worker count for the parallel leg (default 4)
@@ -77,6 +78,58 @@ for label, on_name, off_name in [
         sys.exit(f"{label} overhead {overhead*100:.1f}% exceeds 10% bound")
 EOF
   fi
+fi
+
+if [ "${PDSP_GATE_SKIP_TPUT:-0}" != "1" ] && \
+    [ -x "$BUILD_DIR/bench/micro_operators" ] && \
+    [ -f "$BASELINE_DIR/throughput_budget.json" ] && \
+    command -v python3 >/dev/null 2>&1; then
+  step "kernel throughput gate (elements/s vs $BASELINE_DIR/throughput_budget.json)"
+  # The columnar data plane's performance contract: every vectorized kernel
+  # is benchmarked next to its scalar per-element twin at the same batch
+  # size, and the vectorized/scalar items-per-second ratio must clear each
+  # pair's checked-in min_speedup (3x for filter and aggregate at 1024).
+  # Absolute floors are deliberately loose — machine-independent ratios are
+  # the real gate; the floors only catch a catastrophic (10x-scale)
+  # throughput collapse. Repeat counts and the aggregate-median reporting
+  # keep single-run scheduler noise out of the verdict.
+  TPUT_JSON="$BUILD_DIR/bench_gate_tput.json"
+  "$BUILD_DIR/bench/micro_operators" \
+      --benchmark_filter='BM_Batch|BM_Scalar' \
+      --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > "$TPUT_JSON"
+  python3 - "$TPUT_JSON" "$BASELINE_DIR/throughput_budget.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+budget = json.load(open(sys.argv[2]))
+items = {b["name"]: b["items_per_second"]
+         for b in d["benchmarks"]
+         if b.get("aggregate_name") == "median" and "items_per_second" in b}
+def lookup(name):
+    v = items.get(name + "_median")
+    if v is None:
+        sys.exit(f"benchmark {name} missing from micro_operators output")
+    return v
+failures = []
+for pair in budget["pairs"]:
+    batch = lookup(pair["batch"])
+    scalar = lookup(pair["scalar"])
+    speedup = batch / scalar if scalar > 0 else float("inf")
+    verdicts = []
+    if speedup < pair["min_speedup"]:
+        verdicts.append(f"speedup {speedup:.2f}x < {pair['min_speedup']}x")
+    floor = pair.get("min_batch_items_per_s", 0)
+    if batch < floor:
+        verdicts.append(f"batch {batch:.3g}/s < floor {floor:.3g}/s")
+    status = "OK" if not verdicts else "; ".join(verdicts)
+    print(f"{pair['label']}: vectorized {batch / 1e6:.1f} M elem/s, "
+          f"scalar {scalar / 1e6:.1f} M elem/s, "
+          f"speedup {speedup:.2f}x (need {pair['min_speedup']}x) {status}")
+    if verdicts:
+        failures.append(pair["label"])
+if failures:
+    sys.exit("kernel throughput gate failed: " + " ".join(failures))
+EOF
 fi
 
 if [ "${PDSP_GATE_SKIP_SWEEP:-0}" != "1" ]; then

@@ -72,6 +72,14 @@ if [ "${PDSP_SKIP_UBSAN:-0}" != "1" ]; then
   done
 fi
 
+step "columnar kernel smoke (micro_operators batch/scalar filter pair)"
+# One vectorized kernel and its scalar twin, a single short repetition:
+# proves the benchmark binary runs and the kernels produce throughput
+# counters. The full pair set with the speedup gate runs in bench_gate.sh.
+"$BUILD_DIR/bench/micro_operators" \
+    --benchmark_filter='BM_BatchFilterKernel/1024|BM_ScalarFilter/1024' \
+    --benchmark_min_time=0.05s
+
 step "static plan analysis (pdspbench analyze all)"
 "$BUILD_DIR/tools/pdspbench" analyze all
 
